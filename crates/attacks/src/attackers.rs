@@ -1,0 +1,352 @@
+//! The attacker programs: processes the dishonest operator runs alongside
+//! the victim.
+
+use trustmeter_core::TaskId;
+use trustmeter_kernel::{Op, OpOutcome, Program, ProgramCtx, SyscallOp};
+use trustmeter_sim::{CpuFrequency, Cycles, Nanos};
+
+fn us(freq: CpuFrequency, micros: f64) -> Cycles {
+    freq.cycles_for(Nanos::from_secs_f64(micros / 1e6))
+}
+
+/// The process-scheduling attacker (paper §IV-B1): repeatedly forks a child
+/// that does (almost) nothing and exits, and waits for it. Both parent and
+/// child relinquish the CPU many times per jiffy, so the timer tick almost
+/// always finds the victim current and the attacker's CPU consumption is
+/// charged to the victim.
+pub struct ForkAttacker {
+    freq: CpuFrequency,
+    forks_left: u64,
+    parent_us: f64,
+    child_us: f64,
+    nice: i8,
+    state: u8,
+}
+
+impl ForkAttacker {
+    /// Creates the attacker. `forks` is the number of fork/wait cycles (the
+    /// paper uses 2²¹), `parent_us`/`child_us` the user-mode work per cycle
+    /// in parent and child.
+    pub fn new(forks: u64, parent_us: f64, child_us: f64, nice: i8) -> ForkAttacker {
+        ForkAttacker {
+            freq: CpuFrequency::E7200,
+            forks_left: forks,
+            parent_us,
+            child_us,
+            nice,
+            state: 0,
+        }
+    }
+
+    /// The paper's configuration (2²¹ forks) scaled by `scale`.
+    pub fn paper_default(scale: f64, nice: i8) -> ForkAttacker {
+        let forks = ((1u64 << 21) as f64 * scale).round().max(1.0) as u64;
+        ForkAttacker::new(forks, 40.0, 20.0, nice)
+    }
+}
+
+impl Program for ForkAttacker {
+    fn name(&self) -> &str {
+        "Fork"
+    }
+
+    fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> Option<Op> {
+        if self.forks_left == 0 {
+            return None;
+        }
+        match self.state {
+            0 => {
+                self.state = 1;
+                Some(Op::Compute { cycles: us(self.freq, self.parent_us) })
+            }
+            1 => {
+                self.state = 2;
+                let child = Box::new(ForkChild { freq: self.freq, work_us: self.child_us, done: false });
+                Some(Op::Syscall(SyscallOp::Fork { child, nice: self.nice }))
+            }
+            _ => {
+                self.state = 0;
+                self.forks_left -= 1;
+                Some(Op::Syscall(SyscallOp::Wait))
+            }
+        }
+    }
+}
+
+/// The do-nothing child forked by [`ForkAttacker`].
+struct ForkChild {
+    freq: CpuFrequency,
+    work_us: f64,
+    done: bool,
+}
+
+impl Program for ForkChild {
+    fn name(&self) -> &str {
+        "Fork-child"
+    }
+
+    fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> Option<Op> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        Some(Op::Compute { cycles: us(self.freq, self.work_us) })
+    }
+}
+
+/// The execution-thrashing attacker (paper §IV-B2): attaches to the victim
+/// with ptrace, arms a hardware breakpoint on one of its hot variables, and
+/// then continues/waits in a loop, forcing a debug exception, a SIGTRAP,
+/// two context switches and a ptrace request per access.
+pub struct Thrasher {
+    target: TaskId,
+    breakpoint_addr: u64,
+    state: ThrasherState,
+    /// Number of trap rounds served (for tests / reporting).
+    pub rounds: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThrasherState {
+    Attach,
+    WaitAttachStop,
+    SetBreakpoint,
+    Cont,
+    WaitTrap,
+    Done,
+}
+
+impl Thrasher {
+    /// Creates a thrasher targeting `target`, arming a breakpoint at
+    /// `breakpoint_addr` (the victim's hot variable).
+    pub fn new(target: TaskId, breakpoint_addr: u64) -> Thrasher {
+        Thrasher { target, breakpoint_addr, state: ThrasherState::Attach, rounds: 0 }
+    }
+}
+
+impl Program for Thrasher {
+    fn name(&self) -> &str {
+        "Thrasher"
+    }
+
+    fn next_op(&mut self, ctx: &mut ProgramCtx<'_>) -> Option<Op> {
+        use ThrasherState::*;
+        loop {
+            match self.state {
+                Attach => {
+                    self.state = WaitAttachStop;
+                    return Some(Op::Syscall(SyscallOp::PtraceAttach { target: self.target }));
+                }
+                WaitAttachStop => {
+                    if ctx.last == OpOutcome::Failed {
+                        self.state = Done;
+                        continue;
+                    }
+                    self.state = SetBreakpoint;
+                    return Some(Op::Syscall(SyscallOp::Wait));
+                }
+                SetBreakpoint => {
+                    if matches!(ctx.last, OpOutcome::ChildExited(_) | OpOutcome::NoChildren | OpOutcome::Failed) {
+                        self.state = Done;
+                        continue;
+                    }
+                    self.state = Cont;
+                    return Some(Op::Syscall(SyscallOp::PtraceSetBreakpoint {
+                        target: self.target,
+                        addr: self.breakpoint_addr,
+                    }));
+                }
+                Cont => {
+                    if ctx.last == OpOutcome::Failed {
+                        self.state = Done;
+                        continue;
+                    }
+                    self.state = WaitTrap;
+                    return Some(Op::Syscall(SyscallOp::PtraceCont { target: self.target }));
+                }
+                WaitTrap => match ctx.last {
+                    OpOutcome::ChildStopped(_) => {
+                        self.rounds += 1;
+                        self.state = Cont;
+                        continue;
+                    }
+                    OpOutcome::ChildExited(_) | OpOutcome::NoChildren | OpOutcome::Failed => {
+                        self.state = Done;
+                        continue;
+                    }
+                    _ => {
+                        return Some(Op::Syscall(SyscallOp::Wait));
+                    }
+                },
+                Done => return None,
+            }
+        }
+    }
+}
+
+/// The exception-flooding attacker (paper §IV-B4): allocates more memory
+/// than the machine has and keeps writing and re-reading it, so the global
+/// reclaimer evicts the victim's pages and every victim memory access turns
+/// into a page fault.
+pub struct MemoryHog {
+    slab_pages: u64,
+    slabs_left: u64,
+    touch_rounds_left: u64,
+    touch_pages: u64,
+    compute_per_round: Cycles,
+    phase: u8,
+}
+
+impl MemoryHog {
+    /// Creates a hog that allocates `total_pages` (in slabs) and then keeps
+    /// touching `touch_pages` of them for `rounds` rounds.
+    pub fn new(total_pages: u64, touch_pages: u64, rounds: u64) -> MemoryHog {
+        let slab_pages = 64 * 1024;
+        let slabs = total_pages.div_ceil(slab_pages).max(1);
+        MemoryHog {
+            slab_pages,
+            slabs_left: slabs,
+            touch_rounds_left: rounds,
+            touch_pages,
+            compute_per_round: us(CpuFrequency::E7200, 200.0),
+            phase: 0,
+        }
+    }
+
+    /// The paper's configuration: exhaust a 2 GiB machine (the hog requests
+    /// more than physical memory) and keep rewriting it while the victim
+    /// runs for about `victim_secs` seconds.
+    pub fn paper_default(physical_pages: u64, victim_secs: f64) -> MemoryHog {
+        // Hog 1.5x physical memory; touch a big chunk every ~10 ms.
+        let rounds = (victim_secs * 100.0).max(1.0) as u64;
+        MemoryHog::new(physical_pages * 3 / 2, physical_pages / 8, rounds)
+    }
+}
+
+impl Program for MemoryHog {
+    fn name(&self) -> &str {
+        "MemHog"
+    }
+
+    fn next_op(&mut self, _ctx: &mut ProgramCtx<'_>) -> Option<Op> {
+        match self.phase {
+            0 => {
+                if self.slabs_left == 0 {
+                    self.phase = 1;
+                    return self.next_op(_ctx);
+                }
+                self.slabs_left -= 1;
+                Some(Op::AllocMemory { pages: self.slab_pages })
+            }
+            1 => {
+                self.phase = 2;
+                Some(Op::TouchMemory { pages: self.touch_pages })
+            }
+            _ => {
+                if self.touch_rounds_left == 0 {
+                    return None;
+                }
+                self.touch_rounds_left -= 1;
+                self.phase = 1;
+                Some(Op::Compute { cycles: self.compute_per_round })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmeter_sim::SimRng;
+
+    fn drain(p: &mut dyn Program, limit: usize) -> Vec<String> {
+        let mut rng = SimRng::seed_from(1);
+        let mut out = Vec::new();
+        for _ in 0..limit {
+            let mut ctx = ProgramCtx {
+                pid: TaskId(9),
+                last: OpOutcome::Completed,
+                rng: &mut rng,
+            };
+            match p.next_op(&mut ctx) {
+                Some(op) => out.push(format!("{op:?}")),
+                None => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fork_attacker_cycles_fork_and_wait() {
+        let mut a = ForkAttacker::new(3, 40.0, 20.0, -10);
+        let ops = drain(&mut a, 100);
+        let forks = ops.iter().filter(|o| o.contains("fork")).count();
+        let waits = ops.iter().filter(|o| o.contains("wait")).count();
+        assert_eq!(forks, 3);
+        assert_eq!(waits, 3);
+        assert_eq!(ops.len(), 9); // compute + fork + wait per cycle
+    }
+
+    #[test]
+    fn fork_attacker_paper_default_scales() {
+        let a = ForkAttacker::paper_default(1.0, 0);
+        assert_eq!(a.forks_left, 1 << 21);
+        let small = ForkAttacker::paper_default(0.001, 0);
+        assert!(small.forks_left >= 1 && small.forks_left < 1 << 21);
+    }
+
+    #[test]
+    fn thrasher_attaches_then_loops() {
+        let mut t = Thrasher::new(TaskId(3), 0xdead);
+        let mut rng = SimRng::seed_from(1);
+        // Attach.
+        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::None, rng: &mut rng };
+        assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("ATTACH"));
+        // Wait for the attach stop.
+        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::Completed, rng: &mut rng };
+        assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("wait"));
+        // Breakpoint after the stop is observed.
+        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::ChildStopped(TaskId(3)), rng: &mut rng };
+        assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("POKEUSER"));
+        // Cont.
+        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::Completed, rng: &mut rng };
+        assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("CONT"));
+        // Wait for a trap, observe it, cont again.
+        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::Completed, rng: &mut rng };
+        assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("wait"));
+        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::ChildStopped(TaskId(3)), rng: &mut rng };
+        assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("CONT"));
+        assert_eq!(t.rounds, 1);
+        // Tracee exits: attacker finishes.
+        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::ChildExited(TaskId(3)), rng: &mut rng };
+        // After cont we are in WaitTrap; a ChildExited ends the program.
+        assert!(t.next_op(&mut ctx).is_none());
+    }
+
+    #[test]
+    fn thrasher_gives_up_on_failed_attach() {
+        let mut t = Thrasher::new(TaskId(3), 0xdead);
+        let mut rng = SimRng::seed_from(1);
+        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::None, rng: &mut rng };
+        let _ = t.next_op(&mut ctx); // attach
+        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::Failed, rng: &mut rng };
+        assert!(t.next_op(&mut ctx).is_none());
+    }
+
+    #[test]
+    fn memory_hog_allocates_then_thrashes() {
+        let mut h = MemoryHog::new(100_000, 10_000, 3);
+        let ops = drain(&mut h, 100);
+        let allocs = ops.iter().filter(|o| o.contains("AllocMemory")).count();
+        let touches = ops.iter().filter(|o| o.contains("TouchMemory")).count();
+        assert!(allocs >= 1);
+        assert!(touches >= 3);
+    }
+
+    #[test]
+    fn memory_hog_paper_default_overcommits() {
+        let h = MemoryHog::paper_default(512 * 1024, 1.0);
+        let total = h.slabs_left * h.slab_pages;
+        assert!(total > 512 * 1024);
+    }
+}

@@ -1,0 +1,546 @@
+//! # trustmeter-attacks
+//!
+//! Implementations of every attack on CPU-time metering described in *"On
+//! Trustworthiness of CPU Usage Metering and Accounting"* (Liu & Ding,
+//! ICDCSW 2010), §IV:
+//!
+//! | Attack | Paper | Type |
+//! |--------|-------|------|
+//! | [`ShellAttack`] | §IV-A1, Fig. 4 | launch-time, inflates utime |
+//! | [`PreloadConstructorAttack`] | §IV-A2, Fig. 5 | launch-time, inflates utime |
+//! | [`InterpositionAttack`] | §IV-A2, Fig. 6 | runtime, inflates utime |
+//! | [`SchedulingAttack`] | §IV-B1, Figs. 7–8 | runtime, mis-attributes jiffies |
+//! | [`ThrashingAttack`] | §IV-B2, Fig. 9 | runtime, inflates stime |
+//! | [`InterruptFloodAttack`] | §IV-B3, Fig. 10 | runtime, inflates stime |
+//! | [`ExceptionFloodAttack`] | §IV-B4, Fig. 11 | runtime, inflates stime |
+//!
+//! Each attack implements the [`Attack`] trait: [`Attack::install`] tampers
+//! with the platform before the victim is launched (shell, `LD_PRELOAD`,
+//! device configuration), and [`Attack::launch`] starts any attacker
+//! processes once the victim exists.
+//!
+//! ```
+//! use trustmeter_attacks::{Attack, ShellAttack};
+//! use trustmeter_kernel::{Kernel, KernelConfig};
+//! use trustmeter_workloads::Workload;
+//!
+//! let mut kernel = Kernel::new(KernelConfig::paper_machine());
+//! let attack = ShellAttack::paper_default(0.01);
+//! attack.install(&mut kernel);
+//! let victim = kernel.spawn_process(Workload::LoopO.build(0.01), 0);
+//! attack.launch(&mut kernel, victim, Some(Workload::LoopO));
+//! let result = kernel.run();
+//! assert!(result.process(victim).unwrap().billed().utime.as_u64() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attackers;
+
+pub use attackers::{ForkAttacker, MemoryHog, Thrasher};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustmeter_core::{AttackClass, TaskId};
+use trustmeter_kernel::{Kernel, NicFlood, SharedLibrary};
+use trustmeter_sim::{CpuFrequency, Cycles, Nanos};
+use trustmeter_workloads::Workload;
+
+fn secs_to_cycles(secs: f64) -> Cycles {
+    CpuFrequency::E7200.cycles_for(Nanos::from_secs_f64(secs.max(0.0)))
+}
+
+/// The privilege level the dishonest operator needs to mount an attack
+/// (paper §V-C, "Side Effects and Limitations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Privilege {
+    /// No special privilege: anyone who can run a process suffices.
+    None,
+    /// Control over the victim's shell or environment variables.
+    Environment,
+    /// Ability to use ptrace on the victim (subject to LSM policies).
+    Ptrace,
+    /// Root (needed e.g. to raise the attacker's priority).
+    Root,
+    /// Control over another machine on the network.
+    RemoteHost,
+}
+
+impl fmt::Display for Privilege {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Privilege::None => "none",
+            Privilege::Environment => "shell/environment control",
+            Privilege::Ptrace => "ptrace permission",
+            Privilege::Root => "root",
+            Privilege::RemoteHost => "a remote host",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An attack on CPU-time metering.
+pub trait Attack: Send {
+    /// Short name used in figures and reports.
+    fn name(&self) -> &'static str;
+
+    /// Which accounting component the attack targets.
+    fn class(&self) -> AttackClass;
+
+    /// The privilege the operator needs.
+    fn required_privilege(&self) -> Privilege;
+
+    /// Tampers with the platform before the victim is launched.
+    fn install(&self, kernel: &mut Kernel);
+
+    /// Starts attacker processes after the victim has been spawned.
+    fn launch(&self, kernel: &mut Kernel, victim: TaskId, victim_workload: Option<Workload>);
+}
+
+// ---------------------------------------------------------------------------
+// Launch-time attacks
+// ---------------------------------------------------------------------------
+
+/// The shell attack (§IV-A1): the operator patches the shell to execute a
+/// CPU-bound loop in the child between `fork()` and `execve()`. The loop's
+/// time is charged to the victim's user time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShellAttack {
+    /// CPU seconds of injected work (the paper injects a 2³⁴-iteration loop
+    /// worth about 34 seconds).
+    pub injected_secs: f64,
+}
+
+impl ShellAttack {
+    /// The paper's configuration (≈34 s of injected work) scaled by `scale`.
+    pub fn paper_default(scale: f64) -> ShellAttack {
+        ShellAttack { injected_secs: 34.0 * scale }
+    }
+}
+
+impl Attack for ShellAttack {
+    fn name(&self) -> &'static str {
+        "shell"
+    }
+    fn class(&self) -> AttackClass {
+        AttackClass::UserTimeInflation
+    }
+    fn required_privilege(&self) -> Privilege {
+        Privilege::Environment
+    }
+    fn install(&self, kernel: &mut Kernel) {
+        kernel.set_shell_injection(vec![(
+            "shell-injected-loop".to_string(),
+            secs_to_cycles(self.injected_secs),
+        )]);
+    }
+    fn launch(&self, _kernel: &mut Kernel, _victim: TaskId, _workload: Option<Workload>) {}
+}
+
+/// The shared-library constructor attack (§IV-A2, Fig. 5): a malicious
+/// library named in `LD_PRELOAD` runs an expensive constructor in the
+/// victim's context before `main()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreloadConstructorAttack {
+    /// CPU seconds the constructor burns.
+    pub constructor_secs: f64,
+    /// CPU seconds the destructor burns at exit.
+    pub destructor_secs: f64,
+}
+
+impl PreloadConstructorAttack {
+    /// The paper's configuration (the same ≈34 s loop as the shell attack,
+    /// now inside a constructor) scaled by `scale`.
+    pub fn paper_default(scale: f64) -> PreloadConstructorAttack {
+        PreloadConstructorAttack { constructor_secs: 34.0 * scale, destructor_secs: 0.0 }
+    }
+
+    /// Name of the malicious library.
+    pub const LIBRARY: &'static str = "attack_preload.so";
+}
+
+impl Attack for PreloadConstructorAttack {
+    fn name(&self) -> &'static str {
+        "preload-constructor"
+    }
+    fn class(&self) -> AttackClass {
+        AttackClass::UserTimeInflation
+    }
+    fn required_privilege(&self) -> Privilege {
+        Privilege::Environment
+    }
+    fn install(&self, kernel: &mut Kernel) {
+        kernel.libraries_mut().install(
+            SharedLibrary::new(Self::LIBRARY)
+                .with_constructor(secs_to_cycles(self.constructor_secs))
+                .with_destructor(secs_to_cycles(self.destructor_secs))
+                .injected(),
+        );
+        kernel.set_ld_preload(vec![Self::LIBRARY.to_string()]);
+    }
+    fn launch(&self, _kernel: &mut Kernel, _victim: TaskId, _workload: Option<Workload>) {}
+}
+
+/// The shared-library function-substitution attack (§IV-A2, Fig. 6): the
+/// preloaded library interposes `malloc()` and `sqrt()`; every call first
+/// executes attack code and then the genuine function, so the inflation is
+/// amplified by the number of calls the victim makes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterpositionAttack {
+    /// Extra work per interposed call, in microseconds.
+    pub per_call_us: f64,
+    /// The symbols to interpose.
+    pub symbols: Vec<String>,
+}
+
+impl InterpositionAttack {
+    /// The paper's configuration: fake `malloc` and `sqrt` with roughly
+    /// 10 ms of attack code per call. The per-call cost is *not* scaled —
+    /// the victim's call count already scales with the workload, which is
+    /// exactly the amplification the paper points out.
+    pub fn paper_default(_scale: f64) -> InterpositionAttack {
+        InterpositionAttack {
+            per_call_us: 10_000.0,
+            symbols: vec!["malloc".to_string(), "sqrt".to_string()],
+        }
+    }
+
+    /// Name of the malicious library.
+    pub const LIBRARY: &'static str = "attack_interpose.so";
+}
+
+impl Attack for InterpositionAttack {
+    fn name(&self) -> &'static str {
+        "interposition"
+    }
+    fn class(&self) -> AttackClass {
+        AttackClass::UserTimeInflation
+    }
+    fn required_privilege(&self) -> Privilege {
+        Privilege::Environment
+    }
+    fn install(&self, kernel: &mut Kernel) {
+        let per_call = CpuFrequency::E7200.cycles_for(Nanos::from_secs_f64(self.per_call_us / 1e6));
+        let mut lib = SharedLibrary::new(Self::LIBRARY).injected();
+        for s in &self.symbols {
+            lib = lib.with_symbol(s.clone(), per_call);
+        }
+        kernel.libraries_mut().install(lib);
+        kernel.set_ld_preload(vec![Self::LIBRARY.to_string()]);
+    }
+    fn launch(&self, _kernel: &mut Kernel, _victim: TaskId, _workload: Option<Workload>) {}
+}
+
+// ---------------------------------------------------------------------------
+// Runtime attacks
+// ---------------------------------------------------------------------------
+
+/// The process-scheduling attack (§IV-B1, Figs. 7–8): a fork/wait attacker
+/// relinquishes the CPU many times per jiffy so the timer tick almost always
+/// samples the victim, and whole jiffies that the attacker actually consumed
+/// are charged to the victim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulingAttack {
+    /// The attacker's nice value (the paper sweeps 0 to −20; negative values
+    /// need root).
+    pub nice: i8,
+    /// Number of fork/wait cycles.
+    pub forks: u64,
+}
+
+impl SchedulingAttack {
+    /// The paper's configuration (2²¹ forks) scaled by `scale`.
+    pub fn paper_default(scale: f64, nice: i8) -> SchedulingAttack {
+        SchedulingAttack { nice, forks: ((1u64 << 21) as f64 * scale).round().max(1.0) as u64 }
+    }
+}
+
+impl Attack for SchedulingAttack {
+    fn name(&self) -> &'static str {
+        "scheduling"
+    }
+    fn class(&self) -> AttackClass {
+        AttackClass::Misattribution
+    }
+    fn required_privilege(&self) -> Privilege {
+        if self.nice < 0 {
+            Privilege::Root
+        } else {
+            Privilege::None
+        }
+    }
+    fn install(&self, _kernel: &mut Kernel) {}
+    fn launch(&self, kernel: &mut Kernel, _victim: TaskId, _workload: Option<Workload>) {
+        let attacker = ForkAttacker::new(self.forks, 40.0, 20.0, self.nice);
+        kernel.spawn_raw(Box::new(attacker), self.nice);
+    }
+}
+
+/// The execution-thrashing attack (§IV-B2, Fig. 9): ptrace + hardware
+/// breakpoint on a hot variable force a stop/resume cycle per access,
+/// inflating the victim's system time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThrashingAttack {
+    /// Nice value of the tracer process.
+    pub tracer_nice: i8,
+}
+
+impl ThrashingAttack {
+    /// The paper's configuration.
+    pub fn paper_default() -> ThrashingAttack {
+        ThrashingAttack { tracer_nice: 0 }
+    }
+}
+
+impl Attack for ThrashingAttack {
+    fn name(&self) -> &'static str {
+        "thrashing"
+    }
+    fn class(&self) -> AttackClass {
+        AttackClass::SystemTimeInflation
+    }
+    fn required_privilege(&self) -> Privilege {
+        Privilege::Ptrace
+    }
+    fn install(&self, _kernel: &mut Kernel) {}
+    fn launch(&self, kernel: &mut Kernel, victim: TaskId, workload: Option<Workload>) {
+        let addr = workload.map(|w| w.hot_variable_addr()).unwrap_or(0x6000_0000);
+        kernel.spawn_raw(Box::new(Thrasher::new(victim, addr)), self.tracer_nice);
+    }
+}
+
+/// The interrupt-flooding attack (§IV-B3, Fig. 10): a remote machine floods
+/// the NIC with junk packets; the receive handler's time is charged to the
+/// victim's system time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterruptFloodAttack {
+    /// Junk packets per second.
+    pub packets_per_sec: f64,
+}
+
+impl InterruptFloodAttack {
+    /// The paper's configuration: a steady junk-packet stream from another
+    /// PC (we use 20 000 packets/s, about 12 % of the CPU in handler time).
+    pub fn paper_default() -> InterruptFloodAttack {
+        InterruptFloodAttack { packets_per_sec: 20_000.0 }
+    }
+}
+
+impl Attack for InterruptFloodAttack {
+    fn name(&self) -> &'static str {
+        "interrupt-flood"
+    }
+    fn class(&self) -> AttackClass {
+        AttackClass::SystemTimeInflation
+    }
+    fn required_privilege(&self) -> Privilege {
+        Privilege::RemoteHost
+    }
+    fn install(&self, kernel: &mut Kernel) {
+        kernel.set_nic_flood(NicFlood::steady(self.packets_per_sec));
+    }
+    fn launch(&self, _kernel: &mut Kernel, _victim: TaskId, _workload: Option<Workload>) {}
+}
+
+/// The exception-flooding attack (§IV-B4, Fig. 11): a memory hog exhausts
+/// physical memory so the victim's memory accesses fault and the fault
+/// service (plus swap-in) is billed to the victim.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExceptionFloodAttack {
+    /// Hog size as a multiple of physical memory.
+    pub overcommit_factor: f64,
+    /// How long the hog keeps re-dirtying memory, in victim-lifetime
+    /// seconds.
+    pub duration_secs: f64,
+    /// Nice value of the hog (the paper's hog competes as an ordinary
+    /// process).
+    pub hog_nice: i8,
+}
+
+impl ExceptionFloodAttack {
+    /// The paper's configuration: request more than the 2 GiB of physical
+    /// memory and keep writing/reading it while the victim runs for about
+    /// `victim_secs`.
+    pub fn paper_default(victim_secs: f64) -> ExceptionFloodAttack {
+        ExceptionFloodAttack { overcommit_factor: 1.5, duration_secs: victim_secs, hog_nice: 0 }
+    }
+}
+
+impl Attack for ExceptionFloodAttack {
+    fn name(&self) -> &'static str {
+        "exception-flood"
+    }
+    fn class(&self) -> AttackClass {
+        AttackClass::SystemTimeInflation
+    }
+    fn required_privilege(&self) -> Privilege {
+        Privilege::None
+    }
+    fn install(&self, _kernel: &mut Kernel) {}
+    fn launch(&self, kernel: &mut Kernel, _victim: TaskId, _workload: Option<Workload>) {
+        let physical = kernel.config().physical_pages;
+        let total = (physical as f64 * self.overcommit_factor) as u64;
+        let hog = MemoryHog::new(total, physical / 8, (self.duration_secs * 100.0).max(1.0) as u64);
+        kernel.spawn_raw(Box::new(hog), self.hog_nice);
+    }
+}
+
+/// Convenience: every attack at its paper-default configuration, scaled by
+/// `scale`, for iteration in the comparison experiment (§V-C).
+pub fn paper_attack_suite(scale: f64, victim_secs: f64) -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(ShellAttack::paper_default(scale)),
+        Box::new(PreloadConstructorAttack::paper_default(scale)),
+        Box::new(InterpositionAttack::paper_default(scale)),
+        Box::new(SchedulingAttack::paper_default(scale, -10)),
+        Box::new(ThrashingAttack::paper_default()),
+        Box::new(InterruptFloodAttack::paper_default()),
+        Box::new(ExceptionFloodAttack::paper_default(victim_secs)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmeter_core::SchemeKind;
+    use trustmeter_kernel::KernelConfig;
+
+    const SCALE: f64 = 0.005;
+
+    fn run_with(attack: &dyn Attack, workload: Workload) -> (f64, f64, f64, f64) {
+        // Returns (clean utime, clean stime, attacked utime, attacked stime)
+        // in seconds under tick accounting.
+        let cfg = KernelConfig::paper_machine().with_seed(11);
+        let mut clean = Kernel::new(cfg.clone());
+        let v = clean.spawn_process(workload.build(SCALE), 0);
+        let clean_result = clean.run();
+        let cu = clean_result.process(v).unwrap().billed();
+
+        let mut attacked = Kernel::new(cfg);
+        attack.install(&mut attacked);
+        let v2 = attacked.spawn_process(workload.build(SCALE), 0);
+        attack.launch(&mut attacked, v2, Some(workload));
+        let attacked_result = attacked.run();
+        let au = attacked_result.process(v2).unwrap().billed();
+        let f = clean_result.frequency;
+        (cu.utime_secs(f), cu.stime_secs(f), au.utime_secs(f), au.stime_secs(f))
+    }
+
+    #[test]
+    fn shell_attack_inflates_user_time_only() {
+        let (cu, cs, au, as_) = run_with(&ShellAttack::paper_default(SCALE), Workload::LoopO);
+        assert!(au > cu + 0.1, "user time should grow: {cu} -> {au}");
+        assert!((as_ - cs).abs() < 0.05, "system time should be unaffected: {cs} -> {as_}");
+    }
+
+    #[test]
+    fn preload_attack_matches_shell_attack_shape() {
+        let (cu, _, au, _) = run_with(&PreloadConstructorAttack::paper_default(SCALE), Workload::Pi);
+        let injected = 34.0 * SCALE;
+        let growth = au - cu;
+        assert!(
+            (growth - injected).abs() / injected < 0.25,
+            "growth {growth} should be close to the injected {injected}"
+        );
+    }
+
+    #[test]
+    fn interposition_attack_amplifies_with_call_count() {
+        let (cu, _, au, _) = run_with(&InterpositionAttack::paper_default(SCALE), Workload::Whetstone);
+        assert!(au > cu * 1.1, "interposition should visibly inflate: {cu} -> {au}");
+    }
+
+    #[test]
+    fn scheduling_attack_overcharges_whetstone_but_not_its_ground_truth() {
+        let cfg = KernelConfig::paper_machine().with_seed(3);
+        let attack = SchedulingAttack::paper_default(SCALE, -10);
+        let mut kernel = Kernel::new(cfg);
+        let victim = kernel.spawn_process(Workload::Whetstone.build(SCALE), 0);
+        attack.launch(&mut kernel, victim, Some(Workload::Whetstone));
+        let result = kernel.run();
+        let p = result.process(victim).unwrap();
+        let billed = p.usage(SchemeKind::Tick).total().as_f64();
+        let truth = p.usage(SchemeKind::Tsc).total().as_f64();
+        assert!(
+            billed > truth * 1.15,
+            "tick accounting should overcharge the victim: billed {billed} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn thrashing_attack_inflates_system_time() {
+        // Compare ground-truth (TSC) system time, which captures the debug
+        // exception and signal-delivery work exactly even at small scale.
+        let cfg = KernelConfig::paper_machine().with_seed(11);
+        let mut clean = Kernel::new(cfg.clone());
+        let v1 = clean.spawn_process(Workload::Whetstone.build(SCALE), 0);
+        let r1 = clean.run();
+        let mut attacked = Kernel::new(cfg);
+        let attack = ThrashingAttack::paper_default();
+        let v2 = attacked.spawn_process(Workload::Whetstone.build(SCALE), 0);
+        attack.launch(&mut attacked, v2, Some(Workload::Whetstone));
+        let r2 = attacked.run();
+        let clean_stime = r1.process(v1).unwrap().usage(SchemeKind::Tsc).stime_secs(r1.frequency);
+        let attacked_stime = r2.process(v2).unwrap().usage(SchemeKind::Tsc).stime_secs(r2.frequency);
+        assert!(
+            attacked_stime > clean_stime + 0.005,
+            "thrashing should add system time: {clean_stime} -> {attacked_stime}"
+        );
+        assert!(r2.stats.debug_traps > 500, "traps: {}", r2.stats.debug_traps);
+        // The billed (tick) total also grows.
+        let clean_total = r1.process(v1).unwrap().billed().total_secs(r1.frequency);
+        let attacked_total = r2.process(v2).unwrap().billed().total_secs(r2.frequency);
+        assert!(attacked_total > clean_total);
+    }
+
+    #[test]
+    fn interrupt_flood_inflates_system_time_slightly() {
+        let (cu, cs, au, as_) = run_with(&InterruptFloodAttack::paper_default(), Workload::LoopO);
+        assert!(as_ > cs, "stime should grow: {cs} -> {as_}");
+        // The effect is present but modest compared to the launch-time
+        // attacks (paper: "their system time are slightly increased").
+        assert!((au + as_) - (cu + cs) < 34.0 * SCALE);
+    }
+
+    #[test]
+    fn exception_flood_inflates_system_time() {
+        // Use a smaller machine so the hog can exhaust memory quickly.
+        let cfg = KernelConfig::paper_machine().with_physical_pages(64 * 1024).with_seed(5);
+        let attack = ExceptionFloodAttack::paper_default(3.0);
+        let mut clean = Kernel::new(cfg.clone());
+        let v1 = clean.spawn_process(Workload::Pi.build(SCALE), 0);
+        let r1 = clean.run();
+        let mut attacked = Kernel::new(cfg);
+        attack.install(&mut attacked);
+        let v2 = attacked.spawn_process(Workload::Pi.build(SCALE), 0);
+        attack.launch(&mut attacked, v2, Some(Workload::Pi));
+        let r2 = attacked.run();
+        let cs = r1.process(v1).unwrap().billed().stime_secs(r1.frequency);
+        let as_ = r2.process(v2).unwrap().billed().stime_secs(r2.frequency);
+        assert!(as_ > cs, "page-fault flood should add system time: {cs} -> {as_}");
+        assert!(r2.stats.major_faults > 0);
+    }
+
+    #[test]
+    fn attack_metadata_is_consistent() {
+        for attack in paper_attack_suite(0.01, 1.0) {
+            assert!(!attack.name().is_empty());
+            // Launch-time attacks inflate user time; event floods inflate
+            // system time.
+            match attack.name() {
+                "shell" | "preload-constructor" | "interposition" => {
+                    assert_eq!(attack.class(), AttackClass::UserTimeInflation)
+                }
+                "thrashing" | "interrupt-flood" | "exception-flood" => {
+                    assert_eq!(attack.class(), AttackClass::SystemTimeInflation)
+                }
+                "scheduling" => assert_eq!(attack.class(), AttackClass::Misattribution),
+                other => panic!("unknown attack {other}"),
+            }
+        }
+        assert_eq!(SchedulingAttack::paper_default(1.0, -5).required_privilege(), Privilege::Root);
+        assert_eq!(SchedulingAttack::paper_default(1.0, 0).required_privilege(), Privilege::None);
+        assert_eq!(format!("{}", Privilege::Ptrace), "ptrace permission");
+    }
+}

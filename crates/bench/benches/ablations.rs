@@ -1,0 +1,26 @@
+//! Criterion benches for the ablation studies (extensions beyond the
+//! paper's own figures) and for the §V-C comparison / §VI-B defense
+//! replays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trustmeter_bench::bench_config;
+use trustmeter_experiments::{
+    comparison_table, defenses, flood_rate_sweep, hz_sweep, scheduler_ablation,
+};
+
+fn bench_ablations(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("hz_sweep", |b| b.iter(|| hz_sweep(&cfg)));
+    group.bench_function("scheduler_choice", |b| b.iter(|| scheduler_ablation(&cfg)));
+    group.bench_function("flood_rate_sweep", |b| b.iter(|| flood_rate_sweep(&cfg)));
+    group.bench_function("comparison_table_vc", |b| b.iter(|| comparison_table(&cfg)));
+    group.bench_function("defenses_vib", |b| b.iter(|| defenses(&cfg)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks of the simulation substrate: if these regress, every
+//! figure regeneration gets slower.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use trustmeter_core::{
+    MeterEvent, MeteringScheme, Mode, Sha256, TaskId, TickAccounting, TscAccounting,
+};
+use trustmeter_kernel::{Kernel, KernelConfig, OpsProgram};
+use trustmeter_sim::{Cycles, EventQueue, SimRng};
+use trustmeter_workloads::native::{md5, pi, whetstone};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+
+    group.bench_function("event_queue_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::seed_from(1);
+                (0..10_000u64).map(|_| Cycles(rng.next_u64() % 1_000_000)).collect::<Vec<_>>()
+            },
+            |times| {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(*t, i);
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                count
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("sha256_64KiB", |b| {
+        let data = vec![0xabu8; 64 * 1024];
+        b.iter(|| Sha256::digest(&data))
+    });
+
+    group.bench_function("md5_brute_2_chars", |b| {
+        let target = md5::digest(b"zz");
+        b.iter(|| md5::brute_force(&target, 2))
+    });
+
+    group.bench_function("pi_spigot_100_digits", |b| b.iter(|| pi::spigot_digits(100)));
+
+    group.bench_function("whetstone_10_loops", |b| b.iter(|| whetstone::run(10)));
+
+    group.bench_function("accounting_100k_ticks", |b| {
+        b.iter(|| {
+            let mut acct = TickAccounting::new(Cycles(1_000));
+            let mut tsc = TscAccounting::new();
+            for i in 0..100_000u64 {
+                let ev = MeterEvent::TimerTick {
+                    at: Cycles(i * 1_000),
+                    task: Some(TaskId((i % 4) as u32 + 1)),
+                    mode: if i % 3 == 0 { Mode::Kernel } else { Mode::User },
+                };
+                acct.on_event(&ev);
+                tsc.on_event(&ev);
+            }
+            (acct.usages().len(), tsc.usages().len())
+        })
+    });
+
+    group.bench_function("kernel_run_two_tasks_50ms_each", |b| {
+        b.iter(|| {
+            let cfg = KernelConfig::paper_machine();
+            let work = cfg.frequency.cycles_for(trustmeter_sim::Nanos::from_millis(50));
+            let mut k = Kernel::new(cfg);
+            k.spawn_process(Box::new(OpsProgram::compute_only("a", work)), 0);
+            k.spawn_process(Box::new(OpsProgram::compute_only("b", work)), -5);
+            k.run().stats.ticks
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

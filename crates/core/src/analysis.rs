@@ -1,0 +1,389 @@
+//! Overcharge analysis and trustworthiness assessment.
+//!
+//! The paper defines a metering scheme as trustworthy "if and only if the
+//! measured time equals the outcome from the same job execution in the
+//! user's own platform with the same hardware/software specification"
+//! (§III-B). This module quantifies the deviation: given a *reference*
+//! usage (clean run, or fine-grained ground truth) and a *measured* usage
+//! (what the provider's accounting reports), it computes an
+//! [`OverchargeReport`], classifies which component was inflated
+//! ([`AttackClass`]), and assembles a [`TrustAssessment`] over the three
+//! properties of §VI-B.
+
+use crate::cputime::CpuTime;
+use crate::integrity::SourceIntegrityReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustmeter_sim::CpuFrequency;
+
+/// The verifier's verdict on a usage report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Measured usage matches the reference within tolerance.
+    Consistent,
+    /// Measured usage exceeds the reference beyond tolerance — the customer
+    /// is being overcharged.
+    Overcharged,
+    /// Measured usage is below the reference beyond tolerance (seen for the
+    /// *attacker's* own process in the scheduling attack, whose time is
+    /// mis-credited to the victim).
+    Undercharged,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Consistent => "consistent",
+            Verdict::Overcharged => "OVERCHARGED",
+            Verdict::Undercharged => "undercharged",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which accounting component an attack inflates, following the paper's
+/// §V-C comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackClass {
+    /// Extra code executed in the victim's user context (shell and
+    /// shared-library attacks).
+    UserTimeInflation,
+    /// Extra kernel work charged to the victim (thrashing, interrupt and
+    /// exception flooding).
+    SystemTimeInflation,
+    /// Whole jiffies mis-attributed between processes (scheduling attack).
+    Misattribution,
+    /// No significant inflation detected.
+    None,
+}
+
+impl fmt::Display for AttackClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackClass::UserTimeInflation => "user-time inflation",
+            AttackClass::SystemTimeInflation => "system-time inflation",
+            AttackClass::Misattribution => "tick misattribution",
+            AttackClass::None => "none",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Quantified comparison of a measured usage against a reference usage.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_core::{CpuTime, OverchargeReport, Verdict};
+/// use trustmeter_sim::{CpuFrequency, Cycles, Nanos};
+///
+/// let freq = CpuFrequency::E7200;
+/// let secs = |s: u64| freq.cycles_for(Nanos::from_secs(s));
+/// let reference = CpuTime::new(secs(150), secs(1));
+/// let measured = CpuTime::new(secs(184), secs(1));
+/// let report = OverchargeReport::compare(measured, reference, freq);
+/// assert_eq!(report.verdict, Verdict::Overcharged);
+/// assert!(report.overcharge_secs > 30.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverchargeReport {
+    /// The usage the provider reported.
+    pub measured: CpuTime,
+    /// The reference usage (clean run or fine-grained ground truth).
+    pub reference: CpuTime,
+    /// Extra user seconds billed beyond the reference.
+    pub extra_user_secs: f64,
+    /// Extra system seconds billed beyond the reference.
+    pub extra_system_secs: f64,
+    /// Total extra seconds billed (never negative).
+    pub overcharge_secs: f64,
+    /// measured.total / reference.total.
+    pub inflation_ratio: f64,
+    /// The verdict at the default relative tolerance.
+    pub verdict: Verdict,
+    /// Which component dominates the inflation.
+    pub class: AttackClass,
+}
+
+impl OverchargeReport {
+    /// Relative tolerance below which measured and reference are considered
+    /// consistent (2 %, roughly two jiffies per second at HZ=250 plus
+    /// simulator noise).
+    pub const DEFAULT_TOLERANCE: f64 = 0.02;
+
+    /// Compares `measured` against `reference` with the default tolerance.
+    pub fn compare(measured: CpuTime, reference: CpuTime, freq: CpuFrequency) -> OverchargeReport {
+        OverchargeReport::compare_with_tolerance(measured, reference, freq, Self::DEFAULT_TOLERANCE)
+    }
+
+    /// Compares with an explicit relative tolerance.
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is negative or not finite.
+    pub fn compare_with_tolerance(
+        measured: CpuTime,
+        reference: CpuTime,
+        freq: CpuFrequency,
+        tolerance: f64,
+    ) -> OverchargeReport {
+        assert!(tolerance.is_finite() && tolerance >= 0.0, "tolerance must be non-negative");
+        let extra_user_secs =
+            measured.utime_secs(freq) - reference.utime_secs(freq);
+        let extra_system_secs =
+            measured.stime_secs(freq) - reference.stime_secs(freq);
+        let measured_total = measured.total_secs(freq);
+        let reference_total = reference.total_secs(freq);
+        let diff = measured_total - reference_total;
+        let inflation_ratio = if reference_total == 0.0 {
+            if measured_total == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            measured_total / reference_total
+        };
+        let rel = if reference_total == 0.0 {
+            if measured_total == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            diff.abs() / reference_total
+        };
+        let verdict = if rel <= tolerance {
+            Verdict::Consistent
+        } else if diff > 0.0 {
+            Verdict::Overcharged
+        } else {
+            Verdict::Undercharged
+        };
+        let class = if verdict != Verdict::Overcharged {
+            AttackClass::None
+        } else if extra_user_secs >= extra_system_secs * 2.0 {
+            AttackClass::UserTimeInflation
+        } else if extra_system_secs >= extra_user_secs * 2.0 {
+            AttackClass::SystemTimeInflation
+        } else {
+            AttackClass::Misattribution
+        };
+        OverchargeReport {
+            measured,
+            reference,
+            extra_user_secs,
+            extra_system_secs,
+            overcharge_secs: diff.max(0.0),
+            inflation_ratio,
+            verdict,
+            class,
+        }
+    }
+}
+
+impl fmt::Display for OverchargeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: +{:.2}s user, +{:.2}s system ({:.2}x, {})",
+            self.verdict, self.extra_user_secs, self.extra_system_secs, self.inflation_ratio, self.class
+        )
+    }
+}
+
+/// The three properties the paper requires of a trustworthy scheme (§VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrustProperty {
+    /// Only expected code runs in the user's process context.
+    SourceIntegrity,
+    /// The program's control flow is not tampered with.
+    ExecutionIntegrity,
+    /// Accounting attributes exactly the cycles consumed on the process's
+    /// behalf, at TSC granularity.
+    FineGrainedMetering,
+}
+
+impl fmt::Display for TrustProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrustProperty::SourceIntegrity => "source integrity",
+            TrustProperty::ExecutionIntegrity => "execution integrity",
+            TrustProperty::FineGrainedMetering => "fine-grained metering",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A combined assessment of a platform run against the three properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrustAssessment {
+    /// Whether the measured code closure matched the whitelist.
+    pub source_integrity: bool,
+    /// Whether the execution witness matched the reference.
+    pub execution_integrity: bool,
+    /// Whether the billed usage matched the fine-grained ground truth.
+    pub fine_grained_metering: bool,
+    /// The quantitative overcharge report backing the metering verdict.
+    pub overcharge: OverchargeReport,
+}
+
+impl TrustAssessment {
+    /// Builds an assessment from its three ingredients.
+    pub fn new(
+        source: &SourceIntegrityReport,
+        execution_matches: bool,
+        overcharge: OverchargeReport,
+    ) -> TrustAssessment {
+        TrustAssessment {
+            source_integrity: source.is_trustworthy(),
+            execution_integrity: execution_matches,
+            fine_grained_metering: overcharge.verdict == Verdict::Consistent,
+            overcharge,
+        }
+    }
+
+    /// Whether all three properties hold.
+    pub fn is_trustworthy(&self) -> bool {
+        self.source_integrity && self.execution_integrity && self.fine_grained_metering
+    }
+
+    /// The properties that were violated.
+    pub fn violations(&self) -> Vec<TrustProperty> {
+        let mut v = Vec::new();
+        if !self.source_integrity {
+            v.push(TrustProperty::SourceIntegrity);
+        }
+        if !self.execution_integrity {
+            v.push(TrustProperty::ExecutionIntegrity);
+        }
+        if !self.fine_grained_metering {
+            v.push(TrustProperty::FineGrainedMetering);
+        }
+        v
+    }
+}
+
+impl fmt::Display for TrustAssessment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_trustworthy() {
+            write!(f, "trustworthy ({})", self.overcharge)
+        } else {
+            let names: Vec<String> = self.violations().iter().map(|p| p.to_string()).collect();
+            write!(f, "NOT trustworthy — violated: {} ({})", names.join(", "), self.overcharge)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrity::{ImageKind, MeasuredImage, MeasurementLog};
+    use trustmeter_sim::{Cycles, Nanos};
+
+    fn freq() -> CpuFrequency {
+        CpuFrequency::from_mhz(1000)
+    }
+
+    fn secs(s: f64) -> Cycles {
+        freq().cycles_for(Nanos::from_secs_f64(s))
+    }
+
+    #[test]
+    fn consistent_within_tolerance() {
+        let reference = CpuTime::new(secs(100.0), secs(2.0));
+        let measured = CpuTime::new(secs(100.5), secs(2.0));
+        let r = OverchargeReport::compare(measured, reference, freq());
+        assert_eq!(r.verdict, Verdict::Consistent);
+        assert_eq!(r.class, AttackClass::None);
+    }
+
+    #[test]
+    fn user_time_inflation_classified() {
+        let reference = CpuTime::new(secs(150.0), secs(1.0));
+        let measured = CpuTime::new(secs(184.0), secs(1.0));
+        let r = OverchargeReport::compare(measured, reference, freq());
+        assert_eq!(r.verdict, Verdict::Overcharged);
+        assert_eq!(r.class, AttackClass::UserTimeInflation);
+        assert!((r.extra_user_secs - 34.0).abs() < 1e-6);
+        assert!(r.inflation_ratio > 1.2);
+        assert!(format!("{r}").contains("OVERCHARGED"));
+    }
+
+    #[test]
+    fn system_time_inflation_classified() {
+        let reference = CpuTime::new(secs(150.0), secs(1.0));
+        let measured = CpuTime::new(secs(151.0), secs(40.0));
+        let r = OverchargeReport::compare(measured, reference, freq());
+        assert_eq!(r.class, AttackClass::SystemTimeInflation);
+    }
+
+    #[test]
+    fn mixed_inflation_is_misattribution() {
+        let reference = CpuTime::new(secs(100.0), secs(100.0));
+        let measured = CpuTime::new(secs(120.0), secs(120.0));
+        let r = OverchargeReport::compare(measured, reference, freq());
+        assert_eq!(r.class, AttackClass::Misattribution);
+    }
+
+    #[test]
+    fn undercharge_detected() {
+        let reference = CpuTime::new(secs(100.0), secs(0.0));
+        let measured = CpuTime::new(secs(60.0), secs(0.0));
+        let r = OverchargeReport::compare(measured, reference, freq());
+        assert_eq!(r.verdict, Verdict::Undercharged);
+        assert_eq!(r.overcharge_secs, 0.0);
+    }
+
+    #[test]
+    fn zero_reference_edge_cases() {
+        let r = OverchargeReport::compare(CpuTime::ZERO, CpuTime::ZERO, freq());
+        assert_eq!(r.verdict, Verdict::Consistent);
+        assert_eq!(r.inflation_ratio, 1.0);
+        let r2 = OverchargeReport::compare(CpuTime::user(secs(1.0)), CpuTime::ZERO, freq());
+        assert_eq!(r2.verdict, Verdict::Overcharged);
+        assert_eq!(r2.inflation_ratio, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_rejected() {
+        let _ = OverchargeReport::compare_with_tolerance(
+            CpuTime::ZERO,
+            CpuTime::ZERO,
+            freq(),
+            -0.1,
+        );
+    }
+
+    #[test]
+    fn trust_assessment_combines_properties() {
+        let mut log = MeasurementLog::new();
+        log.measure(MeasuredImage::new("prog", ImageKind::Executable));
+        let clean_source = log.verify(["prog"], log.pcr());
+
+        let reference = CpuTime::new(secs(100.0), secs(1.0));
+        let consistent =
+            OverchargeReport::compare(CpuTime::new(secs(100.0), secs(1.0)), reference, freq());
+        let a = TrustAssessment::new(&clean_source, true, consistent);
+        assert!(a.is_trustworthy());
+        assert!(a.violations().is_empty());
+        assert!(format!("{a}").starts_with("trustworthy"));
+
+        let inflated =
+            OverchargeReport::compare(CpuTime::new(secs(140.0), secs(1.0)), reference, freq());
+        let b = TrustAssessment::new(&clean_source, false, inflated);
+        assert!(!b.is_trustworthy());
+        assert_eq!(
+            b.violations(),
+            vec![TrustProperty::ExecutionIntegrity, TrustProperty::FineGrainedMetering]
+        );
+        assert!(format!("{b}").contains("NOT trustworthy"));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(format!("{}", Verdict::Consistent), "consistent");
+        assert_eq!(format!("{}", AttackClass::Misattribution), "tick misattribution");
+        assert_eq!(format!("{}", TrustProperty::SourceIntegrity), "source integrity");
+    }
+}

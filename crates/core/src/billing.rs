@@ -1,0 +1,193 @@
+//! Billing: turning measured CPU time into money.
+//!
+//! Utility-computing providers price CPU usage per hour or per second
+//! (paper §II cites EC2, Google App Engine, Azure, Sun Grid, HP computons).
+//! The overcharge a metering attack produces only matters once it is
+//! converted into the customer's bill, so the analysis layer works on
+//! [`Invoice`]s produced from a [`RateCard`].
+
+use crate::cputime::CpuTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustmeter_sim::CpuFrequency;
+
+/// How fractional billing units are rounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RoundingPolicy {
+    /// Bill exact fractional units (per-second billing).
+    #[default]
+    Exact,
+    /// Round the total usage up to the next whole unit (EC2-style per-hour
+    /// billing rounds partial hours up).
+    CeilToUnit,
+}
+
+/// Pricing for CPU time.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_core::{CpuTime, RateCard};
+/// use trustmeter_sim::{CpuFrequency, Cycles};
+///
+/// let card = RateCard::per_cpu_hour(0.10); // $0.10 per CPU hour
+/// let freq = CpuFrequency::E7200;
+/// let one_hour = CpuTime::user(freq.cycles_for(trustmeter_sim::Nanos::from_secs(3600)));
+/// let invoice = card.invoice(one_hour, freq);
+/// assert!((invoice.total - 0.10).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateCard {
+    /// Price per billing unit, in currency units (e.g. dollars).
+    pub price_per_unit: f64,
+    /// Length of one billing unit in CPU seconds (3600 for per-hour pricing,
+    /// 1 for per-second pricing).
+    pub unit_secs: f64,
+    /// Rounding behaviour.
+    pub rounding: RoundingPolicy,
+}
+
+impl RateCard {
+    /// Per-CPU-hour pricing with exact fractional billing.
+    pub fn per_cpu_hour(price: f64) -> RateCard {
+        RateCard { price_per_unit: price, unit_secs: 3600.0, rounding: RoundingPolicy::Exact }
+    }
+
+    /// Per-CPU-second pricing.
+    pub fn per_cpu_second(price: f64) -> RateCard {
+        RateCard { price_per_unit: price, unit_secs: 1.0, rounding: RoundingPolicy::Exact }
+    }
+
+    /// Switches the card to round partial units up (utility-style billing).
+    pub fn rounded_up(mut self) -> RateCard {
+        self.rounding = RoundingPolicy::CeilToUnit;
+        self
+    }
+
+    /// Computes the bill for `usage` measured on a CPU of frequency `freq`.
+    pub fn invoice(&self, usage: CpuTime, freq: CpuFrequency) -> Invoice {
+        let user_secs = usage.utime_secs(freq);
+        let sys_secs = usage.stime_secs(freq);
+        let items = vec![
+            LineItem { description: "user time".to_string(), cpu_secs: user_secs },
+            LineItem { description: "system time".to_string(), cpu_secs: sys_secs },
+        ];
+        let total_secs: f64 = items.iter().map(|i| i.cpu_secs).sum();
+        let units = match self.rounding {
+            RoundingPolicy::Exact => total_secs / self.unit_secs,
+            RoundingPolicy::CeilToUnit => (total_secs / self.unit_secs).ceil(),
+        };
+        Invoice { items, billed_units: units, total: units * self.price_per_unit }
+    }
+}
+
+/// One line of an invoice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineItem {
+    /// What is being billed.
+    pub description: String,
+    /// CPU seconds billed on this line.
+    pub cpu_secs: f64,
+}
+
+/// A customer invoice for one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Invoice {
+    /// The individual line items (user time, system time).
+    pub items: Vec<LineItem>,
+    /// Number of billing units charged (after rounding).
+    pub billed_units: f64,
+    /// Total price in currency units.
+    pub total: f64,
+}
+
+impl Invoice {
+    /// Total CPU seconds across all line items (before rounding).
+    pub fn total_cpu_secs(&self) -> f64 {
+        self.items.iter().map(|i| i.cpu_secs).sum()
+    }
+
+    /// How much more expensive this invoice is than `baseline`, as an
+    /// absolute currency amount.
+    pub fn overcharge_vs(&self, baseline: &Invoice) -> f64 {
+        (self.total - baseline.total).max(0.0)
+    }
+}
+
+impl fmt::Display for Invoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Invoice ({:.4} units, total {:.4}):", self.billed_units, self.total)?;
+        for item in &self.items {
+            writeln!(f, "  {:<12} {:.3} CPU s", item.description, item.cpu_secs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmeter_sim::{Cycles, Nanos};
+
+    fn secs(freq: CpuFrequency, s: u64) -> Cycles {
+        freq.cycles_for(Nanos::from_secs(s))
+    }
+
+    #[test]
+    fn per_second_billing_is_linear() {
+        let freq = CpuFrequency::from_mhz(1000);
+        let card = RateCard::per_cpu_second(0.01);
+        let usage = CpuTime::new(secs(freq, 100), secs(freq, 20));
+        let inv = card.invoice(usage, freq);
+        assert!((inv.total_cpu_secs() - 120.0).abs() < 1e-9);
+        assert!((inv.total - 1.2).abs() < 1e-9);
+        assert_eq!(inv.items.len(), 2);
+    }
+
+    #[test]
+    fn hourly_ceiling_rounds_up() {
+        let freq = CpuFrequency::from_mhz(1000);
+        let card = RateCard::per_cpu_hour(0.10).rounded_up();
+        // 30 minutes of CPU → billed as a full hour.
+        let usage = CpuTime::user(secs(freq, 1800));
+        let inv = card.invoice(usage, freq);
+        assert!((inv.billed_units - 1.0).abs() < 1e-12);
+        assert!((inv.total - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_hourly_is_fractional() {
+        let freq = CpuFrequency::from_mhz(1000);
+        let card = RateCard::per_cpu_hour(0.10);
+        let usage = CpuTime::user(secs(freq, 1800));
+        let inv = card.invoice(usage, freq);
+        assert!((inv.billed_units - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overcharge_versus_baseline() {
+        let freq = CpuFrequency::from_mhz(1000);
+        let card = RateCard::per_cpu_second(0.01);
+        let clean = card.invoice(CpuTime::user(secs(freq, 100)), freq);
+        let attacked = card.invoice(CpuTime::user(secs(freq, 134)), freq);
+        assert!((attacked.overcharge_vs(&clean) - 0.34).abs() < 1e-9);
+        assert_eq!(clean.overcharge_vs(&attacked), 0.0);
+    }
+
+    #[test]
+    fn zero_usage_costs_nothing() {
+        let card = RateCard::per_cpu_hour(1.0);
+        let inv = card.invoice(CpuTime::ZERO, CpuFrequency::E7200);
+        assert_eq!(inv.total, 0.0);
+        assert_eq!(inv.total_cpu_secs(), 0.0);
+    }
+
+    #[test]
+    fn display_lists_items() {
+        let card = RateCard::per_cpu_second(1.0);
+        let freq = CpuFrequency::from_mhz(1000);
+        let s = format!("{}", card.invoice(CpuTime::user(secs(freq, 2)), freq));
+        assert!(s.contains("user time"));
+        assert!(s.contains("system time"));
+    }
+}

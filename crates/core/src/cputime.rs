@@ -1,0 +1,277 @@
+//! CPU-time accounting value types.
+//!
+//! A process's CPU consumption in Linux is split into *user time* (`utime`,
+//! cycles spent executing the process's own instructions in user mode) and
+//! *system time* (`stime`, cycles the kernel spends on behalf of the
+//! process). The paper's attacks target one or the other: launch-time code
+//! injection inflates `utime`, event flooding inflates `stime`, and the
+//! scheduling attack shifts whole jiffies between processes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+use trustmeter_sim::{CpuFrequency, Cycles};
+
+/// Identifier of a schedulable task (a process or a thread).
+///
+/// Threads are scheduled exactly like processes in the simulated kernel,
+/// mirroring Linux; a process's total usage is the sum over its thread
+/// group.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id reserved for the idle task / swapper (pid 0).
+    pub const IDLE: TaskId = TaskId(0);
+
+    /// Raw numeric value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// The privilege mode a task executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Mode {
+    /// Executing the program's own instructions.
+    #[default]
+    User,
+    /// Executing kernel code on behalf of the task (syscall, fault handling,
+    /// signal delivery, ...).
+    Kernel,
+}
+
+impl Mode {
+    /// Returns `true` for [`Mode::Kernel`].
+    pub fn is_kernel(self) -> bool {
+        matches!(self, Mode::Kernel)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::User => f.write_str("user"),
+            Mode::Kernel => f.write_str("kernel"),
+        }
+    }
+}
+
+/// A `(utime, stime)` pair, the unit of CPU-time accounting.
+///
+/// Both components are stored in CPU [`Cycles`]; conversion to seconds goes
+/// through the platform's [`CpuFrequency`] so tick-based and TSC-based
+/// schemes are directly comparable.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_core::CpuTime;
+/// use trustmeter_sim::{CpuFrequency, Cycles};
+///
+/// let t = CpuTime::new(Cycles(2_533_000_000), Cycles(0));
+/// assert!((t.total_secs(CpuFrequency::E7200) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CpuTime {
+    /// Cycles accounted as user time.
+    pub utime: Cycles,
+    /// Cycles accounted as system time.
+    pub stime: Cycles,
+}
+
+impl CpuTime {
+    /// The zero usage.
+    pub const ZERO: CpuTime = CpuTime { utime: Cycles(0), stime: Cycles(0) };
+
+    /// Creates a usage record from user and system cycles.
+    pub fn new(utime: Cycles, stime: Cycles) -> CpuTime {
+        CpuTime { utime, stime }
+    }
+
+    /// Creates a usage record with only user time.
+    pub fn user(utime: Cycles) -> CpuTime {
+        CpuTime { utime, stime: Cycles::ZERO }
+    }
+
+    /// Creates a usage record with only system time.
+    pub fn system(stime: Cycles) -> CpuTime {
+        CpuTime { utime: Cycles::ZERO, stime }
+    }
+
+    /// Total cycles (user + system).
+    pub fn total(self) -> Cycles {
+        self.utime + self.stime
+    }
+
+    /// Adds cycles to the component selected by `mode`.
+    pub fn charge(&mut self, mode: Mode, cycles: Cycles) {
+        match mode {
+            Mode::User => self.utime += cycles,
+            Mode::Kernel => self.stime += cycles,
+        }
+    }
+
+    /// User time in seconds at the given CPU frequency.
+    pub fn utime_secs(self, freq: CpuFrequency) -> f64 {
+        freq.secs_for(self.utime)
+    }
+
+    /// System time in seconds at the given CPU frequency.
+    pub fn stime_secs(self, freq: CpuFrequency) -> f64 {
+        freq.secs_for(self.stime)
+    }
+
+    /// Total CPU seconds at the given frequency.
+    pub fn total_secs(self, freq: CpuFrequency) -> f64 {
+        freq.secs_for(self.total())
+    }
+
+    /// Component-wise saturating difference (`self - other`), used to compute
+    /// how much extra time an attacked run consumed relative to a clean run.
+    pub fn saturating_sub(self, other: CpuTime) -> CpuTime {
+        CpuTime {
+            utime: self.utime.saturating_sub(other.utime),
+            stime: self.stime.saturating_sub(other.stime),
+        }
+    }
+
+    /// Ratio of this usage's total to `other`'s total; `1.0` when both are
+    /// zero, `f64::INFINITY` when only `other` is zero.
+    pub fn inflation_over(self, other: CpuTime) -> f64 {
+        let a = self.total().as_f64();
+        let b = other.total().as_f64();
+        if b == 0.0 {
+            if a == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            a / b
+        }
+    }
+
+    /// Returns `true` if both components are zero.
+    pub fn is_zero(self) -> bool {
+        self.utime.is_zero() && self.stime.is_zero()
+    }
+}
+
+impl Add for CpuTime {
+    type Output = CpuTime;
+    fn add(self, rhs: CpuTime) -> CpuTime {
+        CpuTime { utime: self.utime + rhs.utime, stime: self.stime + rhs.stime }
+    }
+}
+
+impl AddAssign for CpuTime {
+    fn add_assign(&mut self, rhs: CpuTime) {
+        self.utime += rhs.utime;
+        self.stime += rhs.stime;
+    }
+}
+
+impl Sum for CpuTime {
+    fn sum<I: Iterator<Item = CpuTime>>(iter: I) -> CpuTime {
+        iter.fold(CpuTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for CpuTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "utime={} stime={}", self.utime, self.stime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taskid_display_and_idle() {
+        assert_eq!(format!("{}", TaskId(3)), "pid 3");
+        assert_eq!(TaskId::IDLE.as_u32(), 0);
+    }
+
+    #[test]
+    fn mode_helpers() {
+        assert!(Mode::Kernel.is_kernel());
+        assert!(!Mode::User.is_kernel());
+        assert_eq!(format!("{}", Mode::User), "user");
+        assert_eq!(format!("{}", Mode::Kernel), "kernel");
+        assert_eq!(Mode::default(), Mode::User);
+    }
+
+    #[test]
+    fn charge_routes_by_mode() {
+        let mut t = CpuTime::ZERO;
+        t.charge(Mode::User, Cycles(10));
+        t.charge(Mode::Kernel, Cycles(5));
+        t.charge(Mode::User, Cycles(1));
+        assert_eq!(t.utime, Cycles(11));
+        assert_eq!(t.stime, Cycles(5));
+        assert_eq!(t.total(), Cycles(16));
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(CpuTime::user(Cycles(7)).utime, Cycles(7));
+        assert_eq!(CpuTime::user(Cycles(7)).stime, Cycles(0));
+        assert_eq!(CpuTime::system(Cycles(9)).stime, Cycles(9));
+        assert!(CpuTime::ZERO.is_zero());
+        assert!(!CpuTime::user(Cycles(1)).is_zero());
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let freq = CpuFrequency::from_mhz(1000);
+        let t = CpuTime::new(Cycles(500_000_000), Cycles(250_000_000));
+        assert!((t.utime_secs(freq) - 0.5).abs() < 1e-9);
+        assert!((t.stime_secs(freq) - 0.25).abs() < 1e-9);
+        assert!((t.total_secs(freq) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let a = CpuTime::new(Cycles(1), Cycles(2));
+        let b = CpuTime::new(Cycles(3), Cycles(4));
+        assert_eq!(a + b, CpuTime::new(Cycles(4), Cycles(6)));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, CpuTime::new(Cycles(4), Cycles(6)));
+        let total: CpuTime = vec![a, b].into_iter().sum();
+        assert_eq!(total, CpuTime::new(Cycles(4), Cycles(6)));
+    }
+
+    #[test]
+    fn saturating_sub_and_inflation() {
+        let clean = CpuTime::new(Cycles(100), Cycles(50));
+        let attacked = CpuTime::new(Cycles(150), Cycles(60));
+        let extra = attacked.saturating_sub(clean);
+        assert_eq!(extra, CpuTime::new(Cycles(50), Cycles(10)));
+        assert!((attacked.inflation_over(clean) - 1.4).abs() < 1e-12);
+        assert_eq!(clean.saturating_sub(attacked), CpuTime::ZERO);
+        assert_eq!(CpuTime::ZERO.inflation_over(CpuTime::ZERO), 1.0);
+        assert_eq!(attacked.inflation_over(CpuTime::ZERO), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_contains_components() {
+        let t = CpuTime::new(Cycles(3), Cycles(4));
+        let s = format!("{t}");
+        assert!(s.contains("utime"));
+        assert!(s.contains("stime"));
+    }
+}

@@ -1,0 +1,256 @@
+//! The metering event stream.
+//!
+//! An execution substrate (the simulated kernel, a trace replayer, or an
+//! instrumented real kernel) reports every accounting-relevant transition as
+//! a [`MeterEvent`]. Metering schemes consume the stream and produce per-task
+//! [`crate::CpuTime`] totals. Keeping the interface event-based means the
+//! commodity tick scheme, the fine-grained TSC scheme, and the process-aware
+//! scheme all observe *exactly the same execution* and can be compared
+//! point-for-point — the comparison at the heart of the paper.
+
+use crate::cputime::{Mode, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustmeter_sim::Cycles;
+
+/// A hardware interrupt line.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct IrqLine(pub u32);
+
+impl IrqLine {
+    /// The timer interrupt line.
+    pub const TIMER: IrqLine = IrqLine(0);
+    /// The network adapter interrupt line.
+    pub const NIC: IrqLine = IrqLine(11);
+    /// The disk controller interrupt line.
+    pub const DISK: IrqLine = IrqLine(14);
+}
+
+impl fmt::Display for IrqLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "irq{}", self.0)
+    }
+}
+
+/// The kind of CPU exception being serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExceptionKind {
+    /// Page fault (the exception-flooding attack's vehicle).
+    PageFault,
+    /// Debug exception from a hardware breakpoint (the thrashing attack's
+    /// vehicle).
+    Debug,
+    /// Division by zero or similar arithmetic fault.
+    Arithmetic,
+    /// General protection fault.
+    Protection,
+}
+
+impl fmt::Display for ExceptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExceptionKind::PageFault => "page-fault",
+            ExceptionKind::Debug => "debug",
+            ExceptionKind::Arithmetic => "arithmetic",
+            ExceptionKind::Protection => "protection",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An accounting-relevant transition reported by the execution substrate.
+///
+/// Events must be reported in non-decreasing `at` order; schemes are free to
+/// panic or saturate otherwise. Every variant carries the virtual timestamp
+/// of the transition so fine-grained schemes can integrate exact durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MeterEvent {
+    /// `task` becomes the running task, starting in `mode`.
+    SwitchIn {
+        /// Timestamp of the transition.
+        at: Cycles,
+        /// The task being scheduled onto the CPU.
+        task: TaskId,
+        /// The mode it resumes in.
+        mode: Mode,
+    },
+    /// The running `task` is descheduled.
+    SwitchOut {
+        /// Timestamp of the transition.
+        at: Cycles,
+        /// The task leaving the CPU.
+        task: TaskId,
+    },
+    /// The running `task` switches privilege mode (syscall entry/exit,
+    /// exception return, ...).
+    ModeChange {
+        /// Timestamp of the transition.
+        at: Cycles,
+        /// The task whose mode changed.
+        task: TaskId,
+        /// The new mode.
+        mode: Mode,
+    },
+    /// The periodic timer interrupt fired. This is the *only* event the
+    /// commodity tick scheme acts on: it charges one whole jiffy to `task`
+    /// (when `Some`) in the component selected by `mode`, regardless of how
+    /// long that task has actually been running — the imprecision exploited
+    /// by the process-scheduling attack (paper §IV-B1).
+    TimerTick {
+        /// Timestamp of the tick.
+        at: Cycles,
+        /// The task that was current when the tick fired (`None` = idle).
+        task: Option<TaskId>,
+        /// The mode the interrupted context was executing in (`Kernel` when
+        /// the tick lands inside an interrupt handler or kernel path).
+        mode: Mode,
+    },
+    /// A device interrupt handler starts executing, interrupting `current`.
+    IrqEnter {
+        /// Timestamp of handler entry.
+        at: Cycles,
+        /// The interrupt line.
+        irq: IrqLine,
+        /// The task that was running when the interrupt arrived (`None` =
+        /// idle CPU).
+        current: Option<TaskId>,
+        /// The task on whose behalf the device raised the interrupt, when
+        /// the substrate knows it (e.g. the process that issued the I/O).
+        /// The process-aware scheme bills this task; the commodity schemes
+        /// ignore it.
+        owner: Option<TaskId>,
+    },
+    /// The device interrupt handler finished.
+    IrqExit {
+        /// Timestamp of handler exit.
+        at: Cycles,
+        /// The interrupt line.
+        irq: IrqLine,
+    },
+    /// The kernel starts servicing an exception raised by `task`.
+    ExceptionEnter {
+        /// Timestamp of handler entry.
+        at: Cycles,
+        /// The faulting task.
+        task: TaskId,
+        /// What kind of exception.
+        kind: ExceptionKind,
+    },
+    /// Exception service for `task` finished.
+    ExceptionExit {
+        /// Timestamp of handler exit.
+        at: Cycles,
+        /// The faulting task.
+        task: TaskId,
+    },
+    /// `task` exited; schemes may finalize its accounting.
+    TaskExit {
+        /// Timestamp of exit.
+        at: Cycles,
+        /// The exiting task.
+        task: TaskId,
+    },
+}
+
+impl MeterEvent {
+    /// The timestamp carried by the event.
+    pub fn at(&self) -> Cycles {
+        match *self {
+            MeterEvent::SwitchIn { at, .. }
+            | MeterEvent::SwitchOut { at, .. }
+            | MeterEvent::ModeChange { at, .. }
+            | MeterEvent::TimerTick { at, .. }
+            | MeterEvent::IrqEnter { at, .. }
+            | MeterEvent::IrqExit { at, .. }
+            | MeterEvent::ExceptionEnter { at, .. }
+            | MeterEvent::ExceptionExit { at, .. }
+            | MeterEvent::TaskExit { at, .. } => at,
+        }
+    }
+
+    /// A short, stable name for the event kind (used in traces and tests).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MeterEvent::SwitchIn { .. } => "switch-in",
+            MeterEvent::SwitchOut { .. } => "switch-out",
+            MeterEvent::ModeChange { .. } => "mode-change",
+            MeterEvent::TimerTick { .. } => "timer-tick",
+            MeterEvent::IrqEnter { .. } => "irq-enter",
+            MeterEvent::IrqExit { .. } => "irq-exit",
+            MeterEvent::ExceptionEnter { .. } => "exception-enter",
+            MeterEvent::ExceptionExit { .. } => "exception-exit",
+            MeterEvent::TaskExit { .. } => "task-exit",
+        }
+    }
+}
+
+impl fmt::Display for MeterEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.kind_name(), self.at())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irq_constants() {
+        assert_eq!(IrqLine::TIMER, IrqLine(0));
+        assert_ne!(IrqLine::NIC, IrqLine::DISK);
+        assert_eq!(format!("{}", IrqLine::NIC), "irq11");
+    }
+
+    #[test]
+    fn exception_display() {
+        assert_eq!(format!("{}", ExceptionKind::PageFault), "page-fault");
+        assert_eq!(format!("{}", ExceptionKind::Debug), "debug");
+    }
+
+    #[test]
+    fn event_timestamp_extraction() {
+        let events = [
+            MeterEvent::SwitchIn { at: Cycles(1), task: TaskId(1), mode: Mode::User },
+            MeterEvent::SwitchOut { at: Cycles(2), task: TaskId(1) },
+            MeterEvent::ModeChange { at: Cycles(3), task: TaskId(1), mode: Mode::Kernel },
+            MeterEvent::TimerTick { at: Cycles(4), task: None, mode: Mode::User },
+            MeterEvent::IrqEnter { at: Cycles(5), irq: IrqLine::NIC, current: None, owner: None },
+            MeterEvent::IrqExit { at: Cycles(6), irq: IrqLine::NIC },
+            MeterEvent::ExceptionEnter { at: Cycles(7), task: TaskId(1), kind: ExceptionKind::Debug },
+            MeterEvent::ExceptionExit { at: Cycles(8), task: TaskId(1) },
+            MeterEvent::TaskExit { at: Cycles(9), task: TaskId(1) },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.at(), Cycles(i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let names = [
+            MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User }.kind_name(),
+            MeterEvent::SwitchOut { at: Cycles(0), task: TaskId(1) }.kind_name(),
+            MeterEvent::ModeChange { at: Cycles(0), task: TaskId(1), mode: Mode::User }.kind_name(),
+            MeterEvent::TimerTick { at: Cycles(0), task: None, mode: Mode::User }.kind_name(),
+            MeterEvent::IrqEnter { at: Cycles(0), irq: IrqLine(1), current: None, owner: None }
+                .kind_name(),
+            MeterEvent::IrqExit { at: Cycles(0), irq: IrqLine(1) }.kind_name(),
+            MeterEvent::ExceptionEnter { at: Cycles(0), task: TaskId(1), kind: ExceptionKind::Debug }
+                .kind_name(),
+            MeterEvent::ExceptionExit { at: Cycles(0), task: TaskId(1) }.kind_name(),
+            MeterEvent::TaskExit { at: Cycles(0), task: TaskId(1) }.kind_name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn display_mentions_kind() {
+        let e = MeterEvent::TimerTick { at: Cycles(42), task: None, mode: Mode::User };
+        assert!(format!("{e}").contains("timer-tick"));
+    }
+}

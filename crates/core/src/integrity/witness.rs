@@ -1,0 +1,187 @@
+//! Execution integrity: a hash-chain witness over executed control flow.
+//!
+//! Paper §VI-B observes that an adversary stronger than the one modelled in
+//! the attacks could tamper with a program's *control flow* (control-data or
+//! non-control-data attacks) to make it take a longer path. Execution
+//! integrity means such deviations are detectable. The simulator implements
+//! the simplest sound mechanism: the substrate appends the identifier of
+//! every executed block/op to an [`ExecutionWitness`] hash chain; the
+//! customer, who can regenerate the expected chain by running the same
+//! program on her own reference platform, compares final digests (and, for
+//! diagnosis, prefix lengths).
+
+use super::measurement::Digest;
+use super::sha256::Sha256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where two execution witnesses diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessMismatch {
+    /// Index of the first differing step (equal to the shorter length when
+    /// one chain is a prefix of the other).
+    pub first_divergence: usize,
+    /// Steps recorded by the local (reference) witness.
+    pub expected_len: usize,
+    /// Steps recorded by the remote (reported) witness.
+    pub observed_len: usize,
+}
+
+impl fmt::Display for WitnessMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "execution diverged at step {} (expected {} steps, observed {})",
+            self.first_divergence, self.expected_len, self.observed_len
+        )
+    }
+}
+
+/// A hash chain committing to the sequence of executed blocks.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_core::ExecutionWitness;
+///
+/// let mut reference = ExecutionWitness::new();
+/// let mut remote = ExecutionWitness::new();
+/// for block in ["entry", "loop", "loop", "exit"] {
+///     reference.record(block);
+///     remote.record(block);
+/// }
+/// assert!(reference.matches(&remote));
+///
+/// remote.record("injected-code");
+/// assert!(!reference.matches(&remote));
+/// assert!(reference.diff(&remote).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ExecutionWitness {
+    chain: Digest,
+    steps: Vec<Digest>,
+}
+
+impl ExecutionWitness {
+    /// Creates an empty witness.
+    pub fn new() -> ExecutionWitness {
+        ExecutionWitness { chain: Digest::ZERO, steps: Vec::new() }
+    }
+
+    /// Records the execution of a block identified by `block_id`.
+    pub fn record(&mut self, block_id: &str) {
+        let step = Digest::of(block_id.as_bytes());
+        let mut h = Sha256::new();
+        h.update(&self.chain.0);
+        h.update(&step.0);
+        self.chain = Digest(h.finalize());
+        self.steps.push(step);
+    }
+
+    /// The running chain digest committing to everything recorded so far.
+    pub fn digest(&self) -> Digest {
+        self.chain
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Whether two witnesses commit to identical executions.
+    pub fn matches(&self, other: &ExecutionWitness) -> bool {
+        self.chain == other.chain && self.steps.len() == other.steps.len()
+    }
+
+    /// Locates the divergence between two witnesses, or `None` when they
+    /// match.
+    pub fn diff(&self, other: &ExecutionWitness) -> Option<WitnessMismatch> {
+        if self.matches(other) {
+            return None;
+        }
+        let common = self
+            .steps
+            .iter()
+            .zip(other.steps.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        Some(WitnessMismatch {
+            first_divergence: common,
+            expected_len: self.steps.len(),
+            observed_len: other.steps.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_match() {
+        let mut a = ExecutionWitness::new();
+        let mut b = ExecutionWitness::new();
+        for s in ["a", "b", "c"] {
+            a.record(s);
+            b.record(s);
+        }
+        assert!(a.matches(&b));
+        assert_eq!(a.diff(&b), None);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = ExecutionWitness::new();
+        let mut b = ExecutionWitness::new();
+        a.record("x");
+        a.record("y");
+        b.record("y");
+        b.record("x");
+        assert!(!a.matches(&b));
+        assert_eq!(a.diff(&b).unwrap().first_divergence, 0);
+    }
+
+    #[test]
+    fn extra_steps_detected() {
+        let mut reference = ExecutionWitness::new();
+        let mut remote = ExecutionWitness::new();
+        for s in ["entry", "compute"] {
+            reference.record(s);
+            remote.record(s);
+        }
+        remote.record("attacker-detour");
+        let diff = reference.diff(&remote).unwrap();
+        assert_eq!(diff.first_divergence, 2);
+        assert_eq!(diff.expected_len, 2);
+        assert_eq!(diff.observed_len, 3);
+        assert!(format!("{diff}").contains("step 2"));
+    }
+
+    #[test]
+    fn empty_witnesses_match() {
+        let a = ExecutionWitness::new();
+        let b = ExecutionWitness::default();
+        assert!(a.matches(&b));
+        assert!(a.is_empty());
+        assert_eq!(a.digest(), Digest::ZERO);
+    }
+
+    #[test]
+    fn digest_changes_with_each_step() {
+        let mut w = ExecutionWitness::new();
+        let d0 = w.digest();
+        w.record("a");
+        let d1 = w.digest();
+        w.record("a");
+        let d2 = w.digest();
+        assert_ne!(d0, d1);
+        assert_ne!(d1, d2);
+    }
+}

@@ -1,0 +1,729 @@
+//! CPU-time metering schemes.
+//!
+//! Three schemes consume the same [`MeterEvent`] stream:
+//!
+//! * [`TickAccounting`] reproduces the commodity Linux scheme the paper
+//!   attacks: the only thing it ever does is add one whole jiffy to the task
+//!   that happens to be current when the timer interrupt fires
+//!   (`update_process_times()` behaviour). All of the paper's attacks either
+//!   smuggle extra work into the victim's context (so the jiffies are
+//!   "legitimately" charged) or exploit the fact that partial jiffies are
+//!   mis-attributed.
+//! * [`TscAccounting`] is the fine-grained scheme the paper recommends in
+//!   §VI-B: exact cycle deltas are attributed at every transition. It still
+//!   charges interrupt-handler time to the interrupted task, as a naive
+//!   fine-grained port of the commodity scheme would.
+//! * [`ProcessAwareAccounting`] additionally attributes interrupt-handler
+//!   time to the task that owns the interrupt (the process that issued the
+//!   I/O), or to an unattributed system bucket when nobody owns it — the
+//!   "process-aware interrupt accounting" the paper cites from real-time
+//!   systems research.
+
+use crate::cputime::{CpuTime, Mode, TaskId};
+use crate::events::{IrqLine, MeterEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use trustmeter_sim::Cycles;
+
+/// Identifies a metering scheme implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Commodity jiffy/tick-based accounting.
+    Tick,
+    /// Fine-grained TSC-based accounting.
+    Tsc,
+    /// Fine-grained accounting with process-aware interrupt attribution.
+    ProcessAware,
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SchemeKind::Tick => "tick",
+            SchemeKind::Tsc => "tsc",
+            SchemeKind::ProcessAware => "process-aware",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A CPU-time metering scheme driven by a [`MeterEvent`] stream.
+///
+/// Implementations must tolerate events for tasks they have never seen
+/// before (lazily creating accounts) and must never panic on exit events for
+/// unknown tasks.
+pub trait MeteringScheme {
+    /// Which scheme this is.
+    fn kind(&self) -> SchemeKind;
+
+    /// Observes one event. Events arrive in non-decreasing timestamp order.
+    fn on_event(&mut self, event: &MeterEvent);
+
+    /// The usage accumulated so far for `task`.
+    fn usage(&self, task: TaskId) -> CpuTime;
+
+    /// All per-task usages accumulated so far.
+    fn usages(&self) -> BTreeMap<TaskId, CpuTime>;
+
+    /// Cycles attributed to nobody (idle CPU, or unowned interrupt handling
+    /// under the process-aware scheme).
+    fn unattributed(&self) -> Cycles;
+
+    /// Sum of every task's accounted total plus the unattributed bucket.
+    fn grand_total(&self) -> Cycles {
+        self.usages().values().map(|u| u.total()).sum::<Cycles>() + self.unattributed()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tick accounting
+// ---------------------------------------------------------------------------
+
+/// The commodity tick/jiffy accounting scheme (paper §III-A).
+///
+/// At every timer interrupt one full jiffy is charged to the current task,
+/// as user or system time depending on the mode the tick interrupted. Tasks
+/// that ran between ticks but were not current at a tick are charged
+/// nothing.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_core::{MeterEvent, MeteringScheme, Mode, TaskId, TickAccounting};
+/// use trustmeter_sim::Cycles;
+///
+/// let mut acct = TickAccounting::new(Cycles(1_000));
+/// acct.on_event(&MeterEvent::TimerTick { at: Cycles(1_000), task: Some(TaskId(1)), mode: Mode::User });
+/// acct.on_event(&MeterEvent::TimerTick { at: Cycles(2_000), task: Some(TaskId(1)), mode: Mode::Kernel });
+/// assert_eq!(acct.usage(TaskId(1)).utime, Cycles(1_000));
+/// assert_eq!(acct.usage(TaskId(1)).stime, Cycles(1_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TickAccounting {
+    jiffy: Cycles,
+    accounts: BTreeMap<TaskId, CpuTime>,
+    idle_ticks: u64,
+    total_ticks: u64,
+}
+
+impl TickAccounting {
+    /// Creates a tick accountant charging `jiffy` cycles per timer tick.
+    ///
+    /// # Panics
+    /// Panics if `jiffy` is zero.
+    pub fn new(jiffy: Cycles) -> TickAccounting {
+        assert!(!jiffy.is_zero(), "jiffy length must be positive");
+        TickAccounting { jiffy, accounts: BTreeMap::new(), idle_ticks: 0, total_ticks: 0 }
+    }
+
+    /// The jiffy length in cycles.
+    pub fn jiffy(&self) -> Cycles {
+        self.jiffy
+    }
+
+    /// Number of ticks that found the CPU idle.
+    pub fn idle_ticks(&self) -> u64 {
+        self.idle_ticks
+    }
+
+    /// Total number of timer ticks observed.
+    pub fn total_ticks(&self) -> u64 {
+        self.total_ticks
+    }
+}
+
+impl MeteringScheme for TickAccounting {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Tick
+    }
+
+    fn on_event(&mut self, event: &MeterEvent) {
+        if let MeterEvent::TimerTick { task, mode, .. } = *event {
+            self.total_ticks += 1;
+            match task {
+                Some(t) => self.accounts.entry(t).or_default().charge(mode, self.jiffy),
+                None => self.idle_ticks += 1,
+            }
+        }
+    }
+
+    fn usage(&self, task: TaskId) -> CpuTime {
+        self.accounts.get(&task).copied().unwrap_or_default()
+    }
+
+    fn usages(&self) -> BTreeMap<TaskId, CpuTime> {
+        self.accounts.clone()
+    }
+
+    fn unattributed(&self) -> Cycles {
+        self.jiffy * self.idle_ticks
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fine-grained accounting (shared core)
+// ---------------------------------------------------------------------------
+
+/// Interrupt attribution policy for the fine-grained accountant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IrqPolicy {
+    /// Charge handler time to the interrupted task (classic behaviour).
+    ChargeCurrent,
+    /// Charge handler time to the interrupt's owner, or to the unattributed
+    /// bucket when it has none (process-aware behaviour).
+    ChargeOwner,
+}
+
+/// Execution context the fine-grained accountant believes the CPU is in.
+#[derive(Debug, Clone)]
+struct FineState {
+    last_at: Cycles,
+    current: Option<TaskId>,
+    mode: Mode,
+    exception_depth: u32,
+    irq_stack: Vec<(IrqLine, Option<TaskId>)>,
+}
+
+impl FineState {
+    fn new() -> FineState {
+        FineState {
+            last_at: Cycles::ZERO,
+            current: None,
+            mode: Mode::User,
+            exception_depth: 0,
+            irq_stack: Vec::new(),
+        }
+    }
+}
+
+/// Shared implementation of the two fine-grained schemes.
+#[derive(Debug, Clone)]
+struct FineGrained {
+    policy: IrqPolicy,
+    state: FineState,
+    accounts: BTreeMap<TaskId, CpuTime>,
+    unattributed: Cycles,
+    idle: Cycles,
+}
+
+impl FineGrained {
+    fn new(policy: IrqPolicy) -> FineGrained {
+        FineGrained {
+            policy,
+            state: FineState::new(),
+            accounts: BTreeMap::new(),
+            unattributed: Cycles::ZERO,
+            idle: Cycles::ZERO,
+        }
+    }
+
+    /// Attributes the interval `[state.last_at, now)` according to the state
+    /// the CPU was in during that interval.
+    fn settle(&mut self, now: Cycles) {
+        let delta = now.saturating_sub(self.state.last_at);
+        self.state.last_at = self.state.last_at.max(now);
+        if delta.is_zero() {
+            return;
+        }
+        if let Some((_, owner)) = self.state.irq_stack.last().copied() {
+            // Time inside a device interrupt handler: always system time,
+            // attribution depends on policy.
+            let beneficiary = match self.policy {
+                IrqPolicy::ChargeCurrent => self.state.current,
+                IrqPolicy::ChargeOwner => owner,
+            };
+            match beneficiary {
+                Some(t) => self.accounts.entry(t).or_default().charge(Mode::Kernel, delta),
+                None => self.unattributed += delta,
+            }
+            return;
+        }
+        match self.state.current {
+            Some(t) => {
+                let mode = if self.state.exception_depth > 0 { Mode::Kernel } else { self.state.mode };
+                self.accounts.entry(t).or_default().charge(mode, delta);
+            }
+            None => self.idle += delta,
+        }
+    }
+
+    fn on_event(&mut self, event: &MeterEvent) {
+        let at = event.at();
+        self.settle(at);
+        match *event {
+            MeterEvent::SwitchIn { task, mode, .. } => {
+                self.state.current = Some(task);
+                self.state.mode = mode;
+                self.state.exception_depth = 0;
+            }
+            MeterEvent::SwitchOut { .. } => {
+                self.state.current = None;
+                self.state.exception_depth = 0;
+            }
+            MeterEvent::ModeChange { mode, .. } => {
+                self.state.mode = mode;
+            }
+            MeterEvent::TimerTick { .. } => {
+                // Fine-grained schemes derive nothing from the tick itself;
+                // the settle() above already attributed the elapsed time.
+            }
+            MeterEvent::IrqEnter { irq, owner, .. } => {
+                self.state.irq_stack.push((irq, owner));
+            }
+            MeterEvent::IrqExit { .. } => {
+                self.state.irq_stack.pop();
+            }
+            MeterEvent::ExceptionEnter { .. } => {
+                self.state.exception_depth += 1;
+            }
+            MeterEvent::ExceptionExit { .. } => {
+                self.state.exception_depth = self.state.exception_depth.saturating_sub(1);
+            }
+            MeterEvent::TaskExit { task, .. } => {
+                if self.state.current == Some(task) {
+                    self.state.current = None;
+                    self.state.exception_depth = 0;
+                }
+            }
+        }
+    }
+
+    fn usage(&self, task: TaskId) -> CpuTime {
+        self.accounts.get(&task).copied().unwrap_or_default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TSC accounting
+// ---------------------------------------------------------------------------
+
+/// Fine-grained TSC-based accounting (paper §VI-B, "Fine-grained Metering").
+///
+/// Exact cycle deltas are attributed at every transition, eliminating the
+/// partial-jiffy mis-attribution the scheduling attack exploits. Interrupt
+/// handler time is still charged to the interrupted task, so the
+/// interrupt-flooding attack still (mildly) succeeds against this scheme —
+/// see [`ProcessAwareAccounting`] for the full fix.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_core::{MeterEvent, MeteringScheme, Mode, TaskId, TscAccounting};
+/// use trustmeter_sim::Cycles;
+///
+/// let mut acct = TscAccounting::new();
+/// acct.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User });
+/// acct.on_event(&MeterEvent::ModeChange { at: Cycles(600), task: TaskId(1), mode: Mode::Kernel });
+/// acct.on_event(&MeterEvent::SwitchOut { at: Cycles(1_000), task: TaskId(1) });
+/// assert_eq!(acct.usage(TaskId(1)).utime, Cycles(600));
+/// assert_eq!(acct.usage(TaskId(1)).stime, Cycles(400));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TscAccounting {
+    inner: FineGrained,
+}
+
+impl TscAccounting {
+    /// Creates a TSC accountant.
+    pub fn new() -> TscAccounting {
+        TscAccounting { inner: FineGrained::new(IrqPolicy::ChargeCurrent) }
+    }
+
+    /// Cycles during which the CPU was idle.
+    pub fn idle(&self) -> Cycles {
+        self.inner.idle
+    }
+}
+
+impl Default for TscAccounting {
+    fn default() -> Self {
+        TscAccounting::new()
+    }
+}
+
+impl MeteringScheme for TscAccounting {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Tsc
+    }
+
+    fn on_event(&mut self, event: &MeterEvent) {
+        self.inner.on_event(event);
+    }
+
+    fn usage(&self, task: TaskId) -> CpuTime {
+        self.inner.usage(task)
+    }
+
+    fn usages(&self) -> BTreeMap<TaskId, CpuTime> {
+        self.inner.accounts.clone()
+    }
+
+    fn unattributed(&self) -> Cycles {
+        self.inner.unattributed + self.inner.idle
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-aware accounting
+// ---------------------------------------------------------------------------
+
+/// Fine-grained accounting with process-aware interrupt attribution.
+///
+/// Identical to [`TscAccounting`] except that device-interrupt handler time
+/// is charged to the interrupt's *owner* (the task that requested the I/O)
+/// when known, and to an unattributed system bucket otherwise. A victim of
+/// the interrupt-flooding attack is therefore never billed for junk packets
+/// it did not ask for.
+#[derive(Debug, Clone)]
+pub struct ProcessAwareAccounting {
+    inner: FineGrained,
+}
+
+impl ProcessAwareAccounting {
+    /// Creates a process-aware accountant.
+    pub fn new() -> ProcessAwareAccounting {
+        ProcessAwareAccounting { inner: FineGrained::new(IrqPolicy::ChargeOwner) }
+    }
+
+    /// Cycles during which the CPU was idle.
+    pub fn idle(&self) -> Cycles {
+        self.inner.idle
+    }
+
+    /// Cycles spent in interrupt handlers that no task owned.
+    pub fn unowned_irq_cycles(&self) -> Cycles {
+        self.inner.unattributed
+    }
+}
+
+impl Default for ProcessAwareAccounting {
+    fn default() -> Self {
+        ProcessAwareAccounting::new()
+    }
+}
+
+impl MeteringScheme for ProcessAwareAccounting {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::ProcessAware
+    }
+
+    fn on_event(&mut self, event: &MeterEvent) {
+        self.inner.on_event(event);
+    }
+
+    fn usage(&self, task: TaskId) -> CpuTime {
+        self.inner.usage(task)
+    }
+
+    fn usages(&self) -> BTreeMap<TaskId, CpuTime> {
+        self.inner.accounts.clone()
+    }
+
+    fn unattributed(&self) -> Cycles {
+        self.inner.unattributed + self.inner.idle
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Meter bank
+// ---------------------------------------------------------------------------
+
+/// Runs several metering schemes side by side over one event stream.
+///
+/// The experiment harness uses a bank holding the commodity tick scheme and
+/// the two fine-grained schemes so that a single simulated run yields all
+/// three readings for comparison.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_core::{MeterBank, MeterEvent, Mode, SchemeKind, TaskId};
+/// use trustmeter_sim::Cycles;
+///
+/// let mut bank = MeterBank::standard(Cycles(1_000));
+/// bank.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User });
+/// bank.on_event(&MeterEvent::TimerTick { at: Cycles(1_000), task: Some(TaskId(1)), mode: Mode::User });
+/// bank.on_event(&MeterEvent::SwitchOut { at: Cycles(1_000), task: TaskId(1) });
+/// assert_eq!(bank.usage(SchemeKind::Tick, TaskId(1)).utime, Cycles(1_000));
+/// assert_eq!(bank.usage(SchemeKind::Tsc, TaskId(1)).utime, Cycles(1_000));
+/// ```
+pub struct MeterBank {
+    schemes: Vec<Box<dyn MeteringScheme + Send>>,
+    events_seen: u64,
+}
+
+impl fmt::Debug for MeterBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MeterBank")
+            .field("schemes", &self.kinds())
+            .field("events_seen", &self.events_seen)
+            .finish()
+    }
+}
+
+impl MeterBank {
+    /// Creates an empty bank.
+    pub fn new() -> MeterBank {
+        MeterBank { schemes: Vec::new(), events_seen: 0 }
+    }
+
+    /// Creates the standard three-scheme bank used throughout the
+    /// experiments: tick (with the given jiffy), TSC, and process-aware.
+    pub fn standard(jiffy: Cycles) -> MeterBank {
+        let mut bank = MeterBank::new();
+        bank.add(Box::new(TickAccounting::new(jiffy)));
+        bank.add(Box::new(TscAccounting::new()));
+        bank.add(Box::new(ProcessAwareAccounting::new()));
+        bank
+    }
+
+    /// Adds a scheme to the bank.
+    pub fn add(&mut self, scheme: Box<dyn MeteringScheme + Send>) {
+        self.schemes.push(scheme);
+    }
+
+    /// Broadcasts one event to every scheme.
+    pub fn on_event(&mut self, event: &MeterEvent) {
+        self.events_seen += 1;
+        for s in &mut self.schemes {
+            s.on_event(event);
+        }
+    }
+
+    /// The kinds of schemes registered, in registration order.
+    pub fn kinds(&self) -> Vec<SchemeKind> {
+        self.schemes.iter().map(|s| s.kind()).collect()
+    }
+
+    /// Number of events broadcast so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// The scheme of the given kind, if registered.
+    pub fn scheme(&self, kind: SchemeKind) -> Option<&(dyn MeteringScheme + Send)> {
+        self.schemes.iter().find(|s| s.kind() == kind).map(|b| b.as_ref())
+    }
+
+    /// Usage of `task` as reported by the scheme of the given kind.
+    ///
+    /// # Panics
+    /// Panics if no scheme of that kind is registered.
+    pub fn usage(&self, kind: SchemeKind, task: TaskId) -> CpuTime {
+        self.scheme(kind)
+            .unwrap_or_else(|| panic!("no {kind} scheme registered"))
+            .usage(task)
+    }
+
+    /// All per-task usages reported by the scheme of the given kind.
+    ///
+    /// # Panics
+    /// Panics if no scheme of that kind is registered.
+    pub fn usages(&self, kind: SchemeKind) -> BTreeMap<TaskId, CpuTime> {
+        self.scheme(kind)
+            .unwrap_or_else(|| panic!("no {kind} scheme registered"))
+            .usages()
+    }
+}
+
+impl Default for MeterBank {
+    fn default() -> Self {
+        MeterBank::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick_ev(at: u64, task: Option<u32>, mode: Mode) -> MeterEvent {
+        MeterEvent::TimerTick { at: Cycles(at), task: task.map(TaskId), mode }
+    }
+
+    #[test]
+    fn tick_charges_whole_jiffy_to_current() {
+        let mut acct = TickAccounting::new(Cycles(100));
+        acct.on_event(&tick_ev(100, Some(1), Mode::User));
+        acct.on_event(&tick_ev(200, Some(1), Mode::Kernel));
+        acct.on_event(&tick_ev(300, Some(2), Mode::User));
+        acct.on_event(&tick_ev(400, None, Mode::User));
+        assert_eq!(acct.usage(TaskId(1)), CpuTime::new(Cycles(100), Cycles(100)));
+        assert_eq!(acct.usage(TaskId(2)), CpuTime::user(Cycles(100)));
+        assert_eq!(acct.idle_ticks(), 1);
+        assert_eq!(acct.total_ticks(), 4);
+        assert_eq!(acct.unattributed(), Cycles(100));
+        assert_eq!(acct.grand_total(), Cycles(400));
+        assert_eq!(acct.kind(), SchemeKind::Tick);
+    }
+
+    #[test]
+    fn tick_ignores_non_tick_events() {
+        let mut acct = TickAccounting::new(Cycles(100));
+        acct.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User });
+        acct.on_event(&MeterEvent::SwitchOut { at: Cycles(50), task: TaskId(1) });
+        assert_eq!(acct.usage(TaskId(1)), CpuTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tick_rejects_zero_jiffy() {
+        let _ = TickAccounting::new(Cycles::ZERO);
+    }
+
+    #[test]
+    fn tsc_attributes_exact_intervals_by_mode() {
+        let mut acct = TscAccounting::new();
+        let t = TaskId(5);
+        acct.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: t, mode: Mode::User });
+        acct.on_event(&MeterEvent::ModeChange { at: Cycles(30), task: t, mode: Mode::Kernel });
+        acct.on_event(&MeterEvent::ModeChange { at: Cycles(50), task: t, mode: Mode::User });
+        acct.on_event(&MeterEvent::SwitchOut { at: Cycles(80), task: t });
+        acct.on_event(&MeterEvent::SwitchIn { at: Cycles(100), task: t, mode: Mode::User });
+        acct.on_event(&MeterEvent::TaskExit { at: Cycles(130), task: t });
+        let u = acct.usage(t);
+        assert_eq!(u.utime, Cycles(30 + 30 + 30));
+        assert_eq!(u.stime, Cycles(20));
+        // 80..100 the CPU was idle.
+        assert_eq!(acct.idle(), Cycles(20));
+        assert_eq!(acct.kind(), SchemeKind::Tsc);
+    }
+
+    #[test]
+    fn tsc_misses_nothing_between_ticks() {
+        // The scheduling-attack scenario from the lib.rs doc example, in
+        // miniature: task 1 runs 60% of the jiffy, task 2 runs 40% and is
+        // current at the tick.
+        let jiffy = Cycles(1_000);
+        let mut tick = TickAccounting::new(jiffy);
+        let mut tsc = TscAccounting::new();
+        let stream = [
+            MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User },
+            MeterEvent::SwitchOut { at: Cycles(600), task: TaskId(1) },
+            MeterEvent::SwitchIn { at: Cycles(600), task: TaskId(2), mode: Mode::User },
+            MeterEvent::TimerTick { at: Cycles(1_000), task: Some(TaskId(2)), mode: Mode::User },
+        ];
+        for e in &stream {
+            tick.on_event(e);
+            tsc.on_event(e);
+        }
+        assert_eq!(tick.usage(TaskId(1)), CpuTime::ZERO);
+        assert_eq!(tick.usage(TaskId(2)).utime, jiffy);
+        assert_eq!(tsc.usage(TaskId(1)).utime, Cycles(600));
+        assert_eq!(tsc.usage(TaskId(2)).utime, Cycles(400));
+    }
+
+    #[test]
+    fn irq_time_charged_to_current_by_tsc_but_owner_by_process_aware() {
+        let victim = TaskId(1);
+        let io_owner = TaskId(9);
+        let stream = [
+            MeterEvent::SwitchIn { at: Cycles(0), task: victim, mode: Mode::User },
+            MeterEvent::IrqEnter {
+                at: Cycles(100),
+                irq: IrqLine::NIC,
+                current: Some(victim),
+                owner: Some(io_owner),
+            },
+            MeterEvent::IrqExit { at: Cycles(150), irq: IrqLine::NIC },
+            MeterEvent::SwitchOut { at: Cycles(200), task: victim },
+        ];
+        let mut tsc = TscAccounting::new();
+        let mut pa = ProcessAwareAccounting::new();
+        for e in &stream {
+            tsc.on_event(e);
+            pa.on_event(e);
+        }
+        // TSC: victim pays for the handler (50 cycles of stime).
+        assert_eq!(tsc.usage(victim), CpuTime::new(Cycles(150), Cycles(50)));
+        assert_eq!(tsc.usage(io_owner), CpuTime::ZERO);
+        // Process-aware: the I/O owner pays instead.
+        assert_eq!(pa.usage(victim), CpuTime::user(Cycles(150)));
+        assert_eq!(pa.usage(io_owner), CpuTime::system(Cycles(50)));
+        assert_eq!(pa.kind(), SchemeKind::ProcessAware);
+    }
+
+    #[test]
+    fn unowned_irq_goes_to_unattributed_bucket() {
+        let victim = TaskId(1);
+        let stream = [
+            MeterEvent::SwitchIn { at: Cycles(0), task: victim, mode: Mode::User },
+            MeterEvent::IrqEnter { at: Cycles(10), irq: IrqLine::NIC, current: Some(victim), owner: None },
+            MeterEvent::IrqExit { at: Cycles(40), irq: IrqLine::NIC },
+            MeterEvent::SwitchOut { at: Cycles(50), task: victim },
+        ];
+        let mut pa = ProcessAwareAccounting::new();
+        for e in &stream {
+            pa.on_event(e);
+        }
+        assert_eq!(pa.usage(victim), CpuTime::user(Cycles(20)));
+        assert_eq!(pa.unowned_irq_cycles(), Cycles(30));
+        // grand_total covers attributed + unattributed + idle.
+        assert_eq!(pa.grand_total(), Cycles(50));
+    }
+
+    #[test]
+    fn exception_time_is_system_time() {
+        let t = TaskId(3);
+        let stream = [
+            MeterEvent::SwitchIn { at: Cycles(0), task: t, mode: Mode::User },
+            MeterEvent::ExceptionEnter { at: Cycles(100), task: t, kind: crate::ExceptionKind::PageFault },
+            MeterEvent::ExceptionExit { at: Cycles(180), task: t },
+            MeterEvent::SwitchOut { at: Cycles(200), task: t },
+        ];
+        let mut tsc = TscAccounting::new();
+        for e in &stream {
+            tsc.on_event(e);
+        }
+        assert_eq!(tsc.usage(t), CpuTime::new(Cycles(120), Cycles(80)));
+    }
+
+    #[test]
+    fn nested_exceptions_unwind() {
+        let t = TaskId(3);
+        let mut tsc = TscAccounting::new();
+        tsc.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: t, mode: Mode::User });
+        tsc.on_event(&MeterEvent::ExceptionEnter { at: Cycles(10), task: t, kind: crate::ExceptionKind::PageFault });
+        tsc.on_event(&MeterEvent::ExceptionEnter { at: Cycles(20), task: t, kind: crate::ExceptionKind::PageFault });
+        tsc.on_event(&MeterEvent::ExceptionExit { at: Cycles(30), task: t });
+        tsc.on_event(&MeterEvent::ExceptionExit { at: Cycles(40), task: t });
+        tsc.on_event(&MeterEvent::SwitchOut { at: Cycles(50), task: t });
+        let u = tsc.usage(t);
+        assert_eq!(u.stime, Cycles(30));
+        assert_eq!(u.utime, Cycles(20));
+    }
+
+    #[test]
+    fn bank_broadcasts_to_all_schemes() {
+        let mut bank = MeterBank::standard(Cycles(500));
+        assert_eq!(
+            bank.kinds(),
+            vec![SchemeKind::Tick, SchemeKind::Tsc, SchemeKind::ProcessAware]
+        );
+        bank.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User });
+        bank.on_event(&MeterEvent::TimerTick { at: Cycles(500), task: Some(TaskId(1)), mode: Mode::User });
+        bank.on_event(&MeterEvent::SwitchOut { at: Cycles(500), task: TaskId(1) });
+        assert_eq!(bank.events_seen(), 3);
+        assert_eq!(bank.usage(SchemeKind::Tick, TaskId(1)).utime, Cycles(500));
+        assert_eq!(bank.usage(SchemeKind::Tsc, TaskId(1)).utime, Cycles(500));
+        assert_eq!(bank.usage(SchemeKind::ProcessAware, TaskId(1)).utime, Cycles(500));
+        assert_eq!(bank.usages(SchemeKind::Tsc).len(), 1);
+        assert!(format!("{bank:?}").contains("events_seen"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no tick scheme registered")]
+    fn bank_panics_on_missing_scheme() {
+        let bank = MeterBank::new();
+        let _ = bank.usage(SchemeKind::Tick, TaskId(1));
+    }
+
+    #[test]
+    fn out_of_order_event_saturates_instead_of_panicking() {
+        let mut tsc = TscAccounting::new();
+        tsc.on_event(&MeterEvent::SwitchIn { at: Cycles(100), task: TaskId(1), mode: Mode::User });
+        // An event "in the past" contributes zero, never a negative interval.
+        tsc.on_event(&MeterEvent::SwitchOut { at: Cycles(50), task: TaskId(1) });
+        assert_eq!(tsc.usage(TaskId(1)), CpuTime::ZERO);
+    }
+}

@@ -1,0 +1,134 @@
+//! Ablation studies extending the paper's evaluation.
+//!
+//! * [`hz_sweep`] — how the timer frequency changes the scheduling attack's
+//!   effectiveness (the paper's fine-grained-metering argument in §VI-B is
+//!   that tick granularity is the root cause).
+//! * [`scheduler_ablation`] — the same attack under the default
+//!   tick-quantised fair-share scheduler versus a CFS-like scheduler with
+//!   immediate wakeup preemption.
+//! * [`flood_rate_sweep`] — how the interrupt-flooding overcharge scales
+//!   with the junk-packet rate.
+
+use crate::figures::ExperimentConfig;
+use crate::report::FigureData;
+use crate::scenario::Scenario;
+use trustmeter_attacks::{InterruptFloodAttack, SchedulingAttack};
+use trustmeter_kernel::{KernelConfig, SchedulerKind};
+use trustmeter_sim::Series;
+use trustmeter_workloads::Workload;
+
+fn overcharge_factor(config: KernelConfig, cfg: &ExperimentConfig, nice: i8) -> f64 {
+    let scenario = Scenario::new(Workload::Whetstone, cfg.scale).with_config(config);
+    let clean = scenario.run_clean();
+    let attacked = scenario.run_attacked(&SchedulingAttack::paper_default(cfg.scale, nice));
+    attacked.billed_total_secs() / clean.billed_total_secs().max(1e-9)
+}
+
+/// E11: the scheduling attack's overcharge factor at HZ ∈ {100, 250, 1000}.
+pub fn hz_sweep(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        "ablation-hz",
+        "Scheduling attack vs timer frequency",
+        "tick-based accounting mis-charges whole jiffies regardless of HZ; finer ticks shrink \
+         the per-switch error but not the systematic bias",
+    );
+    let mut series = Series::new("overcharge factor (nice -10)");
+    for hz in [100u32, 250, 1000] {
+        let config = KernelConfig::paper_machine().with_seed(cfg.seed).with_hz(hz);
+        series.push(format!("HZ={hz}"), overcharge_factor(config, cfg, -10));
+    }
+    fig.push_series(series);
+    fig
+}
+
+/// E12: the scheduling attack under the two scheduler implementations.
+pub fn scheduler_ablation(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        "ablation-sched",
+        "Scheduling attack vs scheduler",
+        "the attack exploits tick-quantised scheduling decisions; a scheduler with immediate \
+         wakeup preemption changes how much of the attacker's time is mis-sampled",
+    );
+    let mut series = Series::new("overcharge factor (nice -10)");
+    for (label, kind) in [("fair-share", SchedulerKind::FairShare), ("cfs", SchedulerKind::Cfs)] {
+        let config = KernelConfig::paper_machine().with_seed(cfg.seed).with_scheduler(kind);
+        series.push(label, overcharge_factor(config, cfg, -10));
+    }
+    fig.push_series(series);
+    fig
+}
+
+/// Extension: victim overcharge versus junk-packet rate.
+pub fn flood_rate_sweep(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        "ablation-flood",
+        "Interrupt flood rate sweep",
+        "the victim's billed system time grows with the packet rate; the process-aware scheme \
+         stays flat",
+    );
+    let mut billed = Series::new("billed stime (tick)");
+    let mut aware = Series::new("stime (process-aware)");
+    for pps in [5_000.0, 20_000.0, 60_000.0] {
+        let scenario = Scenario::new(Workload::LoopO, cfg.scale)
+            .with_config(KernelConfig::paper_machine().with_seed(cfg.seed));
+        let outcome = scenario.run_attacked(&InterruptFloodAttack { packets_per_sec: pps });
+        let khz = outcome.frequency_khz as f64 * 1_000.0;
+        billed.push(format!("{} pps", pps as u64), outcome.billed_stime_secs());
+        aware.push(format!("{} pps", pps as u64), outcome.victim_process_aware.stime.as_f64() / khz);
+    }
+    fig.push_series(billed);
+    fig.push_series(aware);
+    fig
+}
+
+/// Runs every ablation.
+pub fn all_ablations(cfg: &ExperimentConfig) -> Vec<FigureData> {
+    vec![hz_sweep(cfg), scheduler_ablation(cfg), flood_rate_sweep(cfg)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig { scale: 0.002, seed: 4 }
+    }
+
+    #[test]
+    fn hz_sweep_produces_three_points_all_overcharging() {
+        let fig = hz_sweep(&tiny());
+        let s = &fig.series[0];
+        assert_eq!(s.len(), 3);
+        for (_, v) in s.iter() {
+            assert!(v > 1.0, "every HZ shows an overcharge, got {v}");
+        }
+    }
+
+    #[test]
+    fn scheduler_ablation_produces_both_schedulers() {
+        let fig = scheduler_ablation(&tiny());
+        let s = &fig.series[0];
+        assert_eq!(s.len(), 2);
+        assert!(s.value_for("fair-share").unwrap() > 1.0);
+        assert!(s.value_for("cfs").unwrap() > 0.5);
+    }
+
+    #[test]
+    fn flood_rate_sweep_is_monotone_for_tick_but_flat_for_process_aware() {
+        let fig = flood_rate_sweep(&tiny());
+        let billed = fig.series_named("billed stime (tick)").unwrap();
+        let aware = fig.series_named("stime (process-aware)").unwrap();
+        let b: Vec<f64> = billed.iter().map(|(_, v)| v).collect();
+        let a: Vec<f64> = aware.iter().map(|(_, v)| v).collect();
+        assert!(b[2] >= b[0], "billed stime should grow with the flood rate: {b:?}");
+        // The process-aware reading does not grow with the flood: the junk
+        // handlers are not attributed to the victim. (It is not zero — it
+        // still contains the victim's own legitimate kernel work.)
+        let spread = a.iter().cloned().fold(0.0, f64::max) - a.iter().cloned().fold(f64::INFINITY, f64::min);
+        let billed_growth = b[2] - b[0];
+        assert!(
+            spread <= (billed_growth * 0.5).max(1e-4),
+            "process-aware stime should stay flat: {a:?} vs billed {b:?}"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The §V-C attack comparison and the §VI-B defense evaluation.
+
+use crate::figures::ExperimentConfig;
+use crate::report::{ComparisonRow, ComparisonTable};
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use trustmeter_attacks::{
+    paper_attack_suite, InterruptFloodAttack, PreloadConstructorAttack, SchedulingAttack,
+    ShellAttack,
+};
+use trustmeter_workloads::Workload;
+
+/// Builds the §V-C comparison table by running every attack against the
+/// Whetstone victim and quantifying its effect.
+pub fn comparison_table(cfg: &ExperimentConfig) -> ComparisonTable {
+    let scenario = scenario_for(cfg, Workload::Whetstone);
+    let clean = scenario.run_clean();
+    let clean_total = clean.billed_total_secs();
+    let clean_stime = clean.billed_stime_secs();
+
+    let mut table = ComparisonTable::default();
+    for attack in paper_attack_suite(cfg.scale, clean.elapsed_secs * 2.0) {
+        let attacked = scenario.run_attacked(attack.as_ref());
+        let extra = (attacked.billed_total_secs() - clean_total).max(0.0);
+        let extra_stime = (attacked.billed_stime_secs() - clean_stime).max(0.0);
+        let stime_share = if extra > 1e-9 { (extra_stime / extra).clamp(0.0, 1.0) } else { 0.0 };
+        table.rows.push(ComparisonRow {
+            attack: attack.name().to_string(),
+            component: attack.class().to_string(),
+            privilege: attack.required_privilege().to_string(),
+            inflation_factor: if clean_total > 0.0 { attacked.billed_total_secs() / clean_total } else { 1.0 },
+            stime_share_of_extra: stime_share,
+            extra_secs: extra,
+        });
+    }
+    table
+}
+
+fn scenario_for(cfg: &ExperimentConfig, workload: Workload) -> Scenario {
+    Scenario::new(workload, cfg.scale)
+        .with_config(trustmeter_kernel::KernelConfig::paper_machine().with_seed(cfg.seed))
+}
+
+/// Results of replaying the attacks against the defenses of §VI-B.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseReport {
+    /// Overcharge (billed vs clean billed) of the scheduling-attack victim
+    /// under the commodity tick scheme, as a factor.
+    pub scheduling_tick_inflation: f64,
+    /// The same victim's fine-grained (TSC) reading relative to its clean
+    /// ground truth — fine-grained metering removes the overcharge.
+    pub scheduling_tsc_inflation: f64,
+    /// Victim system seconds billed by the TSC scheme under interrupt
+    /// flooding (fine-grained but not process-aware: still inflated).
+    pub irqflood_tsc_stime_secs: f64,
+    /// Victim system seconds billed by the process-aware scheme under the
+    /// same flood (the junk interrupts are no longer charged to the victim).
+    pub irqflood_process_aware_stime_secs: f64,
+    /// Names of unexpected images the measurement log flags for the shell
+    /// attack.
+    pub shell_attack_flagged: Vec<String>,
+    /// Names of unexpected images flagged for the preload attack.
+    pub preload_attack_flagged: Vec<String>,
+    /// Whether the clean run verifies (no false positives).
+    pub clean_run_verifies: bool,
+}
+
+impl DefenseReport {
+    /// `true` when all three defensive properties behave as §VI-B expects.
+    pub fn all_defenses_effective(&self) -> bool {
+        self.scheduling_tsc_inflation < self.scheduling_tick_inflation
+            && self.irqflood_process_aware_stime_secs <= self.irqflood_tsc_stime_secs
+            && !self.shell_attack_flagged.is_empty()
+            && !self.preload_attack_flagged.is_empty()
+            && self.clean_run_verifies
+    }
+}
+
+/// Replays the key attacks against the paper's three defensive properties:
+/// fine-grained (TSC) metering, process-aware interrupt accounting, and
+/// measured launch (source integrity).
+pub fn defenses(cfg: &ExperimentConfig) -> DefenseReport {
+    // --- Fine-grained metering vs the scheduling attack -------------------
+    let scenario = scenario_for(cfg, Workload::Whetstone);
+    let clean = scenario.run_clean();
+    let sched = scenario.run_attacked(&SchedulingAttack::paper_default(cfg.scale, -10));
+    let scheduling_tick_inflation = sched.billed_total_secs() / clean.billed_total_secs().max(1e-9);
+    let scheduling_tsc_inflation = sched.truth_total_secs() / clean.truth_total_secs().max(1e-9);
+
+    // --- Process-aware interrupt accounting vs interrupt flooding ---------
+    let flood = scenario.run_attacked(&InterruptFloodAttack::paper_default());
+    let irqflood_tsc_stime_secs = flood.truth_stime_secs();
+    let irqflood_process_aware_stime_secs = {
+        // process-aware stime in seconds
+        let khz = flood.frequency_khz as f64 * 1_000.0;
+        flood.victim_process_aware.stime.as_f64() / khz
+    };
+
+    // --- Source integrity vs the launch-time attacks ----------------------
+    let whitelist = clean.measured_images.clone();
+    let shell = scenario.run_attacked(&ShellAttack::paper_default(cfg.scale));
+    let preload = scenario.run_attacked(&PreloadConstructorAttack::paper_default(cfg.scale));
+    let shell_attack_flagged =
+        shell.unexpected_images(&whitelist).into_iter().map(String::from).collect();
+    let preload_attack_flagged =
+        preload.unexpected_images(&whitelist).into_iter().map(String::from).collect();
+    let clean_again = scenario.run_clean();
+    let clean_run_verifies = clean_again.unexpected_images(&whitelist).is_empty();
+
+    DefenseReport {
+        scheduling_tick_inflation,
+        scheduling_tsc_inflation,
+        irqflood_tsc_stime_secs,
+        irqflood_process_aware_stime_secs,
+        shell_attack_flagged,
+        preload_attack_flagged,
+        clean_run_verifies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmeter_core::AttackClass;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig { scale: 0.002, seed: 9 }
+    }
+
+    #[test]
+    fn comparison_covers_all_attacks_and_flags_components() {
+        let table = comparison_table(&tiny());
+        assert_eq!(table.rows.len(), 7);
+        let row = |name: &str| table.rows.iter().find(|r| r.attack == name).unwrap();
+        // Launch-time attacks inflate and are user-time dominated.
+        assert!(row("shell").inflation_factor > 1.05);
+        assert!(row("shell").stime_share_of_extra < 0.3);
+        assert!(row("preload-constructor").inflation_factor > 1.05);
+        assert!(row("interposition").inflation_factor > 1.05);
+        // The scheduling attack inflates the victim's billed time.
+        assert!(row("scheduling").inflation_factor > 1.1);
+        // Thrashing's extra time is dominated by kernel-side work (debug
+        // exceptions, SIGTRAP delivery, ptrace stops) far more than the
+        // launch-time attacks are.
+        assert!(row("thrashing").stime_share_of_extra > 0.4);
+        assert!(row("thrashing").stime_share_of_extra > row("shell").stime_share_of_extra);
+        assert_eq!(row("shell").component, AttackClass::UserTimeInflation.to_string());
+        // Rendering works.
+        assert!(format!("{table}").contains("scheduling"));
+    }
+
+    #[test]
+    fn defenses_neutralize_the_attacks() {
+        let report = defenses(&tiny());
+        assert!(
+            report.scheduling_tick_inflation > 1.1,
+            "tick inflation {}",
+            report.scheduling_tick_inflation
+        );
+        assert!(
+            report.scheduling_tsc_inflation < 1.05,
+            "tsc inflation {}",
+            report.scheduling_tsc_inflation
+        );
+        assert!(report.irqflood_process_aware_stime_secs < report.irqflood_tsc_stime_secs);
+        assert!(report.shell_attack_flagged.iter().any(|n| n.contains("shell-injected")));
+        assert!(report
+            .preload_attack_flagged
+            .iter()
+            .any(|n| n.contains("attack_preload")));
+        assert!(report.clean_run_verifies);
+        assert!(report.all_defenses_effective());
+    }
+}

@@ -1,0 +1,216 @@
+//! Exporting experiment results to CSV and Markdown.
+//!
+//! The JSON written by the `repro` binary is the machine-readable record;
+//! the CSV export feeds plotting scripts, and the Markdown export is what
+//! EXPERIMENTS.md embeds.
+
+use crate::report::{ComparisonTable, FigureData};
+use std::fmt::Write as _;
+
+/// Renders a figure's series as CSV: one row per x-label, one column per
+/// series.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_experiments::{export, FigureData};
+/// use trustmeter_sim::Series;
+///
+/// let mut fig = FigureData::new("fig4", "Shell attack", "utime grows");
+/// let mut s = Series::new("user time (normal)");
+/// s.push("O", 1.25);
+/// fig.push_series(s);
+/// let csv = export::figure_to_csv(&fig);
+/// assert!(csv.starts_with("label,"));
+/// assert!(csv.contains("O,1.25"));
+/// ```
+pub fn figure_to_csv(fig: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str("label");
+    for s in &fig.series {
+        out.push(',');
+        out.push_str(&escape_csv(&s.name));
+    }
+    out.push('\n');
+    let labels: Vec<&str> = fig
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|(l, _)| l.as_str()).collect())
+        .unwrap_or_default();
+    for label in labels {
+        out.push_str(&escape_csv(label));
+        for s in &fig.series {
+            out.push(',');
+            match s.value_for(label) {
+                Some(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                None => out.push_str(""),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a figure as a Markdown table preceded by its title and the
+/// paper's expectation.
+pub fn figure_to_markdown(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {} — {}\n", fig.id, fig.title);
+    let _ = writeln!(out, "*Paper expectation:* {}\n", fig.paper_expectation);
+    let labels: Vec<&str> = fig
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|(l, _)| l.as_str()).collect())
+        .unwrap_or_default();
+    if labels.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    // Header.
+    out.push('|');
+    out.push_str(" series |");
+    for l in &labels {
+        let _ = write!(out, " {l} |");
+    }
+    out.push('\n');
+    out.push('|');
+    out.push_str("---|");
+    for _ in &labels {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for s in &fig.series {
+        let _ = write!(out, "| {} |", s.name);
+        for l in &labels {
+            match s.value_for(l) {
+                Some(v) => {
+                    let _ = write!(out, " {v:.2} |");
+                }
+                None => {
+                    let _ = write!(out, " – |");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    if !fig.notes.is_empty() {
+        out.push('\n');
+        for n in &fig.notes {
+            let _ = writeln!(out, "*{n}*");
+        }
+    }
+    out
+}
+
+/// Renders the §V-C comparison table as Markdown.
+pub fn comparison_to_markdown(table: &ComparisonTable) -> String {
+    let mut out = String::new();
+    out.push_str("| attack | component | privilege | inflation | stime share of extra | extra (s) |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for r in &table.rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.2}x | {:.0}% | {:.2} |",
+            r.attack,
+            r.component,
+            r.privilege,
+            r.inflation_factor,
+            r.stime_share_of_extra * 100.0,
+            r.extra_secs
+        );
+    }
+    out
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ComparisonRow;
+    use trustmeter_sim::Series;
+
+    fn sample_figure() -> FigureData {
+        let mut fig = FigureData::new("figX", "Sample", "expectation text");
+        let mut a = Series::new("user time (normal)");
+        a.push("O", 1.0);
+        a.push("P", 2.5);
+        let mut b = Series::new("user time (attack)");
+        b.push("O", 1.4);
+        b.push("P", 2.9);
+        fig.push_series(a);
+        fig.push_series(b);
+        fig.note("scale = 0.01");
+        fig
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = figure_to_csv(&sample_figure());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "label,user time (normal),user time (attack)");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("O,1"));
+        assert!(lines[2].starts_with("P,2.5"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+        assert_eq!(escape_csv("plain"), "plain");
+        assert_eq!(escape_csv("qu\"ote"), "\"qu\"\"ote\"");
+    }
+
+    #[test]
+    fn markdown_contains_title_expectation_and_values() {
+        let md = figure_to_markdown(&sample_figure());
+        assert!(md.contains("### figX — Sample"));
+        assert!(md.contains("*Paper expectation:* expectation text"));
+        assert!(md.contains("| user time (normal) | 1.00 | 2.50 |"));
+        assert!(md.contains("*scale = 0.01*"));
+    }
+
+    #[test]
+    fn markdown_of_empty_figure_is_graceful() {
+        let fig = FigureData::new("e", "Empty", "nothing");
+        assert!(figure_to_markdown(&fig).contains("(no data)"));
+        assert_eq!(figure_to_csv(&fig), "label\n");
+    }
+
+    #[test]
+    fn comparison_markdown_lists_rows() {
+        let table = ComparisonTable {
+            rows: vec![ComparisonRow {
+                attack: "thrashing".into(),
+                component: "system-time inflation".into(),
+                privilege: "ptrace permission".into(),
+                inflation_factor: 1.4,
+                stime_share_of_extra: 0.7,
+                extra_secs: 12.0,
+            }],
+        };
+        let md = comparison_to_markdown(&table);
+        assert!(md.contains("| thrashing |"));
+        assert!(md.contains("1.40x"));
+        assert!(md.contains("70%"));
+    }
+
+    #[test]
+    fn real_experiment_exports_round_trip() {
+        let cfg = crate::figures::ExperimentConfig { scale: 0.001, seed: 5 };
+        let fig = crate::figures::fig4_shell(&cfg);
+        let csv = figure_to_csv(&fig);
+        // Header + one row per workload label.
+        assert_eq!(csv.lines().count(), 1 + 4);
+        let md = figure_to_markdown(&fig);
+        assert!(md.contains("fig4"));
+    }
+}

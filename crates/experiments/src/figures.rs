@@ -1,0 +1,359 @@
+//! Reproduction of every figure in the paper's evaluation (§V-B).
+//!
+//! Each `figN_*` function runs the corresponding experiment on the simulated
+//! platform and returns a [`FigureData`] whose series mirror the bars/lines
+//! of the paper's figure. Absolute seconds depend on the `scale` factor (and
+//! on the simulator's calibration); the *shape* — which component grows, by
+//! roughly what factor, and how it depends on the attacker's priority — is
+//! what EXPERIMENTS.md compares against the paper.
+
+use crate::report::FigureData;
+use crate::scenario::{Scenario, ScenarioOutcome};
+use serde::{Deserialize, Serialize};
+use trustmeter_attacks::{
+    Attack, ExceptionFloodAttack, ForkAttacker, InterpositionAttack, InterruptFloodAttack,
+    PreloadConstructorAttack, SchedulingAttack, ShellAttack, ThrashingAttack,
+};
+use trustmeter_kernel::{Kernel, KernelConfig};
+use trustmeter_sim::Series;
+use trustmeter_workloads::Workload;
+
+/// Parameters shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Workload scale (1.0 = the paper's full-size runs; the default 0.01
+    /// keeps the whole suite to a few minutes of host time).
+    pub scale: f64,
+    /// RNG seed for the simulated platform.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { scale: 0.01, seed: 0x7123_4567 }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration with the given scale.
+    pub fn with_scale(scale: f64) -> ExperimentConfig {
+        ExperimentConfig { scale, ..Default::default() }
+    }
+
+    fn kernel_config(&self) -> KernelConfig {
+        KernelConfig::paper_machine().with_seed(self.seed)
+    }
+
+    fn scenario(&self, workload: Workload) -> Scenario {
+        Scenario::new(workload, self.scale).with_config(self.kernel_config())
+    }
+}
+
+/// The nice values swept in Figs. 7 and 8 (labelled as in the paper).
+pub const NICE_SWEEP: [(&str, i8); 5] =
+    [("nice", 0), ("nice-5", -5), ("nice-10", -10), ("nice-15", -15), ("nice-20", -20)];
+
+fn four_program_attack_figure(
+    id: &str,
+    title: &str,
+    expectation: &str,
+    cfg: &ExperimentConfig,
+    make_attack: impl Fn(Workload, &ScenarioOutcome) -> Box<dyn Attack>,
+) -> FigureData {
+    let mut fig = FigureData::new(id, title, expectation);
+    let mut normal_u = Series::new("user time (normal)");
+    let mut normal_s = Series::new("system time (normal)");
+    let mut attack_u = Series::new("user time (attack)");
+    let mut attack_s = Series::new("system time (attack)");
+    for w in Workload::ALL {
+        let scenario = cfg.scenario(w);
+        let clean = scenario.run_clean();
+        let attack = make_attack(w, &clean);
+        let attacked = scenario.run_attacked(attack.as_ref());
+        normal_u.push(w.label(), clean.billed_utime_secs());
+        normal_s.push(w.label(), clean.billed_stime_secs());
+        attack_u.push(w.label(), attacked.billed_utime_secs());
+        attack_s.push(w.label(), attacked.billed_stime_secs());
+    }
+    fig.push_series(normal_u);
+    fig.push_series(normal_s);
+    fig.push_series(attack_u);
+    fig.push_series(attack_s);
+    fig.note(format!("workload scale = {}", cfg.scale));
+    fig
+}
+
+/// Fig. 4 — the shell attack: code injected between `fork()` and `execve()`
+/// adds the same constant amount of user time to every program.
+pub fn fig4_shell(cfg: &ExperimentConfig) -> FigureData {
+    four_program_attack_figure(
+        "fig4",
+        "Shell attack",
+        "user time of O, P, W, B grows by the same ~34 s constant; system time unchanged",
+        cfg,
+        |_, _| Box::new(ShellAttack::paper_default(cfg.scale)),
+    )
+}
+
+/// Fig. 5 — the shared-library constructor attack via `LD_PRELOAD`.
+pub fn fig5_ctor(cfg: &ExperimentConfig) -> FigureData {
+    four_program_attack_figure(
+        "fig5",
+        "Shared library constructor attack",
+        "almost identical to Fig. 4: the same attack code runs at a different launch point",
+        cfg,
+        |_, _| Box::new(PreloadConstructorAttack::paper_default(cfg.scale)),
+    )
+}
+
+/// Fig. 6 — the function-substitution attack (interposed `malloc`/`sqrt`).
+pub fn fig6_interpose(cfg: &ExperimentConfig) -> FigureData {
+    four_program_attack_figure(
+        "fig6",
+        "Shared library function substitution attack",
+        "like Figs. 4–5 but amplified: the attack code runs on every interposed call",
+        cfg,
+        |_, _| Box::new(InterpositionAttack::paper_default(cfg.scale)),
+    )
+}
+
+/// Billed CPU seconds of the fork attacker running alone (the leftmost bar
+/// pair of Figs. 7 and 8).
+fn fork_attacker_standalone_secs(cfg: &ExperimentConfig, nice: i8) -> f64 {
+    let mut kernel = Kernel::new(cfg.kernel_config());
+    let attacker = ForkAttacker::paper_default(cfg.scale, nice);
+    kernel.spawn_raw(Box::new(attacker), nice);
+    let result = kernel.run();
+    result
+        .processes
+        .iter()
+        .filter(|p| p.name.starts_with("Fork"))
+        .map(|p| p.billed().total_secs(result.frequency))
+        .sum()
+}
+
+fn scheduling_figure(id: &str, title: &str, workload: Workload, cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        id,
+        title,
+        "as the attacker's priority rises, the victim's measured CPU time rises and the \
+         attacker's falls while their sum stays roughly constant (little effect on the \
+         multi-threaded Brute)",
+    );
+    let mut victim_series = Series::new(format!("CPU time of {}", workload.label()));
+    let mut fork_series = Series::new("CPU time of Fork");
+
+    // Leftmost pair: both programs run independently.
+    let clean = cfg.scenario(workload).run_clean();
+    victim_series.push("no attack", clean.billed_total_secs());
+    fork_series.push("no attack", fork_attacker_standalone_secs(cfg, 0));
+
+    for (label, nice) in NICE_SWEEP {
+        let attack = SchedulingAttack::paper_default(cfg.scale, nice);
+        let outcome = cfg.scenario(workload).run_attacked(&attack);
+        let fork_total = outcome.other_billed_total_secs("Fork")
+            + outcome.other_billed_total_secs("Fork-child");
+        victim_series.push(label, outcome.billed_total_secs());
+        fork_series.push(label, fork_total);
+    }
+    fig.push_series(victim_series);
+    fig.push_series(fork_series);
+    fig.note(format!("fork/wait cycles = 2^21 x scale ({})", cfg.scale));
+    fig
+}
+
+/// Fig. 7 — the process-scheduling attack against Whetstone across the nice
+/// sweep.
+pub fn fig7_sched_whetstone(cfg: &ExperimentConfig) -> FigureData {
+    scheduling_figure("fig7", "Process scheduling attack on Whetstone", Workload::Whetstone, cfg)
+}
+
+/// Fig. 8 — the process-scheduling attack against the multi-threaded Brute.
+pub fn fig8_sched_brute(cfg: &ExperimentConfig) -> FigureData {
+    scheduling_figure("fig8", "Process scheduling attack on Brute", Workload::Brute, cfg)
+}
+
+/// Fig. 9 — the execution-thrashing attack (ptrace + hardware breakpoints).
+pub fn fig9_thrash(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = four_program_attack_figure(
+        "fig9",
+        "Execution thrashing attack",
+        "mostly the system time of the victims grows, in proportion to how often the \
+         breakpointed variable is accessed",
+        cfg,
+        |_, _| Box::new(ThrashingAttack::paper_default()),
+    );
+    fig.note("breakpoint hit counts follow the paper: ~10^6 (O), 10^7 (P), 2x10^5 (W), 8.95x10^5 (B), scaled");
+    fig
+}
+
+/// Fig. 10 — the interrupt-flooding attack (junk packets at the NIC).
+pub fn fig10_irqflood(cfg: &ExperimentConfig) -> FigureData {
+    four_program_attack_figure(
+        "fig10",
+        "Interrupt flooding attack",
+        "system time of every program increases slightly (the junk-packet handlers)",
+        cfg,
+        |_, _| Box::new(InterruptFloodAttack::paper_default()),
+    )
+}
+
+/// Fig. 11 — the exception-flooding attack (memory hog forcing page faults).
+pub fn fig11_pfflood(cfg: &ExperimentConfig) -> FigureData {
+    four_program_attack_figure(
+        "fig11",
+        "Exception flooding attack",
+        "system time grows due to page-fault service and swap-in while memory is exhausted",
+        cfg,
+        |w, clean| {
+            let victim_secs = clean.elapsed_secs.max(0.1);
+            let _ = w;
+            Box::new(ExceptionFloodAttack::paper_default(victim_secs * 2.0))
+        },
+    )
+}
+
+/// Runs every figure of the paper in order.
+pub fn all_figures(cfg: &ExperimentConfig) -> Vec<FigureData> {
+    vec![
+        fig4_shell(cfg),
+        fig5_ctor(cfg),
+        fig6_interpose(cfg),
+        fig7_sched_whetstone(cfg),
+        fig8_sched_brute(cfg),
+        fig9_thrash(cfg),
+        fig10_irqflood(cfg),
+        fig11_pfflood(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig { scale: 0.002, seed: 42 }
+    }
+
+    #[test]
+    fn fig4_constant_user_time_inflation() {
+        let cfg = tiny();
+        let fig = fig4_shell(&cfg);
+        let normal = fig.series_named("user time (normal)").unwrap();
+        let attacked = fig.series_named("user time (attack)").unwrap();
+        let injected = 34.0 * cfg.scale;
+        let mut growths = Vec::new();
+        for w in Workload::ALL {
+            let g = attacked.value_for(w.label()).unwrap() - normal.value_for(w.label()).unwrap();
+            growths.push(g);
+            assert!(g > injected * 0.8, "{}: growth {g} should be ≈ {injected}", w.label());
+        }
+        // All four programs grow by (almost) the same amount.
+        let min = growths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = growths.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min < injected * 0.3, "growths should be uniform: {growths:?}");
+        // System time is essentially unaffected.
+        let ns = fig.series_named("system time (normal)").unwrap();
+        let as_ = fig.series_named("system time (attack)").unwrap();
+        for w in Workload::ALL {
+            let d = (as_.value_for(w.label()).unwrap() - ns.value_for(w.label()).unwrap()).abs();
+            assert!(d < injected * 0.2, "{}: stime moved by {d}", w.label());
+        }
+    }
+
+    #[test]
+    fn fig5_matches_fig4_shape() {
+        let cfg = tiny();
+        let f4 = fig4_shell(&cfg);
+        let f5 = fig5_ctor(&cfg);
+        for w in Workload::ALL {
+            let a4 = f4.series_named("user time (attack)").unwrap().value_for(w.label()).unwrap();
+            let a5 = f5.series_named("user time (attack)").unwrap().value_for(w.label()).unwrap();
+            assert!((a4 - a5).abs() / a4 < 0.1, "{}: fig4 {a4} vs fig5 {a5}", w.label());
+        }
+    }
+
+    #[test]
+    fn fig7_sum_conserved_and_monotone() {
+        let cfg = tiny();
+        let fig = fig7_sched_whetstone(&cfg);
+        let victim = fig.series_named("CPU time of W").unwrap();
+        let fork = fig.series_named("CPU time of Fork").unwrap();
+        let baseline_sum = victim.value_for("no attack").unwrap() + fork.value_for("no attack").unwrap();
+        let mut prev_victim = victim.value_for("no attack").unwrap();
+        for (label, _) in NICE_SWEEP {
+            let v = victim.value_for(label).unwrap();
+            let f = fork.value_for(label).unwrap();
+            // The victim is overcharged relative to running alone.
+            assert!(v > prev_victim * 0.99, "victim time should not shrink at {label}");
+            // Conservation: the two bars together stay near the standalone sum.
+            let sum = v + f;
+            assert!(
+                (sum - baseline_sum).abs() / baseline_sum < 0.25,
+                "sum at {label} = {sum}, baseline {baseline_sum}"
+            );
+            prev_victim = v;
+        }
+        // The strongest attacker produces a clearly larger victim reading
+        // than no attack at all.
+        let strongest = victim.value_for("nice-20").unwrap();
+        let none = victim.value_for("no attack").unwrap();
+        assert!(strongest > none * 1.2, "nice-20 {strongest} vs no-attack {none}");
+    }
+
+    #[test]
+    fn fig8_brute_is_less_affected_than_whetstone() {
+        let cfg = tiny();
+        let f7 = fig7_sched_whetstone(&cfg);
+        let f8 = fig8_sched_brute(&cfg);
+        let rel_increase = |fig: &FigureData, label: &str| {
+            let s = fig.series.first().unwrap();
+            s.value_for("nice-20").unwrap() / s.value_for(label).unwrap()
+        };
+        let w_inflation = rel_increase(&f7, "no attack");
+        let b_inflation = rel_increase(&f8, "no attack");
+        assert!(
+            b_inflation < w_inflation,
+            "Brute ({b_inflation}) should be hit less than Whetstone ({w_inflation})"
+        );
+    }
+
+    #[test]
+    fn fig9_increases_system_time() {
+        let cfg = tiny();
+        let fig = fig9_thrash(&cfg);
+        let ns = fig.series_named("system time (normal)").unwrap();
+        let as_ = fig.series_named("system time (attack)").unwrap();
+        for w in Workload::ALL {
+            assert!(
+                as_.value_for(w.label()).unwrap() >= ns.value_for(w.label()).unwrap(),
+                "{} stime should not shrink under thrashing",
+                w.label()
+            );
+        }
+        // P has by far the most breakpoint hits and therefore the largest
+        // system-time growth.
+        let growth = |l: &str| as_.value_for(l).unwrap() - ns.value_for(l).unwrap();
+        assert!(growth("P") > growth("W"), "P {} vs W {}", growth("P"), growth("W"));
+    }
+
+    #[test]
+    fn fig10_slight_stime_increase() {
+        let cfg = tiny();
+        let fig = fig10_irqflood(&cfg);
+        let ns = fig.series_named("system time (normal)").unwrap();
+        let as_ = fig.series_named("system time (attack)").unwrap();
+        let nu = fig.series_named("user time (normal)").unwrap();
+        for w in Workload::ALL {
+            let delta = as_.value_for(w.label()).unwrap() - ns.value_for(w.label()).unwrap();
+            assert!(delta >= 0.0, "{}: stime should not shrink", w.label());
+            // "Slight": far smaller than the program's own user time.
+            assert!(delta < nu.value_for(w.label()).unwrap() * 0.5, "{}: delta {delta}", w.label());
+        }
+        // At least one workload shows a visible increase.
+        let any_growth = Workload::ALL.iter().any(|w| {
+            as_.value_for(w.label()).unwrap() > ns.value_for(w.label()).unwrap() + 1e-6
+        });
+        assert!(any_growth);
+    }
+}

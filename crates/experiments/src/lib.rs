@@ -1,0 +1,41 @@
+//! # trustmeter-experiments
+//!
+//! The experiment harness that regenerates every figure of the paper's
+//! evaluation (§V) plus the defense and ablation studies:
+//!
+//! * [`figures`] — `fig4` … `fig11`, one function per paper figure.
+//! * [`comparison`] — the §V-C attack comparison table and the §VI-B defense
+//!   replay.
+//! * [`ablations`] — HZ sweep, scheduler choice, flood-rate sweep.
+//! * [`scenario`] — the underlying single-run machinery.
+//!
+//! The `repro` binary (`cargo run -p trustmeter-experiments --bin repro`)
+//! runs everything, prints the series next to the paper's qualitative
+//! expectations, and writes JSON under `results/`.
+//!
+//! ```
+//! use trustmeter_experiments::{ExperimentConfig, fig4_shell};
+//!
+//! let cfg = ExperimentConfig { scale: 0.002, seed: 1 };
+//! let fig = fig4_shell(&cfg);
+//! assert_eq!(fig.series.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod comparison;
+pub mod export;
+pub mod figures;
+pub mod report;
+pub mod scenario;
+
+pub use ablations::{all_ablations, flood_rate_sweep, hz_sweep, scheduler_ablation};
+pub use comparison::{comparison_table, defenses, DefenseReport};
+pub use figures::{
+    all_figures, fig10_irqflood, fig11_pfflood, fig4_shell, fig5_ctor, fig6_interpose,
+    fig7_sched_whetstone, fig8_sched_brute, fig9_thrash, ExperimentConfig, NICE_SWEEP,
+};
+pub use report::{ComparisonRow, ComparisonTable, FigureData};
+pub use scenario::{Scenario, ScenarioOutcome};

@@ -1,0 +1,148 @@
+//! Figure/table data containers and rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustmeter_sim::Series;
+
+/// The reproduced data behind one paper figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Identifier, e.g. `"fig4"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// What the paper reports for this figure (qualitative expectation).
+    pub paper_expectation: String,
+    /// The reproduced series.
+    pub series: Vec<Series>,
+    /// Free-form notes (calibration, scale, deviations).
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    /// Creates an empty figure container.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, expectation: impl Into<String>) -> FigureData {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            paper_expectation: expectation.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+impl fmt::Display for FigureData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        writeln!(f, "paper: {}", self.paper_expectation)?;
+        for s in &self.series {
+            writeln!(f, "  {s}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of the §V-C attack-comparison table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Attack name.
+    pub attack: String,
+    /// Which accounting component is inflated.
+    pub component: String,
+    /// Privilege the operator needs.
+    pub privilege: String,
+    /// Victim's billed-time inflation over the clean run, as a factor.
+    pub inflation_factor: f64,
+    /// Share of the extra billed time that landed in system time (0..1).
+    pub stime_share_of_extra: f64,
+    /// Extra billed CPU seconds.
+    pub extra_secs: f64,
+}
+
+/// The full comparison table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ComparisonTable {
+    /// One row per attack.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl fmt::Display for ComparisonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<20} {:<22} {:<26} {:>10} {:>12} {:>10}",
+            "attack", "component", "privilege", "inflation", "stime share", "extra (s)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<20} {:<22} {:<26} {:>9.2}x {:>11.0}% {:>10.2}",
+                r.attack,
+                r.component,
+                r.privilege,
+                r.inflation_factor,
+                r.stime_share_of_extra * 100.0,
+                r.extra_secs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_container_roundtrip() {
+        let mut fig = FigureData::new("fig4", "Shell attack", "utime grows by a constant");
+        let mut s = Series::new("user time (attack)");
+        s.push("O", 154.0);
+        fig.push_series(s);
+        fig.note("scale = 0.01");
+        assert!(fig.series_named("user time (attack)").is_some());
+        assert!(fig.series_named("missing").is_none());
+        let text = format!("{fig}");
+        assert!(text.contains("fig4"));
+        assert!(text.contains("note: scale"));
+        let json = serde_json::to_string(&fig).unwrap();
+        let back: FigureData = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fig);
+    }
+
+    #[test]
+    fn comparison_table_renders() {
+        let table = ComparisonTable {
+            rows: vec![ComparisonRow {
+                attack: "shell".into(),
+                component: "user-time inflation".into(),
+                privilege: "shell/environment control".into(),
+                inflation_factor: 1.28,
+                stime_share_of_extra: 0.0,
+                extra_secs: 34.0,
+            }],
+        };
+        let text = format!("{table}");
+        assert!(text.contains("shell"));
+        assert!(text.contains("1.28x"));
+    }
+}

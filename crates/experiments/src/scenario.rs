@@ -1,0 +1,253 @@
+//! Scenario runner: one victim workload, optionally one attack, one
+//! simulated machine — returning everything the figures and the
+//! trust-analysis layer need.
+
+use serde::{Deserialize, Serialize};
+use trustmeter_attacks::Attack;
+use trustmeter_core::{CpuTime, Digest, SchemeKind, SourceIntegrityReport, TaskId};
+use trustmeter_kernel::{Kernel, KernelConfig, KernelStats};
+use trustmeter_workloads::Workload;
+
+/// A victim workload running on a configured machine.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Kernel/machine configuration.
+    pub config: KernelConfig,
+    /// Workload scale factor (1.0 = the paper's full-size runs).
+    pub scale: f64,
+    /// The victim workload.
+    pub workload: Workload,
+    /// The victim's nice value.
+    pub victim_nice: i8,
+}
+
+impl Scenario {
+    /// Creates a scenario on the paper's machine at the given scale.
+    pub fn new(workload: Workload, scale: f64) -> Scenario {
+        Scenario {
+            config: KernelConfig::paper_machine(),
+            scale,
+            workload,
+            victim_nice: 0,
+        }
+    }
+
+    /// Replaces the kernel configuration.
+    pub fn with_config(mut self, config: KernelConfig) -> Scenario {
+        self.config = config;
+        self
+    }
+
+    /// Runs the scenario without any attack.
+    pub fn run_clean(&self) -> ScenarioOutcome {
+        self.run_inner(None)
+    }
+
+    /// Runs the scenario with the given attack installed and launched.
+    pub fn run_attacked(&self, attack: &dyn Attack) -> ScenarioOutcome {
+        self.run_inner(Some(attack))
+    }
+
+    fn run_inner(&self, attack: Option<&dyn Attack>) -> ScenarioOutcome {
+        let mut kernel = Kernel::new(self.config.clone());
+        if let Some(a) = attack {
+            a.install(&mut kernel);
+        }
+        let victim = kernel.spawn_process(self.workload.build(self.scale), self.victim_nice);
+        if let Some(a) = attack {
+            a.launch(&mut kernel, victim, Some(self.workload));
+        }
+        let result = kernel.run();
+        let measured_images: Vec<String> = kernel
+            .measurement_log(victim)
+            .map(|log| log.entries().iter().map(|e| e.name.clone()).collect())
+            .unwrap_or_default();
+        let measurement_pcr = kernel.measurement_log(victim).map(|l| l.pcr()).unwrap_or(Digest::ZERO);
+        let witness_digest = kernel.witness(victim).map(|w| w.digest()).unwrap_or(Digest::ZERO);
+        let verify = |whitelist: &[String]| -> SourceIntegrityReport {
+            kernel
+                .measurement_log(victim)
+                .map(|log| log.verify(whitelist.iter().map(|s| s.as_str()), log.pcr()))
+                .unwrap_or_else(|| SourceIntegrityReport {
+                    unexpected: Vec::new(),
+                    missing: Vec::new(),
+                    pcr_consistent: true,
+                })
+        };
+        // Capture the integrity report against the victim's own closure so a
+        // later caller can also re-verify against an external whitelist via
+        // `measured_images`.
+        let self_report = verify(&measured_images);
+
+        let victim_usage = result
+            .process(victim)
+            .cloned()
+            .expect("victim process present in results");
+
+        // Aggregate non-victim processes by name (the scheduling attacker
+        // forks thousands of short-lived children that would otherwise each
+        // get their own row).
+        let mut others_map: std::collections::BTreeMap<String, (CpuTime, CpuTime)> =
+            std::collections::BTreeMap::new();
+        for p in &result.processes {
+            if p.tgid != victim {
+                let entry = others_map.entry(p.name.clone()).or_default();
+                entry.0 += p.billed();
+                entry.1 += p.ground_truth();
+            }
+        }
+        let others: Vec<(String, CpuTime, CpuTime)> =
+            others_map.into_iter().map(|(n, (b, t))| (n, b, t)).collect();
+
+        ScenarioOutcome {
+            attack_name: attack.map(|a| a.name().to_string()),
+            workload: self.workload,
+            victim_pid: victim,
+            frequency_khz: self.config.frequency.khz(),
+            victim_billed: victim_usage.billed(),
+            victim_truth: victim_usage.usage(SchemeKind::Tsc),
+            victim_process_aware: victim_usage.usage(SchemeKind::ProcessAware),
+            victim_threads: victim_usage.threads,
+            others,
+            elapsed_secs: result.elapsed_secs(),
+            stats: result.stats,
+            hit_horizon: result.hit_horizon,
+            measured_images,
+            measurement_pcr,
+            witness_digest,
+            self_integrity_ok: self_report.is_trustworthy(),
+        }
+    }
+}
+
+/// Everything a single scenario run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Name of the attack, if one was active.
+    pub attack_name: Option<String>,
+    /// The victim workload.
+    pub workload: Workload,
+    /// The victim's pid.
+    pub victim_pid: TaskId,
+    /// CPU frequency in kHz (for converting the stored cycle counts).
+    pub frequency_khz: u64,
+    /// What the provider bills (commodity tick accounting), thread-group
+    /// total.
+    pub victim_billed: CpuTime,
+    /// Fine-grained TSC ground truth.
+    pub victim_truth: CpuTime,
+    /// Process-aware accounting reading.
+    pub victim_process_aware: CpuTime,
+    /// Number of victim threads.
+    pub victim_threads: u32,
+    /// Other processes in the run: `(name, billed, ground truth)`.
+    pub others: Vec<(String, CpuTime, CpuTime)>,
+    /// Virtual wall-clock duration of the run.
+    pub elapsed_secs: f64,
+    /// Kernel statistics.
+    pub stats: KernelStats,
+    /// Whether the simulation hit its safety horizon.
+    pub hit_horizon: bool,
+    /// Names of every image measured into the victim's context.
+    pub measured_images: Vec<String>,
+    /// PCR over the victim's measurement log.
+    pub measurement_pcr: Digest,
+    /// Digest of the victim's execution witness.
+    pub witness_digest: Digest,
+    /// Whether the victim's log verifies against its own closure (always
+    /// true; present as a sanity field).
+    pub self_integrity_ok: bool,
+}
+
+impl ScenarioOutcome {
+    fn secs(&self, cycles: trustmeter_sim::Cycles) -> f64 {
+        cycles.as_f64() / (self.frequency_khz as f64 * 1_000.0)
+    }
+
+    /// Billed user time in seconds.
+    pub fn billed_utime_secs(&self) -> f64 {
+        self.secs(self.victim_billed.utime)
+    }
+
+    /// Billed system time in seconds.
+    pub fn billed_stime_secs(&self) -> f64 {
+        self.secs(self.victim_billed.stime)
+    }
+
+    /// Billed total CPU seconds.
+    pub fn billed_total_secs(&self) -> f64 {
+        self.billed_utime_secs() + self.billed_stime_secs()
+    }
+
+    /// Ground-truth total CPU seconds.
+    pub fn truth_total_secs(&self) -> f64 {
+        self.secs(self.victim_truth.total())
+    }
+
+    /// Ground-truth system seconds.
+    pub fn truth_stime_secs(&self) -> f64 {
+        self.secs(self.victim_truth.stime)
+    }
+
+    /// Process-aware total CPU seconds.
+    pub fn process_aware_total_secs(&self) -> f64 {
+        self.secs(self.victim_process_aware.total())
+    }
+
+    /// Billed total of another process by name (0.0 if absent).
+    pub fn other_billed_total_secs(&self, name: &str) -> f64 {
+        self.others
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, billed, _)| self.secs(billed.total()))
+            .unwrap_or(0.0)
+    }
+
+    /// Names of measured images that do not appear in `whitelist` —
+    /// injected code detected by the source-integrity property.
+    pub fn unexpected_images<'a>(&'a self, whitelist: &[String]) -> Vec<&'a str> {
+        self.measured_images
+            .iter()
+            .filter(|m| !whitelist.contains(m))
+            .map(|s| s.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmeter_attacks::ShellAttack;
+
+    #[test]
+    fn clean_scenario_runs_and_reports() {
+        let outcome = Scenario::new(Workload::LoopO, 0.002).run_clean();
+        assert!(outcome.attack_name.is_none());
+        assert!(!outcome.hit_horizon);
+        assert!(outcome.billed_total_secs() > 0.0);
+        assert!(outcome.truth_total_secs() > 0.0);
+        assert!(outcome.self_integrity_ok);
+        assert!(outcome.measured_images.iter().any(|m| m == "O"));
+        assert!(outcome.others.is_empty());
+    }
+
+    #[test]
+    fn attacked_scenario_reports_attack_and_injected_image() {
+        let attack = ShellAttack::paper_default(0.002);
+        let clean = Scenario::new(Workload::LoopO, 0.002).run_clean();
+        let attacked = Scenario::new(Workload::LoopO, 0.002).run_attacked(&attack);
+        assert_eq!(attacked.attack_name.as_deref(), Some("shell"));
+        assert!(attacked.billed_total_secs() > clean.billed_total_secs());
+        let unexpected = attacked.unexpected_images(&clean.measured_images);
+        assert_eq!(unexpected, vec!["shell-injected-loop"]);
+        // The witness also diverges from the clean run.
+        assert_ne!(attacked.witness_digest, clean.witness_digest);
+    }
+
+    #[test]
+    fn outcome_serializes() {
+        let outcome = Scenario::new(Workload::Pi, 0.001).run_clean();
+        let json = serde_json::to_string(&outcome).expect("serialize");
+        assert!(json.contains("victim_billed"));
+    }
+}

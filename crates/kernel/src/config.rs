@@ -1,0 +1,290 @@
+//! Kernel configuration: timer frequency, scheduler choice, and the cost
+//! model for kernel paths.
+//!
+//! The defaults are calibrated for the paper's evaluation machine (a single
+//! core of an Intel Core 2 Duo E7200 at 2.53 GHz running Linux 2.6.29 at
+//! HZ=250). Kernel-path costs are order-of-magnitude figures for that class
+//! of hardware; absolute values only shift the figures' scale, not their
+//! shape.
+
+use serde::{Deserialize, Serialize};
+use trustmeter_sim::{CpuFrequency, Cycles, Nanos};
+
+/// Which scheduler the kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SchedulerKind {
+    /// Per-jiffy proportional-share scheduler with tick-quantised
+    /// preemption (the default; models the tick-driven scheduling decisions
+    /// that make the scheduling attack effective).
+    #[default]
+    FairShare,
+    /// vruntime-based scheduler with immediate wakeup preemption (CFS-like,
+    /// used for the scheduler ablation).
+    Cfs,
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::FairShare => f.write_str("fair-share"),
+            SchedulerKind::Cfs => f.write_str("cfs"),
+        }
+    }
+}
+
+/// Cycle costs of the kernel paths exercised by the simulation.
+///
+/// All costs are expressed in wall-clock microseconds and converted to
+/// cycles through the configured CPU frequency; this keeps the numbers
+/// recognisable (a context switch is "a few microseconds") and independent
+/// of the simulated clock rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Direct cost of a context switch (register/address-space switch).
+    pub context_switch_us: f64,
+    /// Fixed syscall entry/exit overhead.
+    pub syscall_entry_us: f64,
+    /// `fork()` service time (copying descriptors, COW setup).
+    pub fork_us: f64,
+    /// `execve()` service time (image setup, before dynamic linking).
+    pub execve_us: f64,
+    /// Dynamic-linker work per loaded shared library.
+    pub dynlink_per_library_us: f64,
+    /// `exit()` / task teardown service time.
+    pub exit_us: f64,
+    /// `wait()` bookkeeping when a child is reaped.
+    pub wait_us: f64,
+    /// Device-interrupt handler service time (NIC receive path for a junk
+    /// packet).
+    pub nic_irq_us: f64,
+    /// Disk-interrupt handler service time.
+    pub disk_irq_us: f64,
+    /// Minor page-fault service time (page already in page cache / COW).
+    pub minor_fault_us: f64,
+    /// Major page-fault service time excluding device wait (swap-in setup).
+    pub major_fault_us: f64,
+    /// Synchronous swap-in device time charged while the kernel services a
+    /// major fault.
+    pub swap_in_us: f64,
+    /// Debug-exception service + SIGTRAP delivery (one thrashing round,
+    /// kernel side on the tracee).
+    pub debug_trap_us: f64,
+    /// Signal delivery bookkeeping.
+    pub signal_delivery_us: f64,
+    /// `ptrace()` request service time (attach, cont, poke).
+    pub ptrace_request_us: f64,
+    /// Timer-interrupt handler (accounting + scheduler tick).
+    pub timer_irq_us: f64,
+    /// Disk read/write latency per request (device time, the requester is
+    /// blocked for this long).
+    pub disk_latency_us: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            context_switch_us: 3.0,
+            syscall_entry_us: 0.5,
+            fork_us: 60.0,
+            execve_us: 120.0,
+            dynlink_per_library_us: 40.0,
+            exit_us: 40.0,
+            wait_us: 5.0,
+            nic_irq_us: 6.0,
+            disk_irq_us: 8.0,
+            minor_fault_us: 2.0,
+            major_fault_us: 12.0,
+            swap_in_us: 250.0,
+            debug_trap_us: 25.0,
+            signal_delivery_us: 5.0,
+            ptrace_request_us: 6.0,
+            timer_irq_us: 2.0,
+            disk_latency_us: 4_000.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Converts a microsecond cost into cycles at the given frequency.
+    pub fn cycles(freq: CpuFrequency, us: f64) -> Cycles {
+        freq.cycles_for(Nanos::from_secs_f64(us / 1e6))
+    }
+}
+
+/// Full configuration of a simulated kernel instance.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_kernel::KernelConfig;
+///
+/// let cfg = KernelConfig::paper_machine().with_hz(1000);
+/// assert_eq!(cfg.hz, 1000);
+/// assert!(cfg.jiffy().as_u64() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// CPU clock frequency.
+    pub frequency: CpuFrequency,
+    /// Timer interrupt frequency (ticks per second).
+    pub hz: u32,
+    /// Scheduler implementation.
+    pub scheduler: SchedulerKind,
+    /// Kernel path costs.
+    pub costs: CostModel,
+    /// Physical memory available to user tasks, in pages.
+    pub physical_pages: u64,
+    /// RNG seed for the whole simulation.
+    pub seed: u64,
+    /// Safety horizon: the simulation aborts after this much virtual time
+    /// even if tasks are still alive (guards against runaway programs).
+    pub horizon_secs: f64,
+}
+
+impl KernelConfig {
+    /// Configuration matching the paper's evaluation platform: one core of
+    /// an E7200 at 2.53 GHz, HZ=250, 2 GiB of RAM (at 4 KiB pages).
+    pub fn paper_machine() -> KernelConfig {
+        KernelConfig {
+            frequency: CpuFrequency::E7200,
+            hz: 250,
+            scheduler: SchedulerKind::FairShare,
+            costs: CostModel::default(),
+            physical_pages: 512 * 1024,
+            seed: 0x5eed_cafe,
+            horizon_secs: 100_000.0,
+        }
+    }
+
+    /// Sets the timer frequency.
+    ///
+    /// # Panics
+    /// Panics if `hz` is zero.
+    pub fn with_hz(mut self, hz: u32) -> KernelConfig {
+        assert!(hz > 0, "HZ must be positive");
+        self.hz = hz;
+        self
+    }
+
+    /// Sets the scheduler implementation.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> KernelConfig {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> KernelConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the amount of physical memory, in pages.
+    ///
+    /// # Panics
+    /// Panics if `pages` is zero.
+    pub fn with_physical_pages(mut self, pages: u64) -> KernelConfig {
+        assert!(pages > 0, "physical memory must be non-empty");
+        self.physical_pages = pages;
+        self
+    }
+
+    /// Sets the simulation horizon in virtual seconds.
+    pub fn with_horizon_secs(mut self, secs: f64) -> KernelConfig {
+        self.horizon_secs = secs;
+        self
+    }
+
+    /// The jiffy (timer period) in cycles.
+    pub fn jiffy(&self) -> Cycles {
+        Cycles(self.frequency.hz() / self.hz as u64)
+    }
+
+    /// The jiffy in wall-clock time.
+    pub fn jiffy_nanos(&self) -> Nanos {
+        Nanos(1_000_000_000 / self.hz as u64)
+    }
+
+    /// Converts a microsecond figure from the cost model into cycles.
+    pub fn cost(&self, us: f64) -> Cycles {
+        CostModel::cycles(self.frequency, us)
+    }
+
+    /// The simulation horizon in cycles.
+    pub fn horizon(&self) -> Cycles {
+        self.frequency.cycles_for(Nanos::from_secs_f64(self.horizon_secs))
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig::paper_machine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_matches_paper_specs() {
+        let cfg = KernelConfig::paper_machine();
+        assert_eq!(cfg.frequency, CpuFrequency::E7200);
+        assert_eq!(cfg.hz, 250);
+        // 2.533 GHz / 250 Hz = 10.132 M cycles per jiffy.
+        assert_eq!(cfg.jiffy(), Cycles(10_132_000));
+        assert_eq!(cfg.jiffy_nanos(), Nanos::from_millis(4));
+        assert_eq!(cfg.scheduler, SchedulerKind::FairShare);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = KernelConfig::paper_machine()
+            .with_hz(1000)
+            .with_scheduler(SchedulerKind::Cfs)
+            .with_seed(42)
+            .with_physical_pages(1024)
+            .with_horizon_secs(10.0);
+        assert_eq!(cfg.hz, 1000);
+        assert_eq!(cfg.scheduler, SchedulerKind::Cfs);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.physical_pages, 1024);
+        assert!(cfg.horizon() < KernelConfig::paper_machine().horizon());
+    }
+
+    #[test]
+    #[should_panic(expected = "HZ must be positive")]
+    fn zero_hz_rejected() {
+        let _ = KernelConfig::paper_machine().with_hz(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_memory_rejected() {
+        let _ = KernelConfig::paper_machine().with_physical_pages(0);
+    }
+
+    #[test]
+    fn cost_conversion_is_linear() {
+        let cfg = KernelConfig::paper_machine();
+        let one = cfg.cost(1.0);
+        let ten = cfg.cost(10.0);
+        assert!(ten.as_u64() >= one.as_u64() * 9 && ten.as_u64() <= one.as_u64() * 11);
+        // 1 µs at 2.533 GHz is 2533 cycles.
+        assert_eq!(one, Cycles(2_533));
+    }
+
+    #[test]
+    fn default_cost_model_is_sane() {
+        let c = CostModel::default();
+        assert!(c.context_switch_us > 0.0);
+        assert!(c.swap_in_us > c.major_fault_us);
+        assert!(c.fork_us > c.syscall_entry_us);
+        assert!(c.disk_latency_us > c.disk_irq_us);
+    }
+
+    #[test]
+    fn scheduler_kind_display() {
+        assert_eq!(format!("{}", SchedulerKind::FairShare), "fair-share");
+        assert_eq!(format!("{}", SchedulerKind::Cfs), "cfs");
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulated devices: the network adapter and the disk.
+//!
+//! * The **NIC** raises a receive interrupt per arriving packet. The
+//!   interrupt-flooding attack (§IV-B3) points a packet generator at the
+//!   machine; none of the victim programs use the network, so every one of
+//!   those interrupts is pure overhead — yet its handler time is charged to
+//!   whichever task happens to be running.
+//! * The **disk** completes read/write requests after a fixed latency and
+//!   raises a completion interrupt *owned* by the requesting task, which is
+//!   how the process-aware accounting scheme knows whom to bill.
+
+use serde::{Deserialize, Serialize};
+use trustmeter_core::TaskId;
+use trustmeter_sim::{CpuFrequency, Cycles, Nanos, SimRng};
+
+/// Configuration of the junk-packet flood used by the interrupt-flooding
+/// attack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicFlood {
+    /// Packet arrival rate, packets per second.
+    pub packets_per_sec: f64,
+    /// When the flood starts, in virtual seconds.
+    pub start_secs: f64,
+    /// How long the flood lasts, in virtual seconds (`f64::INFINITY` for
+    /// the whole run).
+    pub duration_secs: f64,
+    /// Whether arrivals are Poisson (exponential gaps) or perfectly
+    /// periodic.
+    pub poisson: bool,
+}
+
+impl NicFlood {
+    /// A steady flood at `pps` packets per second for the whole run.
+    pub fn steady(pps: f64) -> NicFlood {
+        NicFlood { packets_per_sec: pps, start_secs: 0.0, duration_secs: f64::INFINITY, poisson: true }
+    }
+
+    /// First packet arrival time in cycles.
+    pub fn first_arrival(&self, freq: CpuFrequency) -> Cycles {
+        freq.cycles_for(Nanos::from_secs_f64(self.start_secs.max(0.0)))
+    }
+
+    /// Computes the next arrival after `now`, or `None` when the flood has
+    /// ended.
+    pub fn next_arrival(&self, now: Cycles, freq: CpuFrequency, rng: &mut SimRng) -> Option<Cycles> {
+        if self.packets_per_sec <= 0.0 {
+            return None;
+        }
+        let end = if self.duration_secs.is_finite() {
+            Some(freq.cycles_for(Nanos::from_secs_f64(self.start_secs + self.duration_secs)))
+        } else {
+            None
+        };
+        let mean_gap_secs = 1.0 / self.packets_per_sec;
+        let gap_secs = if self.poisson { rng.gen_exp(mean_gap_secs) } else { mean_gap_secs };
+        let gap = freq.cycles_for(Nanos::from_secs_f64(gap_secs.max(1e-9)));
+        let next = now.saturating_add(gap);
+        match end {
+            Some(e) if next > e => None,
+            _ => Some(next),
+        }
+    }
+}
+
+/// The disk device: fixed-latency request completion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disk {
+    /// Request service latency.
+    pub latency: Cycles,
+    /// Additional per-byte transfer cost in cycles (sequential bandwidth).
+    pub per_byte_cycles: f64,
+}
+
+impl Disk {
+    /// Creates a disk with the given request latency and a throughput of
+    /// roughly 80 MB/s at the paper machine's clock.
+    pub fn new(latency: Cycles) -> Disk {
+        Disk { latency, per_byte_cycles: 30.0 }
+    }
+
+    /// Completion time for a request of `bytes` bytes issued at `now` by
+    /// `_owner`.
+    pub fn completion_time(&self, now: Cycles, bytes: u64) -> Cycles {
+        now.saturating_add(self.latency)
+            .saturating_add(Cycles((bytes as f64 * self.per_byte_cycles) as u64))
+    }
+}
+
+/// A pending disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRequest {
+    /// The task that issued the request (the interrupt's owner).
+    pub owner: TaskId,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_flood_arrivals_are_plausible() {
+        let flood = NicFlood::steady(10_000.0);
+        let freq = CpuFrequency::from_mhz(1000);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(flood.first_arrival(freq), Cycles::ZERO);
+        let mut now = Cycles::ZERO;
+        let mut gaps = Vec::new();
+        for _ in 0..1_000 {
+            let next = flood.next_arrival(now, freq, &mut rng).unwrap();
+            gaps.push((next - now).as_u64());
+            now = next;
+        }
+        let mean_gap = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        // Expected gap: 100 µs = 100_000 cycles at 1 GHz; allow 15 % tolerance.
+        assert!((mean_gap - 100_000.0).abs() < 15_000.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn periodic_flood_is_exact() {
+        let flood = NicFlood {
+            packets_per_sec: 1_000.0,
+            start_secs: 0.0,
+            duration_secs: f64::INFINITY,
+            poisson: false,
+        };
+        let freq = CpuFrequency::from_mhz(1000);
+        let mut rng = SimRng::seed_from(1);
+        let next = flood.next_arrival(Cycles(0), freq, &mut rng).unwrap();
+        assert_eq!(next, Cycles(1_000_000));
+    }
+
+    #[test]
+    fn flood_respects_duration_and_start() {
+        let flood = NicFlood {
+            packets_per_sec: 1_000.0,
+            start_secs: 2.0,
+            duration_secs: 1.0,
+            poisson: false,
+        };
+        let freq = CpuFrequency::from_mhz(1000);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(flood.first_arrival(freq), Cycles(2_000_000_000));
+        // An arrival that would land after start+duration is suppressed.
+        let beyond = flood.next_arrival(Cycles(2_999_999_999), freq, &mut rng);
+        assert_eq!(beyond, None);
+        // Zero-rate flood never fires.
+        let silent = NicFlood::steady(0.0);
+        assert_eq!(silent.next_arrival(Cycles(0), freq, &mut rng), None);
+    }
+
+    #[test]
+    fn disk_completion_accounts_for_size() {
+        let disk = Disk::new(Cycles(1_000_000));
+        let small = disk.completion_time(Cycles(0), 512);
+        let large = disk.completion_time(Cycles(0), 1 << 20);
+        assert!(large > small);
+        assert!(small >= Cycles(1_000_000));
+    }
+}

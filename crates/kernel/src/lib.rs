@@ -1,0 +1,59 @@
+//! # trustmeter-kernel
+//!
+//! A deterministic, discrete-event simulation of the single-core Linux
+//! machine used in the evaluation of *"On Trustworthiness of CPU Usage
+//! Metering and Accounting"* (Liu & Ding, ICDCSW 2010): a timer interrupt at
+//! configurable HZ driving jiffy-based CPU accounting, a proportional-share
+//! scheduler with nice values, fork/execve/exit/wait, signals, ptrace with
+//! hardware breakpoints, device interrupts (NIC, disk), demand paging with
+//! global reclaim, and a dynamic loader with `LD_PRELOAD` and symbol
+//! interposition.
+//!
+//! Every accounting-relevant transition is reported to the metering schemes
+//! in [`trustmeter_core`], so a single run yields the commodity tick-based
+//! reading (what the provider bills), the fine-grained TSC ground truth, and
+//! the process-aware reading side by side.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use trustmeter_kernel::{Kernel, KernelConfig, OpsProgram};
+//! use trustmeter_core::SchemeKind;
+//! use trustmeter_sim::Cycles;
+//!
+//! let mut kernel = Kernel::new(KernelConfig::paper_machine());
+//! let pid = kernel.spawn_process(
+//!     Box::new(OpsProgram::compute_only("quick-job", Cycles(10_000_000))),
+//!     0,
+//! );
+//! let result = kernel.run();
+//! println!(
+//!     "billed: {:.3} s, ground truth: {:.3} s",
+//!     result.process(pid).unwrap().billed().total_secs(result.frequency),
+//!     result.process(pid).unwrap().ground_truth().total_secs(result.frequency),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod devices;
+pub mod kernel;
+pub mod loader;
+pub mod mm;
+pub mod program;
+pub mod results;
+pub mod sched;
+pub mod signals;
+pub mod task;
+
+pub use config::{CostModel, KernelConfig, SchedulerKind};
+pub use devices::{Disk, DiskRequest, NicFlood};
+pub use kernel::Kernel;
+pub use loader::{LibraryRegistry, LoadPlan, SharedLibrary};
+pub use mm::{FaultBatch, MemoryManager};
+pub use program::{LoopProgram, Op, OpOutcome, OpsProgram, Program, ProgramCtx, SyscallOp};
+pub use results::{KernelStats, ProcessUsage, RunResult};
+pub use signals::Signal;
+pub use task::{BlockReason, Task, TaskMem, TaskState};

@@ -1,0 +1,347 @@
+//! The dynamic loader: shared libraries, `LD_PRELOAD`, constructors and
+//! symbol interposition.
+//!
+//! Program launch on Linux maps the dynamic linker, which maps the needed
+//! shared libraries and runs their constructor routines *in the context of
+//! the new process*, before `main()` is ever reached (paper §III-C). The
+//! shared-library attacks of §IV-A2 exploit exactly this: a library named in
+//! `LD_PRELOAD` gets its constructor executed (Fig. 5) and its exported
+//! symbols interpose the genuine ones, adding attacker-controlled work to
+//! every call (Fig. 6) — all billed to the victim's user time.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use trustmeter_core::{ImageKind, MeasuredImage};
+use trustmeter_sim::Cycles;
+
+/// A shared library known to the platform.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedLibrary {
+    /// Library name (e.g. `"libc.so.6"`).
+    pub name: String,
+    /// Exported symbols and their per-call cost in cycles.
+    pub symbols: BTreeMap<String, Cycles>,
+    /// Constructor cost (runs at load, in the loading process's context).
+    pub constructor_cycles: Cycles,
+    /// Destructor cost (runs at unload / process exit).
+    pub destructor_cycles: Cycles,
+    /// Whether this library ships with the platform (`true`) or was
+    /// injected by the operator (`false`) — used only for reporting; the
+    /// integrity verifier works from the customer's whitelist, not from
+    /// this flag.
+    pub genuine: bool,
+}
+
+impl SharedLibrary {
+    /// Creates a library with no symbols and zero-cost constructor.
+    pub fn new(name: impl Into<String>) -> SharedLibrary {
+        SharedLibrary {
+            name: name.into(),
+            symbols: BTreeMap::new(),
+            constructor_cycles: Cycles::ZERO,
+            destructor_cycles: Cycles::ZERO,
+            genuine: true,
+        }
+    }
+
+    /// Adds an exported symbol with its per-call cost.
+    pub fn with_symbol(mut self, symbol: impl Into<String>, cost: Cycles) -> SharedLibrary {
+        self.symbols.insert(symbol.into(), cost);
+        self
+    }
+
+    /// Sets the constructor cost.
+    pub fn with_constructor(mut self, cycles: Cycles) -> SharedLibrary {
+        self.constructor_cycles = cycles;
+        self
+    }
+
+    /// Sets the destructor cost.
+    pub fn with_destructor(mut self, cycles: Cycles) -> SharedLibrary {
+        self.destructor_cycles = cycles;
+        self
+    }
+
+    /// Marks the library as operator-injected (not part of the platform).
+    pub fn injected(mut self) -> SharedLibrary {
+        self.genuine = false;
+        self
+    }
+}
+
+/// The outcome of loading a process image: work to perform in the new
+/// process's context and measurements for its log.
+#[derive(Debug, Clone, Default)]
+pub struct LoadPlan {
+    /// User-mode work (dynamic linking is accounted as the linker running
+    /// in the process, constructors as library code), in execution order
+    /// with a label for the witness/trace.
+    pub user_work: Vec<(String, Cycles)>,
+    /// Destructor work to run at exit, in order.
+    pub exit_work: Vec<(String, Cycles)>,
+    /// Images to append to the measurement log, in measurement order.
+    pub measurements: Vec<MeasuredImage>,
+}
+
+/// The platform's library registry plus the per-launch environment.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_kernel::loader::{LibraryRegistry, SharedLibrary};
+/// use trustmeter_sim::Cycles;
+///
+/// let mut reg = LibraryRegistry::with_standard_libraries(Cycles(1_000));
+/// reg.install(
+///     SharedLibrary::new("attack.so")
+///         .with_symbol("malloc", Cycles(50_000))
+///         .injected(),
+/// );
+/// // Preloading the attack library interposes malloc.
+/// let (cost, provider) = reg.resolve("malloc", &["attack.so".to_string()]);
+/// assert_eq!(provider, "attack.so");
+/// assert!(cost > reg.resolve("malloc", &[]).0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LibraryRegistry {
+    libraries: BTreeMap<String, SharedLibrary>,
+    /// Libraries every program links against at startup, in load order.
+    startup_libraries: Vec<String>,
+    /// Cost of the dynamic linker per library (set from the kernel config).
+    linker_cost_per_library: Cycles,
+}
+
+impl LibraryRegistry {
+    /// Creates a registry with the standard platform libraries (`ld-linux`,
+    /// `libc`, `libm`) whose common symbols (`malloc`, `free`, `sqrt`,
+    /// `memcpy`) have small baseline costs.
+    pub fn with_standard_libraries(linker_cost_per_library: Cycles) -> LibraryRegistry {
+        let mut reg = LibraryRegistry {
+            libraries: BTreeMap::new(),
+            startup_libraries: vec!["libc.so.6".to_string(), "libm.so.6".to_string()],
+            linker_cost_per_library,
+        };
+        reg.install(
+            SharedLibrary::new("libc.so.6")
+                .with_symbol("malloc", Cycles(300))
+                .with_symbol("free", Cycles(200))
+                .with_symbol("memcpy", Cycles(150))
+                .with_constructor(Cycles(20_000)),
+        );
+        reg.install(
+            SharedLibrary::new("libm.so.6")
+                .with_symbol("sqrt", Cycles(40))
+                .with_symbol("sin", Cycles(60))
+                .with_symbol("cos", Cycles(60))
+                .with_constructor(Cycles(5_000)),
+        );
+        reg
+    }
+
+    /// Installs (or replaces) a library in the registry.
+    pub fn install(&mut self, library: SharedLibrary) {
+        self.libraries.insert(library.name.clone(), library);
+    }
+
+    /// Looks up a library by name.
+    pub fn library(&self, name: &str) -> Option<&SharedLibrary> {
+        self.libraries.get(name)
+    }
+
+    /// The libraries every program loads at startup.
+    pub fn startup_libraries(&self) -> &[String] {
+        &self.startup_libraries
+    }
+
+    /// Resolves a symbol through the preload list first (interposition),
+    /// then the startup libraries. Returns the per-call cost and the name of
+    /// the providing library. An interposed symbol *adds* the genuine
+    /// symbol's cost, modelling a wrapper that does its extra work and then
+    /// calls the real function (the paper's fake `malloc`).
+    pub fn resolve(&self, symbol: &str, ld_preload: &[String]) -> (Cycles, String) {
+        for lib_name in ld_preload {
+            if let Some(lib) = self.libraries.get(lib_name) {
+                if let Some(&cost) = lib.symbols.get(symbol) {
+                    let genuine = self.resolve_genuine(symbol).unwrap_or(Cycles::ZERO);
+                    return (cost + genuine, lib.name.clone());
+                }
+            }
+        }
+        match self.resolve_genuine_with_provider(symbol) {
+            Some((cost, provider)) => (cost, provider),
+            None => (Cycles(100), "unresolved".to_string()),
+        }
+    }
+
+    fn resolve_genuine(&self, symbol: &str) -> Option<Cycles> {
+        self.resolve_genuine_with_provider(symbol).map(|(c, _)| c)
+    }
+
+    fn resolve_genuine_with_provider(&self, symbol: &str) -> Option<(Cycles, String)> {
+        for lib_name in &self.startup_libraries {
+            if let Some(lib) = self.libraries.get(lib_name) {
+                if let Some(&cost) = lib.symbols.get(symbol) {
+                    return Some((cost, lib.name.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Builds the load plan for launching `executable` with the given
+    /// preload list: linker work, constructors (preloads first, as the real
+    /// loader runs them first), exit-time destructors and the measurement
+    /// entries for the whole closure.
+    pub fn load_plan(&self, executable: &str, ld_preload: &[String]) -> LoadPlan {
+        let mut plan = LoadPlan::default();
+        plan.measurements.push(MeasuredImage::new(executable, ImageKind::Executable));
+        plan.measurements.push(MeasuredImage::new("ld-linux.so.2", ImageKind::Linker));
+
+        let mut all_libs: Vec<&str> = Vec::new();
+        all_libs.extend(ld_preload.iter().map(|s| s.as_str()));
+        all_libs.extend(self.startup_libraries.iter().map(|s| s.as_str()));
+
+        for lib_name in all_libs {
+            let Some(lib) = self.libraries.get(lib_name) else { continue };
+            plan.user_work.push((format!("dynlink:{}", lib.name), self.linker_cost_per_library));
+            plan.measurements.push(MeasuredImage::new(&lib.name, ImageKind::SharedLibrary));
+            if !lib.constructor_cycles.is_zero() {
+                plan.user_work.push((format!("ctor:{}", lib.name), lib.constructor_cycles));
+                plan.measurements
+                    .push(MeasuredImage::new(format!("ctor:{}", lib.name), ImageKind::Constructor));
+            }
+            if !lib.destructor_cycles.is_zero() {
+                plan.exit_work.push((format!("dtor:{}", lib.name), lib.destructor_cycles));
+            }
+        }
+        plan
+    }
+
+    /// Builds the load plan for a runtime `dlopen` of one library.
+    pub fn dlopen_plan(&self, library: &str) -> LoadPlan {
+        let mut plan = LoadPlan::default();
+        let Some(lib) = self.libraries.get(library) else { return plan };
+        plan.user_work.push((format!("dynlink:{}", lib.name), self.linker_cost_per_library));
+        plan.measurements.push(MeasuredImage::new(&lib.name, ImageKind::SharedLibrary));
+        if !lib.constructor_cycles.is_zero() {
+            plan.user_work.push((format!("ctor:{}", lib.name), lib.constructor_cycles));
+            plan.measurements
+                .push(MeasuredImage::new(format!("ctor:{}", lib.name), ImageKind::Constructor));
+        }
+        if !lib.destructor_cycles.is_zero() {
+            plan.exit_work.push((format!("dtor:{}", lib.name), lib.destructor_cycles));
+        }
+        plan
+    }
+
+    /// The destructor work for `dlclose` of one library.
+    pub fn dlclose_plan(&self, library: &str) -> Vec<(String, Cycles)> {
+        match self.libraries.get(library) {
+            Some(lib) if !lib.destructor_cycles.is_zero() => {
+                vec![(format!("dtor:{}", lib.name), lib.destructor_cycles)]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> LibraryRegistry {
+        LibraryRegistry::with_standard_libraries(Cycles(1_000))
+    }
+
+    #[test]
+    fn standard_symbols_resolve() {
+        let reg = registry();
+        let (cost, provider) = reg.resolve("malloc", &[]);
+        assert_eq!(provider, "libc.so.6");
+        assert_eq!(cost, Cycles(300));
+        let (sqrt_cost, sqrt_provider) = reg.resolve("sqrt", &[]);
+        assert_eq!(sqrt_provider, "libm.so.6");
+        assert_eq!(sqrt_cost, Cycles(40));
+    }
+
+    #[test]
+    fn unresolved_symbol_gets_fallback() {
+        let reg = registry();
+        let (cost, provider) = reg.resolve("no_such_symbol", &[]);
+        assert_eq!(provider, "unresolved");
+        assert!(cost > Cycles::ZERO);
+    }
+
+    #[test]
+    fn preload_interposes_and_adds_genuine_cost() {
+        let mut reg = registry();
+        reg.install(SharedLibrary::new("evil.so").with_symbol("malloc", Cycles(10_000)).injected());
+        let (cost, provider) = reg.resolve("malloc", &["evil.so".to_string()]);
+        assert_eq!(provider, "evil.so");
+        assert_eq!(cost, Cycles(10_300)); // wrapper + genuine malloc
+        // Symbols the preload does not export fall through to the genuine one.
+        let (free_cost, free_provider) = reg.resolve("free", &["evil.so".to_string()]);
+        assert_eq!(free_provider, "libc.so.6");
+        assert_eq!(free_cost, Cycles(200));
+    }
+
+    #[test]
+    fn load_plan_includes_constructors_and_measurements() {
+        let reg = registry();
+        let plan = reg.load_plan("victim", &[]);
+        // linker work for libc + libm, plus their constructors.
+        assert_eq!(plan.user_work.len(), 4);
+        // executable + linker + 2 libraries + 2 constructors measured.
+        assert_eq!(plan.measurements.len(), 6);
+        assert!(plan.measurements.iter().any(|m| m.kind == ImageKind::Executable));
+        assert!(plan.measurements.iter().any(|m| m.kind == ImageKind::Linker));
+        assert!(plan.exit_work.is_empty());
+    }
+
+    #[test]
+    fn preloaded_constructor_runs_first() {
+        let mut reg = registry();
+        reg.install(
+            SharedLibrary::new("attack_preload.so")
+                .with_constructor(Cycles(1_000_000))
+                .with_destructor(Cycles(500))
+                .injected(),
+        );
+        let plan = reg.load_plan("victim", &["attack_preload.so".to_string()]);
+        let first_ctor = plan
+            .user_work
+            .iter()
+            .find(|(label, _)| label.starts_with("ctor:"))
+            .expect("some constructor");
+        assert_eq!(first_ctor.0, "ctor:attack_preload.so");
+        assert_eq!(plan.exit_work.len(), 1);
+        assert!(plan
+            .measurements
+            .iter()
+            .any(|m| m.name == "attack_preload.so" && m.kind == ImageKind::SharedLibrary));
+    }
+
+    #[test]
+    fn dlopen_and_dlclose_plans() {
+        let mut reg = registry();
+        reg.install(
+            SharedLibrary::new("plugin.so")
+                .with_constructor(Cycles(400))
+                .with_destructor(Cycles(300)),
+        );
+        let plan = reg.dlopen_plan("plugin.so");
+        assert_eq!(plan.user_work.len(), 2); // link + ctor
+        assert_eq!(plan.exit_work.len(), 1);
+        assert_eq!(reg.dlclose_plan("plugin.so").len(), 1);
+        assert!(reg.dlopen_plan("missing.so").user_work.is_empty());
+        assert!(reg.dlclose_plan("missing.so").is_empty());
+    }
+
+    #[test]
+    fn library_accessors() {
+        let reg = registry();
+        assert!(reg.library("libc.so.6").is_some());
+        assert!(reg.library("nope").is_none());
+        assert_eq!(reg.startup_libraries().len(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Results of a simulated run: per-process usage under every metering
+//! scheme plus kernel statistics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use trustmeter_core::{CpuTime, SchemeKind, TaskId};
+use trustmeter_sim::{CpuFrequency, Cycles};
+
+/// Usage of one process (thread group) under every registered metering
+/// scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessUsage {
+    /// Thread-group id.
+    pub tgid: TaskId,
+    /// Program name.
+    pub name: String,
+    /// Number of tasks (1 for single-threaded processes).
+    pub threads: u32,
+    /// Usage as reported by each scheme, summed over the thread group.
+    pub by_scheme: BTreeMap<SchemeKind, CpuTime>,
+    /// Exit code of the group leader, if it exited.
+    pub exit_code: Option<i32>,
+}
+
+impl ProcessUsage {
+    /// Usage under the given scheme (zero if that scheme was not
+    /// registered).
+    pub fn usage(&self, scheme: SchemeKind) -> CpuTime {
+        self.by_scheme.get(&scheme).copied().unwrap_or_default()
+    }
+
+    /// Usage under the commodity tick scheme — what `getrusage`/`time`
+    /// would report and what the provider bills.
+    pub fn billed(&self) -> CpuTime {
+        self.usage(SchemeKind::Tick)
+    }
+
+    /// Fine-grained ground-truth usage.
+    pub fn ground_truth(&self) -> CpuTime {
+        self.usage(SchemeKind::Tsc)
+    }
+}
+
+/// Counters describing what the kernel did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Timer interrupts handled.
+    pub ticks: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Device interrupts handled (NIC + disk).
+    pub device_interrupts: u64,
+    /// System calls serviced.
+    pub syscalls: u64,
+    /// Processes/threads created.
+    pub tasks_created: u64,
+    /// Tasks that exited.
+    pub tasks_exited: u64,
+    /// Minor page faults serviced.
+    pub minor_faults: u64,
+    /// Major page faults serviced.
+    pub major_faults: u64,
+    /// Debug-exception (breakpoint) traps serviced.
+    pub debug_traps: u64,
+    /// Signals delivered.
+    pub signals_delivered: u64,
+}
+
+/// The complete result of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// CPU frequency of the simulated machine (for converting to seconds).
+    pub frequency: CpuFrequency,
+    /// Virtual time at which the run ended.
+    pub finished_at: Cycles,
+    /// Per-process usages, keyed by thread-group id.
+    pub processes: Vec<ProcessUsage>,
+    /// Kernel activity counters.
+    pub stats: KernelStats,
+    /// Whether the run ended because the horizon was reached rather than
+    /// because every task exited.
+    pub hit_horizon: bool,
+}
+
+impl RunResult {
+    /// Looks up a process by its program name (first match).
+    pub fn process_named(&self, name: &str) -> Option<&ProcessUsage> {
+        self.processes.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a process by thread-group id.
+    pub fn process(&self, tgid: TaskId) -> Option<&ProcessUsage> {
+        self.processes.iter().find(|p| p.tgid == tgid)
+    }
+
+    /// Elapsed virtual wall-clock time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.frequency.secs_for(self.finished_at)
+    }
+
+    /// Billed (tick-accounted) CPU seconds of the named process.
+    pub fn billed_secs(&self, name: &str) -> f64 {
+        self.process_named(name)
+            .map(|p| p.billed().total_secs(self.frequency))
+            .unwrap_or(0.0)
+    }
+
+    /// Ground-truth CPU seconds of the named process.
+    pub fn ground_truth_secs(&self, name: &str) -> f64 {
+        self.process_named(name)
+            .map(|p| p.ground_truth().total_secs(self.frequency))
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunResult {
+        let mut by_scheme = BTreeMap::new();
+        by_scheme.insert(SchemeKind::Tick, CpuTime::new(Cycles(2_000), Cycles(500)));
+        by_scheme.insert(SchemeKind::Tsc, CpuTime::new(Cycles(1_900), Cycles(450)));
+        RunResult {
+            frequency: CpuFrequency::from_mhz(1000),
+            finished_at: Cycles(10_000),
+            processes: vec![ProcessUsage {
+                tgid: TaskId(2),
+                name: "victim".to_string(),
+                threads: 1,
+                by_scheme,
+                exit_code: Some(0),
+            }],
+            stats: KernelStats::default(),
+            hit_horizon: false,
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let r = sample();
+        assert!(r.process_named("victim").is_some());
+        assert!(r.process_named("nope").is_none());
+        assert!(r.process(TaskId(2)).is_some());
+        assert!(r.process(TaskId(9)).is_none());
+    }
+
+    #[test]
+    fn usage_accessors() {
+        let r = sample();
+        let p = r.process_named("victim").unwrap();
+        assert_eq!(p.billed(), CpuTime::new(Cycles(2_000), Cycles(500)));
+        assert_eq!(p.ground_truth(), CpuTime::new(Cycles(1_900), Cycles(450)));
+        assert_eq!(p.usage(SchemeKind::ProcessAware), CpuTime::ZERO);
+    }
+
+    #[test]
+    fn second_conversions() {
+        let r = sample();
+        assert!((r.elapsed_secs() - 1e-5).abs() < 1e-12);
+        assert!(r.billed_secs("victim") > r.ground_truth_secs("victim"));
+        assert_eq!(r.billed_secs("missing"), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! A minimal signal model.
+//!
+//! The simulator needs only the signals that participate in the paper's
+//! attacks: `SIGSTOP`/`SIGCONT` (ptrace attach and the thrashing cycle),
+//! `SIGTRAP` (debug exceptions), `SIGKILL` (OOM kill during the
+//! exception-flooding attack) and `SIGCHLD` (the fork/wait scheduling
+//! attacker). Delivery cost is charged to the receiving task as system
+//! time, mirroring where the work lands on Linux.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The signals modelled by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Signal {
+    /// Stop the task (not catchable).
+    Stop,
+    /// Resume a stopped task.
+    Cont,
+    /// Trace/breakpoint trap.
+    Trap,
+    /// Kill the task (not catchable).
+    Kill,
+    /// Child status changed.
+    Child,
+}
+
+impl Signal {
+    /// Conventional Linux signal number.
+    pub fn number(self) -> u8 {
+        match self {
+            Signal::Stop => 19,
+            Signal::Cont => 18,
+            Signal::Trap => 5,
+            Signal::Kill => 9,
+            Signal::Child => 17,
+        }
+    }
+
+    /// Whether delivery of this signal stops the receiving task.
+    pub fn stops_task(self) -> bool {
+        matches!(self, Signal::Stop | Signal::Trap)
+    }
+
+    /// Whether delivery of this signal terminates the receiving task.
+    pub fn kills_task(self) -> bool {
+        matches!(self, Signal::Kill)
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Signal::Stop => "SIGSTOP",
+            Signal::Cont => "SIGCONT",
+            Signal::Trap => "SIGTRAP",
+            Signal::Kill => "SIGKILL",
+            Signal::Child => "SIGCHLD",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_match_linux() {
+        assert_eq!(Signal::Kill.number(), 9);
+        assert_eq!(Signal::Stop.number(), 19);
+        assert_eq!(Signal::Cont.number(), 18);
+        assert_eq!(Signal::Trap.number(), 5);
+        assert_eq!(Signal::Child.number(), 17);
+    }
+
+    #[test]
+    fn semantics() {
+        assert!(Signal::Stop.stops_task());
+        assert!(Signal::Trap.stops_task());
+        assert!(!Signal::Cont.stops_task());
+        assert!(Signal::Kill.kills_task());
+        assert!(!Signal::Child.kills_task());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", Signal::Trap), "SIGTRAP");
+        assert_eq!(format!("{}", Signal::Child), "SIGCHLD");
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic discrete-event queue.
+//!
+//! The simulated kernel schedules future work (timer interrupts, device
+//! interrupts, I/O completions, sleep expirations) on an [`EventQueue`].
+//! Events fire in non-decreasing time order; events scheduled for the same
+//! instant fire in insertion order, which keeps whole simulations
+//! deterministic and therefore reproducible.
+
+use crate::time::Cycles;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled to fire at a virtual instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<T> {
+    /// The instant (in cycles) at which the event fires.
+    pub at: Cycles,
+    /// Monotonic sequence number used to break ties deterministically.
+    pub seq: u64,
+    /// The caller-supplied payload.
+    pub payload: T,
+}
+
+/// Internal heap entry; `BinaryHeap` is a max-heap so ordering is reversed.
+#[derive(Debug)]
+struct HeapEntry<T> {
+    at: Cycles,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: earliest time (then lowest seq) is the "greatest" entry.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list keyed by virtual time.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_sim::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles(30), "timer");
+/// q.schedule(Cycles(10), "irq");
+/// q.schedule(Cycles(10), "second-irq");
+///
+/// assert_eq!(q.peek_time(), Some(Cycles(10)));
+/// assert_eq!(q.pop().unwrap().payload, "irq");
+/// assert_eq!(q.pop().unwrap().payload, "second-irq");
+/// assert_eq!(q.pop().unwrap().payload, "timer");
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, popped: 0 }
+    }
+
+    /// Schedules `payload` to fire at instant `at` and returns its sequence
+    /// number (usable for debugging and cancellation bookkeeping by callers).
+    pub fn schedule(&mut self, at: Cycles, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { at, seq, payload });
+        seq
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop().map(|e| {
+            self.popped += 1;
+            Event { at: e.at, seq: e.seq, payload: e.payload }
+        })
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Cycles) -> Option<Event<T>> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total number of events ever popped.
+    pub fn popped_count(&self) -> u64 {
+        self.popped
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Removes all pending events matching the predicate, returning how many
+    /// were removed. This is `O(n log n)` and intended for rare cancellation
+    /// paths (e.g. killing a sleeping process).
+    pub fn cancel_where<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> usize {
+        let old = std::mem::take(&mut self.heap).into_vec();
+        let before = old.len();
+        for entry in old {
+            if !pred(&entry.payload) {
+                self.heap.push(entry);
+            }
+        }
+        before - self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(100), 1u32);
+        q.schedule(Cycles(50), 2);
+        q.schedule(Cycles(75), 3);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.schedule(Cycles(42), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), "a");
+        q.schedule(Cycles(20), "b");
+        assert_eq!(q.pop_due(Cycles(5)), None);
+        assert_eq!(q.pop_due(Cycles(10)).unwrap().payload, "a");
+        assert_eq!(q.pop_due(Cycles(15)), None);
+        assert_eq!(q.pop_due(Cycles(30)).unwrap().payload, "b");
+    }
+
+    #[test]
+    fn counts_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(1), ());
+        q.schedule(Cycles(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_count(), 2);
+        q.pop();
+        assert_eq!(q.popped_count(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_where_removes_matching() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.schedule(Cycles(i as u64), i);
+        }
+        let removed = q.cancel_where(|v| v % 2 == 0);
+        assert_eq!(removed, 5);
+        let rest: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(rest, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! # trustmeter-sim
+//!
+//! Discrete-event simulation substrate used by the `trustmeter` workspace,
+//! a reproduction of *"On Trustworthiness of CPU Usage Metering and
+//! Accounting"* (Liu & Ding, ICDCSW 2010).
+//!
+//! The crate provides the building blocks every other crate relies on:
+//!
+//! * [`time`] — virtual time expressed in CPU cycles ([`Cycles`]) and wall
+//!   clock units ([`Nanos`]), converted through a [`CpuFrequency`], plus the
+//!   virtual time-stamp counter [`Tsc`].
+//! * [`events`] — a deterministic priority [`EventQueue`] with stable
+//!   ordering for events scheduled at the same instant.
+//! * [`rng`] — a small, seedable, deterministic random number generator
+//!   ([`SimRng`]) so whole simulations are reproducible bit-for-bit.
+//! * [`stats`] — summary statistics, time series and histograms used by the
+//!   experiment harness.
+//! * [`trace`] — a structured trace sink for debugging simulated kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use trustmeter_sim::{CpuFrequency, Cycles, EventQueue, Nanos};
+//!
+//! let freq = CpuFrequency::from_mhz(2533); // the paper's E7200 @ 2.53 GHz
+//! let one_ms = freq.cycles_for(Nanos::from_millis(1));
+//! assert_eq!(freq.nanos_for(one_ms).as_millis_f64().round() as u64, 1);
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(Cycles(10), "later");
+//! q.schedule(Cycles(5), "sooner");
+//! assert_eq!(q.pop().unwrap().payload, "sooner");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use events::{Event, EventQueue};
+pub use rng::SimRng;
+pub use stats::{Histogram, Series, Summary};
+pub use time::{CpuFrequency, Cycles, Nanos, Tsc};
+pub use trace::{TraceEvent, TraceLevel, TraceSink};

@@ -1,0 +1,297 @@
+//! Statistics helpers used by the experiment harness.
+//!
+//! The paper reports its results as bar charts of CPU seconds per program
+//! (Figures 4–11). The experiment crate assembles those charts from
+//! [`Series`] values; [`Summary`] and [`Histogram`] support the extended
+//! ablation studies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics over a set of `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_sim::Summary;
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when empty).
+    pub std_dev: f64,
+    /// Minimum sample (0 when empty).
+    pub min: f64,
+    /// Maximum sample (0 when empty).
+    pub max: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics for the given samples.
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let count = samples.len();
+        let sum: f64 = samples.iter().sum();
+        let mean = sum / count as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Summary { count, mean, std_dev: var.sqrt(), min, max, sum }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// A labelled series of `(label, value)` points — one bar group or one line
+/// of a paper figure.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_sim::Series;
+/// let mut s = Series::new("user time");
+/// s.push("O", 155.2);
+/// s.push("P", 148.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.value_for("P"), Some(148.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Name of the series (e.g. `"user time"`, `"CPU time of W"`).
+    pub name: String,
+    /// Ordered data points as `(x-label, y-value)` pairs.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, label: impl Into<String>, value: f64) {
+        self.points.push((label.into(), value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The value recorded for `label`, if present.
+    pub fn value_for(&self, label: &str) -> Option<f64> {
+        self.points.iter().find(|(l, _)| l == label).map(|(_, v)| *v)
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.points.iter().map(|(l, v)| (l.as_str(), *v))
+    }
+
+    /// The sum of all values.
+    pub fn total(&self) -> f64 {
+        self.points.iter().map(|(_, v)| v).sum()
+    }
+
+    /// The largest value (0 when empty).
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, (l, v)) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}={v:.2}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A fixed-width histogram over `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_sim::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(1.0);
+/// h.record(9.5);
+/// h.record(100.0); // clamped into the last bucket
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_counts()[0], 1);
+/// assert_eq!(h.bucket_counts()[4], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `buckets` equal-width
+    /// buckets. Samples outside the range are clamped to the first/last
+    /// bucket.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram { lo, hi, buckets: vec![0; buckets], count: 0, sum: 0.0 }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, x: f64) {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let idx = ((x - self.lo) / width).floor();
+        let idx = idx.clamp(0.0, (self.buckets.len() - 1) as f64) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Per-bucket sample counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` computed from bucket midpoints.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.lo + width * (i as f64 + 0.5);
+            }
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = Summary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.sum, 40.0);
+        assert!(format!("{s}").contains("n=8"));
+    }
+
+    #[test]
+    fn series_accessors() {
+        let mut s = Series::new("sys");
+        s.push("O", 1.0);
+        s.push("P", 2.0);
+        s.push("W", 3.0);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.value_for("W"), Some(3.0));
+        assert_eq!(s.value_for("missing"), None);
+        assert_eq!(s.total(), 6.0);
+        assert_eq!(s.max_value(), 3.0);
+        assert_eq!(s.iter().count(), 3);
+        assert!(format!("{s}").starts_with("sys:"));
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 49.5).abs() < 1e-9);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 100);
+        let median = h.quantile(0.5);
+        assert!((40.0..=60.0).contains(&median));
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(-5.0);
+        h.record(50.0);
+        assert_eq!(h.bucket_counts(), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.9), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

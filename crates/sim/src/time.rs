@@ -1,0 +1,492 @@
+//! Virtual time primitives.
+//!
+//! All simulated activity is measured in CPU **cycles** of a single core.
+//! Wall-clock quantities (nanoseconds, jiffies, seconds) are derived from
+//! cycles through a [`CpuFrequency`]. Keeping the canonical unit in cycles
+//! mirrors the paper's observation that modern CPUs expose a time-stamp
+//! counter (TSC) that a fine-grained metering scheme can build on (§VI-B).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or instant measured in CPU cycles.
+///
+/// `Cycles` is the canonical unit of simulated time. It is an additive
+/// newtype over `u64`; arithmetic saturates on subtraction so accounting
+/// code can never produce negative durations.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_sim::Cycles;
+/// let a = Cycles(100);
+/// let b = Cycles(40);
+/// assert_eq!(a + b, Cycles(140));
+/// assert_eq!(b.saturating_sub(a), Cycles(0));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+    /// The largest representable instant.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw cycle count as `f64` (useful for statistics).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction: never underflows below zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: Cycles) -> Option<Cycles> {
+        self.0.checked_add(rhs.0).map(Cycles)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns `true` if this is the zero duration.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the minimum of two cycle counts.
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Returns the maximum of two cycle counts.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// Panics on underflow in debug builds; use [`Cycles::saturating_sub`]
+    /// in accounting paths.
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// A wall-clock duration in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_sim::Nanos;
+/// assert_eq!(Nanos::from_millis(2).as_u64(), 2_000_000);
+/// assert_eq!(Nanos::from_secs(1).as_millis_f64(), 1000.0);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Constructs from microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Constructs from whole seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Constructs from fractional seconds.
+    ///
+    /// # Panics
+    /// Panics if `s` is negative or not finite.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Nanos {
+        assert!(s.is_finite() && s >= 0.0, "seconds must be finite and non-negative");
+        Nanos((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} ms", self.as_millis_f64())
+        } else {
+            write!(f, "{} ns", self.0)
+        }
+    }
+}
+
+/// The clock frequency of the simulated CPU, used to convert between
+/// [`Cycles`] and [`Nanos`].
+///
+/// The paper's test machine is an Intel Core 2 Duo E7200 at 2.53 GHz with
+/// one core disabled; [`CpuFrequency::E7200`] reproduces it.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_sim::{CpuFrequency, Nanos};
+/// let f = CpuFrequency::E7200;
+/// let cycles = f.cycles_for(Nanos::from_secs(1));
+/// assert_eq!(cycles.as_u64(), 2_533_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuFrequency {
+    khz: u64,
+}
+
+impl CpuFrequency {
+    /// The paper's evaluation CPU: Intel Core 2 Duo E7200 @ 2.53 GHz.
+    pub const E7200: CpuFrequency = CpuFrequency { khz: 2_533_000 };
+
+    /// Creates a frequency from megahertz.
+    ///
+    /// # Panics
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz(mhz: u64) -> CpuFrequency {
+        assert!(mhz > 0, "CPU frequency must be positive");
+        CpuFrequency { khz: mhz * 1_000 }
+    }
+
+    /// Creates a frequency from gigahertz.
+    ///
+    /// # Panics
+    /// Panics if `ghz` is not positive and finite.
+    pub fn from_ghz(ghz: f64) -> CpuFrequency {
+        assert!(ghz.is_finite() && ghz > 0.0, "CPU frequency must be positive");
+        CpuFrequency { khz: (ghz * 1e6).round() as u64 }
+    }
+
+    /// Frequency in kilohertz.
+    #[inline]
+    pub fn khz(self) -> u64 {
+        self.khz
+    }
+
+    /// Frequency in hertz.
+    #[inline]
+    pub fn hz(self) -> u64 {
+        self.khz * 1_000
+    }
+
+    /// Number of cycles elapsing in the given wall-clock duration.
+    #[inline]
+    pub fn cycles_for(self, d: Nanos) -> Cycles {
+        // cycles = ns * hz / 1e9 = ns * khz / 1e6 — use u128 to avoid overflow.
+        Cycles((d.0 as u128 * self.khz as u128 / 1_000_000) as u64)
+    }
+
+    /// Wall-clock duration of the given cycle count.
+    #[inline]
+    pub fn nanos_for(self, c: Cycles) -> Nanos {
+        Nanos((c.0 as u128 * 1_000_000 / self.khz as u128) as u64)
+    }
+
+    /// Wall-clock duration of the cycle count, in fractional seconds.
+    #[inline]
+    pub fn secs_for(self, c: Cycles) -> f64 {
+        c.0 as f64 / (self.khz as f64 * 1_000.0)
+    }
+}
+
+impl Default for CpuFrequency {
+    fn default() -> Self {
+        CpuFrequency::E7200
+    }
+}
+
+impl fmt::Display for CpuFrequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} GHz", self.khz as f64 / 1e6)
+    }
+}
+
+/// The simulated time-stamp counter.
+///
+/// The TSC is the monotonically increasing cycle counter that fine-grained
+/// metering schemes (paper §VI-B, "Fine-grained Metering") read via `rdtsc`.
+/// In the simulator it simply tracks the global cycle clock; it exists as a
+/// distinct type so metering code reads time the same way a real
+/// implementation would.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_sim::{Cycles, Tsc};
+/// let mut tsc = Tsc::new();
+/// tsc.advance(Cycles(100));
+/// assert_eq!(tsc.read(), Cycles(100));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tsc {
+    now: Cycles,
+}
+
+impl Tsc {
+    /// Creates a TSC starting at zero.
+    pub fn new() -> Tsc {
+        Tsc { now: Cycles::ZERO }
+    }
+
+    /// Reads the counter (the `rdtsc` analogue).
+    #[inline]
+    pub fn read(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances the counter by `delta` cycles.
+    #[inline]
+    pub fn advance(&mut self, delta: Cycles) {
+        self.now += delta;
+    }
+
+    /// Sets the counter to an absolute instant.
+    ///
+    /// # Panics
+    /// Panics if `to` is earlier than the current reading: the TSC is
+    /// monotonic.
+    #[inline]
+    pub fn advance_to(&mut self, to: Cycles) {
+        assert!(to >= self.now, "TSC cannot move backwards ({} -> {})", self.now, to);
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Cycles(10) - Cycles(4), Cycles(6));
+        assert_eq!(Cycles(4).saturating_sub(Cycles(10)), Cycles::ZERO);
+        assert_eq!(Cycles(3) * 4, Cycles(12));
+        assert_eq!(Cycles(12) / 4, Cycles(3));
+        assert_eq!(vec![Cycles(1), Cycles(2), Cycles(3)].into_iter().sum::<Cycles>(), Cycles(6));
+        assert!(Cycles(1) < Cycles(2));
+        assert!(Cycles::ZERO.is_zero());
+        assert_eq!(Cycles(5).min(Cycles(7)), Cycles(5));
+        assert_eq!(Cycles(5).max(Cycles(7)), Cycles(7));
+    }
+
+    #[test]
+    fn cycles_saturating_and_checked() {
+        assert_eq!(Cycles::MAX.saturating_add(Cycles(1)), Cycles::MAX);
+        assert_eq!(Cycles::MAX.checked_add(Cycles(1)), None);
+        assert_eq!(Cycles(1).checked_add(Cycles(2)), Some(Cycles(3)));
+    }
+
+    #[test]
+    fn nanos_constructors() {
+        assert_eq!(Nanos::from_micros(5).as_u64(), 5_000);
+        assert_eq!(Nanos::from_millis(5).as_u64(), 5_000_000);
+        assert_eq!(Nanos::from_secs(2).as_u64(), 2_000_000_000);
+        assert_eq!(Nanos::from_secs_f64(0.5).as_u64(), 500_000_000);
+        assert!((Nanos::from_secs(3).as_secs_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nanos_rejects_negative_seconds() {
+        let _ = Nanos::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn nanos_display_scales() {
+        assert_eq!(format!("{}", Nanos(500)), "500 ns");
+        assert_eq!(format!("{}", Nanos::from_millis(2)), "2.000 ms");
+        assert_eq!(format!("{}", Nanos::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn frequency_round_trip() {
+        let f = CpuFrequency::E7200;
+        let ns = Nanos::from_millis(10);
+        let cycles = f.cycles_for(ns);
+        let back = f.nanos_for(cycles);
+        // Round trip error bounded by one cycle's worth of nanoseconds.
+        assert!(ns.as_u64().abs_diff(back.as_u64()) <= 1);
+        assert_eq!(f.hz(), 2_533_000_000);
+    }
+
+    #[test]
+    fn frequency_constructors() {
+        assert_eq!(CpuFrequency::from_mhz(1000).hz(), 1_000_000_000);
+        assert_eq!(CpuFrequency::from_ghz(2.533).khz(), 2_533_000);
+        assert_eq!(CpuFrequency::default(), CpuFrequency::E7200);
+        assert_eq!(format!("{}", CpuFrequency::E7200), "2.533 GHz");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn frequency_rejects_zero() {
+        let _ = CpuFrequency::from_mhz(0);
+    }
+
+    #[test]
+    fn secs_for_matches_nanos_for() {
+        let f = CpuFrequency::from_mhz(2000);
+        let c = Cycles(2_000_000_000);
+        assert!((f.secs_for(c) - 1.0).abs() < 1e-9);
+        assert_eq!(f.nanos_for(c), Nanos::from_secs(1));
+    }
+
+    #[test]
+    fn tsc_is_monotonic() {
+        let mut tsc = Tsc::new();
+        tsc.advance(Cycles(10));
+        tsc.advance_to(Cycles(20));
+        assert_eq!(tsc.read(), Cycles(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn tsc_rejects_backwards() {
+        let mut tsc = Tsc::new();
+        tsc.advance(Cycles(10));
+        tsc.advance_to(Cycles(5));
+    }
+}

@@ -1,0 +1,195 @@
+//! Structured simulation tracing.
+//!
+//! The simulated kernel emits [`TraceEvent`]s at interesting points (context
+//! switches, interrupts, signal delivery, page faults). A [`TraceSink`]
+//! collects them, optionally filtered by [`TraceLevel`]. Tests use the sink
+//! to assert that specific kernel paths were exercised; the repro binary can
+//! dump it for debugging.
+
+use crate::time::Cycles;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Severity/verbosity level of a trace event.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum TraceLevel {
+    /// High-volume events (every op executed).
+    Debug,
+    /// Normal kernel activity (context switches, syscalls, interrupts).
+    #[default]
+    Info,
+    /// Unusual situations (OOM kills, signal-forced exits).
+    Warn,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time at which the event occurred.
+    pub at: Cycles,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Subsystem that emitted the event (e.g. `"sched"`, `"irq"`, `"mm"`).
+    pub subsystem: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {} {}] {}", self.at, self.level, self.subsystem, self.message)
+    }
+}
+
+/// Collects trace events emitted by a simulation.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_sim::{Cycles, TraceLevel, TraceSink};
+/// let mut sink = TraceSink::with_level(TraceLevel::Info);
+/// sink.emit(Cycles(10), TraceLevel::Debug, "sched", "ignored".into());
+/// sink.emit(Cycles(20), TraceLevel::Info, "sched", "switch 1 -> 2".into());
+/// assert_eq!(sink.events().len(), 1);
+/// assert_eq!(sink.count_for("sched"), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    min_level: TraceLevel,
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    dropped: u64,
+    capacity: Option<usize>,
+}
+
+impl TraceSink {
+    /// Creates a sink recording events at `Info` level and above.
+    pub fn new() -> TraceSink {
+        TraceSink::with_level(TraceLevel::Info)
+    }
+
+    /// Creates a sink recording events at or above `min_level`.
+    pub fn with_level(min_level: TraceLevel) -> TraceSink {
+        TraceSink { min_level, events: Vec::new(), enabled: true, dropped: 0, capacity: None }
+    }
+
+    /// Creates a disabled sink that records nothing (the default for large
+    /// experiment sweeps, where tracing would dominate memory usage).
+    pub fn disabled() -> TraceSink {
+        TraceSink { min_level: TraceLevel::Warn, events: Vec::new(), enabled: false, dropped: 0, capacity: None }
+    }
+
+    /// Caps the number of retained events; further events are counted in
+    /// [`TraceSink::dropped`] but not stored.
+    pub fn with_capacity_limit(mut self, cap: usize) -> TraceSink {
+        self.capacity = Some(cap);
+        self
+    }
+
+    /// Records an event if the sink is enabled and the level passes the
+    /// filter.
+    pub fn emit(&mut self, at: Cycles, level: TraceLevel, subsystem: &'static str, message: String) {
+        if !self.enabled || level < self.min_level {
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if self.events.len() >= cap {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.events.push(TraceEvent { at, level, subsystem, message });
+    }
+
+    /// All recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped due to the capacity limit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of recorded events from the given subsystem.
+    pub fn count_for(&self, subsystem: &str) -> usize {
+        self.events.iter().filter(|e| e.subsystem == subsystem).count()
+    }
+
+    /// Whether any recorded message contains the given substring.
+    pub fn contains_message(&self, needle: &str) -> bool {
+        self.events.iter().any(|e| e.message.contains(needle))
+    }
+
+    /// Removes all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering() {
+        assert!(TraceLevel::Debug < TraceLevel::Info);
+        assert!(TraceLevel::Info < TraceLevel::Warn);
+        assert_eq!(format!("{}", TraceLevel::Warn), "WARN");
+    }
+
+    #[test]
+    fn filters_below_min_level() {
+        let mut sink = TraceSink::with_level(TraceLevel::Warn);
+        sink.emit(Cycles(1), TraceLevel::Info, "sched", "hello".into());
+        sink.emit(Cycles(2), TraceLevel::Warn, "mm", "oom".into());
+        assert_eq!(sink.events().len(), 1);
+        assert!(sink.contains_message("oom"));
+        assert!(!sink.contains_message("hello"));
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut sink = TraceSink::disabled();
+        sink.emit(Cycles(1), TraceLevel::Warn, "irq", "x".into());
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn capacity_limit_drops() {
+        let mut sink = TraceSink::new().with_capacity_limit(2);
+        for i in 0..5 {
+            sink.emit(Cycles(i), TraceLevel::Info, "sched", format!("e{i}"));
+        }
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        sink.clear();
+        assert_eq!(sink.dropped(), 0);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn count_and_display() {
+        let mut sink = TraceSink::new();
+        sink.emit(Cycles(3), TraceLevel::Info, "irq", "nic irq".into());
+        sink.emit(Cycles(4), TraceLevel::Info, "sched", "switch".into());
+        assert_eq!(sink.count_for("irq"), 1);
+        let s = format!("{}", sink.events()[0]);
+        assert!(s.contains("irq"));
+        assert!(s.contains("nic irq"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # trustmeter-workloads
+//!
+//! The four victim programs used in the evaluation of *"On Trustworthiness
+//! of CPU Usage Metering and Accounting"* (Liu & Ding, ICDCSW 2010):
+//!
+//! * **O** — the authors' CPU-bound loop program,
+//! * **P** — a π calculator,
+//! * **W** — the Whetstone floating-point benchmark,
+//! * **B** — a multi-threaded MD5 brute-force cracker.
+//!
+//! Each is available both as a *native reference kernel* (real Rust code,
+//! tested against known vectors — see [`native`]) and as a *simulated
+//! program* for the `trustmeter-kernel` substrate (see [`Workload`] and
+//! [`programs`]), whose operation mix is derived from the reference kernel
+//! and whose baseline CPU time is calibrated against the paper's
+//! "no attack" bars.
+//!
+//! ```
+//! use trustmeter_workloads::Workload;
+//! use trustmeter_kernel::{Kernel, KernelConfig};
+//!
+//! let mut kernel = Kernel::new(KernelConfig::paper_machine());
+//! // Run a 0.1 % scale Whetstone instance.
+//! let pid = kernel.spawn_process(Workload::Whetstone.build(0.001), 0);
+//! let result = kernel.run();
+//! assert!(result.process(pid).unwrap().billed().total().as_u64() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod native;
+pub mod programs;
+
+pub use catalog::Workload;
+pub use programs::{FixedComputeProgram, VictimProgram, VictimSpec, WorkerProgram};

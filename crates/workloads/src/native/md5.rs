@@ -1,0 +1,199 @@
+//! A from-scratch MD5 implementation (RFC 1321) and a small brute-force
+//! preimage searcher.
+//!
+//! The paper's fourth victim program, *Brute*, "cracks MD5, SHA256 and
+//! SHA512 by brute force" and "spawns many threads to search for a hash
+//! collision". The simulated [`crate::BruteProgram`] derives its per-attempt
+//! cost from this reference implementation; the brute-force searcher here is
+//! also used directly by tests and examples so the workload is a real
+//! computation, not a stub.
+//!
+//! This code exists to reproduce a published benchmark workload; MD5 is, of
+//! course, not a secure hash and must not be used for anything
+//! security-relevant.
+
+/// Computes the MD5 digest of `data`.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_workloads::native::md5;
+/// assert_eq!(md5::hex(&md5::digest(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+pub fn digest(data: &[u8]) -> [u8; 16] {
+    const S: [u32; 64] = [
+        7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 5, 9, 14, 20, 5, 9, 14, 20, 5,
+        9, 14, 20, 5, 9, 14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 6, 10,
+        15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+    ];
+    const K: [u32; 64] = [
+        0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+        0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+        0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+        0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+        0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+        0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+        0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+        0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+        0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+        0xeb86d391,
+    ];
+
+    let mut a0: u32 = 0x67452301;
+    let mut b0: u32 = 0xefcdab89;
+    let mut c0: u32 = 0x98badcfe;
+    let mut d0: u32 = 0x10325476;
+
+    // Padding.
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_le_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes([chunk[i * 4], chunk[i * 4 + 1], chunk[i * 4 + 2], chunk[i * 4 + 3]]);
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (mut f, g) = match i {
+                0..=15 => ((b & c) | ((!b) & d), i),
+                16..=31 => ((d & b) | ((!d) & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            f = f
+                .wrapping_add(a)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g]);
+            a = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(f.rotate_left(S[i]));
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+/// Lowercase-hex rendering of a digest.
+pub fn hex(digest: &[u8; 16]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Brute-forces the lowercase-alphabetic preimage (up to `max_len`
+/// characters) of `target`, returning the preimage and the number of
+/// attempts made. Returns `None` (with the attempt count) if no preimage of
+/// that length exists.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_workloads::native::md5;
+/// let target = md5::digest(b"hi");
+/// let (found, attempts) = md5::brute_force(&target, 2);
+/// assert_eq!(found.as_deref(), Some("hi"));
+/// assert!(attempts > 0);
+/// ```
+pub fn brute_force(target: &[u8; 16], max_len: usize) -> (Option<String>, u64) {
+    let alphabet: Vec<u8> = (b'a'..=b'z').collect();
+    let mut attempts = 0u64;
+    for len in 1..=max_len {
+        let mut indices = vec![0usize; len];
+        loop {
+            let candidate: Vec<u8> = indices.iter().map(|&i| alphabet[i]).collect();
+            attempts += 1;
+            if &digest(&candidate) == target {
+                return (Some(String::from_utf8(candidate).expect("ascii")), attempts);
+            }
+            // Increment the odometer.
+            let mut pos = len;
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                indices[pos] += 1;
+                if indices[pos] < alphabet.len() {
+                    break;
+                }
+                indices[pos] = 0;
+                if pos == 0 {
+                    // Wrapped completely: done with this length.
+                    break;
+                }
+            }
+            if indices.iter().all(|&i| i == 0) {
+                break;
+            }
+        }
+    }
+    (None, attempts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1321_vectors() {
+        assert_eq!(hex(&digest(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex(&digest(b"a")), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex(&digest(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(hex(&digest(b"message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            hex(&digest(b"abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            hex(&digest(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            hex(&digest(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            )),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn long_input_crosses_block_boundaries() {
+        let data = vec![b'x'; 1000];
+        // Self-consistency: digest of the same data is stable and differs
+        // from a one-byte change.
+        let d1 = digest(&data);
+        let mut data2 = data.clone();
+        data2[999] = b'y';
+        assert_ne!(d1, digest(&data2));
+    }
+
+    #[test]
+    fn brute_force_finds_short_preimages() {
+        let target = digest(b"cab");
+        let (found, attempts) = brute_force(&target, 3);
+        assert_eq!(found.as_deref(), Some("cab"));
+        assert!(attempts >= 26 + 26 * 26, "attempts {attempts}");
+    }
+
+    #[test]
+    fn brute_force_gives_up_when_too_short() {
+        let target = digest(b"watermelon");
+        let (found, attempts) = brute_force(&target, 1);
+        assert_eq!(found, None);
+        assert_eq!(attempts, 26);
+    }
+}

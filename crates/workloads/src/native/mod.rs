@@ -1,0 +1,11 @@
+//! Native reference implementations of the victim programs' computational
+//! kernels (MD5, π, Whetstone).
+//!
+//! These run for real (and are tested against known vectors); the simulated
+//! [`crate::programs`] derive their operation mixes and per-iteration costs
+//! from them, so the simulated workloads are grounded in actual code rather
+//! than arbitrary constants.
+
+pub mod md5;
+pub mod pi;
+pub mod whetstone;

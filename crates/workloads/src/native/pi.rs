@@ -1,0 +1,149 @@
+//! Reference π computations.
+//!
+//! The paper's second victim program, *Pi*, is "an open source C program to
+//! calculate the value of pi". Two reference computations are provided:
+//!
+//! * [`machin`] — Machin's formula with `f64` arithmetic, the shape of the
+//!   inner loop (repeated division, multiplication and a square root per
+//!   term when computed naively) is what the simulated [`crate::PiProgram`]
+//!   bases its op mix on;
+//! * [`spigot_digits`] — the Rabinowitz–Wagon spigot algorithm producing the
+//!   first `n` decimal digits exactly, used by tests and the quickstart
+//!   example as a self-checking workload.
+
+/// Approximates π using Machin's formula
+/// `π = 16·arctan(1/5) − 4·arctan(1/239)` with `terms` series terms per
+/// arctangent. Returns the approximation.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_workloads::native::pi;
+/// let approx = pi::machin(20);
+/// assert!((approx - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+pub fn machin(terms: u32) -> f64 {
+    16.0 * arctan_inv(5.0, terms) - 4.0 * arctan_inv(239.0, terms)
+}
+
+/// arctan(1/x) via the Taylor series, `terms` terms.
+fn arctan_inv(x: f64, terms: u32) -> f64 {
+    let mut sum = 0.0;
+    let x2 = x * x;
+    let mut power = x; // x^(2k+1)
+    for k in 0..terms {
+        let term = 1.0 / ((2 * k + 1) as f64 * power);
+        if k % 2 == 0 {
+            sum += term;
+        } else {
+            sum -= term;
+        }
+        power *= x2;
+    }
+    sum
+}
+
+/// Returns the first `n` decimal digits of π (starting `3, 1, 4, …`) using
+/// the Rabinowitz–Wagon spigot algorithm.
+///
+/// # Example
+///
+/// ```
+/// use trustmeter_workloads::native::pi;
+/// assert_eq!(pi::spigot_digits(6), vec![3, 1, 4, 1, 5, 9]);
+/// ```
+///
+/// # Panics
+/// Panics if `n` is zero.
+pub fn spigot_digits(n: usize) -> Vec<u8> {
+    assert!(n > 0, "need at least one digit");
+    let len = (n + 10) * 10 / 3 + 2;
+    let mut a = vec![2u32; len];
+    let mut digits: Vec<u8> = Vec::with_capacity(n + 2);
+    let mut predigit = 0u32;
+    let mut nines = 0u32;
+
+    // One priming iteration emits a spurious leading zero; keep iterating
+    // until enough real digits (plus that zero) have been emitted. Buffered
+    // nines can delay emission by a few iterations, hence the slack in both
+    // the array length above and the iteration bound here.
+    for _ in 0..n + 10 {
+        if digits.len() > n {
+            break;
+        }
+        let mut carry = 0u32;
+        for i in (0..len).rev() {
+            let x = 10 * a[i] + carry * (i as u32 + 1);
+            a[i] = x % (2 * i as u32 + 1);
+            carry = x / (2 * i as u32 + 1);
+        }
+        a[0] = carry % 10;
+        let q = carry / 10;
+        if q == 9 {
+            nines += 1;
+        } else if q == 10 {
+            digits.push((predigit + 1) as u8);
+            for _ in 0..nines {
+                digits.push(0);
+            }
+            nines = 0;
+            predigit = 0;
+        } else {
+            digits.push(predigit as u8);
+            predigit = q;
+            for _ in 0..nines {
+                digits.push(9);
+            }
+            nines = 0;
+        }
+    }
+    // The first pushed digit is a spurious leading zero from the priming
+    // iteration.
+    digits.remove(0);
+    digits.truncate(n);
+    digits
+}
+
+/// Number of primitive floating-point operations one Machin term costs
+/// (used to calibrate the simulated Pi program's per-iteration cycle cost).
+pub const FLOPS_PER_TERM: u64 = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machin_converges() {
+        assert!((machin(5) - std::f64::consts::PI).abs() < 1e-6);
+        assert!((machin(15) - std::f64::consts::PI).abs() < 1e-12);
+        // More terms never hurts.
+        assert!((machin(30) - std::f64::consts::PI).abs() <= (machin(5) - std::f64::consts::PI).abs());
+    }
+
+    #[test]
+    fn spigot_known_prefix() {
+        let digits = spigot_digits(25);
+        assert_eq!(
+            digits,
+            vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6, 2, 6, 4, 3]
+        );
+    }
+
+    #[test]
+    fn spigot_single_digit() {
+        assert_eq!(spigot_digits(1), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one digit")]
+    fn spigot_zero_rejected() {
+        let _ = spigot_digits(0);
+    }
+
+    #[test]
+    fn spigot_lengths_match_request() {
+        for n in [2, 10, 40, 80] {
+            assert_eq!(spigot_digits(n).len(), n);
+        }
+    }
+}

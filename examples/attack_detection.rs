@@ -1,0 +1,50 @@
+//! Runs every attack from the paper against the same victim and shows how
+//! the three defensive properties of §VI-B — source integrity, execution
+//! integrity and fine-grained metering — detect or neutralise each one.
+//!
+//! ```text
+//! cargo run --release --example attack_detection
+//! ```
+
+use trustmeter::prelude::*;
+use trustmeter_attacks::paper_attack_suite;
+
+fn main() {
+    let scale = 0.005;
+    let freq = CpuFrequency::E7200;
+    let scenario = Scenario::new(Workload::Whetstone, scale);
+
+    let clean = scenario.run_clean();
+    let whitelist = clean.measured_images.clone();
+    println!(
+        "clean run: billed {:.3} s, ground truth {:.3} s\n",
+        clean.billed_total_secs(),
+        clean.truth_total_secs()
+    );
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>10} {:>16}",
+        "attack", "billed(s)", "truth(s)", "inflation", "flagged", "classification"
+    );
+    for attack in paper_attack_suite(scale, clean.elapsed_secs * 2.0) {
+        let outcome = scenario.run_attacked(attack.as_ref());
+        let report = OverchargeReport::compare(outcome.victim_billed, clean.victim_billed, freq);
+        let flagged = !outcome.unexpected_images(&whitelist).is_empty();
+        println!(
+            "{:<22} {:>10.3} {:>10.3} {:>11.2}x {:>10} {:>16}",
+            attack.name(),
+            outcome.billed_total_secs(),
+            outcome.truth_total_secs(),
+            report.inflation_ratio,
+            if flagged { "yes" } else { "no" },
+            report.class.to_string(),
+        );
+    }
+
+    println!(
+        "\nLaunch-time attacks (shell, preload, interposition) are caught by the measured\n\
+         launch (source integrity); the scheduling attack disappears under TSC-based\n\
+         fine-grained metering; the interrupt flood stops being billable to the victim under\n\
+         process-aware interrupt accounting. This is the paper's §VI-B argument, executed."
+    );
+}

@@ -1,0 +1,79 @@
+//! A utility-computing billing audit, end to end.
+//!
+//! The provider runs the customer's job, meters it with the commodity tick
+//! scheme, and returns a TPM-style quote binding the usage report to the
+//! measured code closure and the execution witness. The customer verifies
+//! the quote, checks the measurement log against her whitelist, and compares
+//! the bill against a reference execution — the full trust-establishment
+//! workflow the paper's §VI sketches.
+//!
+//! ```text
+//! cargo run --release --example cloud_billing_audit
+//! ```
+
+use trustmeter::prelude::*;
+
+fn main() {
+    let scale = 0.01;
+    let freq = CpuFrequency::E7200;
+    let card = RateCard::per_cpu_hour(0.10);
+
+    // ---------------------------------------------------------------
+    // The customer first runs the job on her own (small) reference machine
+    // to learn the expected closure and the expected CPU time.
+    // ---------------------------------------------------------------
+    let reference = Scenario::new(Workload::Pi, scale).run_clean();
+    let whitelist = reference.measured_images.clone();
+    println!("reference run: {:.3} CPU s, {} measured images", reference.billed_total_secs(), whitelist.len());
+
+    // ---------------------------------------------------------------
+    // The dishonest provider executes the same job with a preloaded
+    // malicious constructor and bills the inflated reading.
+    // ---------------------------------------------------------------
+    let attack = PreloadConstructorAttack::paper_default(scale);
+    let provider_run = Scenario::new(Workload::Pi, scale).run_attacked(&attack);
+    let invoice = card.invoice(provider_run.victim_billed, freq);
+    println!(
+        "provider reports {:.3} CPU s and bills {:.6} $",
+        provider_run.billed_total_secs(),
+        invoice.total
+    );
+
+    // The platform's attestation key signs a quote over the usage, the
+    // measurement PCR and the witness digest (the kernel is trusted, so the
+    // numbers themselves are not forged — they are just produced by an
+    // untrustworthy accounting scheme).
+    let aik = AttestationKey::from_seed(b"platform-aik");
+    let nonce = 0xc0ffee;
+    let quote = aik.quote(
+        nonce,
+        provider_run.measurement_pcr,
+        provider_run.witness_digest,
+        provider_run.victim_billed,
+    );
+
+    // ---------------------------------------------------------------
+    // The customer audits.
+    // ---------------------------------------------------------------
+    assert!(aik.verify(&quote, nonce).is_ok(), "quote signature must verify");
+
+    // 1. Source integrity: is anything in the closure that should not be?
+    let unexpected = provider_run.unexpected_images(&whitelist);
+    println!("unexpected images in the provider's closure: {unexpected:?}");
+
+    // 2. Fine-grained metering: how does the bill compare with the reference?
+    let overcharge = OverchargeReport::compare(quote.usage, reference.victim_billed, freq);
+    println!("overcharge analysis: {overcharge}");
+
+    // 3. Combined verdict over the paper's three properties.
+    let mut log = MeasurementLog::new();
+    for name in &provider_run.measured_images {
+        log.measure(MeasuredImage::new(name.clone(), ImageKind::SharedLibrary));
+    }
+    let source_report = log.verify(whitelist.iter().map(|s| s.as_str()), log.pcr());
+    let execution_ok = provider_run.witness_digest == reference.witness_digest;
+    let assessment = TrustAssessment::new(&source_report, execution_ok, overcharge);
+    println!("final assessment: {assessment}");
+    assert!(!assessment.is_trustworthy(), "the attacked platform must be flagged");
+    println!("\nviolated properties: {:?}", assessment.violations());
+}

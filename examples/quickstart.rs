@@ -1,0 +1,58 @@
+//! Quickstart: run one victim program on the simulated utility-computing
+//! platform, once honestly and once under the shell attack, and compare what
+//! the provider bills against the fine-grained ground truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use trustmeter::prelude::*;
+
+fn main() {
+    // Scale 0.02 ⇒ the Whetstone victim is about 3.8 CPU-seconds of
+    // simulated work (2 % of the paper's full-size run); everything finishes
+    // in a couple of host seconds.
+    let scale = 0.02;
+    let scenario = Scenario::new(Workload::Whetstone, scale);
+
+    println!("== clean run (honest platform) ==");
+    let clean = scenario.run_clean();
+    print_outcome(&clean);
+
+    println!("\n== attacked run (shell attack, §IV-A1) ==");
+    let attack = ShellAttack::paper_default(scale);
+    let attacked = scenario.run_attacked(&attack);
+    print_outcome(&attacked);
+
+    // The bill the provider would present, per CPU hour.
+    let card = RateCard::per_cpu_hour(0.10);
+    let freq = CpuFrequency::E7200;
+    let clean_invoice = card.invoice(clean.victim_billed, freq);
+    let attacked_invoice = card.invoice(attacked.victim_billed, freq);
+    println!("\nclean bill:    {:.6} $", clean_invoice.total);
+    println!("attacked bill: {:.6} $", attacked_invoice.total);
+    println!("overcharge:    {:.6} $", attacked_invoice.overcharge_vs(&clean_invoice));
+
+    // Source integrity: the measured launch flags exactly the injected code.
+    let injected = attacked.unexpected_images(&clean.measured_images);
+    println!("\nimages not in the expected closure: {injected:?}");
+
+    // Quantified verdict.
+    let report = OverchargeReport::compare(attacked.victim_billed, clean.victim_billed, freq);
+    println!("verdict: {report}");
+}
+
+fn print_outcome(outcome: &ScenarioOutcome) {
+    println!(
+        "billed (tick):   {:.3} s user + {:.3} s system = {:.3} s",
+        outcome.billed_utime_secs(),
+        outcome.billed_stime_secs(),
+        outcome.billed_total_secs()
+    );
+    println!(
+        "ground truth:    {:.3} s total (TSC), elapsed {:.3} s, {} ticks",
+        outcome.truth_total_secs(),
+        outcome.elapsed_secs,
+        outcome.stats.ticks
+    );
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration tests spanning every crate: each of the paper's
+//! attacks run through the public facade, checked for the qualitative effect
+//! the paper reports.
+
+use trustmeter::prelude::*;
+
+const SCALE: f64 = 0.002;
+
+fn clean(workload: Workload) -> ScenarioOutcome {
+    Scenario::new(workload, SCALE).run_clean()
+}
+
+#[test]
+fn honest_platform_bills_close_to_ground_truth() {
+    for w in Workload::ALL {
+        let outcome = clean(w);
+        assert!(!outcome.hit_horizon);
+        let billed = outcome.billed_total_secs();
+        let truth = outcome.truth_total_secs();
+        let rel = (billed - truth).abs() / truth;
+        assert!(rel < 0.1, "{w}: billed {billed} vs truth {truth}");
+    }
+}
+
+#[test]
+fn shell_attack_adds_a_constant_to_every_program() {
+    let attack = ShellAttack::paper_default(SCALE);
+    let injected = 34.0 * SCALE;
+    for w in Workload::ALL {
+        let base = clean(w);
+        let attacked = Scenario::new(w, SCALE).run_attacked(&attack);
+        let growth = attacked.billed_utime_secs() - base.billed_utime_secs();
+        assert!(
+            (growth - injected).abs() < injected * 0.4,
+            "{w}: user-time growth {growth}, expected ≈ {injected}"
+        );
+    }
+}
+
+#[test]
+fn preload_constructor_attack_is_detected_by_measured_launch() {
+    let attack = PreloadConstructorAttack::paper_default(SCALE);
+    let base = clean(Workload::Brute);
+    let attacked = Scenario::new(Workload::Brute, SCALE).run_attacked(&attack);
+    let unexpected = attacked.unexpected_images(&base.measured_images);
+    assert!(unexpected.iter().any(|n| n.contains("attack_preload.so")));
+    assert!(attacked.billed_total_secs() > base.billed_total_secs());
+}
+
+#[test]
+fn interposition_attack_amplifies_with_library_usage() {
+    let attack = InterpositionAttack::paper_default(SCALE);
+    // Whetstone makes many more libm calls than O does; its inflation in
+    // absolute seconds should be larger.
+    let o_clean = clean(Workload::LoopO);
+    let w_clean = clean(Workload::Whetstone);
+    let o_attacked = Scenario::new(Workload::LoopO, SCALE).run_attacked(&attack);
+    let w_attacked = Scenario::new(Workload::Whetstone, SCALE).run_attacked(&attack);
+    let o_growth = o_attacked.billed_total_secs() - o_clean.billed_total_secs();
+    let w_growth = w_attacked.billed_total_secs() - w_clean.billed_total_secs();
+    assert!(w_growth > o_growth, "W growth {w_growth} should exceed O growth {o_growth}");
+}
+
+#[test]
+fn scheduling_attack_inflates_bill_but_not_ground_truth() {
+    let attack = SchedulingAttack::paper_default(SCALE, -15);
+    let base = clean(Workload::Whetstone);
+    let attacked = Scenario::new(Workload::Whetstone, SCALE).run_attacked(&attack);
+    assert!(attacked.billed_total_secs() > base.billed_total_secs() * 1.2);
+    // Fine-grained metering is immune.
+    let truth_ratio = attacked.truth_total_secs() / base.truth_total_secs();
+    assert!((truth_ratio - 1.0).abs() < 0.05, "truth ratio {truth_ratio}");
+}
+
+#[test]
+fn thrashing_attack_shows_up_as_system_time_and_debug_traps() {
+    let attack = ThrashingAttack::paper_default();
+    let base = clean(Workload::Pi);
+    let attacked = Scenario::new(Workload::Pi, SCALE).run_attacked(&attack);
+    assert!(attacked.stats.debug_traps > 1_000);
+    assert!(attacked.truth_stime_secs() > base.truth_stime_secs());
+    assert!(attacked.billed_total_secs() > base.billed_total_secs());
+}
+
+#[test]
+fn interrupt_flood_is_neutralised_by_process_aware_accounting() {
+    let attack = InterruptFloodAttack::paper_default();
+    let attacked = Scenario::new(Workload::LoopO, SCALE).run_attacked(&attack);
+    assert!(attacked.stats.device_interrupts > 100);
+    // The victim did not ask for those packets: process-aware accounting
+    // charges it less system time than the naive fine-grained scheme.
+    let khz = attacked.frequency_khz as f64 * 1_000.0;
+    let pa_stime = attacked.victim_process_aware.stime.as_f64() / khz;
+    assert!(pa_stime < attacked.truth_stime_secs());
+}
+
+#[test]
+fn exception_flood_forces_major_faults_on_the_victim() {
+    let config = KernelConfig::paper_machine().with_physical_pages(64 * 1024);
+    let scenario = Scenario::new(Workload::Pi, SCALE).with_config(config.clone());
+    let base = scenario.run_clean();
+    let attack = ExceptionFloodAttack::paper_default(base.elapsed_secs * 3.0);
+    let attacked = scenario.run_attacked(&attack);
+    assert!(attacked.stats.major_faults > 0);
+    assert!(attacked.truth_stime_secs() > base.truth_stime_secs());
+}
+
+#[test]
+fn execution_witness_differs_only_when_code_differs() {
+    let a = clean(Workload::Whetstone);
+    let b = clean(Workload::Whetstone);
+    assert_eq!(a.witness_digest, b.witness_digest, "same program, same witness");
+    let attacked =
+        Scenario::new(Workload::Whetstone, SCALE).run_attacked(&ShellAttack::paper_default(SCALE));
+    assert_ne!(a.witness_digest, attacked.witness_digest, "injected code changes the witness");
+    // The scheduling attack does not inject code, so the witness is intact
+    // even though the bill is inflated.
+    let sched = Scenario::new(Workload::Whetstone, SCALE)
+        .run_attacked(&SchedulingAttack::paper_default(SCALE, -10));
+    assert_eq!(a.witness_digest, sched.witness_digest);
+}
+
+#[test]
+fn billing_reflects_the_overcharge() {
+    let card = RateCard::per_cpu_hour(0.10);
+    let freq = CpuFrequency::E7200;
+    let base = clean(Workload::LoopO);
+    let attacked =
+        Scenario::new(Workload::LoopO, SCALE).run_attacked(&ShellAttack::paper_default(SCALE));
+    let clean_invoice = card.invoice(base.victim_billed, freq);
+    let attacked_invoice = card.invoice(attacked.victim_billed, freq);
+    assert!(attacked_invoice.overcharge_vs(&clean_invoice) > 0.0);
+    let report = OverchargeReport::compare(attacked.victim_billed, base.victim_billed, freq);
+    assert_eq!(report.verdict, Verdict::Overcharged);
+    assert_eq!(report.class, AttackClass::UserTimeInflation);
+}

@@ -1,0 +1,107 @@
+//! The full trust-establishment workflow of §VI, as an integration test:
+//! reference execution → provider execution → attestation quote → customer
+//! audit, for an honest platform and for each class of dishonest platform.
+
+use trustmeter::prelude::*;
+
+const SCALE: f64 = 0.002;
+
+struct Audit {
+    assessment: TrustAssessment,
+    flagged_images: Vec<String>,
+}
+
+/// Runs the customer-side audit of a provider run against a reference run.
+fn audit(reference: &ScenarioOutcome, provider: &ScenarioOutcome) -> Audit {
+    let freq = CpuFrequency::E7200;
+    // Rebuild the provider's measurement log from the reported image names
+    // (the quote's PCR binds the log; here we trust the simulated transport).
+    let mut log = MeasurementLog::new();
+    for name in &provider.measured_images {
+        log.measure(MeasuredImage::new(name.clone(), ImageKind::SharedLibrary));
+    }
+    let source = log.verify(reference.measured_images.iter().map(|s| s.as_str()), log.pcr());
+    let execution_ok = provider.witness_digest == reference.witness_digest;
+    let overcharge = OverchargeReport::compare(provider.victim_billed, reference.victim_billed, freq);
+    Audit {
+        assessment: TrustAssessment::new(&source, execution_ok, overcharge),
+        flagged_images: source.unexpected.iter().map(|m| m.name.clone()).collect(),
+    }
+}
+
+#[test]
+fn honest_platform_passes_the_audit() {
+    let scenario = Scenario::new(Workload::Pi, SCALE);
+    let reference = scenario.run_clean();
+    let provider = scenario.run_clean();
+    let audit = audit(&reference, &provider);
+    assert!(audit.assessment.is_trustworthy(), "{}", audit.assessment);
+    assert!(audit.flagged_images.is_empty());
+}
+
+#[test]
+fn quote_binds_usage_pcr_and_witness() {
+    let scenario = Scenario::new(Workload::Pi, SCALE);
+    let provider = scenario.run_clean();
+    let aik = AttestationKey::from_seed(b"platform");
+    let quote = aik.quote(99, provider.measurement_pcr, provider.witness_digest, provider.victim_billed);
+    assert!(aik.verify(&quote, 99).is_ok());
+    assert_eq!(aik.verify(&quote, 100), Err(trustmeter::core::QuoteError::NonceMismatch));
+    let mut tampered = quote.clone();
+    tampered.usage.stime = tampered.usage.stime + Cycles(1);
+    assert!(aik.verify(&tampered, 99).is_err());
+}
+
+#[test]
+fn launch_time_attack_fails_source_integrity() {
+    let scenario = Scenario::new(Workload::Whetstone, SCALE);
+    let reference = scenario.run_clean();
+    let provider = scenario.run_attacked(&PreloadConstructorAttack::paper_default(SCALE));
+    let audit = audit(&reference, &provider);
+    assert!(!audit.assessment.is_trustworthy());
+    assert!(audit.assessment.violations().contains(&TrustProperty::SourceIntegrity));
+    assert!(audit.flagged_images.iter().any(|n| n.contains("attack_preload")));
+}
+
+#[test]
+fn scheduling_attack_fails_only_fine_grained_metering() {
+    let scenario = Scenario::new(Workload::Whetstone, SCALE);
+    let reference = scenario.run_clean();
+    let provider = scenario.run_attacked(&SchedulingAttack::paper_default(SCALE, -15));
+    let audit = audit(&reference, &provider);
+    assert!(!audit.assessment.is_trustworthy());
+    let violations = audit.assessment.violations();
+    assert!(violations.contains(&TrustProperty::FineGrainedMetering), "{violations:?}");
+    // No code was injected and the control flow is intact.
+    assert!(!violations.contains(&TrustProperty::SourceIntegrity));
+    assert!(!violations.contains(&TrustProperty::ExecutionIntegrity));
+    assert!(audit.flagged_images.is_empty());
+}
+
+#[test]
+fn thrashing_attack_fails_fine_grained_metering_without_touching_the_closure() {
+    let scenario = Scenario::new(Workload::Whetstone, SCALE);
+    let reference = scenario.run_clean();
+    let provider = scenario.run_attacked(&ThrashingAttack::paper_default());
+    let audit = audit(&reference, &provider);
+    assert!(!audit.assessment.is_trustworthy());
+    assert!(audit.flagged_images.is_empty(), "no injected images: {:?}", audit.flagged_images);
+    assert!(audit
+        .assessment
+        .violations()
+        .contains(&TrustProperty::FineGrainedMetering));
+}
+
+#[test]
+fn invoices_from_the_three_schemes_rank_as_expected_under_attack() {
+    let card = RateCard::per_cpu_second(0.001);
+    let freq = CpuFrequency::E7200;
+    let scenario = Scenario::new(Workload::LoopO, SCALE);
+    let attacked = scenario.run_attacked(&InterruptFloodAttack::paper_default());
+    let billed = card.invoice(attacked.victim_billed, freq).total;
+    let truth = card.invoice(attacked.victim_truth, freq).total;
+    let aware = card.invoice(attacked.victim_process_aware, freq).total;
+    // The commodity bill is the largest, the process-aware bill the smallest.
+    assert!(billed >= truth * 0.95, "billed {billed} vs truth {truth}");
+    assert!(aware <= truth, "aware {aware} vs truth {truth}");
+}
