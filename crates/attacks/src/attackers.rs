@@ -57,12 +57,21 @@ impl Program for ForkAttacker {
         match self.state {
             0 => {
                 self.state = 1;
-                Some(Op::Compute { cycles: us(self.freq, self.parent_us) })
+                Some(Op::Compute {
+                    cycles: us(self.freq, self.parent_us),
+                })
             }
             1 => {
                 self.state = 2;
-                let child = Box::new(ForkChild { freq: self.freq, work_us: self.child_us, done: false });
-                Some(Op::Syscall(SyscallOp::Fork { child, nice: self.nice }))
+                let child = Box::new(ForkChild {
+                    freq: self.freq,
+                    work_us: self.child_us,
+                    done: false,
+                });
+                Some(Op::Syscall(SyscallOp::Fork {
+                    child,
+                    nice: self.nice,
+                }))
             }
             _ => {
                 self.state = 0;
@@ -90,7 +99,9 @@ impl Program for ForkChild {
             return None;
         }
         self.done = true;
-        Some(Op::Compute { cycles: us(self.freq, self.work_us) })
+        Some(Op::Compute {
+            cycles: us(self.freq, self.work_us),
+        })
     }
 }
 
@@ -120,7 +131,12 @@ impl Thrasher {
     /// Creates a thrasher targeting `target`, arming a breakpoint at
     /// `breakpoint_addr` (the victim's hot variable).
     pub fn new(target: TaskId, breakpoint_addr: u64) -> Thrasher {
-        Thrasher { target, breakpoint_addr, state: ThrasherState::Attach, rounds: 0 }
+        Thrasher {
+            target,
+            breakpoint_addr,
+            state: ThrasherState::Attach,
+            rounds: 0,
+        }
     }
 }
 
@@ -135,7 +151,9 @@ impl Program for Thrasher {
             match self.state {
                 Attach => {
                     self.state = WaitAttachStop;
-                    return Some(Op::Syscall(SyscallOp::PtraceAttach { target: self.target }));
+                    return Some(Op::Syscall(SyscallOp::PtraceAttach {
+                        target: self.target,
+                    }));
                 }
                 WaitAttachStop => {
                     if ctx.last == OpOutcome::Failed {
@@ -146,7 +164,10 @@ impl Program for Thrasher {
                     return Some(Op::Syscall(SyscallOp::Wait));
                 }
                 SetBreakpoint => {
-                    if matches!(ctx.last, OpOutcome::ChildExited(_) | OpOutcome::NoChildren | OpOutcome::Failed) {
+                    if matches!(
+                        ctx.last,
+                        OpOutcome::ChildExited(_) | OpOutcome::NoChildren | OpOutcome::Failed
+                    ) {
                         self.state = Done;
                         continue;
                     }
@@ -162,7 +183,9 @@ impl Program for Thrasher {
                         continue;
                     }
                     self.state = WaitTrap;
-                    return Some(Op::Syscall(SyscallOp::PtraceCont { target: self.target }));
+                    return Some(Op::Syscall(SyscallOp::PtraceCont {
+                        target: self.target,
+                    }));
                 }
                 WaitTrap => match ctx.last {
                     OpOutcome::ChildStopped(_) => {
@@ -236,11 +259,15 @@ impl Program for MemoryHog {
                     return self.next_op(_ctx);
                 }
                 self.slabs_left -= 1;
-                Some(Op::AllocMemory { pages: self.slab_pages })
+                Some(Op::AllocMemory {
+                    pages: self.slab_pages,
+                })
             }
             1 => {
                 self.phase = 2;
-                Some(Op::TouchMemory { pages: self.touch_pages })
+                Some(Op::TouchMemory {
+                    pages: self.touch_pages,
+                })
             }
             _ => {
                 if self.touch_rounds_left == 0 {
@@ -248,7 +275,9 @@ impl Program for MemoryHog {
                 }
                 self.touch_rounds_left -= 1;
                 self.phase = 1;
-                Some(Op::Compute { cycles: self.compute_per_round })
+                Some(Op::Compute {
+                    cycles: self.compute_per_round,
+                })
             }
         }
     }
@@ -300,25 +329,53 @@ mod tests {
         let mut t = Thrasher::new(TaskId(3), 0xdead);
         let mut rng = SimRng::seed_from(1);
         // Attach.
-        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::None, rng: &mut rng };
+        let mut ctx = ProgramCtx {
+            pid: TaskId(9),
+            last: OpOutcome::None,
+            rng: &mut rng,
+        };
         assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("ATTACH"));
         // Wait for the attach stop.
-        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::Completed, rng: &mut rng };
+        let mut ctx = ProgramCtx {
+            pid: TaskId(9),
+            last: OpOutcome::Completed,
+            rng: &mut rng,
+        };
         assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("wait"));
         // Breakpoint after the stop is observed.
-        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::ChildStopped(TaskId(3)), rng: &mut rng };
+        let mut ctx = ProgramCtx {
+            pid: TaskId(9),
+            last: OpOutcome::ChildStopped(TaskId(3)),
+            rng: &mut rng,
+        };
         assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("POKEUSER"));
         // Cont.
-        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::Completed, rng: &mut rng };
+        let mut ctx = ProgramCtx {
+            pid: TaskId(9),
+            last: OpOutcome::Completed,
+            rng: &mut rng,
+        };
         assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("CONT"));
         // Wait for a trap, observe it, cont again.
-        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::Completed, rng: &mut rng };
+        let mut ctx = ProgramCtx {
+            pid: TaskId(9),
+            last: OpOutcome::Completed,
+            rng: &mut rng,
+        };
         assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("wait"));
-        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::ChildStopped(TaskId(3)), rng: &mut rng };
+        let mut ctx = ProgramCtx {
+            pid: TaskId(9),
+            last: OpOutcome::ChildStopped(TaskId(3)),
+            rng: &mut rng,
+        };
         assert!(format!("{:?}", t.next_op(&mut ctx).unwrap()).contains("CONT"));
         assert_eq!(t.rounds, 1);
         // Tracee exits: attacker finishes.
-        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::ChildExited(TaskId(3)), rng: &mut rng };
+        let mut ctx = ProgramCtx {
+            pid: TaskId(9),
+            last: OpOutcome::ChildExited(TaskId(3)),
+            rng: &mut rng,
+        };
         // After cont we are in WaitTrap; a ChildExited ends the program.
         assert!(t.next_op(&mut ctx).is_none());
     }
@@ -327,9 +384,17 @@ mod tests {
     fn thrasher_gives_up_on_failed_attach() {
         let mut t = Thrasher::new(TaskId(3), 0xdead);
         let mut rng = SimRng::seed_from(1);
-        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::None, rng: &mut rng };
+        let mut ctx = ProgramCtx {
+            pid: TaskId(9),
+            last: OpOutcome::None,
+            rng: &mut rng,
+        };
         let _ = t.next_op(&mut ctx); // attach
-        let mut ctx = ProgramCtx { pid: TaskId(9), last: OpOutcome::Failed, rng: &mut rng };
+        let mut ctx = ProgramCtx {
+            pid: TaskId(9),
+            last: OpOutcome::Failed,
+            rng: &mut rng,
+        };
         assert!(t.next_op(&mut ctx).is_none());
     }
 

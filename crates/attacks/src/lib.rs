@@ -115,7 +115,9 @@ pub struct ShellAttack {
 impl ShellAttack {
     /// The paper's configuration (≈34 s of injected work) scaled by `scale`.
     pub fn paper_default(scale: f64) -> ShellAttack {
-        ShellAttack { injected_secs: 34.0 * scale }
+        ShellAttack {
+            injected_secs: 34.0 * scale,
+        }
     }
 }
 
@@ -153,7 +155,10 @@ impl PreloadConstructorAttack {
     /// The paper's configuration (the same ≈34 s loop as the shell attack,
     /// now inside a constructor) scaled by `scale`.
     pub fn paper_default(scale: f64) -> PreloadConstructorAttack {
-        PreloadConstructorAttack { constructor_secs: 34.0 * scale, destructor_secs: 0.0 }
+        PreloadConstructorAttack {
+            constructor_secs: 34.0 * scale,
+            destructor_secs: 0.0,
+        }
     }
 
     /// Name of the malicious library.
@@ -252,7 +257,10 @@ pub struct SchedulingAttack {
 impl SchedulingAttack {
     /// The paper's configuration (2²¹ forks) scaled by `scale`.
     pub fn paper_default(scale: f64, nice: i8) -> SchedulingAttack {
-        SchedulingAttack { nice, forks: ((1u64 << 21) as f64 * scale).round().max(1.0) as u64 }
+        SchedulingAttack {
+            nice,
+            forks: ((1u64 << 21) as f64 * scale).round().max(1.0) as u64,
+        }
     }
 }
 
@@ -305,7 +313,9 @@ impl Attack for ThrashingAttack {
     }
     fn install(&self, _kernel: &mut Kernel) {}
     fn launch(&self, kernel: &mut Kernel, victim: TaskId, workload: Option<Workload>) {
-        let addr = workload.map(|w| w.hot_variable_addr()).unwrap_or(0x6000_0000);
+        let addr = workload
+            .map(|w| w.hot_variable_addr())
+            .unwrap_or(0x6000_0000);
         kernel.spawn_raw(Box::new(Thrasher::new(victim, addr)), self.tracer_nice);
     }
 }
@@ -323,7 +333,9 @@ impl InterruptFloodAttack {
     /// The paper's configuration: a steady junk-packet stream from another
     /// PC (we use 20 000 packets/s, about 12 % of the CPU in handler time).
     pub fn paper_default() -> InterruptFloodAttack {
-        InterruptFloodAttack { packets_per_sec: 20_000.0 }
+        InterruptFloodAttack {
+            packets_per_sec: 20_000.0,
+        }
     }
 }
 
@@ -363,7 +375,11 @@ impl ExceptionFloodAttack {
     /// memory and keep writing/reading it while the victim runs for about
     /// `victim_secs`.
     pub fn paper_default(victim_secs: f64) -> ExceptionFloodAttack {
-        ExceptionFloodAttack { overcommit_factor: 1.5, duration_secs: victim_secs, hog_nice: 0 }
+        ExceptionFloodAttack {
+            overcommit_factor: 1.5,
+            duration_secs: victim_secs,
+            hog_nice: 0,
+        }
     }
 }
 
@@ -381,7 +397,11 @@ impl Attack for ExceptionFloodAttack {
     fn launch(&self, kernel: &mut Kernel, _victim: TaskId, _workload: Option<Workload>) {
         let physical = kernel.config().physical_pages;
         let total = (physical as f64 * self.overcommit_factor) as u64;
-        let hog = MemoryHog::new(total, physical / 8, (self.duration_secs * 100.0).max(1.0) as u64);
+        let hog = MemoryHog::new(
+            total,
+            physical / 8,
+            (self.duration_secs * 100.0).max(1.0) as u64,
+        );
         kernel.spawn_raw(Box::new(hog), self.hog_nice);
     }
 }
@@ -424,19 +444,30 @@ mod tests {
         let attacked_result = attacked.run();
         let au = attacked_result.process(v2).unwrap().billed();
         let f = clean_result.frequency;
-        (cu.utime_secs(f), cu.stime_secs(f), au.utime_secs(f), au.stime_secs(f))
+        (
+            cu.utime_secs(f),
+            cu.stime_secs(f),
+            au.utime_secs(f),
+            au.stime_secs(f),
+        )
     }
 
     #[test]
     fn shell_attack_inflates_user_time_only() {
         let (cu, cs, au, as_) = run_with(&ShellAttack::paper_default(SCALE), Workload::LoopO);
         assert!(au > cu + 0.1, "user time should grow: {cu} -> {au}");
-        assert!((as_ - cs).abs() < 0.05, "system time should be unaffected: {cs} -> {as_}");
+        assert!(
+            (as_ - cs).abs() < 0.05,
+            "system time should be unaffected: {cs} -> {as_}"
+        );
     }
 
     #[test]
     fn preload_attack_matches_shell_attack_shape() {
-        let (cu, _, au, _) = run_with(&PreloadConstructorAttack::paper_default(SCALE), Workload::Pi);
+        let (cu, _, au, _) = run_with(
+            &PreloadConstructorAttack::paper_default(SCALE),
+            Workload::Pi,
+        );
         let injected = 34.0 * SCALE;
         let growth = au - cu;
         assert!(
@@ -447,8 +478,14 @@ mod tests {
 
     #[test]
     fn interposition_attack_amplifies_with_call_count() {
-        let (cu, _, au, _) = run_with(&InterpositionAttack::paper_default(SCALE), Workload::Whetstone);
-        assert!(au > cu * 1.1, "interposition should visibly inflate: {cu} -> {au}");
+        let (cu, _, au, _) = run_with(
+            &InterpositionAttack::paper_default(SCALE),
+            Workload::Whetstone,
+        );
+        assert!(
+            au > cu * 1.1,
+            "interposition should visibly inflate: {cu} -> {au}"
+        );
     }
 
     #[test]
@@ -481,13 +518,25 @@ mod tests {
         let v2 = attacked.spawn_process(Workload::Whetstone.build(SCALE), 0);
         attack.launch(&mut attacked, v2, Some(Workload::Whetstone));
         let r2 = attacked.run();
-        let clean_stime = r1.process(v1).unwrap().usage(SchemeKind::Tsc).stime_secs(r1.frequency);
-        let attacked_stime = r2.process(v2).unwrap().usage(SchemeKind::Tsc).stime_secs(r2.frequency);
+        let clean_stime = r1
+            .process(v1)
+            .unwrap()
+            .usage(SchemeKind::Tsc)
+            .stime_secs(r1.frequency);
+        let attacked_stime = r2
+            .process(v2)
+            .unwrap()
+            .usage(SchemeKind::Tsc)
+            .stime_secs(r2.frequency);
         assert!(
             attacked_stime > clean_stime + 0.005,
             "thrashing should add system time: {clean_stime} -> {attacked_stime}"
         );
-        assert!(r2.stats.debug_traps > 500, "traps: {}", r2.stats.debug_traps);
+        assert!(
+            r2.stats.debug_traps > 500,
+            "traps: {}",
+            r2.stats.debug_traps
+        );
         // The billed (tick) total also grows.
         let clean_total = r1.process(v1).unwrap().billed().total_secs(r1.frequency);
         let attacked_total = r2.process(v2).unwrap().billed().total_secs(r2.frequency);
@@ -506,7 +555,9 @@ mod tests {
     #[test]
     fn exception_flood_inflates_system_time() {
         // Use a smaller machine so the hog can exhaust memory quickly.
-        let cfg = KernelConfig::paper_machine().with_physical_pages(64 * 1024).with_seed(5);
+        let cfg = KernelConfig::paper_machine()
+            .with_physical_pages(64 * 1024)
+            .with_seed(5);
         let attack = ExceptionFloodAttack::paper_default(3.0);
         let mut clean = Kernel::new(cfg.clone());
         let v1 = clean.spawn_process(Workload::Pi.build(SCALE), 0);
@@ -518,7 +569,10 @@ mod tests {
         let r2 = attacked.run();
         let cs = r1.process(v1).unwrap().billed().stime_secs(r1.frequency);
         let as_ = r2.process(v2).unwrap().billed().stime_secs(r2.frequency);
-        assert!(as_ > cs, "page-fault flood should add system time: {cs} -> {as_}");
+        assert!(
+            as_ > cs,
+            "page-fault flood should add system time: {cs} -> {as_}"
+        );
         assert!(r2.stats.major_faults > 0);
     }
 
@@ -539,8 +593,14 @@ mod tests {
                 other => panic!("unknown attack {other}"),
             }
         }
-        assert_eq!(SchedulingAttack::paper_default(1.0, -5).required_privilege(), Privilege::Root);
-        assert_eq!(SchedulingAttack::paper_default(1.0, 0).required_privilege(), Privilege::None);
+        assert_eq!(
+            SchedulingAttack::paper_default(1.0, -5).required_privilege(),
+            Privilege::Root
+        );
+        assert_eq!(
+            SchedulingAttack::paper_default(1.0, 0).required_privilege(),
+            Privilege::None
+        );
         assert_eq!(format!("{}", Privilege::Ptrace), "ptrace permission");
     }
 }

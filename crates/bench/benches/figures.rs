@@ -19,9 +19,15 @@ fn bench_figures(c: &mut Criterion) {
 
     group.bench_function("fig4_shell_attack", |b| b.iter(|| fig4_shell(&cfg)));
     group.bench_function("fig5_constructor_attack", |b| b.iter(|| fig5_ctor(&cfg)));
-    group.bench_function("fig6_interposition_attack", |b| b.iter(|| fig6_interpose(&cfg)));
-    group.bench_function("fig7_scheduling_whetstone", |b| b.iter(|| fig7_sched_whetstone(&cfg)));
-    group.bench_function("fig8_scheduling_brute", |b| b.iter(|| fig8_sched_brute(&cfg)));
+    group.bench_function("fig6_interposition_attack", |b| {
+        b.iter(|| fig6_interpose(&cfg))
+    });
+    group.bench_function("fig7_scheduling_whetstone", |b| {
+        b.iter(|| fig7_sched_whetstone(&cfg))
+    });
+    group.bench_function("fig8_scheduling_brute", |b| {
+        b.iter(|| fig8_sched_brute(&cfg))
+    });
     group.bench_function("fig9_thrashing", |b| b.iter(|| fig9_thrash(&cfg)));
     group.bench_function("fig10_interrupt_flood", |b| b.iter(|| fig10_irqflood(&cfg)));
     group.bench_function("fig11_exception_flood", |b| b.iter(|| fig11_pfflood(&cfg)));

@@ -1,0 +1,57 @@
+//! Fleet benchmarks: the shard-count sweep that motivates the sharded
+//! executor, plus the auditing and metrics stages on top of a fixed batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trustmeter_fleet::{
+    AttackSpec, Fleet, FleetConfig, FleetService, JobSpec, RateCard, Tenant, TenantId,
+};
+use trustmeter_workloads::Workload;
+
+const SCALE: f64 = 0.001;
+
+fn batch(n: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            let tenant = TenantId((i % 4) as u32 + 1);
+            let workload = Workload::ALL[(i % 4) as usize];
+            if i % 4 == 0 {
+                JobSpec::attacked(i, tenant, workload, SCALE, AttackSpec::Shell)
+            } else {
+                JobSpec::clean(i, tenant, workload, SCALE)
+            }
+        })
+        .collect()
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    let jobs = batch(32);
+    for shards in [1usize, 2, 4, 8] {
+        let fleet = Fleet::new(FleetConfig::new(shards, 0xf1ee7));
+        group.bench_function(&format!("run_32_jobs_{shards}_shards"), |b| {
+            b.iter(|| fleet.run(&jobs))
+        });
+    }
+
+    group.bench_function("service_process_32_jobs_4_shards", |b| {
+        b.iter(|| {
+            let mut service = FleetService::new(FleetConfig::new(4, 0xf1ee7));
+            for id in 1..=4u32 {
+                service.register(Tenant::new(
+                    TenantId(id),
+                    format!("t{id}"),
+                    RateCard::per_cpu_hour(0.10),
+                ));
+            }
+            let report = service.process(&jobs);
+            (report.verdicts.len(), service.metrics_text().len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -17,7 +17,9 @@ fn bench_substrate(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut rng = SimRng::seed_from(1);
-                (0..10_000u64).map(|_| Cycles(rng.next_u64() % 1_000_000)).collect::<Vec<_>>()
+                (0..10_000u64)
+                    .map(|_| Cycles(rng.next_u64() % 1_000_000))
+                    .collect::<Vec<_>>()
             },
             |times| {
                 let mut q = EventQueue::new();
@@ -44,7 +46,9 @@ fn bench_substrate(c: &mut Criterion) {
         b.iter(|| md5::brute_force(&target, 2))
     });
 
-    group.bench_function("pi_spigot_100_digits", |b| b.iter(|| pi::spigot_digits(100)));
+    group.bench_function("pi_spigot_100_digits", |b| {
+        b.iter(|| pi::spigot_digits(100))
+    });
 
     group.bench_function("whetstone_10_loops", |b| b.iter(|| whetstone::run(10)));
 
@@ -68,7 +72,9 @@ fn bench_substrate(c: &mut Criterion) {
     group.bench_function("kernel_run_two_tasks_50ms_each", |b| {
         b.iter(|| {
             let cfg = KernelConfig::paper_machine();
-            let work = cfg.frequency.cycles_for(trustmeter_sim::Nanos::from_millis(50));
+            let work = cfg
+                .frequency
+                .cycles_for(trustmeter_sim::Nanos::from_millis(50));
             let mut k = Kernel::new(cfg);
             k.spawn_process(Box::new(OpsProgram::compute_only("a", work)), 0);
             k.spawn_process(Box::new(OpsProgram::compute_only("b", work)), -5);

@@ -27,7 +27,10 @@ pub const BENCH_SCALE: f64 = 0.001;
 
 /// The experiment configuration shared by the benches.
 pub fn bench_config() -> ExperimentConfig {
-    ExperimentConfig { scale: BENCH_SCALE, seed: 0xbe_c4 }
+    ExperimentConfig {
+        scale: BENCH_SCALE,
+        seed: 0xbe_c4,
+    }
 }
 
 #[cfg(test)]

@@ -126,11 +126,12 @@ impl OverchargeReport {
         freq: CpuFrequency,
         tolerance: f64,
     ) -> OverchargeReport {
-        assert!(tolerance.is_finite() && tolerance >= 0.0, "tolerance must be non-negative");
-        let extra_user_secs =
-            measured.utime_secs(freq) - reference.utime_secs(freq);
-        let extra_system_secs =
-            measured.stime_secs(freq) - reference.stime_secs(freq);
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "tolerance must be non-negative"
+        );
+        let extra_user_secs = measured.utime_secs(freq) - reference.utime_secs(freq);
+        let extra_system_secs = measured.stime_secs(freq) - reference.stime_secs(freq);
         let measured_total = measured.total_secs(freq);
         let reference_total = reference.total_secs(freq);
         let diff = measured_total - reference_total;
@@ -186,7 +187,11 @@ impl fmt::Display for OverchargeReport {
         write!(
             f,
             "{}: +{:.2}s user, +{:.2}s system ({:.2}x, {})",
-            self.verdict, self.extra_user_secs, self.extra_system_secs, self.inflation_ratio, self.class
+            self.verdict,
+            self.extra_user_secs,
+            self.extra_system_secs,
+            self.inflation_ratio,
+            self.class
         )
     }
 }
@@ -269,7 +274,12 @@ impl fmt::Display for TrustAssessment {
             write!(f, "trustworthy ({})", self.overcharge)
         } else {
             let names: Vec<String> = self.violations().iter().map(|p| p.to_string()).collect();
-            write!(f, "NOT trustworthy — violated: {} ({})", names.join(", "), self.overcharge)
+            write!(
+                f,
+                "NOT trustworthy — violated: {} ({})",
+                names.join(", "),
+                self.overcharge
+            )
         }
     }
 }
@@ -347,12 +357,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_tolerance_rejected() {
-        let _ = OverchargeReport::compare_with_tolerance(
-            CpuTime::ZERO,
-            CpuTime::ZERO,
-            freq(),
-            -0.1,
-        );
+        let _ =
+            OverchargeReport::compare_with_tolerance(CpuTime::ZERO, CpuTime::ZERO, freq(), -0.1);
     }
 
     #[test]
@@ -375,7 +381,10 @@ mod tests {
         assert!(!b.is_trustworthy());
         assert_eq!(
             b.violations(),
-            vec![TrustProperty::ExecutionIntegrity, TrustProperty::FineGrainedMetering]
+            vec![
+                TrustProperty::ExecutionIntegrity,
+                TrustProperty::FineGrainedMetering
+            ]
         );
         assert!(format!("{b}").contains("NOT trustworthy"));
     }
@@ -383,7 +392,13 @@ mod tests {
     #[test]
     fn displays() {
         assert_eq!(format!("{}", Verdict::Consistent), "consistent");
-        assert_eq!(format!("{}", AttackClass::Misattribution), "tick misattribution");
-        assert_eq!(format!("{}", TrustProperty::SourceIntegrity), "source integrity");
+        assert_eq!(
+            format!("{}", AttackClass::Misattribution),
+            "tick misattribution"
+        );
+        assert_eq!(
+            format!("{}", TrustProperty::SourceIntegrity),
+            "source integrity"
+        );
     }
 }

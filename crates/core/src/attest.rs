@@ -59,7 +59,9 @@ pub struct AttestationKey {
 impl AttestationKey {
     /// Derives a key deterministically from a seed.
     pub fn from_seed(seed: &[u8]) -> AttestationKey {
-        AttestationKey { secret: Sha256::digest(seed) }
+        AttestationKey {
+            secret: Sha256::digest(seed),
+        }
     }
 
     /// Produces a quote over the given platform state and usage report.

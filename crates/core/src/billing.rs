@@ -50,12 +50,20 @@ pub struct RateCard {
 impl RateCard {
     /// Per-CPU-hour pricing with exact fractional billing.
     pub fn per_cpu_hour(price: f64) -> RateCard {
-        RateCard { price_per_unit: price, unit_secs: 3600.0, rounding: RoundingPolicy::Exact }
+        RateCard {
+            price_per_unit: price,
+            unit_secs: 3600.0,
+            rounding: RoundingPolicy::Exact,
+        }
     }
 
     /// Per-CPU-second pricing.
     pub fn per_cpu_second(price: f64) -> RateCard {
-        RateCard { price_per_unit: price, unit_secs: 1.0, rounding: RoundingPolicy::Exact }
+        RateCard {
+            price_per_unit: price,
+            unit_secs: 1.0,
+            rounding: RoundingPolicy::Exact,
+        }
     }
 
     /// Switches the card to round partial units up (utility-style billing).
@@ -69,15 +77,25 @@ impl RateCard {
         let user_secs = usage.utime_secs(freq);
         let sys_secs = usage.stime_secs(freq);
         let items = vec![
-            LineItem { description: "user time".to_string(), cpu_secs: user_secs },
-            LineItem { description: "system time".to_string(), cpu_secs: sys_secs },
+            LineItem {
+                description: "user time".to_string(),
+                cpu_secs: user_secs,
+            },
+            LineItem {
+                description: "system time".to_string(),
+                cpu_secs: sys_secs,
+            },
         ];
         let total_secs: f64 = items.iter().map(|i| i.cpu_secs).sum();
         let units = match self.rounding {
             RoundingPolicy::Exact => total_secs / self.unit_secs,
             RoundingPolicy::CeilToUnit => (total_secs / self.unit_secs).ceil(),
         };
-        Invoice { items, billed_units: units, total: units * self.price_per_unit }
+        Invoice {
+            items,
+            billed_units: units,
+            total: units * self.price_per_unit,
+        }
     }
 }
 
@@ -116,7 +134,11 @@ impl Invoice {
 
 impl fmt::Display for Invoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Invoice ({:.4} units, total {:.4}):", self.billed_units, self.total)?;
+        writeln!(
+            f,
+            "Invoice ({:.4} units, total {:.4}):",
+            self.billed_units, self.total
+        )?;
         for item in &self.items {
             writeln!(f, "  {:<12} {:.3} CPU s", item.description, item.cpu_secs)?;
         }
@@ -180,6 +202,54 @@ mod tests {
         let inv = card.invoice(CpuTime::ZERO, CpuFrequency::E7200);
         assert_eq!(inv.total, 0.0);
         assert_eq!(inv.total_cpu_secs(), 0.0);
+    }
+
+    #[test]
+    fn ceil_to_unit_does_not_round_zero_usage_up() {
+        // ceil(0/unit) = 0: an idle customer owes nothing even under
+        // round-partial-hours-up billing.
+        let card = RateCard::per_cpu_hour(1.0).rounded_up();
+        let inv = card.invoice(CpuTime::ZERO, CpuFrequency::E7200);
+        assert_eq!(inv.billed_units, 0.0);
+        assert_eq!(inv.total, 0.0);
+    }
+
+    #[test]
+    fn ceil_to_unit_exactly_one_unit_stays_one_unit() {
+        // ceil(1.0) = 1.0: usage landing exactly on the unit boundary must
+        // not be rounded up to a second unit.
+        let freq = CpuFrequency::from_mhz(1000);
+        let card = RateCard::per_cpu_hour(0.10).rounded_up();
+        let inv = card.invoice(CpuTime::user(secs(freq, 3600)), freq);
+        assert!(
+            (inv.billed_units - 1.0).abs() < 1e-12,
+            "units {}",
+            inv.billed_units
+        );
+        assert!((inv.total - 0.10).abs() < 1e-12);
+        // One cycle past the boundary tips into the second unit.
+        let over = CpuTime::user(Cycles(secs(freq, 3600).as_u64() + 1));
+        let inv2 = card.invoice(over, freq);
+        assert!(
+            (inv2.billed_units - 2.0).abs() < 1e-12,
+            "units {}",
+            inv2.billed_units
+        );
+    }
+
+    #[test]
+    fn ceil_to_unit_splits_user_and_system_before_rounding() {
+        // Rounding applies to the *total*, not per line item: 0.5h user +
+        // 0.5h system is exactly one unit, not two.
+        let freq = CpuFrequency::from_mhz(1000);
+        let card = RateCard::per_cpu_hour(0.10).rounded_up();
+        let usage = CpuTime::new(secs(freq, 1800), secs(freq, 1800));
+        let inv = card.invoice(usage, freq);
+        assert!(
+            (inv.billed_units - 1.0).abs() < 1e-12,
+            "units {}",
+            inv.billed_units
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ pub struct CpuTime {
 
 impl CpuTime {
     /// The zero usage.
-    pub const ZERO: CpuTime = CpuTime { utime: Cycles(0), stime: Cycles(0) };
+    pub const ZERO: CpuTime = CpuTime {
+        utime: Cycles(0),
+        stime: Cycles(0),
+    };
 
     /// Creates a usage record from user and system cycles.
     pub fn new(utime: Cycles, stime: Cycles) -> CpuTime {
@@ -102,12 +105,18 @@ impl CpuTime {
 
     /// Creates a usage record with only user time.
     pub fn user(utime: Cycles) -> CpuTime {
-        CpuTime { utime, stime: Cycles::ZERO }
+        CpuTime {
+            utime,
+            stime: Cycles::ZERO,
+        }
     }
 
     /// Creates a usage record with only system time.
     pub fn system(stime: Cycles) -> CpuTime {
-        CpuTime { utime: Cycles::ZERO, stime }
+        CpuTime {
+            utime: Cycles::ZERO,
+            stime,
+        }
     }
 
     /// Total cycles (user + system).
@@ -172,7 +181,10 @@ impl CpuTime {
 impl Add for CpuTime {
     type Output = CpuTime;
     fn add(self, rhs: CpuTime) -> CpuTime {
-        CpuTime { utime: self.utime + rhs.utime, stime: self.stime + rhs.stime }
+        CpuTime {
+            utime: self.utime + rhs.utime,
+            stime: self.stime + rhs.stime,
+        }
     }
 }
 

@@ -212,15 +212,48 @@ mod tests {
     #[test]
     fn event_timestamp_extraction() {
         let events = [
-            MeterEvent::SwitchIn { at: Cycles(1), task: TaskId(1), mode: Mode::User },
-            MeterEvent::SwitchOut { at: Cycles(2), task: TaskId(1) },
-            MeterEvent::ModeChange { at: Cycles(3), task: TaskId(1), mode: Mode::Kernel },
-            MeterEvent::TimerTick { at: Cycles(4), task: None, mode: Mode::User },
-            MeterEvent::IrqEnter { at: Cycles(5), irq: IrqLine::NIC, current: None, owner: None },
-            MeterEvent::IrqExit { at: Cycles(6), irq: IrqLine::NIC },
-            MeterEvent::ExceptionEnter { at: Cycles(7), task: TaskId(1), kind: ExceptionKind::Debug },
-            MeterEvent::ExceptionExit { at: Cycles(8), task: TaskId(1) },
-            MeterEvent::TaskExit { at: Cycles(9), task: TaskId(1) },
+            MeterEvent::SwitchIn {
+                at: Cycles(1),
+                task: TaskId(1),
+                mode: Mode::User,
+            },
+            MeterEvent::SwitchOut {
+                at: Cycles(2),
+                task: TaskId(1),
+            },
+            MeterEvent::ModeChange {
+                at: Cycles(3),
+                task: TaskId(1),
+                mode: Mode::Kernel,
+            },
+            MeterEvent::TimerTick {
+                at: Cycles(4),
+                task: None,
+                mode: Mode::User,
+            },
+            MeterEvent::IrqEnter {
+                at: Cycles(5),
+                irq: IrqLine::NIC,
+                current: None,
+                owner: None,
+            },
+            MeterEvent::IrqExit {
+                at: Cycles(6),
+                irq: IrqLine::NIC,
+            },
+            MeterEvent::ExceptionEnter {
+                at: Cycles(7),
+                task: TaskId(1),
+                kind: ExceptionKind::Debug,
+            },
+            MeterEvent::ExceptionExit {
+                at: Cycles(8),
+                task: TaskId(1),
+            },
+            MeterEvent::TaskExit {
+                at: Cycles(9),
+                task: TaskId(1),
+            },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.at(), Cycles(i as u64 + 1));
@@ -230,17 +263,57 @@ mod tests {
     #[test]
     fn kind_names_are_unique() {
         let names = [
-            MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User }.kind_name(),
-            MeterEvent::SwitchOut { at: Cycles(0), task: TaskId(1) }.kind_name(),
-            MeterEvent::ModeChange { at: Cycles(0), task: TaskId(1), mode: Mode::User }.kind_name(),
-            MeterEvent::TimerTick { at: Cycles(0), task: None, mode: Mode::User }.kind_name(),
-            MeterEvent::IrqEnter { at: Cycles(0), irq: IrqLine(1), current: None, owner: None }
-                .kind_name(),
-            MeterEvent::IrqExit { at: Cycles(0), irq: IrqLine(1) }.kind_name(),
-            MeterEvent::ExceptionEnter { at: Cycles(0), task: TaskId(1), kind: ExceptionKind::Debug }
-                .kind_name(),
-            MeterEvent::ExceptionExit { at: Cycles(0), task: TaskId(1) }.kind_name(),
-            MeterEvent::TaskExit { at: Cycles(0), task: TaskId(1) }.kind_name(),
+            MeterEvent::SwitchIn {
+                at: Cycles(0),
+                task: TaskId(1),
+                mode: Mode::User,
+            }
+            .kind_name(),
+            MeterEvent::SwitchOut {
+                at: Cycles(0),
+                task: TaskId(1),
+            }
+            .kind_name(),
+            MeterEvent::ModeChange {
+                at: Cycles(0),
+                task: TaskId(1),
+                mode: Mode::User,
+            }
+            .kind_name(),
+            MeterEvent::TimerTick {
+                at: Cycles(0),
+                task: None,
+                mode: Mode::User,
+            }
+            .kind_name(),
+            MeterEvent::IrqEnter {
+                at: Cycles(0),
+                irq: IrqLine(1),
+                current: None,
+                owner: None,
+            }
+            .kind_name(),
+            MeterEvent::IrqExit {
+                at: Cycles(0),
+                irq: IrqLine(1),
+            }
+            .kind_name(),
+            MeterEvent::ExceptionEnter {
+                at: Cycles(0),
+                task: TaskId(1),
+                kind: ExceptionKind::Debug,
+            }
+            .kind_name(),
+            MeterEvent::ExceptionExit {
+                at: Cycles(0),
+                task: TaskId(1),
+            }
+            .kind_name(),
+            MeterEvent::TaskExit {
+                at: Cycles(0),
+                task: TaskId(1),
+            }
+            .kind_name(),
         ];
         let mut dedup = names.to_vec();
         dedup.sort_unstable();
@@ -250,7 +323,11 @@ mod tests {
 
     #[test]
     fn display_mentions_kind() {
-        let e = MeterEvent::TimerTick { at: Cycles(42), task: None, mode: Mode::User };
+        let e = MeterEvent::TimerTick {
+            at: Cycles(42),
+            task: None,
+            mode: Mode::User,
+        };
         assert!(format!("{e}").contains("timer-tick"));
     }
 }

@@ -109,7 +109,11 @@ impl MeasuredImage {
 
     /// Creates a measured image with an explicit digest.
     pub fn with_digest(name: impl Into<String>, kind: ImageKind, digest: Digest) -> MeasuredImage {
-        MeasuredImage { name: name.into(), kind, digest }
+        MeasuredImage {
+            name: name.into(),
+            kind,
+            digest,
+        }
     }
 }
 
@@ -146,7 +150,9 @@ impl PcrBank {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> PcrBank {
         assert!(n > 0, "a PCR bank needs at least one register");
-        PcrBank { pcrs: vec![Digest::ZERO; n] }
+        PcrBank {
+            pcrs: vec![Digest::ZERO; n],
+        }
     }
 
     /// Number of registers.
@@ -217,10 +223,18 @@ impl fmt::Display for SourceIntegrityReport {
         write!(
             f,
             "source-integrity: {} ({} unexpected, {} missing, pcr {})",
-            if self.is_trustworthy() { "OK" } else { "VIOLATED" },
+            if self.is_trustworthy() {
+                "OK"
+            } else {
+                "VIOLATED"
+            },
             self.unexpected.len(),
             self.missing.len(),
-            if self.pcr_consistent { "consistent" } else { "MISMATCH" }
+            if self.pcr_consistent {
+                "consistent"
+            } else {
+                "MISMATCH"
+            }
         )
     }
 }
@@ -251,7 +265,10 @@ pub struct MeasurementLog {
 impl MeasurementLog {
     /// Creates an empty log.
     pub fn new() -> MeasurementLog {
-        MeasurementLog { entries: Vec::new(), pcr: Digest::ZERO }
+        MeasurementLog {
+            entries: Vec::new(),
+            pcr: Digest::ZERO,
+        }
     }
 
     /// Appends a measurement and extends the log's PCR.
@@ -305,7 +322,11 @@ impl MeasurementLog {
             .map(|n| n.to_string())
             .collect();
         let replayed = PcrBank::replay(self.entries.iter().map(|e| e.digest));
-        SourceIntegrityReport { unexpected, missing, pcr_consistent: replayed == quoted_pcr }
+        SourceIntegrityReport {
+            unexpected,
+            missing,
+            pcr_consistent: replayed == quoted_pcr,
+        }
     }
 }
 
@@ -368,7 +389,10 @@ mod tests {
     fn injected_code_is_flagged() {
         let mut log = MeasurementLog::new();
         log.measure(MeasuredImage::new("prog", ImageKind::Executable));
-        log.measure(MeasuredImage::new("shell-injected-loop", ImageKind::ShellInjected));
+        log.measure(MeasuredImage::new(
+            "shell-injected-loop",
+            ImageKind::ShellInjected,
+        ));
         let report = log.verify(["prog"], log.pcr());
         assert!(!report.is_trustworthy());
         assert_eq!(report.unexpected.len(), 1);

@@ -43,7 +43,12 @@ const H0: [u32; 8] = [
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Sha256 {
-        Sha256 { state: H0, buffer: [0u8; 64], buffer_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Convenience: hashes `data` in one call.
@@ -114,7 +119,12 @@ impl Sha256 {
     fn process_block(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
-            w[i] = u32::from_be_bytes([block[i * 4], block[i * 4 + 1], block[i * 4 + 2], block[i * 4 + 3]]);
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
@@ -265,7 +275,10 @@ mod tests {
     #[test]
     fn hmac_long_key_is_hashed() {
         let key = vec![0xaa; 131];
-        let mac = Sha256::hmac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let mac = Sha256::hmac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             Sha256::to_hex(&mac),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

@@ -65,7 +65,10 @@ pub struct ExecutionWitness {
 impl ExecutionWitness {
     /// Creates an empty witness.
     pub fn new() -> ExecutionWitness {
-        ExecutionWitness { chain: Digest::ZERO, steps: Vec::new() }
+        ExecutionWitness {
+            chain: Digest::ZERO,
+            steps: Vec::new(),
+        }
     }
 
     /// Records the execution of a block identified by `block_id`.

@@ -114,7 +114,12 @@ impl TickAccounting {
     /// Panics if `jiffy` is zero.
     pub fn new(jiffy: Cycles) -> TickAccounting {
         assert!(!jiffy.is_zero(), "jiffy length must be positive");
-        TickAccounting { jiffy, accounts: BTreeMap::new(), idle_ticks: 0, total_ticks: 0 }
+        TickAccounting {
+            jiffy,
+            accounts: BTreeMap::new(),
+            idle_ticks: 0,
+            total_ticks: 0,
+        }
     }
 
     /// The jiffy length in cycles.
@@ -234,14 +239,22 @@ impl FineGrained {
                 IrqPolicy::ChargeOwner => owner,
             };
             match beneficiary {
-                Some(t) => self.accounts.entry(t).or_default().charge(Mode::Kernel, delta),
+                Some(t) => self
+                    .accounts
+                    .entry(t)
+                    .or_default()
+                    .charge(Mode::Kernel, delta),
                 None => self.unattributed += delta,
             }
             return;
         }
         match self.state.current {
             Some(t) => {
-                let mode = if self.state.exception_depth > 0 { Mode::Kernel } else { self.state.mode };
+                let mode = if self.state.exception_depth > 0 {
+                    Mode::Kernel
+                } else {
+                    self.state.mode
+                };
                 self.accounts.entry(t).or_default().charge(mode, delta);
             }
             None => self.idle += delta,
@@ -327,7 +340,9 @@ pub struct TscAccounting {
 impl TscAccounting {
     /// Creates a TSC accountant.
     pub fn new() -> TscAccounting {
-        TscAccounting { inner: FineGrained::new(IrqPolicy::ChargeCurrent) }
+        TscAccounting {
+            inner: FineGrained::new(IrqPolicy::ChargeCurrent),
+        }
     }
 
     /// Cycles during which the CPU was idle.
@@ -383,7 +398,9 @@ pub struct ProcessAwareAccounting {
 impl ProcessAwareAccounting {
     /// Creates a process-aware accountant.
     pub fn new() -> ProcessAwareAccounting {
-        ProcessAwareAccounting { inner: FineGrained::new(IrqPolicy::ChargeOwner) }
+        ProcessAwareAccounting {
+            inner: FineGrained::new(IrqPolicy::ChargeOwner),
+        }
     }
 
     /// Cycles during which the CPU was idle.
@@ -465,7 +482,10 @@ impl fmt::Debug for MeterBank {
 impl MeterBank {
     /// Creates an empty bank.
     pub fn new() -> MeterBank {
-        MeterBank { schemes: Vec::new(), events_seen: 0 }
+        MeterBank {
+            schemes: Vec::new(),
+            events_seen: 0,
+        }
     }
 
     /// Creates the standard three-scheme bank used throughout the
@@ -503,7 +523,10 @@ impl MeterBank {
 
     /// The scheme of the given kind, if registered.
     pub fn scheme(&self, kind: SchemeKind) -> Option<&(dyn MeteringScheme + Send)> {
-        self.schemes.iter().find(|s| s.kind() == kind).map(|b| b.as_ref())
+        self.schemes
+            .iter()
+            .find(|s| s.kind() == kind)
+            .map(|b| b.as_ref())
     }
 
     /// Usage of `task` as reported by the scheme of the given kind.
@@ -538,7 +561,11 @@ mod tests {
     use super::*;
 
     fn tick_ev(at: u64, task: Option<u32>, mode: Mode) -> MeterEvent {
-        MeterEvent::TimerTick { at: Cycles(at), task: task.map(TaskId), mode }
+        MeterEvent::TimerTick {
+            at: Cycles(at),
+            task: task.map(TaskId),
+            mode,
+        }
     }
 
     #[test]
@@ -548,7 +575,10 @@ mod tests {
         acct.on_event(&tick_ev(200, Some(1), Mode::Kernel));
         acct.on_event(&tick_ev(300, Some(2), Mode::User));
         acct.on_event(&tick_ev(400, None, Mode::User));
-        assert_eq!(acct.usage(TaskId(1)), CpuTime::new(Cycles(100), Cycles(100)));
+        assert_eq!(
+            acct.usage(TaskId(1)),
+            CpuTime::new(Cycles(100), Cycles(100))
+        );
         assert_eq!(acct.usage(TaskId(2)), CpuTime::user(Cycles(100)));
         assert_eq!(acct.idle_ticks(), 1);
         assert_eq!(acct.total_ticks(), 4);
@@ -560,8 +590,15 @@ mod tests {
     #[test]
     fn tick_ignores_non_tick_events() {
         let mut acct = TickAccounting::new(Cycles(100));
-        acct.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User });
-        acct.on_event(&MeterEvent::SwitchOut { at: Cycles(50), task: TaskId(1) });
+        acct.on_event(&MeterEvent::SwitchIn {
+            at: Cycles(0),
+            task: TaskId(1),
+            mode: Mode::User,
+        });
+        acct.on_event(&MeterEvent::SwitchOut {
+            at: Cycles(50),
+            task: TaskId(1),
+        });
         assert_eq!(acct.usage(TaskId(1)), CpuTime::ZERO);
     }
 
@@ -575,12 +612,34 @@ mod tests {
     fn tsc_attributes_exact_intervals_by_mode() {
         let mut acct = TscAccounting::new();
         let t = TaskId(5);
-        acct.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: t, mode: Mode::User });
-        acct.on_event(&MeterEvent::ModeChange { at: Cycles(30), task: t, mode: Mode::Kernel });
-        acct.on_event(&MeterEvent::ModeChange { at: Cycles(50), task: t, mode: Mode::User });
-        acct.on_event(&MeterEvent::SwitchOut { at: Cycles(80), task: t });
-        acct.on_event(&MeterEvent::SwitchIn { at: Cycles(100), task: t, mode: Mode::User });
-        acct.on_event(&MeterEvent::TaskExit { at: Cycles(130), task: t });
+        acct.on_event(&MeterEvent::SwitchIn {
+            at: Cycles(0),
+            task: t,
+            mode: Mode::User,
+        });
+        acct.on_event(&MeterEvent::ModeChange {
+            at: Cycles(30),
+            task: t,
+            mode: Mode::Kernel,
+        });
+        acct.on_event(&MeterEvent::ModeChange {
+            at: Cycles(50),
+            task: t,
+            mode: Mode::User,
+        });
+        acct.on_event(&MeterEvent::SwitchOut {
+            at: Cycles(80),
+            task: t,
+        });
+        acct.on_event(&MeterEvent::SwitchIn {
+            at: Cycles(100),
+            task: t,
+            mode: Mode::User,
+        });
+        acct.on_event(&MeterEvent::TaskExit {
+            at: Cycles(130),
+            task: t,
+        });
         let u = acct.usage(t);
         assert_eq!(u.utime, Cycles(30 + 30 + 30));
         assert_eq!(u.stime, Cycles(20));
@@ -598,10 +657,25 @@ mod tests {
         let mut tick = TickAccounting::new(jiffy);
         let mut tsc = TscAccounting::new();
         let stream = [
-            MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User },
-            MeterEvent::SwitchOut { at: Cycles(600), task: TaskId(1) },
-            MeterEvent::SwitchIn { at: Cycles(600), task: TaskId(2), mode: Mode::User },
-            MeterEvent::TimerTick { at: Cycles(1_000), task: Some(TaskId(2)), mode: Mode::User },
+            MeterEvent::SwitchIn {
+                at: Cycles(0),
+                task: TaskId(1),
+                mode: Mode::User,
+            },
+            MeterEvent::SwitchOut {
+                at: Cycles(600),
+                task: TaskId(1),
+            },
+            MeterEvent::SwitchIn {
+                at: Cycles(600),
+                task: TaskId(2),
+                mode: Mode::User,
+            },
+            MeterEvent::TimerTick {
+                at: Cycles(1_000),
+                task: Some(TaskId(2)),
+                mode: Mode::User,
+            },
         ];
         for e in &stream {
             tick.on_event(e);
@@ -618,15 +692,25 @@ mod tests {
         let victim = TaskId(1);
         let io_owner = TaskId(9);
         let stream = [
-            MeterEvent::SwitchIn { at: Cycles(0), task: victim, mode: Mode::User },
+            MeterEvent::SwitchIn {
+                at: Cycles(0),
+                task: victim,
+                mode: Mode::User,
+            },
             MeterEvent::IrqEnter {
                 at: Cycles(100),
                 irq: IrqLine::NIC,
                 current: Some(victim),
                 owner: Some(io_owner),
             },
-            MeterEvent::IrqExit { at: Cycles(150), irq: IrqLine::NIC },
-            MeterEvent::SwitchOut { at: Cycles(200), task: victim },
+            MeterEvent::IrqExit {
+                at: Cycles(150),
+                irq: IrqLine::NIC,
+            },
+            MeterEvent::SwitchOut {
+                at: Cycles(200),
+                task: victim,
+            },
         ];
         let mut tsc = TscAccounting::new();
         let mut pa = ProcessAwareAccounting::new();
@@ -647,10 +731,25 @@ mod tests {
     fn unowned_irq_goes_to_unattributed_bucket() {
         let victim = TaskId(1);
         let stream = [
-            MeterEvent::SwitchIn { at: Cycles(0), task: victim, mode: Mode::User },
-            MeterEvent::IrqEnter { at: Cycles(10), irq: IrqLine::NIC, current: Some(victim), owner: None },
-            MeterEvent::IrqExit { at: Cycles(40), irq: IrqLine::NIC },
-            MeterEvent::SwitchOut { at: Cycles(50), task: victim },
+            MeterEvent::SwitchIn {
+                at: Cycles(0),
+                task: victim,
+                mode: Mode::User,
+            },
+            MeterEvent::IrqEnter {
+                at: Cycles(10),
+                irq: IrqLine::NIC,
+                current: Some(victim),
+                owner: None,
+            },
+            MeterEvent::IrqExit {
+                at: Cycles(40),
+                irq: IrqLine::NIC,
+            },
+            MeterEvent::SwitchOut {
+                at: Cycles(50),
+                task: victim,
+            },
         ];
         let mut pa = ProcessAwareAccounting::new();
         for e in &stream {
@@ -666,10 +765,24 @@ mod tests {
     fn exception_time_is_system_time() {
         let t = TaskId(3);
         let stream = [
-            MeterEvent::SwitchIn { at: Cycles(0), task: t, mode: Mode::User },
-            MeterEvent::ExceptionEnter { at: Cycles(100), task: t, kind: crate::ExceptionKind::PageFault },
-            MeterEvent::ExceptionExit { at: Cycles(180), task: t },
-            MeterEvent::SwitchOut { at: Cycles(200), task: t },
+            MeterEvent::SwitchIn {
+                at: Cycles(0),
+                task: t,
+                mode: Mode::User,
+            },
+            MeterEvent::ExceptionEnter {
+                at: Cycles(100),
+                task: t,
+                kind: crate::ExceptionKind::PageFault,
+            },
+            MeterEvent::ExceptionExit {
+                at: Cycles(180),
+                task: t,
+            },
+            MeterEvent::SwitchOut {
+                at: Cycles(200),
+                task: t,
+            },
         ];
         let mut tsc = TscAccounting::new();
         for e in &stream {
@@ -682,12 +795,33 @@ mod tests {
     fn nested_exceptions_unwind() {
         let t = TaskId(3);
         let mut tsc = TscAccounting::new();
-        tsc.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: t, mode: Mode::User });
-        tsc.on_event(&MeterEvent::ExceptionEnter { at: Cycles(10), task: t, kind: crate::ExceptionKind::PageFault });
-        tsc.on_event(&MeterEvent::ExceptionEnter { at: Cycles(20), task: t, kind: crate::ExceptionKind::PageFault });
-        tsc.on_event(&MeterEvent::ExceptionExit { at: Cycles(30), task: t });
-        tsc.on_event(&MeterEvent::ExceptionExit { at: Cycles(40), task: t });
-        tsc.on_event(&MeterEvent::SwitchOut { at: Cycles(50), task: t });
+        tsc.on_event(&MeterEvent::SwitchIn {
+            at: Cycles(0),
+            task: t,
+            mode: Mode::User,
+        });
+        tsc.on_event(&MeterEvent::ExceptionEnter {
+            at: Cycles(10),
+            task: t,
+            kind: crate::ExceptionKind::PageFault,
+        });
+        tsc.on_event(&MeterEvent::ExceptionEnter {
+            at: Cycles(20),
+            task: t,
+            kind: crate::ExceptionKind::PageFault,
+        });
+        tsc.on_event(&MeterEvent::ExceptionExit {
+            at: Cycles(30),
+            task: t,
+        });
+        tsc.on_event(&MeterEvent::ExceptionExit {
+            at: Cycles(40),
+            task: t,
+        });
+        tsc.on_event(&MeterEvent::SwitchOut {
+            at: Cycles(50),
+            task: t,
+        });
         let u = tsc.usage(t);
         assert_eq!(u.stime, Cycles(30));
         assert_eq!(u.utime, Cycles(20));
@@ -700,13 +834,27 @@ mod tests {
             bank.kinds(),
             vec![SchemeKind::Tick, SchemeKind::Tsc, SchemeKind::ProcessAware]
         );
-        bank.on_event(&MeterEvent::SwitchIn { at: Cycles(0), task: TaskId(1), mode: Mode::User });
-        bank.on_event(&MeterEvent::TimerTick { at: Cycles(500), task: Some(TaskId(1)), mode: Mode::User });
-        bank.on_event(&MeterEvent::SwitchOut { at: Cycles(500), task: TaskId(1) });
+        bank.on_event(&MeterEvent::SwitchIn {
+            at: Cycles(0),
+            task: TaskId(1),
+            mode: Mode::User,
+        });
+        bank.on_event(&MeterEvent::TimerTick {
+            at: Cycles(500),
+            task: Some(TaskId(1)),
+            mode: Mode::User,
+        });
+        bank.on_event(&MeterEvent::SwitchOut {
+            at: Cycles(500),
+            task: TaskId(1),
+        });
         assert_eq!(bank.events_seen(), 3);
         assert_eq!(bank.usage(SchemeKind::Tick, TaskId(1)).utime, Cycles(500));
         assert_eq!(bank.usage(SchemeKind::Tsc, TaskId(1)).utime, Cycles(500));
-        assert_eq!(bank.usage(SchemeKind::ProcessAware, TaskId(1)).utime, Cycles(500));
+        assert_eq!(
+            bank.usage(SchemeKind::ProcessAware, TaskId(1)).utime,
+            Cycles(500)
+        );
         assert_eq!(bank.usages(SchemeKind::Tsc).len(), 1);
         assert!(format!("{bank:?}").contains("events_seen"));
     }
@@ -721,9 +869,16 @@ mod tests {
     #[test]
     fn out_of_order_event_saturates_instead_of_panicking() {
         let mut tsc = TscAccounting::new();
-        tsc.on_event(&MeterEvent::SwitchIn { at: Cycles(100), task: TaskId(1), mode: Mode::User });
+        tsc.on_event(&MeterEvent::SwitchIn {
+            at: Cycles(100),
+            task: TaskId(1),
+            mode: Mode::User,
+        });
         // An event "in the past" contributes zero, never a negative interval.
-        tsc.on_event(&MeterEvent::SwitchOut { at: Cycles(50), task: TaskId(1) });
+        tsc.on_event(&MeterEvent::SwitchOut {
+            at: Cycles(50),
+            task: TaskId(1),
+        });
         assert_eq!(tsc.usage(TaskId(1)), CpuTime::ZERO);
     }
 }

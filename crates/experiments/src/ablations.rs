@@ -34,7 +34,9 @@ pub fn hz_sweep(cfg: &ExperimentConfig) -> FigureData {
     );
     let mut series = Series::new("overcharge factor (nice -10)");
     for hz in [100u32, 250, 1000] {
-        let config = KernelConfig::paper_machine().with_seed(cfg.seed).with_hz(hz);
+        let config = KernelConfig::paper_machine()
+            .with_seed(cfg.seed)
+            .with_hz(hz);
         series.push(format!("HZ={hz}"), overcharge_factor(config, cfg, -10));
     }
     fig.push_series(series);
@@ -50,8 +52,13 @@ pub fn scheduler_ablation(cfg: &ExperimentConfig) -> FigureData {
          wakeup preemption changes how much of the attacker's time is mis-sampled",
     );
     let mut series = Series::new("overcharge factor (nice -10)");
-    for (label, kind) in [("fair-share", SchedulerKind::FairShare), ("cfs", SchedulerKind::Cfs)] {
-        let config = KernelConfig::paper_machine().with_seed(cfg.seed).with_scheduler(kind);
+    for (label, kind) in [
+        ("fair-share", SchedulerKind::FairShare),
+        ("cfs", SchedulerKind::Cfs),
+    ] {
+        let config = KernelConfig::paper_machine()
+            .with_seed(cfg.seed)
+            .with_scheduler(kind);
         series.push(label, overcharge_factor(config, cfg, -10));
     }
     fig.push_series(series);
@@ -71,10 +78,15 @@ pub fn flood_rate_sweep(cfg: &ExperimentConfig) -> FigureData {
     for pps in [5_000.0, 20_000.0, 60_000.0] {
         let scenario = Scenario::new(Workload::LoopO, cfg.scale)
             .with_config(KernelConfig::paper_machine().with_seed(cfg.seed));
-        let outcome = scenario.run_attacked(&InterruptFloodAttack { packets_per_sec: pps });
+        let outcome = scenario.run_attacked(&InterruptFloodAttack {
+            packets_per_sec: pps,
+        });
         let khz = outcome.frequency_khz as f64 * 1_000.0;
         billed.push(format!("{} pps", pps as u64), outcome.billed_stime_secs());
-        aware.push(format!("{} pps", pps as u64), outcome.victim_process_aware.stime.as_f64() / khz);
+        aware.push(
+            format!("{} pps", pps as u64),
+            outcome.victim_process_aware.stime.as_f64() / khz,
+        );
     }
     fig.push_series(billed);
     fig.push_series(aware);
@@ -83,7 +95,11 @@ pub fn flood_rate_sweep(cfg: &ExperimentConfig) -> FigureData {
 
 /// Runs every ablation.
 pub fn all_ablations(cfg: &ExperimentConfig) -> Vec<FigureData> {
-    vec![hz_sweep(cfg), scheduler_ablation(cfg), flood_rate_sweep(cfg)]
+    vec![
+        hz_sweep(cfg),
+        scheduler_ablation(cfg),
+        flood_rate_sweep(cfg),
+    ]
 }
 
 #[cfg(test)]
@@ -91,7 +107,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { scale: 0.002, seed: 4 }
+        ExperimentConfig {
+            scale: 0.002,
+            seed: 4,
+        }
     }
 
     #[test]
@@ -120,11 +139,15 @@ mod tests {
         let aware = fig.series_named("stime (process-aware)").unwrap();
         let b: Vec<f64> = billed.iter().map(|(_, v)| v).collect();
         let a: Vec<f64> = aware.iter().map(|(_, v)| v).collect();
-        assert!(b[2] >= b[0], "billed stime should grow with the flood rate: {b:?}");
+        assert!(
+            b[2] >= b[0],
+            "billed stime should grow with the flood rate: {b:?}"
+        );
         // The process-aware reading does not grow with the flood: the junk
         // handlers are not attributed to the victim. (It is not zero — it
         // still contains the victim's own legitimate kernel work.)
-        let spread = a.iter().cloned().fold(0.0, f64::max) - a.iter().cloned().fold(f64::INFINITY, f64::min);
+        let spread =
+            a.iter().cloned().fold(0.0, f64::max) - a.iter().cloned().fold(f64::INFINITY, f64::min);
         let billed_growth = b[2] - b[0];
         assert!(
             spread <= (billed_growth * 0.5).max(1e-4),

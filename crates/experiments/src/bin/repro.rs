@@ -22,7 +22,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { scale: 0.01, out: PathBuf::from("results"), skip_ablations: false };
+    let mut args = Args {
+        scale: 0.01,
+        out: PathBuf::from("results"),
+        skip_ablations: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,16 +53,25 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let cfg = ExperimentConfig { scale: args.scale, ..Default::default() };
-    println!("trustmeter repro — workload scale {}, seed {:#x}\n", cfg.scale, cfg.seed);
+    let cfg = ExperimentConfig {
+        scale: args.scale,
+        ..Default::default()
+    };
+    println!(
+        "trustmeter repro — workload scale {}, seed {:#x}\n",
+        cfg.scale, cfg.seed
+    );
     fs::create_dir_all(&args.out).expect("create output directory");
 
     let figures = all_figures(&cfg);
     for fig in &figures {
         println!("{fig}");
         let path = args.out.join(format!("{}.json", fig.id));
-        fs::write(&path, serde_json::to_string_pretty(fig).expect("serialize figure"))
-            .expect("write figure JSON");
+        fs::write(
+            &path,
+            serde_json::to_string_pretty(fig).expect("serialize figure"),
+        )
+        .expect("write figure JSON");
         fs::write(
             args.out.join(format!("{}.csv", fig.id)),
             trustmeter_experiments::export::figure_to_csv(fig),
@@ -94,7 +107,10 @@ fn main() {
         "measured launch:   shell attack flagged {:?}, preload attack flagged {:?}, clean run ok: {}",
         report.shell_attack_flagged, report.preload_attack_flagged, report.clean_run_verifies
     );
-    println!("all defenses effective: {}\n", report.all_defenses_effective());
+    println!(
+        "all defenses effective: {}\n",
+        report.all_defenses_effective()
+    );
     fs::write(
         args.out.join("defenses.json"),
         serde_json::to_string_pretty(&report).expect("serialize defenses"),

@@ -23,12 +23,20 @@ pub fn comparison_table(cfg: &ExperimentConfig) -> ComparisonTable {
         let attacked = scenario.run_attacked(attack.as_ref());
         let extra = (attacked.billed_total_secs() - clean_total).max(0.0);
         let extra_stime = (attacked.billed_stime_secs() - clean_stime).max(0.0);
-        let stime_share = if extra > 1e-9 { (extra_stime / extra).clamp(0.0, 1.0) } else { 0.0 };
+        let stime_share = if extra > 1e-9 {
+            (extra_stime / extra).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         table.rows.push(ComparisonRow {
             attack: attack.name().to_string(),
             component: attack.class().to_string(),
             privilege: attack.required_privilege().to_string(),
-            inflation_factor: if clean_total > 0.0 { attacked.billed_total_secs() / clean_total } else { 1.0 },
+            inflation_factor: if clean_total > 0.0 {
+                attacked.billed_total_secs() / clean_total
+            } else {
+                1.0
+            },
             stime_share_of_extra: stime_share,
             extra_secs: extra,
         });
@@ -100,10 +108,16 @@ pub fn defenses(cfg: &ExperimentConfig) -> DefenseReport {
     let whitelist = clean.measured_images.clone();
     let shell = scenario.run_attacked(&ShellAttack::paper_default(cfg.scale));
     let preload = scenario.run_attacked(&PreloadConstructorAttack::paper_default(cfg.scale));
-    let shell_attack_flagged =
-        shell.unexpected_images(&whitelist).into_iter().map(String::from).collect();
-    let preload_attack_flagged =
-        preload.unexpected_images(&whitelist).into_iter().map(String::from).collect();
+    let shell_attack_flagged = shell
+        .unexpected_images(&whitelist)
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let preload_attack_flagged = preload
+        .unexpected_images(&whitelist)
+        .into_iter()
+        .map(String::from)
+        .collect();
     let clean_again = scenario.run_clean();
     let clean_run_verifies = clean_again.unexpected_images(&whitelist).is_empty();
 
@@ -124,7 +138,10 @@ mod tests {
     use trustmeter_core::AttackClass;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { scale: 0.002, seed: 9 }
+        ExperimentConfig {
+            scale: 0.002,
+            seed: 9,
+        }
     }
 
     #[test]
@@ -144,7 +161,10 @@ mod tests {
         // launch-time attacks are.
         assert!(row("thrashing").stime_share_of_extra > 0.4);
         assert!(row("thrashing").stime_share_of_extra > row("shell").stime_share_of_extra);
-        assert_eq!(row("shell").component, AttackClass::UserTimeInflation.to_string());
+        assert_eq!(
+            row("shell").component,
+            AttackClass::UserTimeInflation.to_string()
+        );
         // Rendering works.
         assert!(format!("{table}").contains("scheduling"));
     }
@@ -163,7 +183,10 @@ mod tests {
             report.scheduling_tsc_inflation
         );
         assert!(report.irqflood_process_aware_stime_secs < report.irqflood_tsc_stime_secs);
-        assert!(report.shell_attack_flagged.iter().any(|n| n.contains("shell-injected")));
+        assert!(report
+            .shell_attack_flagged
+            .iter()
+            .any(|n| n.contains("shell-injected")));
         assert!(report
             .preload_attack_flagged
             .iter()

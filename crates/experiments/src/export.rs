@@ -107,7 +107,9 @@ pub fn figure_to_markdown(fig: &FigureData) -> String {
 /// Renders the §V-C comparison table as Markdown.
 pub fn comparison_to_markdown(table: &ComparisonTable) -> String {
     let mut out = String::new();
-    out.push_str("| attack | component | privilege | inflation | stime share of extra | extra (s) |\n");
+    out.push_str(
+        "| attack | component | privilege | inflation | stime share of extra | extra (s) |\n",
+    );
     out.push_str("|---|---|---|---|---|---|\n");
     for r in &table.rows {
         let _ = writeln!(
@@ -205,7 +207,10 @@ mod tests {
 
     #[test]
     fn real_experiment_exports_round_trip() {
-        let cfg = crate::figures::ExperimentConfig { scale: 0.001, seed: 5 };
+        let cfg = crate::figures::ExperimentConfig {
+            scale: 0.001,
+            seed: 5,
+        };
         let fig = crate::figures::fig4_shell(&cfg);
         let csv = figure_to_csv(&fig);
         // Header + one row per workload label.

@@ -30,14 +30,20 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { scale: 0.01, seed: 0x7123_4567 }
+        ExperimentConfig {
+            scale: 0.01,
+            seed: 0x7123_4567,
+        }
     }
 }
 
 impl ExperimentConfig {
     /// A configuration with the given scale.
     pub fn with_scale(scale: f64) -> ExperimentConfig {
-        ExperimentConfig { scale, ..Default::default() }
+        ExperimentConfig {
+            scale,
+            ..Default::default()
+        }
     }
 
     fn kernel_config(&self) -> KernelConfig {
@@ -50,8 +56,13 @@ impl ExperimentConfig {
 }
 
 /// The nice values swept in Figs. 7 and 8 (labelled as in the paper).
-pub const NICE_SWEEP: [(&str, i8); 5] =
-    [("nice", 0), ("nice-5", -5), ("nice-10", -10), ("nice-15", -15), ("nice-20", -20)];
+pub const NICE_SWEEP: [(&str, i8); 5] = [
+    ("nice", 0),
+    ("nice-5", -5),
+    ("nice-10", -10),
+    ("nice-15", -15),
+    ("nice-20", -20),
+];
 
 fn four_program_attack_figure(
     id: &str,
@@ -132,7 +143,12 @@ fn fork_attacker_standalone_secs(cfg: &ExperimentConfig, nice: i8) -> f64 {
         .sum()
 }
 
-fn scheduling_figure(id: &str, title: &str, workload: Workload, cfg: &ExperimentConfig) -> FigureData {
+fn scheduling_figure(
+    id: &str,
+    title: &str,
+    workload: Workload,
+    cfg: &ExperimentConfig,
+) -> FigureData {
     let mut fig = FigureData::new(
         id,
         title,
@@ -151,8 +167,8 @@ fn scheduling_figure(id: &str, title: &str, workload: Workload, cfg: &Experiment
     for (label, nice) in NICE_SWEEP {
         let attack = SchedulingAttack::paper_default(cfg.scale, nice);
         let outcome = cfg.scenario(workload).run_attacked(&attack);
-        let fork_total = outcome.other_billed_total_secs("Fork")
-            + outcome.other_billed_total_secs("Fork-child");
+        let fork_total =
+            outcome.other_billed_total_secs("Fork") + outcome.other_billed_total_secs("Fork-child");
         victim_series.push(label, outcome.billed_total_secs());
         fork_series.push(label, fork_total);
     }
@@ -165,12 +181,22 @@ fn scheduling_figure(id: &str, title: &str, workload: Workload, cfg: &Experiment
 /// Fig. 7 — the process-scheduling attack against Whetstone across the nice
 /// sweep.
 pub fn fig7_sched_whetstone(cfg: &ExperimentConfig) -> FigureData {
-    scheduling_figure("fig7", "Process scheduling attack on Whetstone", Workload::Whetstone, cfg)
+    scheduling_figure(
+        "fig7",
+        "Process scheduling attack on Whetstone",
+        Workload::Whetstone,
+        cfg,
+    )
 }
 
 /// Fig. 8 — the process-scheduling attack against the multi-threaded Brute.
 pub fn fig8_sched_brute(cfg: &ExperimentConfig) -> FigureData {
-    scheduling_figure("fig8", "Process scheduling attack on Brute", Workload::Brute, cfg)
+    scheduling_figure(
+        "fig8",
+        "Process scheduling attack on Brute",
+        Workload::Brute,
+        cfg,
+    )
 }
 
 /// Fig. 9 — the execution-thrashing attack (ptrace + hardware breakpoints).
@@ -232,7 +258,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { scale: 0.002, seed: 42 }
+        ExperimentConfig {
+            scale: 0.002,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -246,12 +275,19 @@ mod tests {
         for w in Workload::ALL {
             let g = attacked.value_for(w.label()).unwrap() - normal.value_for(w.label()).unwrap();
             growths.push(g);
-            assert!(g > injected * 0.8, "{}: growth {g} should be ≈ {injected}", w.label());
+            assert!(
+                g > injected * 0.8,
+                "{}: growth {g} should be ≈ {injected}",
+                w.label()
+            );
         }
         // All four programs grow by (almost) the same amount.
         let min = growths.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = growths.iter().cloned().fold(0.0, f64::max);
-        assert!(max - min < injected * 0.3, "growths should be uniform: {growths:?}");
+        assert!(
+            max - min < injected * 0.3,
+            "growths should be uniform: {growths:?}"
+        );
         // System time is essentially unaffected.
         let ns = fig.series_named("system time (normal)").unwrap();
         let as_ = fig.series_named("system time (attack)").unwrap();
@@ -267,9 +303,21 @@ mod tests {
         let f4 = fig4_shell(&cfg);
         let f5 = fig5_ctor(&cfg);
         for w in Workload::ALL {
-            let a4 = f4.series_named("user time (attack)").unwrap().value_for(w.label()).unwrap();
-            let a5 = f5.series_named("user time (attack)").unwrap().value_for(w.label()).unwrap();
-            assert!((a4 - a5).abs() / a4 < 0.1, "{}: fig4 {a4} vs fig5 {a5}", w.label());
+            let a4 = f4
+                .series_named("user time (attack)")
+                .unwrap()
+                .value_for(w.label())
+                .unwrap();
+            let a5 = f5
+                .series_named("user time (attack)")
+                .unwrap()
+                .value_for(w.label())
+                .unwrap();
+            assert!(
+                (a4 - a5).abs() / a4 < 0.1,
+                "{}: fig4 {a4} vs fig5 {a5}",
+                w.label()
+            );
         }
     }
 
@@ -279,13 +327,17 @@ mod tests {
         let fig = fig7_sched_whetstone(&cfg);
         let victim = fig.series_named("CPU time of W").unwrap();
         let fork = fig.series_named("CPU time of Fork").unwrap();
-        let baseline_sum = victim.value_for("no attack").unwrap() + fork.value_for("no attack").unwrap();
+        let baseline_sum =
+            victim.value_for("no attack").unwrap() + fork.value_for("no attack").unwrap();
         let mut prev_victim = victim.value_for("no attack").unwrap();
         for (label, _) in NICE_SWEEP {
             let v = victim.value_for(label).unwrap();
             let f = fork.value_for(label).unwrap();
             // The victim is overcharged relative to running alone.
-            assert!(v > prev_victim * 0.99, "victim time should not shrink at {label}");
+            assert!(
+                v > prev_victim * 0.99,
+                "victim time should not shrink at {label}"
+            );
             // Conservation: the two bars together stay near the standalone sum.
             let sum = v + f;
             assert!(
@@ -298,7 +350,10 @@ mod tests {
         // than no attack at all.
         let strongest = victim.value_for("nice-20").unwrap();
         let none = victim.value_for("no attack").unwrap();
-        assert!(strongest > none * 1.2, "nice-20 {strongest} vs no-attack {none}");
+        assert!(
+            strongest > none * 1.2,
+            "nice-20 {strongest} vs no-attack {none}"
+        );
     }
 
     #[test]
@@ -334,7 +389,12 @@ mod tests {
         // P has by far the most breakpoint hits and therefore the largest
         // system-time growth.
         let growth = |l: &str| as_.value_for(l).unwrap() - ns.value_for(l).unwrap();
-        assert!(growth("P") > growth("W"), "P {} vs W {}", growth("P"), growth("W"));
+        assert!(
+            growth("P") > growth("W"),
+            "P {} vs W {}",
+            growth("P"),
+            growth("W")
+        );
     }
 
     #[test]
@@ -348,12 +408,16 @@ mod tests {
             let delta = as_.value_for(w.label()).unwrap() - ns.value_for(w.label()).unwrap();
             assert!(delta >= 0.0, "{}: stime should not shrink", w.label());
             // "Slight": far smaller than the program's own user time.
-            assert!(delta < nu.value_for(w.label()).unwrap() * 0.5, "{}: delta {delta}", w.label());
+            assert!(
+                delta < nu.value_for(w.label()).unwrap() * 0.5,
+                "{}: delta {delta}",
+                w.label()
+            );
         }
         // At least one workload shows a visible increase.
-        let any_growth = Workload::ALL.iter().any(|w| {
-            as_.value_for(w.label()).unwrap() > ns.value_for(w.label()).unwrap() + 1e-6
-        });
+        let any_growth = Workload::ALL
+            .iter()
+            .any(|w| as_.value_for(w.label()).unwrap() > ns.value_for(w.label()).unwrap() + 1e-6);
         assert!(any_growth);
     }
 }

@@ -21,7 +21,11 @@ pub struct FigureData {
 
 impl FigureData {
     /// Creates an empty figure container.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, expectation: impl Into<String>) -> FigureData {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        expectation: impl Into<String>,
+    ) -> FigureData {
         FigureData {
             id: id.into(),
             title: title.into(),

@@ -62,8 +62,14 @@ impl Scenario {
             .measurement_log(victim)
             .map(|log| log.entries().iter().map(|e| e.name.clone()).collect())
             .unwrap_or_default();
-        let measurement_pcr = kernel.measurement_log(victim).map(|l| l.pcr()).unwrap_or(Digest::ZERO);
-        let witness_digest = kernel.witness(victim).map(|w| w.digest()).unwrap_or(Digest::ZERO);
+        let measurement_pcr = kernel
+            .measurement_log(victim)
+            .map(|l| l.pcr())
+            .unwrap_or(Digest::ZERO);
+        let witness_digest = kernel
+            .witness(victim)
+            .map(|w| w.digest())
+            .unwrap_or(Digest::ZERO);
         let verify = |whitelist: &[String]| -> SourceIntegrityReport {
             kernel
                 .measurement_log(victim)
@@ -96,8 +102,10 @@ impl Scenario {
                 entry.1 += p.ground_truth();
             }
         }
-        let others: Vec<(String, CpuTime, CpuTime)> =
-            others_map.into_iter().map(|(n, (b, t))| (n, b, t)).collect();
+        let others: Vec<(String, CpuTime, CpuTime)> = others_map
+            .into_iter()
+            .map(|(n, (b, t))| (n, b, t))
+            .collect();
 
         ScenarioOutcome {
             attack_name: attack.map(|a| a.name().to_string()),
@@ -121,7 +129,7 @@ impl Scenario {
 }
 
 /// Everything a single scenario run produced.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioOutcome {
     /// Name of the attack, if one was active.
     pub attack_name: Option<String>,

@@ -1,0 +1,447 @@
+//! The streaming auditor: per-run trust verdicts, per-tenant anomaly
+//! rollups.
+//!
+//! The paper's §VI trust workflow — replay the job on a reference platform,
+//! compare the provider's bill against the replay's fine-grained ground
+//! truth, check the measured code closure and the execution witness — is
+//! applied here to a *stream* of fleet [`RunRecord`]s. Reference replays
+//! are clean runs of the same workload at the same scale and seed on the
+//! auditor's own machine model, memoized so a batch of jobs from the same
+//! template pays for one replay. Every observed run yields an
+//! [`AuditVerdict`]; tenants accumulate an [`TenantAuditSummary`] of how
+//! often and how badly they were overcharged.
+
+use crate::executor::RunRecord;
+use crate::tenant::TenantId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use trustmeter_core::{
+    Digest, ImageKind, MeasuredImage, OverchargeReport, SourceIntegrityReport, TrustAssessment,
+    Verdict,
+};
+use trustmeter_experiments::{Scenario, ScenarioOutcome};
+use trustmeter_kernel::KernelConfig;
+
+/// One detected irregularity in a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Anomaly {
+    /// The bill exceeds the reference ground truth beyond tolerance.
+    Overbilled(OverchargeReport),
+    /// Images ran in the victim's context that the reference never loaded.
+    UnexpectedImages(Vec<String>),
+    /// The measurement log is inconsistent with the reference replay even
+    /// though no injected image explains it: expected images are missing,
+    /// or the reported PCR diverges despite an identical closure.
+    MeasurementMismatch {
+        /// Reference images absent from the run's measurement log.
+        missing: Vec<String>,
+        /// Whether the reported PCR matched the reference replay's.
+        pcr_consistent: bool,
+    },
+    /// The execution witness diverged from the reference replay.
+    WitnessMismatch {
+        /// Witness digest of the reference replay.
+        expected: Digest,
+        /// Witness digest the provider reported.
+        observed: Digest,
+    },
+    /// The run hit the simulation safety horizon instead of finishing.
+    HorizonHit,
+}
+
+impl Anomaly {
+    /// Short stable label (used as a metrics `kind` label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Anomaly::Overbilled(_) => "overbilled",
+            Anomaly::UnexpectedImages(_) => "unexpected-images",
+            Anomaly::MeasurementMismatch { .. } => "measurement-mismatch",
+            Anomaly::WitnessMismatch { .. } => "witness-mismatch",
+            Anomaly::HorizonHit => "horizon-hit",
+        }
+    }
+
+    /// Every anomaly kind label; `FleetService` pre-registers a zeroed
+    /// `fleet_anomalies` series per kind so the exposition distinguishes
+    /// "zero anomalies" from "kind never exported".
+    pub const KINDS: [&'static str; 5] = [
+        "overbilled",
+        "unexpected-images",
+        "measurement-mismatch",
+        "witness-mismatch",
+        "horizon-hit",
+    ];
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anomaly::Overbilled(report) => write!(f, "overbilled: {report}"),
+            Anomaly::UnexpectedImages(images) => {
+                write!(f, "unexpected images: {}", images.join(", "))
+            }
+            Anomaly::MeasurementMismatch {
+                missing,
+                pcr_consistent,
+            } => write!(
+                f,
+                "measurement mismatch: {} missing image(s), pcr {}",
+                missing.len(),
+                if *pcr_consistent {
+                    "consistent"
+                } else {
+                    "MISMATCH"
+                }
+            ),
+            Anomaly::WitnessMismatch { .. } => f.write_str("witness mismatch"),
+            Anomaly::HorizonHit => f.write_str("hit simulation horizon"),
+        }
+    }
+}
+
+/// The auditor's finding for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditVerdict {
+    /// The audited job.
+    pub job: crate::executor::JobId,
+    /// Whose run it was.
+    pub tenant: TenantId,
+    /// The three-property assessment of §VI-B.
+    pub assessment: TrustAssessment,
+    /// Everything irregular about the run (empty = trustworthy).
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl AuditVerdict {
+    /// Whether the run passed the audit cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+}
+
+/// A tenant's accumulated audit history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantAuditSummary {
+    /// Whose summary this is.
+    pub tenant: TenantId,
+    /// Runs observed.
+    pub runs: u64,
+    /// Runs with at least one anomaly.
+    pub flagged_runs: u64,
+    /// Count per anomaly kind label.
+    pub anomaly_counts: BTreeMap<String, u64>,
+    /// Total seconds overbilled beyond the reference ground truth.
+    pub overcharge_secs: f64,
+}
+
+impl TenantAuditSummary {
+    fn new(tenant: TenantId) -> TenantAuditSummary {
+        TenantAuditSummary {
+            tenant,
+            runs: 0,
+            flagged_runs: 0,
+            anomaly_counts: BTreeMap::new(),
+            overcharge_secs: 0.0,
+        }
+    }
+
+    /// Total anomalies across kinds.
+    pub fn total_anomalies(&self) -> u64 {
+        self.anomaly_counts.values().sum()
+    }
+}
+
+/// Streaming auditor over fleet run records.
+#[derive(Debug, Clone)]
+pub struct Auditor {
+    machine: KernelConfig,
+    tolerance: f64,
+    reference_cache: BTreeMap<ReferenceKey, ScenarioOutcome>,
+    summaries: BTreeMap<TenantId, TenantAuditSummary>,
+}
+
+type ReferenceKey = (&'static str, u64, u64, i8);
+
+impl Auditor {
+    /// Relative billed-vs-truth tolerance below which a run is considered
+    /// consistent. Wider than [`OverchargeReport::DEFAULT_TOLERANCE`]
+    /// because at fleet scales a run is a few hundred milliseconds, where
+    /// honest tick accounting already wobbles by a few jiffies (up to ~2%
+    /// across the paper's four workloads); 5% keeps a 3x margin over that
+    /// while still catching the weakest runtime attack (the scheduling
+    /// attacker nets only ~7% against the multi-threaded Brute victim).
+    pub const DEFAULT_TOLERANCE: f64 = 0.05;
+
+    /// An auditor replaying references on `machine`.
+    pub fn new(machine: KernelConfig) -> Auditor {
+        Auditor {
+            machine,
+            tolerance: Self::DEFAULT_TOLERANCE,
+            reference_cache: BTreeMap::new(),
+            summaries: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the overcharge tolerance.
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is negative or not finite.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Auditor {
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "tolerance must be non-negative"
+        );
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// The reference outcome for a record: a clean replay of the same
+    /// workload, scale, seed and nice value, memoized.
+    pub fn reference(&mut self, record: &RunRecord) -> &ScenarioOutcome {
+        let key: ReferenceKey = (
+            record.job.workload.label(),
+            record.job.scale.to_bits(),
+            record.seed,
+            record.job.nice,
+        );
+        let machine = &self.machine;
+        self.reference_cache.entry(key).or_insert_with(|| {
+            let mut scenario = Scenario::new(record.job.workload, record.job.scale)
+                .with_config(machine.clone().with_seed(record.seed));
+            scenario.victim_nice = record.job.nice;
+            scenario.run_clean()
+        })
+    }
+
+    /// Audits one run, updating the per-tenant summaries.
+    pub fn observe(&mut self, record: &RunRecord) -> AuditVerdict {
+        let freq = self.machine.frequency;
+        let tolerance = self.tolerance;
+        let outcome = &record.outcome;
+
+        // Derive everything needed from the memoized reference inside one
+        // borrow, so the (large) outcome is never cloned per record.
+        let (report, unexpected, missing, witness_expected, pcr_consistent) = {
+            let reference = self.reference(record);
+            let report = OverchargeReport::compare_with_tolerance(
+                outcome.victim_billed,
+                reference.victim_truth,
+                freq,
+                tolerance,
+            );
+            let unexpected: Vec<String> = outcome
+                .unexpected_images(&reference.measured_images)
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            let missing: Vec<String> = reference
+                .measured_images
+                .iter()
+                .filter(|name| !outcome.measured_images.contains(name))
+                .cloned()
+                .collect();
+            // When the closures match exactly, the measurement PCR must
+            // match the reference replay's; a diverging closure diverges in
+            // PCR by construction, which the unexpected/missing lists
+            // already capture.
+            let images_match = reference.measured_images == outcome.measured_images;
+            let pcr_consistent =
+                !images_match || outcome.measurement_pcr == reference.measurement_pcr;
+            (
+                report,
+                unexpected,
+                missing,
+                reference.witness_digest,
+                pcr_consistent,
+            )
+        };
+        let witness_matches = outcome.witness_digest == witness_expected;
+
+        let source = SourceIntegrityReport {
+            unexpected: unexpected
+                .iter()
+                .map(|name| MeasuredImage::new(name.clone(), ImageKind::ShellInjected))
+                .collect(),
+            missing: missing.clone(),
+            pcr_consistent,
+        };
+        let assessment = TrustAssessment::new(&source, witness_matches, report);
+
+        let mut anomalies = Vec::new();
+        if report.verdict == Verdict::Overcharged {
+            anomalies.push(Anomaly::Overbilled(report));
+        }
+        if !unexpected.is_empty() {
+            anomalies.push(Anomaly::UnexpectedImages(unexpected));
+        }
+        if !missing.is_empty() || !pcr_consistent {
+            anomalies.push(Anomaly::MeasurementMismatch {
+                missing,
+                pcr_consistent,
+            });
+        }
+        if !witness_matches {
+            anomalies.push(Anomaly::WitnessMismatch {
+                expected: witness_expected,
+                observed: outcome.witness_digest,
+            });
+        }
+        if outcome.hit_horizon {
+            anomalies.push(Anomaly::HorizonHit);
+        }
+
+        let summary = self
+            .summaries
+            .entry(record.job.tenant)
+            .or_insert_with(|| TenantAuditSummary::new(record.job.tenant));
+        summary.runs += 1;
+        if !anomalies.is_empty() {
+            summary.flagged_runs += 1;
+        }
+        for anomaly in &anomalies {
+            *summary
+                .anomaly_counts
+                .entry(anomaly.kind().to_string())
+                .or_insert(0) += 1;
+            if let Anomaly::Overbilled(report) = anomaly {
+                summary.overcharge_secs += report.overcharge_secs;
+            }
+        }
+
+        AuditVerdict {
+            job: record.job.id,
+            tenant: record.job.tenant,
+            assessment,
+            anomalies,
+        }
+    }
+
+    /// The accumulated summary for one tenant.
+    pub fn summary(&self, tenant: TenantId) -> Option<&TenantAuditSummary> {
+        self.summaries.get(&tenant)
+    }
+
+    /// Iterates summaries in tenant-id order.
+    pub fn summaries(&self) -> impl Iterator<Item = &TenantAuditSummary> {
+        self.summaries.values()
+    }
+
+    /// Number of memoized reference replays (for cache diagnostics).
+    pub fn reference_cache_len(&self) -> usize {
+        self.reference_cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{AttackSpec, Fleet, FleetConfig, JobSpec};
+    use trustmeter_workloads::Workload;
+
+    const SCALE: f64 = 0.002;
+
+    fn fleet() -> Fleet {
+        Fleet::new(FleetConfig::new(1, 1234))
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let fleet = fleet();
+        let job = JobSpec::clean(0, TenantId(1), Workload::LoopO, SCALE);
+        let record = fleet.run_one(&job);
+        let mut auditor = Auditor::new(fleet.config().machine.clone());
+        let verdict = auditor.observe(&record);
+        assert!(verdict.is_clean(), "anomalies: {:?}", verdict.anomalies);
+        assert!(verdict.assessment.is_trustworthy());
+        let summary = auditor.summary(TenantId(1)).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.flagged_runs, 0);
+    }
+
+    #[test]
+    fn shell_attack_is_flagged_with_injected_image() {
+        let fleet = fleet();
+        let job = JobSpec::attacked(0, TenantId(2), Workload::LoopO, SCALE, AttackSpec::Shell);
+        let record = fleet.run_one(&job);
+        let mut auditor = Auditor::new(fleet.config().machine.clone());
+        let verdict = auditor.observe(&record);
+        assert!(!verdict.is_clean());
+        assert!(!verdict.assessment.source_integrity);
+        let kinds: Vec<&str> = verdict.anomalies.iter().map(Anomaly::kind).collect();
+        assert!(kinds.contains(&"overbilled"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"unexpected-images"), "kinds: {kinds:?}");
+        let summary = auditor.summary(TenantId(2)).unwrap();
+        assert_eq!(summary.flagged_runs, 1);
+        assert!(summary.overcharge_secs > 0.0);
+    }
+
+    #[test]
+    fn scheduling_attack_overbills_without_touching_integrity() {
+        let fleet = fleet();
+        let job = JobSpec::attacked(
+            0,
+            TenantId(3),
+            Workload::Whetstone,
+            SCALE,
+            AttackSpec::Scheduling { nice: -10 },
+        );
+        let record = fleet.run_one(&job);
+        let mut auditor = Auditor::new(fleet.config().machine.clone());
+        let verdict = auditor.observe(&record);
+        let kinds: Vec<&str> = verdict.anomalies.iter().map(Anomaly::kind).collect();
+        assert!(kinds.contains(&"overbilled"), "kinds: {kinds:?}");
+        assert!(!kinds.contains(&"unexpected-images"), "kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn tampered_measurement_log_is_flagged() {
+        let fleet = fleet();
+        let job = JobSpec::clean(0, TenantId(4), Workload::LoopO, SCALE);
+        let mut record = fleet.run_one(&job);
+        // A forged report that drops an image the reference loaded.
+        let dropped = record.outcome.measured_images.pop().expect("image present");
+        let mut auditor = Auditor::new(fleet.config().machine.clone());
+        let verdict = auditor.observe(&record);
+        match verdict.anomalies.as_slice() {
+            [Anomaly::MeasurementMismatch {
+                missing,
+                pcr_consistent,
+            }] => {
+                assert_eq!(missing, &vec![dropped]);
+                assert!(
+                    pcr_consistent,
+                    "closure differs, so PCR divergence is expected"
+                );
+            }
+            other => panic!("expected a single measurement mismatch, got {other:?}"),
+        }
+        assert!(!verdict.assessment.source_integrity);
+    }
+
+    #[test]
+    fn forged_pcr_with_matching_closure_is_flagged() {
+        let fleet = fleet();
+        let job = JobSpec::clean(0, TenantId(5), Workload::LoopO, SCALE);
+        let mut record = fleet.run_one(&job);
+        // Same image list, different PCR: a tampered measurement log.
+        record.outcome.measurement_pcr = trustmeter_core::Digest::of(b"forged");
+        let mut auditor = Auditor::new(fleet.config().machine.clone());
+        let verdict = auditor.observe(&record);
+        let kinds: Vec<&str> = verdict.anomalies.iter().map(Anomaly::kind).collect();
+        assert!(kinds.contains(&"measurement-mismatch"), "kinds: {kinds:?}");
+        assert!(!verdict.assessment.source_integrity);
+    }
+
+    #[test]
+    fn reference_cache_is_shared_across_same_template_jobs() {
+        let fleet = fleet();
+        let mut auditor = Auditor::new(fleet.config().machine.clone());
+        // Same template and id → same derived seed → one replay.
+        for tenant in [TenantId(1), TenantId(2)] {
+            let job = JobSpec::clean(9, tenant, Workload::Pi, SCALE);
+            auditor.observe(&fleet.run_one(&job));
+        }
+        assert_eq!(auditor.reference_cache_len(), 1);
+    }
+}

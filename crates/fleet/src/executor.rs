@@ -1,0 +1,338 @@
+//! The sharded fleet executor: many metered scenarios, many worker
+//! threads, bit-identical results.
+//!
+//! A [`JobSpec`] names one metered run — tenant, workload, optional
+//! [`AttackSpec`], scale, nice value. The [`Fleet`] executes a batch of jobs
+//! across `shards` worker threads. Determinism across shard counts comes
+//! from two rules:
+//!
+//! 1. every job's kernel seed is derived from the fleet seed and the job id
+//!    alone (never from which shard or thread runs it), and
+//! 2. results are merged back in job-submission order.
+//!
+//! Shard assignment is round-robin over the submission order, so the same
+//! batch splits the same way on every machine with the same shard count —
+//! and produces the same records under any shard count.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trustmeter_attacks::{
+    Attack, ExceptionFloodAttack, InterpositionAttack, InterruptFloodAttack,
+    PreloadConstructorAttack, SchedulingAttack, ShellAttack, ThrashingAttack,
+};
+use trustmeter_experiments::{Scenario, ScenarioOutcome};
+use trustmeter_kernel::KernelConfig;
+use trustmeter_sim::SimRng;
+use trustmeter_workloads::Workload;
+
+use crate::tenant::TenantId;
+
+/// Identifies one submitted job.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// A serializable recipe for one of the paper's seven attacks, so fleet
+/// jobs can name an attack without carrying a trait object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackSpec {
+    /// §IV-A1: the shell injects a CPU-bound loop before `execve`.
+    Shell,
+    /// §IV-A2: an `LD_PRELOAD` constructor burns CPU at load time.
+    PreloadConstructor,
+    /// §IV-A2: symbol interposition wraps hot library calls.
+    Interposition,
+    /// §IV-B1: a fork/wait attacker schedules itself between ticks at the
+    /// given nice value.
+    Scheduling {
+        /// The attacker's nice value.
+        nice: i8,
+    },
+    /// §IV-B2: a memory hog forces the victim to thrash.
+    Thrashing,
+    /// §IV-B3: NIC interrupt flooding charged to the interrupted victim.
+    InterruptFlood,
+    /// §IV-B4: exception (page-fault) flooding via watched pages.
+    ExceptionFlood,
+}
+
+impl AttackSpec {
+    /// Every attack at its paper-default configuration.
+    pub const ALL: [AttackSpec; 7] = [
+        AttackSpec::Shell,
+        AttackSpec::PreloadConstructor,
+        AttackSpec::Interposition,
+        AttackSpec::Scheduling { nice: -10 },
+        AttackSpec::Thrashing,
+        AttackSpec::InterruptFlood,
+        AttackSpec::ExceptionFlood,
+    ];
+
+    /// Short stable name (matches `Attack::name`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackSpec::Shell => "shell",
+            AttackSpec::PreloadConstructor => "preload-constructor",
+            AttackSpec::Interposition => "interposition",
+            AttackSpec::Scheduling { .. } => "scheduling",
+            AttackSpec::Thrashing => "thrashing",
+            AttackSpec::InterruptFlood => "interrupt-flood",
+            AttackSpec::ExceptionFlood => "exception-flood",
+        }
+    }
+
+    /// Builds the attack at its paper-default configuration for a victim of
+    /// the given workload and scale.
+    pub fn build(&self, workload: Workload, scale: f64) -> Box<dyn Attack> {
+        match self {
+            AttackSpec::Shell => Box::new(ShellAttack::paper_default(scale)),
+            AttackSpec::PreloadConstructor => {
+                Box::new(PreloadConstructorAttack::paper_default(scale))
+            }
+            AttackSpec::Interposition => Box::new(InterpositionAttack::paper_default(scale)),
+            AttackSpec::Scheduling { nice } => {
+                Box::new(SchedulingAttack::paper_default(scale, *nice))
+            }
+            AttackSpec::Thrashing => Box::new(ThrashingAttack::paper_default()),
+            AttackSpec::InterruptFlood => Box::new(InterruptFloodAttack::paper_default()),
+            AttackSpec::ExceptionFlood => Box::new(ExceptionFloodAttack::paper_default(
+                workload.spec(scale).user_secs,
+            )),
+        }
+    }
+}
+
+/// One metered run to execute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique id; also the merge key, so ids should be unique per batch.
+    pub id: JobId,
+    /// Which tenant submitted (and pays for) the run.
+    pub tenant: TenantId,
+    /// The victim workload.
+    pub workload: Workload,
+    /// Workload scale factor (1.0 = the paper's full-size runs).
+    pub scale: f64,
+    /// The attack the (dishonest) provider mounts, if any.
+    pub attack: Option<AttackSpec>,
+    /// The victim's nice value.
+    pub nice: i8,
+}
+
+impl JobSpec {
+    /// A clean (honest-platform) job.
+    pub fn clean(id: u64, tenant: TenantId, workload: Workload, scale: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            tenant,
+            workload,
+            scale,
+            attack: None,
+            nice: 0,
+        }
+    }
+
+    /// A job run on a platform mounting `attack`.
+    pub fn attacked(
+        id: u64,
+        tenant: TenantId,
+        workload: Workload,
+        scale: f64,
+        attack: AttackSpec,
+    ) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            tenant,
+            workload,
+            scale,
+            attack: Some(attack),
+            nice: 0,
+        }
+    }
+}
+
+/// Everything one executed job produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The job as submitted.
+    pub job: JobSpec,
+    /// The kernel seed the run used (derived, shard-independent).
+    pub seed: u64,
+    /// The full scenario outcome: billed/truth/process-aware usage,
+    /// measured images, witness digest, kernel stats.
+    pub outcome: ScenarioOutcome,
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of worker shards (threads). Results are independent of this.
+    pub shards: usize,
+    /// Fleet-level seed mixed into every job's kernel seed.
+    pub seed: u64,
+    /// The machine every shard simulates.
+    pub machine: KernelConfig,
+}
+
+impl FleetConfig {
+    /// `shards` workers on the paper's machine with the given fleet seed.
+    pub fn new(shards: usize, seed: u64) -> FleetConfig {
+        FleetConfig {
+            shards,
+            seed,
+            machine: KernelConfig::paper_machine(),
+        }
+    }
+
+    /// Replaces the simulated machine.
+    pub fn with_machine(mut self, machine: KernelConfig) -> FleetConfig {
+        self.machine = machine;
+        self
+    }
+}
+
+/// The sharded executor.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// Creates a fleet.
+    ///
+    /// # Panics
+    /// Panics if `config.shards` is zero.
+    pub fn new(config: FleetConfig) -> Fleet {
+        assert!(config.shards > 0, "a fleet needs at least one shard");
+        Fleet { config }
+    }
+
+    /// The configuration the fleet runs with.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Derives the kernel seed for a job: a function of the fleet seed and
+    /// the job id only, so results do not depend on shard assignment.
+    pub fn job_seed(&self, job: JobId) -> u64 {
+        SimRng::seed_from(self.config.seed ^ job.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+    }
+
+    /// Executes a batch across the configured shards and returns the
+    /// records in submission order, bit-identical for any shard count.
+    pub fn run(&self, jobs: &[JobSpec]) -> Vec<RunRecord> {
+        let shards = self.config.shards.min(jobs.len()).max(1);
+        if shards == 1 {
+            return jobs.iter().map(|job| self.run_one(job)).collect();
+        }
+        let mut per_shard: Vec<Vec<RunRecord>> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        jobs.iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % shards == shard)
+                            .map(|(_, job)| self.run_one(job))
+                            .collect::<Vec<RunRecord>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_shard.push(handle.join().expect("fleet shard panicked"));
+            }
+        });
+        // Stable merge: round-robin inverse of the assignment above,
+        // moving records out of the per-shard vectors.
+        let mut streams: Vec<_> = per_shard.into_iter().map(Vec::into_iter).collect();
+        (0..jobs.len())
+            .map(|i| {
+                streams[i % shards]
+                    .next()
+                    .expect("shard produced one record per job")
+            })
+            .collect()
+    }
+
+    /// Executes one job in the calling thread.
+    pub fn run_one(&self, job: &JobSpec) -> RunRecord {
+        let seed = self.job_seed(job.id);
+        let mut scenario = Scenario::new(job.workload, job.scale)
+            .with_config(self.config.machine.clone().with_seed(seed));
+        scenario.victim_nice = job.nice;
+        let outcome = match &job.attack {
+            None => scenario.run_clean(),
+            Some(spec) => scenario.run_attacked(spec.build(job.workload, job.scale).as_ref()),
+        };
+        RunRecord {
+            job: job.clone(),
+            seed,
+            outcome,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_batch(n: u64) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| {
+                let workload = Workload::ALL[(i % 4) as usize];
+                let tenant = TenantId((i % 3) as u32);
+                if i % 5 == 0 {
+                    JobSpec::attacked(i, tenant, workload, 0.001, AttackSpec::Shell)
+                } else {
+                    JobSpec::clean(i, tenant, workload, 0.001)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let fleet = Fleet::new(FleetConfig::new(3, 42));
+        let jobs = small_batch(7);
+        let records = fleet.run(&jobs);
+        let ids: Vec<u64> = records.iter().map(|r| r.job.id.0).collect();
+        assert_eq!(ids, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn job_seed_ignores_shard_count() {
+        let a = Fleet::new(FleetConfig::new(1, 99));
+        let b = Fleet::new(FleetConfig::new(8, 99));
+        assert_eq!(a.job_seed(JobId(5)), b.job_seed(JobId(5)));
+        assert_ne!(a.job_seed(JobId(5)), a.job_seed(JobId(6)));
+    }
+
+    #[test]
+    fn shard_counts_agree_bit_for_bit() {
+        let jobs = small_batch(10);
+        let single = Fleet::new(FleetConfig::new(1, 7)).run(&jobs);
+        let quad = Fleet::new(FleetConfig::new(4, 7)).run(&jobs);
+        assert_eq!(single, quad);
+    }
+
+    #[test]
+    fn attack_spec_builds_every_attack() {
+        for spec in AttackSpec::ALL {
+            let attack = spec.build(Workload::LoopO, 0.001);
+            assert_eq!(attack.name(), spec.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        Fleet::new(FleetConfig::new(0, 1));
+    }
+}

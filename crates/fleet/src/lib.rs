@@ -1,0 +1,301 @@
+//! # trustmeter-fleet
+//!
+//! A deterministic, sharded, multi-tenant metering service over the
+//! trustmeter workspace — the paper's single-run trust argument
+//! ([`trustmeter_core`]) lifted to the scale where billing disputes
+//! actually happen: many tenants submitting many jobs to a provider whose
+//! accounting may or may not be honest.
+//!
+//! | Piece | What it does |
+//! |-------|--------------|
+//! | [`executor::Fleet`] | shards [`executor::JobSpec`] batches across worker threads; results are bit-identical for any shard count |
+//! | [`tenant::Ledger`] | aggregates per-run [`trustmeter_core::Invoice`]s and CPU time (billed vs TSC ground truth) into per-tenant accounts |
+//! | [`auditor::Auditor`] | streams run records through the §VI trust workflow and raises per-tenant [`auditor::Anomaly`] verdicts |
+//! | [`metrics::MetricsRegistry`] | Prometheus-style text exposition of usage and anomaly counters |
+//! | [`FleetService`] | wires all four together: run → bill → audit → export |
+//!
+//! ## Example
+//!
+//! ```
+//! use trustmeter_fleet::{
+//!     AttackSpec, FleetConfig, FleetService, JobSpec, RateCard, Tenant, TenantId,
+//! };
+//! use trustmeter_workloads::Workload;
+//!
+//! let mut service = FleetService::new(FleetConfig::new(4, 2026));
+//! service.register(Tenant::new(TenantId(1), "acme", RateCard::per_cpu_hour(0.10)));
+//! service.register(Tenant::new(TenantId(2), "initech", RateCard::per_cpu_hour(0.08)));
+//!
+//! let jobs = vec![
+//!     JobSpec::clean(0, TenantId(1), Workload::Pi, 0.002),
+//!     JobSpec::attacked(1, TenantId(2), Workload::Pi, 0.002, AttackSpec::Shell),
+//! ];
+//! let report = service.process(&jobs);
+//!
+//! // The attacked tenant is billed above ground truth and flagged.
+//! let honest = report.ledger.account(TenantId(1)).unwrap();
+//! let victim = report.ledger.account(TenantId(2)).unwrap();
+//! assert!(victim.overcharge_ratio() > honest.overcharge_ratio());
+//! assert_eq!(victim.flagged_runs, 1);
+//! assert!(service.metrics_text().contains("cpu_usage"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auditor;
+pub mod executor;
+pub mod metrics;
+pub mod tenant;
+
+pub use auditor::{Anomaly, AuditVerdict, Auditor, TenantAuditSummary};
+pub use executor::{AttackSpec, Fleet, FleetConfig, JobId, JobSpec, RunRecord};
+pub use metrics::{MetricKind, MetricsRegistry};
+pub use tenant::{Ledger, Tenant, TenantDirectory, TenantId, TenantLedger};
+
+// Re-exported so fleet callers can price tenants without importing core.
+pub use trustmeter_core::RateCard;
+
+use serde::{Deserialize, Serialize};
+
+/// Everything one processed batch produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Run records in submission order.
+    pub records: Vec<RunRecord>,
+    /// Audit verdicts, one per record, in the same order.
+    pub verdicts: Vec<AuditVerdict>,
+    /// The ledger state after posting the batch (cumulative across
+    /// batches).
+    pub ledger: Ledger,
+}
+
+impl FleetReport {
+    /// Records whose audit found at least one anomaly.
+    pub fn flagged(&self) -> impl Iterator<Item = (&RunRecord, &AuditVerdict)> {
+        self.records
+            .iter()
+            .zip(self.verdicts.iter())
+            .filter(|(_, verdict)| !verdict.is_clean())
+    }
+}
+
+/// The assembled metering service: executor, ledger, auditor and metrics
+/// behind one `process` call.
+#[derive(Debug)]
+pub struct FleetService {
+    fleet: Fleet,
+    directory: TenantDirectory,
+    auditor: Auditor,
+    ledger: Ledger,
+    metrics: MetricsRegistry,
+    /// Pricing applied to tenants that were never registered.
+    default_rate_card: RateCard,
+}
+
+impl FleetService {
+    /// A service with the given executor configuration and a
+    /// $0.10/CPU-hour default rate card.
+    pub fn new(config: FleetConfig) -> FleetService {
+        let auditor = Auditor::new(config.machine.clone());
+        FleetService {
+            fleet: Fleet::new(config),
+            directory: TenantDirectory::new(),
+            auditor,
+            ledger: Ledger::new(),
+            metrics: MetricsRegistry::new(),
+            default_rate_card: RateCard::per_cpu_hour(0.10),
+        }
+    }
+
+    /// Replaces the auditor (e.g. to widen its tolerance).
+    pub fn with_auditor(mut self, auditor: Auditor) -> FleetService {
+        self.auditor = auditor;
+        self
+    }
+
+    /// Replaces the rate card used for unregistered tenants.
+    pub fn with_default_rate_card(mut self, card: RateCard) -> FleetService {
+        self.default_rate_card = card;
+        self
+    }
+
+    /// Registers a tenant and its pricing.
+    pub fn register(&mut self, tenant: Tenant) {
+        self.directory.register(tenant);
+    }
+
+    /// The tenant directory.
+    pub fn directory(&self) -> &TenantDirectory {
+        &self.directory
+    }
+
+    /// The cumulative ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The streaming auditor.
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    /// Executes, bills, audits and meters one batch of jobs.
+    pub fn process(&mut self, jobs: &[JobSpec]) -> FleetReport {
+        let records = self.fleet.run(jobs);
+        let freq = self.fleet.config().machine.frequency;
+        let mut verdicts = Vec::with_capacity(records.len());
+        for record in &records {
+            let card = self
+                .directory
+                .get(record.job.tenant)
+                .map(|t| t.rate_card)
+                .unwrap_or(self.default_rate_card);
+            self.ledger.post_run(
+                record.job.tenant,
+                &card,
+                freq,
+                record.job.id,
+                record.outcome.victim_billed,
+                record.outcome.victim_truth,
+                record.outcome.victim_process_aware,
+            );
+            let verdict = self.auditor.observe(record);
+            if !verdict.is_clean() {
+                self.ledger.account_mut(record.job.tenant).flag();
+            }
+            self.export_record(record, &verdict);
+            verdicts.push(verdict);
+        }
+        self.export_gauges();
+        FleetReport {
+            records,
+            verdicts,
+            ledger: self.ledger.clone(),
+        }
+    }
+
+    fn export_record(&mut self, record: &RunRecord, verdict: &AuditVerdict) {
+        let tenant = record.job.tenant.to_string();
+        let outcome = &record.outcome;
+        self.metrics.counter_add(
+            "fleet_jobs",
+            "Jobs executed by the fleet",
+            &[("tenant", &tenant)],
+            1.0,
+        );
+        let usage_help = "CPU seconds attributed to tenant jobs";
+        for (state, source, secs) in [
+            ("user", "billed", outcome.billed_utime_secs()),
+            ("system", "billed", outcome.billed_stime_secs()),
+            (
+                "user",
+                "truth",
+                outcome.truth_total_secs() - outcome.truth_stime_secs(),
+            ),
+            ("system", "truth", outcome.truth_stime_secs()),
+        ] {
+            self.metrics.counter_add(
+                "cpu_usage",
+                usage_help,
+                &[("tenant", &tenant), ("state", state), ("source", source)],
+                secs,
+            );
+        }
+        // Pre-register every anomaly kind at zero so the exposition
+        // distinguishes "zero anomalies" from "series never existed".
+        let anomaly_help = "Audit anomalies raised, by kind";
+        for kind in Anomaly::KINDS {
+            self.metrics.counter_add(
+                "fleet_anomalies",
+                anomaly_help,
+                &[("tenant", &tenant), ("kind", kind)],
+                0.0,
+            );
+        }
+        for anomaly in &verdict.anomalies {
+            self.metrics.counter_add(
+                "fleet_anomalies",
+                anomaly_help,
+                &[("tenant", &tenant), ("kind", anomaly.kind())],
+                1.0,
+            );
+        }
+    }
+
+    fn export_gauges(&mut self) {
+        self.metrics.gauge_set(
+            "fleet_tenants",
+            "Tenants with at least one posted run",
+            &[],
+            self.ledger.len() as f64,
+        );
+        let ledgers: Vec<(String, f64, f64)> = self
+            .ledger
+            .iter()
+            .map(|a| (a.tenant.to_string(), a.billed_charge, a.truth_charge))
+            .collect();
+        for (tenant, billed, truth) in ledgers {
+            self.metrics.gauge_set(
+                "tenant_charge",
+                "Cumulative charge per tenant, by source",
+                &[("tenant", &tenant), ("source", "billed")],
+                billed,
+            );
+            self.metrics.gauge_set(
+                "tenant_charge",
+                "Cumulative charge per tenant, by source",
+                &[("tenant", &tenant), ("source", "truth")],
+                truth,
+            );
+        }
+    }
+
+    /// The Prometheus-style text dump of every metric.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmeter_workloads::Workload;
+
+    #[test]
+    fn service_bills_audits_and_meters_one_batch() {
+        let mut service = FleetService::new(FleetConfig::new(2, 9));
+        service.register(Tenant::new(
+            TenantId(1),
+            "acme",
+            RateCard::per_cpu_second(0.01),
+        ));
+        let jobs = vec![
+            JobSpec::clean(0, TenantId(1), Workload::LoopO, 0.001),
+            JobSpec::attacked(1, TenantId(1), Workload::LoopO, 0.001, AttackSpec::Shell),
+        ];
+        let report = service.process(&jobs);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.verdicts.len(), 2);
+        assert!(report.verdicts[0].is_clean());
+        assert!(!report.verdicts[1].is_clean());
+        assert_eq!(report.flagged().count(), 1);
+        let account = report.ledger.account(TenantId(1)).unwrap();
+        assert_eq!(account.runs, 2);
+        assert_eq!(account.flagged_runs, 1);
+        let text = service.metrics_text();
+        assert!(text.contains("cpu_usage{"));
+        assert!(text.contains("fleet_anomalies{"));
+        assert!(text.contains("# TYPE fleet_jobs counter"));
+    }
+
+    #[test]
+    fn unregistered_tenants_use_default_pricing() {
+        let mut service = FleetService::new(FleetConfig::new(1, 5))
+            .with_default_rate_card(RateCard::per_cpu_second(1.0));
+        let jobs = vec![JobSpec::clean(0, TenantId(99), Workload::Pi, 0.001)];
+        let report = service.process(&jobs);
+        let account = report.ledger.account(TenantId(99)).unwrap();
+        assert!(account.billed_charge > 0.0);
+    }
+}

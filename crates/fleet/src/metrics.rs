@@ -1,0 +1,216 @@
+//! A small metrics registry with Prometheus-style text exposition.
+//!
+//! Modeled on the rezolus/metriken idiom of a flat metric namespace with
+//! `metadata` labels (e.g. one `cpu_usage` metric split by a `state` label)
+//! rather than a metric name per series. The registry is deterministic:
+//! series render sorted by name then label set, so two runs over the same
+//! records produce byte-identical dumps.
+//!
+//! ```
+//! use trustmeter_fleet::metrics::MetricsRegistry;
+//!
+//! let mut registry = MetricsRegistry::new();
+//! registry.counter_add("cpu_usage", "CPU time spent busy", &[("state", "user")], 1.5);
+//! registry.counter_add("cpu_usage", "CPU time spent busy", &[("state", "user")], 0.5);
+//! let text = registry.render();
+//! assert!(text.contains("# TYPE cpu_usage counter"));
+//! assert!(text.contains("cpu_usage{state=\"user\"} 2"));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Counter or gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonically accumulating value.
+    Counter,
+    /// Point-in-time value, overwritten by `gauge_set`.
+    Gauge,
+}
+
+impl MetricKind {
+    fn exposition_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    // label-set rendering -> value; BTreeMap keeps exposition deterministic.
+    series: BTreeMap<String, f64>,
+}
+
+/// A deterministic metrics registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    families: BTreeMap<String, Family>,
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash first, then quote and newline.
+fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort();
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn series_mut(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+    ) -> &mut f64 {
+        let family = self
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind,
+                series: BTreeMap::new(),
+            });
+        assert!(
+            family.kind == kind,
+            "metric `{name}` registered as {:?}, used as {kind:?}",
+            family.kind
+        );
+        family.series.entry(render_labels(labels)).or_insert(0.0)
+    }
+
+    /// Adds `delta` to a counter series, creating it at zero on first use.
+    /// The `help` text from the first registration of `name` wins.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a gauge, or if `delta` is
+    /// negative (counters are monotonic).
+    pub fn counter_add(&mut self, name: &str, help: &str, labels: &[(&str, &str)], delta: f64) {
+        assert!(
+            delta >= 0.0,
+            "counter `{name}` cannot decrease (delta {delta})"
+        );
+        *self.series_mut(name, help, MetricKind::Counter, labels) += delta;
+    }
+
+    /// Sets a gauge series to `value`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a counter.
+    pub fn gauge_set(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        *self.series_mut(name, help, MetricKind::Gauge, labels) = value;
+    }
+
+    /// Reads one series back (`None` if it was never touched).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.families
+            .get(name)?
+            .series
+            .get(&render_labels(labels))
+            .copied()
+    }
+
+    /// Number of registered series across all families.
+    pub fn series_count(&self) -> usize {
+        self.families.values().map(|f| f.series.len()).sum()
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition format,
+    /// families and series in sorted order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.families {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.exposition_type());
+            for (labels, value) in &family.series {
+                let _ = writeln!(out, "{name}{labels} {value}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render_sorted() {
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("jobs_total", "Jobs executed", &[("tenant", "t2")], 1.0);
+        registry.counter_add("jobs_total", "Jobs executed", &[("tenant", "t1")], 2.0);
+        registry.counter_add("jobs_total", "Jobs executed", &[("tenant", "t1")], 3.0);
+        assert_eq!(registry.get("jobs_total", &[("tenant", "t1")]), Some(5.0));
+        let text = registry.render();
+        let t1 = text.find("tenant=\"t1\"").unwrap();
+        let t2 = text.find("tenant=\"t2\"").unwrap();
+        assert!(t1 < t2, "series must render in sorted label order");
+        assert!(text.contains("# TYPE jobs_total counter"));
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut registry = MetricsRegistry::new();
+        registry.gauge_set("tenants", "Active tenants", &[], 3.0);
+        registry.gauge_set("tenants", "Active tenants", &[], 5.0);
+        assert_eq!(registry.get("tenants", &[]), Some(5.0));
+        assert!(registry.render().contains("tenants 5"));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("m", "h", &[("b", "2"), ("a", "1")], 1.0);
+        registry.counter_add("m", "h", &[("a", "1"), ("b", "2")], 1.0);
+        assert_eq!(registry.get("m", &[("b", "2"), ("a", "1")]), Some(2.0));
+        assert_eq!(registry.series_count(), 1);
+        assert!(registry.render().contains("m{a=\"1\",b=\"2\"} 2"));
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_newline() {
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("m", "h", &[("path", "C:\\x\"y\nz")], 1.0);
+        let text = registry.render();
+        assert!(text.contains("path=\"C:\\\\x\\\"y\\nz\""), "got: {text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot decrease")]
+    fn negative_counter_delta_rejected() {
+        MetricsRegistry::new().counter_add("m", "h", &[], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflict_rejected() {
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("m", "h", &[], 1.0);
+        registry.gauge_set("m", "h", &[], 1.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Tenants, accounts and ledgers: turning per-run metering results into
+//! per-customer bills.
+//!
+//! A [`Tenant`] is one customer of the metered platform, billed through its
+//! own [`RateCard`]. A [`TenantLedger`] accumulates every run the tenant
+//! submitted — the provider-billed CPU time, the TSC ground truth, and the
+//! [`Invoice`]s both produce — so the overcharge the paper quantifies
+//! per-run becomes visible at the monthly-bill granularity where customers
+//! actually notice it. The [`Ledger`] holds one account per tenant with a
+//! deterministic iteration order.
+
+use crate::executor::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use trustmeter_core::{CpuTime, Invoice, RateCard};
+use trustmeter_sim::CpuFrequency;
+
+/// Identifies one tenant (customer) of the metered platform.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// One customer: identity plus pricing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tenant {
+    /// The tenant's id.
+    pub id: TenantId,
+    /// Human-readable name.
+    pub name: String,
+    /// How this tenant's CPU time is priced.
+    pub rate_card: RateCard,
+}
+
+impl Tenant {
+    /// Creates a tenant with the given pricing.
+    pub fn new(id: TenantId, name: impl Into<String>, rate_card: RateCard) -> Tenant {
+        Tenant {
+            id,
+            name: name.into(),
+            rate_card,
+        }
+    }
+}
+
+/// The set of known tenants, with a deterministic order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantDirectory {
+    tenants: BTreeMap<TenantId, Tenant>,
+}
+
+impl TenantDirectory {
+    /// An empty directory.
+    pub fn new() -> TenantDirectory {
+        TenantDirectory::default()
+    }
+
+    /// Registers a tenant, replacing any previous registration with the
+    /// same id.
+    pub fn register(&mut self, tenant: Tenant) {
+        self.tenants.insert(tenant.id, tenant);
+    }
+
+    /// Looks up a tenant.
+    pub fn get(&self, id: TenantId) -> Option<&Tenant> {
+        self.tenants.get(&id)
+    }
+
+    /// Iterates tenants in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.values()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+/// One tenant's accumulated account over many runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantLedger {
+    /// Whose account this is.
+    pub tenant: TenantId,
+    /// Number of runs posted.
+    pub runs: u64,
+    /// Total CPU time the provider billed (commodity tick accounting).
+    pub billed: CpuTime,
+    /// Total TSC ground-truth CPU time.
+    pub truth: CpuTime,
+    /// Total process-aware accounting reading.
+    pub process_aware: CpuTime,
+    /// Every posted invoice, in posting order: `(job, billed invoice,
+    /// ground-truth invoice)`.
+    pub invoices: Vec<(JobId, Invoice, Invoice)>,
+    /// Sum of the billed invoice totals (currency).
+    pub billed_charge: f64,
+    /// Sum of the ground-truth invoice totals (currency).
+    pub truth_charge: f64,
+    /// Runs the auditor flagged with at least one anomaly.
+    pub flagged_runs: u64,
+}
+
+impl TenantLedger {
+    /// An empty account for `tenant`.
+    pub fn new(tenant: TenantId) -> TenantLedger {
+        TenantLedger {
+            tenant,
+            runs: 0,
+            billed: CpuTime::ZERO,
+            truth: CpuTime::ZERO,
+            process_aware: CpuTime::ZERO,
+            invoices: Vec::new(),
+            billed_charge: 0.0,
+            truth_charge: 0.0,
+            flagged_runs: 0,
+        }
+    }
+
+    /// Posts one run: the usage readings plus the invoices the tenant's
+    /// rate card produced for the billed and ground-truth usage.
+    pub fn post(
+        &mut self,
+        job: JobId,
+        billed: CpuTime,
+        truth: CpuTime,
+        process_aware: CpuTime,
+        billed_invoice: Invoice,
+        truth_invoice: Invoice,
+    ) {
+        self.runs += 1;
+        self.billed += billed;
+        self.truth += truth;
+        self.process_aware += process_aware;
+        self.billed_charge += billed_invoice.total;
+        self.truth_charge += truth_invoice.total;
+        self.invoices.push((job, billed_invoice, truth_invoice));
+    }
+
+    /// Marks one posted run as anomalous.
+    pub fn flag(&mut self) {
+        self.flagged_runs += 1;
+    }
+
+    /// How much more the tenant was charged than the ground truth warrants,
+    /// in currency units (never negative).
+    pub fn overcharge(&self) -> f64 {
+        (self.billed_charge - self.truth_charge).max(0.0)
+    }
+
+    /// billed currency / ground-truth currency (1.0 for an empty account).
+    pub fn overcharge_ratio(&self) -> f64 {
+        if self.truth_charge == 0.0 {
+            if self.billed_charge == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.billed_charge / self.truth_charge
+        }
+    }
+
+    /// Sum of the posted billed-invoice totals — by construction equal to
+    /// [`TenantLedger::billed_charge`]; exposed for auditing the ledger
+    /// arithmetic itself.
+    pub fn invoice_sum(&self) -> f64 {
+        self.invoices
+            .iter()
+            .map(|(_, billed, _)| billed.total)
+            .sum()
+    }
+}
+
+impl fmt::Display for TenantLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} runs, billed {:.4}, truth {:.4} ({:.2}x, {} flagged)",
+            self.tenant,
+            self.runs,
+            self.billed_charge,
+            self.truth_charge,
+            self.overcharge_ratio(),
+            self.flagged_runs,
+        )
+    }
+}
+
+/// All tenant accounts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ledger {
+    accounts: BTreeMap<TenantId, TenantLedger>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Posts one run for `tenant`, pricing both usage readings through the
+    /// tenant's `rate_card` on a machine of frequency `freq`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_run(
+        &mut self,
+        tenant: TenantId,
+        rate_card: &RateCard,
+        freq: CpuFrequency,
+        job: JobId,
+        billed: CpuTime,
+        truth: CpuTime,
+        process_aware: CpuTime,
+    ) {
+        let billed_invoice = rate_card.invoice(billed, freq);
+        let truth_invoice = rate_card.invoice(truth, freq);
+        self.account_mut(tenant).post(
+            job,
+            billed,
+            truth,
+            process_aware,
+            billed_invoice,
+            truth_invoice,
+        );
+    }
+
+    /// The account for `tenant`, created empty on first use.
+    pub fn account_mut(&mut self, tenant: TenantId) -> &mut TenantLedger {
+        self.accounts
+            .entry(tenant)
+            .or_insert_with(|| TenantLedger::new(tenant))
+    }
+
+    /// The account for `tenant`, if any runs were posted.
+    pub fn account(&self, tenant: TenantId) -> Option<&TenantLedger> {
+        self.accounts.get(&tenant)
+    }
+
+    /// Iterates accounts in tenant-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &TenantLedger> {
+        self.accounts.values()
+    }
+
+    /// Number of accounts with posted runs.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether no runs were posted at all.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Total billed currency across all tenants.
+    pub fn total_billed_charge(&self) -> f64 {
+        self.accounts.values().map(|a| a.billed_charge).sum()
+    }
+
+    /// Total ground-truth currency across all tenants.
+    pub fn total_truth_charge(&self) -> f64 {
+        self.accounts.values().map(|a| a.truth_charge).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmeter_sim::{Cycles, Nanos};
+
+    fn freq() -> CpuFrequency {
+        CpuFrequency::from_mhz(1000)
+    }
+
+    fn secs(s: f64) -> Cycles {
+        freq().cycles_for(Nanos::from_secs_f64(s))
+    }
+
+    #[test]
+    fn ledger_totals_equal_sum_of_invoices() {
+        let card = RateCard::per_cpu_second(0.01);
+        let mut ledger = Ledger::new();
+        let tenant = TenantId(7);
+        for i in 0..10u64 {
+            let billed = CpuTime::user(secs(10.0 + i as f64));
+            let truth = CpuTime::user(secs(10.0));
+            ledger.post_run(tenant, &card, freq(), JobId(i), billed, truth, truth);
+        }
+        let account = ledger.account(tenant).expect("account exists");
+        assert_eq!(account.runs, 10);
+        assert_eq!(account.invoices.len(), 10);
+        assert!((account.billed_charge - account.invoice_sum()).abs() < 1e-12);
+        // 10×10s truth, billed adds 0+1+..+9 = 45 extra seconds at $0.01/s.
+        assert!((account.truth_charge - 1.0).abs() < 1e-9);
+        assert!((account.overcharge() - 0.45).abs() < 1e-9);
+        assert!(account.overcharge_ratio() > 1.4);
+    }
+
+    #[test]
+    fn accounts_are_separate_and_ordered() {
+        let card = RateCard::per_cpu_second(1.0);
+        let mut ledger = Ledger::new();
+        for id in [3u32, 1, 2] {
+            ledger.post_run(
+                TenantId(id),
+                &card,
+                freq(),
+                JobId(id as u64),
+                CpuTime::user(secs(1.0)),
+                CpuTime::user(secs(1.0)),
+                CpuTime::user(secs(1.0)),
+            );
+        }
+        let order: Vec<u32> = ledger.iter().map(|a| a.tenant.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(ledger.len(), 3);
+        assert!((ledger.total_billed_charge() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_account_ratio_is_one() {
+        let account = TenantLedger::new(TenantId(1));
+        assert_eq!(account.overcharge_ratio(), 1.0);
+        assert_eq!(account.overcharge(), 0.0);
+    }
+
+    #[test]
+    fn directory_registers_and_orders() {
+        let mut dir = TenantDirectory::new();
+        assert!(dir.is_empty());
+        dir.register(Tenant::new(
+            TenantId(2),
+            "beta",
+            RateCard::per_cpu_hour(0.2),
+        ));
+        dir.register(Tenant::new(
+            TenantId(1),
+            "alpha",
+            RateCard::per_cpu_hour(0.1),
+        ));
+        assert_eq!(dir.len(), 2);
+        assert_eq!(dir.get(TenantId(1)).unwrap().name, "alpha");
+        let names: Vec<&str> = dir.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+    }
+}

@@ -211,7 +211,8 @@ impl KernelConfig {
 
     /// The simulation horizon in cycles.
     pub fn horizon(&self) -> Cycles {
-        self.frequency.cycles_for(Nanos::from_secs_f64(self.horizon_secs))
+        self.frequency
+            .cycles_for(Nanos::from_secs_f64(self.horizon_secs))
     }
 }
 

@@ -32,7 +32,12 @@ pub struct NicFlood {
 impl NicFlood {
     /// A steady flood at `pps` packets per second for the whole run.
     pub fn steady(pps: f64) -> NicFlood {
-        NicFlood { packets_per_sec: pps, start_secs: 0.0, duration_secs: f64::INFINITY, poisson: true }
+        NicFlood {
+            packets_per_sec: pps,
+            start_secs: 0.0,
+            duration_secs: f64::INFINITY,
+            poisson: true,
+        }
     }
 
     /// First packet arrival time in cycles.
@@ -42,7 +47,12 @@ impl NicFlood {
 
     /// Computes the next arrival after `now`, or `None` when the flood has
     /// ended.
-    pub fn next_arrival(&self, now: Cycles, freq: CpuFrequency, rng: &mut SimRng) -> Option<Cycles> {
+    pub fn next_arrival(
+        &self,
+        now: Cycles,
+        freq: CpuFrequency,
+        rng: &mut SimRng,
+    ) -> Option<Cycles> {
         if self.packets_per_sec <= 0.0 {
             return None;
         }
@@ -52,7 +62,11 @@ impl NicFlood {
             None
         };
         let mean_gap_secs = 1.0 / self.packets_per_sec;
-        let gap_secs = if self.poisson { rng.gen_exp(mean_gap_secs) } else { mean_gap_secs };
+        let gap_secs = if self.poisson {
+            rng.gen_exp(mean_gap_secs)
+        } else {
+            mean_gap_secs
+        };
         let gap = freq.cycles_for(Nanos::from_secs_f64(gap_secs.max(1e-9)));
         let next = now.saturating_add(gap);
         match end {
@@ -75,7 +89,10 @@ impl Disk {
     /// Creates a disk with the given request latency and a throughput of
     /// roughly 80 MB/s at the paper machine's clock.
     pub fn new(latency: Cycles) -> Disk {
-        Disk { latency, per_byte_cycles: 30.0 }
+        Disk {
+            latency,
+            per_byte_cycles: 30.0,
+        }
     }
 
     /// Completion time for a request of `bytes` bytes issued at `now` by
@@ -114,7 +131,10 @@ mod tests {
         }
         let mean_gap = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
         // Expected gap: 100 µs = 100_000 cycles at 1 GHz; allow 15 % tolerance.
-        assert!((mean_gap - 100_000.0).abs() < 15_000.0, "mean gap {mean_gap}");
+        assert!(
+            (mean_gap - 100_000.0).abs() < 15_000.0,
+            "mean gap {mean_gap}"
+        );
     }
 
     #[test]

@@ -215,19 +215,26 @@ impl Kernel {
         task.ld_preload = self.ld_preload.clone();
 
         // fork() cost is billed to the child from its very first instant.
-        task.push_front_micro(Micro::Kernel { remaining: self.config.cost(self.config.costs.fork_us) });
+        task.push_front_micro(Micro::Kernel {
+            remaining: self.config.cost(self.config.costs.fork_us),
+        });
 
         // Shell-injected code runs before execve, in user mode.
         let injection = self.shell_injection.clone();
         for (label, cycles) in injection {
-            task.measurements.measure(MeasuredImage::new(&label, ImageKind::ShellInjected));
+            task.measurements
+                .measure(MeasuredImage::new(&label, ImageKind::ShellInjected));
             task.witness.record(&label);
             task.push_user_work(cycles);
         }
 
         // execve + dynamic linking + constructors.
-        task.micros.push_back(Micro::Kernel { remaining: self.config.cost(self.config.costs.execve_us) });
-        let plan = self.libs.load_plan(&task.name.clone(), &task.ld_preload.clone());
+        task.micros.push_back(Micro::Kernel {
+            remaining: self.config.cost(self.config.costs.execve_us),
+        });
+        let plan = self
+            .libs
+            .load_plan(&task.name.clone(), &task.ld_preload.clone());
         for m in plan.measurements {
             task.measurements.measure(m);
         }
@@ -271,7 +278,8 @@ impl Kernel {
     pub fn run(&mut self) -> RunResult {
         let horizon = self.config.horizon();
         let jiffy = self.config.jiffy();
-        self.events.schedule(self.now + jiffy, KernelEvent::TimerTick);
+        self.events
+            .schedule(self.now + jiffy, KernelEvent::TimerTick);
         if let Some(flood) = self.nic_flood {
             let first = flood.first_arrival(self.config.frequency).max(Cycles(1));
             self.events.schedule(first, KernelEvent::NicPacket);
@@ -320,18 +328,36 @@ impl Kernel {
     fn switch_to(&mut self, next: TaskId) {
         self.stats.context_switches += 1;
         let ctx_cost = self.config.cost(self.config.costs.context_switch_us);
-        let Some(task) = self.tasks.get_mut(&next) else { return };
+        let Some(task) = self.tasks.get_mut(&next) else {
+            return;
+        };
         task.state = TaskState::Running;
         let mode = task.mode;
-        task.push_front_micro(Micro::Kernel { remaining: ctx_cost });
+        task.push_front_micro(Micro::Kernel {
+            remaining: ctx_cost,
+        });
         self.current = Some(next);
-        self.meter.on_event(&MeterEvent::SwitchIn { at: self.now, task: next, mode });
-        self.trace.emit(self.now, TraceLevel::Info, "sched", format!("switch to {next}"));
+        self.meter.on_event(&MeterEvent::SwitchIn {
+            at: self.now,
+            task: next,
+            mode,
+        });
+        self.trace.emit(
+            self.now,
+            TraceLevel::Info,
+            "sched",
+            format!("switch to {next}"),
+        );
     }
 
     fn deschedule_current(&mut self, new_state: TaskState, voluntary: bool) {
-        let Some(cur) = self.current.take() else { return };
-        self.meter.on_event(&MeterEvent::SwitchOut { at: self.now, task: cur });
+        let Some(cur) = self.current.take() else {
+            return;
+        };
+        self.meter.on_event(&MeterEvent::SwitchOut {
+            at: self.now,
+            task: cur,
+        });
         if let Some(task) = self.tasks.get_mut(&cur) {
             task.state = new_state;
             if voluntary {
@@ -352,7 +378,11 @@ impl Kernel {
         let mut guard = 0u32;
         while self.now < deadline {
             let Some(cur) = self.current else { return };
-            let has_micro = self.tasks.get(&cur).map(|t| !t.micros.is_empty()).unwrap_or(false);
+            let has_micro = self
+                .tasks
+                .get(&cur)
+                .map(|t| !t.micros.is_empty())
+                .unwrap_or(false);
             if !has_micro {
                 match self.fetch_and_lower(cur) {
                     FetchResult::Lowered => {
@@ -388,10 +418,16 @@ impl Kernel {
 
     /// Ensures the current task's metered mode matches `mode`.
     fn ensure_mode(&mut self, cur: TaskId, mode: Mode) {
-        let Some(task) = self.tasks.get_mut(&cur) else { return };
+        let Some(task) = self.tasks.get_mut(&cur) else {
+            return;
+        };
         if task.mode != mode {
             task.mode = mode;
-            self.meter.on_event(&MeterEvent::ModeChange { at: self.now, task: cur, mode });
+            self.meter.on_event(&MeterEvent::ModeChange {
+                at: self.now,
+                task: cur,
+                mode,
+            });
         }
     }
 
@@ -400,50 +436,101 @@ impl Kernel {
         // Inspect the front micro without holding the borrow across the
         // subsystem calls below.
         enum Action {
-            Run { mode: Mode, slice: Cycles, completes: bool, exception: Option<ExceptionKind>, enter_exception: bool },
-            Watched { addr: u64, count_left: u64 },
+            Run {
+                mode: Mode,
+                slice: Cycles,
+                completes: bool,
+                exception: Option<ExceptionKind>,
+                enter_exception: bool,
+            },
+            Watched {
+                addr: u64,
+                count_left: u64,
+            },
             Effect,
         }
         let action = {
-            let Some(task) = self.tasks.get_mut(&cur) else { return };
-            let Some(front) = task.micros.front_mut() else { return };
+            let Some(task) = self.tasks.get_mut(&cur) else {
+                return;
+            };
+            let Some(front) = task.micros.front_mut() else {
+                return;
+            };
             match front {
                 Micro::User { remaining } => {
                     let slice = (*remaining).min(budget);
                     *remaining = remaining.saturating_sub(slice);
                     let completes = remaining.is_zero();
-                    Action::Run { mode: Mode::User, slice, completes, exception: None, enter_exception: false }
+                    Action::Run {
+                        mode: Mode::User,
+                        slice,
+                        completes,
+                        exception: None,
+                        enter_exception: false,
+                    }
                 }
                 Micro::Kernel { remaining } => {
                     let slice = (*remaining).min(budget);
                     *remaining = remaining.saturating_sub(slice);
                     let completes = remaining.is_zero();
-                    Action::Run { mode: Mode::Kernel, slice, completes, exception: None, enter_exception: false }
+                    Action::Run {
+                        mode: Mode::Kernel,
+                        slice,
+                        completes,
+                        exception: None,
+                        enter_exception: false,
+                    }
                 }
-                Micro::Exception { kind, remaining, entered } => {
+                Micro::Exception {
+                    kind,
+                    remaining,
+                    entered,
+                } => {
                     let enter = !*entered;
                     *entered = true;
                     let slice = (*remaining).min(budget);
                     *remaining = remaining.saturating_sub(slice);
                     let completes = remaining.is_zero();
-                    Action::Run { mode: Mode::Kernel, slice, completes, exception: Some(*kind), enter_exception: enter }
+                    Action::Run {
+                        mode: Mode::Kernel,
+                        slice,
+                        completes,
+                        exception: Some(*kind),
+                        enter_exception: enter,
+                    }
                 }
-                Micro::WatchedAccess { addr, count_left } => Action::Watched { addr: *addr, count_left: *count_left },
+                Micro::WatchedAccess { addr, count_left } => Action::Watched {
+                    addr: *addr,
+                    count_left: *count_left,
+                },
                 Micro::Effect(_) => Action::Effect,
             }
         };
 
         match action {
-            Action::Run { mode, slice, completes, exception, enter_exception } => {
+            Action::Run {
+                mode,
+                slice,
+                completes,
+                exception,
+                enter_exception,
+            } => {
                 self.ensure_mode(cur, mode);
                 if let (Some(kind), true) = (exception, enter_exception) {
-                    self.meter.on_event(&MeterEvent::ExceptionEnter { at: self.now, task: cur, kind });
+                    self.meter.on_event(&MeterEvent::ExceptionEnter {
+                        at: self.now,
+                        task: cur,
+                        kind,
+                    });
                 }
                 self.now += slice;
                 self.scheduler.charge(cur, slice);
                 if completes {
                     if exception.is_some() {
-                        self.meter.on_event(&MeterEvent::ExceptionExit { at: self.now, task: cur });
+                        self.meter.on_event(&MeterEvent::ExceptionExit {
+                            at: self.now,
+                            task: cur,
+                        });
                     }
                     if let Some(task) = self.tasks.get_mut(&cur) {
                         task.micros.pop_front();
@@ -460,30 +547,43 @@ impl Kernel {
                     .unwrap_or(false);
                 let trap_cost = self.config.cost(self.config.costs.debug_trap_us);
                 let signal_cost = self.config.cost(self.config.costs.signal_delivery_us);
-                let Some(task) = self.tasks.get_mut(&cur) else { return };
+                let Some(task) = self.tasks.get_mut(&cur) else {
+                    return;
+                };
                 task.micros.pop_front();
                 if armed {
                     self.stats.debug_traps += 1;
                     if count_left > 1 {
-                        task.micros.push_front(Micro::WatchedAccess { addr, count_left: count_left - 1 });
+                        task.micros.push_front(Micro::WatchedAccess {
+                            addr,
+                            count_left: count_left - 1,
+                        });
                     }
                     task.micros.push_front(Micro::Effect(Effect::TrapStop));
-                    task.micros.push_front(Micro::Kernel { remaining: signal_cost });
+                    task.micros.push_front(Micro::Kernel {
+                        remaining: signal_cost,
+                    });
                     task.micros.push_front(Micro::Exception {
                         kind: ExceptionKind::Debug,
                         remaining: trap_cost,
                         entered: false,
                     });
                     // The access itself is a single user-mode instruction.
-                    task.micros.push_front(Micro::User { remaining: Cycles(1) });
+                    task.micros.push_front(Micro::User {
+                        remaining: Cycles(1),
+                    });
                 } else {
                     // Unwatched accesses are ordinary user work (one cycle each).
-                    task.micros.push_front(Micro::User { remaining: Cycles(count_left.max(1)) });
+                    task.micros.push_front(Micro::User {
+                        remaining: Cycles(count_left.max(1)),
+                    });
                 }
             }
             Action::Effect => {
                 let effect = {
-                    let Some(task) = self.tasks.get_mut(&cur) else { return };
+                    let Some(task) = self.tasks.get_mut(&cur) else {
+                        return;
+                    };
                     match task.micros.pop_front() {
                         Some(Micro::Effect(e)) => e,
                         _ => return,
@@ -527,8 +627,11 @@ impl Kernel {
                         task.witness.record(&label);
                         task.push_user_work(cycles);
                     }
-                    task.micros.push_back(Micro::Kernel { remaining: exit_cost });
-                    task.micros.push_back(Micro::Effect(Effect::Exit { code: 0 }));
+                    task.micros.push_back(Micro::Kernel {
+                        remaining: exit_cost,
+                    });
+                    task.micros
+                        .push_back(Micro::Effect(Effect::Exit { code: 0 }));
                 }
                 FetchResult::Lowered
             }
@@ -544,10 +647,16 @@ impl Kernel {
                 }
             }
             Op::LibCall { symbol, calls } => {
-                let preload = self.tasks.get(&cur).map(|t| t.ld_preload.clone()).unwrap_or_default();
+                let preload = self
+                    .tasks
+                    .get(&cur)
+                    .map(|t| t.ld_preload.clone())
+                    .unwrap_or_default();
                 let (per_call, provider) = self.libs.resolve(&symbol, &preload);
                 let interposed = preload.contains(&provider);
-                let Some(task) = self.tasks.get_mut(&cur) else { return };
+                let Some(task) = self.tasks.get_mut(&cur) else {
+                    return;
+                };
                 if interposed {
                     let seen = self.measured_symbols.entry(cur).or_default();
                     if seen.insert(symbol.clone()) {
@@ -568,7 +677,9 @@ impl Kernel {
                 let major_cost = self
                     .config
                     .cost(self.config.costs.major_fault_us + self.config.costs.swap_in_us);
-                let Some(task) = self.tasks.get_mut(&cur) else { return };
+                let Some(task) = self.tasks.get_mut(&cur) else {
+                    return;
+                };
                 // The touches themselves are cheap user work.
                 task.push_user_work(Cycles(pages.max(1)));
                 if batch.minor_faults > 0 {
@@ -595,7 +706,10 @@ impl Kernel {
                     return;
                 }
                 if let Some(task) = self.tasks.get_mut(&cur) {
-                    task.micros.push_back(Micro::WatchedAccess { addr, count_left: count });
+                    task.micros.push_back(Micro::WatchedAccess {
+                        addr,
+                        count_left: count,
+                    });
                 }
             }
             Op::AllocMemory { pages } => {
@@ -621,7 +735,9 @@ impl Kernel {
     fn lower_syscall(&mut self, cur: TaskId, sys: SyscallOp, entry: Cycles) {
         let costs = self.config.costs;
         let cost = |us: f64| self.config.cost(us);
-        let Some(task) = self.tasks.get_mut(&cur) else { return };
+        let Some(task) = self.tasks.get_mut(&cur) else {
+            return;
+        };
         let mut kernel_cost = entry;
         let effect = match sys {
             SyscallOp::Fork { child, nice } => {
@@ -683,7 +799,9 @@ impl Kernel {
             }
             SyscallOp::Getrusage => Effect::Getrusage,
         };
-        task.micros.push_back(Micro::Kernel { remaining: kernel_cost });
+        task.micros.push_back(Micro::Kernel {
+            remaining: kernel_cost,
+        });
         task.micros.push_back(Micro::Effect(effect));
     }
 
@@ -731,12 +849,14 @@ impl Kernel {
             Effect::Wait => self.do_wait(cur),
             Effect::Exit { code } => self.do_exit(cur, code),
             Effect::Sleep { duration } => {
-                self.events.schedule(self.now + duration, KernelEvent::WakeSleep { task: cur });
+                self.events
+                    .schedule(self.now + duration, KernelEvent::WakeSleep { task: cur });
                 self.block_current(BlockReason::Sleep);
             }
             Effect::DiskRequest { bytes } => {
                 let done = self.disk.completion_time(self.now, bytes);
-                self.events.schedule(done, KernelEvent::DiskComplete { owner: cur });
+                self.events
+                    .schedule(done, KernelEvent::DiskComplete { owner: cur });
                 self.block_current(BlockReason::DiskIo);
             }
             Effect::Dlopen { library } => {
@@ -752,7 +872,10 @@ impl Kernel {
                     task.last_outcome = OpOutcome::Completed;
                 }
                 if !plan.exit_work.is_empty() {
-                    self.exit_work.entry(cur).or_default().extend(plan.exit_work);
+                    self.exit_work
+                        .entry(cur)
+                        .or_default()
+                        .extend(plan.exit_work);
                 }
             }
             Effect::Dlclose { library } => {
@@ -790,7 +913,11 @@ impl Kernel {
                     }
                 }
                 if let Some(task) = self.tasks.get_mut(&cur) {
-                    task.last_outcome = if ok { OpOutcome::Completed } else { OpOutcome::Failed };
+                    task.last_outcome = if ok {
+                        OpOutcome::Completed
+                    } else {
+                        OpOutcome::Failed
+                    };
                 }
             }
             Effect::PtraceCont { target } => {
@@ -808,7 +935,11 @@ impl Kernel {
                     self.preempt_requested |= preempt;
                 }
                 if let Some(task) = self.tasks.get_mut(&cur) {
-                    task.last_outcome = if ok { OpOutcome::Completed } else { OpOutcome::Failed };
+                    task.last_outcome = if ok {
+                        OpOutcome::Completed
+                    } else {
+                        OpOutcome::Failed
+                    };
                 }
             }
             Effect::PtraceDetach { target } => {
@@ -876,7 +1007,12 @@ impl Kernel {
             .map(|t| t.children.clone())
             .unwrap_or_default()
             .into_iter()
-            .find(|c| self.tasks.get(c).map(|t| t.state == TaskState::Zombie).unwrap_or(false));
+            .find(|c| {
+                self.tasks
+                    .get(c)
+                    .map(|t| t.state == TaskState::Zombie)
+                    .unwrap_or(false)
+            });
         if let Some(child) = zombie {
             self.reap(cur, child);
             if let Some(task) = self.tasks.get_mut(&cur) {
@@ -885,11 +1021,12 @@ impl Kernel {
             return;
         }
         // 2. Any stopped tracee not yet reported?
-        let stopped = self
-            .stopped_unreported
-            .iter()
-            .copied()
-            .find(|t| self.tasks.get(t).map(|x| x.traced_by == Some(cur)).unwrap_or(false));
+        let stopped = self.stopped_unreported.iter().copied().find(|t| {
+            self.tasks
+                .get(t)
+                .map(|x| x.traced_by == Some(cur))
+                .unwrap_or(false)
+        });
         if let Some(tracee) = stopped {
             self.stopped_unreported.remove(&tracee);
             if let Some(task) = self.tasks.get_mut(&cur) {
@@ -898,8 +1035,15 @@ impl Kernel {
             return;
         }
         // 3. Anything to wait for at all?
-        let has_children = self.tasks.get(&cur).map(|t| !t.children.is_empty()).unwrap_or(false);
-        let has_tracees = self.tasks.values().any(|t| t.traced_by == Some(cur) && t.state.is_alive());
+        let has_children = self
+            .tasks
+            .get(&cur)
+            .map(|t| !t.children.is_empty())
+            .unwrap_or(false);
+        let has_tracees = self
+            .tasks
+            .values()
+            .any(|t| t.traced_by == Some(cur) && t.state.is_alive());
         if !has_children && !has_tracees {
             if let Some(task) = self.tasks.get_mut(&cur) {
                 task.last_outcome = OpOutcome::NoChildren;
@@ -944,7 +1088,11 @@ impl Kernel {
     }
 
     fn deliver_signal(&mut self, target: TaskId, signal: Signal) {
-        let alive = self.tasks.get(&target).map(|t| t.state.is_alive()).unwrap_or(false);
+        let alive = self
+            .tasks
+            .get(&target)
+            .map(|t| t.state.is_alive())
+            .unwrap_or(false);
         if !alive {
             return;
         }
@@ -958,7 +1106,11 @@ impl Kernel {
         } else if signal.stops_task() {
             self.stop_task(target);
         } else if signal == Signal::Cont {
-            let stopped = self.tasks.get(&target).map(|t| t.state == TaskState::Stopped).unwrap_or(false);
+            let stopped = self
+                .tasks
+                .get(&target)
+                .map(|t| t.state == TaskState::Stopped)
+                .unwrap_or(false);
             if stopped {
                 if let Some(t) = self.tasks.get_mut(&target) {
                     t.state = TaskState::Ready;
@@ -975,7 +1127,9 @@ impl Kernel {
             self.deschedule_current(TaskState::Stopped, true);
             return;
         }
-        let Some(t) = self.tasks.get_mut(&target) else { return };
+        let Some(t) = self.tasks.get_mut(&target) else {
+            return;
+        };
         match t.state {
             TaskState::Ready => {
                 t.state = TaskState::Stopped;
@@ -1001,7 +1155,11 @@ impl Kernel {
             self.stopped_unreported.insert(target);
         }
         if let Some(task) = self.tasks.get_mut(&tracer) {
-            task.last_outcome = if ok { OpOutcome::Completed } else { OpOutcome::Failed };
+            task.last_outcome = if ok {
+                OpOutcome::Completed
+            } else {
+                OpOutcome::Failed
+            };
         }
     }
 
@@ -1009,9 +1167,15 @@ impl Kernel {
         let was_current = self.current == Some(tid);
         if was_current {
             self.current = None;
-            self.meter.on_event(&MeterEvent::SwitchOut { at: self.now, task: tid });
+            self.meter.on_event(&MeterEvent::SwitchOut {
+                at: self.now,
+                task: tid,
+            });
         }
-        self.meter.on_event(&MeterEvent::TaskExit { at: self.now, task: tid });
+        self.meter.on_event(&MeterEvent::TaskExit {
+            at: self.now,
+            task: tid,
+        });
         self.stats.tasks_exited += 1;
         self.scheduler.dequeue(tid);
         self.scheduler.task_removed(tid);
@@ -1038,7 +1202,11 @@ impl Kernel {
             .map(|t| t.id)
             .collect();
         for tracee in my_tracees.into_iter().chain(tracees) {
-            let was_stopped = self.tasks.get(&tracee).map(|t| t.state == TaskState::Stopped).unwrap_or(false);
+            let was_stopped = self
+                .tasks
+                .get(&tracee)
+                .map(|t| t.state == TaskState::Stopped)
+                .unwrap_or(false);
             if let Some(t) = self.tasks.get_mut(&tracee) {
                 t.traced_by = None;
                 t.breakpoint = None;
@@ -1068,7 +1236,13 @@ impl Kernel {
         }
         // Notify the parent.
         match parent {
-            Some(p) if self.tasks.get(&p).map(|t| t.state.is_alive()).unwrap_or(false) => {
+            Some(p)
+                if self
+                    .tasks
+                    .get(&p)
+                    .map(|t| t.state.is_alive())
+                    .unwrap_or(false) =>
+            {
                 let waiting = self
                     .tasks
                     .get(&p)
@@ -1086,7 +1260,12 @@ impl Kernel {
                 }
             }
         }
-        self.trace.emit(self.now, TraceLevel::Info, "exit", format!("{tid} exited with {code}"));
+        self.trace.emit(
+            self.now,
+            TraceLevel::Info,
+            "exit",
+            format!("{tid} exited with {code}"),
+        );
     }
 
     // -----------------------------------------------------------------
@@ -1110,10 +1289,8 @@ impl Kernel {
                         t.last_outcome = OpOutcome::Completed;
                     }
                     let preempt = self.scheduler.enqueue(task, self.now, self.current);
-                    if preempt {
-                        if self.current.is_some() {
-                            self.deschedule_current(TaskState::Ready, false);
-                        }
+                    if preempt && self.current.is_some() {
+                        self.deschedule_current(TaskState::Ready, false);
                     }
                 }
             }
@@ -1134,7 +1311,9 @@ impl Kernel {
         let mode = if in_irq {
             Mode::Kernel
         } else {
-            cur.and_then(|c| self.tasks.get(&c)).map(|t| t.mode).unwrap_or(Mode::User)
+            cur.and_then(|c| self.tasks.get(&c))
+                .map(|t| t.mode)
+                .unwrap_or(Mode::User)
         };
         // The timer interrupt itself runs in interrupt context on top of
         // whatever was executing.
@@ -1144,10 +1323,17 @@ impl Kernel {
             current: cur,
             owner: None,
         });
-        self.meter.on_event(&MeterEvent::TimerTick { at: self.now, task: cur, mode });
+        self.meter.on_event(&MeterEvent::TimerTick {
+            at: self.now,
+            task: cur,
+            mode,
+        });
         let handler = self.config.cost(self.config.costs.timer_irq_us);
         self.now += handler;
-        self.meter.on_event(&MeterEvent::IrqExit { at: self.now, irq: IrqLine::TIMER });
+        self.meter.on_event(&MeterEvent::IrqExit {
+            at: self.now,
+            irq: IrqLine::TIMER,
+        });
 
         let resched = self.scheduler.on_tick(self.now, cur);
         if resched && self.current.is_some() {
@@ -1156,7 +1342,8 @@ impl Kernel {
         // Keep ticking while anything can still run.
         if self.any_alive() {
             let jiffy = self.config.jiffy();
-            self.events.schedule(self.now + jiffy, KernelEvent::TimerTick);
+            self.events
+                .schedule(self.now + jiffy, KernelEvent::TimerTick);
         }
     }
 
@@ -1173,10 +1360,15 @@ impl Kernel {
         let start = self.now.max(at);
         self.now += handler;
         self.irq_window = Some((start, self.now));
-        self.meter.on_event(&MeterEvent::IrqExit { at: self.now, irq: IrqLine::NIC });
+        self.meter.on_event(&MeterEvent::IrqExit {
+            at: self.now,
+            irq: IrqLine::NIC,
+        });
         if let Some(flood) = self.nic_flood {
             if self.any_alive() {
-                if let Some(next) = flood.next_arrival(self.now, self.config.frequency, &mut self.nic_rng) {
+                if let Some(next) =
+                    flood.next_arrival(self.now, self.config.frequency, &mut self.nic_rng)
+                {
                     self.events.schedule(next, KernelEvent::NicPacket);
                 }
             }
@@ -1196,7 +1388,10 @@ impl Kernel {
         let start = self.now.max(at);
         self.now += handler;
         self.irq_window = Some((start, self.now));
-        self.meter.on_event(&MeterEvent::IrqExit { at: self.now, irq: IrqLine::DISK });
+        self.meter.on_event(&MeterEvent::IrqExit {
+            at: self.now,
+            irq: IrqLine::DISK,
+        });
         let blocked = self
             .tasks
             .get(&owner)
@@ -1321,13 +1516,20 @@ mod tests {
         let result = k.run();
         let p = result.process(pid).unwrap();
         // Even a tiny program pays fork + execve + linking + constructors.
-        let launch_min = cfg.cost(cfg.costs.fork_us).as_u64() + cfg.cost(cfg.costs.execve_us).as_u64();
+        let launch_min =
+            cfg.cost(cfg.costs.fork_us).as_u64() + cfg.cost(cfg.costs.execve_us).as_u64();
         assert!(p.ground_truth().total().as_u64() > launch_min);
         // The measurement log saw the executable and the standard libraries.
         // (The kernel retains task state after the run.)
         let log = k.measurement_log(pid).unwrap();
-        assert!(log.entries().iter().any(|m| m.kind == ImageKind::Executable));
-        assert!(log.entries().iter().any(|m| m.kind == ImageKind::SharedLibrary));
+        assert!(log
+            .entries()
+            .iter()
+            .any(|m| m.kind == ImageKind::Executable));
+        assert!(log
+            .entries()
+            .iter()
+            .any(|m| m.kind == ImageKind::SharedLibrary));
     }
 
     #[test]
@@ -1344,7 +1546,9 @@ mod tests {
                     nice: 0,
                 }),
                 Op::Syscall(SyscallOp::Wait),
-                Op::Compute { cycles: Cycles(10_000) },
+                Op::Compute {
+                    cycles: Cycles(10_000),
+                },
             ],
         );
         let pid = k.spawn_process(Box::new(parent), 0);
@@ -1391,8 +1595,12 @@ mod tests {
         let prog = OpsProgram::new(
             "sleeper",
             vec![
-                Op::Syscall(SyscallOp::Nanosleep { duration: Nanos::from_millis(50) }),
-                Op::Compute { cycles: Cycles(1_000) },
+                Op::Syscall(SyscallOp::Nanosleep {
+                    duration: Nanos::from_millis(50),
+                }),
+                Op::Compute {
+                    cycles: Cycles(1_000),
+                },
             ],
         );
         let pid = k.spawn_process(Box::new(prog), 0);
@@ -1409,7 +1617,12 @@ mod tests {
         let mut k = Kernel::new(cfg);
         let prog = OpsProgram::new(
             "reader",
-            vec![Op::Syscall(SyscallOp::Read { bytes: 64 * 1024 }), Op::Compute { cycles: Cycles(1_000) }],
+            vec![
+                Op::Syscall(SyscallOp::Read { bytes: 64 * 1024 }),
+                Op::Compute {
+                    cycles: Cycles(1_000),
+                },
+            ],
         );
         let pid = k.spawn_process(Box::new(prog), 0);
         let result = k.run();
@@ -1447,7 +1660,14 @@ mod tests {
                 }
             }
         }
-        let pid = k.spawn_process(Box::new(CheckRusage { work, step: 0, observed: None }), 0);
+        let pid = k.spawn_process(
+            Box::new(CheckRusage {
+                work,
+                step: 0,
+                observed: None,
+            }),
+            0,
+        );
         let result = k.run();
         // The process consumed the work plus overheads; getrusage (not
         // directly observable here) must at least not have crashed and the
@@ -1465,9 +1685,16 @@ mod tests {
         let victim = OpsProgram::new(
             "victim",
             vec![
-                Op::Compute { cycles: Cycles(30_000_000) },
-                Op::AccessWatched { addr: 0x6000_1000, count: 50 },
-                Op::Compute { cycles: Cycles(500_000) },
+                Op::Compute {
+                    cycles: Cycles(30_000_000),
+                },
+                Op::AccessWatched {
+                    addr: 0x6000_1000,
+                    count: 50,
+                },
+                Op::Compute {
+                    cycles: Cycles(500_000),
+                },
             ],
         );
         let victim_pid = k.spawn_process(Box::new(victim), 0);
@@ -1484,7 +1711,9 @@ mod tests {
                 match self.state {
                     0 => {
                         self.state = 1;
-                        Some(Op::Syscall(SyscallOp::PtraceAttach { target: self.target }))
+                        Some(Op::Syscall(SyscallOp::PtraceAttach {
+                            target: self.target,
+                        }))
                     }
                     1 => {
                         self.state = 2;
@@ -1498,16 +1727,12 @@ mod tests {
                         }))
                     }
                     _ => match ctx.last {
-                        OpOutcome::ChildStopped(_) | OpOutcome::Completed => {
+                        OpOutcome::ChildStopped(_) | OpOutcome::Completed
                             // Alternate cont / wait until the tracee dies.
-                            if self.state % 2 == 1 {
+                            if self.state % 2 == 1 => {
                                 self.state += 1;
                                 Some(Op::Syscall(SyscallOp::PtraceCont { target: self.target }))
-                            } else {
-                                self.state += 1;
-                                Some(Op::Syscall(SyscallOp::Wait))
                             }
-                        }
                         OpOutcome::Failed | OpOutcome::NoChildren | OpOutcome::ChildExited(_) => None,
                         _ => {
                             self.state += 1;
@@ -1517,10 +1742,20 @@ mod tests {
                 }
             }
         }
-        k.spawn_raw(Box::new(Tracer { target: victim_pid, state: 0 }), 0);
+        k.spawn_raw(
+            Box::new(Tracer {
+                target: victim_pid,
+                state: 0,
+            }),
+            0,
+        );
         let result = k.run();
         assert!(!result.hit_horizon);
-        assert!(result.stats.debug_traps >= 50, "traps: {}", result.stats.debug_traps);
+        assert!(
+            result.stats.debug_traps >= 50,
+            "traps: {}",
+            result.stats.debug_traps
+        );
         let victim_usage = result.process(victim_pid).unwrap();
         // Thrashing produces system time on the victim.
         assert!(victim_usage.ground_truth().stime > Cycles::ZERO);
@@ -1548,7 +1783,10 @@ mod tests {
         );
         // The process-aware scheme does not bill the victim for the junk
         // interrupts.
-        let pa_attacked = attacked_result.process(v2).unwrap().usage(SchemeKind::ProcessAware);
+        let pa_attacked = attacked_result
+            .process(v2)
+            .unwrap()
+            .usage(SchemeKind::ProcessAware);
         let tsc_attacked = attacked_result.process(v2).unwrap().usage(SchemeKind::Tsc);
         assert!(pa_attacked.stime < tsc_attacked.stime);
         assert!(attacked_result.stats.device_interrupts > 100);
@@ -1558,7 +1796,11 @@ mod tests {
     fn loop_program_runs_to_completion() {
         let cfg = small_config();
         let mut k = Kernel::new(cfg);
-        let prog = LoopProgram::new("looper", 100, |_| vec![Op::Compute { cycles: Cycles(100_000) }]);
+        let prog = LoopProgram::new("looper", 100, |_| {
+            vec![Op::Compute {
+                cycles: Cycles(100_000),
+            }]
+        });
         let pid = k.spawn_process(Box::new(prog), 0);
         let result = k.run();
         let p = result.process(pid).unwrap();
@@ -1569,7 +1811,11 @@ mod tests {
     fn horizon_stops_runaway_programs() {
         let cfg = small_config().with_horizon_secs(0.05);
         let mut k = Kernel::new(cfg);
-        let prog = LoopProgram::new("forever", u64::MAX, |_| vec![Op::Compute { cycles: Cycles(1_000_000) }]);
+        let prog = LoopProgram::new("forever", u64::MAX, |_| {
+            vec![Op::Compute {
+                cycles: Cycles(1_000_000),
+            }]
+        });
         k.spawn_process(Box::new(prog), 0);
         let result = k.run();
         assert!(result.hit_horizon);
@@ -1586,8 +1832,13 @@ mod tests {
         let killer = OpsProgram::new(
             "killer",
             vec![
-                Op::Compute { cycles: Cycles(1_000_000) },
-                Op::Syscall(SyscallOp::Kill { target: victim, signal: Signal::Kill }),
+                Op::Compute {
+                    cycles: Cycles(1_000_000),
+                },
+                Op::Syscall(SyscallOp::Kill {
+                    target: victim,
+                    signal: Signal::Kill,
+                }),
             ],
         );
         k.spawn_raw(Box::new(killer), -5);

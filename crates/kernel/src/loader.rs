@@ -194,24 +194,36 @@ impl LibraryRegistry {
     /// entries for the whole closure.
     pub fn load_plan(&self, executable: &str, ld_preload: &[String]) -> LoadPlan {
         let mut plan = LoadPlan::default();
-        plan.measurements.push(MeasuredImage::new(executable, ImageKind::Executable));
-        plan.measurements.push(MeasuredImage::new("ld-linux.so.2", ImageKind::Linker));
+        plan.measurements
+            .push(MeasuredImage::new(executable, ImageKind::Executable));
+        plan.measurements
+            .push(MeasuredImage::new("ld-linux.so.2", ImageKind::Linker));
 
         let mut all_libs: Vec<&str> = Vec::new();
         all_libs.extend(ld_preload.iter().map(|s| s.as_str()));
         all_libs.extend(self.startup_libraries.iter().map(|s| s.as_str()));
 
         for lib_name in all_libs {
-            let Some(lib) = self.libraries.get(lib_name) else { continue };
-            plan.user_work.push((format!("dynlink:{}", lib.name), self.linker_cost_per_library));
-            plan.measurements.push(MeasuredImage::new(&lib.name, ImageKind::SharedLibrary));
+            let Some(lib) = self.libraries.get(lib_name) else {
+                continue;
+            };
+            plan.user_work.push((
+                format!("dynlink:{}", lib.name),
+                self.linker_cost_per_library,
+            ));
+            plan.measurements
+                .push(MeasuredImage::new(&lib.name, ImageKind::SharedLibrary));
             if !lib.constructor_cycles.is_zero() {
-                plan.user_work.push((format!("ctor:{}", lib.name), lib.constructor_cycles));
-                plan.measurements
-                    .push(MeasuredImage::new(format!("ctor:{}", lib.name), ImageKind::Constructor));
+                plan.user_work
+                    .push((format!("ctor:{}", lib.name), lib.constructor_cycles));
+                plan.measurements.push(MeasuredImage::new(
+                    format!("ctor:{}", lib.name),
+                    ImageKind::Constructor,
+                ));
             }
             if !lib.destructor_cycles.is_zero() {
-                plan.exit_work.push((format!("dtor:{}", lib.name), lib.destructor_cycles));
+                plan.exit_work
+                    .push((format!("dtor:{}", lib.name), lib.destructor_cycles));
             }
         }
         plan
@@ -220,16 +232,26 @@ impl LibraryRegistry {
     /// Builds the load plan for a runtime `dlopen` of one library.
     pub fn dlopen_plan(&self, library: &str) -> LoadPlan {
         let mut plan = LoadPlan::default();
-        let Some(lib) = self.libraries.get(library) else { return plan };
-        plan.user_work.push((format!("dynlink:{}", lib.name), self.linker_cost_per_library));
-        plan.measurements.push(MeasuredImage::new(&lib.name, ImageKind::SharedLibrary));
+        let Some(lib) = self.libraries.get(library) else {
+            return plan;
+        };
+        plan.user_work.push((
+            format!("dynlink:{}", lib.name),
+            self.linker_cost_per_library,
+        ));
+        plan.measurements
+            .push(MeasuredImage::new(&lib.name, ImageKind::SharedLibrary));
         if !lib.constructor_cycles.is_zero() {
-            plan.user_work.push((format!("ctor:{}", lib.name), lib.constructor_cycles));
-            plan.measurements
-                .push(MeasuredImage::new(format!("ctor:{}", lib.name), ImageKind::Constructor));
+            plan.user_work
+                .push((format!("ctor:{}", lib.name), lib.constructor_cycles));
+            plan.measurements.push(MeasuredImage::new(
+                format!("ctor:{}", lib.name),
+                ImageKind::Constructor,
+            ));
         }
         if !lib.destructor_cycles.is_zero() {
-            plan.exit_work.push((format!("dtor:{}", lib.name), lib.destructor_cycles));
+            plan.exit_work
+                .push((format!("dtor:{}", lib.name), lib.destructor_cycles));
         }
         plan
     }
@@ -275,11 +297,15 @@ mod tests {
     #[test]
     fn preload_interposes_and_adds_genuine_cost() {
         let mut reg = registry();
-        reg.install(SharedLibrary::new("evil.so").with_symbol("malloc", Cycles(10_000)).injected());
+        reg.install(
+            SharedLibrary::new("evil.so")
+                .with_symbol("malloc", Cycles(10_000))
+                .injected(),
+        );
         let (cost, provider) = reg.resolve("malloc", &["evil.so".to_string()]);
         assert_eq!(provider, "evil.so");
         assert_eq!(cost, Cycles(10_300)); // wrapper + genuine malloc
-        // Symbols the preload does not export fall through to the genuine one.
+                                          // Symbols the preload does not export fall through to the genuine one.
         let (free_cost, free_provider) = reg.resolve("free", &["evil.so".to_string()]);
         assert_eq!(free_provider, "libc.so.6");
         assert_eq!(free_cost, Cycles(200));
@@ -293,8 +319,14 @@ mod tests {
         assert_eq!(plan.user_work.len(), 4);
         // executable + linker + 2 libraries + 2 constructors measured.
         assert_eq!(plan.measurements.len(), 6);
-        assert!(plan.measurements.iter().any(|m| m.kind == ImageKind::Executable));
-        assert!(plan.measurements.iter().any(|m| m.kind == ImageKind::Linker));
+        assert!(plan
+            .measurements
+            .iter()
+            .any(|m| m.kind == ImageKind::Executable));
+        assert!(plan
+            .measurements
+            .iter()
+            .any(|m| m.kind == ImageKind::Linker));
         assert!(plan.exit_work.is_empty());
     }
 

@@ -178,9 +178,17 @@ impl MemoryManager {
         let faults = (pages as f64 * effective_miss).round() as u64;
         // Under real memory pressure a miss needs a swap-in (major); without
         // pressure a miss is a first-touch minor fault.
-        let major = if pressure >= 0.99 { faults } else { (faults as f64 * pressure_miss.min(1.0)).round() as u64 };
+        let major = if pressure >= 0.99 {
+            faults
+        } else {
+            (faults as f64 * pressure_miss.min(1.0)).round() as u64
+        };
         let minor = faults - major.min(faults);
-        let batch = FaultBatch { hits: pages - faults.min(pages), minor_faults: minor, major_faults: major.min(faults) };
+        let batch = FaultBatch {
+            hits: pages - faults.min(pages),
+            minor_faults: minor,
+            major_faults: major.min(faults),
+        };
         self.minor_faults += batch.minor_faults;
         self.major_faults += batch.major_faults;
         // Touched pages become resident again (stealing from others if the
@@ -236,7 +244,10 @@ mod tests {
         // Hog allocates more than RAM; victim loses residency.
         mm.allocate(TaskId(2), 2_000);
         let batch = mm.touch(TaskId(1), 300);
-        assert!(batch.total_faults() > 0, "victim should fault under pressure: {batch:?}");
+        assert!(
+            batch.total_faults() > 0,
+            "victim should fault under pressure: {batch:?}"
+        );
         assert!(mm.major_faults + mm.minor_faults > 0);
     }
 

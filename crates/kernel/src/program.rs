@@ -199,7 +199,9 @@ impl Op {
     /// Convenience constructor for a user-mode computation of `us`
     /// microseconds at the given clock frequency.
     pub fn compute_us(freq: trustmeter_sim::CpuFrequency, us: f64) -> Op {
-        Op::Compute { cycles: freq.cycles_for(Nanos::from_secs_f64(us / 1e6)) }
+        Op::Compute {
+            cycles: freq.cycles_for(Nanos::from_secs_f64(us / 1e6)),
+        }
     }
 
     /// Convenience constructor for [`SyscallOp::Exit`].
@@ -286,7 +288,10 @@ pub struct OpsProgram {
 impl OpsProgram {
     /// Creates a program that performs `ops` in order and then exits.
     pub fn new(name: impl Into<String>, ops: Vec<Op>) -> OpsProgram {
-        OpsProgram { name: name.into(), ops: ops.into() }
+        OpsProgram {
+            name: name.into(),
+            ops: ops.into(),
+        }
     }
 
     /// Creates a program that performs a single computation and exits.
@@ -362,7 +367,11 @@ mod tests {
     use trustmeter_sim::CpuFrequency;
 
     fn ctx_with<'a>(rng: &'a mut SimRng) -> ProgramCtx<'a> {
-        ProgramCtx { pid: TaskId(1), last: OpOutcome::None, rng }
+        ProgramCtx {
+            pid: TaskId(1),
+            last: OpOutcome::None,
+            rng,
+        }
     }
 
     #[test]
@@ -394,7 +403,12 @@ mod tests {
     fn loop_program_flattens_iterations() {
         let mut rng = SimRng::seed_from(1);
         let mut p = LoopProgram::new("loop", 3, |i| {
-            vec![Op::Compute { cycles: Cycles(i + 1) }, Op::Label { block: "iter" }]
+            vec![
+                Op::Compute {
+                    cycles: Cycles(i + 1),
+                },
+                Op::Label { block: "iter" },
+            ]
         });
         let mut ctx = ctx_with(&mut rng);
         let mut computes = Vec::new();
@@ -423,7 +437,14 @@ mod tests {
             _ => panic!("wrong op"),
         }
         assert!(format!("{:?}", Op::exit(0)).contains("exit"));
-        assert!(format!("{:?}", Op::LibCall { symbol: "malloc".into(), calls: 3 }).contains("malloc"));
+        assert!(format!(
+            "{:?}",
+            Op::LibCall {
+                symbol: "malloc".into(),
+                calls: 3
+            }
+        )
+        .contains("malloc"));
         assert_eq!(SyscallOp::Wait.name(), "wait");
         assert_eq!(SyscallOp::Getrusage.name(), "getrusage");
     }

@@ -128,7 +128,12 @@ pub struct FairShareScheduler {
 impl FairShareScheduler {
     /// Creates a fair-share scheduler for the given jiffy length.
     pub fn new(jiffy: Cycles) -> FairShareScheduler {
-        FairShareScheduler { jiffy, tasks: BTreeMap::new(), sleep_counter: 0, pick_counter: 0 }
+        FairShareScheduler {
+            jiffy,
+            tasks: BTreeMap::new(),
+            sleep_counter: 0,
+            pick_counter: 0,
+        }
     }
 
     /// Remaining per-jiffy entitlement of a task, in cycles, given the total
@@ -211,12 +216,16 @@ impl Scheduler for FairShareScheduler {
         // Preempt the current task if any ready task is at least as entitled
         // (higher weight, or equal weight with sleeper credit) — this is
         // where round-robin among equals and priority preemption happen.
-        let Some(cur) = current else { return self.ready_count() > 0 };
-        let Some(cur_t) = self.tasks.get(&cur) else { return self.ready_count() > 0 };
+        let Some(cur) = current else {
+            return self.ready_count() > 0;
+        };
+        let Some(cur_t) = self.tasks.get(&cur) else {
+            return self.ready_count() > 0;
+        };
         self.tasks
             .iter()
             .filter(|(id, t)| t.ready && **id != cur)
-            .any(|(_, t)| t.weight > cur_t.weight || (t.weight == cur_t.weight))
+            .any(|(_, t)| t.weight >= cur_t.weight)
     }
 
     fn pick_next(&mut self, _now: Cycles) -> Option<TaskId> {
@@ -285,7 +294,11 @@ impl CfsScheduler {
     }
 
     fn min_ready_vruntime(&self) -> Option<u128> {
-        self.tasks.values().filter(|t| t.ready).map(|t| t.vruntime).min()
+        self.tasks
+            .values()
+            .filter(|t| t.ready)
+            .map(|t| t.vruntime)
+            .min()
     }
 
     fn min_vruntime_all(&self) -> u128 {
@@ -302,7 +315,11 @@ impl Scheduler for CfsScheduler {
         let min = self.min_vruntime_all();
         self.tasks.insert(
             id,
-            CfsTask { weight: nice_to_cfs_weight(nice), vruntime: min, ready: false },
+            CfsTask {
+                weight: nice_to_cfs_weight(nice),
+                vruntime: min,
+                ready: false,
+            },
         );
     }
 
@@ -319,7 +336,9 @@ impl Scheduler for CfsScheduler {
     fn enqueue(&mut self, id: TaskId, _now: Cycles, current: Option<TaskId>) -> bool {
         let min = self.min_vruntime_all();
         let bonus = self.sleeper_bonus;
-        let Some(t) = self.tasks.get_mut(&id) else { return false };
+        let Some(t) = self.tasks.get_mut(&id) else {
+            return false;
+        };
         t.vruntime = t.vruntime.max(min.saturating_sub(bonus));
         t.ready = true;
         let woken_vruntime = t.vruntime;
@@ -416,7 +435,7 @@ mod tests {
         s.enqueue(TaskId(1), Cycles(0), None);
         s.enqueue(TaskId(2), Cycles(0), None);
         s.note_voluntary_block(TaskId(2), Cycles(0)); // attacker has sleeper credit
-        // Attacker picked first, consumes more than its 50% entitlement.
+                                                      // Attacker picked first, consumes more than its 50% entitlement.
         assert_eq!(s.pick_next(Cycles(0)), Some(TaskId(2)));
         s.charge(TaskId(2), Cycles(600));
         s.enqueue(TaskId(2), Cycles(600), None);
@@ -519,7 +538,13 @@ mod tests {
 
     #[test]
     fn build_scheduler_dispatches() {
-        assert_eq!(build_scheduler(SchedulerKind::FairShare, Cycles(10)).kind(), SchedulerKind::FairShare);
-        assert_eq!(build_scheduler(SchedulerKind::Cfs, Cycles(10)).kind(), SchedulerKind::Cfs);
+        assert_eq!(
+            build_scheduler(SchedulerKind::FairShare, Cycles(10)).kind(),
+            SchedulerKind::FairShare
+        );
+        assert_eq!(
+            build_scheduler(SchedulerKind::Cfs, Cycles(10)).kind(),
+            SchedulerKind::Cfs
+        );
     }
 }

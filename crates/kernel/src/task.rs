@@ -9,7 +9,7 @@ use crate::program::{Op, OpOutcome, Program};
 use crate::signals::Signal;
 use std::collections::VecDeque;
 use std::fmt;
-use trustmeter_core::{ExecutionWitness, ExceptionKind, MeasurementLog, Mode, TaskId};
+use trustmeter_core::{ExceptionKind, ExecutionWitness, MeasurementLog, Mode, TaskId};
 use trustmeter_sim::{Cycles, SimRng};
 
 /// Why a task is blocked.
@@ -89,7 +89,11 @@ pub(crate) enum Micro {
     /// signal delivery, context-switch cost).
     Kernel { remaining: Cycles },
     /// Kernel-mode execution wrapped in exception-enter/exit events.
-    Exception { kind: ExceptionKind, remaining: Cycles, entered: bool },
+    Exception {
+        kind: ExceptionKind,
+        remaining: Cycles,
+        entered: bool,
+    },
     /// Apply a syscall's side effect (fork, block, arm breakpoint, ...).
     /// Effects are instantaneous; their service time is modelled by the
     /// preceding `Kernel` micro-op.
@@ -104,7 +108,9 @@ impl fmt::Debug for Micro {
         match self {
             Micro::User { remaining } => write!(f, "User({remaining})"),
             Micro::Kernel { remaining } => write!(f, "Kernel({remaining})"),
-            Micro::Exception { kind, remaining, .. } => write!(f, "Exception({kind}, {remaining})"),
+            Micro::Exception {
+                kind, remaining, ..
+            } => write!(f, "Exception({kind}, {remaining})"),
             Micro::Effect(e) => write!(f, "Effect({e:?})"),
             Micro::WatchedAccess { addr, count_left } => {
                 write!(f, "WatchedAccess(0x{addr:x}, {count_left} left)")
@@ -115,20 +121,49 @@ impl fmt::Debug for Micro {
 
 /// Instantaneous kernel side effects produced by syscalls and traps.
 pub(crate) enum Effect {
-    Fork { child: Box<dyn Program>, nice: i8 },
-    SpawnThread { thread: Box<dyn Program> },
+    Fork {
+        child: Box<dyn Program>,
+        nice: i8,
+    },
+    SpawnThread {
+        thread: Box<dyn Program>,
+    },
     Wait,
-    Exit { code: i32 },
-    Sleep { duration: Cycles },
-    DiskRequest { bytes: u64 },
-    Dlopen { library: String },
-    Dlclose { library: String },
-    SetNice { nice: i8 },
-    Kill { target: TaskId, signal: Signal },
-    PtraceAttach { target: TaskId },
-    PtraceSetBreakpoint { target: TaskId, addr: u64 },
-    PtraceCont { target: TaskId },
-    PtraceDetach { target: TaskId },
+    Exit {
+        code: i32,
+    },
+    Sleep {
+        duration: Cycles,
+    },
+    DiskRequest {
+        bytes: u64,
+    },
+    Dlopen {
+        library: String,
+    },
+    Dlclose {
+        library: String,
+    },
+    SetNice {
+        nice: i8,
+    },
+    Kill {
+        target: TaskId,
+        signal: Signal,
+    },
+    PtraceAttach {
+        target: TaskId,
+    },
+    PtraceSetBreakpoint {
+        target: TaskId,
+        addr: u64,
+    },
+    PtraceCont {
+        target: TaskId,
+    },
+    PtraceDetach {
+        target: TaskId,
+    },
     Getrusage,
     /// The current task hit an armed breakpoint: stop it and notify the
     /// tracer.
@@ -326,7 +361,10 @@ mod tests {
         assert!(!TaskState::Zombie.is_alive());
         assert!(!TaskState::Dead.is_alive());
         assert!(TaskState::Stopped.is_alive());
-        assert_eq!(format!("{}", TaskState::Blocked(BlockReason::DiskIo)), "blocked(io)");
+        assert_eq!(
+            format!("{}", TaskState::Blocked(BlockReason::DiskIo)),
+            "blocked(io)"
+        );
     }
 
     #[test]
@@ -364,7 +402,9 @@ mod tests {
         let mut t = sample_task(1, 1);
         t.push_user_work(Cycles(100));
         t.push_user_work(Cycles::ZERO); // ignored
-        t.push_front_micro(Micro::Kernel { remaining: Cycles(5) });
+        t.push_front_micro(Micro::Kernel {
+            remaining: Cycles(5),
+        });
         assert_eq!(t.micros.len(), 2);
         assert!(matches!(t.micros.front(), Some(Micro::Kernel { .. })));
         assert!(format!("{:?}", t.micros.front().unwrap()).contains("Kernel"));

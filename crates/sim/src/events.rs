@@ -86,7 +86,11 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<T> {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, popped: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
     }
 
     /// Schedules `payload` to fire at instant `at` and returns its sequence
@@ -107,7 +111,11 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<Event<T>> {
         self.heap.pop().map(|e| {
             self.popped += 1;
-            Event { at: e.at, seq: e.seq, payload: e.payload }
+            Event {
+                at: e.at,
+                seq: e.seq,
+                payload: e.payload,
+            }
         })
     }
 

@@ -29,7 +29,9 @@ impl SimRng {
     /// Creates a generator from a seed. Two generators built from the same
     /// seed produce identical streams.
     pub fn seed_from(seed: u64) -> SimRng {
-        SimRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        SimRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Returns the next 64 random bits.

@@ -48,7 +48,14 @@ impl Summary {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Summary { count, mean, std_dev: var.sqrt(), min, max, sum }
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            sum,
+        }
     }
 }
 
@@ -86,7 +93,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series with the given name.
     pub fn new(name: impl Into<String>) -> Series {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -106,7 +116,10 @@ impl Series {
 
     /// The value recorded for `label`, if present.
     pub fn value_for(&self, label: &str) -> Option<f64> {
-        self.points.iter().find(|(l, _)| l == label).map(|(_, v)| *v)
+        self.points
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| *v)
     }
 
     /// Iterates over the points.
@@ -171,7 +184,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
         assert!(lo < hi, "histogram range must be non-empty");
         assert!(buckets > 0, "histogram needs at least one bucket");
-        Histogram { lo, hi, buckets: vec![0; buckets], count: 0, sum: 0.0 }
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            count: 0,
+            sum: 0.0,
+        }
     }
 
     /// Records a sample.

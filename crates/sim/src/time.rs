@@ -188,7 +188,10 @@ impl Nanos {
     /// Panics if `s` is negative or not finite.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Nanos {
-        assert!(s.is_finite() && s >= 0.0, "seconds must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "seconds must be finite and non-negative"
+        );
         Nanos((s * 1e9).round() as u64)
     }
 
@@ -295,8 +298,13 @@ impl CpuFrequency {
     /// # Panics
     /// Panics if `ghz` is not positive and finite.
     pub fn from_ghz(ghz: f64) -> CpuFrequency {
-        assert!(ghz.is_finite() && ghz > 0.0, "CPU frequency must be positive");
-        CpuFrequency { khz: (ghz * 1e6).round() as u64 }
+        assert!(
+            ghz.is_finite() && ghz > 0.0,
+            "CPU frequency must be positive"
+        );
+        CpuFrequency {
+            khz: (ghz * 1e6).round() as u64,
+        }
     }
 
     /// Frequency in kilohertz.
@@ -389,7 +397,12 @@ impl Tsc {
     /// monotonic.
     #[inline]
     pub fn advance_to(&mut self, to: Cycles) {
-        assert!(to >= self.now, "TSC cannot move backwards ({} -> {})", self.now, to);
+        assert!(
+            to >= self.now,
+            "TSC cannot move backwards ({} -> {})",
+            self.now,
+            to
+        );
         self.now = to;
     }
 }
@@ -405,7 +418,12 @@ mod tests {
         assert_eq!(Cycles(4).saturating_sub(Cycles(10)), Cycles::ZERO);
         assert_eq!(Cycles(3) * 4, Cycles(12));
         assert_eq!(Cycles(12) / 4, Cycles(3));
-        assert_eq!(vec![Cycles(1), Cycles(2), Cycles(3)].into_iter().sum::<Cycles>(), Cycles(6));
+        assert_eq!(
+            vec![Cycles(1), Cycles(2), Cycles(3)]
+                .into_iter()
+                .sum::<Cycles>(),
+            Cycles(6)
+        );
         assert!(Cycles(1) < Cycles(2));
         assert!(Cycles::ZERO.is_zero());
         assert_eq!(Cycles(5).min(Cycles(7)), Cycles(5));

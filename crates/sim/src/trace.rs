@@ -50,7 +50,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} {} {}] {}", self.at, self.level, self.subsystem, self.message)
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.level, self.subsystem, self.message
+        )
     }
 }
 
@@ -83,13 +87,25 @@ impl TraceSink {
 
     /// Creates a sink recording events at or above `min_level`.
     pub fn with_level(min_level: TraceLevel) -> TraceSink {
-        TraceSink { min_level, events: Vec::new(), enabled: true, dropped: 0, capacity: None }
+        TraceSink {
+            min_level,
+            events: Vec::new(),
+            enabled: true,
+            dropped: 0,
+            capacity: None,
+        }
     }
 
     /// Creates a disabled sink that records nothing (the default for large
     /// experiment sweeps, where tracing would dominate memory usage).
     pub fn disabled() -> TraceSink {
-        TraceSink { min_level: TraceLevel::Warn, events: Vec::new(), enabled: false, dropped: 0, capacity: None }
+        TraceSink {
+            min_level: TraceLevel::Warn,
+            events: Vec::new(),
+            enabled: false,
+            dropped: 0,
+            capacity: None,
+        }
     }
 
     /// Caps the number of retained events; further events are counted in
@@ -101,7 +117,13 @@ impl TraceSink {
 
     /// Records an event if the sink is enabled and the level passes the
     /// filter.
-    pub fn emit(&mut self, at: Cycles, level: TraceLevel, subsystem: &'static str, message: String) {
+    pub fn emit(
+        &mut self,
+        at: Cycles,
+        level: TraceLevel,
+        subsystem: &'static str,
+        message: String,
+    ) {
         if !self.enabled || level < self.min_level {
             return;
         }
@@ -111,7 +133,12 @@ impl TraceSink {
                 return;
             }
         }
-        self.events.push(TraceEvent { at, level, subsystem, message });
+        self.events.push(TraceEvent {
+            at,
+            level,
+            subsystem,
+            message,
+        });
     }
 
     /// All recorded events, in emission order.
@@ -126,7 +153,10 @@ impl TraceSink {
 
     /// Number of recorded events from the given subsystem.
     pub fn count_for(&self, subsystem: &str) -> usize {
-        self.events.iter().filter(|e| e.subsystem == subsystem).count()
+        self.events
+            .iter()
+            .filter(|e| e.subsystem == subsystem)
+            .count()
     }
 
     /// Whether any recorded message contains the given substring.

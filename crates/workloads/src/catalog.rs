@@ -35,7 +35,12 @@ pub enum Workload {
 
 impl Workload {
     /// All four workloads in the order the paper's figures use (O, P, W, B).
-    pub const ALL: [Workload; 4] = [Workload::LoopO, Workload::Pi, Workload::Whetstone, Workload::Brute];
+    pub const ALL: [Workload; 4] = [
+        Workload::LoopO,
+        Workload::Pi,
+        Workload::Whetstone,
+        Workload::Brute,
+    ];
 
     /// The one-letter label used on the figures' X axis.
     pub fn label(self) -> &'static str {
@@ -51,10 +56,10 @@ impl Workload {
     /// the execution-thrashing attack, §V-B4).
     pub fn hot_variable_addr(self) -> u64 {
         match self {
-            Workload::LoopO => 0x6010_0010,    // loop control variable
-            Workload::Pi => 0x6012_0040,       // variable y
+            Workload::LoopO => 0x6010_0010,     // loop control variable
+            Workload::Pi => 0x6012_0040,        // variable y
             Workload::Whetstone => 0x6014_0080, // variable T1
-            Workload::Brute => 0x6016_00c0,    // `count` in crack_len()
+            Workload::Brute => 0x6016_00c0,     // `count` in crack_len()
         }
     }
 
@@ -151,7 +156,10 @@ mod tests {
 
     #[test]
     fn hot_variable_addresses_are_distinct() {
-        let mut addrs: Vec<u64> = Workload::ALL.iter().map(|w| w.hot_variable_addr()).collect();
+        let mut addrs: Vec<u64> = Workload::ALL
+            .iter()
+            .map(|w| w.hot_variable_addr())
+            .collect();
         addrs.sort_unstable();
         addrs.dedup();
         assert_eq!(addrs.len(), 4);
@@ -170,7 +178,10 @@ mod tests {
     #[test]
     fn baselines_follow_paper_ordering() {
         // The paper's "no attack" bars are ordered O < P < W < B.
-        let secs: Vec<f64> = Workload::ALL.iter().map(|w| w.spec(1.0).user_secs).collect();
+        let secs: Vec<f64> = Workload::ALL
+            .iter()
+            .map(|w| w.spec(1.0).user_secs)
+            .collect();
         assert!(secs.windows(2).all(|w| w[0] < w[1]), "{secs:?}");
     }
 

@@ -56,7 +56,12 @@ pub fn digest(data: &[u8]) -> [u8; 16] {
     for chunk in msg.chunks_exact(64) {
         let mut m = [0u32; 16];
         for (i, w) in m.iter_mut().enumerate() {
-            *w = u32::from_le_bytes([chunk[i * 4], chunk[i * 4 + 1], chunk[i * 4 + 2], chunk[i * 4 + 3]]);
+            *w = u32::from_le_bytes([
+                chunk[i * 4],
+                chunk[i * 4 + 1],
+                chunk[i * 4 + 2],
+                chunk[i * 4 + 3],
+            ]);
         }
         let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
         for i in 0..64 {
@@ -66,10 +71,7 @@ pub fn digest(data: &[u8]) -> [u8; 16] {
                 32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
                 _ => (c ^ (b | !d), (7 * i) % 16),
             };
-            f = f
-                .wrapping_add(a)
-                .wrapping_add(K[i])
-                .wrapping_add(m[g]);
+            f = f.wrapping_add(a).wrapping_add(K[i]).wrapping_add(m[g]);
             a = d;
             d = c;
             c = b;
@@ -153,13 +155,18 @@ mod tests {
         assert_eq!(hex(&digest(b"")), "d41d8cd98f00b204e9800998ecf8427e");
         assert_eq!(hex(&digest(b"a")), "0cc175b9c0f1b6a831c399e269772661");
         assert_eq!(hex(&digest(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
-        assert_eq!(hex(&digest(b"message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            hex(&digest(b"message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
         assert_eq!(
             hex(&digest(b"abcdefghijklmnopqrstuvwxyz")),
             "c3fcd3d76192e4007dfb496cca67e13b"
         );
         assert_eq!(
-            hex(&digest(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
+            hex(&digest(
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+            )),
             "d174ab98d277d9f5a5611c2c9f419d9f"
         );
         assert_eq!(

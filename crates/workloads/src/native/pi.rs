@@ -55,6 +55,9 @@ fn arctan_inv(x: f64, terms: u32) -> f64 {
 ///
 /// # Panics
 /// Panics if `n` is zero.
+// The spigot really does flush runs of identical buffered digits (nines or
+// zeros) — the same-item pushes are the algorithm, not an oversight.
+#[allow(clippy::same_item_push)]
 pub fn spigot_digits(n: usize) -> Vec<u8> {
     assert!(n > 0, "need at least one digit");
     let len = (n + 10) * 10 / 3 + 2;
@@ -117,7 +120,9 @@ mod tests {
         assert!((machin(5) - std::f64::consts::PI).abs() < 1e-6);
         assert!((machin(15) - std::f64::consts::PI).abs() < 1e-12);
         // More terms never hurts.
-        assert!((machin(30) - std::f64::consts::PI).abs() <= (machin(5) - std::f64::consts::PI).abs());
+        assert!(
+            (machin(30) - std::f64::consts::PI).abs() <= (machin(5) - std::f64::consts::PI).abs()
+        );
     }
 
     #[test]

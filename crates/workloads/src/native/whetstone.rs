@@ -108,7 +108,12 @@ pub fn run(loops: u32) -> WhetstoneResult {
     }
 
     let _ = (n1, n10);
-    WhetstoneResult { e1_sum: e1.iter().sum(), x_trig, x_std: xs, instructions }
+    WhetstoneResult {
+        e1_sum: e1.iter().sum(),
+        x_trig,
+        x_std: xs,
+        instructions,
+    }
 }
 
 fn pa(e: &mut [f64; 4], t: f64, t2: f64) {
@@ -164,6 +169,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn libm_call_constant_is_positive() {
         assert!(LIBM_CALLS_PER_LOOP > 0);
     }

@@ -103,7 +103,12 @@ impl VictimProgram {
         let libcall_schedule: Vec<(String, u64)> = spec
             .libcalls
             .iter()
-            .map(|(sym, total)| (sym.clone(), (*total / chunks).max(if *total > 0 { 1 } else { 0 })))
+            .map(|(sym, total)| {
+                (
+                    sym.clone(),
+                    (*total / chunks).max(if *total > 0 { 1 } else { 0 }),
+                )
+            })
             .collect();
         let watched_per_chunk = spec.watched_accesses / chunks;
         let watched_remainder = spec.watched_accesses % chunks;
@@ -149,12 +154,16 @@ impl Program for VictimProgram {
                 Phase::Alloc => {
                     self.phase = Phase::SpawnThreads { spawned: 0 };
                     if self.spec.memory_pages > 0 {
-                        return Some(Op::AllocMemory { pages: self.spec.memory_pages });
+                        return Some(Op::AllocMemory {
+                            pages: self.spec.memory_pages,
+                        });
                     }
                 }
                 Phase::SpawnThreads { spawned } => {
                     if spawned + 1 < self.spec.threads {
-                        self.phase = Phase::SpawnThreads { spawned: spawned + 1 };
+                        self.phase = Phase::SpawnThreads {
+                            spawned: spawned + 1,
+                        };
                         return Some(Op::Syscall(SyscallOp::SpawnThread {
                             thread: Box::new(self.worker()),
                         }));
@@ -169,29 +178,48 @@ impl Program for VictimProgram {
                     match sub {
                         0 => {
                             self.phase = Phase::Main { chunk, sub: 1 };
-                            return Some(Op::Compute { cycles: self.chunk_cycles });
+                            return Some(Op::Compute {
+                                cycles: self.chunk_cycles,
+                            });
                         }
                         s if (s as usize) <= self.libcall_schedule.len() => {
-                            self.phase = Phase::Main { chunk, sub: sub + 1 };
+                            self.phase = Phase::Main {
+                                chunk,
+                                sub: sub + 1,
+                            };
                             let (symbol, calls) = &self.libcall_schedule[s as usize - 1];
                             if *calls > 0 {
-                                return Some(Op::LibCall { symbol: symbol.clone(), calls: *calls });
+                                return Some(Op::LibCall {
+                                    symbol: symbol.clone(),
+                                    calls: *calls,
+                                });
                             }
                         }
                         s if s as usize == self.libcall_schedule.len() + 1 => {
-                            self.phase = Phase::Main { chunk, sub: sub + 1 };
+                            self.phase = Phase::Main {
+                                chunk,
+                                sub: sub + 1,
+                            };
                             let mut count = self.watched_per_chunk;
                             if chunk < self.watched_remainder {
                                 count += 1;
                             }
                             if count > 0 {
-                                return Some(Op::AccessWatched { addr: self.spec.watched_addr, count });
+                                return Some(Op::AccessWatched {
+                                    addr: self.spec.watched_addr,
+                                    count,
+                                });
                             }
                         }
                         _ => {
-                            self.phase = Phase::Main { chunk: chunk + 1, sub: 0 };
+                            self.phase = Phase::Main {
+                                chunk: chunk + 1,
+                                sub: 0,
+                            };
                             if self.touches_per_chunk > 0 {
-                                return Some(Op::TouchMemory { pages: self.touches_per_chunk });
+                                return Some(Op::TouchMemory {
+                                    pages: self.touches_per_chunk,
+                                });
                             }
                         }
                     }
@@ -232,20 +260,27 @@ impl Program for WorkerProgram {
             match self.sub {
                 0 => {
                     self.sub = 1;
-                    return Some(Op::Compute { cycles: self.chunk_cycles });
+                    return Some(Op::Compute {
+                        cycles: self.chunk_cycles,
+                    });
                 }
                 s if (s as usize) <= self.libcalls.len() => {
                     self.sub += 1;
                     let (symbol, calls) = &self.libcalls[s as usize - 1];
                     if *calls > 0 {
-                        return Some(Op::LibCall { symbol: symbol.clone(), calls: *calls });
+                        return Some(Op::LibCall {
+                            symbol: symbol.clone(),
+                            calls: *calls,
+                        });
                     }
                 }
                 _ => {
                     self.sub = 0;
                     self.chunks_left -= 1;
                     if self.touches_per_chunk > 0 {
-                        return Some(Op::TouchMemory { pages: self.touches_per_chunk });
+                        return Some(Op::TouchMemory {
+                            pages: self.touches_per_chunk,
+                        });
                     }
                 }
             }
@@ -267,7 +302,11 @@ impl FixedComputeProgram {
     pub fn seconds(name: impl Into<String>, secs: f64, freq: CpuFrequency) -> FixedComputeProgram {
         let chunk = freq.cycles_for(Nanos::from_millis(1));
         let remaining_chunks = (secs * 1_000.0).round().max(1.0) as u64;
-        FixedComputeProgram { name: name.into(), remaining_chunks, chunk }
+        FixedComputeProgram {
+            name: name.into(),
+            remaining_chunks,
+            chunk,
+        }
     }
 }
 
@@ -288,7 +327,10 @@ impl Program for FixedComputeProgram {
 
 /// Returns `true` if the outcome indicates a completed wait on a child.
 pub fn is_child_event(outcome: OpOutcome) -> bool {
-    matches!(outcome, OpOutcome::ChildExited(_) | OpOutcome::ChildStopped(_))
+    matches!(
+        outcome,
+        OpOutcome::ChildExited(_) | OpOutcome::ChildStopped(_)
+    )
 }
 
 #[cfg(test)]
@@ -303,7 +345,11 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let mut out = Vec::new();
         for _ in 0..limit {
-            let mut ctx = ProgramCtx { pid: trustmeter_core::TaskId(1), last: OpOutcome::Completed, rng: &mut rng };
+            let mut ctx = ProgramCtx {
+                pid: trustmeter_core::TaskId(1),
+                last: OpOutcome::Completed,
+                rng: &mut rng,
+            };
             match program.next_op(&mut ctx) {
                 Some(op) => out.push(format!("{op:?}")),
                 None => break,
@@ -351,7 +397,11 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let mut total = 0u64;
         loop {
-            let mut ctx = ProgramCtx { pid: trustmeter_core::TaskId(1), last: OpOutcome::Completed, rng: &mut rng };
+            let mut ctx = ProgramCtx {
+                pid: trustmeter_core::TaskId(1),
+                last: OpOutcome::Completed,
+                rng: &mut rng,
+            };
             match prog.next_op(&mut ctx) {
                 Some(Op::AccessWatched { count, .. }) => total += count,
                 Some(_) => {}
@@ -369,10 +419,7 @@ mod tests {
             let result = kernel.run();
             assert!(!result.hit_horizon, "{w} hit the horizon");
             let p = result.process(pid).unwrap();
-            assert!(
-                p.ground_truth().total().as_u64() > 0,
-                "{w} consumed no CPU"
-            );
+            assert!(p.ground_truth().total().as_u64() > 0, "{w} consumed no CPU");
             // Billed and ground truth agree within a few percent when there
             // is no attack and no competing load.
             let billed = p.usage(SchemeKind::Tick).total().as_f64();
@@ -408,8 +455,12 @@ mod tests {
 
     #[test]
     fn child_event_helper() {
-        assert!(is_child_event(OpOutcome::ChildExited(trustmeter_core::TaskId(3))));
-        assert!(is_child_event(OpOutcome::ChildStopped(trustmeter_core::TaskId(3))));
+        assert!(is_child_event(OpOutcome::ChildExited(
+            trustmeter_core::TaskId(3)
+        )));
+        assert!(is_child_event(OpOutcome::ChildStopped(
+            trustmeter_core::TaskId(3)
+        )));
         assert!(!is_child_event(OpOutcome::Completed));
     }
 }

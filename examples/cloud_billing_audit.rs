@@ -24,7 +24,11 @@ fn main() {
     // ---------------------------------------------------------------
     let reference = Scenario::new(Workload::Pi, scale).run_clean();
     let whitelist = reference.measured_images.clone();
-    println!("reference run: {:.3} CPU s, {} measured images", reference.billed_total_secs(), whitelist.len());
+    println!(
+        "reference run: {:.3} CPU s, {} measured images",
+        reference.billed_total_secs(),
+        whitelist.len()
+    );
 
     // ---------------------------------------------------------------
     // The dishonest provider executes the same job with a preloaded
@@ -55,7 +59,10 @@ fn main() {
     // ---------------------------------------------------------------
     // The customer audits.
     // ---------------------------------------------------------------
-    assert!(aik.verify(&quote, nonce).is_ok(), "quote signature must verify");
+    assert!(
+        aik.verify(&quote, nonce).is_ok(),
+        "quote signature must verify"
+    );
 
     // 1. Source integrity: is anything in the closure that should not be?
     let unexpected = provider_run.unexpected_images(&whitelist);
@@ -74,6 +81,9 @@ fn main() {
     let execution_ok = provider_run.witness_digest == reference.witness_digest;
     let assessment = TrustAssessment::new(&source_report, execution_ok, overcharge);
     println!("final assessment: {assessment}");
-    assert!(!assessment.is_trustworthy(), "the attacked platform must be flagged");
+    assert!(
+        !assessment.is_trustworthy(),
+        "the attacked platform must be flagged"
+    );
     println!("\nviolated properties: {:?}", assessment.violations());
 }

@@ -31,7 +31,10 @@ fn main() {
     let attacked_invoice = card.invoice(attacked.victim_billed, freq);
     println!("\nclean bill:    {:.6} $", clean_invoice.total);
     println!("attacked bill: {:.6} $", attacked_invoice.total);
-    println!("overcharge:    {:.6} $", attacked_invoice.overcharge_vs(&clean_invoice));
+    println!(
+        "overcharge:    {:.6} $",
+        attacked_invoice.overcharge_vs(&clean_invoice)
+    );
 
     // Source integrity: the measured launch flags exactly the injected code.
     let injected = attacked.unexpected_images(&clean.measured_images);

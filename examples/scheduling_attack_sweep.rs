@@ -11,8 +11,14 @@ use trustmeter::prelude::*;
 use trustmeter_experiments::{fig7_sched_whetstone, fig8_sched_brute};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.005);
-    let cfg = ExperimentConfig { scale, ..Default::default() };
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+    let cfg = ExperimentConfig {
+        scale,
+        ..Default::default()
+    };
     println!("process-scheduling attack sweep, workload scale {scale}\n");
 
     for fig in [fig7_sched_whetstone(&cfg), fig8_sched_brute(&cfg)] {

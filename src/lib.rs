@@ -17,6 +17,7 @@
 //! | [`workloads`] | `trustmeter-workloads` | the paper's four victim programs (O, Pi, Whetstone, Brute) plus native reference kernels |
 //! | [`attacks`] | `trustmeter-attacks` | the seven attacks of §IV |
 //! | [`experiments`] | `trustmeter-experiments` | figure-by-figure reproduction of the evaluation (§V) and the defense/ablation studies |
+//! | [`fleet`] | `trustmeter-fleet` | the sharded multi-tenant metering service: per-tenant ledgers, overcharge auditing, metrics exporter |
 //! | [`sim`] | `trustmeter-sim` | the discrete-event simulation substrate |
 //!
 //! ## Quick start
@@ -50,6 +51,7 @@
 pub use trustmeter_attacks as attacks;
 pub use trustmeter_core as core;
 pub use trustmeter_experiments as experiments;
+pub use trustmeter_fleet as fleet;
 pub use trustmeter_kernel as kernel;
 pub use trustmeter_sim as sim;
 pub use trustmeter_workloads as workloads;
@@ -71,6 +73,11 @@ pub mod prelude {
     pub use trustmeter_experiments::{
         all_figures, comparison_table, defenses, ExperimentConfig, FigureData, Scenario,
         ScenarioOutcome,
+    };
+    pub use trustmeter_fleet::{
+        Anomaly, AttackSpec, AuditVerdict, Auditor, Fleet, FleetConfig, FleetReport, FleetService,
+        JobId, JobSpec, Ledger, MetricsRegistry, RunRecord, Tenant, TenantAuditSummary,
+        TenantDirectory, TenantId, TenantLedger,
     };
     pub use trustmeter_kernel::{
         Kernel, KernelConfig, NicFlood, Op, OpOutcome, OpsProgram, Program, RunResult,

@@ -52,7 +52,15 @@ fn kernel_runs_are_deterministic_at_the_event_level() {
     let b = run();
     assert_eq!(a.stats, b.stats);
     assert_eq!(a.finished_at, b.finished_at);
-    let pa: Vec<_> = a.processes.iter().map(|p| (p.tgid, p.billed(), p.ground_truth())).collect();
-    let pb: Vec<_> = b.processes.iter().map(|p| (p.tgid, p.billed(), p.ground_truth())).collect();
+    let pa: Vec<_> = a
+        .processes
+        .iter()
+        .map(|p| (p.tgid, p.billed(), p.ground_truth()))
+        .collect();
+    let pb: Vec<_> = b
+        .processes
+        .iter()
+        .map(|p| (p.tgid, p.billed(), p.ground_truth()))
+        .collect();
     assert_eq!(pa, pb);
 }

@@ -58,7 +58,10 @@ fn interposition_attack_amplifies_with_library_usage() {
     let w_attacked = Scenario::new(Workload::Whetstone, SCALE).run_attacked(&attack);
     let o_growth = o_attacked.billed_total_secs() - o_clean.billed_total_secs();
     let w_growth = w_attacked.billed_total_secs() - w_clean.billed_total_secs();
-    assert!(w_growth > o_growth, "W growth {w_growth} should exceed O growth {o_growth}");
+    assert!(
+        w_growth > o_growth,
+        "W growth {w_growth} should exceed O growth {o_growth}"
+    );
 }
 
 #[test]
@@ -69,7 +72,10 @@ fn scheduling_attack_inflates_bill_but_not_ground_truth() {
     assert!(attacked.billed_total_secs() > base.billed_total_secs() * 1.2);
     // Fine-grained metering is immune.
     let truth_ratio = attacked.truth_total_secs() / base.truth_total_secs();
-    assert!((truth_ratio - 1.0).abs() < 0.05, "truth ratio {truth_ratio}");
+    assert!(
+        (truth_ratio - 1.0).abs() < 0.05,
+        "truth ratio {truth_ratio}"
+    );
 }
 
 #[test]
@@ -109,10 +115,16 @@ fn exception_flood_forces_major_faults_on_the_victim() {
 fn execution_witness_differs_only_when_code_differs() {
     let a = clean(Workload::Whetstone);
     let b = clean(Workload::Whetstone);
-    assert_eq!(a.witness_digest, b.witness_digest, "same program, same witness");
+    assert_eq!(
+        a.witness_digest, b.witness_digest,
+        "same program, same witness"
+    );
     let attacked =
         Scenario::new(Workload::Whetstone, SCALE).run_attacked(&ShellAttack::paper_default(SCALE));
-    assert_ne!(a.witness_digest, attacked.witness_digest, "injected code changes the witness");
+    assert_ne!(
+        a.witness_digest, attacked.witness_digest,
+        "injected code changes the witness"
+    );
     // The scheduling attack does not inject code, so the witness is intact
     // even though the bill is inflated.
     let sched = Scenario::new(Workload::Whetstone, SCALE)

@@ -1,0 +1,149 @@
+//! Integration tests for the `trustmeter-fleet` metering service: a
+//! 100+-job multi-tenant batch across ≥4 shards, ledger arithmetic,
+//! shard-count determinism, and the metrics exposition.
+
+use trustmeter::prelude::*;
+
+const SCALE: f64 = 0.001;
+
+/// A mixed batch: four tenants, all four workloads, clean runs and a mix
+/// of launch-time and runtime attacks.
+fn batch(n: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            let tenant = TenantId((i % 4) as u32 + 1);
+            let workload = Workload::ALL[(i % 4) as usize];
+            match i % 5 {
+                0 => JobSpec::attacked(i, tenant, workload, SCALE, AttackSpec::Shell),
+                1 => JobSpec::attacked(
+                    i,
+                    tenant,
+                    workload,
+                    SCALE,
+                    AttackSpec::Scheduling { nice: -10 },
+                ),
+                _ => JobSpec::clean(i, tenant, workload, SCALE),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn hundred_jobs_across_four_shards_bill_and_audit() {
+    let jobs = batch(100);
+    let mut service = FleetService::new(FleetConfig::new(4, 77));
+    for id in 1..=4u32 {
+        service.register(Tenant::new(
+            TenantId(id),
+            format!("tenant-{id}"),
+            RateCard::per_cpu_second(0.01),
+        ));
+    }
+    let report = service.process(&jobs);
+    assert_eq!(report.records.len(), 100);
+    assert_eq!(report.verdicts.len(), 100);
+
+    // Every tenant has an account; per-tenant totals equal the sum of the
+    // per-run invoices, and the posted run count matches the submissions.
+    let mut posted = 0;
+    for account in report.ledger.iter() {
+        posted += account.runs;
+        assert!((account.billed_charge - account.invoice_sum()).abs() < 1e-9);
+        assert_eq!(account.invoices.len() as u64, account.runs);
+        assert!(account.billed_charge > 0.0);
+    }
+    assert_eq!(posted, 100);
+
+    // Attacked runs are flagged, clean runs are not (ids 0,1 mod 5 attack).
+    for (record, verdict) in report.records.iter().zip(&report.verdicts) {
+        assert_eq!(
+            record.job.attack.is_some(),
+            !verdict.is_clean(),
+            "job {}",
+            record.job.id
+        );
+    }
+
+    // The attacks inflate the fleet-wide bill above ground truth.
+    assert!(report.ledger.total_billed_charge() > report.ledger.total_truth_charge());
+}
+
+#[test]
+fn shard_count_does_not_change_results() {
+    let jobs = batch(24);
+    let run = |shards: usize| Fleet::new(FleetConfig::new(shards, 123)).run(&jobs);
+    let one = run(1);
+    let two = run(2);
+    let eight = run(8);
+    assert_eq!(
+        one, two,
+        "1-shard and 2-shard results must be bit-identical"
+    );
+    assert_eq!(
+        one, eight,
+        "1-shard and 8-shard results must be bit-identical"
+    );
+}
+
+#[test]
+fn full_service_is_deterministic_across_shard_counts() {
+    let jobs = batch(30);
+    let run = |shards: usize| {
+        let mut service = FleetService::new(FleetConfig::new(shards, 7));
+        service.register(Tenant::new(TenantId(1), "a", RateCard::per_cpu_hour(0.10)));
+        let report = service.process(&jobs);
+        (report, service.metrics_text())
+    };
+    let (report_a, metrics_a) = run(1);
+    let (report_b, metrics_b) = run(4);
+    assert_eq!(report_a, report_b);
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metrics exposition must be byte-identical"
+    );
+}
+
+#[test]
+fn metrics_exposition_contains_usage_and_anomaly_counters() {
+    let jobs = batch(20);
+    let mut service = FleetService::new(FleetConfig::new(4, 3));
+    let _ = service.process(&jobs);
+    let text = service.metrics_text();
+    assert!(text.contains("# TYPE cpu_usage counter"), "dump:\n{text}");
+    assert!(text.contains("cpu_usage{"), "dump:\n{text}");
+    assert!(text.contains("state=\"user\""), "dump:\n{text}");
+    assert!(text.contains("state=\"system\""), "dump:\n{text}");
+    assert!(
+        text.contains("# TYPE fleet_anomalies counter"),
+        "dump:\n{text}"
+    );
+    assert!(text.contains("kind=\"overbilled\""), "dump:\n{text}");
+    assert!(text.contains("# TYPE fleet_jobs counter"), "dump:\n{text}");
+}
+
+#[test]
+fn ledger_survives_multiple_batches() {
+    let mut service = FleetService::new(FleetConfig::new(2, 11));
+    let first = batch(10);
+    let second: Vec<JobSpec> = batch(10)
+        .into_iter()
+        .map(|mut job| {
+            job.id = JobId(job.id.0 + 10);
+            job
+        })
+        .collect();
+    service.process(&first);
+    let report = service.process(&second);
+    let posted: u64 = report.ledger.iter().map(|a| a.runs).sum();
+    assert_eq!(posted, 20, "ledger must accumulate across batches");
+}
+
+#[test]
+fn fleet_report_serializes() {
+    let jobs = batch(4);
+    let mut service = FleetService::new(FleetConfig::new(2, 19));
+    let report = service.process(&jobs);
+    let json = serde_json::to_string(&report).expect("serialize report");
+    assert!(json.contains("verdicts"));
+    assert!(json.contains("billed_charge"));
+}

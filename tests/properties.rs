@@ -35,7 +35,11 @@ fn replay(exec: &RandomExecution, bank: &mut MeterBank) -> (u64, u64) {
     for (task, kernel, cycles) in &exec.slices {
         let task = TaskId(*task);
         let mode = if *kernel { Mode::Kernel } else { Mode::User };
-        bank.on_event(&MeterEvent::SwitchIn { at: Cycles(now), task, mode });
+        bank.on_event(&MeterEvent::SwitchIn {
+            at: Cycles(now),
+            task,
+            mode,
+        });
         let mut remaining = *cycles;
         while remaining > 0 {
             let run = remaining.min(next_tick - now);
@@ -43,12 +47,19 @@ fn replay(exec: &RandomExecution, bank: &mut MeterBank) -> (u64, u64) {
             remaining -= run;
             busy += run;
             if now == next_tick {
-                bank.on_event(&MeterEvent::TimerTick { at: Cycles(now), task: Some(task), mode });
+                bank.on_event(&MeterEvent::TimerTick {
+                    at: Cycles(now),
+                    task: Some(task),
+                    mode,
+                });
                 ticks += 1;
                 next_tick += exec.jiffy;
             }
         }
-        bank.on_event(&MeterEvent::SwitchOut { at: Cycles(now), task });
+        bank.on_event(&MeterEvent::SwitchOut {
+            at: Cycles(now),
+            task,
+        });
     }
     (busy, ticks)
 }

@@ -20,9 +20,13 @@ fn audit(reference: &ScenarioOutcome, provider: &ScenarioOutcome) -> Audit {
     for name in &provider.measured_images {
         log.measure(MeasuredImage::new(name.clone(), ImageKind::SharedLibrary));
     }
-    let source = log.verify(reference.measured_images.iter().map(|s| s.as_str()), log.pcr());
+    let source = log.verify(
+        reference.measured_images.iter().map(|s| s.as_str()),
+        log.pcr(),
+    );
     let execution_ok = provider.witness_digest == reference.witness_digest;
-    let overcharge = OverchargeReport::compare(provider.victim_billed, reference.victim_billed, freq);
+    let overcharge =
+        OverchargeReport::compare(provider.victim_billed, reference.victim_billed, freq);
     Audit {
         assessment: TrustAssessment::new(&source, execution_ok, overcharge),
         flagged_images: source.unexpected.iter().map(|m| m.name.clone()).collect(),
@@ -44,11 +48,19 @@ fn quote_binds_usage_pcr_and_witness() {
     let scenario = Scenario::new(Workload::Pi, SCALE);
     let provider = scenario.run_clean();
     let aik = AttestationKey::from_seed(b"platform");
-    let quote = aik.quote(99, provider.measurement_pcr, provider.witness_digest, provider.victim_billed);
+    let quote = aik.quote(
+        99,
+        provider.measurement_pcr,
+        provider.witness_digest,
+        provider.victim_billed,
+    );
     assert!(aik.verify(&quote, 99).is_ok());
-    assert_eq!(aik.verify(&quote, 100), Err(trustmeter::core::QuoteError::NonceMismatch));
+    assert_eq!(
+        aik.verify(&quote, 100),
+        Err(trustmeter::core::QuoteError::NonceMismatch)
+    );
     let mut tampered = quote.clone();
-    tampered.usage.stime = tampered.usage.stime + Cycles(1);
+    tampered.usage.stime += Cycles(1);
     assert!(aik.verify(&tampered, 99).is_err());
 }
 
@@ -59,8 +71,14 @@ fn launch_time_attack_fails_source_integrity() {
     let provider = scenario.run_attacked(&PreloadConstructorAttack::paper_default(SCALE));
     let audit = audit(&reference, &provider);
     assert!(!audit.assessment.is_trustworthy());
-    assert!(audit.assessment.violations().contains(&TrustProperty::SourceIntegrity));
-    assert!(audit.flagged_images.iter().any(|n| n.contains("attack_preload")));
+    assert!(audit
+        .assessment
+        .violations()
+        .contains(&TrustProperty::SourceIntegrity));
+    assert!(audit
+        .flagged_images
+        .iter()
+        .any(|n| n.contains("attack_preload")));
 }
 
 #[test]
@@ -71,7 +89,10 @@ fn scheduling_attack_fails_only_fine_grained_metering() {
     let audit = audit(&reference, &provider);
     assert!(!audit.assessment.is_trustworthy());
     let violations = audit.assessment.violations();
-    assert!(violations.contains(&TrustProperty::FineGrainedMetering), "{violations:?}");
+    assert!(
+        violations.contains(&TrustProperty::FineGrainedMetering),
+        "{violations:?}"
+    );
     // No code was injected and the control flow is intact.
     assert!(!violations.contains(&TrustProperty::SourceIntegrity));
     assert!(!violations.contains(&TrustProperty::ExecutionIntegrity));
@@ -85,7 +106,11 @@ fn thrashing_attack_fails_fine_grained_metering_without_touching_the_closure() {
     let provider = scenario.run_attacked(&ThrashingAttack::paper_default());
     let audit = audit(&reference, &provider);
     assert!(!audit.assessment.is_trustworthy());
-    assert!(audit.flagged_images.is_empty(), "no injected images: {:?}", audit.flagged_images);
+    assert!(
+        audit.flagged_images.is_empty(),
+        "no injected images: {:?}",
+        audit.flagged_images
+    );
     assert!(audit
         .assessment
         .violations()

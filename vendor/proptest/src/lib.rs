@@ -1,0 +1,102 @@
+//! Local stub of `proptest` for an offline build environment.
+//!
+//! Replaces proptest's shrinking value trees with plain deterministic random
+//! generation: every `#[test]` inside [`proptest!`] runs its body for
+//! `ProptestConfig::cases` inputs drawn from a fixed-seed SplitMix64 stream,
+//! so failures reproduce bit-for-bit (there is no shrinking — the failing
+//! input is printed by the assertion message instead). The supported API is
+//! the slice this workspace's property tests use: range and tuple
+//! strategies, `any::<T>()`, `prop::collection::vec`, simple `[a-z]{m,n}`
+//! string patterns, `prop_map`, and the `prop_assert*` macros.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirrors proptest's `prop` facade module (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// The glob-imported surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs each contained `#[test]` function over many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&($($strat,)+), &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    ::std::panic!("property failed on case {case}: {e}");
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+}
+
+/// Fails the current property case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, "assertion failed: both sides are {:?}", left);
+    }};
+}

@@ -1,0 +1,357 @@
+//! Local stub of `serde_derive` for an offline build environment.
+//!
+//! The real serde_derive generates visitor-based (de)serializers; this stub
+//! targets the vendored `serde` crate's simpler `Value`-tree model. It parses
+//! the derive input by walking raw token trees (no `syn`/`quote` available)
+//! and emits the impl as a source string. Supported shapes are exactly the
+//! ones this workspace uses: non-generic structs (named, tuple, unit) and
+//! enums whose variants are unit, named-field, or tuple.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// Derives `serde::Serialize` (the vendored value-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the vendored value-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(iter: &mut Tokens) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The attribute body: #[...]
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // Optional restriction: pub(crate), pub(super), ...
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes tokens up to (and including) the next comma that is not nested
+/// inside `<...>` generic arguments. Groups (parens, brackets, braces) are
+/// single token trees, so only angle brackets need explicit depth tracking.
+fn skip_past_comma(iter: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                // Consume the `:` and the type, up to the field separator.
+                skip_past_comma(&mut iter);
+            }
+            Some(other) => panic!("unexpected token in struct body: {other}"),
+            None => break,
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut in_segment = false;
+    let mut angle_depth = 0usize;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("unexpected token in enum body: {other}"),
+            None => break,
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume a possible explicit discriminant and the trailing comma.
+        skip_past_comma(&mut iter);
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("stub serde_derive does not support generic types ({name})");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, got `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn named_to_value(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("::serde::Value::Map(::std::vec![");
+    for f in fields {
+        let _ = write!(
+            out,
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+            access(f)
+        );
+    }
+    out.push_str("])");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Named(fields)) => named_to_value(fields, |f| format!("&self.{f}")),
+        // Newtype structs serialize transparently, like real serde.
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let mut out = String::from("::serde::Value::Seq(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(out, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            out.push_str("])");
+            out
+        }
+        Shape::Enum(variants) => {
+            let mut out = String::from("match self {");
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let inner = named_to_value(fs, |f| f.to_string());
+                        let _ = write!(
+                            out,
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {inner})]),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let mut s = String::from("::serde::Value::Seq(::std::vec![");
+                            for b in &binds {
+                                let _ = write!(s, "::serde::Serialize::to_value({b}),");
+                            }
+                            s.push_str("])");
+                            s
+                        };
+                        let _ = write!(
+                            out,
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {inner})]),",
+                            binds.join(", ")
+                        );
+                    }
+                }
+            }
+            out.push('}');
+            out
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn named_from_value(prefix: &str, fields: &[String], src: &str) -> String {
+    let mut out = format!("::std::result::Result::Ok({prefix} {{");
+    for f in fields {
+        let _ = write!(
+            out,
+            "{f}: ::serde::Deserialize::from_value({src}.field_or_null(\"{f}\"))?,"
+        );
+    }
+    out.push_str("})");
+    out
+}
+
+fn tuple_from_value(prefix: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        return format!(
+            "::std::result::Result::Ok({prefix}(::serde::Deserialize::from_value({src})?))"
+        );
+    }
+    let mut out = format!("{{ let items = {src}.as_seq({n})?; ::std::result::Result::Ok({prefix}(");
+    for i in 0..n {
+        let _ = write!(out, "::serde::Deserialize::from_value(&items[{i}])?,");
+    }
+    out.push_str(")) }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Shape::Struct(Fields::Named(fields)) => named_from_value(name, fields, "v"),
+        Shape::Struct(Fields::Tuple(n)) => tuple_from_value(name, *n, "v"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let inner = named_from_value(&format!("{name}::{v}"), fs, "inner");
+                        let _ = write!(data_arms, "\"{v}\" => {inner},");
+                    }
+                    Fields::Tuple(n) => {
+                        let inner = tuple_from_value(&format!("{name}::{v}"), *n, "inner");
+                        let _ = write!(data_arms, "\"{v}\" => {inner},");
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ \
+                   {unit_arms} \
+                   other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))), \
+                 }}, \
+                 ::serde::Value::Map(m) if m.len() == 1 => {{ \
+                   let (tag, inner) = &m[0]; \
+                   let _ = inner; \
+                   match tag.as_str() {{ \
+                     {data_arms} \
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                       ::std::format!(\"unknown variant `{{other}}` for {name}\"))), \
+                   }} \
+                 }}, \
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                   ::std::format!(\"cannot deserialize {name} from {{other:?}}\"))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ let _ = v; {body} }} }}"
+    )
+}
