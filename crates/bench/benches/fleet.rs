@@ -1,9 +1,11 @@
-//! Fleet benchmarks: the shard-count sweep that motivates the sharded
-//! executor, plus the auditing and metrics stages on top of a fixed batch.
+//! Fleet benchmarks: the worker-count sweep over the batch path, the
+//! streaming ingest pipeline (submit → fair dispatch → sequence-numbered
+//! merge), and the auditing and metrics stages on top of a fixed batch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use trustmeter_fleet::{
-    AttackSpec, Fleet, FleetConfig, FleetService, JobSpec, RateCard, Tenant, TenantId,
+    AttackSpec, BackpressurePolicy, Fleet, FleetConfig, FleetIngest, FleetService, IngestConfig,
+    JobSpec, RateCard, Tenant, TenantId,
 };
 use trustmeter_workloads::Workload;
 
@@ -34,6 +36,48 @@ fn bench_fleet(c: &mut Criterion) {
             b.iter(|| fleet.run(&jobs))
         });
     }
+
+    // The streaming pipeline end to end: spawn the pool, submit the batch
+    // job by job, drain, merge. Measures pool spin-up plus queue overhead
+    // relative to the plain `Fleet::run` above.
+    for workers in [1usize, 4] {
+        group.bench_function(&format!("ingest_32_jobs_{workers}_workers"), |b| {
+            b.iter(|| {
+                let ingest = FleetIngest::start(
+                    FleetConfig::new(workers, 0xf1ee7),
+                    IngestConfig::new(workers).with_capacity(jobs.len()),
+                );
+                for job in &jobs {
+                    ingest.submit(job.clone()).expect("queue fits batch");
+                }
+                ingest.finish().records.len()
+            })
+        });
+    }
+
+    // Streaming through the full service: submit + pump + finish, so the
+    // ledger/auditor/metrics posting path is included.
+    group.bench_function("service_stream_32_jobs_4_workers", |b| {
+        b.iter(|| {
+            let mut service = FleetService::new(FleetConfig::new(4, 0xf1ee7));
+            let config = IngestConfig::new(4)
+                .with_capacity(8)
+                .with_backpressure(BackpressurePolicy::Reject);
+            let mut stream = service.stream(config);
+            let mut posted = 0;
+            for job in &jobs {
+                // Load-shedding loop: on QueueFull, pump completions until
+                // a slot frees up.
+                while stream.submit(job.clone()).is_err() {
+                    posted += stream.pump();
+                    std::thread::yield_now();
+                }
+                posted += stream.pump();
+            }
+            let report = stream.finish();
+            (posted, report.verdicts.len())
+        })
+    });
 
     group.bench_function("service_process_32_jobs_4_shards", |b| {
         b.iter(|| {

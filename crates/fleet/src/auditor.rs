@@ -153,6 +153,25 @@ impl TenantAuditSummary {
 }
 
 /// Streaming auditor over fleet run records.
+///
+/// # Examples
+///
+/// ```
+/// use trustmeter_fleet::{AttackSpec, Auditor, Fleet, FleetConfig, JobSpec, TenantId};
+/// use trustmeter_workloads::Workload;
+///
+/// let fleet = Fleet::new(FleetConfig::new(1, 42));
+/// let mut auditor = Auditor::new(fleet.config().machine.clone());
+///
+/// // A clean run audits clean; a shell-injected run is flagged.
+/// let clean = fleet.run_one(&JobSpec::clean(0, TenantId(1), Workload::LoopO, 0.001));
+/// assert!(auditor.observe(&clean).is_clean());
+/// let attacked = fleet.run_one(&JobSpec::attacked(
+///     1, TenantId(1), Workload::LoopO, 0.001, AttackSpec::Shell,
+/// ));
+/// assert!(!auditor.observe(&attacked).is_clean());
+/// assert_eq!(auditor.summary(TenantId(1)).unwrap().flagged_runs, 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Auditor {
     machine: KernelConfig,

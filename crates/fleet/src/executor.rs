@@ -225,40 +225,31 @@ impl Fleet {
         SimRng::seed_from(self.config.seed ^ job.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
     }
 
-    /// Executes a batch across the configured shards and returns the
-    /// records in submission order, bit-identical for any shard count.
+    /// Executes a batch and returns the records in submission order,
+    /// bit-identical for any shard count.
+    ///
+    /// This is a convenience wrapper over the streaming pipeline: the batch
+    /// is submitted to a [`crate::ingest::FleetIngest`] worker pool of
+    /// `shards` workers sized to never exert backpressure, then drained.
+    /// Determinism holds because every job's seed is derived from the fleet
+    /// seed and job id alone, and the completion log merges by submission
+    /// sequence number.
     pub fn run(&self, jobs: &[JobSpec]) -> Vec<RunRecord> {
-        let shards = self.config.shards.min(jobs.len()).max(1);
-        if shards == 1 {
+        let workers = self.config.shards.min(jobs.len()).max(1);
+        if workers == 1 {
+            // Fast path: no threads for a sequential run.
             return jobs.iter().map(|job| self.run_one(job)).collect();
         }
-        let mut per_shard: Vec<Vec<RunRecord>> = Vec::with_capacity(shards);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        jobs.iter()
-                            .enumerate()
-                            .filter(|(i, _)| i % shards == shard)
-                            .map(|(_, job)| self.run_one(job))
-                            .collect::<Vec<RunRecord>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                per_shard.push(handle.join().expect("fleet shard panicked"));
-            }
-        });
-        // Stable merge: round-robin inverse of the assignment above,
-        // moving records out of the per-shard vectors.
-        let mut streams: Vec<_> = per_shard.into_iter().map(Vec::into_iter).collect();
-        (0..jobs.len())
-            .map(|i| {
-                streams[i % shards]
-                    .next()
-                    .expect("shard produced one record per job")
-            })
-            .collect()
+        let ingest = crate::ingest::FleetIngest::over(
+            self.clone(),
+            crate::ingest::IngestConfig::new(workers).with_capacity(jobs.len()),
+        );
+        for job in jobs {
+            ingest
+                .submit(job.clone())
+                .expect("batch queue sized for the whole batch");
+        }
+        ingest.finish().records
     }
 
     /// Executes one job in the calling thread.

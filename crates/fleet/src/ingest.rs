@@ -1,0 +1,675 @@
+//! Streaming ingestion: a long-lived worker pool draining a bounded,
+//! per-tenant-fair submission queue.
+//!
+//! [`FleetIngest`] replaces one-shot batch execution with a pipeline tenants
+//! feed continuously: [`FleetIngest::submit`] enqueues a [`JobSpec`] into a
+//! bounded [`FairQueue`]; worker threads pop jobs round-robin across tenants
+//! and execute them with [`Fleet::run_one`]; completed [`RunRecord`]s land
+//! in a sequence-numbered completion log. Because every job's kernel seed is
+//! derived from the fleet seed and job id alone, and the completion log is
+//! keyed by submission sequence, a streamed run is **bit-identical** to the
+//! equivalent batch run for any worker count.
+//!
+//! Three backpressure-and-fairness knobs:
+//!
+//! * **Capacity** ([`IngestConfig::with_capacity`]) bounds the undispatched
+//!   backlog.
+//! * **Policy** ([`BackpressurePolicy`]): a full queue either rejects the
+//!   submit with [`SubmitError::QueueFull`] (load shedding) or blocks the
+//!   submitting thread until a slot frees (lossless streaming).
+//! * **Fairness** is structural: the queue round-robins across tenant
+//!   lanes, so one greedy tenant cannot starve the rest (see
+//!   [`FleetIngest::dispatch_log`]).
+//!
+//! Note that capacity bounds the *undispatched* backlog only: completed
+//! records accumulate in the completion log until a consumer takes them
+//! ([`FleetIngest::take_ready`], a stream's `pump`, or `finish`), so a
+//! long-running consumer must pump to bound pipeline memory. Bounding the
+//! completion log itself (blocking workers until records are consumed) is
+//! a ROADMAP follow-up alongside its persistence hooks.
+//!
+//! ```
+//! use trustmeter_fleet::{FleetConfig, FleetIngest, IngestConfig, JobSpec, TenantId};
+//! use trustmeter_workloads::Workload;
+//!
+//! let ingest = FleetIngest::start(FleetConfig::new(2, 42), IngestConfig::new(2));
+//! for id in 0..4 {
+//!     let job = JobSpec::clean(id, TenantId((id % 2) as u32), Workload::LoopO, 0.001);
+//!     ingest.submit(job).unwrap();
+//! }
+//! let outcome = ingest.finish();
+//! // Completion log merges in submission order regardless of which worker
+//! // finished first.
+//! let ids: Vec<u64> = outcome.records.iter().map(|r| r.job.id.0).collect();
+//! assert_eq!(ids, vec![0, 1, 2, 3]);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use serde::{Deserialize, Serialize};
+
+use crate::executor::{Fleet, FleetConfig, JobId, JobSpec, RunRecord};
+use crate::queue::FairQueue;
+use crate::tenant::TenantId;
+
+/// What `submit` does when the submission queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BackpressurePolicy {
+    /// Block the submitting thread until a queue slot frees (lossless).
+    #[default]
+    Block,
+    /// Return [`SubmitError::QueueFull`] immediately (load shedding).
+    Reject,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubmitError {
+    /// The queue is at capacity and the policy is
+    /// [`BackpressurePolicy::Reject`].
+    QueueFull,
+    /// The pipeline is shutting down; no further jobs are accepted.
+    ShutDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("submission queue is full"),
+            SubmitError::ShutDown => f.write_str("ingest pipeline is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Worker-pool configuration for [`FleetIngest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestConfig {
+    /// Number of long-lived worker threads.
+    pub workers: usize,
+    /// Maximum undispatched jobs in the submission queue (0 = unbounded).
+    /// Completed-but-unconsumed records are *not* counted: consumers must
+    /// pump ([`FleetIngest::take_ready`]) to bound total pipeline memory.
+    pub capacity: usize,
+    /// What `submit` does when the queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Start with dispatch paused; call [`FleetIngest::resume`] to begin
+    /// draining. Useful for tests and for staging a backlog.
+    pub start_paused: bool,
+}
+
+impl IngestConfig {
+    /// Default queue capacity.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// `workers` threads over a [`Self::DEFAULT_CAPACITY`]-slot queue with
+    /// blocking backpressure.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> IngestConfig {
+        assert!(workers > 0, "an ingest pipeline needs at least one worker");
+        IngestConfig {
+            workers,
+            capacity: Self::DEFAULT_CAPACITY,
+            backpressure: BackpressurePolicy::Block,
+            start_paused: false,
+        }
+    }
+
+    /// Replaces the queue capacity (0 = unbounded).
+    pub fn with_capacity(mut self, capacity: usize) -> IngestConfig {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Replaces the backpressure policy.
+    pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> IngestConfig {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Starts the pipeline paused (no dispatch until
+    /// [`FleetIngest::resume`]).
+    pub fn paused(mut self) -> IngestConfig {
+        self.start_paused = true;
+        self
+    }
+}
+
+/// A point-in-time snapshot of pipeline state (all counters monotonic
+/// except `queued` and the inflight gauges).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct IngestStats {
+    /// Jobs accepted by `submit` so far.
+    pub submitted: u64,
+    /// Jobs fully executed so far.
+    pub completed: u64,
+    /// Submissions rejected with [`SubmitError::QueueFull`].
+    pub rejected: u64,
+    /// Jobs queued and not yet dispatched to a worker.
+    pub queued: usize,
+    /// Jobs currently executing, per tenant.
+    pub inflight: BTreeMap<TenantId, u64>,
+}
+
+impl IngestStats {
+    /// Jobs currently executing across all tenants.
+    pub fn inflight_total(&self) -> u64 {
+        self.inflight.values().sum()
+    }
+}
+
+/// Everything a drained pipeline produced.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// Records not yet taken via [`FleetIngest::take_ready`], in submission
+    /// order.
+    pub records: Vec<RunRecord>,
+    /// The full dispatch order (which job each worker popped, in pop
+    /// order) — the observable fairness record.
+    pub dispatch_log: Vec<(JobId, TenantId)>,
+    /// Final counters (queue and inflight gauges are zero by construction).
+    pub stats: IngestStats,
+}
+
+/// Mutable pipeline state behind the mutex.
+#[derive(Debug)]
+struct State {
+    queue: FairQueue,
+    /// Next submission sequence number.
+    next_seq: u64,
+    /// Sequence-numbered completion log; contiguous prefixes are released
+    /// to consumers in submission order.
+    completed: BTreeMap<u64, RunRecord>,
+    /// Next sequence number to release from the completion log.
+    released: u64,
+    /// Dispatch order (which job each worker popped, in pop order) — the
+    /// observable fairness record.
+    dispatch_log: Vec<(JobId, TenantId)>,
+    inflight: BTreeMap<TenantId, u64>,
+    submitted: u64,
+    completed_count: u64,
+    rejected: u64,
+    paused: bool,
+    shutting_down: bool,
+    /// On shutdown, drop queued jobs instead of draining them (set by
+    /// `Drop` teardown; `finish` drains).
+    discard_queued: bool,
+    /// A worker died mid-job (panic in the simulated run); the pipeline
+    /// can never drain and `finish` must propagate instead of waiting.
+    worker_panicked: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled when work becomes available or pause/shutdown changes.
+    job_ready: Condvar,
+    /// Signaled when a queue slot frees (wakes blocked submitters).
+    slot_free: Condvar,
+    /// Signaled when a job completes (wakes `finish`).
+    job_done: Condvar,
+    policy: BackpressurePolicy,
+}
+
+impl Shared {
+    /// Locks the state, recovering from poisoning: workers never panic
+    /// while holding the lock (jobs run outside it), and explicit
+    /// `worker_panicked` tracking handles worker death.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, condvar: &Condvar, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn submit(&self, job: JobSpec) -> Result<u64, SubmitError> {
+        let mut state = self.lock();
+        loop {
+            if state.shutting_down {
+                return Err(SubmitError::ShutDown);
+            }
+            if !state.queue.is_full() {
+                break;
+            }
+            match self.policy {
+                BackpressurePolicy::Reject => {
+                    state.rejected += 1;
+                    return Err(SubmitError::QueueFull);
+                }
+                BackpressurePolicy::Block => {
+                    state = self.wait(&self.slot_free, state);
+                }
+            }
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.submitted += 1;
+        state
+            .queue
+            .push(seq, job)
+            .expect("queue had a free slot under the lock");
+        drop(state);
+        self.job_ready.notify_one();
+        Ok(seq)
+    }
+
+    fn stats(&self) -> IngestStats {
+        let state = self.lock();
+        IngestStats {
+            submitted: state.submitted,
+            completed: state.completed_count,
+            rejected: state.rejected,
+            queued: state.queue.len(),
+            inflight: state.inflight.clone(),
+        }
+    }
+
+    /// Worker loop: pop fair, execute outside the lock, log completion.
+    fn work(&self, fleet: &Fleet) {
+        loop {
+            let popped = {
+                let mut state = self.lock();
+                loop {
+                    if state.paused && !state.shutting_down {
+                        state = self.wait(&self.job_ready, state);
+                        continue;
+                    }
+                    if state.shutting_down && state.discard_queued {
+                        // Teardown without finish(): abandon the backlog.
+                        break None;
+                    }
+                    match state.queue.pop() {
+                        Some(queued) => {
+                            state.dispatch_log.push((queued.job.id, queued.job.tenant));
+                            *state.inflight.entry(queued.job.tenant).or_insert(0) += 1;
+                            break Some(queued);
+                        }
+                        None if state.shutting_down => break None,
+                        None => {
+                            state = self.wait(&self.job_ready, state);
+                        }
+                    }
+                }
+            };
+            let Some(queued) = popped else { return };
+            self.slot_free.notify_one();
+
+            let record = fleet.run_one(&queued.job);
+
+            let mut state = self.lock();
+            let inflight = state
+                .inflight
+                .get_mut(&queued.job.tenant)
+                .expect("tenant marked inflight");
+            *inflight -= 1;
+            if *inflight == 0 {
+                state.inflight.remove(&queued.job.tenant);
+            }
+            state.completed.insert(queued.seq, record);
+            state.completed_count += 1;
+            drop(state);
+            self.job_done.notify_all();
+        }
+    }
+
+    /// Marks the pipeline as broken by a dead worker and wakes every
+    /// waiter, so `finish` propagates instead of waiting forever.
+    fn flag_worker_panic(&self) {
+        self.lock().worker_panicked = true;
+        self.job_ready.notify_all();
+        self.slot_free.notify_all();
+        self.job_done.notify_all();
+    }
+
+    /// Removes and returns the contiguous run of completed records starting
+    /// at the release cursor, in submission order.
+    fn take_ready(&self) -> Vec<RunRecord> {
+        let mut state = self.lock();
+        let mut ready = Vec::new();
+        loop {
+            let next = state.released;
+            let Some(record) = state.completed.remove(&next) else {
+                break;
+            };
+            state.released += 1;
+            ready.push(record);
+        }
+        ready
+    }
+}
+
+/// Flags the pipeline on unwind out of a worker (a panicking simulated
+/// run); forgotten on the normal exit path.
+struct WorkerPanicGuard(Arc<Shared>);
+
+impl Drop for WorkerPanicGuard {
+    fn drop(&mut self) {
+        self.0.flag_worker_panic();
+    }
+}
+
+/// The streaming ingestion pipeline: a worker pool over a bounded,
+/// per-tenant-fair submission queue. See the [module docs](self).
+///
+/// Dropping a `FleetIngest` without calling [`FleetIngest::finish`] tears
+/// the pipeline down: queued jobs are discarded, running jobs complete,
+/// workers are joined, and blocked submitters are released with
+/// [`SubmitError::ShutDown`]. Call `finish` to drain instead.
+#[derive(Debug)]
+pub struct FleetIngest {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable, `Send` handle for submitting jobs to a [`FleetIngest`] from
+/// other threads (each tenant can stream from its own thread).
+#[derive(Debug, Clone)]
+pub struct IngestHandle {
+    shared: Arc<Shared>,
+}
+
+impl IngestHandle {
+    /// Submits one job; returns its submission sequence number.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] under [`BackpressurePolicy::Reject`] with
+    /// a full queue; [`SubmitError::ShutDown`] once the pipeline is
+    /// finishing.
+    pub fn submit(&self, job: JobSpec) -> Result<u64, SubmitError> {
+        self.shared.submit(job)
+    }
+
+    /// A snapshot of the pipeline counters and gauges.
+    pub fn stats(&self) -> IngestStats {
+        self.shared.stats()
+    }
+}
+
+impl FleetIngest {
+    /// Spawns the worker pool for a fleet built from `fleet_config`.
+    pub fn start(fleet_config: FleetConfig, config: IngestConfig) -> FleetIngest {
+        FleetIngest::over(Fleet::new(fleet_config), config)
+    }
+
+    /// Spawns the worker pool over an existing executor.
+    ///
+    /// # Panics
+    /// Panics if `config.workers` is zero.
+    pub fn over(fleet: Fleet, config: IngestConfig) -> FleetIngest {
+        assert!(
+            config.workers > 0,
+            "an ingest pipeline needs at least one worker"
+        );
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: FairQueue::new(config.capacity),
+                next_seq: 0,
+                completed: BTreeMap::new(),
+                released: 0,
+                dispatch_log: Vec::new(),
+                inflight: BTreeMap::new(),
+                submitted: 0,
+                completed_count: 0,
+                rejected: 0,
+                paused: config.start_paused,
+                shutting_down: false,
+                discard_queued: false,
+                worker_panicked: false,
+            }),
+            job_ready: Condvar::new(),
+            slot_free: Condvar::new(),
+            job_done: Condvar::new(),
+            policy: config.backpressure,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let fleet = fleet.clone();
+                std::thread::Builder::new()
+                    .name(format!("fleet-ingest-{i}"))
+                    .spawn(move || {
+                        // Propagate a panicking job to `finish` instead of
+                        // letting the pipeline deadlock on a drain target
+                        // it can no longer reach.
+                        let guard = WorkerPanicGuard(Arc::clone(&shared));
+                        shared.work(&fleet);
+                        std::mem::forget(guard);
+                    })
+                    .expect("spawn ingest worker")
+            })
+            .collect();
+        FleetIngest { shared, workers }
+    }
+
+    /// Submits one job; returns its submission sequence number.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] under [`BackpressurePolicy::Reject`] with
+    /// a full queue; [`SubmitError::ShutDown`] once the pipeline is
+    /// finishing.
+    pub fn submit(&self, job: JobSpec) -> Result<u64, SubmitError> {
+        self.shared.submit(job)
+    }
+
+    /// A cloneable handle for submitting from other threads.
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A snapshot of the pipeline counters and gauges.
+    pub fn stats(&self) -> IngestStats {
+        self.shared.stats()
+    }
+
+    /// Stops dispatching new jobs (running jobs finish normally).
+    pub fn pause(&self) {
+        self.shared.lock().paused = true;
+    }
+
+    /// Resumes dispatch after [`FleetIngest::pause`].
+    pub fn resume(&self) {
+        self.shared.lock().paused = false;
+        self.shared.job_ready.notify_all();
+    }
+
+    /// The dispatch order so far — which job each worker popped, in pop
+    /// order. This is the observable fairness record: with a backlog from
+    /// several tenants, consecutive entries round-robin across tenants.
+    pub fn dispatch_log(&self) -> Vec<(JobId, TenantId)> {
+        self.shared.lock().dispatch_log.clone()
+    }
+
+    /// Removes and returns all completed records that form a contiguous
+    /// run in submission order (the stream analogue of a batch result
+    /// prefix). Records completed out of order are held back until the gap
+    /// fills, so consumers always observe submission order.
+    pub fn take_ready(&self) -> Vec<RunRecord> {
+        self.shared.take_ready()
+    }
+
+    /// Graceful shutdown: stops accepting new submissions, drains every
+    /// queued job, joins the workers, and returns all records not yet taken
+    /// via [`FleetIngest::take_ready`] (in submission order) plus the final
+    /// dispatch log and counters.
+    pub fn finish(mut self) -> IngestOutcome {
+        {
+            let mut state = self.shared.lock();
+            state.shutting_down = true;
+            // Draining overrides pause: a paused pipeline still finishes.
+            state.paused = false;
+            let target = state.submitted;
+            while state.completed_count < target {
+                assert!(
+                    !state.worker_panicked,
+                    "ingest worker panicked; pipeline cannot drain"
+                );
+                self.shared.job_ready.notify_all();
+                state = self.shared.wait(&self.shared.job_done, state);
+            }
+        }
+        // Wake everyone: idle workers exit, blocked submitters see ShutDown.
+        self.shared.job_ready.notify_all();
+        self.shared.slot_free.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("ingest worker panicked");
+        }
+        let records = self.shared.take_ready();
+        let stats = self.shared.stats();
+        IngestOutcome {
+            records,
+            dispatch_log: self.dispatch_log(),
+            stats,
+        }
+    }
+}
+
+impl Drop for FleetIngest {
+    /// Teardown without [`FleetIngest::finish`] (early return, panic
+    /// unwind, plain drop): discard queued jobs, release blocked
+    /// submitters, join the workers. Never blocks longer than the jobs
+    /// already running.
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // finish() already joined everything
+        }
+        {
+            let mut state = self.shared.lock();
+            state.shutting_down = true;
+            state.discard_queued = true;
+            state.paused = false;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.slot_free.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked mid-job already flagged itself; don't
+            // double-panic during teardown.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmeter_workloads::Workload;
+
+    const SCALE: f64 = 0.001;
+
+    fn job(id: u64, tenant: u32) -> JobSpec {
+        JobSpec::clean(id, TenantId(tenant), Workload::LoopO, SCALE)
+    }
+
+    #[test]
+    fn streamed_records_arrive_in_submission_order() {
+        let ingest = FleetIngest::start(FleetConfig::new(4, 7), IngestConfig::new(4));
+        for id in 0..12 {
+            ingest.submit(job(id, (id % 3) as u32)).unwrap();
+        }
+        let outcome = ingest.finish();
+        let ids: Vec<u64> = outcome.records.iter().map(|r| r.job.id.0).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reject_policy_returns_queue_full() {
+        let config = IngestConfig::new(1)
+            .with_capacity(2)
+            .with_backpressure(BackpressurePolicy::Reject)
+            .paused();
+        let ingest = FleetIngest::start(FleetConfig::new(1, 7), config);
+        ingest.submit(job(0, 1)).unwrap();
+        ingest.submit(job(1, 1)).unwrap();
+        assert_eq!(ingest.submit(job(2, 1)), Err(SubmitError::QueueFull));
+        assert_eq!(ingest.stats().rejected, 1);
+        ingest.resume();
+        let outcome = ingest.finish();
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(outcome.stats.rejected, 1);
+        assert_eq!(outcome.stats.queued, 0);
+        assert_eq!(outcome.stats.inflight_total(), 0);
+    }
+
+    #[test]
+    fn blocked_submitters_ride_out_backpressure() {
+        let config = IngestConfig::new(2).with_capacity(1);
+        let ingest = FleetIngest::start(FleetConfig::new(2, 3), config);
+        let handle = ingest.handle();
+        let submitter = std::thread::spawn(move || {
+            for id in 0..10 {
+                handle.submit(job(id, (id % 2) as u32)).unwrap();
+            }
+        });
+        submitter.join().unwrap();
+        let outcome = ingest.finish();
+        assert_eq!(outcome.records.len(), 10);
+        let ids: Vec<u64> = outcome.records.iter().map(|r| r.job.id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dispatch_log_round_robins_a_staged_backlog() {
+        // Stage a backlog while paused so the dispatch order is exact.
+        let config = IngestConfig::new(1).with_capacity(0).paused();
+        let ingest = FleetIngest::start(FleetConfig::new(1, 5), config);
+        for id in 0..6 {
+            ingest.submit(job(id, 1)).unwrap(); // greedy tenant
+        }
+        ingest.submit(job(6, 2)).unwrap(); // modest tenant
+        ingest.resume();
+        let outcome = ingest.finish();
+        assert_eq!(outcome.records.len(), 7);
+        let dispatched: Vec<u32> = outcome
+            .dispatch_log
+            .iter()
+            .map(|(_, tenant)| tenant.0)
+            .collect();
+        // Tenant 2's single job is served second, not seventh.
+        assert_eq!(dispatched[1], 2, "dispatch order: {dispatched:?}");
+    }
+
+    #[test]
+    fn dropping_without_finish_discards_backlog_and_joins_workers() {
+        let config = IngestConfig::new(2).paused();
+        let ingest = FleetIngest::start(FleetConfig::new(2, 11), config);
+        let handle = ingest.handle();
+        for id in 0..4 {
+            ingest.submit(job(id, 1)).unwrap();
+        }
+        // No finish(): Drop must tear down without hanging, abandoning the
+        // paused backlog.
+        drop(ingest);
+        assert_eq!(handle.submit(job(9, 1)), Err(SubmitError::ShutDown));
+        assert_eq!(handle.stats().completed, 0, "backlog was discarded");
+    }
+
+    #[test]
+    fn submit_after_finish_is_rejected() {
+        let ingest = FleetIngest::start(FleetConfig::new(1, 1), IngestConfig::new(1));
+        let handle = ingest.handle();
+        ingest.submit(job(0, 1)).unwrap();
+        ingest.finish();
+        assert_eq!(handle.submit(job(1, 1)), Err(SubmitError::ShutDown));
+    }
+
+    #[test]
+    fn take_ready_holds_back_gaps() {
+        let config = IngestConfig::new(1).paused();
+        let ingest = FleetIngest::start(FleetConfig::new(1, 9), config);
+        ingest.submit(job(0, 1)).unwrap();
+        ingest.submit(job(1, 1)).unwrap();
+        // Nothing completed yet: nothing to take.
+        assert!(ingest.take_ready().is_empty());
+        ingest.resume();
+        let rest = ingest.finish();
+        assert_eq!(rest.records.len(), 2);
+    }
+}

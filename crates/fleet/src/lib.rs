@@ -8,11 +8,13 @@
 //!
 //! | Piece | What it does |
 //! |-------|--------------|
-//! | [`executor::Fleet`] | shards [`executor::JobSpec`] batches across worker threads; results are bit-identical for any shard count |
+//! | [`executor::Fleet`] | executes [`executor::JobSpec`]s; results are bit-identical for any worker count |
+//! | [`ingest::FleetIngest`] | long-lived worker pool: bounded submission queue, backpressure, per-tenant fairness, sequence-numbered completion log |
+//! | [`queue::FairQueue`] | the bounded per-tenant-fair queue under the pool |
 //! | [`tenant::Ledger`] | aggregates per-run [`trustmeter_core::Invoice`]s and CPU time (billed vs TSC ground truth) into per-tenant accounts |
 //! | [`auditor::Auditor`] | streams run records through the §VI trust workflow and raises per-tenant [`auditor::Anomaly`] verdicts |
 //! | [`metrics::MetricsRegistry`] | Prometheus-style text exposition of usage and anomaly counters |
-//! | [`FleetService`] | wires all four together: run → bill → audit → export |
+//! | [`FleetService`] | wires it all together: submit → execute → bill → audit → export |
 //!
 //! ## Example
 //!
@@ -45,12 +47,19 @@
 
 pub mod auditor;
 pub mod executor;
+pub mod ingest;
 pub mod metrics;
+pub mod queue;
 pub mod tenant;
 
 pub use auditor::{Anomaly, AuditVerdict, Auditor, TenantAuditSummary};
 pub use executor::{AttackSpec, Fleet, FleetConfig, JobId, JobSpec, RunRecord};
+pub use ingest::{
+    BackpressurePolicy, FleetIngest, IngestConfig, IngestHandle, IngestOutcome, IngestStats,
+    SubmitError,
+};
 pub use metrics::{MetricKind, MetricsRegistry};
+pub use queue::FairQueue;
 pub use tenant::{Ledger, Tenant, TenantDirectory, TenantId, TenantLedger};
 
 // Re-exported so fleet callers can price tenants without importing core.
@@ -81,7 +90,21 @@ impl FleetReport {
 }
 
 /// The assembled metering service: executor, ledger, auditor and metrics
-/// behind one `process` call.
+/// behind one batch [`FleetService::process`] call or a streaming
+/// [`FleetService::stream`] session.
+///
+/// # Examples
+///
+/// ```
+/// use trustmeter_fleet::{FleetConfig, FleetService, JobSpec, RateCard, Tenant, TenantId};
+/// use trustmeter_workloads::Workload;
+///
+/// let mut service = FleetService::new(FleetConfig::new(2, 7));
+/// service.register(Tenant::new(TenantId(1), "acme", RateCard::per_cpu_second(0.01)));
+/// let report = service.process(&[JobSpec::clean(0, TenantId(1), Workload::LoopO, 0.001)]);
+/// assert_eq!(report.ledger.account(TenantId(1)).unwrap().runs, 1);
+/// assert!(service.metrics_text().contains("fleet_jobs"));
+/// ```
 #[derive(Debug)]
 pub struct FleetService {
     fleet: Fleet,
@@ -143,36 +166,75 @@ impl FleetService {
     /// Executes, bills, audits and meters one batch of jobs.
     pub fn process(&mut self, jobs: &[JobSpec]) -> FleetReport {
         let records = self.fleet.run(jobs);
-        let freq = self.fleet.config().machine.frequency;
-        let mut verdicts = Vec::with_capacity(records.len());
-        for record in &records {
-            let card = self
-                .directory
-                .get(record.job.tenant)
-                .map(|t| t.rate_card)
-                .unwrap_or(self.default_rate_card);
-            self.ledger.post_run(
-                record.job.tenant,
-                &card,
-                freq,
-                record.job.id,
-                record.outcome.victim_billed,
-                record.outcome.victim_truth,
-                record.outcome.victim_process_aware,
-            );
-            let verdict = self.auditor.observe(record);
-            if !verdict.is_clean() {
-                self.ledger.account_mut(record.job.tenant).flag();
-            }
-            self.export_record(record, &verdict);
-            verdicts.push(verdict);
-        }
+        let verdicts = records
+            .iter()
+            .map(|record| self.post_record(record))
+            .collect();
         self.export_gauges();
         FleetReport {
             records,
             verdicts,
             ledger: self.ledger.clone(),
         }
+    }
+
+    /// Opens a streaming session: a live [`FleetIngest`] worker pool whose
+    /// completed records flow into this service's ledger, auditor and
+    /// metrics in submission order. See [`FleetStream`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use trustmeter_fleet::{FleetConfig, FleetService, IngestConfig, JobSpec, TenantId};
+    /// use trustmeter_workloads::Workload;
+    ///
+    /// let mut service = FleetService::new(FleetConfig::new(2, 42));
+    /// let mut stream = service.stream(IngestConfig::new(2));
+    /// for id in 0..4 {
+    ///     stream
+    ///         .submit(JobSpec::clean(id, TenantId(1), Workload::LoopO, 0.001))
+    ///         .unwrap();
+    /// }
+    /// let report = stream.finish();
+    /// assert_eq!(report.records.len(), 4);
+    /// assert_eq!(report.ledger.account(TenantId(1)).unwrap().runs, 4);
+    /// ```
+    pub fn stream(&mut self, config: IngestConfig) -> FleetStream<'_> {
+        let ingest = FleetIngest::over(self.fleet.clone(), config);
+        FleetStream {
+            service: self,
+            ingest,
+            records: Vec::new(),
+            verdicts: Vec::new(),
+            inflight_exported: Vec::new(),
+            rejected_exported: 0,
+        }
+    }
+
+    /// Bills, audits and meters one completed run (the shared tail of the
+    /// batch and streaming paths).
+    fn post_record(&mut self, record: &RunRecord) -> AuditVerdict {
+        let freq = self.fleet.config().machine.frequency;
+        let card = self
+            .directory
+            .get(record.job.tenant)
+            .map(|t| t.rate_card)
+            .unwrap_or(self.default_rate_card);
+        self.ledger.post_run(
+            record.job.tenant,
+            &card,
+            freq,
+            record.job.id,
+            record.outcome.victim_billed,
+            record.outcome.victim_truth,
+            record.outcome.victim_process_aware,
+        );
+        let verdict = self.auditor.observe(record);
+        if !verdict.is_clean() {
+            self.ledger.account_mut(record.job.tenant).flag();
+        }
+        self.export_record(record, &verdict);
+        verdict
     }
 
     fn export_record(&mut self, record: &RunRecord, verdict: &AuditVerdict) {
@@ -254,6 +316,188 @@ impl FleetService {
     /// The Prometheus-style text dump of every metric.
     pub fn metrics_text(&self) -> String {
         self.metrics.render()
+    }
+
+    /// Exports the live ingest gauges and the rejected-submissions counter
+    /// delta (shared by mid-stream pumps and the final drain). `stale`
+    /// lists tenants whose inflight series were previously exported and
+    /// must be zeroed if absent from the current snapshot (gauge series
+    /// persist once created).
+    fn export_ingest_metrics(
+        &mut self,
+        stats: &IngestStats,
+        stale: &[TenantId],
+        rejected_delta: u64,
+    ) {
+        self.metrics.gauge_set(
+            "fleet_queue_depth",
+            "Jobs queued and not yet dispatched to a worker",
+            &[],
+            stats.queued as f64,
+        );
+        let inflight_help = "Jobs currently executing, per tenant";
+        for tenant in stale {
+            if !stats.inflight.contains_key(tenant) {
+                self.metrics.gauge_set(
+                    "fleet_inflight",
+                    inflight_help,
+                    &[("tenant", &tenant.to_string())],
+                    0.0,
+                );
+            }
+        }
+        for (tenant, count) in &stats.inflight {
+            self.metrics.gauge_set(
+                "fleet_inflight",
+                inflight_help,
+                &[("tenant", &tenant.to_string())],
+                *count as f64,
+            );
+        }
+        self.metrics.counter_add(
+            "fleet_submissions_rejected",
+            "Submissions rejected because the queue was full",
+            &[],
+            rejected_delta as f64,
+        );
+    }
+}
+
+/// A live streaming session over a [`FleetService`].
+///
+/// Obtained from [`FleetService::stream`]. Jobs submitted through
+/// [`FleetStream::submit`] (or an [`IngestHandle`] from
+/// [`FleetStream::handle`], one per tenant thread) are executed by the
+/// session's worker pool; [`FleetStream::pump`] posts completed records to
+/// the service's ledger, auditor and metrics **in submission order**, and
+/// [`FleetStream::finish`] drains the pipeline and returns the same
+/// [`FleetReport`] the batch path would have produced — bit-identical for
+/// any worker count, because seeds derive from job ids and the completion
+/// log merges by submission sequence.
+#[derive(Debug)]
+pub struct FleetStream<'a> {
+    service: &'a mut FleetService,
+    ingest: FleetIngest,
+    records: Vec<RunRecord>,
+    verdicts: Vec<AuditVerdict>,
+    /// Tenants whose `fleet_inflight` gauge has been exported; their series
+    /// must be re-zeroed when they leave the inflight snapshot.
+    inflight_exported: Vec<TenantId>,
+    /// Rejected-submission count already added to the metrics counter.
+    rejected_exported: u64,
+}
+
+impl FleetStream<'_> {
+    /// Submits one job; returns its submission sequence number.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] under [`BackpressurePolicy::Reject`] with
+    /// a full queue; [`SubmitError::ShutDown`] once the session is
+    /// finishing.
+    pub fn submit(&self, job: JobSpec) -> Result<u64, SubmitError> {
+        self.ingest.submit(job)
+    }
+
+    /// A cloneable handle for submitting jobs from other threads while this
+    /// session pumps completions.
+    pub fn handle(&self) -> IngestHandle {
+        self.ingest.handle()
+    }
+
+    /// A snapshot of the pipeline counters and gauges.
+    pub fn stats(&self) -> IngestStats {
+        self.ingest.stats()
+    }
+
+    /// Pauses dispatch (running jobs finish; queued jobs wait).
+    pub fn pause(&self) {
+        self.ingest.pause()
+    }
+
+    /// Resumes dispatch after [`FleetStream::pause`].
+    pub fn resume(&self) {
+        self.ingest.resume()
+    }
+
+    /// Verdicts posted so far, in submission order.
+    pub fn verdicts(&self) -> &[AuditVerdict] {
+        &self.verdicts
+    }
+
+    /// The dispatch order so far — which job each worker popped, in pop
+    /// order. With a multi-tenant backlog, consecutive entries round-robin
+    /// across tenants (the observable fairness record).
+    pub fn dispatch_log(&self) -> Vec<(JobId, TenantId)> {
+        self.ingest.dispatch_log()
+    }
+
+    /// Posts every completed record that extends the contiguous submission-
+    /// order prefix to the service (ledger → auditor → metrics), updates the
+    /// ingest gauges, and returns how many records were posted.
+    pub fn pump(&mut self) -> usize {
+        let ready = self.ingest.take_ready();
+        let posted = ready.len();
+        for record in ready {
+            let verdict = self.service.post_record(&record);
+            self.records.push(record);
+            self.verdicts.push(verdict);
+        }
+        let stats = self.ingest.stats();
+        self.export_stream_metrics(&stats);
+        posted
+    }
+
+    fn export_stream_metrics(&mut self, stats: &IngestStats) {
+        let delta = stats.rejected - self.rejected_exported;
+        self.service
+            .export_ingest_metrics(stats, &self.inflight_exported, delta);
+        self.rejected_exported = stats.rejected;
+        for tenant in stats.inflight.keys() {
+            if !self.inflight_exported.contains(tenant) {
+                self.inflight_exported.push(*tenant);
+            }
+        }
+    }
+
+    /// Drains the pipeline (graceful shutdown: every accepted job still
+    /// runs), posts the remaining records, and returns the cumulative
+    /// report — bit-identical to [`FleetService::process`] over the same
+    /// jobs for any worker count.
+    pub fn finish(mut self) -> FleetReport {
+        self.pump();
+        let FleetStream {
+            service,
+            ingest,
+            mut records,
+            mut verdicts,
+            mut inflight_exported,
+            rejected_exported,
+        } = self;
+        let outcome = ingest.finish();
+        for record in outcome.records {
+            let verdict = service.post_record(&record);
+            records.push(record);
+            verdicts.push(verdict);
+        }
+        // Final gauges are deterministic: the queue is empty, nothing is
+        // inflight, and every tenant that was ever inflight now has a
+        // ledger account — so zero the inflight series for all of them.
+        for account in service.ledger.iter() {
+            if !inflight_exported.contains(&account.tenant) {
+                inflight_exported.push(account.tenant);
+            }
+        }
+        service.export_ingest_metrics(
+            &outcome.stats,
+            &inflight_exported,
+            outcome.stats.rejected - rejected_exported,
+        );
+        service.export_gauges();
+        FleetReport {
+            records,
+            verdicts,
+            ledger: service.ledger.clone(),
+        }
     }
 }
 

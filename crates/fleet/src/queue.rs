@@ -1,0 +1,207 @@
+//! The bounded, per-tenant-fair submission queue under the ingest pipeline.
+//!
+//! [`FairQueue`] is a pure data structure (no locks, no threads): one FIFO
+//! lane per tenant plus a round-robin rotation over the tenants that
+//! currently have queued work. [`FairQueue::pop`] serves the front tenant of
+//! the rotation and then moves it to the back, so a tenant submitting
+//! thousands of jobs cannot starve a tenant submitting one — the greedy
+//! tenant's backlog waits in its own lane while other lanes are served.
+//!
+//! Capacity bounds the total number of *queued* (not yet dispatched) jobs
+//! across all lanes; the worker pool in [`crate::ingest`] turns a full queue
+//! into backpressure ([`crate::ingest::SubmitError::QueueFull`] or a
+//! blocking submit, by policy).
+//!
+//! ```
+//! use trustmeter_fleet::queue::FairQueue;
+//! use trustmeter_fleet::{JobSpec, TenantId};
+//! use trustmeter_workloads::Workload;
+//!
+//! let mut queue = FairQueue::new(8);
+//! // A greedy tenant enqueues three jobs, a modest tenant one.
+//! for id in 0..3 {
+//!     queue.push(id, JobSpec::clean(id, TenantId(1), Workload::Pi, 0.001)).unwrap();
+//! }
+//! queue.push(3, JobSpec::clean(3, TenantId(2), Workload::Pi, 0.001)).unwrap();
+//!
+//! // Round-robin: tenant 2 is served second, not last.
+//! let tenants: Vec<u32> = std::iter::from_fn(|| queue.pop())
+//!     .map(|queued| queued.job.tenant.0)
+//!     .collect();
+//! assert_eq!(tenants, vec![1, 2, 1, 1]);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::executor::JobSpec;
+use crate::tenant::TenantId;
+
+/// A job waiting in the queue, tagged with its submission sequence number
+/// (the merge key that keeps streamed runs bit-identical to batch runs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedJob {
+    /// Submission sequence number, assigned in `submit()` order.
+    pub seq: u64,
+    /// The job as submitted.
+    pub job: JobSpec,
+}
+
+/// A bounded multi-tenant queue with round-robin fairness across tenants.
+#[derive(Debug, Clone, Default)]
+pub struct FairQueue {
+    /// One FIFO lane per tenant with queued work.
+    lanes: BTreeMap<TenantId, VecDeque<QueuedJob>>,
+    /// Round-robin rotation: each tenant with queued work appears exactly
+    /// once; `pop` serves the front and rotates it to the back.
+    rotation: VecDeque<TenantId>,
+    /// Total queued jobs across all lanes.
+    queued: usize,
+    /// Maximum total queued jobs (0 = unbounded).
+    capacity: usize,
+}
+
+impl FairQueue {
+    /// An empty queue holding at most `capacity` undispatched jobs
+    /// (`capacity == 0` means unbounded).
+    pub fn new(capacity: usize) -> FairQueue {
+        FairQueue {
+            lanes: BTreeMap::new(),
+            rotation: VecDeque::new(),
+            queued: 0,
+            capacity,
+        }
+    }
+
+    /// Total queued (undispatched) jobs.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.capacity != 0 && self.queued >= self.capacity
+    }
+
+    /// The configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queued jobs for one tenant's lane.
+    pub fn lane_len(&self, tenant: TenantId) -> usize {
+        self.lanes.get(&tenant).map_or(0, VecDeque::len)
+    }
+
+    /// Enqueues a job on its tenant's lane. Returns the job back when the
+    /// queue is at capacity so callers can apply their backpressure policy.
+    pub fn push(&mut self, seq: u64, job: JobSpec) -> Result<(), JobSpec> {
+        if self.is_full() {
+            return Err(job);
+        }
+        let tenant = job.tenant;
+        let lane = self.lanes.entry(tenant).or_default();
+        if lane.is_empty() {
+            // Tenant (re)enters the rotation at the back: newly active
+            // tenants wait one round rather than jumping the queue.
+            self.rotation.push_back(tenant);
+        }
+        lane.push_back(QueuedJob { seq, job });
+        self.queued += 1;
+        Ok(())
+    }
+
+    /// Dequeues the next job round-robin across tenants: serves the front
+    /// tenant of the rotation, then rotates it to the back if its lane still
+    /// has work.
+    pub fn pop(&mut self) -> Option<QueuedJob> {
+        let tenant = self.rotation.pop_front()?;
+        let lane = self.lanes.get_mut(&tenant).expect("rotation lane exists");
+        let queued = lane.pop_front().expect("rotation lane non-empty");
+        if lane.is_empty() {
+            self.lanes.remove(&tenant);
+        } else {
+            self.rotation.push_back(tenant);
+        }
+        self.queued -= 1;
+        Some(queued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trustmeter_workloads::Workload;
+
+    fn job(id: u64, tenant: u32) -> JobSpec {
+        JobSpec::clean(id, TenantId(tenant), Workload::LoopO, 0.001)
+    }
+
+    #[test]
+    fn pop_is_fifo_within_one_tenant() {
+        let mut queue = FairQueue::new(0);
+        for id in 0..5 {
+            queue.push(id, job(id, 1)).unwrap();
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| queue.pop()).map(|q| q.seq).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_round_robins_across_tenants() {
+        let mut queue = FairQueue::new(0);
+        // Greedy tenant 1 enqueues 4 jobs before tenants 2 and 3 appear.
+        for id in 0..4 {
+            queue.push(id, job(id, 1)).unwrap();
+        }
+        queue.push(4, job(4, 2)).unwrap();
+        queue.push(5, job(5, 3)).unwrap();
+        let tenants: Vec<u32> = std::iter::from_fn(|| queue.pop())
+            .map(|q| q.job.tenant.0)
+            .collect();
+        assert_eq!(tenants, vec![1, 2, 3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn capacity_bounds_total_not_per_lane() {
+        let mut queue = FairQueue::new(2);
+        queue.push(0, job(0, 1)).unwrap();
+        queue.push(1, job(1, 2)).unwrap();
+        assert!(queue.is_full());
+        let rejected = queue.push(2, job(2, 3)).unwrap_err();
+        assert_eq!(rejected.id.0, 2);
+        queue.pop().unwrap();
+        assert!(!queue.is_full());
+        queue.push(2, job(2, 3)).unwrap();
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn lane_len_tracks_per_tenant_backlog() {
+        let mut queue = FairQueue::new(0);
+        for id in 0..3 {
+            queue.push(id, job(id, 7)).unwrap();
+        }
+        assert_eq!(queue.lane_len(TenantId(7)), 3);
+        assert_eq!(queue.lane_len(TenantId(8)), 0);
+        queue.pop();
+        assert_eq!(queue.lane_len(TenantId(7)), 2);
+    }
+
+    #[test]
+    fn tenant_reentering_rotation_waits_a_round() {
+        let mut queue = FairQueue::new(0);
+        queue.push(0, job(0, 1)).unwrap();
+        queue.push(1, job(1, 2)).unwrap();
+        // Tenant 1 drains, then resubmits while tenant 2 still waits.
+        assert_eq!(queue.pop().unwrap().job.tenant, TenantId(1));
+        queue.push(2, job(2, 1)).unwrap();
+        // Tenant 2 is served before tenant 1's new job.
+        assert_eq!(queue.pop().unwrap().job.tenant, TenantId(2));
+        assert_eq!(queue.pop().unwrap().job.tenant, TenantId(1));
+    }
+}

@@ -29,6 +29,16 @@ impl fmt::Display for TenantId {
 }
 
 /// One customer: identity plus pricing.
+///
+/// # Examples
+///
+/// ```
+/// use trustmeter_fleet::{RateCard, Tenant, TenantId};
+///
+/// let tenant = Tenant::new(TenantId(7), "acme", RateCard::per_cpu_hour(0.10));
+/// assert_eq!(tenant.id.to_string(), "tenant-7");
+/// assert_eq!(tenant.name, "acme");
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tenant {
     /// The tenant's id.

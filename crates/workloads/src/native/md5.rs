@@ -3,7 +3,7 @@
 //!
 //! The paper's fourth victim program, *Brute*, "cracks MD5, SHA256 and
 //! SHA512 by brute force" and "spawns many threads to search for a hash
-//! collision". The simulated [`crate::BruteProgram`] derives its per-attempt
+//! collision". The simulated [`crate::VictimProgram`] derives its per-attempt
 //! cost from this reference implementation; the brute-force searcher here is
 //! also used directly by tests and examples so the workload is a real
 //! computation, not a stub.

@@ -5,7 +5,7 @@
 //!
 //! * [`machin`] — Machin's formula with `f64` arithmetic, the shape of the
 //!   inner loop (repeated division, multiplication and a square root per
-//!   term when computed naively) is what the simulated [`crate::PiProgram`]
+//!   term when computed naively) is what the simulated [`crate::VictimProgram`]
 //!   bases its op mix on;
 //! * [`spigot_digits`] — the Rabinowitz–Wagon spigot algorithm producing the
 //!   first `n` decimal digits exactly, used by tests and the quickstart

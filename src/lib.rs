@@ -17,7 +17,7 @@
 //! | [`workloads`] | `trustmeter-workloads` | the paper's four victim programs (O, Pi, Whetstone, Brute) plus native reference kernels |
 //! | [`attacks`] | `trustmeter-attacks` | the seven attacks of §IV |
 //! | [`experiments`] | `trustmeter-experiments` | figure-by-figure reproduction of the evaluation (§V) and the defense/ablation studies |
-//! | [`fleet`] | `trustmeter-fleet` | the sharded multi-tenant metering service: per-tenant ledgers, overcharge auditing, metrics exporter |
+//! | [`fleet`] | `trustmeter-fleet` | the streaming multi-tenant metering service: worker-pool ingestion with backpressure and per-tenant fairness, per-tenant ledgers, overcharge auditing, metrics exporter |
 //! | [`sim`] | `trustmeter-sim` | the discrete-event simulation substrate |
 //!
 //! ## Quick start
@@ -75,9 +75,11 @@ pub mod prelude {
         ScenarioOutcome,
     };
     pub use trustmeter_fleet::{
-        Anomaly, AttackSpec, AuditVerdict, Auditor, Fleet, FleetConfig, FleetReport, FleetService,
-        JobId, JobSpec, Ledger, MetricsRegistry, RunRecord, Tenant, TenantAuditSummary,
-        TenantDirectory, TenantId, TenantLedger,
+        Anomaly, AttackSpec, AuditVerdict, Auditor, BackpressurePolicy, FairQueue, Fleet,
+        FleetConfig, FleetIngest, FleetReport, FleetService, FleetStream, IngestConfig,
+        IngestHandle, IngestOutcome, IngestStats, JobId, JobSpec, Ledger, MetricsRegistry,
+        RunRecord, SubmitError, Tenant, TenantAuditSummary, TenantDirectory, TenantId,
+        TenantLedger,
     };
     pub use trustmeter_kernel::{
         Kernel, KernelConfig, NicFlood, Op, OpOutcome, OpsProgram, Program, RunResult,
