@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use trustmeter_fleet::{
     AttackSpec, BackpressurePolicy, Fleet, FleetConfig, FleetIngest, FleetService, IngestConfig,
-    JobSpec, RateCard, Tenant, TenantId,
+    JobSpec, RateCard, SamplingPolicy, Tenant, TenantId,
 };
 use trustmeter_workloads::Workload;
 
@@ -76,6 +76,22 @@ fn bench_fleet(c: &mut Criterion) {
             }
             let report = stream.finish();
             (posted, report.verdicts.len())
+        })
+    });
+
+    // The audit-cost knob: spot-check every 4th job instead of all of
+    // them. Workers then skip 3/4 of the reference computations.
+    group.bench_function("service_stream_32_jobs_4_workers_sampled_every4", |b| {
+        b.iter(|| {
+            let config = FleetConfig::new(4, 0xf1ee7).with_sampling(SamplingPolicy::EveryNth(4));
+            let mut service = FleetService::new(config);
+            let mut stream = service.stream(IngestConfig::new(4).with_capacity(jobs.len()));
+            for job in &jobs {
+                stream.submit(job.clone()).expect("queue fits batch");
+                stream.pump();
+            }
+            let report = stream.finish();
+            report.verdicts.len()
         })
     });
 

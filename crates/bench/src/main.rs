@@ -1,0 +1,150 @@
+//! `trustmeter-bench` — the fleet perf harness.
+//!
+//! Streams a fixed audited batch through a [`FleetService`] worker pool
+//! and writes a JSON report (`BENCH_fleet.json` by default) with wall
+//! clock, jobs/sec, and the auditor's replay counters, so the performance
+//! trajectory of the audited streaming path is tracked from run to run.
+//!
+//! ```text
+//! trustmeter-bench [--smoke] [--jobs N] [--workers N] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the batch to a few jobs for CI: it proves the harness
+//! runs end to end without spending CI minutes on a real measurement.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use trustmeter_fleet::{
+    AttackSpec, FleetConfig, FleetService, IngestConfig, JobSpec, RateCard, SamplingPolicy, Tenant,
+    TenantId,
+};
+use trustmeter_workloads::Workload;
+
+/// Workload scale for harness jobs (matches the criterion fleet bench).
+const SCALE: f64 = 0.001;
+/// Fleet seed (matches the criterion fleet bench).
+const SEED: u64 = 0xf1ee7;
+
+/// What one harness run measured.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// Harness identifier (one report file can hold only this bench today).
+    bench: &'static str,
+    /// Jobs streamed through the service.
+    jobs: u64,
+    /// Worker threads in the ingest pool.
+    workers: usize,
+    /// Workload scale factor per job.
+    scale: f64,
+    /// Audit sampling policy the run used.
+    sampling: SamplingPolicy,
+    /// End-to-end wall clock of submit → pump → finish, in seconds.
+    wall_secs: f64,
+    /// Jobs per wall-clock second.
+    jobs_per_sec: f64,
+    /// Inline reference replays the auditor performed (serial cost).
+    audit_replays: u64,
+    /// Runs audited with a worker-precomputed reference (parallel cost).
+    audit_reference_hits: u64,
+    /// Runs the audit flagged with at least one anomaly.
+    flagged_runs: u64,
+}
+
+fn batch(n: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            let tenant = TenantId((i % 4) as u32 + 1);
+            let workload = Workload::ALL[(i % 4) as usize];
+            if i % 4 == 0 {
+                JobSpec::attacked(i, tenant, workload, SCALE, AttackSpec::Shell)
+            } else {
+                JobSpec::clean(i, tenant, workload, SCALE)
+            }
+        })
+        .collect()
+}
+
+fn run(jobs: u64, workers: usize) -> BenchReport {
+    let config = FleetConfig::new(workers, SEED);
+    let sampling = config.sampling;
+    let mut service = FleetService::new(config);
+    for id in 1..=4u32 {
+        service.register(Tenant::new(
+            TenantId(id),
+            format!("t{id}"),
+            RateCard::per_cpu_hour(0.10),
+        ));
+    }
+    let specs = batch(jobs);
+    let start = Instant::now();
+    let mut stream = service.stream(IngestConfig::new(workers).with_capacity(specs.len()));
+    for spec in &specs {
+        stream.submit(spec.clone()).expect("queue sized for batch");
+        stream.pump();
+    }
+    let report = stream.finish();
+    let wall_secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.records.len() as u64, jobs, "every job completed");
+    let flagged_runs = report.flagged().count() as u64;
+    BenchReport {
+        bench: "fleet_stream_audited",
+        jobs,
+        workers,
+        scale: SCALE,
+        sampling,
+        wall_secs,
+        jobs_per_sec: jobs as f64 / wall_secs.max(f64::EPSILON),
+        audit_replays: service.auditor().replay_count(),
+        audit_reference_hits: service.auditor().reference_hit_count(),
+        flagged_runs,
+    }
+}
+
+fn main() {
+    let mut jobs: u64 = 128;
+    let mut workers: usize = 4;
+    let mut out = String::from("BENCH_fleet.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                jobs = 8;
+                workers = 2;
+            }
+            "--jobs" => {
+                let value = args.next().expect("--jobs requires a value");
+                jobs = value.parse().expect("--jobs takes an integer");
+            }
+            "--workers" => {
+                let value = args.next().expect("--workers requires a value");
+                workers = value.parse().expect("--workers takes an integer");
+                assert!(workers > 0, "--workers must be positive");
+            }
+            "--out" => {
+                out = args.next().expect("--out requires a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: trustmeter-bench [--smoke] [--jobs N] [--workers N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(jobs > 0, "--jobs must be positive");
+    let report = run(jobs, workers);
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, format!("{json}\n")).expect("write report file");
+    println!(
+        "{} jobs / {} workers: {:.3} s wall, {:.1} jobs/s, {} replays, {} reference hits → {}",
+        report.jobs,
+        report.workers,
+        report.wall_secs,
+        report.jobs_per_sec,
+        report.audit_replays,
+        report.audit_reference_hits,
+        out
+    );
+}

@@ -4,14 +4,29 @@
 //! The paper's §VI trust workflow — replay the job on a reference platform,
 //! compare the provider's bill against the replay's fine-grained ground
 //! truth, check the measured code closure and the execution witness — is
-//! applied here to a *stream* of fleet [`RunRecord`]s. Reference replays
-//! are clean runs of the same workload at the same scale and seed on the
-//! auditor's own machine model, memoized so a batch of jobs from the same
-//! template pays for one replay. Every observed run yields an
-//! [`AuditVerdict`]; tenants accumulate an [`TenantAuditSummary`] of how
-//! often and how badly they were overcharged.
+//! applied here to a *stream* of fleet [`RunRecord`]s. References come
+//! from three sources, in order of preference:
+//!
+//! 1. **Precomputed** — the fleet worker that ran the job also computed the
+//!    clean reference (it already held the spec and seed), attached to the
+//!    record as a [`crate::executor::ReferenceOutcome`]. This moves the
+//!    replay cost onto the parallel worker pool. Only sound while the
+//!    worker pool is the auditor's own infrastructure — for records from
+//!    an untrusted executor, see [`Auditor::distrust_references`].
+//! 2. **Memoized** — an inline replay already performed for the same
+//!    `(workload, scale, seed, nice)` template.
+//! 3. **Inline replay** — a clean run of the job on the auditor's own
+//!    machine model, the §VI fallback. Precomputed references are
+//!    bit-identical to inline replays because both are the same
+//!    deterministic simulation of the same seed on the same machine.
+//!
+//! A [`SamplingPolicy`] decides *which* runs are verified at all — the
+//! paper's §VI observes that verification cost is the limiting factor at
+//! scale, and spot-checking trades detection latency for throughput.
+//! Every observed run yields an [`AuditVerdict`]; tenants accumulate an
+//! [`TenantAuditSummary`] of how often and how badly they were overcharged.
 
-use crate::executor::RunRecord;
+use crate::executor::{JobId, ReferenceOutcome, RunRecord};
 use crate::tenant::TenantId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -20,8 +35,61 @@ use trustmeter_core::{
     Digest, ImageKind, MeasuredImage, OverchargeReport, SourceIntegrityReport, TrustAssessment,
     Verdict,
 };
-use trustmeter_experiments::{Scenario, ScenarioOutcome};
+use trustmeter_experiments::Scenario;
 use trustmeter_kernel::KernelConfig;
+use trustmeter_sim::SimRng;
+
+/// Which runs the auditor verifies (the paper's §VI cost/latency knob).
+///
+/// Every decision is a pure function of the fleet seed and the job id, so
+/// the streamed and batch paths — and any worker count — agree on exactly
+/// which runs are audited.
+///
+/// # Examples
+///
+/// ```
+/// use trustmeter_fleet::{JobId, SamplingPolicy};
+///
+/// assert!(SamplingPolicy::Always.should_audit(7, JobId(3)));
+/// assert!(!SamplingPolicy::Never.should_audit(7, JobId(3)));
+/// assert!(SamplingPolicy::EveryNth(4).should_audit(7, JobId(8)));
+/// assert!(!SamplingPolicy::EveryNth(4).should_audit(7, JobId(9)));
+/// // Probabilistic decisions are deterministic for a fixed fleet seed.
+/// let p = SamplingPolicy::Probability(0.5);
+/// assert_eq!(p.should_audit(7, JobId(3)), p.should_audit(7, JobId(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum SamplingPolicy {
+    /// Audit every run (maximal detection, maximal cost).
+    #[default]
+    Always,
+    /// Audit nothing (metering without verification).
+    Never,
+    /// Audit jobs whose id is a multiple of `n` (`n <= 1` audits all).
+    EveryNth(u64),
+    /// Audit each run with probability `p`, decided by the deterministic
+    /// fleet RNG keyed on the fleet seed and the job id.
+    Probability(f64),
+}
+
+impl SamplingPolicy {
+    /// Whether the job is audited under `fleet_seed`. Deterministic:
+    /// depends only on the fleet seed and the job id, never on arrival
+    /// order or worker assignment.
+    pub fn should_audit(&self, fleet_seed: u64, job: JobId) -> bool {
+        match *self {
+            SamplingPolicy::Always => true,
+            SamplingPolicy::Never => false,
+            SamplingPolicy::EveryNth(n) => n <= 1 || job.0.is_multiple_of(n),
+            // A different mixing constant than `Fleet::job_seed` so audit
+            // decisions do not correlate with kernel seeds.
+            SamplingPolicy::Probability(p) => {
+                SimRng::seed_from(fleet_seed ^ job.0.wrapping_mul(0xA076_1D64_78BD_642F))
+                    .gen_bool(p)
+            }
+        }
+    }
+}
 
 /// One detected irregularity in a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,6 +179,10 @@ pub struct AuditVerdict {
     pub assessment: TrustAssessment,
     /// Everything irregular about the run (empty = trustworthy).
     pub anomalies: Vec<Anomaly>,
+    /// Whether the run was actually verified. `false` when the
+    /// [`SamplingPolicy`] skipped it — the verdict then asserts nothing
+    /// (the assessment is vacuously clean).
+    pub audited: bool,
 }
 
 impl AuditVerdict {
@@ -127,6 +199,8 @@ pub struct TenantAuditSummary {
     pub tenant: TenantId,
     /// Runs observed.
     pub runs: u64,
+    /// Runs the sampling policy skipped (observed but not verified).
+    pub skipped_runs: u64,
     /// Runs with at least one anomaly.
     pub flagged_runs: u64,
     /// Count per anomaly kind label.
@@ -140,6 +214,7 @@ impl TenantAuditSummary {
         TenantAuditSummary {
             tenant,
             runs: 0,
+            skipped_runs: 0,
             flagged_runs: 0,
             anomaly_counts: BTreeMap::new(),
             overcharge_secs: 0.0,
@@ -176,8 +251,20 @@ impl TenantAuditSummary {
 pub struct Auditor {
     machine: KernelConfig,
     tolerance: f64,
-    reference_cache: BTreeMap<ReferenceKey, ScenarioOutcome>,
+    sampling: SamplingPolicy,
+    fleet_seed: u64,
+    /// Whether record-embedded references are accepted. `true` on the
+    /// fleet path, where the worker pool is the auditor's own trusted
+    /// infrastructure; set to `false` for records from an untrusted
+    /// executor, whose producer could forge the reference.
+    trust_references: bool,
+    reference_cache: BTreeMap<ReferenceKey, ReferenceOutcome>,
     summaries: BTreeMap<TenantId, TenantAuditSummary>,
+    /// Inline reference replays performed (cache misses without a
+    /// precomputed reference) — the previously invisible audit cost.
+    replays: u64,
+    /// Records audited with a worker-precomputed reference.
+    reference_hits: u64,
 }
 
 type ReferenceKey = (&'static str, u64, u64, i8);
@@ -192,14 +279,60 @@ impl Auditor {
     /// attacker nets only ~7% against the multi-threaded Brute victim).
     pub const DEFAULT_TOLERANCE: f64 = 0.05;
 
-    /// An auditor replaying references on `machine`.
+    /// An auditor replaying references on `machine`, auditing every run.
     pub fn new(machine: KernelConfig) -> Auditor {
         Auditor {
             machine,
             tolerance: Self::DEFAULT_TOLERANCE,
+            sampling: SamplingPolicy::Always,
+            fleet_seed: 0,
+            trust_references: true,
             reference_cache: BTreeMap::new(),
             summaries: BTreeMap::new(),
+            replays: 0,
+            reference_hits: 0,
         }
+    }
+
+    /// Ignores record-embedded references and performs every audit against
+    /// the auditor's own (memoized) inline replay.
+    ///
+    /// The default (trusting) mode is correct on the fleet path, where the
+    /// worker pool computing the references *is* the auditor's own
+    /// infrastructure. Records deserialized from an untrusted executor are
+    /// a different matter: their producer — the metered platform, exactly
+    /// the party this audit distrusts — controls the `reference` field and
+    /// could forge a reference that agrees with its own bill. Distrusting
+    /// references restores the paper's §VI posture of independent
+    /// verification at the cost of one replay per job template.
+    pub fn distrust_references(mut self) -> Auditor {
+        self.trust_references = false;
+        self
+    }
+
+    /// Replaces the sampling policy. `fleet_seed` keys the deterministic
+    /// probabilistic decisions and must match the fleet's seed so the
+    /// workers precompute references for exactly the runs audited here.
+    pub fn with_sampling(mut self, policy: SamplingPolicy, fleet_seed: u64) -> Auditor {
+        self.sampling = policy;
+        self.fleet_seed = fleet_seed;
+        self
+    }
+
+    /// The active sampling policy.
+    pub fn sampling(&self) -> SamplingPolicy {
+        self.sampling
+    }
+
+    /// Inline reference replays performed so far (the §VI verification
+    /// cost that precomputed references avoid).
+    pub fn replay_count(&self) -> u64 {
+        self.replays
+    }
+
+    /// Records audited with a worker-precomputed reference so far.
+    pub fn reference_hit_count(&self) -> u64 {
+        self.reference_hits
     }
 
     /// Overrides the overcharge tolerance.
@@ -215,9 +348,18 @@ impl Auditor {
         self
     }
 
-    /// The reference outcome for a record: a clean replay of the same
-    /// workload, scale, seed and nice value, memoized.
-    pub fn reference(&mut self, record: &RunRecord) -> &ScenarioOutcome {
+    /// The reference outcome for a record: the worker-precomputed
+    /// reference when the record carries one, otherwise a clean replay of
+    /// the same workload, scale, seed and nice value, memoized. Both paths
+    /// are the same deterministic simulation, so the returned reference is
+    /// bit-identical either way.
+    pub fn reference<'a>(&'a mut self, record: &'a RunRecord) -> &'a ReferenceOutcome {
+        if self.trust_references {
+            if let Some(reference) = &record.reference {
+                self.reference_hits += 1;
+                return reference;
+            }
+        }
         let key: ReferenceKey = (
             record.job.workload.label(),
             record.job.scale.to_bits(),
@@ -225,19 +367,53 @@ impl Auditor {
             record.job.nice,
         );
         let machine = &self.machine;
+        let replays = &mut self.replays;
         self.reference_cache.entry(key).or_insert_with(|| {
+            *replays += 1;
             let mut scenario = Scenario::new(record.job.workload, record.job.scale)
                 .with_config(machine.clone().with_seed(record.seed));
             scenario.victim_nice = record.job.nice;
-            scenario.run_clean()
+            ReferenceOutcome::from_outcome(&scenario.run_clean())
         })
     }
 
-    /// Audits one run, updating the per-tenant summaries.
+    /// Audits one run, updating the per-tenant summaries. Runs the
+    /// sampling policy skips are counted but not verified: their verdict
+    /// carries `audited: false`, no anomalies, and a vacuously clean
+    /// assessment.
     pub fn observe(&mut self, record: &RunRecord) -> AuditVerdict {
         let freq = self.machine.frequency;
         let tolerance = self.tolerance;
         let outcome = &record.outcome;
+
+        if !self.sampling.should_audit(self.fleet_seed, record.job.id) {
+            let summary = self
+                .summaries
+                .entry(record.job.tenant)
+                .or_insert_with(|| TenantAuditSummary::new(record.job.tenant));
+            summary.runs += 1;
+            summary.skipped_runs += 1;
+            // A skipped run asserts nothing: compare the bill against
+            // itself so the assessment is well-formed and clean.
+            let report = OverchargeReport::compare_with_tolerance(
+                outcome.victim_billed,
+                outcome.victim_billed,
+                freq,
+                tolerance,
+            );
+            let source = SourceIntegrityReport {
+                unexpected: Vec::new(),
+                missing: Vec::new(),
+                pcr_consistent: true,
+            };
+            return AuditVerdict {
+                job: record.job.id,
+                tenant: record.job.tenant,
+                assessment: TrustAssessment::new(&source, true, report),
+                anomalies: Vec::new(),
+                audited: false,
+            };
+        }
 
         // Derive everything needed from the memoized reference inside one
         // borrow, so the (large) outcome is never cloned per record.
@@ -333,6 +509,7 @@ impl Auditor {
             tenant: record.job.tenant,
             assessment,
             anomalies,
+            audited: true,
         }
     }
 
@@ -456,11 +633,100 @@ mod tests {
     fn reference_cache_is_shared_across_same_template_jobs() {
         let fleet = fleet();
         let mut auditor = Auditor::new(fleet.config().machine.clone());
-        // Same template and id → same derived seed → one replay.
+        // Strip the precomputed references to exercise the inline-replay
+        // fallback: same template and id → same derived seed → one replay.
         for tenant in [TenantId(1), TenantId(2)] {
             let job = JobSpec::clean(9, tenant, Workload::Pi, SCALE);
-            auditor.observe(&fleet.run_one(&job));
+            let mut record = fleet.run_one(&job);
+            record.reference = None;
+            auditor.observe(&record);
         }
         assert_eq!(auditor.reference_cache_len(), 1);
+        assert_eq!(auditor.replay_count(), 1);
+        assert_eq!(auditor.reference_hit_count(), 0);
+    }
+
+    #[test]
+    fn precomputed_reference_skips_the_inline_replay() {
+        let fleet = fleet();
+        let mut auditor = Auditor::new(fleet.config().machine.clone());
+        let job = JobSpec::attacked(3, TenantId(1), Workload::LoopO, SCALE, AttackSpec::Shell);
+        let record = fleet.run_one(&job);
+        assert!(record.reference.is_some(), "Always policy precomputes");
+        let verdict = auditor.observe(&record);
+        assert!(!verdict.is_clean());
+        assert!(verdict.audited);
+        assert_eq!(auditor.replay_count(), 0);
+        assert_eq!(auditor.reference_hit_count(), 1);
+        assert_eq!(auditor.reference_cache_len(), 0);
+    }
+
+    #[test]
+    fn precomputed_and_inline_references_agree_bit_for_bit() {
+        let fleet = fleet();
+        let job = JobSpec::attacked(5, TenantId(1), Workload::LoopO, SCALE, AttackSpec::Shell);
+        let record = fleet.run_one(&job);
+        let precomputed = record.reference.clone().expect("reference precomputed");
+        let mut stripped = record.clone();
+        stripped.reference = None;
+        let mut auditor = Auditor::new(fleet.config().machine.clone());
+        let inline = auditor.reference(&stripped).clone();
+        assert_eq!(precomputed, inline);
+        assert_eq!(auditor.replay_count(), 1);
+    }
+
+    #[test]
+    fn distrusting_references_catches_a_forged_reference() {
+        let fleet = fleet();
+        let job = JobSpec::attacked(4, TenantId(6), Workload::LoopO, SCALE, AttackSpec::Shell);
+        let mut record = fleet.run_one(&job);
+        // The dishonest platform forges a reference that agrees with its
+        // own inflated bill and tampered closure.
+        record.reference = Some(ReferenceOutcome {
+            victim_truth: record.outcome.victim_billed,
+            measured_images: record.outcome.measured_images.clone(),
+            measurement_pcr: record.outcome.measurement_pcr,
+            witness_digest: record.outcome.witness_digest,
+        });
+        // A trusting auditor is deceived...
+        let mut trusting = Auditor::new(fleet.config().machine.clone());
+        assert!(trusting.observe(&record).is_clean());
+        // ...a distrusting one replays independently and flags the attack.
+        let mut distrusting = Auditor::new(fleet.config().machine.clone()).distrust_references();
+        let verdict = distrusting.observe(&record);
+        assert!(!verdict.is_clean());
+        let kinds: Vec<&str> = verdict.anomalies.iter().map(Anomaly::kind).collect();
+        assert!(kinds.contains(&"overbilled"), "kinds: {kinds:?}");
+        assert_eq!(distrusting.replay_count(), 1);
+        assert_eq!(distrusting.reference_hit_count(), 0);
+    }
+
+    #[test]
+    fn sampling_policy_skips_are_counted_and_vacuously_clean() {
+        // EveryNth(2): even job ids audited, odd skipped.
+        let config = FleetConfig::new(1, 1234).with_sampling(SamplingPolicy::EveryNth(2));
+        let fleet = Fleet::new(config);
+        let mut auditor = Auditor::new(fleet.config().machine.clone())
+            .with_sampling(SamplingPolicy::EveryNth(2), 1234);
+        // An attacked run with an odd id is skipped: no anomaly raised.
+        let skipped_job =
+            JobSpec::attacked(1, TenantId(1), Workload::LoopO, SCALE, AttackSpec::Shell);
+        let skipped_record = fleet.run_one(&skipped_job);
+        assert!(skipped_record.reference.is_none(), "no reference for skips");
+        let verdict = auditor.observe(&skipped_record);
+        assert!(!verdict.audited);
+        assert!(verdict.is_clean());
+        assert!(verdict.assessment.is_trustworthy());
+        // The same attack with an even id is caught.
+        let audited_job =
+            JobSpec::attacked(2, TenantId(1), Workload::LoopO, SCALE, AttackSpec::Shell);
+        let verdict = auditor.observe(&fleet.run_one(&audited_job));
+        assert!(verdict.audited);
+        assert!(!verdict.is_clean());
+        let summary = auditor.summary(TenantId(1)).unwrap();
+        assert_eq!(summary.runs, 2);
+        assert_eq!(summary.skipped_runs, 1);
+        assert_eq!(summary.flagged_runs, 1);
+        assert_eq!(auditor.replay_count(), 0, "audited run had a reference");
     }
 }

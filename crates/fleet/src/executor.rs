@@ -20,11 +20,13 @@ use trustmeter_attacks::{
     Attack, ExceptionFloodAttack, InterpositionAttack, InterruptFloodAttack,
     PreloadConstructorAttack, SchedulingAttack, ShellAttack, ThrashingAttack,
 };
+use trustmeter_core::{CpuTime, Digest};
 use trustmeter_experiments::{Scenario, ScenarioOutcome};
 use trustmeter_kernel::KernelConfig;
 use trustmeter_sim::SimRng;
 use trustmeter_workloads::Workload;
 
+use crate::auditor::SamplingPolicy;
 use crate::tenant::TenantId;
 
 /// Identifies one submitted job.
@@ -158,6 +160,40 @@ impl JobSpec {
     }
 }
 
+/// The clean-reference facts the auditor compares a run against: what the
+/// job *should* have cost and loaded on an honest platform with the same
+/// seed.
+///
+/// Workers precompute this alongside the (possibly attacked) run — they
+/// already hold the spec and the seed — so the auditor's §VI verification
+/// does not have to replay the job serially on the consumer thread. A
+/// precomputed reference is bit-identical to the inline replay the auditor
+/// would otherwise perform: both are the same deterministic simulation of
+/// the same seed on the same machine model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceOutcome {
+    /// Fine-grained TSC ground truth of the clean run.
+    pub victim_truth: CpuTime,
+    /// Every image the clean run measured into the victim's context.
+    pub measured_images: Vec<String>,
+    /// PCR over the clean run's measurement log.
+    pub measurement_pcr: Digest,
+    /// Digest of the clean run's execution witness.
+    pub witness_digest: Digest,
+}
+
+impl ReferenceOutcome {
+    /// Extracts the audit-relevant facts of a clean scenario outcome.
+    pub fn from_outcome(outcome: &ScenarioOutcome) -> ReferenceOutcome {
+        ReferenceOutcome {
+            victim_truth: outcome.victim_truth,
+            measured_images: outcome.measured_images.clone(),
+            measurement_pcr: outcome.measurement_pcr,
+            witness_digest: outcome.witness_digest,
+        }
+    }
+}
+
 /// Everything one executed job produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunRecord {
@@ -168,6 +204,9 @@ pub struct RunRecord {
     /// The full scenario outcome: billed/truth/process-aware usage,
     /// measured images, witness digest, kernel stats.
     pub outcome: ScenarioOutcome,
+    /// The worker-precomputed clean reference, present exactly when the
+    /// fleet's [`SamplingPolicy`] selects the job for auditing.
+    pub reference: Option<ReferenceOutcome>,
 }
 
 /// Fleet configuration.
@@ -179,21 +218,33 @@ pub struct FleetConfig {
     pub seed: u64,
     /// The machine every shard simulates.
     pub machine: KernelConfig,
+    /// Which jobs the workers precompute audit references for (and the
+    /// auditor verifies). Results are independent of worker count because
+    /// every decision derives from the fleet seed and the job id alone.
+    pub sampling: SamplingPolicy,
 }
 
 impl FleetConfig {
-    /// `shards` workers on the paper's machine with the given fleet seed.
+    /// `shards` workers on the paper's machine with the given fleet seed,
+    /// auditing every run.
     pub fn new(shards: usize, seed: u64) -> FleetConfig {
         FleetConfig {
             shards,
             seed,
             machine: KernelConfig::paper_machine(),
+            sampling: SamplingPolicy::Always,
         }
     }
 
     /// Replaces the simulated machine.
     pub fn with_machine(mut self, machine: KernelConfig) -> FleetConfig {
         self.machine = machine;
+        self
+    }
+
+    /// Replaces the audit sampling policy.
+    pub fn with_sampling(mut self, sampling: SamplingPolicy) -> FleetConfig {
+        self.sampling = sampling;
         self
     }
 }
@@ -252,7 +303,13 @@ impl Fleet {
         ingest.finish().records
     }
 
-    /// Executes one job in the calling thread.
+    /// Executes one job in the calling thread, precomputing the clean
+    /// audit reference when the sampling policy selects the job.
+    ///
+    /// For a clean job the run *is* the clean reference (same seed, same
+    /// machine, no attack), so the reference costs nothing extra; for an
+    /// attacked job the worker pays one additional clean replay — work the
+    /// auditor would otherwise perform serially on the consumer thread.
     pub fn run_one(&self, job: &JobSpec) -> RunRecord {
         let seed = self.job_seed(job.id);
         let mut scenario = Scenario::new(job.workload, job.scale)
@@ -262,10 +319,19 @@ impl Fleet {
             None => scenario.run_clean(),
             Some(spec) => scenario.run_attacked(spec.build(job.workload, job.scale).as_ref()),
         };
+        let reference = self
+            .config
+            .sampling
+            .should_audit(self.config.seed, job.id)
+            .then(|| match &job.attack {
+                None => ReferenceOutcome::from_outcome(&outcome),
+                Some(_) => ReferenceOutcome::from_outcome(&scenario.run_clean()),
+            });
         RunRecord {
             job: job.clone(),
             seed,
             outcome,
+            reference,
         }
     }
 }

@@ -52,8 +52,8 @@ pub mod metrics;
 pub mod queue;
 pub mod tenant;
 
-pub use auditor::{Anomaly, AuditVerdict, Auditor, TenantAuditSummary};
-pub use executor::{AttackSpec, Fleet, FleetConfig, JobId, JobSpec, RunRecord};
+pub use auditor::{Anomaly, AuditVerdict, Auditor, SamplingPolicy, TenantAuditSummary};
+pub use executor::{AttackSpec, Fleet, FleetConfig, JobId, JobSpec, ReferenceOutcome, RunRecord};
 pub use ingest::{
     BackpressurePolicy, FleetIngest, IngestConfig, IngestHandle, IngestOutcome, IngestStats,
     SubmitError,
@@ -66,6 +66,11 @@ pub use tenant::{Ledger, Tenant, TenantDirectory, TenantId, TenantLedger};
 pub use trustmeter_core::RateCard;
 
 use serde::{Deserialize, Serialize};
+
+const AUDIT_REPLAYS_METRIC: &str = "fleet_audit_replays_total";
+const AUDIT_REPLAYS_HELP: &str = "Inline clean-reference replays the auditor performed";
+const AUDIT_REF_HITS_METRIC: &str = "fleet_audit_reference_hits_total";
+const AUDIT_REF_HITS_HELP: &str = "Runs audited with a worker-precomputed reference";
 
 /// Everything one processed batch produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -118,20 +123,31 @@ pub struct FleetService {
 
 impl FleetService {
     /// A service with the given executor configuration and a
-    /// $0.10/CPU-hour default rate card.
+    /// $0.10/CPU-hour default rate card. The auditor inherits the config's
+    /// sampling policy and seed, so it verifies exactly the runs the
+    /// workers precompute references for.
     pub fn new(config: FleetConfig) -> FleetService {
-        let auditor = Auditor::new(config.machine.clone());
+        let auditor =
+            Auditor::new(config.machine.clone()).with_sampling(config.sampling, config.seed);
+        let mut metrics = MetricsRegistry::new();
+        // Pre-register the audit cost counters at zero so the exposition
+        // shows the replay cost even before (or without) any audits.
+        metrics.counter_add(AUDIT_REPLAYS_METRIC, AUDIT_REPLAYS_HELP, &[], 0.0);
+        metrics.counter_add(AUDIT_REF_HITS_METRIC, AUDIT_REF_HITS_HELP, &[], 0.0);
         FleetService {
             fleet: Fleet::new(config),
             directory: TenantDirectory::new(),
             auditor,
             ledger: Ledger::new(),
-            metrics: MetricsRegistry::new(),
+            metrics,
             default_rate_card: RateCard::per_cpu_hour(0.10),
         }
     }
 
-    /// Replaces the auditor (e.g. to widen its tolerance).
+    /// Replaces the auditor (e.g. to widen its tolerance). If the new
+    /// auditor's sampling policy differs from the fleet's, records the
+    /// workers did not precompute a reference for fall back to inline
+    /// replays (correct, just slower).
     pub fn with_auditor(mut self, auditor: Auditor) -> FleetService {
         self.auditor = auditor;
         self
@@ -229,7 +245,21 @@ impl FleetService {
             record.outcome.victim_truth,
             record.outcome.victim_process_aware,
         );
+        let replays_before = self.auditor.replay_count();
+        let hits_before = self.auditor.reference_hit_count();
         let verdict = self.auditor.observe(record);
+        self.metrics.counter_add(
+            AUDIT_REPLAYS_METRIC,
+            AUDIT_REPLAYS_HELP,
+            &[],
+            (self.auditor.replay_count() - replays_before) as f64,
+        );
+        self.metrics.counter_add(
+            AUDIT_REF_HITS_METRIC,
+            AUDIT_REF_HITS_HELP,
+            &[],
+            (self.auditor.reference_hit_count() - hits_before) as f64,
+        );
         if !verdict.is_clean() {
             self.ledger.account_mut(record.job.tenant).flag();
         }

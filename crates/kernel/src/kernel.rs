@@ -15,7 +15,7 @@ use crate::program::{Op, OpOutcome, Program, SyscallOp};
 use crate::results::{KernelStats, ProcessUsage, RunResult};
 use crate::sched::{build_scheduler, Scheduler};
 use crate::signals::Signal;
-use crate::task::{BlockReason, Effect, Micro, Task, TaskState};
+use crate::task::{BlockReason, Effect, Micro, Task, TaskState, TaskTable};
 use std::collections::{BTreeMap, BTreeSet};
 use trustmeter_core::{
     ExceptionKind, ImageKind, IrqLine, MeasuredImage, MeterBank, MeterEvent, Mode, SchemeKind,
@@ -66,7 +66,7 @@ pub struct Kernel {
     config: KernelConfig,
     now: Cycles,
     next_pid: u32,
-    tasks: BTreeMap<TaskId, Task>,
+    tasks: TaskTable,
     current: Option<TaskId>,
     scheduler: Box<dyn Scheduler>,
     meter: MeterBank,
@@ -136,7 +136,7 @@ impl Kernel {
             stats: KernelStats::default(),
             now: Cycles::ZERO,
             next_pid: 1,
-            tasks: BTreeMap::new(),
+            tasks: TaskTable::new(),
             current: None,
             rng,
             preempt_requested: false,
@@ -189,7 +189,7 @@ impl Kernel {
 
     /// The task table entry for `id`, if it exists.
     pub fn task(&self, id: TaskId) -> Option<&Task> {
-        self.tasks.get(&id)
+        self.tasks.get(id)
     }
 
     /// Current virtual time.
@@ -263,7 +263,7 @@ impl Kernel {
         let nice = task.nice;
         self.mm.register(id);
         self.stats.tasks_created += 1;
-        self.tasks.insert(id, task);
+        self.tasks.insert(task);
         self.scheduler.task_created(id, nice, self.now);
         self.scheduler.enqueue(id, self.now, self.current);
         id
@@ -301,7 +301,12 @@ impl Kernel {
                 match self.scheduler.pick_next(self.now) {
                     Some(next) => self.switch_to(next),
                     None => {
-                        // Idle: advance to the next event.
+                        // Idle: nothing is runnable, so handling each jiffy
+                        // tick individually would only pay the handler cost
+                        // and reschedule — coalesce the ticks up to the next
+                        // non-tick event (or the horizon), then advance the
+                        // clock to the next event in one step.
+                        self.coalesce_idle_ticks(horizon);
                         match self.events.peek_time() {
                             Some(t) => {
                                 self.now = self.now.max(t);
@@ -322,13 +327,13 @@ impl Kernel {
     }
 
     fn any_alive(&self) -> bool {
-        self.tasks.values().any(|t| t.state.is_alive())
+        self.tasks.iter().any(|t| t.state.is_alive())
     }
 
     fn switch_to(&mut self, next: TaskId) {
         self.stats.context_switches += 1;
         let ctx_cost = self.config.cost(self.config.costs.context_switch_us);
-        let Some(task) = self.tasks.get_mut(&next) else {
+        let Some(task) = self.tasks.get_mut(next) else {
             return;
         };
         task.state = TaskState::Running;
@@ -342,12 +347,10 @@ impl Kernel {
             task: next,
             mode,
         });
-        self.trace.emit(
-            self.now,
-            TraceLevel::Info,
-            "sched",
-            format!("switch to {next}"),
-        );
+        self.trace
+            .emit_with(self.now, TraceLevel::Info, "sched", || {
+                format!("switch to {next}")
+            });
     }
 
     fn deschedule_current(&mut self, new_state: TaskState, voluntary: bool) {
@@ -358,7 +361,7 @@ impl Kernel {
             at: self.now,
             task: cur,
         });
-        if let Some(task) = self.tasks.get_mut(&cur) {
+        if let Some(task) = self.tasks.get_mut(cur) {
             task.state = new_state;
             if voluntary {
                 task.voluntary_switches += 1;
@@ -378,12 +381,8 @@ impl Kernel {
         let mut guard = 0u32;
         while self.now < deadline {
             let Some(cur) = self.current else { return };
-            let has_micro = self
-                .tasks
-                .get(&cur)
-                .map(|t| !t.micros.is_empty())
-                .unwrap_or(false);
-            if !has_micro {
+            if !self.execute_front_micro(cur, deadline) {
+                // Micro queue empty: lower the next program op.
                 match self.fetch_and_lower(cur) {
                     FetchResult::Lowered => {
                         guard += 1;
@@ -402,7 +401,6 @@ impl Kernel {
                     }
                 }
             }
-            self.execute_front_micro(cur, deadline);
             if self.preempt_requested {
                 self.preempt_requested = false;
                 if self.current == Some(cur) {
@@ -416,70 +414,95 @@ impl Kernel {
         }
     }
 
-    /// Ensures the current task's metered mode matches `mode`.
-    fn ensure_mode(&mut self, cur: TaskId, mode: Mode) {
-        let Some(task) = self.tasks.get_mut(&cur) else {
+    /// With nothing runnable, the pending timer tick (there is at most one
+    /// in the queue) would fire every jiffy, pay the handler cost, and
+    /// reschedule itself — without ever waking anyone, because wakeups come
+    /// from non-tick events. Move the tick to the first jiffy boundary at
+    /// or past the next non-tick event (or the horizon) in one step.
+    fn coalesce_idle_ticks(&mut self, horizon: Cycles) {
+        if !matches!(self.events.peek(), Some((_, KernelEvent::TimerTick))) {
+            return;
+        }
+        let Some(tick) = self.events.pop() else {
             return;
         };
-        if task.mode != mode {
-            task.mode = mode;
-            self.meter.on_event(&MeterEvent::ModeChange {
-                at: self.now,
-                task: cur,
-                mode,
-            });
+        // Clamp to the horizon: the run loop stops there, so events beyond
+        // it must stay unprocessed exactly as they would under per-jiffy
+        // ticking.
+        let target = self.events.peek_time().unwrap_or(horizon).min(horizon);
+        let jiffy = self.config.jiffy();
+        let mut at = tick.at;
+        if target > at && !jiffy.is_zero() {
+            let skipped = (target - at).as_u64().div_ceil(jiffy.as_u64());
+            at += jiffy * skipped;
+            self.stats.ticks_coalesced += skipped;
         }
+        self.events.schedule(at, KernelEvent::TimerTick);
     }
 
-    fn execute_front_micro(&mut self, cur: TaskId, deadline: Cycles) {
+    /// Executes the front micro-op of `cur`, splitting it at `deadline`.
+    /// Returns `false` when the task has no pending micro-op (the caller
+    /// must lower the next program op first).
+    ///
+    /// This is the hottest function in the simulator: the micro-op is
+    /// inspected, advanced, popped on completion, and its mode switch and
+    /// breakpoint check resolved under a **single** task-table lookup; only
+    /// the subsystem side effects (meter events, scheduler charge, syscall
+    /// effects) run after the borrow ends.
+    fn execute_front_micro(&mut self, cur: TaskId, deadline: Cycles) -> bool {
         let budget = deadline.saturating_sub(self.now);
-        // Inspect the front micro without holding the borrow across the
-        // subsystem calls below.
+        // What remains to do once the borrow on the task is released.
         enum Action {
             Run {
-                mode: Mode,
                 slice: Cycles,
                 completes: bool,
                 exception: Option<ExceptionKind>,
                 enter_exception: bool,
             },
-            Watched {
-                addr: u64,
-                count_left: u64,
-            },
             Effect,
+            Done,
         }
-        let action = {
-            let Some(task) = self.tasks.get_mut(&cur) else {
-                return;
+        let (action, mode_change) = {
+            let Some(task) = self.tasks.get_mut(cur) else {
+                return false;
             };
             let Some(front) = task.micros.front_mut() else {
-                return;
+                return false;
             };
-            match front {
+            let (action, mode) = match front {
                 Micro::User { remaining } => {
                     let slice = (*remaining).min(budget);
                     *remaining = remaining.saturating_sub(slice);
                     let completes = remaining.is_zero();
-                    Action::Run {
-                        mode: Mode::User,
-                        slice,
-                        completes,
-                        exception: None,
-                        enter_exception: false,
+                    if completes {
+                        task.micros.pop_front();
                     }
+                    (
+                        Action::Run {
+                            slice,
+                            completes,
+                            exception: None,
+                            enter_exception: false,
+                        },
+                        Some(Mode::User),
+                    )
                 }
                 Micro::Kernel { remaining } => {
                     let slice = (*remaining).min(budget);
                     *remaining = remaining.saturating_sub(slice);
                     let completes = remaining.is_zero();
-                    Action::Run {
-                        mode: Mode::Kernel,
-                        slice,
-                        completes,
-                        exception: None,
-                        enter_exception: false,
+                    if completes {
+                        task.micros.pop_front();
                     }
+                    (
+                        Action::Run {
+                            slice,
+                            completes,
+                            exception: None,
+                            enter_exception: false,
+                        },
+                        Some(Mode::Kernel),
+                    )
                 }
                 Micro::Exception {
                     kind,
@@ -488,34 +511,89 @@ impl Kernel {
                 } => {
                     let enter = !*entered;
                     *entered = true;
+                    let kind = *kind;
                     let slice = (*remaining).min(budget);
                     *remaining = remaining.saturating_sub(slice);
                     let completes = remaining.is_zero();
-                    Action::Run {
-                        mode: Mode::Kernel,
-                        slice,
-                        completes,
-                        exception: Some(*kind),
-                        enter_exception: enter,
+                    if completes {
+                        task.micros.pop_front();
                     }
+                    (
+                        Action::Run {
+                            slice,
+                            completes,
+                            exception: Some(kind),
+                            enter_exception: enter,
+                        },
+                        Some(Mode::Kernel),
+                    )
                 }
-                Micro::WatchedAccess { addr, count_left } => Action::Watched {
-                    addr: *addr,
-                    count_left: *count_left,
-                },
-                Micro::Effect(_) => Action::Effect,
-            }
+                Micro::WatchedAccess { addr, count_left } => {
+                    // Replace the front micro according to whether a
+                    // breakpoint is armed on this address.
+                    let addr = *addr;
+                    let count_left = *count_left;
+                    let armed = task.breakpoint == Some(addr) && task.traced_by.is_some();
+                    task.micros.pop_front();
+                    if armed {
+                        let trap_cost = self.config.cost(self.config.costs.debug_trap_us);
+                        let signal_cost = self.config.cost(self.config.costs.signal_delivery_us);
+                        self.stats.debug_traps += 1;
+                        if count_left > 1 {
+                            task.micros.push_front(Micro::WatchedAccess {
+                                addr,
+                                count_left: count_left - 1,
+                            });
+                        }
+                        task.micros.push_front(Micro::Effect(Effect::TrapStop));
+                        task.micros.push_front(Micro::Kernel {
+                            remaining: signal_cost,
+                        });
+                        task.micros.push_front(Micro::Exception {
+                            kind: ExceptionKind::Debug,
+                            remaining: trap_cost,
+                            entered: false,
+                        });
+                        // The access itself is a single user-mode
+                        // instruction.
+                        task.micros.push_front(Micro::User {
+                            remaining: Cycles(1),
+                        });
+                    } else {
+                        // Unwatched accesses are ordinary user work (one
+                        // cycle each).
+                        task.micros.push_front(Micro::User {
+                            remaining: Cycles(count_left.max(1)),
+                        });
+                    }
+                    (Action::Done, None)
+                }
+                Micro::Effect(_) => (Action::Effect, None),
+            };
+            let mode_change = match mode {
+                Some(mode) if task.mode != mode => {
+                    task.mode = mode;
+                    Some(mode)
+                }
+                _ => None,
+            };
+            (action, mode_change)
         };
 
+        if let Some(mode) = mode_change {
+            self.meter.on_event(&MeterEvent::ModeChange {
+                at: self.now,
+                task: cur,
+                mode,
+            });
+        }
         match action {
             Action::Run {
-                mode,
                 slice,
                 completes,
                 exception,
                 enter_exception,
             } => {
-                self.ensure_mode(cur, mode);
                 if let (Some(kind), true) = (exception, enter_exception) {
                     self.meter.on_event(&MeterEvent::ExceptionEnter {
                         at: self.now,
@@ -525,73 +603,28 @@ impl Kernel {
                 }
                 self.now += slice;
                 self.scheduler.charge(cur, slice);
-                if completes {
-                    if exception.is_some() {
-                        self.meter.on_event(&MeterEvent::ExceptionExit {
-                            at: self.now,
-                            task: cur,
-                        });
-                    }
-                    if let Some(task) = self.tasks.get_mut(&cur) {
-                        task.micros.pop_front();
-                    }
-                }
-            }
-            Action::Watched { addr, count_left } => {
-                // Replace the front micro according to whether a breakpoint
-                // is armed on this address.
-                let armed = self
-                    .tasks
-                    .get(&cur)
-                    .map(|t| t.breakpoint == Some(addr) && t.traced_by.is_some())
-                    .unwrap_or(false);
-                let trap_cost = self.config.cost(self.config.costs.debug_trap_us);
-                let signal_cost = self.config.cost(self.config.costs.signal_delivery_us);
-                let Some(task) = self.tasks.get_mut(&cur) else {
-                    return;
-                };
-                task.micros.pop_front();
-                if armed {
-                    self.stats.debug_traps += 1;
-                    if count_left > 1 {
-                        task.micros.push_front(Micro::WatchedAccess {
-                            addr,
-                            count_left: count_left - 1,
-                        });
-                    }
-                    task.micros.push_front(Micro::Effect(Effect::TrapStop));
-                    task.micros.push_front(Micro::Kernel {
-                        remaining: signal_cost,
-                    });
-                    task.micros.push_front(Micro::Exception {
-                        kind: ExceptionKind::Debug,
-                        remaining: trap_cost,
-                        entered: false,
-                    });
-                    // The access itself is a single user-mode instruction.
-                    task.micros.push_front(Micro::User {
-                        remaining: Cycles(1),
-                    });
-                } else {
-                    // Unwatched accesses are ordinary user work (one cycle each).
-                    task.micros.push_front(Micro::User {
-                        remaining: Cycles(count_left.max(1)),
+                if completes && exception.is_some() {
+                    self.meter.on_event(&MeterEvent::ExceptionExit {
+                        at: self.now,
+                        task: cur,
                     });
                 }
             }
             Action::Effect => {
                 let effect = {
-                    let Some(task) = self.tasks.get_mut(&cur) else {
-                        return;
+                    let Some(task) = self.tasks.get_mut(cur) else {
+                        return true;
                     };
                     match task.micros.pop_front() {
                         Some(Micro::Effect(e)) => e,
-                        _ => return,
+                        _ => return true,
                     }
                 };
                 self.apply_effect(cur, effect);
             }
+            Action::Done => {}
         }
+        true
     }
 
     // -----------------------------------------------------------------
@@ -601,12 +634,12 @@ impl Kernel {
     fn fetch_and_lower(&mut self, cur: TaskId) -> FetchResult {
         // Deliver an implicit "completed" outcome for ops that have no
         // specific result.
-        if let Some(task) = self.tasks.get_mut(&cur) {
+        if let Some(task) = self.tasks.get_mut(cur) {
             if task.ops_executed > 0 && task.last_outcome == OpOutcome::None {
                 task.last_outcome = OpOutcome::Completed;
             }
         }
-        let op = match self.tasks.get_mut(&cur) {
+        let op = match self.tasks.get_mut(cur) {
             Some(task) => task.fetch_op(),
             None => return FetchResult::Exited,
         };
@@ -622,7 +655,7 @@ impl Kernel {
                     return FetchResult::Exited;
                 }
                 let exit_cost = self.config.cost(self.config.costs.exit_us);
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     for (label, cycles) in exit_work {
                         task.witness.record(&label);
                         task.push_user_work(cycles);
@@ -642,19 +675,19 @@ impl Kernel {
         let entry = self.config.cost(self.config.costs.syscall_entry_us);
         match op {
             Op::Compute { cycles } => {
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.push_user_work(cycles);
                 }
             }
             Op::LibCall { symbol, calls } => {
                 let preload = self
                     .tasks
-                    .get(&cur)
+                    .get(cur)
                     .map(|t| t.ld_preload.clone())
                     .unwrap_or_default();
                 let (per_call, provider) = self.libs.resolve(&symbol, &preload);
                 let interposed = preload.contains(&provider);
-                let Some(task) = self.tasks.get_mut(&cur) else {
+                let Some(task) = self.tasks.get_mut(cur) else {
                     return;
                 };
                 if interposed {
@@ -677,7 +710,7 @@ impl Kernel {
                 let major_cost = self
                     .config
                     .cost(self.config.costs.major_fault_us + self.config.costs.swap_in_us);
-                let Some(task) = self.tasks.get_mut(&cur) else {
+                let Some(task) = self.tasks.get_mut(cur) else {
                     return;
                 };
                 // The touches themselves are cheap user work.
@@ -697,7 +730,7 @@ impl Kernel {
                     });
                 }
                 let mem = self.mm.task_mem(cur);
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.mem = mem;
                 }
             }
@@ -705,7 +738,7 @@ impl Kernel {
                 if count == 0 {
                     return;
                 }
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.micros.push_back(Micro::WatchedAccess {
                         addr,
                         count_left: count,
@@ -715,13 +748,13 @@ impl Kernel {
             Op::AllocMemory { pages } => {
                 self.mm.allocate(cur, pages);
                 let mem = self.mm.task_mem(cur);
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.mem = mem;
                     task.micros.push_back(Micro::Kernel { remaining: entry });
                 }
             }
             Op::Label { block } => {
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.witness.record(block);
                 }
             }
@@ -735,7 +768,7 @@ impl Kernel {
     fn lower_syscall(&mut self, cur: TaskId, sys: SyscallOp, entry: Cycles) {
         let costs = self.config.costs;
         let cost = |us: f64| self.config.cost(us);
-        let Some(task) = self.tasks.get_mut(&cur) else {
+        let Some(task) = self.tasks.get_mut(cur) else {
             return;
         };
         let mut kernel_cost = entry;
@@ -817,11 +850,11 @@ impl Kernel {
                 let task = Task::new(pid, pid, Some(cur), nice, child, rng);
                 self.mm.register(pid);
                 self.stats.tasks_created += 1;
-                self.tasks.insert(pid, task);
+                self.tasks.insert(task);
                 self.scheduler.task_created(pid, nice, self.now);
                 let preempt = self.scheduler.enqueue(pid, self.now, self.current);
                 self.preempt_requested |= preempt;
-                if let Some(parent) = self.tasks.get_mut(&cur) {
+                if let Some(parent) = self.tasks.get_mut(cur) {
                     parent.children.push(pid);
                     parent.last_outcome = OpOutcome::ForkedChild(pid);
                 }
@@ -831,17 +864,17 @@ impl Kernel {
                 let rng = self.rng.fork();
                 let (tgid, nice) = self
                     .tasks
-                    .get(&cur)
+                    .get(cur)
                     .map(|t| (t.tgid, t.nice))
                     .unwrap_or((cur, 0));
                 let task = Task::new(pid, tgid, Some(cur), nice, thread, rng);
                 self.mm.register(pid);
                 self.stats.tasks_created += 1;
-                self.tasks.insert(pid, task);
+                self.tasks.insert(task);
                 self.scheduler.task_created(pid, nice, self.now);
                 let preempt = self.scheduler.enqueue(pid, self.now, self.current);
                 self.preempt_requested |= preempt;
-                if let Some(parent) = self.tasks.get_mut(&cur) {
+                if let Some(parent) = self.tasks.get_mut(cur) {
                     parent.children.push(pid);
                     parent.last_outcome = OpOutcome::ThreadSpawned(pid);
                 }
@@ -861,7 +894,7 @@ impl Kernel {
             }
             Effect::Dlopen { library } => {
                 let plan = self.libs.dlopen_plan(&library);
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     for m in plan.measurements {
                         task.measurements.measure(m);
                     }
@@ -880,7 +913,7 @@ impl Kernel {
             }
             Effect::Dlclose { library } => {
                 let work = self.libs.dlclose_plan(&library);
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     for (label, cycles) in work {
                         task.witness.record(&label);
                         task.push_user_work(cycles);
@@ -889,14 +922,14 @@ impl Kernel {
                 }
             }
             Effect::SetNice { nice } => {
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.nice = nice;
                 }
                 self.scheduler.set_nice(cur, nice);
             }
             Effect::Kill { target, signal } => {
                 self.deliver_signal(target, signal);
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.last_outcome = OpOutcome::Completed;
                 }
             }
@@ -904,15 +937,15 @@ impl Kernel {
             Effect::PtraceSetBreakpoint { target, addr } => {
                 let ok = self
                     .tasks
-                    .get(&target)
+                    .get(target)
                     .map(|t| t.traced_by == Some(cur) && t.state.is_alive())
                     .unwrap_or(false);
                 if ok {
-                    if let Some(t) = self.tasks.get_mut(&target) {
+                    if let Some(t) = self.tasks.get_mut(target) {
                         t.breakpoint = Some(addr);
                     }
                 }
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.last_outcome = if ok {
                         OpOutcome::Completed
                     } else {
@@ -923,18 +956,18 @@ impl Kernel {
             Effect::PtraceCont { target } => {
                 let ok = self
                     .tasks
-                    .get(&target)
+                    .get(target)
                     .map(|t| t.traced_by == Some(cur) && t.state == TaskState::Stopped)
                     .unwrap_or(false);
                 if ok {
                     self.stopped_unreported.remove(&target);
-                    if let Some(t) = self.tasks.get_mut(&target) {
+                    if let Some(t) = self.tasks.get_mut(target) {
                         t.state = TaskState::Ready;
                     }
                     let preempt = self.scheduler.enqueue(target, self.now, self.current);
                     self.preempt_requested |= preempt;
                 }
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.last_outcome = if ok {
                         OpOutcome::Completed
                     } else {
@@ -945,10 +978,10 @@ impl Kernel {
             Effect::PtraceDetach { target } => {
                 let was_stopped = self
                     .tasks
-                    .get(&target)
+                    .get(target)
                     .map(|t| t.state == TaskState::Stopped)
                     .unwrap_or(false);
-                if let Some(t) = self.tasks.get_mut(&target) {
+                if let Some(t) = self.tasks.get_mut(target) {
                     t.traced_by = None;
                     t.breakpoint = None;
                     if was_stopped {
@@ -959,15 +992,15 @@ impl Kernel {
                     self.stopped_unreported.remove(&target);
                     self.scheduler.enqueue(target, self.now, self.current);
                 }
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.last_outcome = OpOutcome::Completed;
                 }
             }
             Effect::Getrusage => {
-                let tgid = self.tasks.get(&cur).map(|t| t.tgid).unwrap_or(cur);
+                let tgid = self.tasks.get(cur).map(|t| t.tgid).unwrap_or(cur);
                 let members: Vec<TaskId> = self
                     .tasks
-                    .values()
+                    .iter()
                     .filter(|t| t.tgid == tgid)
                     .map(|t| t.id)
                     .collect();
@@ -978,7 +1011,7 @@ impl Kernel {
                     utime += u.utime;
                     stime += u.stime;
                 }
-                if let Some(task) = self.tasks.get_mut(&cur) {
+                if let Some(task) = self.tasks.get_mut(cur) {
                     task.last_outcome = OpOutcome::Rusage { utime, stime };
                 }
             }
@@ -986,7 +1019,7 @@ impl Kernel {
                 // The current task hit an armed breakpoint: it stops and its
                 // tracer (blocked in wait) is woken.
                 self.stopped_unreported.insert(cur);
-                let tracer = self.tasks.get(&cur).and_then(|t| t.traced_by);
+                let tracer = self.tasks.get(cur).and_then(|t| t.traced_by);
                 if let Some(tracer) = tracer {
                     self.wake_waiter_with(tracer, OpOutcome::ChildStopped(cur));
                 }
@@ -1003,19 +1036,19 @@ impl Kernel {
         // 1. Any zombie child to reap?
         let zombie = self
             .tasks
-            .get(&cur)
+            .get(cur)
             .map(|t| t.children.clone())
             .unwrap_or_default()
             .into_iter()
             .find(|c| {
                 self.tasks
-                    .get(c)
+                    .get(*c)
                     .map(|t| t.state == TaskState::Zombie)
                     .unwrap_or(false)
             });
         if let Some(child) = zombie {
             self.reap(cur, child);
-            if let Some(task) = self.tasks.get_mut(&cur) {
+            if let Some(task) = self.tasks.get_mut(cur) {
                 task.last_outcome = OpOutcome::ChildExited(child);
             }
             return;
@@ -1023,13 +1056,13 @@ impl Kernel {
         // 2. Any stopped tracee not yet reported?
         let stopped = self.stopped_unreported.iter().copied().find(|t| {
             self.tasks
-                .get(t)
+                .get(*t)
                 .map(|x| x.traced_by == Some(cur))
                 .unwrap_or(false)
         });
         if let Some(tracee) = stopped {
             self.stopped_unreported.remove(&tracee);
-            if let Some(task) = self.tasks.get_mut(&cur) {
+            if let Some(task) = self.tasks.get_mut(cur) {
                 task.last_outcome = OpOutcome::ChildStopped(tracee);
             }
             return;
@@ -1037,15 +1070,15 @@ impl Kernel {
         // 3. Anything to wait for at all?
         let has_children = self
             .tasks
-            .get(&cur)
+            .get(cur)
             .map(|t| !t.children.is_empty())
             .unwrap_or(false);
         let has_tracees = self
             .tasks
-            .values()
+            .iter()
             .any(|t| t.traced_by == Some(cur) && t.state.is_alive());
         if !has_children && !has_tracees {
-            if let Some(task) = self.tasks.get_mut(&cur) {
+            if let Some(task) = self.tasks.get_mut(cur) {
                 task.last_outcome = OpOutcome::NoChildren;
             }
             return;
@@ -1055,10 +1088,10 @@ impl Kernel {
     }
 
     fn reap(&mut self, parent: TaskId, child: TaskId) {
-        if let Some(t) = self.tasks.get_mut(&child) {
+        if let Some(t) = self.tasks.get_mut(child) {
             t.state = TaskState::Dead;
         }
-        if let Some(p) = self.tasks.get_mut(&parent) {
+        if let Some(p) = self.tasks.get_mut(parent) {
             p.children.retain(|c| *c != child);
         }
     }
@@ -1068,13 +1101,13 @@ impl Kernel {
     fn wake_waiter_with(&mut self, waiter: TaskId, outcome: OpOutcome) {
         let waiting = self
             .tasks
-            .get(&waiter)
+            .get(waiter)
             .map(|t| t.state == TaskState::Blocked(BlockReason::WaitChild))
             .unwrap_or(false);
         if !waiting {
             return;
         }
-        if let Some(t) = self.tasks.get_mut(&waiter) {
+        if let Some(t) = self.tasks.get_mut(waiter) {
             t.state = TaskState::Ready;
             t.last_outcome = outcome;
         }
@@ -1090,7 +1123,7 @@ impl Kernel {
     fn deliver_signal(&mut self, target: TaskId, signal: Signal) {
         let alive = self
             .tasks
-            .get(&target)
+            .get(target)
             .map(|t| t.state.is_alive())
             .unwrap_or(false);
         if !alive {
@@ -1098,7 +1131,7 @@ impl Kernel {
         }
         self.stats.signals_delivered += 1;
         let cost = self.config.cost(self.config.costs.signal_delivery_us);
-        if let Some(t) = self.tasks.get_mut(&target) {
+        if let Some(t) = self.tasks.get_mut(target) {
             t.push_front_micro(Micro::Kernel { remaining: cost });
         }
         if signal.kills_task() {
@@ -1108,11 +1141,11 @@ impl Kernel {
         } else if signal == Signal::Cont {
             let stopped = self
                 .tasks
-                .get(&target)
+                .get(target)
                 .map(|t| t.state == TaskState::Stopped)
                 .unwrap_or(false);
             if stopped {
-                if let Some(t) = self.tasks.get_mut(&target) {
+                if let Some(t) = self.tasks.get_mut(target) {
                     t.state = TaskState::Ready;
                 }
                 self.stopped_unreported.remove(&target);
@@ -1127,7 +1160,7 @@ impl Kernel {
             self.deschedule_current(TaskState::Stopped, true);
             return;
         }
-        let Some(t) = self.tasks.get_mut(&target) else {
+        let Some(t) = self.tasks.get_mut(target) else {
             return;
         };
         match t.state {
@@ -1143,18 +1176,18 @@ impl Kernel {
     fn ptrace_attach(&mut self, tracer: TaskId, target: TaskId) {
         let ok = self
             .tasks
-            .get(&target)
+            .get(target)
             .map(|t| t.state.is_alive() && t.traced_by.is_none() && target != tracer)
             .unwrap_or(false);
         if ok {
-            if let Some(t) = self.tasks.get_mut(&target) {
+            if let Some(t) = self.tasks.get_mut(target) {
                 t.traced_by = Some(tracer);
             }
             // Attach stops the target with SIGSTOP.
             self.deliver_signal(target, Signal::Stop);
             self.stopped_unreported.insert(target);
         }
-        if let Some(task) = self.tasks.get_mut(&tracer) {
+        if let Some(task) = self.tasks.get_mut(tracer) {
             task.last_outcome = if ok {
                 OpOutcome::Completed
             } else {
@@ -1183,7 +1216,7 @@ impl Kernel {
         self.stopped_unreported.remove(&tid);
 
         let (parent, children, tracees): (Option<TaskId>, Vec<TaskId>, Vec<TaskId>) = {
-            let t = match self.tasks.get_mut(&tid) {
+            let t = match self.tasks.get_mut(tid) {
                 Some(t) => t,
                 None => return,
             };
@@ -1197,17 +1230,17 @@ impl Kernel {
         // Detach any tasks this task was tracing.
         let my_tracees: Vec<TaskId> = self
             .tasks
-            .values()
+            .iter()
             .filter(|t| t.traced_by == Some(tid))
             .map(|t| t.id)
             .collect();
         for tracee in my_tracees.into_iter().chain(tracees) {
             let was_stopped = self
                 .tasks
-                .get(&tracee)
+                .get(tracee)
                 .map(|t| t.state == TaskState::Stopped)
                 .unwrap_or(false);
-            if let Some(t) = self.tasks.get_mut(&tracee) {
+            if let Some(t) = self.tasks.get_mut(tracee) {
                 t.traced_by = None;
                 t.breakpoint = None;
                 if was_stopped {
@@ -1221,15 +1254,15 @@ impl Kernel {
         }
         // Orphan the children.
         for child in children {
-            if let Some(c) = self.tasks.get_mut(&child) {
+            if let Some(c) = self.tasks.get_mut(child) {
                 c.parent = None;
             }
         }
         // Notify a tracer waiting on this task (ptrace makes the tracer an
         // effective parent).
-        let tracer = self.tasks.get(&tid).and_then(|t| t.traced_by);
+        let tracer = self.tasks.get(tid).and_then(|t| t.traced_by);
         if let Some(tracer) = tracer {
-            if let Some(t) = self.tasks.get_mut(&tid) {
+            if let Some(t) = self.tasks.get_mut(tid) {
                 t.traced_by = None;
             }
             self.wake_waiter_with(tracer, OpOutcome::ChildExited(tid));
@@ -1239,13 +1272,13 @@ impl Kernel {
             Some(p)
                 if self
                     .tasks
-                    .get(&p)
+                    .get(p)
                     .map(|t| t.state.is_alive())
                     .unwrap_or(false) =>
             {
                 let waiting = self
                     .tasks
-                    .get(&p)
+                    .get(p)
                     .map(|t| t.state == TaskState::Blocked(BlockReason::WaitChild))
                     .unwrap_or(false);
                 if waiting {
@@ -1255,17 +1288,15 @@ impl Kernel {
             }
             _ => {
                 // No live parent: reaped by init immediately.
-                if let Some(t) = self.tasks.get_mut(&tid) {
+                if let Some(t) = self.tasks.get_mut(tid) {
                     t.state = TaskState::Dead;
                 }
             }
         }
-        self.trace.emit(
-            self.now,
-            TraceLevel::Info,
-            "exit",
-            format!("{tid} exited with {code}"),
-        );
+        self.trace
+            .emit_with(self.now, TraceLevel::Info, "exit", || {
+                format!("{tid} exited with {code}")
+            });
     }
 
     // -----------------------------------------------------------------
@@ -1280,11 +1311,11 @@ impl Kernel {
             KernelEvent::WakeSleep { task } => {
                 let sleeping = self
                     .tasks
-                    .get(&task)
+                    .get(task)
                     .map(|t| t.state == TaskState::Blocked(BlockReason::Sleep))
                     .unwrap_or(false);
                 if sleeping {
-                    if let Some(t) = self.tasks.get_mut(&task) {
+                    if let Some(t) = self.tasks.get_mut(task) {
                         t.state = TaskState::Ready;
                         t.last_outcome = OpOutcome::Completed;
                     }
@@ -1311,7 +1342,7 @@ impl Kernel {
         let mode = if in_irq {
             Mode::Kernel
         } else {
-            cur.and_then(|c| self.tasks.get(&c))
+            cur.and_then(|c| self.tasks.get(c))
                 .map(|t| t.mode)
                 .unwrap_or(Mode::User)
         };
@@ -1394,11 +1425,11 @@ impl Kernel {
         });
         let blocked = self
             .tasks
-            .get(&owner)
+            .get(owner)
             .map(|t| t.state == TaskState::Blocked(BlockReason::DiskIo))
             .unwrap_or(false);
         if blocked {
-            if let Some(t) = self.tasks.get_mut(&owner) {
+            if let Some(t) = self.tasks.get_mut(owner) {
                 t.state = TaskState::Ready;
                 t.last_outcome = OpOutcome::Completed;
             }
@@ -1417,7 +1448,7 @@ impl Kernel {
         self.stats.minor_faults = self.mm.minor_faults;
         self.stats.major_faults = self.mm.major_faults;
         let mut groups: BTreeMap<TaskId, ProcessUsage> = BTreeMap::new();
-        for task in self.tasks.values() {
+        for task in self.tasks.iter() {
             let entry = groups.entry(task.tgid).or_insert_with(|| ProcessUsage {
                 tgid: task.tgid,
                 name: String::new(),
@@ -1449,13 +1480,13 @@ impl Kernel {
 
     /// The measurement log of a task (for source-integrity verification).
     pub fn measurement_log(&self, task: TaskId) -> Option<&trustmeter_core::MeasurementLog> {
-        self.tasks.get(&task).map(|t| &t.measurements)
+        self.tasks.get(task).map(|t| &t.measurements)
     }
 
     /// The execution witness of a task (for execution-integrity
     /// verification).
     pub fn witness(&self, task: TaskId) -> Option<&trustmeter_core::ExecutionWitness> {
-        self.tasks.get(&task).map(|t| &t.witness)
+        self.tasks.get(task).map(|t| &t.witness)
     }
 }
 
@@ -1609,6 +1640,40 @@ mod tests {
         // Elapsed at least 50 ms, but CPU far less.
         assert!(result.finished_at >= cfg.frequency.cycles_for(Nanos::from_millis(50)));
         assert!(p.ground_truth().total().as_f64() < secs(&cfg, 0.02).as_f64());
+    }
+
+    #[test]
+    fn idle_tick_coalescing_skips_jiffies_but_respects_the_horizon() {
+        let cfg = small_config().with_horizon_secs(0.05);
+        let mut k = Kernel::new(cfg.clone());
+        // One task that sleeps far past the horizon: the kernel idles with
+        // only the timer tick and the distant wake event pending.
+        let prog = OpsProgram::new(
+            "sleeper",
+            vec![
+                Op::Syscall(SyscallOp::Nanosleep {
+                    duration: Nanos::from_secs(10),
+                }),
+                Op::Compute {
+                    cycles: Cycles(1_000),
+                },
+            ],
+        );
+        k.spawn_process(Box::new(prog), 0);
+        let result = k.run();
+        assert!(result.hit_horizon);
+        assert!(
+            result.stats.ticks_coalesced > 0,
+            "idle jiffies must be coalesced"
+        );
+        // The clock stops at (a jiffy past) the horizon instead of jumping
+        // to the wake event 10 virtual seconds away.
+        let horizon = cfg.horizon().as_f64();
+        assert!(
+            result.finished_at.as_f64() <= horizon + 2.0 * cfg.jiffy().as_f64(),
+            "finished at {} vs horizon {horizon}",
+            result.finished_at
+        );
     }
 
     #[test]

@@ -46,6 +46,10 @@ impl ProcessUsage {
 pub struct KernelStats {
     /// Timer interrupts handled.
     pub ticks: u64,
+    /// Timer interrupts skipped in one step because the CPU was idle (no
+    /// runnable task): the kernel advances the clock to the next non-tick
+    /// event instead of paying the handler once per jiffy.
+    pub ticks_coalesced: u64,
     /// Context switches performed.
     pub context_switches: u64,
     /// Device interrupts handled (NIC + disk).

@@ -194,6 +194,59 @@ impl fmt::Debug for Effect {
     }
 }
 
+/// The kernel's task table: a slab indexed by pid.
+///
+/// Pids are allocated densely from 1 and tasks are never removed (exited
+/// tasks are retained for end-of-run accounting), so `TaskId(p)` lives at
+/// slot `p - 1` and every lookup is a single bounds-checked array index.
+/// This is the hottest structure in the simulator — the run loop touches
+/// it several times per micro-op — which is why it is a slab and not a
+/// `BTreeMap`.
+#[derive(Default)]
+pub(crate) struct TaskTable {
+    slots: Vec<Task>,
+}
+
+impl TaskTable {
+    /// An empty table.
+    pub(crate) fn new() -> TaskTable {
+        TaskTable { slots: Vec::new() }
+    }
+
+    /// The task with id `id`, if it has ever been admitted.
+    #[inline]
+    pub(crate) fn get(&self, id: TaskId) -> Option<&Task> {
+        self.slots.get((id.0 as usize).wrapping_sub(1))
+    }
+
+    /// Mutable access to the task with id `id`.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, id: TaskId) -> Option<&mut Task> {
+        self.slots.get_mut((id.0 as usize).wrapping_sub(1))
+    }
+
+    /// Admits a task. Ids must arrive densely (the kernel's pid allocator
+    /// guarantees this); the slab slot is the pid minus one.
+    pub(crate) fn insert(&mut self, task: Task) {
+        debug_assert_eq!(
+            task.id.0 as usize,
+            self.slots.len() + 1,
+            "pids must be allocated densely from 1"
+        );
+        self.slots.push(task);
+    }
+
+    /// Number of tasks ever admitted.
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates every task in pid order.
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, Task> {
+        self.slots.iter()
+    }
+}
+
 /// The task control block.
 pub struct Task {
     /// Task id (unique).
@@ -395,6 +448,22 @@ mod tests {
         // Outcome is consumed by the fetch.
         assert_eq!(t.last_outcome, OpOutcome::None);
         assert!(t.fetch_op().is_none());
+    }
+
+    #[test]
+    fn task_table_is_a_dense_slab() {
+        let mut table = TaskTable::new();
+        table.insert(sample_task(1, 1));
+        table.insert(sample_task(2, 1));
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(TaskId(1)).unwrap().id, TaskId(1));
+        assert_eq!(table.get(TaskId(2)).unwrap().id, TaskId(2));
+        assert!(table.get(TaskId(0)).is_none(), "pid 0 is never allocated");
+        assert!(table.get(TaskId(3)).is_none());
+        table.get_mut(TaskId(2)).unwrap().nice = -5;
+        assert_eq!(table.get(TaskId(2)).unwrap().nice, -5);
+        let ids: Vec<TaskId> = table.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![TaskId(1), TaskId(2)]);
     }
 
     #[test]

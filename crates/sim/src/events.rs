@@ -107,6 +107,12 @@ impl<T> EventQueue<T> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// The earliest pending event's instant and payload, without removing
+    /// it (used by the kernel to coalesce idle timer ticks).
+    pub fn peek(&self) -> Option<(Cycles, &T)> {
+        self.heap.peek().map(|e| (e.at, &e.payload))
+    }
+
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<Event<T>> {
         self.heap.pop().map(|e| {
@@ -202,6 +208,18 @@ mod tests {
         assert_eq!(q.pop_due(Cycles(10)).unwrap().payload, "a");
         assert_eq!(q.pop_due(Cycles(15)), None);
         assert_eq!(q.pop_due(Cycles(30)).unwrap().payload, "b");
+    }
+
+    #[test]
+    fn peek_exposes_earliest_payload() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(20), "later");
+        q.schedule(Cycles(10), "first");
+        assert_eq!(q.peek(), Some((Cycles(10), &"first")));
+        q.pop();
+        assert_eq!(q.peek(), Some((Cycles(20), &"later")));
+        q.pop();
+        assert_eq!(q.peek(), None);
     }
 
     #[test]

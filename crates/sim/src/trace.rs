@@ -117,12 +117,37 @@ impl TraceSink {
 
     /// Records an event if the sink is enabled and the level passes the
     /// filter.
+    ///
+    /// Prefer [`TraceSink::emit_with`] on hot paths: `emit` forces the
+    /// caller to build the message string even when the sink discards it.
     pub fn emit(
         &mut self,
         at: Cycles,
         level: TraceLevel,
         subsystem: &'static str,
         message: String,
+    ) {
+        self.emit_with(at, level, subsystem, || message);
+    }
+
+    /// Records an event, building the message lazily: the closure runs only
+    /// if the sink is enabled, the level passes the filter, and the capacity
+    /// limit has not been reached — so filtered emissions allocate nothing.
+    ///
+    /// ```
+    /// use trustmeter_sim::{Cycles, TraceLevel, TraceSink};
+    /// let mut sink = TraceSink::disabled();
+    /// sink.emit_with(Cycles(1), TraceLevel::Warn, "sched", || {
+    ///     unreachable!("never built for a disabled sink")
+    /// });
+    /// assert!(sink.events().is_empty());
+    /// ```
+    pub fn emit_with<F: FnOnce() -> String>(
+        &mut self,
+        at: Cycles,
+        level: TraceLevel,
+        subsystem: &'static str,
+        message: F,
     ) {
         if !self.enabled || level < self.min_level {
             return;
@@ -137,7 +162,7 @@ impl TraceSink {
             at,
             level,
             subsystem,
-            message,
+            message: message(),
         });
     }
 
@@ -210,6 +235,31 @@ mod tests {
         sink.clear();
         assert_eq!(sink.dropped(), 0);
         assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn emit_with_is_lazy() {
+        let mut sink = TraceSink::with_level(TraceLevel::Warn);
+        let mut built = 0;
+        sink.emit_with(Cycles(1), TraceLevel::Info, "sched", || {
+            built += 1;
+            "filtered".into()
+        });
+        assert_eq!(built, 0, "filtered emission must not build the message");
+        sink.emit_with(Cycles(2), TraceLevel::Warn, "mm", || {
+            built += 1;
+            "oom".into()
+        });
+        assert_eq!(built, 1);
+        assert!(sink.contains_message("oom"));
+
+        // At capacity the closure is not run either.
+        let mut capped = TraceSink::new().with_capacity_limit(1);
+        capped.emit(Cycles(1), TraceLevel::Info, "sched", "kept".into());
+        capped.emit_with(Cycles(2), TraceLevel::Info, "sched", || {
+            panic!("dropped emission must not build the message")
+        });
+        assert_eq!(capped.dropped(), 1);
     }
 
     #[test]

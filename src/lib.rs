@@ -78,8 +78,8 @@ pub mod prelude {
         Anomaly, AttackSpec, AuditVerdict, Auditor, BackpressurePolicy, FairQueue, Fleet,
         FleetConfig, FleetIngest, FleetReport, FleetService, FleetStream, IngestConfig,
         IngestHandle, IngestOutcome, IngestStats, JobId, JobSpec, Ledger, MetricsRegistry,
-        RunRecord, SubmitError, Tenant, TenantAuditSummary, TenantDirectory, TenantId,
-        TenantLedger,
+        ReferenceOutcome, RunRecord, SamplingPolicy, SubmitError, Tenant, TenantAuditSummary,
+        TenantDirectory, TenantId, TenantLedger,
     };
     pub use trustmeter_kernel::{
         Kernel, KernelConfig, NicFlood, Op, OpOutcome, OpsProgram, Program, RunResult,

@@ -276,6 +276,175 @@ fn greedy_tenant_cannot_starve_others() {
     assert_eq!(summaries, vec![(1, 12), (2, 1), (3, 1)]);
 }
 
+/// Audits `records` with a fresh inline-replay-only auditor (references
+/// stripped) and returns the verdicts.
+fn inline_verdicts(records: &[RunRecord], machine: KernelConfig) -> (Vec<AuditVerdict>, u64) {
+    let mut auditor = Auditor::new(machine);
+    let verdicts = records
+        .iter()
+        .map(|record| {
+            let mut stripped = record.clone();
+            stripped.reference = None;
+            auditor.observe(&stripped)
+        })
+        .collect();
+    (verdicts, auditor.replay_count())
+}
+
+#[test]
+fn precomputed_reference_verdicts_match_inline_replays() {
+    let jobs = batch(24);
+    let machine = FleetConfig::new(1, 77).machine;
+
+    // The ground truth: every record audited via an inline replay.
+    let reference_records = Fleet::new(FleetConfig::new(4, 77)).run(&jobs);
+    assert!(
+        reference_records.iter().all(|r| r.reference.is_some()),
+        "the Always policy precomputes a reference for every job"
+    );
+    let (inline, inline_replays) = inline_verdicts(&reference_records, machine.clone());
+    assert!(inline_replays > 0, "stripped records force inline replays");
+
+    // Batch path: verdicts come from precomputed references, bit-identical
+    // to the inline replays.
+    let mut batch_service = FleetService::new(FleetConfig::new(4, 77));
+    for id in 1..=4u32 {
+        batch_service.register(Tenant::new(
+            TenantId(id),
+            format!("tenant-{id}"),
+            RateCard::per_cpu_second(0.01),
+        ));
+    }
+    let batch_report = batch_service.process(&jobs);
+    assert_eq!(batch_report.verdicts, inline);
+    assert_eq!(batch_service.auditor().replay_count(), 0);
+    assert_eq!(
+        batch_service.auditor().reference_hit_count(),
+        jobs.len() as u64
+    );
+
+    // Streamed path at 1, 2 and 8 workers: same verdicts again.
+    for workers in [1usize, 2, 8] {
+        let (report, _) = stream_jobs(&jobs, workers);
+        assert_eq!(
+            report.verdicts, inline,
+            "streamed verdicts at {workers} workers must equal inline-replay verdicts"
+        );
+    }
+}
+
+#[test]
+fn sampling_policy_skips_are_deterministic_for_a_fixed_fleet_seed() {
+    let jobs = batch(30);
+    let run = |shards: usize, workers: Option<usize>| {
+        let config = FleetConfig::new(shards, 2026).with_sampling(SamplingPolicy::Probability(0.5));
+        let mut service = FleetService::new(config);
+        let report = match workers {
+            None => service.process(&jobs),
+            Some(workers) => {
+                let mut stream = service.stream(IngestConfig::new(workers));
+                for job in &jobs {
+                    stream.submit(job.clone()).expect("queue fits batch");
+                    stream.pump();
+                }
+                stream.finish()
+            }
+        };
+        (report, service.metrics_text())
+    };
+
+    let (batch_report, _) = run(4, None);
+    let audited: Vec<bool> = batch_report.verdicts.iter().map(|v| v.audited).collect();
+    assert!(
+        audited.iter().any(|a| *a) && audited.iter().any(|a| !*a),
+        "p=0.5 over 30 jobs should audit some and skip some: {audited:?}"
+    );
+    // Skipped attacked runs are not flagged; audited attacked runs are.
+    for (record, verdict) in batch_report.records.iter().zip(&batch_report.verdicts) {
+        assert_eq!(record.reference.is_some(), verdict.audited);
+        if verdict.audited {
+            assert_eq!(record.job.attack.is_some(), !verdict.is_clean());
+        } else {
+            assert!(verdict.is_clean(), "skipped runs assert nothing");
+        }
+    }
+
+    // The same fleet seed produces the same skip set whatever the shard or
+    // worker count, streamed or batch. (Streamed expositions additionally
+    // carry the ingest gauges, so they are compared among themselves.)
+    let mut streamed_metrics = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let (report, metrics) = run(8, Some(workers));
+        assert_eq!(report, batch_report);
+        streamed_metrics.push(metrics);
+    }
+    assert_eq!(streamed_metrics[0], streamed_metrics[1]);
+    assert_eq!(streamed_metrics[0], streamed_metrics[2]);
+
+    // A different fleet seed draws a different skip set (the decision is
+    // seeded, not positional). Note the seed also reshuffles kernel seeds,
+    // so only the audited flags are compared.
+    let other_jobs = batch(30);
+    let config = FleetConfig::new(4, 9999).with_sampling(SamplingPolicy::Probability(0.5));
+    let mut other_service = FleetService::new(config);
+    let other_report = other_service.process(&other_jobs);
+    let other_audited: Vec<bool> = other_report.verdicts.iter().map(|v| v.audited).collect();
+    assert_ne!(audited, other_audited, "seed must steer the skip set");
+}
+
+#[test]
+fn fallback_replay_still_detects_shell_overbilling() {
+    let fleet = Fleet::new(FleetConfig::new(1, 42));
+    let job = JobSpec::attacked(0, TenantId(1), Workload::LoopO, SCALE, AttackSpec::Shell);
+    let mut record = fleet.run_one(&job);
+    // A record that arrives without a precomputed reference (e.g. produced
+    // by an executor with a different sampling policy) still gets the full
+    // §VI replay audit.
+    record.reference = None;
+    let mut auditor = Auditor::new(fleet.config().machine.clone());
+    let verdict = auditor.observe(&record);
+    assert!(verdict.audited);
+    let kinds: Vec<&str> = verdict.anomalies.iter().map(Anomaly::kind).collect();
+    assert!(kinds.contains(&"overbilled"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"unexpected-images"), "kinds: {kinds:?}");
+    assert_eq!(auditor.replay_count(), 1, "exactly one inline replay");
+    assert_eq!(auditor.reference_hit_count(), 0);
+}
+
+#[test]
+fn audit_cost_counters_are_exported() {
+    // Pre-registered at zero on a fresh service.
+    let fresh = FleetService::new(FleetConfig::new(1, 1));
+    let text = fresh.metrics_text();
+    assert!(
+        text.contains("# TYPE fleet_audit_replays_total counter"),
+        "dump:\n{text}"
+    );
+    assert!(
+        text.contains("fleet_audit_replays_total 0"),
+        "dump:\n{text}"
+    );
+    assert!(
+        text.contains("fleet_audit_reference_hits_total 0"),
+        "dump:\n{text}"
+    );
+
+    // After a batch, the reference hits count every audited run and the
+    // replay counter stays at zero (workers precomputed everything).
+    let jobs = batch(10);
+    let mut service = FleetService::new(FleetConfig::new(2, 3));
+    let _ = service.process(&jobs);
+    let text = service.metrics_text();
+    assert!(
+        text.contains("fleet_audit_replays_total 0"),
+        "dump:\n{text}"
+    );
+    assert!(
+        text.contains("fleet_audit_reference_hits_total 10"),
+        "dump:\n{text}"
+    );
+}
+
 #[test]
 fn fleet_report_serializes() {
     let jobs = batch(4);
