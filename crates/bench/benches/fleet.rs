@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use trustmeter_fleet::{
     AttackSpec, BackpressurePolicy, Fleet, FleetConfig, FleetIngest, FleetService, IngestConfig,
-    JobSpec, RateCard, SamplingPolicy, Tenant, TenantId,
+    JobSpec, Journal, RateCard, SamplingPolicy, Tenant, TenantId,
 };
 use trustmeter_workloads::Workload;
 
@@ -76,6 +76,25 @@ fn bench_fleet(c: &mut Criterion) {
             }
             let report = stream.finish();
             (posted, report.verdicts.len())
+        })
+    });
+
+    // The durability knob: the same full-service stream with every run
+    // and receipt write-ahead journaled (in-memory sink, so this measures
+    // the serialization overhead without filesystem noise; the
+    // trustmeter-bench binary measures the file-backed mode).
+    group.bench_function("service_stream_32_jobs_4_workers_journaled", |b| {
+        b.iter(|| {
+            let journal = Journal::in_memory();
+            let mut service =
+                FleetService::new(FleetConfig::new(4, 0xf1ee7)).with_journal(journal.clone());
+            let mut stream = service.stream(IngestConfig::new(4).with_capacity(jobs.len()));
+            for job in &jobs {
+                stream.submit(job.clone()).expect("queue fits batch");
+                stream.pump();
+            }
+            let report = stream.finish();
+            (report.verdicts.len(), journal.stats().appends)
         })
     });
 

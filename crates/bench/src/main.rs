@@ -1,23 +1,27 @@
 //! `trustmeter-bench` — the fleet perf harness.
 //!
 //! Streams a fixed audited batch through a [`FleetService`] worker pool
-//! and writes a JSON report (`BENCH_fleet.json` by default) with wall
-//! clock, jobs/sec, and the auditor's replay counters, so the performance
-//! trajectory of the audited streaming path is tracked from run to run.
+//! twice — once without persistence and once write-ahead journaling every
+//! run and receipt to a file — and writes a JSON report
+//! (`BENCH_fleet.json` by default) with wall clock, jobs/sec, the
+//! auditor's replay counters and the journal append/byte counters, so
+//! both the performance trajectory of the audited streaming path *and*
+//! the overhead of durability are tracked from run to run.
 //!
 //! ```text
 //! trustmeter-bench [--smoke] [--jobs N] [--workers N] [--out PATH]
 //! ```
 //!
 //! `--smoke` shrinks the batch to a few jobs for CI: it proves the harness
-//! runs end to end without spending CI minutes on a real measurement.
+//! (including the journal-overhead comparison) runs end to end without
+//! spending CI minutes on a real measurement.
 
 use std::time::Instant;
 
 use serde::Serialize;
 use trustmeter_fleet::{
-    AttackSpec, FleetConfig, FleetService, IngestConfig, JobSpec, RateCard, SamplingPolicy, Tenant,
-    TenantId,
+    AttackSpec, FleetConfig, FleetService, IngestConfig, JobSpec, Journal, RateCard,
+    SamplingPolicy, Tenant, TenantId,
 };
 use trustmeter_workloads::Workload;
 
@@ -29,8 +33,11 @@ const SEED: u64 = 0xf1ee7;
 /// What one harness run measured.
 #[derive(Debug, Serialize)]
 struct BenchReport {
-    /// Harness identifier (one report file can hold only this bench today).
+    /// Harness identifier.
     bench: &'static str,
+    /// Durability mode: `off` (in-memory ledgers only) or `file`
+    /// (write-ahead JSON-lines journal, flushed per append).
+    journal: &'static str,
     /// Jobs streamed through the service.
     jobs: u64,
     /// Worker threads in the ingest pool.
@@ -49,6 +56,10 @@ struct BenchReport {
     audit_reference_hits: u64,
     /// Runs the audit flagged with at least one anomaly.
     flagged_runs: u64,
+    /// Journal entries appended (0 with journaling off).
+    journal_appends: u64,
+    /// Journal bytes appended (0 with journaling off).
+    journal_bytes: u64,
 }
 
 fn batch(n: u64) -> Vec<JobSpec> {
@@ -65,10 +76,14 @@ fn batch(n: u64) -> Vec<JobSpec> {
         .collect()
 }
 
-fn run(jobs: u64, workers: usize) -> BenchReport {
+fn run(jobs: u64, workers: usize, journal: Option<Journal>) -> BenchReport {
+    let journal_mode = if journal.is_some() { "file" } else { "off" };
     let config = FleetConfig::new(workers, SEED);
     let sampling = config.sampling;
     let mut service = FleetService::new(config);
+    if let Some(journal) = journal {
+        service = service.with_journal(journal);
+    }
     for id in 1..=4u32 {
         service.register(Tenant::new(
             TenantId(id),
@@ -87,8 +102,10 @@ fn run(jobs: u64, workers: usize) -> BenchReport {
     let wall_secs = start.elapsed().as_secs_f64();
     assert_eq!(report.records.len() as u64, jobs, "every job completed");
     let flagged_runs = report.flagged().count() as u64;
+    let journal_stats = service.journal().map(|j| j.stats()).unwrap_or_default();
     BenchReport {
         bench: "fleet_stream_audited",
+        journal: journal_mode,
         jobs,
         workers,
         scale: SCALE,
@@ -98,6 +115,8 @@ fn run(jobs: u64, workers: usize) -> BenchReport {
         audit_replays: service.auditor().replay_count(),
         audit_reference_hits: service.auditor().reference_hit_count(),
         flagged_runs,
+        journal_appends: journal_stats.appends,
+        journal_bytes: journal_stats.bytes,
     }
 }
 
@@ -134,17 +153,36 @@ fn main() {
         }
     }
     assert!(jobs > 0, "--jobs must be positive");
-    let report = run(jobs, workers);
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+
+    let baseline = run(jobs, workers, None);
+
+    let journal_path = std::env::temp_dir().join(format!(
+        "trustmeter-bench-journal-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal_path);
+    let journal = Journal::file(&journal_path).expect("open bench journal");
+    let journaled = run(jobs, workers, Some(journal));
+    let _ = std::fs::remove_file(&journal_path);
+
+    let reports = vec![baseline, journaled];
+    let json = serde_json::to_string_pretty(&reports).expect("serialize report");
     std::fs::write(&out, format!("{json}\n")).expect("write report file");
-    println!(
-        "{} jobs / {} workers: {:.3} s wall, {:.1} jobs/s, {} replays, {} reference hits → {}",
-        report.jobs,
-        report.workers,
-        report.wall_secs,
-        report.jobs_per_sec,
-        report.audit_replays,
-        report.audit_reference_hits,
-        out
-    );
+    for report in &reports {
+        println!(
+            "journal={}: {} jobs / {} workers: {:.3} s wall, {:.1} jobs/s, \
+             {} replays, {} reference hits, {} appends ({} bytes)",
+            report.journal,
+            report.jobs,
+            report.workers,
+            report.wall_secs,
+            report.jobs_per_sec,
+            report.audit_replays,
+            report.audit_reference_hits,
+            report.journal_appends,
+            report.journal_bytes,
+        );
+    }
+    let overhead = (reports[1].wall_secs / reports[0].wall_secs.max(f64::EPSILON) - 1.0) * 100.0;
+    println!("journal overhead: {overhead:+.1}% wall clock → {out}");
 }

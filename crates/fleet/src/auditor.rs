@@ -32,8 +32,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use trustmeter_core::{
-    Digest, ImageKind, MeasuredImage, OverchargeReport, SourceIntegrityReport, TrustAssessment,
-    Verdict,
+    AttestationKey, Digest, ImageKind, MeasuredImage, OverchargeReport, QuoteError,
+    SourceIntegrityReport, TrustAssessment, Verdict,
 };
 use trustmeter_experiments::Scenario;
 use trustmeter_kernel::KernelConfig;
@@ -116,6 +116,16 @@ pub enum Anomaly {
     },
     /// The run hit the simulation safety horizon instead of finishing.
     HorizonHit,
+    /// The record's attestation quote is missing, does not verify under
+    /// the platform key, or does not match the reported outcome. The
+    /// precomputed reference was not trusted for this run: the auditor
+    /// fell back to its own inline replay (§III-B — a report is only
+    /// authentic if the TPM-signed quote over it verifies).
+    QuoteMismatch {
+        /// Why the quote was rejected: `missing`, `bad-signature`,
+        /// `nonce-mismatch` or `outcome-mismatch`.
+        reason: String,
+    },
 }
 
 impl Anomaly {
@@ -127,18 +137,20 @@ impl Anomaly {
             Anomaly::MeasurementMismatch { .. } => "measurement-mismatch",
             Anomaly::WitnessMismatch { .. } => "witness-mismatch",
             Anomaly::HorizonHit => "horizon-hit",
+            Anomaly::QuoteMismatch { .. } => "quote-mismatch",
         }
     }
 
     /// Every anomaly kind label; `FleetService` pre-registers a zeroed
     /// `fleet_anomalies` series per kind so the exposition distinguishes
     /// "zero anomalies" from "kind never exported".
-    pub const KINDS: [&'static str; 5] = [
+    pub const KINDS: [&'static str; 6] = [
         "overbilled",
         "unexpected-images",
         "measurement-mismatch",
         "witness-mismatch",
         "horizon-hit",
+        "quote-mismatch",
     ];
 }
 
@@ -164,6 +176,7 @@ impl fmt::Display for Anomaly {
             ),
             Anomaly::WitnessMismatch { .. } => f.write_str("witness mismatch"),
             Anomaly::HorizonHit => f.write_str("hit simulation horizon"),
+            Anomaly::QuoteMismatch { reason } => write!(f, "quote mismatch: {reason}"),
         }
     }
 }
@@ -207,6 +220,23 @@ pub struct TenantAuditSummary {
     pub anomaly_counts: BTreeMap<String, u64>,
     /// Total seconds overbilled beyond the reference ground truth.
     pub overcharge_secs: f64,
+}
+
+/// The auditor's replayable state: everything [`Auditor`] accumulates that
+/// must survive a restart (the reference memo cache is deliberately
+/// excluded — it is a performance memo that rebuilds on demand).
+///
+/// Snapshot with [`Auditor::state`], restore with [`Auditor::restore`];
+/// journal checkpoints embed one so recovery can resume from a compacted
+/// prefix.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AuditorState {
+    /// Per-tenant audit rollups.
+    pub summaries: BTreeMap<TenantId, TenantAuditSummary>,
+    /// Inline reference replays performed.
+    pub replays: u64,
+    /// Records audited with a worker-precomputed reference.
+    pub reference_hits: u64,
 }
 
 impl TenantAuditSummary {
@@ -258,6 +288,10 @@ pub struct Auditor {
     /// infrastructure; set to `false` for records from an untrusted
     /// executor, whose producer could forge the reference.
     trust_references: bool,
+    /// When set, a record must carry a valid quote under this key before
+    /// its precomputed reference is trusted (see
+    /// [`Auditor::demand_quotes`]).
+    attestation: Option<AttestationKey>,
     reference_cache: BTreeMap<ReferenceKey, ReferenceOutcome>,
     summaries: BTreeMap<TenantId, TenantAuditSummary>,
     /// Inline reference replays performed (cache misses without a
@@ -287,6 +321,7 @@ impl Auditor {
             sampling: SamplingPolicy::Always,
             fleet_seed: 0,
             trust_references: true,
+            attestation: None,
             reference_cache: BTreeMap::new(),
             summaries: BTreeMap::new(),
             replays: 0,
@@ -317,6 +352,41 @@ impl Auditor {
         self.sampling = policy;
         self.fleet_seed = fleet_seed;
         self
+    }
+
+    /// Demands a valid attestation quote before trusting a record's
+    /// precomputed reference (the §III-B posture: a usage report is only
+    /// authentic if the TPM-signed quote over it verifies). The verifying
+    /// key is derived from `fleet_seed`, matching the key the fleet's
+    /// workers sign with ([`crate::Fleet::attestation_key`]).
+    ///
+    /// A record whose quote is missing, fails verification, or disagrees
+    /// with the reported outcome is audited against the auditor's own
+    /// inline replay instead, and its verdict carries an
+    /// [`Anomaly::QuoteMismatch`].
+    pub fn demand_quotes(mut self, fleet_seed: u64) -> Auditor {
+        self.attestation = Some(crate::Fleet::attestation_key(fleet_seed));
+        self
+    }
+
+    /// A snapshot of the auditor's accumulated state (summaries and cost
+    /// counters) for checkpointing; see [`AuditorState`].
+    pub fn state(&self) -> AuditorState {
+        AuditorState {
+            summaries: self.summaries.clone(),
+            replays: self.replays,
+            reference_hits: self.reference_hits,
+        }
+    }
+
+    /// Replaces the auditor's accumulated state with a snapshot taken via
+    /// [`Auditor::state`] (journal recovery from a checkpoint). The
+    /// reference memo cache is left untouched: it is a performance memo,
+    /// not accounting state.
+    pub fn restore(&mut self, state: AuditorState) {
+        self.summaries = state.summaries;
+        self.replays = state.replays;
+        self.reference_hits = state.reference_hits;
     }
 
     /// The active sampling policy.
@@ -354,7 +424,27 @@ impl Auditor {
     /// are the same deterministic simulation, so the returned reference is
     /// bit-identical either way.
     pub fn reference<'a>(&'a mut self, record: &'a RunRecord) -> &'a ReferenceOutcome {
-        if self.trust_references {
+        // Apply the same attestation gate as `observe`: with quotes
+        // demanded, a record whose quote is missing or does not verify
+        // gets the inline replay, never the (possibly forged) embedded
+        // reference.
+        let allow = self.trust_references
+            && match (&self.attestation, &record.reference) {
+                (Some(key), Some(_)) => Auditor::check_quote(key, record).is_ok(),
+                _ => true,
+            };
+        self.reference_allowing(record, allow)
+    }
+
+    /// [`Auditor::reference`] with an explicit decision on whether the
+    /// record-embedded reference may be used ([`Auditor::observe`] passes
+    /// `false` when a demanded quote failed to verify).
+    fn reference_allowing<'a>(
+        &'a mut self,
+        record: &'a RunRecord,
+        allow_precomputed: bool,
+    ) -> &'a ReferenceOutcome {
+        if allow_precomputed {
             if let Some(reference) = &record.reference {
                 self.reference_hits += 1;
                 return reference;
@@ -415,10 +505,21 @@ impl Auditor {
             };
         }
 
+        // Attestation gate: when quotes are demanded, the record's quote
+        // must verify and match the reported outcome before the embedded
+        // reference is trusted; otherwise fall back to an inline replay.
+        let quote_issue: Option<String> = match &self.attestation {
+            Some(key) if self.trust_references && record.reference.is_some() => {
+                Auditor::check_quote(key, record).err()
+            }
+            _ => None,
+        };
+        let allow_precomputed = self.trust_references && quote_issue.is_none();
+
         // Derive everything needed from the memoized reference inside one
         // borrow, so the (large) outcome is never cloned per record.
         let (report, unexpected, missing, witness_expected, pcr_consistent) = {
-            let reference = self.reference(record);
+            let reference = self.reference_allowing(record, allow_precomputed);
             let report = OverchargeReport::compare_with_tolerance(
                 outcome.victim_billed,
                 reference.victim_truth,
@@ -485,6 +586,9 @@ impl Auditor {
         if outcome.hit_horizon {
             anomalies.push(Anomaly::HorizonHit);
         }
+        if let Some(reason) = quote_issue {
+            anomalies.push(Anomaly::QuoteMismatch { reason });
+        }
 
         let summary = self
             .summaries
@@ -511,6 +615,37 @@ impl Auditor {
             anomalies,
             audited: true,
         }
+    }
+
+    /// Whether `record`'s quote verifies under `key` and matches the
+    /// outcome the record reports. The nonce challenge is
+    /// [`crate::executor::quote_nonce`] — the job id bound to a
+    /// commitment over the precomputed reference — so editing the
+    /// embedded reference after the fact surfaces as a nonce mismatch.
+    fn check_quote(key: &AttestationKey, record: &RunRecord) -> Result<(), String> {
+        let Some(quote) = &record.quote else {
+            return Err("missing".to_string());
+        };
+        let reference = record
+            .reference
+            .as_ref()
+            .expect("quote gate only runs with an embedded reference");
+        let nonce = crate::executor::quote_nonce(record.job.id, reference);
+        key.verify(quote, nonce).map_err(|e| {
+            match e {
+                QuoteError::BadSignature => "bad-signature",
+                QuoteError::NonceMismatch => "nonce-mismatch",
+            }
+            .to_string()
+        })?;
+        let outcome = &record.outcome;
+        if quote.measurement_pcr != outcome.measurement_pcr
+            || quote.witness_digest != outcome.witness_digest
+            || quote.usage != outcome.victim_billed
+        {
+            return Err("outcome-mismatch".to_string());
+        }
+        Ok(())
     }
 
     /// The accumulated summary for one tenant.
@@ -699,6 +834,140 @@ mod tests {
         assert!(kinds.contains(&"overbilled"), "kinds: {kinds:?}");
         assert_eq!(distrusting.replay_count(), 1);
         assert_eq!(distrusting.reference_hit_count(), 0);
+    }
+
+    #[test]
+    fn quote_demanding_auditor_accepts_fleet_signed_records() {
+        let fleet = fleet();
+        let job = JobSpec::clean(0, TenantId(1), Workload::LoopO, SCALE);
+        let record = fleet.run_one(&job);
+        assert!(record.quote.is_some(), "sampled runs carry a quote");
+        let mut auditor = Auditor::new(fleet.config().machine.clone()).demand_quotes(1234);
+        let verdict = auditor.observe(&record);
+        assert!(verdict.is_clean(), "anomalies: {:?}", verdict.anomalies);
+        assert_eq!(auditor.reference_hit_count(), 1, "reference was trusted");
+        assert_eq!(auditor.replay_count(), 0);
+    }
+
+    #[test]
+    fn missing_quote_is_flagged_and_falls_back_to_inline_replay() {
+        let fleet = fleet();
+        let job = JobSpec::clean(0, TenantId(1), Workload::LoopO, SCALE);
+        let mut record = fleet.run_one(&job);
+        record.quote = None;
+        let mut auditor = Auditor::new(fleet.config().machine.clone()).demand_quotes(1234);
+        let verdict = auditor.observe(&record);
+        match verdict.anomalies.as_slice() {
+            [Anomaly::QuoteMismatch { reason }] => assert_eq!(reason, "missing"),
+            other => panic!("expected a quote mismatch, got {other:?}"),
+        }
+        // The reference was not trusted: the auditor replayed inline.
+        assert_eq!(auditor.reference_hit_count(), 0);
+        assert_eq!(auditor.replay_count(), 1);
+    }
+
+    #[test]
+    fn tampered_outcome_breaks_the_quote_and_the_replay_catches_it() {
+        // The record's bill is inflated after execution (e.g. a tampered
+        // journal). The quote no longer matches the reported usage, so the
+        // embedded reference is distrusted and the inline replay flags the
+        // overbilling that the forged record would otherwise hide.
+        let fleet = fleet();
+        let job = JobSpec::clean(7, TenantId(2), Workload::LoopO, SCALE);
+        let mut record = fleet.run_one(&job);
+        record.outcome.victim_billed.utime =
+            trustmeter_sim::Cycles(record.outcome.victim_billed.utime.as_u64() * 2);
+        // A naive forger also fixes up the embedded reference to agree.
+        record.reference = Some(ReferenceOutcome {
+            victim_truth: record.outcome.victim_billed,
+            ..record.reference.clone().unwrap()
+        });
+        let mut auditor = Auditor::new(fleet.config().machine.clone()).demand_quotes(1234);
+        let verdict = auditor.observe(&record);
+        let kinds: Vec<&str> = verdict.anomalies.iter().map(Anomaly::kind).collect();
+        assert!(kinds.contains(&"quote-mismatch"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"overbilled"), "kinds: {kinds:?}");
+        // Without quote demands the forged reference deceives the auditor
+        // into seeing a consistent bill.
+        let mut naive = Auditor::new(fleet.config().machine.clone());
+        let kinds: Vec<&str> = naive
+            .observe(&record)
+            .anomalies
+            .iter()
+            .map(Anomaly::kind)
+            .collect();
+        assert!(!kinds.contains(&"overbilled"), "kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn tampered_reference_breaks_the_quote_nonce() {
+        // The attacker leaves the outcome alone but forges the embedded
+        // clean reference up to the attacked bill, hiding the overcharge.
+        // The quote nonce commits to the reference, so verification fails
+        // with a nonce mismatch, and the auditor's own inline replay still
+        // flags the overbilling.
+        let fleet = fleet();
+        let job = JobSpec::attacked(11, TenantId(3), Workload::LoopO, SCALE, AttackSpec::Shell);
+        let mut record = fleet.run_one(&job);
+        record.reference.as_mut().unwrap().victim_truth = record.outcome.victim_billed;
+        let mut auditor = Auditor::new(fleet.config().machine.clone()).demand_quotes(1234);
+        let verdict = auditor.observe(&record);
+        let reasons: Vec<&str> = verdict
+            .anomalies
+            .iter()
+            .filter_map(|a| match a {
+                Anomaly::QuoteMismatch { reason } => Some(reason.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons, ["nonce-mismatch"]);
+        let kinds: Vec<&str> = verdict.anomalies.iter().map(Anomaly::kind).collect();
+        assert!(kinds.contains(&"overbilled"), "kinds: {kinds:?}");
+        assert_eq!(auditor.replay_count(), 1, "fell back to the inline replay");
+        assert_eq!(auditor.reference_hit_count(), 0);
+
+        // The public reference() accessor applies the same gate: it never
+        // hands back the forged embedded reference.
+        let mut fresh = Auditor::new(fleet.config().machine.clone()).demand_quotes(1234);
+        let reference = fresh.reference(&record).clone();
+        assert_ne!(
+            reference.victim_truth, record.outcome.victim_billed,
+            "the forged truth must not be returned"
+        );
+        assert_eq!(fresh.replay_count(), 1);
+        assert_eq!(fresh.reference_hit_count(), 0);
+    }
+
+    #[test]
+    fn wrong_key_quote_is_a_bad_signature() {
+        let fleet = fleet();
+        let record = fleet.run_one(&JobSpec::clean(3, TenantId(1), Workload::LoopO, SCALE));
+        // Verifier derives its key from a different fleet seed.
+        let mut auditor = Auditor::new(fleet.config().machine.clone()).demand_quotes(9999);
+        let verdict = auditor.observe(&record);
+        match verdict.anomalies.as_slice() {
+            [Anomaly::QuoteMismatch { reason }] => assert_eq!(reason, "bad-signature"),
+            other => panic!("expected a quote mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auditor_state_snapshot_round_trips() {
+        let fleet = fleet();
+        let mut auditor = Auditor::new(fleet.config().machine.clone());
+        auditor.observe(&fleet.run_one(&JobSpec::attacked(
+            0,
+            TenantId(1),
+            Workload::LoopO,
+            SCALE,
+            AttackSpec::Shell,
+        )));
+        let state = auditor.state();
+        assert_eq!(state.summaries[&TenantId(1)].flagged_runs, 1);
+        let mut restored = Auditor::new(fleet.config().machine.clone());
+        restored.restore(state.clone());
+        assert_eq!(restored.state(), state);
+        assert_eq!(restored.summary(TenantId(1)).unwrap().flagged_runs, 1);
     }
 
     #[test]

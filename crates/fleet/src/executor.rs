@@ -20,7 +20,7 @@ use trustmeter_attacks::{
     Attack, ExceptionFloodAttack, InterpositionAttack, InterruptFloodAttack,
     PreloadConstructorAttack, SchedulingAttack, ShellAttack, ThrashingAttack,
 };
-use trustmeter_core::{CpuTime, Digest};
+use trustmeter_core::{AttestationKey, CpuTime, Digest, Quote};
 use trustmeter_experiments::{Scenario, ScenarioOutcome};
 use trustmeter_kernel::KernelConfig;
 use trustmeter_sim::SimRng;
@@ -192,6 +192,26 @@ impl ReferenceOutcome {
             witness_digest: outcome.witness_digest,
         }
     }
+
+    /// A 64-bit commitment to this reference: the first eight bytes of
+    /// the SHA-256 of its canonical JSON. Folded into the quote nonce
+    /// ([`quote_nonce`]) so the attestation binds the worker-precomputed
+    /// reference as well as the outcome — editing either after the fact
+    /// breaks verification.
+    pub fn commitment(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("reference serializes");
+        let digest = trustmeter_core::Sha256::digest(json.as_bytes());
+        u64::from_be_bytes(digest[..8].try_into().expect("digest is 32 bytes"))
+    }
+}
+
+/// The freshness nonce a sampled run's quote is issued under: the job id
+/// XOR a [`ReferenceOutcome::commitment`] to the precomputed reference.
+/// The verifier recomputes it from the record it holds, so a record whose
+/// reference was tampered with fails quote verification with a nonce
+/// mismatch.
+pub fn quote_nonce(job: JobId, reference: &ReferenceOutcome) -> u64 {
+    job.0 ^ reference.commitment()
 }
 
 /// Everything one executed job produced.
@@ -207,6 +227,16 @@ pub struct RunRecord {
     /// The worker-precomputed clean reference, present exactly when the
     /// fleet's [`SamplingPolicy`] selects the job for auditing.
     pub reference: Option<ReferenceOutcome>,
+    /// A signed attestation over the run's reported platform state and
+    /// usage (§III-B: "the measurement result is signed by the TPM"),
+    /// produced alongside the reference for sampled jobs. The quote binds
+    /// the measurement PCR, the witness digest and the billed usage under
+    /// the platform attestation key (derived from the fleet seed), with a
+    /// nonce committing to the job id *and* the precomputed reference
+    /// ([`quote_nonce`]) — so a record whose outcome **or** reference is
+    /// tampered with after execution (e.g. in a persisted journal) no
+    /// longer verifies.
+    pub quote: Option<Quote>,
 }
 
 /// Fleet configuration.
@@ -253,6 +283,9 @@ impl FleetConfig {
 #[derive(Debug, Clone)]
 pub struct Fleet {
     config: FleetConfig,
+    /// The platform attestation identity key (a simulated TPM AIK,
+    /// derived from the fleet seed) that signs per-run usage quotes.
+    attestation: AttestationKey,
 }
 
 impl Fleet {
@@ -262,7 +295,19 @@ impl Fleet {
     /// Panics if `config.shards` is zero.
     pub fn new(config: FleetConfig) -> Fleet {
         assert!(config.shards > 0, "a fleet needs at least one shard");
-        Fleet { config }
+        let attestation = Fleet::attestation_key(config.seed);
+        Fleet {
+            config,
+            attestation,
+        }
+    }
+
+    /// The attestation key a fleet with the given seed signs quotes with —
+    /// the verifier-side [`crate::auditor::Auditor`] derives the same key
+    /// from the same seed (the HMAC stand-in for a TPM quote shares its
+    /// key with the verifier by construction).
+    pub fn attestation_key(fleet_seed: u64) -> AttestationKey {
+        AttestationKey::from_seed(&fleet_seed.to_be_bytes())
     }
 
     /// The configuration the fleet runs with.
@@ -327,11 +372,23 @@ impl Fleet {
                 None => ReferenceOutcome::from_outcome(&outcome),
                 Some(_) => ReferenceOutcome::from_outcome(&scenario.run_clean()),
             });
+        // Sampled runs carry a signed quote over the reported platform
+        // state; the nonce commits to both the job id and the precomputed
+        // reference (see [`quote_nonce`]).
+        let quote = reference.as_ref().map(|reference| {
+            self.attestation.quote(
+                quote_nonce(job.id, reference),
+                outcome.measurement_pcr,
+                outcome.witness_digest,
+                outcome.victim_billed,
+            )
+        });
         RunRecord {
             job: job.clone(),
             seed,
             outcome,
             reference,
+            quote,
         }
     }
 }

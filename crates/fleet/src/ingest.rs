@@ -10,7 +10,7 @@
 //! keyed by submission sequence, a streamed run is **bit-identical** to the
 //! equivalent batch run for any worker count.
 //!
-//! Three backpressure-and-fairness knobs:
+//! Four backpressure-and-fairness knobs:
 //!
 //! * **Capacity** ([`IngestConfig::with_capacity`]) bounds the undispatched
 //!   backlog.
@@ -20,13 +20,19 @@
 //! * **Fairness** is structural: the queue round-robins across tenant
 //!   lanes, so one greedy tenant cannot starve the rest (see
 //!   [`FleetIngest::dispatch_log`]).
+//! * **Completion watermark**
+//!   ([`IngestConfig::with_completion_watermark`]) bounds the *other* end:
+//!   capacity bounds only the undispatched backlog, and completed records
+//!   otherwise accumulate in the completion log until a consumer takes
+//!   them ([`FleetIngest::take_ready`], a stream's `pump`, or `finish`).
+//!   With a watermark, workers stall instead of letting the log outrun the
+//!   consumer, so total pipeline memory is bounded by
+//!   `capacity + watermark`.
 //!
-//! Note that capacity bounds the *undispatched* backlog only: completed
-//! records accumulate in the completion log until a consumer takes them
-//! ([`FleetIngest::take_ready`], a stream's `pump`, or `finish`), so a
-//! long-running consumer must pump to bound pipeline memory. Bounding the
-//! completion log itself (blocking workers until records are consumed) is
-//! a ROADMAP follow-up alongside its persistence hooks.
+//! With a [`crate::Journal`] attached
+//! ([`FleetIngest::over_journaled`]), every record is appended to the
+//! write-ahead log *before* it is released to the consumer — the
+//! durability boundary of the [`crate::journal`] layer.
 //!
 //! ```
 //! use trustmeter_fleet::{FleetConfig, FleetIngest, IngestConfig, JobSpec, TenantId};
@@ -52,6 +58,7 @@ use std::thread::JoinHandle;
 use serde::{Deserialize, Serialize};
 
 use crate::executor::{Fleet, FleetConfig, JobId, JobSpec, RunRecord};
+use crate::journal::Journal;
 use crate::queue::FairQueue;
 use crate::tenant::TenantId;
 
@@ -100,6 +107,16 @@ pub struct IngestConfig {
     /// Start with dispatch paused; call [`FleetIngest::resume`] to begin
     /// draining. Useful for tests and for staging a backlog.
     pub start_paused: bool,
+    /// Completion-side watermark (0 = unbounded): workers stall before
+    /// starting a new job while completed-but-unconsumed records plus
+    /// in-flight jobs are at this limit, so a slow consumer bounds the
+    /// completion log instead of letting it outrun `take_ready`. A
+    /// graceful [`FleetIngest::finish`] lifts the watermark — the drain is
+    /// about to consume everything anyway. See
+    /// [`IngestConfig::with_completion_watermark`] for the deadlock hazard
+    /// when the consuming thread also submits under
+    /// [`BackpressurePolicy::Block`].
+    pub completion_watermark: usize,
 }
 
 impl IngestConfig {
@@ -118,6 +135,7 @@ impl IngestConfig {
             capacity: Self::DEFAULT_CAPACITY,
             backpressure: BackpressurePolicy::Block,
             start_paused: false,
+            completion_watermark: 0,
         }
     }
 
@@ -139,6 +157,27 @@ impl IngestConfig {
         self.start_paused = true;
         self
     }
+
+    /// Replaces the completion-side watermark (0 = unbounded): workers
+    /// stall before starting a new job while completed-but-unconsumed
+    /// records plus in-flight jobs are at the limit, so total pipeline
+    /// memory is bounded by `capacity + completion_watermark` even when
+    /// the consumer stops pumping.
+    ///
+    /// **Deadlock hazard.** Only `take_ready`/`pump`/`finish` clear the
+    /// watermark. Under [`BackpressurePolicy::Block`] with a bounded
+    /// queue, a thread that submits more than `capacity + watermark` jobs
+    /// without pumping parks in `submit` while every worker is stalled on
+    /// the watermark — and if that thread is also the only consumer,
+    /// nothing can ever wake either side. With a watermark, either pump
+    /// from the submitting loop (as [`crate::FleetStream`] usage does),
+    /// consume from a separate thread, use
+    /// [`BackpressurePolicy::Reject`], or keep
+    /// `capacity >= total submissions - watermark`.
+    pub fn with_completion_watermark(mut self, watermark: usize) -> IngestConfig {
+        self.completion_watermark = watermark;
+        self
+    }
 }
 
 /// A point-in-time snapshot of pipeline state (all counters monotonic
@@ -153,6 +192,9 @@ pub struct IngestStats {
     pub rejected: u64,
     /// Jobs queued and not yet dispatched to a worker.
     pub queued: usize,
+    /// Completed records not yet consumed via [`FleetIngest::take_ready`]
+    /// (what the completion watermark bounds).
+    pub ready: usize,
     /// Jobs currently executing, per tenant.
     pub inflight: BTreeMap<TenantId, u64>,
 }
@@ -215,6 +257,17 @@ struct Shared {
     /// Signaled when a job completes (wakes `finish`).
     job_done: Condvar,
     policy: BackpressurePolicy,
+    /// Completion-side watermark (0 = unbounded); see
+    /// [`IngestConfig::with_completion_watermark`].
+    watermark: usize,
+    /// When set, every record is appended as a [`crate::JournalEntry::Run`]
+    /// *before* it is released by `take_ready` — the write-ahead point of
+    /// the durability layer.
+    journal: Option<Journal>,
+    /// Serializes consumers through `take_ready`, so journal appends (done
+    /// *outside* the state lock, where they would otherwise stall every
+    /// worker on release-path I/O) still happen in release order.
+    release_guard: Mutex<()>,
 }
 
 impl Shared {
@@ -267,6 +320,7 @@ impl Shared {
             completed: state.completed_count,
             rejected: state.rejected,
             queued: state.queue.len(),
+            ready: state.completed.len(),
             inflight: state.inflight.clone(),
         }
     }
@@ -284,6 +338,17 @@ impl Shared {
                     if state.shutting_down && state.discard_queued {
                         // Teardown without finish(): abandon the backlog.
                         break None;
+                    }
+                    // Completion watermark: don't start new work while the
+                    // unconsumed completion log (plus what's already in
+                    // flight) is at the limit. A graceful shutdown lifts
+                    // the watermark — finish() consumes everything.
+                    if self.watermark > 0 && !state.shutting_down {
+                        let inflight: u64 = state.inflight.values().sum();
+                        if state.completed.len() as u64 + inflight >= self.watermark as u64 {
+                            state = self.wait(&self.job_ready, state);
+                            continue;
+                        }
                     }
                     match state.queue.pop() {
                         Some(queued) => {
@@ -329,17 +394,49 @@ impl Shared {
     }
 
     /// Removes and returns the contiguous run of completed records starting
-    /// at the release cursor, in submission order.
+    /// at the release cursor, in submission order. With a journal attached,
+    /// every record is appended as a [`crate::JournalEntry::Run`] **before**
+    /// the release cursor advances — the write-ahead guarantee: a record a
+    /// consumer ever observes (and bills) is already durable, and a record
+    /// that was never journaled was never released.
+    ///
+    /// Journal I/O happens under the consumer-only release guard, *not*
+    /// the worker-shared state lock, so workers keep completing jobs while
+    /// the consumer pays for the write-ahead appends.
+    ///
+    /// # Panics
+    /// Panics if a journal append fails: a pipeline that cannot persist its
+    /// write-ahead log must not keep releasing records.
     fn take_ready(&self) -> Vec<RunRecord> {
-        let mut state = self.lock();
+        let _release = self
+            .release_guard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let mut ready = Vec::new();
         loop {
-            let next = state.released;
-            let Some(record) = state.completed.remove(&next) else {
-                break;
+            let (next, record) = {
+                let mut state = self.lock();
+                let next = state.released;
+                match state.completed.remove(&next) {
+                    Some(record) => (next, record),
+                    None => break,
+                }
             };
-            state.released += 1;
+            if let Some(journal) = &self.journal {
+                // Durable before the cursor advances. A failed append
+                // panics with the record removed and the cursor parked —
+                // the pipeline stops releasing, which is the point.
+                journal.append_run_or_die(&record);
+            }
+            let mut state = self.lock();
+            debug_assert_eq!(state.released, next, "release guard serializes consumers");
+            state.released = next + 1;
+            drop(state);
             ready.push(record);
+        }
+        if !ready.is_empty() {
+            // Wake workers stalled on the completion watermark.
+            self.job_ready.notify_all();
         }
         ready
     }
@@ -403,6 +500,20 @@ impl FleetIngest {
     /// # Panics
     /// Panics if `config.workers` is zero.
     pub fn over(fleet: Fleet, config: IngestConfig) -> FleetIngest {
+        FleetIngest::over_journaled(fleet, config, None)
+    }
+
+    /// Spawns the worker pool over an existing executor, write-ahead
+    /// journaling every released record into `journal` (see
+    /// [`crate::Journal`] and the [`crate::journal`] module docs).
+    ///
+    /// # Panics
+    /// Panics if `config.workers` is zero.
+    pub fn over_journaled(
+        fleet: Fleet,
+        config: IngestConfig,
+        journal: Option<Journal>,
+    ) -> FleetIngest {
         assert!(
             config.workers > 0,
             "an ingest pipeline needs at least one worker"
@@ -427,6 +538,9 @@ impl FleetIngest {
             slot_free: Condvar::new(),
             job_done: Condvar::new(),
             policy: config.backpressure,
+            watermark: config.completion_watermark,
+            journal,
+            release_guard: Mutex::new(()),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -658,6 +772,78 @@ mod tests {
         ingest.submit(job(0, 1)).unwrap();
         ingest.finish();
         assert_eq!(handle.submit(job(1, 1)), Err(SubmitError::ShutDown));
+    }
+
+    #[test]
+    fn completion_watermark_stalls_workers_until_consumed() {
+        let config = IngestConfig::new(2).with_completion_watermark(1);
+        let ingest = FleetIngest::start(FleetConfig::new(2, 13), config);
+        for id in 0..5 {
+            ingest.submit(job(id, 1)).unwrap();
+        }
+        // One job is allowed through; with ready + inflight at the
+        // watermark, no worker may start another.
+        while ingest.stats().ready < 1 {
+            std::thread::yield_now();
+        }
+        for _ in 0..100 {
+            std::thread::yield_now();
+        }
+        let stats = ingest.stats();
+        assert_eq!(stats.ready, 1, "completion log is bounded at the watermark");
+        assert_eq!(stats.completed, 1, "no further job started");
+        // Consuming the record frees exactly one slot.
+        let taken = ingest.take_ready();
+        assert_eq!(taken.len(), 1);
+        while ingest.stats().ready < 1 {
+            std::thread::yield_now();
+        }
+        assert_eq!(ingest.stats().completed, 2);
+        // A graceful finish lifts the watermark and drains the backlog.
+        let outcome = ingest.finish();
+        assert_eq!(outcome.records.len() + taken.len(), 5);
+        assert_eq!(outcome.stats.ready, 0);
+    }
+
+    #[test]
+    fn journal_receives_released_records_in_submission_order() {
+        let journal = crate::journal::Journal::in_memory();
+        let ingest = FleetIngest::over_journaled(
+            Fleet::new(FleetConfig::new(4, 21)),
+            IngestConfig::new(4),
+            Some(journal.clone()),
+        );
+        for id in 0..8 {
+            ingest.submit(job(id, (id % 2) as u32)).unwrap();
+        }
+        let outcome = ingest.finish();
+        assert_eq!(outcome.records.len(), 8);
+        let (entries, tail) = journal.entries().unwrap();
+        assert!(!tail.is_truncated());
+        let ids: Vec<u64> = entries.iter().map(|e| e.job().unwrap().0).collect();
+        assert_eq!(
+            ids,
+            (0..8).collect::<Vec<_>>(),
+            "journal is submission order"
+        );
+        assert_eq!(journal.stats().appends, 8);
+    }
+
+    #[test]
+    fn unreleased_records_are_never_journaled() {
+        let journal = crate::journal::Journal::in_memory();
+        let config = IngestConfig::new(1).paused();
+        let ingest = FleetIngest::over_journaled(
+            Fleet::new(FleetConfig::new(1, 17)),
+            config,
+            Some(journal.clone()),
+        );
+        ingest.submit(job(0, 1)).unwrap();
+        // Teardown without finish(): the backlog is discarded, nothing was
+        // released, so nothing was journaled — crash-lost work was never
+        // billed.
+        drop(ingest);
+        assert_eq!(journal.stats().appends, 0);
     }
 
     #[test]

@@ -1,0 +1,858 @@
+//! The durable journal: write-ahead persistence, crash recovery and
+//! compaction for the fleet.
+//!
+//! The paper's trust argument only holds if the metering evidence survives
+//! the meterer: an in-memory ledger is exactly the mutable accounting state
+//! a crash — or a cheating provider — can rewrite. This module makes the
+//! fleet's accounting *append-only and replayable*: every accounting-
+//! relevant event is serialized as one JSON line (via the vendored
+//! `serde_json`) into a [`Journal`] **before** its effects are released,
+//! so a restarted service can rebuild bit-identical
+//! [`crate::Ledger`]/[`crate::TenantAuditSummary`]/metrics state with
+//! [`crate::FleetService::recover`].
+//!
+//! Four typed entries ([`JournalEntry`]):
+//!
+//! * **`Run`** — a completed [`RunRecord`], appended by the ingest
+//!   pipeline's completion log *before* the record is released to the
+//!   consumer (the write-ahead point). A record that was never journaled
+//!   was never released, so it was never billed: crash-lost work simply
+//!   never happened.
+//! * **`Invoice`** — the ledger posting derived from a run (both the
+//!   billed and the ground-truth invoice), appended when the service
+//!   posts the record.
+//! * **`Verdict`** — the audit verdict for a run, appended alongside the
+//!   invoice. Together, `Invoice` + `Verdict` are the durable *receipts*:
+//!   recovery re-derives both from the `Run` entry and cross-checks them,
+//!   so a journal whose receipts were tampered with after the fact is
+//!   detected (see [`RecoveryReport::mismatches`]).
+//! * **`Checkpoint`** — a folded prefix: ledger, audit summaries and
+//!   metrics as of some run count, produced by [`compact`] so long-running
+//!   fleets do not replay from genesis.
+//!
+//! A truncated tail — the partial, newline-less last line a crash
+//! mid-append leaves behind — is detected at parse time and dropped
+//! ([`TailStatus`]), and [`FileSink::open`] repairs it before appending
+//! so a restarted process never merges new entries into the torn
+//! fragment. Any unparseable line that *is* newline-terminated was fully
+//! written and later damaged, so it is an error ([`JournalError::Corrupt`]),
+//! wherever it sits.
+//!
+//! ```
+//! use trustmeter_fleet::{FleetConfig, FleetService, JobSpec, Journal, TenantId};
+//! use trustmeter_workloads::Workload;
+//!
+//! let journal = Journal::in_memory();
+//! let mut service = FleetService::new(FleetConfig::new(1, 42)).with_journal(journal.clone());
+//! service.process(&[JobSpec::clean(0, TenantId(1), Workload::LoopO, 0.001)]);
+//!
+//! // The journal now holds Run + Invoice + Verdict for the job; a fresh
+//! // service replays it into bit-identical state.
+//! let (entries, _tail) = journal.entries().unwrap();
+//! let mut restarted = FleetService::new(FleetConfig::new(1, 42));
+//! let report = restarted.recover(&entries).unwrap();
+//! assert_eq!(report.runs_replayed, 1);
+//! assert_eq!(restarted.ledger(), service.ledger());
+//! ```
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use serde::{Deserialize, Serialize};
+
+use crate::auditor::{AuditVerdict, AuditorState};
+use crate::executor::{JobId, RunRecord};
+use crate::metrics::MetricsRegistry;
+use crate::tenant::{Ledger, TenantId};
+use crate::FleetService;
+use trustmeter_core::Invoice;
+
+/// One append-only journal record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEntry {
+    /// A completed run, journaled before it is released to the consumer
+    /// (boxed: a `RunRecord` is by far the largest entry).
+    Run(Box<RunRecord>),
+    /// The ledger posting a run produced (the billing receipt).
+    Invoice(InvoicePosting),
+    /// The audit verdict a run produced (the audit receipt).
+    Verdict(AuditVerdict),
+    /// A folded journal prefix (see [`compact`]).
+    Checkpoint(Box<Checkpoint>),
+}
+
+impl JournalEntry {
+    /// Wraps a completed run.
+    pub fn run(record: RunRecord) -> JournalEntry {
+        JournalEntry::Run(Box::new(record))
+    }
+
+    /// Wraps a checkpoint.
+    pub fn checkpoint(checkpoint: Checkpoint) -> JournalEntry {
+        JournalEntry::Checkpoint(Box::new(checkpoint))
+    }
+}
+
+impl JournalEntry {
+    /// The job this entry belongs to (`None` for checkpoints).
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            JournalEntry::Run(record) => Some(record.job.id),
+            JournalEntry::Invoice(posting) => Some(posting.job),
+            JournalEntry::Verdict(verdict) => Some(verdict.job),
+            JournalEntry::Checkpoint(_) => None,
+        }
+    }
+
+    /// Short stable label for display and diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JournalEntry::Run(_) => "run",
+            JournalEntry::Invoice(_) => "invoice",
+            JournalEntry::Verdict(_) => "verdict",
+            JournalEntry::Checkpoint(_) => "checkpoint",
+        }
+    }
+}
+
+/// The billing receipt for one posted run: exactly the invoices the ledger
+/// accumulated, so recovery can cross-check its re-derived posting against
+/// the journaled one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvoicePosting {
+    /// Who was billed.
+    pub tenant: TenantId,
+    /// Which run.
+    pub job: JobId,
+    /// The invoice over the provider-billed usage.
+    pub billed: Invoice,
+    /// The invoice over the TSC ground-truth usage.
+    pub truth: Invoice,
+}
+
+/// A folded journal prefix: the complete accounting state after replaying
+/// some number of runs. Recovery seeds from the latest checkpoint instead
+/// of replaying from genesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Runs folded into this checkpoint.
+    pub runs: u64,
+    /// The ledger after those runs.
+    pub ledger: Ledger,
+    /// The auditor's summaries and cost counters after those runs.
+    pub audit: AuditorState,
+    /// The full metrics registry after those runs (the exposition is part
+    /// of the recovery contract).
+    pub metrics: MetricsRegistry,
+}
+
+/// Why a journal operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The underlying sink failed (I/O).
+    Io(String),
+    /// An entry before the tail failed to parse — an append-only journal
+    /// can only be damaged at its end, so this is corruption, not a crash
+    /// artifact. `line` is 1-based.
+    Corrupt {
+        /// 1-based line number of the unparseable entry.
+        line: usize,
+        /// The parser's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(message) => write!(f, "journal i/o error: {message}"),
+            JournalError::Corrupt { line, message } => {
+                write!(f, "journal corrupt at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e.to_string())
+    }
+}
+
+/// What the parser found at the end of the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailStatus {
+    /// Every line parsed.
+    Clean,
+    /// The final line had no terminating newline — the signature of a
+    /// crash mid-append — and was dropped.
+    Truncated {
+        /// Bytes of tail that were discarded.
+        dropped_bytes: usize,
+    },
+}
+
+impl TailStatus {
+    /// Whether the tail was dropped.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, TailStatus::Truncated { .. })
+    }
+}
+
+/// Append/byte counters for one [`Journal`] handle (monotonic; counts
+/// appends through this handle since it was opened, not entries already in
+/// a reopened file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JournalStats {
+    /// Entries appended.
+    pub appends: u64,
+    /// Bytes appended (serialized lines including the newline).
+    pub bytes: u64,
+}
+
+/// Where journal lines go. Implementations must make an appended line
+/// durable before returning: the pipeline releases a record to consumers
+/// only after its `Run` entry has been accepted.
+pub trait JournalSink: Send {
+    /// Appends one serialized entry (`line` has no trailing newline; the
+    /// sink must write it as its own line).
+    fn append_line(&mut self, line: &str) -> Result<(), JournalError>;
+
+    /// The full journal text, including entries written before this sink
+    /// was opened (file sinks re-read the file).
+    fn contents(&self) -> Result<String, JournalError>;
+}
+
+/// An in-memory sink: the journal of record for tests and for services
+/// that only need replayability within one process.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    buffer: String,
+}
+
+impl MemorySink {
+    /// An empty in-memory journal.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+}
+
+impl JournalSink for MemorySink {
+    fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
+        self.buffer.push_str(line);
+        self.buffer.push('\n');
+        Ok(())
+    }
+
+    fn contents(&self) -> Result<String, JournalError> {
+        Ok(self.buffer.clone())
+    }
+}
+
+/// A file-backed sink: one JSON line per entry, flushed per append so the
+/// write-ahead guarantee holds across a process kill. (Flush pushes the
+/// line to the OS; an `fsync` per append — surviving power loss, not just
+/// process death — is a deliberate non-goal of the simulation-scale
+/// journal and is noted in `docs/ARCHITECTURE.md`.)
+#[derive(Debug)]
+pub struct FileSink {
+    path: PathBuf,
+    file: File,
+}
+
+impl FileSink {
+    /// Opens (creating if absent) the journal file at `path` in append
+    /// mode, so reopening after a crash continues the same journal.
+    ///
+    /// A crash mid-append leaves a partial final line with no newline;
+    /// appending after it would merge the next entry into the torn
+    /// fragment and corrupt the journal mid-file. Opening therefore
+    /// *repairs* the file first: a non-newline-terminated tail is
+    /// truncated away (the same tail [`parse_journal`] would drop).
+    pub fn open(path: impl AsRef<Path>) -> Result<FileSink, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        FileSink::repair_torn_tail(&file)?;
+        Ok(FileSink { path, file })
+    }
+
+    /// Truncates a non-newline-terminated tail (O_APPEND writes then land
+    /// at the new end of file). Scans backwards in bounded chunks, so
+    /// reopening a large journal costs only the torn-tail length, not the
+    /// file size.
+    fn repair_torn_tail(file: &File) -> Result<(), JournalError> {
+        use std::io::{Seek as _, SeekFrom};
+        const CHUNK: u64 = 64 * 1024;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(());
+        }
+        let mut reader = file;
+        let mut last = [0u8; 1];
+        reader.seek(SeekFrom::Start(len - 1))?;
+        reader.read_exact(&mut last)?;
+        if last[0] == b'\n' {
+            return Ok(());
+        }
+        let mut end = len;
+        let keep = loop {
+            if end == 0 {
+                break 0; // no newline at all: the whole file is one torn line
+            }
+            let start = end.saturating_sub(CHUNK);
+            let mut buf = vec![0u8; (end - start) as usize];
+            reader.seek(SeekFrom::Start(start))?;
+            reader.read_exact(&mut buf)?;
+            if let Some(at) = buf.iter().rposition(|b| *b == b'\n') {
+                break start + at as u64 + 1;
+            }
+            end = start;
+        };
+        file.set_len(keep)?;
+        Ok(())
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl JournalSink for FileSink {
+    fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        self.file.write_all(buf.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    fn contents(&self) -> Result<String, JournalError> {
+        let mut text = String::new();
+        File::open(&self.path)?.read_to_string(&mut text)?;
+        Ok(text)
+    }
+}
+
+struct JournalInner {
+    sink: Box<dyn JournalSink>,
+    stats: JournalStats,
+}
+
+/// A cloneable handle to one append-only journal. The ingest pipeline and
+/// the service share a handle, so the append/byte counters cover the whole
+/// write-ahead stream; appends are serialized through an internal lock.
+///
+/// See the [module docs](self) for the entry types and the recovery
+/// contract.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<JournalInner>>,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Journal")
+            .field("appends", &stats.appends)
+            .field("bytes", &stats.bytes)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// A journal over a custom sink.
+    pub fn with_sink(sink: Box<dyn JournalSink>) -> Journal {
+        Journal {
+            inner: Arc::new(Mutex::new(JournalInner {
+                sink,
+                stats: JournalStats::default(),
+            })),
+        }
+    }
+
+    /// An in-memory journal.
+    pub fn in_memory() -> Journal {
+        Journal::with_sink(Box::new(MemorySink::new()))
+    }
+
+    /// A file-backed journal at `path` (created if absent, appended to if
+    /// present — reopening after a crash continues the same journal).
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the file cannot be opened.
+    pub fn file(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        Ok(Journal::with_sink(Box::new(FileSink::open(path)?)))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JournalInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn append_raw(&self, line: &str) -> Result<(), JournalError> {
+        let mut inner = self.lock();
+        inner.sink.append_line(line)?;
+        inner.stats.appends += 1;
+        inner.stats.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Serializes and appends one entry as a JSON line, durable before
+    /// return.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the sink rejects the line.
+    pub fn append(&self, entry: &JournalEntry) -> Result<(), JournalError> {
+        let line = serde_json::to_string(entry)
+            .map_err(|e| JournalError::Io(format!("serialize journal entry: {e}")))?;
+        self.append_raw(&line)
+    }
+
+    /// Appends a [`JournalEntry::Run`] serialized straight from a borrowed
+    /// record — byte-identical to `append(&JournalEntry::run(...))`
+    /// without cloning the (large) record into the entry first.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the sink rejects the line.
+    pub fn append_run(&self, record: &RunRecord) -> Result<(), JournalError> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| JournalError::Io(format!("serialize run record: {e}")))?;
+        self.append_raw(&format!("{{\"Run\":{json}}}"))
+    }
+
+    /// Appends, treating failure as fatal: a metering service that cannot
+    /// persist its write-ahead log must not keep billing.
+    ///
+    /// # Panics
+    /// Panics if the sink rejects the line.
+    pub fn append_or_die(&self, entry: &JournalEntry) {
+        if let Err(e) = self.append(entry) {
+            panic!("journal append failed ({} entry): {e}", entry.label());
+        }
+    }
+
+    /// [`Journal::append_run`] with failure fatal, like
+    /// [`Journal::append_or_die`].
+    ///
+    /// # Panics
+    /// Panics if the sink rejects the line.
+    pub fn append_run_or_die(&self, record: &RunRecord) {
+        if let Err(e) = self.append_run(record) {
+            panic!("journal append failed (run entry): {e}");
+        }
+    }
+
+    /// Append/byte counters for this handle.
+    pub fn stats(&self) -> JournalStats {
+        self.lock().stats
+    }
+
+    /// Reads the journal back and parses it, dropping a truncated tail.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the sink cannot be read;
+    /// [`JournalError::Corrupt`] if an entry *before* the tail fails to
+    /// parse.
+    pub fn entries(&self) -> Result<(Vec<JournalEntry>, TailStatus), JournalError> {
+        let text = self.lock().sink.contents()?;
+        parse_journal(&text)
+    }
+}
+
+/// The journal layer's self-accounting metric families: they describe
+/// this *process* (its own appends and recoveries), not the metered
+/// workload, so a recovered service legitimately reads
+/// `fleet_recoveries_total 1` where the uninterrupted original reads 0.
+pub const SELF_ACCOUNTING_FAMILIES: [&str; 3] = [
+    "fleet_journal_appends_total",
+    "fleet_journal_bytes_total",
+    "fleet_recoveries_total",
+];
+
+/// Strips the [`SELF_ACCOUNTING_FAMILIES`] series (and their `HELP`/`TYPE`
+/// headers) from a metrics exposition, leaving the metering series — the
+/// part of the exposition the recovery contract guarantees byte-identical.
+pub fn strip_self_accounting(exposition: &str) -> String {
+    exposition
+        .lines()
+        .filter(|line| {
+            !SELF_ACCOUNTING_FAMILIES.iter().any(|family| {
+                line.starts_with(&format!("{family} "))
+                    || line.starts_with(&format!("# HELP {family} "))
+                    || line.starts_with(&format!("# TYPE {family} "))
+            })
+        })
+        .map(|line| format!("{line}\n"))
+        .collect()
+}
+
+/// Parses JSON-lines journal text. A final line missing its newline — the
+/// exact artifact a crash mid-append leaves, since each entry and its
+/// newline are written in one call — is dropped with
+/// [`TailStatus::Truncated`]; an unparseable *terminated* line anywhere
+/// (tail included) was fully written and later damaged, so it is
+/// [`JournalError::Corrupt`].
+pub fn parse_journal(text: &str) -> Result<(Vec<JournalEntry>, TailStatus), JournalError> {
+    let mut entries = Vec::new();
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    let mut tail = TailStatus::Clean;
+    while offset < text.len() {
+        let rest = &text[offset..];
+        let (line, consumed, terminated) = match rest.find('\n') {
+            Some(at) => (&rest[..at], at + 1, true),
+            None => (rest, rest.len(), false),
+        };
+        line_no += 1;
+        let is_last = offset + consumed >= text.len();
+        if line.trim().is_empty() {
+            offset += consumed;
+            continue;
+        }
+        match serde_json::from_str::<JournalEntry>(line) {
+            Ok(entry) => {
+                if !terminated {
+                    // A complete-looking parse without a newline is still a
+                    // torn append: the writer appends line + newline in one
+                    // write, so the newline's absence means the line may be
+                    // a prefix of a longer record. Drop it.
+                    tail = TailStatus::Truncated {
+                        dropped_bytes: line.len(),
+                    };
+                } else {
+                    entries.push(entry);
+                }
+            }
+            // Only an *unterminated* final line is a crash artifact: the
+            // writer appends line + newline in one write, so a torn write
+            // can never include the newline. A newline-terminated line
+            // that fails to parse was fully written and later damaged —
+            // corruption, wherever it sits.
+            Err(e) if is_last && !terminated => {
+                tail = TailStatus::Truncated {
+                    dropped_bytes: line.len(),
+                };
+                let _ = e;
+            }
+            Err(e) => {
+                return Err(JournalError::Corrupt {
+                    line: line_no,
+                    message: e.to_string(),
+                });
+            }
+        }
+        offset += consumed;
+    }
+    Ok((entries, tail))
+}
+
+/// How a journal replay went (see [`crate::FleetService::recover`]).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// `Run` entries re-posted through the service.
+    pub runs_replayed: u64,
+    /// Runs folded into checkpoints that were applied instead of replayed.
+    pub checkpoint_runs: u64,
+    /// Journaled `Invoice`/`Verdict` receipts that matched the re-derived
+    /// posting bit for bit.
+    pub postings_confirmed: u64,
+    /// Jobs whose journaled receipt disagreed with the replay — evidence
+    /// the journal was modified after the fact (each receipt entry that
+    /// disagrees contributes one element, so a job can appear twice).
+    pub mismatches: Vec<JobId>,
+    /// Runs whose receipts never made it to the journal (the crash tail);
+    /// their effects were re-derived and posted during recovery.
+    pub unconfirmed: u64,
+    /// Jobs whose id appeared in more than one replayed `Run` entry (or
+    /// in a replayed entry *and* the applied checkpoint). Job-id reuse
+    /// across batches is legal at runtime — the ledger simply posts again,
+    /// and recovery faithfully replays it — but the journal cannot
+    /// distinguish a legitimate resubmission from a copy-pasted entry
+    /// (both carry matching receipts), so every duplicate is surfaced here
+    /// for the operator to vet. Hash-chaining entries to make duplication
+    /// cryptographically evident is a ROADMAP follow-up.
+    pub duplicate_runs: Vec<JobId>,
+}
+
+impl RecoveryReport {
+    /// Whether every journaled receipt matched its re-derived posting.
+    pub fn is_consistent(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Why a journal replay was rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryError {
+    /// An `Invoice`/`Verdict` entry named a job with no preceding `Run`
+    /// entry — the journal is not a valid write-ahead sequence.
+    OrphanPosting(JobId),
+    /// A `Checkpoint` entry appeared after runs had already been replayed;
+    /// checkpoints are only valid as a journal's (possibly repeated)
+    /// leading entries.
+    MisplacedCheckpoint,
+    /// [`compact`] refused to fold a prefix whose receipts disagree with
+    /// the replay: folding would erase the tamper evidence into a
+    /// clean-looking checkpoint. Investigate (recover the original and
+    /// inspect [`RecoveryReport::mismatches`]) before compacting.
+    InconsistentPrefix {
+        /// The jobs whose receipts disagreed.
+        mismatches: Vec<JobId>,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::OrphanPosting(job) => {
+                write!(f, "journal posting for {job} has no preceding run entry")
+            }
+            RecoveryError::MisplacedCheckpoint => {
+                f.write_str("checkpoint entry after replayed runs")
+            }
+            RecoveryError::InconsistentPrefix { mismatches } => {
+                write!(
+                    f,
+                    "refusing to compact: {} receipt(s) disagree with the replay",
+                    mismatches.len()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Folds the oldest `fold_runs` records of `entries` — their `Run`,
+/// `Invoice` and `Verdict` entries, plus any leading `Checkpoint` — into a
+/// single [`Checkpoint`] entry, returning the compacted sequence
+/// `[Checkpoint, …kept entries…]`.
+///
+/// `scratch` must be a *fresh* service configured identically to the
+/// journal's origin (same [`crate::FleetConfig`], same tenant
+/// registrations): the fold is computed by replaying the prefix through
+/// it, exactly as recovery would. Entries are partitioned by job id, so a
+/// receipt is never separated from its run, whatever their interleaving.
+///
+/// Recovering from the compacted sequence yields bit-identical state to
+/// recovering from the original (`tests/fleet.rs` enforces this).
+///
+/// # Errors
+/// Propagates [`RecoveryError`] from replaying the folded prefix, and
+/// refuses with [`RecoveryError::InconsistentPrefix`] if any folded
+/// receipt disagrees with the replay — folding would erase the tamper
+/// evidence into a clean-looking checkpoint.
+pub fn compact(
+    entries: &[JournalEntry],
+    fold_runs: usize,
+    scratch: &mut FleetService,
+) -> Result<Vec<JournalEntry>, RecoveryError> {
+    let fold_ids: std::collections::BTreeSet<JobId> = entries
+        .iter()
+        .filter_map(|entry| match entry {
+            JournalEntry::Run(record) => Some(record.job.id),
+            _ => None,
+        })
+        .take(fold_runs)
+        .collect();
+    let mut folded = Vec::new();
+    let mut kept = Vec::new();
+    for entry in entries {
+        match entry.job() {
+            None => {
+                if !kept.is_empty() {
+                    return Err(RecoveryError::MisplacedCheckpoint);
+                }
+                folded.push(entry.clone());
+            }
+            Some(job) if fold_ids.contains(&job) => folded.push(entry.clone()),
+            Some(_) => kept.push(entry.clone()),
+        }
+    }
+    let report = scratch.replay(&folded)?;
+    if !report.is_consistent() {
+        // Folding a tampered prefix would erase the evidence into a
+        // clean-looking checkpoint.
+        return Err(RecoveryError::InconsistentPrefix {
+            mismatches: report.mismatches,
+        });
+    }
+    let mut compacted = Vec::with_capacity(kept.len() + 1);
+    compacted.push(JournalEntry::checkpoint(scratch.checkpoint()));
+    compacted.append(&mut kept);
+    Ok(compacted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Fleet, FleetConfig, JobSpec};
+    use trustmeter_workloads::Workload;
+
+    fn record() -> RunRecord {
+        Fleet::new(FleetConfig::new(1, 7)).run_one(&JobSpec::clean(
+            0,
+            TenantId(1),
+            Workload::LoopO,
+            0.001,
+        ))
+    }
+
+    #[test]
+    fn entries_round_trip_through_json_lines() {
+        let journal = Journal::in_memory();
+        let run = JournalEntry::run(record());
+        journal.append(&run).unwrap();
+        let (entries, tail) = journal.entries().unwrap();
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(entries, vec![run]);
+        let stats = journal.stats();
+        assert_eq!(stats.appends, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped() {
+        let journal = Journal::in_memory();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        let text = journal.lock().sink.contents().unwrap();
+        // A crash mid-append leaves a partial final line.
+        let torn = format!("{text}{}", &text[..text.len() / 2]);
+        let (entries, tail) = parse_journal(&torn).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(tail.is_truncated());
+    }
+
+    #[test]
+    fn unterminated_final_line_is_dropped_even_if_parseable() {
+        let journal = Journal::in_memory();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        let text = journal.lock().sink.contents().unwrap();
+        // Strip the final newline: the last line parses but is torn.
+        let torn = &text[..text.len() - 1];
+        let (entries, tail) = parse_journal(torn).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(tail.is_truncated());
+    }
+
+    #[test]
+    fn terminated_corrupt_final_line_is_an_error() {
+        // Appends write the line and its newline in one call, so a torn
+        // write can never be newline-terminated: a terminated line that
+        // fails to parse was damaged after the fact.
+        let journal = Journal::in_memory();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        let text = journal.lock().sink.contents().unwrap();
+        let damaged = format!("{text}{{\"Run\":garbage}}\n");
+        match parse_journal(&damaged) {
+            Err(JournalError::Corrupt { line: 2, .. }) => {}
+            other => panic!("expected corruption at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_run_is_byte_identical_to_the_enum_path() {
+        let record = record();
+        let via_borrow = Journal::in_memory();
+        via_borrow.append_run(&record).unwrap();
+        let via_enum = Journal::in_memory();
+        via_enum.append(&JournalEntry::run(record.clone())).unwrap();
+        assert_eq!(
+            via_borrow.lock().sink.contents().unwrap(),
+            via_enum.lock().sink.contents().unwrap()
+        );
+        assert_eq!(via_borrow.stats(), via_enum.stats());
+        let (entries, _) = via_borrow.entries().unwrap();
+        assert_eq!(entries, vec![JournalEntry::run(record)]);
+    }
+
+    #[test]
+    fn reopening_a_torn_file_repairs_the_tail_before_appending() {
+        let path = std::env::temp_dir().join(format!(
+            "trustmeter-journal-torn-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = Journal::file(&path).unwrap();
+            journal.append(&JournalEntry::run(record())).unwrap();
+        }
+        // A crash mid-append leaves an unterminated fragment.
+        {
+            use std::io::Write as _;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(br#"{"Run":{"job":{"id":7"#).unwrap();
+        }
+        // Reopening truncates the fragment, so the next append starts a
+        // fresh line instead of merging into the torn one.
+        let reopened = Journal::file(&path).unwrap();
+        reopened.append(&JournalEntry::run(record())).unwrap();
+        let (entries, tail) = reopened.entries().unwrap();
+        assert_eq!(tail, TailStatus::Clean, "repair removed the torn tail");
+        assert_eq!(entries.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_before_the_tail_is_an_error() {
+        let journal = Journal::in_memory();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        let text = journal.lock().sink.contents().unwrap();
+        let corrupted = format!("not json\n{text}");
+        match parse_journal(&corrupted) {
+            Err(JournalError::Corrupt { line: 1, .. }) => {}
+            other => panic!("expected corruption at line 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let journal = Journal::in_memory();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        let text = journal.lock().sink.contents().unwrap();
+        let padded = format!("\n{text}\n\n");
+        let (entries, tail) = parse_journal(&padded).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(tail, TailStatus::Clean);
+    }
+
+    #[test]
+    fn file_sink_persists_across_reopen() {
+        let path = std::env::temp_dir().join(format!(
+            "trustmeter-journal-test-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = Journal::file(&path).unwrap();
+            journal.append(&JournalEntry::run(record())).unwrap();
+        }
+        // A fresh handle (a restarted process) reads the same entries and
+        // appends after them.
+        let reopened = Journal::file(&path).unwrap();
+        assert_eq!(reopened.stats().appends, 0, "stats are per handle");
+        reopened.append(&JournalEntry::run(record())).unwrap();
+        let (entries, tail) = reopened.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(tail, TailStatus::Clean);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn entry_labels_and_jobs() {
+        let run = JournalEntry::run(record());
+        assert_eq!(run.label(), "run");
+        assert_eq!(run.job(), Some(JobId(0)));
+    }
+}

@@ -13,8 +13,9 @@
 //! | [`queue::FairQueue`] | the bounded per-tenant-fair queue under the pool |
 //! | [`tenant::Ledger`] | aggregates per-run [`trustmeter_core::Invoice`]s and CPU time (billed vs TSC ground truth) into per-tenant accounts |
 //! | [`auditor::Auditor`] | streams run records through the §VI trust workflow and raises per-tenant [`auditor::Anomaly`] verdicts |
+//! | [`journal::Journal`] | append-only JSON-lines write-ahead log: runs, billing/audit receipts, checkpoints; crash recovery via [`FleetService::recover`] |
 //! | [`metrics::MetricsRegistry`] | Prometheus-style text exposition of usage and anomaly counters |
-//! | [`FleetService`] | wires it all together: submit → execute → bill → audit → export |
+//! | [`FleetService`] | wires it all together: submit → execute → bill → audit → journal → export |
 //!
 //! ## Example
 //!
@@ -48,15 +49,25 @@
 pub mod auditor;
 pub mod executor;
 pub mod ingest;
+pub mod journal;
 pub mod metrics;
 pub mod queue;
 pub mod tenant;
 
-pub use auditor::{Anomaly, AuditVerdict, Auditor, SamplingPolicy, TenantAuditSummary};
-pub use executor::{AttackSpec, Fleet, FleetConfig, JobId, JobSpec, ReferenceOutcome, RunRecord};
+pub use auditor::{
+    Anomaly, AuditVerdict, Auditor, AuditorState, SamplingPolicy, TenantAuditSummary,
+};
+pub use executor::{
+    quote_nonce, AttackSpec, Fleet, FleetConfig, JobId, JobSpec, ReferenceOutcome, RunRecord,
+};
 pub use ingest::{
     BackpressurePolicy, FleetIngest, IngestConfig, IngestHandle, IngestOutcome, IngestStats,
     SubmitError,
+};
+pub use journal::{
+    compact, parse_journal, strip_self_accounting, Checkpoint, FileSink, InvoicePosting, Journal,
+    JournalEntry, JournalError, JournalSink, JournalStats, MemorySink, RecoveryError,
+    RecoveryReport, TailStatus, SELF_ACCOUNTING_FAMILIES,
 };
 pub use metrics::{MetricKind, MetricsRegistry};
 pub use queue::FairQueue;
@@ -71,6 +82,12 @@ const AUDIT_REPLAYS_METRIC: &str = "fleet_audit_replays_total";
 const AUDIT_REPLAYS_HELP: &str = "Inline clean-reference replays the auditor performed";
 const AUDIT_REF_HITS_METRIC: &str = "fleet_audit_reference_hits_total";
 const AUDIT_REF_HITS_HELP: &str = "Runs audited with a worker-precomputed reference";
+const JOURNAL_APPENDS_METRIC: &str = "fleet_journal_appends_total";
+const JOURNAL_APPENDS_HELP: &str = "Entries appended to the durability journal";
+const JOURNAL_BYTES_METRIC: &str = "fleet_journal_bytes_total";
+const JOURNAL_BYTES_HELP: &str = "Bytes appended to the durability journal (JSON lines)";
+const RECOVERIES_METRIC: &str = "fleet_recoveries_total";
+const RECOVERIES_HELP: &str = "Journal recoveries performed by this service";
 
 /// Everything one processed batch produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -119,21 +136,34 @@ pub struct FleetService {
     metrics: MetricsRegistry,
     /// Pricing applied to tenants that were never registered.
     default_rate_card: RateCard,
+    /// The durability journal, when attached: runs, invoices and verdicts
+    /// are appended write-ahead so the accounting state can be rebuilt
+    /// with [`FleetService::recover`].
+    journal: Option<Journal>,
+    /// Journal counters already folded into the metrics exposition.
+    journal_exported: JournalStats,
 }
 
 impl FleetService {
     /// A service with the given executor configuration and a
     /// $0.10/CPU-hour default rate card. The auditor inherits the config's
-    /// sampling policy and seed, so it verifies exactly the runs the
-    /// workers precompute references for.
+    /// sampling policy and seed — so it verifies exactly the runs the
+    /// workers precompute references for — and demands a valid attestation
+    /// quote (signed with the fleet's key) before trusting any of them.
     pub fn new(config: FleetConfig) -> FleetService {
-        let auditor =
-            Auditor::new(config.machine.clone()).with_sampling(config.sampling, config.seed);
+        let auditor = Auditor::new(config.machine.clone())
+            .with_sampling(config.sampling, config.seed)
+            .demand_quotes(config.seed);
         let mut metrics = MetricsRegistry::new();
         // Pre-register the audit cost counters at zero so the exposition
         // shows the replay cost even before (or without) any audits.
         metrics.counter_add(AUDIT_REPLAYS_METRIC, AUDIT_REPLAYS_HELP, &[], 0.0);
         metrics.counter_add(AUDIT_REF_HITS_METRIC, AUDIT_REF_HITS_HELP, &[], 0.0);
+        // Likewise the journal/recovery series, so the exposition is
+        // stable before the first append or recovery.
+        metrics.counter_add(JOURNAL_APPENDS_METRIC, JOURNAL_APPENDS_HELP, &[], 0.0);
+        metrics.counter_add(JOURNAL_BYTES_METRIC, JOURNAL_BYTES_HELP, &[], 0.0);
+        metrics.counter_add(RECOVERIES_METRIC, RECOVERIES_HELP, &[], 0.0);
         FleetService {
             fleet: Fleet::new(config),
             directory: TenantDirectory::new(),
@@ -141,7 +171,25 @@ impl FleetService {
             ledger: Ledger::new(),
             metrics,
             default_rate_card: RateCard::per_cpu_hour(0.10),
+            journal: None,
+            journal_exported: JournalStats::default(),
         }
+    }
+
+    /// Attaches a durability journal: from now on every released run and
+    /// its billing/audit receipts are appended write-ahead (see the
+    /// [`journal`] module docs). Counters already in the journal handle
+    /// are not re-exported — the `fleet_journal_*` series count appends
+    /// since attachment.
+    pub fn with_journal(mut self, journal: Journal) -> FleetService {
+        self.journal_exported = journal.stats();
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// Replaces the auditor (e.g. to widen its tolerance). If the new
@@ -179,14 +227,20 @@ impl FleetService {
         &self.auditor
     }
 
-    /// Executes, bills, audits and meters one batch of jobs.
+    /// Executes, bills, audits and meters one batch of jobs. With a
+    /// journal attached, each record is journaled before it is posted
+    /// (the batch-path analogue of the streaming release point).
     pub fn process(&mut self, jobs: &[JobSpec]) -> FleetReport {
         let records = self.fleet.run(jobs);
-        let verdicts = records
-            .iter()
-            .map(|record| self.post_record(record))
-            .collect();
+        let mut verdicts = Vec::with_capacity(records.len());
+        for record in &records {
+            if let Some(journal) = &self.journal {
+                journal.append_run_or_die(record);
+            }
+            verdicts.push(self.post_record(record));
+        }
         self.export_gauges();
+        self.export_journal_metrics();
         FleetReport {
             records,
             verdicts,
@@ -216,7 +270,7 @@ impl FleetService {
     /// assert_eq!(report.ledger.account(TenantId(1)).unwrap().runs, 4);
     /// ```
     pub fn stream(&mut self, config: IngestConfig) -> FleetStream<'_> {
-        let ingest = FleetIngest::over(self.fleet.clone(), config);
+        let ingest = FleetIngest::over_journaled(self.fleet.clone(), config, self.journal.clone());
         FleetStream {
             service: self,
             ingest,
@@ -228,22 +282,34 @@ impl FleetService {
     }
 
     /// Bills, audits and meters one completed run (the shared tail of the
-    /// batch and streaming paths).
+    /// batch and streaming paths), journaling the billing and audit
+    /// receipts.
     fn post_record(&mut self, record: &RunRecord) -> AuditVerdict {
+        self.post_record_full(record, true).0
+    }
+
+    /// [`FleetService::post_record`] returning the invoice posting as well,
+    /// with journaling optional (recovery replays must not re-journal).
+    fn post_record_full(
+        &mut self,
+        record: &RunRecord,
+        journal_receipts: bool,
+    ) -> (AuditVerdict, InvoicePosting) {
         let freq = self.fleet.config().machine.frequency;
         let card = self
             .directory
             .get(record.job.tenant)
             .map(|t| t.rate_card)
             .unwrap_or(self.default_rate_card);
-        self.ledger.post_run(
+        let outcome = &record.outcome;
+        let (billed_invoice, truth_invoice) = self.ledger.post_run(
             record.job.tenant,
             &card,
             freq,
             record.job.id,
-            record.outcome.victim_billed,
-            record.outcome.victim_truth,
-            record.outcome.victim_process_aware,
+            outcome.victim_billed,
+            outcome.victim_truth,
+            outcome.victim_process_aware,
         );
         let replays_before = self.auditor.replay_count();
         let hits_before = self.auditor.reference_hit_count();
@@ -264,7 +330,19 @@ impl FleetService {
             self.ledger.account_mut(record.job.tenant).flag();
         }
         self.export_record(record, &verdict);
-        verdict
+        let posting = InvoicePosting {
+            tenant: record.job.tenant,
+            job: record.job.id,
+            billed: billed_invoice,
+            truth: truth_invoice,
+        };
+        if journal_receipts {
+            if let Some(journal) = &self.journal {
+                journal.append_or_die(&JournalEntry::Invoice(posting.clone()));
+                journal.append_or_die(&JournalEntry::Verdict(verdict.clone()));
+            }
+        }
+        (verdict, posting)
     }
 
     fn export_record(&mut self, record: &RunRecord, verdict: &AuditVerdict) {
@@ -346,6 +424,187 @@ impl FleetService {
     /// The Prometheus-style text dump of every metric.
     pub fn metrics_text(&self) -> String {
         self.metrics.render()
+    }
+
+    /// A snapshot of the service's complete accounting state — ledger,
+    /// audit summaries and cost counters, metrics — as a journal
+    /// [`Checkpoint`] entry. [`journal::compact`] folds a journal prefix
+    /// into one of these so recovery does not replay from genesis.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            runs: self.ledger.iter().map(|a| a.runs).sum(),
+            ledger: self.ledger.clone(),
+            audit: self.auditor.state(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Replays a journal into this service, rebuilding bit-identical
+    /// ledger, audit-summary and metrics state — including after a crash
+    /// that left `Run` entries without their receipts, and after
+    /// [`journal::compact`]ion.
+    ///
+    /// The service must be *fresh* and configured like the journal's
+    /// origin: same [`FleetConfig`] (seed, machine, sampling) and the same
+    /// tenant registrations, exactly as a restarted process would
+    /// construct it. Each `Run` entry is re-posted through the normal
+    /// billing/audit path (precomputed references and quotes make this
+    /// cheap and deterministic); journaled `Invoice`/`Verdict` receipts
+    /// are cross-checked against the re-derived postings, so a journal
+    /// edited after the fact is reported in
+    /// [`RecoveryReport::mismatches`]. An attached journal is **not**
+    /// written to during recovery.
+    ///
+    /// # Errors
+    /// [`RecoveryError`] if the entry sequence is not a valid write-ahead
+    /// journal (a receipt without its run, a checkpoint after replayed
+    /// runs).
+    pub fn recover(&mut self, entries: &[JournalEntry]) -> Result<RecoveryReport, RecoveryError> {
+        let report = self.replay(entries)?;
+        self.metrics
+            .counter_add(RECOVERIES_METRIC, RECOVERIES_HELP, &[], 1.0);
+        Ok(report)
+    }
+
+    /// The replay core of [`FleetService::recover`], without counting a
+    /// recovery — [`journal::compact`] uses it to fold a prefix into a
+    /// checkpoint.
+    pub(crate) fn replay(
+        &mut self,
+        entries: &[JournalEntry],
+    ) -> Result<RecoveryReport, RecoveryError> {
+        // Detach any journal for the duration: a replay must never append
+        // to the log it is replaying.
+        let journal = self.journal.take();
+        let result = self.replay_inner(entries);
+        self.journal = journal;
+        result
+    }
+
+    fn replay_inner(&mut self, entries: &[JournalEntry]) -> Result<RecoveryReport, RecoveryError> {
+        struct Pending {
+            invoice: InvoicePosting,
+            verdict: AuditVerdict,
+            invoice_seen: bool,
+            verdict_seen: bool,
+        }
+        // One FIFO queue of outstanding postings per job id, not a single
+        // slot: two same-id runs released back-to-back (legal — e.g. both
+        // completing within one pump window) journal Run,Run,…receipts…,
+        // and their receipts pair with the runs in release order.
+        let mut pending: std::collections::BTreeMap<JobId, std::collections::VecDeque<Pending>> =
+            std::collections::BTreeMap::new();
+        // Every job already posted (replayed here, or folded into an
+        // applied checkpoint — the ledger's invoices carry the ids).
+        // Job-id reuse across batches is legal at runtime, so a repeated
+        // Run entry is replayed faithfully; it is also indistinguishable
+        // from a copy-pasted (double-billing) entry, so every duplicate is
+        // surfaced in the report for the operator to vet.
+        let mut posted: std::collections::BTreeSet<JobId> = std::collections::BTreeSet::new();
+        let mut report = RecoveryReport::default();
+        for entry in entries {
+            match entry {
+                JournalEntry::Checkpoint(checkpoint) => {
+                    if report.runs_replayed > 0 {
+                        return Err(RecoveryError::MisplacedCheckpoint);
+                    }
+                    self.ledger = checkpoint.ledger.clone();
+                    self.auditor.restore(checkpoint.audit.clone());
+                    self.metrics = checkpoint.metrics.clone();
+                    report.checkpoint_runs = checkpoint.runs;
+                    posted = self
+                        .ledger
+                        .iter()
+                        .flat_map(|account| account.invoices.iter().map(|(job, _, _)| *job))
+                        .collect();
+                }
+                JournalEntry::Run(record) => {
+                    if !posted.insert(record.job.id) {
+                        report.duplicate_runs.push(record.job.id);
+                    }
+                    let (verdict, invoice) = self.post_record_full(record, false);
+                    pending
+                        .entry(record.job.id)
+                        .or_default()
+                        .push_back(Pending {
+                            invoice,
+                            verdict,
+                            invoice_seen: false,
+                            verdict_seen: false,
+                        });
+                    report.runs_replayed += 1;
+                }
+                JournalEntry::Invoice(posting) => {
+                    let Some(queue) = pending.get_mut(&posting.job) else {
+                        return Err(RecoveryError::OrphanPosting(posting.job));
+                    };
+                    let Some(pend) = queue.iter_mut().find(|p| !p.invoice_seen) else {
+                        return Err(RecoveryError::OrphanPosting(posting.job));
+                    };
+                    if pend.invoice == *posting {
+                        report.postings_confirmed += 1;
+                    } else {
+                        report.mismatches.push(posting.job);
+                    }
+                    pend.invoice_seen = true;
+                    while queue
+                        .front()
+                        .is_some_and(|p| p.invoice_seen && p.verdict_seen)
+                    {
+                        queue.pop_front();
+                    }
+                    if queue.is_empty() {
+                        pending.remove(&posting.job);
+                    }
+                }
+                JournalEntry::Verdict(verdict) => {
+                    let Some(queue) = pending.get_mut(&verdict.job) else {
+                        return Err(RecoveryError::OrphanPosting(verdict.job));
+                    };
+                    let Some(pend) = queue.iter_mut().find(|p| !p.verdict_seen) else {
+                        return Err(RecoveryError::OrphanPosting(verdict.job));
+                    };
+                    if pend.verdict == *verdict {
+                        report.postings_confirmed += 1;
+                    } else {
+                        report.mismatches.push(verdict.job);
+                    }
+                    pend.verdict_seen = true;
+                    while queue
+                        .front()
+                        .is_some_and(|p| p.invoice_seen && p.verdict_seen)
+                    {
+                        queue.pop_front();
+                    }
+                    if queue.is_empty() {
+                        pending.remove(&verdict.job);
+                    }
+                }
+            }
+        }
+        report.unconfirmed = pending.values().map(|queue| queue.len() as u64).sum();
+        self.export_gauges();
+        Ok(report)
+    }
+
+    /// Folds the attached journal's append/byte counters into the metrics
+    /// exposition (delta since the last export).
+    fn export_journal_metrics(&mut self) {
+        let Some(journal) = &self.journal else { return };
+        let stats = journal.stats();
+        self.metrics.counter_add(
+            JOURNAL_APPENDS_METRIC,
+            JOURNAL_APPENDS_HELP,
+            &[],
+            (stats.appends - self.journal_exported.appends) as f64,
+        );
+        self.metrics.counter_add(
+            JOURNAL_BYTES_METRIC,
+            JOURNAL_BYTES_HELP,
+            &[],
+            (stats.bytes - self.journal_exported.bytes) as f64,
+        );
+        self.journal_exported = stats;
     }
 
     /// Exports the live ingest gauges and the rejected-submissions counter
@@ -481,6 +740,7 @@ impl FleetStream<'_> {
         let delta = stats.rejected - self.rejected_exported;
         self.service
             .export_ingest_metrics(stats, &self.inflight_exported, delta);
+        self.service.export_journal_metrics();
         self.rejected_exported = stats.rejected;
         for tenant in stats.inflight.keys() {
             if !self.inflight_exported.contains(tenant) {
@@ -522,6 +782,7 @@ impl FleetStream<'_> {
             &inflight_exported,
             outcome.stats.rejected - rejected_exported,
         );
+        service.export_journal_metrics();
         service.export_gauges();
         FleetReport {
             records,

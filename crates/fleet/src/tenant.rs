@@ -222,7 +222,10 @@ impl Ledger {
     }
 
     /// Posts one run for `tenant`, pricing both usage readings through the
-    /// tenant's `rate_card` on a machine of frequency `freq`.
+    /// tenant's `rate_card` on a machine of frequency `freq`. Returns the
+    /// `(billed, truth)` invoices exactly as posted, so callers (the
+    /// fleet's journal receipts) can persist what the ledger accumulated
+    /// without re-deriving it.
     #[allow(clippy::too_many_arguments)]
     pub fn post_run(
         &mut self,
@@ -233,7 +236,7 @@ impl Ledger {
         billed: CpuTime,
         truth: CpuTime,
         process_aware: CpuTime,
-    ) {
+    ) -> (Invoice, Invoice) {
         let billed_invoice = rate_card.invoice(billed, freq);
         let truth_invoice = rate_card.invoice(truth, freq);
         self.account_mut(tenant).post(
@@ -241,9 +244,10 @@ impl Ledger {
             billed,
             truth,
             process_aware,
-            billed_invoice,
-            truth_invoice,
+            billed_invoice.clone(),
+            truth_invoice.clone(),
         );
+        (billed_invoice, truth_invoice)
     }
 
     /// The account for `tenant`, created empty on first use.

@@ -17,7 +17,7 @@
 //! | [`workloads`] | `trustmeter-workloads` | the paper's four victim programs (O, Pi, Whetstone, Brute) plus native reference kernels |
 //! | [`attacks`] | `trustmeter-attacks` | the seven attacks of §IV |
 //! | [`experiments`] | `trustmeter-experiments` | figure-by-figure reproduction of the evaluation (§V) and the defense/ablation studies |
-//! | [`fleet`] | `trustmeter-fleet` | the streaming multi-tenant metering service: worker-pool ingestion with backpressure and per-tenant fairness, per-tenant ledgers, overcharge auditing, metrics exporter |
+//! | [`fleet`] | `trustmeter-fleet` | the streaming multi-tenant metering service: worker-pool ingestion with backpressure and per-tenant fairness, per-tenant ledgers, overcharge auditing, a durable write-ahead journal with crash recovery and compaction, metrics exporter |
 //! | [`sim`] | `trustmeter-sim` | the discrete-event simulation substrate |
 //!
 //! ## Quick start
@@ -75,11 +75,13 @@ pub mod prelude {
         ScenarioOutcome,
     };
     pub use trustmeter_fleet::{
-        Anomaly, AttackSpec, AuditVerdict, Auditor, BackpressurePolicy, FairQueue, Fleet,
-        FleetConfig, FleetIngest, FleetReport, FleetService, FleetStream, IngestConfig,
-        IngestHandle, IngestOutcome, IngestStats, JobId, JobSpec, Ledger, MetricsRegistry,
-        ReferenceOutcome, RunRecord, SamplingPolicy, SubmitError, Tenant, TenantAuditSummary,
-        TenantDirectory, TenantId, TenantLedger,
+        compact, parse_journal, quote_nonce, strip_self_accounting, Anomaly, AttackSpec,
+        AuditVerdict, Auditor, AuditorState, BackpressurePolicy, Checkpoint, FairQueue, FileSink,
+        Fleet, FleetConfig, FleetIngest, FleetReport, FleetService, FleetStream, IngestConfig,
+        IngestHandle, IngestOutcome, IngestStats, InvoicePosting, JobId, JobSpec, Journal,
+        JournalEntry, JournalError, JournalSink, JournalStats, Ledger, MemorySink, MetricsRegistry,
+        RecoveryError, RecoveryReport, ReferenceOutcome, RunRecord, SamplingPolicy, SubmitError,
+        TailStatus, Tenant, TenantAuditSummary, TenantDirectory, TenantId, TenantLedger,
     };
     pub use trustmeter_kernel::{
         Kernel, KernelConfig, NicFlood, Op, OpOutcome, OpsProgram, Program, RunResult,

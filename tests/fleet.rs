@@ -1,9 +1,11 @@
 //! Integration tests for the `trustmeter-fleet` metering service: a
 //! 100+-job multi-tenant batch across ≥4 shards, ledger arithmetic,
-//! shard-count determinism, the metrics exposition, and the streaming
+//! shard-count determinism, the metrics exposition, the streaming
 //! ingestion pipeline (backpressure, per-tenant fairness, streamed-vs-batch
-//! bit-identical results).
+//! bit-identical results), and the durability journal (write-ahead
+//! persistence, crash recovery, compaction).
 
+use proptest::prelude::*;
 use trustmeter::prelude::*;
 
 const SCALE: f64 = 0.001;
@@ -453,4 +455,550 @@ fn fleet_report_serializes() {
     let json = serde_json::to_string(&report).expect("serialize report");
     assert!(json.contains("verdicts"));
     assert!(json.contains("billed_charge"));
+}
+
+// ---------------------------------------------------------------------------
+// Durability: write-ahead journal, crash recovery, compaction
+// ---------------------------------------------------------------------------
+
+/// A service on seed 77 with the four test tenants registered, optionally
+/// journaled — recovery requires the restarted service to be configured
+/// like the original, so every durability test builds services here.
+fn service77(workers: usize, journal: Option<Journal>) -> FleetService {
+    let mut service = FleetService::new(FleetConfig::new(workers, 77));
+    for id in 1..=4u32 {
+        service.register(Tenant::new(
+            TenantId(id),
+            format!("tenant-{id}"),
+            RateCard::per_cpu_second(0.01),
+        ));
+    }
+    match journal {
+        Some(journal) => service.with_journal(journal),
+        None => service,
+    }
+}
+
+fn audit_summaries(service: &FleetService) -> Vec<TenantAuditSummary> {
+    service.auditor().summaries().cloned().collect()
+}
+
+fn count_entries(entries: &[JournalEntry], label: &str) -> usize {
+    entries.iter().filter(|e| e.label() == label).count()
+}
+
+#[test]
+fn journal_recovery_is_bit_identical_across_1_2_8_workers() {
+    let jobs = batch(24);
+    let mut baseline = service77(4, None);
+    let baseline_report = baseline.process(&jobs);
+    let baseline_metrics = baseline.metrics_text();
+
+    let mut recovered_expositions = Vec::new();
+    for workers in [1usize, 2, 8] {
+        // Stream the batch through a journaled service.
+        let journal = Journal::in_memory();
+        let mut service = service77(workers, Some(journal.clone()));
+        let mut stream = service.stream(IngestConfig::new(workers));
+        for job in &jobs {
+            stream.submit(job.clone()).expect("queue sized for batch");
+            stream.pump();
+        }
+        let streamed_report = stream.finish();
+        assert_eq!(
+            streamed_report, baseline_report,
+            "journaling must not perturb results at {workers} workers"
+        );
+        let text = service.metrics_text();
+        assert!(
+            text.contains("fleet_journal_appends_total 72"),
+            "24 runs + 24 invoices + 24 verdicts; dump:\n{text}"
+        );
+        assert!(
+            !text.contains("fleet_journal_bytes_total 0\n"),
+            "dump:\n{text}"
+        );
+
+        // The journal replays into a bit-identical restarted service.
+        let (entries, tail) = journal.entries().unwrap();
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(count_entries(&entries, "run"), 24);
+        assert_eq!(count_entries(&entries, "invoice"), 24);
+        assert_eq!(count_entries(&entries, "verdict"), 24);
+
+        let mut recovered = service77(workers, None);
+        let report = recovered.recover(&entries).unwrap();
+        assert_eq!(report.runs_replayed, 24);
+        assert_eq!(report.postings_confirmed, 48);
+        assert_eq!(report.unconfirmed, 0);
+        assert!(
+            report.is_consistent(),
+            "mismatches: {:?}",
+            report.mismatches
+        );
+
+        assert_eq!(recovered.ledger(), &baseline_report.ledger);
+        assert_eq!(audit_summaries(&recovered), audit_summaries(&baseline));
+        let recovered_metrics = recovered.metrics_text();
+        assert_eq!(
+            strip_self_accounting(&recovered_metrics),
+            strip_self_accounting(&baseline_metrics),
+            "metering exposition must be byte-identical after recovery"
+        );
+        assert!(recovered_metrics.contains("fleet_recoveries_total 1"));
+        recovered_expositions.push(recovered_metrics);
+    }
+    // The full recovered exposition — journal series included — is itself
+    // byte-identical whatever the worker count that produced the journal.
+    assert_eq!(recovered_expositions[0], recovered_expositions[1]);
+    assert_eq!(recovered_expositions[0], recovered_expositions[2]);
+}
+
+#[test]
+fn killed_stream_recovers_the_released_prefix() {
+    let path = std::env::temp_dir().join(format!(
+        "trustmeter-fleet-test-kill-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let jobs = batch(24);
+    {
+        let journal = Journal::file(&path).unwrap();
+        let mut service = service77(2, Some(journal));
+        let mut stream = service.stream(IngestConfig::new(2));
+        for job in &jobs {
+            stream.submit(job.clone()).expect("queue sized for batch");
+        }
+        while stream.verdicts().len() < 8 {
+            stream.pump();
+            std::thread::yield_now();
+        }
+        // The "kill": drop the stream mid-flight. Unreleased completions
+        // and the queued backlog are discarded — never journaled, never
+        // billed.
+        drop(stream);
+    }
+
+    let journal = Journal::file(&path).unwrap();
+    let (entries, tail) = journal.entries().unwrap();
+    assert_eq!(tail, TailStatus::Clean, "line appends are atomic");
+    let released = count_entries(&entries, "run");
+    assert!((8..=24).contains(&released), "released: {released}");
+    // Released records form a submission-order prefix, so the clean-run
+    // baseline is simply the first `released` jobs.
+    let mut baseline = service77(4, None);
+    let baseline_report = baseline.process(&jobs[..released]);
+
+    let mut recovered = service77(2, None);
+    let report = recovered.recover(&entries).unwrap();
+    assert_eq!(report.runs_replayed as usize, released);
+    assert_eq!(report.unconfirmed, 0, "pump journals receipts in step");
+    assert!(report.is_consistent());
+    assert_eq!(recovered.ledger(), &baseline_report.ledger);
+    assert_eq!(audit_summaries(&recovered), audit_summaries(&baseline));
+    assert_eq!(
+        strip_self_accounting(&recovered.metrics_text()),
+        strip_self_accounting(&baseline.metrics_text())
+    );
+
+    // A harsher crash: the last record's receipts never hit the disk (and
+    // the final line is torn mid-append). Recovery re-derives the missing
+    // receipts from the Run entry and still matches the baseline.
+    let mut torn = entries.clone();
+    let last_two: Vec<&str> = torn[torn.len() - 2..].iter().map(|e| e.label()).collect();
+    assert_eq!(last_two, ["invoice", "verdict"]);
+    torn.truncate(torn.len() - 2);
+    let mut recovered_torn = service77(2, None);
+    let report = recovered_torn.recover(&torn).unwrap();
+    assert_eq!(report.unconfirmed, 1, "one run lost its receipts");
+    assert!(report.is_consistent());
+    assert_eq!(recovered_torn.ledger(), &baseline_report.ledger);
+    assert_eq!(
+        strip_self_accounting(&recovered_torn.metrics_text()),
+        strip_self_accounting(&baseline.metrics_text())
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncated_and_corrupt_tails_are_dropped_mid_file_corruption_is_not() {
+    let journal = Journal::in_memory();
+    let mut service = service77(2, Some(journal.clone()));
+    service.process(&batch(4));
+    let (entries, tail) = journal.entries().unwrap();
+    assert_eq!(tail, TailStatus::Clean);
+    assert_eq!(entries.len(), 12);
+
+    // Re-serialize and tear the tail mid-line, as a crash mid-append would.
+    let text: String = entries
+        .iter()
+        .map(|e| format!("{}\n", serde_json::to_string(e).unwrap()))
+        .collect();
+    let torn = format!("{text}{}", &text[..40]);
+    let (parsed, tail) = parse_journal(&torn).unwrap();
+    assert_eq!(parsed, entries);
+    assert!(tail.is_truncated());
+
+    // A newline-terminated final line that fails to parse is *not* a crash
+    // artifact — appends write the line and its newline in one call, so a
+    // torn write can never be terminated. It is corruption, and an error.
+    let corrupt_tail = format!("{text}{{\"Run\":garbage}}\n");
+    assert!(matches!(
+        parse_journal(&corrupt_tail),
+        Err(JournalError::Corrupt { line: 13, .. })
+    ));
+
+    // Corruption before the tail is likewise an error.
+    let lines: Vec<&str> = text.lines().collect();
+    let mid_corrupt = format!(
+        "{}\nnot-json\n{}\n",
+        lines[..6].join("\n"),
+        lines[6..].join("\n")
+    );
+    match parse_journal(&mid_corrupt) {
+        Err(JournalError::Corrupt { line: 7, .. }) => {}
+        other => panic!("expected corruption at line 7, got {other:?}"),
+    }
+
+    // Recovery over the truncated journal still matches a clean run of the
+    // surviving prefix.
+    let mut recovered = service77(2, None);
+    recovered.recover(&parsed).unwrap();
+    let mut baseline = service77(2, None);
+    baseline.process(&batch(4));
+    assert_eq!(recovered.ledger(), baseline.ledger());
+}
+
+#[test]
+fn compaction_folds_a_prefix_without_changing_recovery() {
+    let jobs = batch(24);
+    let journal = Journal::in_memory();
+    let mut original = service77(4, Some(journal.clone()));
+    let original_report = original.process(&jobs);
+    let (entries, _) = journal.entries().unwrap();
+
+    let mut expositions = Vec::new();
+    for fold in [0usize, 10, 24] {
+        let mut scratch = service77(4, None);
+        let compacted = compact(&entries, fold, &mut scratch).unwrap();
+        assert_eq!(compacted[0].label(), "checkpoint");
+        assert_eq!(count_entries(&compacted, "run"), 24 - fold);
+        match &compacted[0] {
+            JournalEntry::Checkpoint(checkpoint) => {
+                assert_eq!(checkpoint.runs, fold as u64);
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+
+        let mut recovered = service77(4, None);
+        let report = recovered.recover(&compacted).unwrap();
+        assert_eq!(report.checkpoint_runs, fold as u64);
+        assert_eq!(report.runs_replayed, 24 - fold as u64);
+        assert!(report.is_consistent());
+        assert_eq!(recovered.ledger(), &original_report.ledger);
+        assert_eq!(audit_summaries(&recovered), audit_summaries(&original));
+        expositions.push(recovered.metrics_text());
+    }
+    // Folding nothing, part, or everything yields the same recovered
+    // exposition — byte for byte, journal series included.
+    assert_eq!(expositions[0], expositions[1]);
+    assert_eq!(expositions[0], expositions[2]);
+
+    // Compaction composes: compacting a compacted journal still recovers.
+    let mut scratch = service77(4, None);
+    let once = compact(&entries, 8, &mut scratch).unwrap();
+    let mut scratch = service77(4, None);
+    let twice = compact(&once, 8, &mut scratch).unwrap();
+    assert_eq!(count_entries(&twice, "run"), 8);
+    let mut recovered = service77(4, None);
+    recovered.recover(&twice).unwrap();
+    assert_eq!(recovered.ledger(), &original_report.ledger);
+}
+
+#[test]
+fn tampered_journal_receipts_and_outcomes_are_detected() {
+    let jobs = batch(6);
+    let journal = Journal::in_memory();
+    let mut service = service77(2, Some(journal.clone()));
+    service.process(&jobs);
+    let (entries, _) = journal.entries().unwrap();
+
+    // Tamper with a billing receipt: the re-derived invoice disagrees.
+    let mut doctored = entries.clone();
+    let invoice_at = doctored
+        .iter()
+        .position(|e| e.label() == "invoice")
+        .unwrap();
+    let job = match &mut doctored[invoice_at] {
+        JournalEntry::Invoice(posting) => {
+            posting.billed.total /= 2.0;
+            posting.job
+        }
+        _ => unreachable!(),
+    };
+    let mut recovered = service77(2, None);
+    let report = recovered.recover(&doctored).unwrap();
+    assert_eq!(report.mismatches, vec![job]);
+    assert!(!report.is_consistent());
+
+    // Tamper with a run's reported outcome: the attestation quote no
+    // longer matches, the replayed verdict gains a quote-mismatch anomaly,
+    // and the journaled (clean) verdict receipt disagrees with the replay.
+    let mut doctored = entries.clone();
+    let job = match &mut doctored[0] {
+        JournalEntry::Run(record) => {
+            record.outcome.victim_billed.utime =
+                Cycles(record.outcome.victim_billed.utime.as_u64() * 3);
+            record.job.id
+        }
+        _ => unreachable!(),
+    };
+    let mut recovered = service77(2, None);
+    let report = recovered.recover(&doctored).unwrap();
+    assert!(
+        report.mismatches.contains(&job),
+        "mismatches: {:?}",
+        report.mismatches
+    );
+    // Job 0 belongs to tenant 1 (batch() stripes tenants by id).
+    let summary = recovered.auditor().summary(TenantId(1)).unwrap();
+    assert!(
+        summary.anomaly_counts.contains_key("quote-mismatch"),
+        "counts: {:?}",
+        summary.anomaly_counts
+    );
+
+    // Tamper with a run's *embedded reference* only (forge the clean truth
+    // up to the attacked bill, hiding the overcharge): the quote nonce
+    // commits to the reference, so verification fails, the auditor replays
+    // inline, and the overbilling survives — plus the verdict receipt
+    // disagrees.
+    let mut doctored = entries.clone();
+    let job = match &mut doctored[0] {
+        JournalEntry::Run(record) => {
+            let reference = record.reference.as_mut().unwrap();
+            reference.victim_truth = record.outcome.victim_billed;
+            record.job.id
+        }
+        _ => unreachable!(),
+    };
+    let mut recovered = service77(2, None);
+    let report = recovered.recover(&doctored).unwrap();
+    assert!(report.mismatches.contains(&job));
+    let summary = recovered.auditor().summary(TenantId(1)).unwrap();
+    assert!(
+        summary.anomaly_counts.contains_key("quote-mismatch"),
+        "counts: {:?}",
+        summary.anomaly_counts
+    );
+    assert!(
+        summary.anomaly_counts.contains_key("overbilled"),
+        "the forged reference must not hide the overcharge: {:?}",
+        summary.anomaly_counts
+    );
+
+    // Compaction refuses to fold a tampered prefix into a clean-looking
+    // checkpoint.
+    let mut scratch = service77(2, None);
+    assert!(matches!(
+        compact(&doctored, 6, &mut scratch),
+        Err(RecoveryError::InconsistentPrefix { .. })
+    ));
+}
+
+#[test]
+fn invalid_journals_are_rejected() {
+    let journal = Journal::in_memory();
+    let mut service = service77(1, Some(journal.clone()));
+    service.process(&batch(2));
+    let (entries, _) = journal.entries().unwrap();
+
+    // A receipt with no preceding run is not a write-ahead sequence.
+    let orphan: Vec<JournalEntry> = entries
+        .iter()
+        .filter(|e| e.label() != "run")
+        .cloned()
+        .collect();
+    let mut recovered = service77(1, None);
+    assert!(matches!(
+        recovered.recover(&orphan),
+        Err(RecoveryError::OrphanPosting(_))
+    ));
+
+    // A checkpoint after replayed runs is rejected.
+    let mut misplaced = entries.clone();
+    misplaced.push(JournalEntry::checkpoint(service77(1, None).checkpoint()));
+    let mut recovered = service77(1, None);
+    assert!(matches!(
+        recovered.recover(&misplaced),
+        Err(RecoveryError::MisplacedCheckpoint)
+    ));
+
+    // A repeated Run+receipts group replays faithfully (job-id reuse
+    // across batches is legal at runtime, and the live service really did
+    // post twice) — but because a legitimate resubmission is
+    // indistinguishable from a copy-pasted double-billing entry, the
+    // duplicate id is surfaced for the operator to vet.
+    let mut duplicated = entries.clone();
+    duplicated.extend(entries[..3].iter().cloned());
+    let mut recovered = service77(1, None);
+    let report = recovered.recover(&duplicated).unwrap();
+    assert_eq!(report.duplicate_runs, vec![JobId(0)]);
+    assert!(report.is_consistent(), "receipts still match the replay");
+    assert_eq!(report.runs_replayed, 3, "the duplicate was posted");
+
+    // The same surfacing covers runs already folded into a checkpoint.
+    let mut scratch = service77(1, None);
+    let mut compacted = compact(&entries, 2, &mut scratch).unwrap();
+    compacted.extend(entries[..3].iter().cloned());
+    let mut recovered = service77(1, None);
+    let report = recovered.recover(&compacted).unwrap();
+    assert_eq!(report.duplicate_runs, vec![JobId(0)]);
+}
+
+#[test]
+fn same_id_runs_released_back_to_back_pair_receipts_in_fifo_order() {
+    // Two runs sharing a job id but differing in content (same derived
+    // seed, different workloads) — a legal resubmission. When both are
+    // released before their receipts (the streaming pump pattern:
+    // Run,Run,…receipts…), recovery must pair each receipt with *its*
+    // run, not overwrite one pending posting with the other.
+    let journal = Journal::in_memory();
+    let mut service = service77(1, Some(journal.clone()));
+    service.process(&[JobSpec::clean(0, TenantId(1), Workload::LoopO, SCALE)]);
+    service.process(&[JobSpec::clean(0, TenantId(1), Workload::Pi, SCALE)]);
+    let (entries, _) = journal.entries().unwrap();
+    let labels: Vec<&str> = entries.iter().map(|e| e.label()).collect();
+    assert_eq!(
+        labels,
+        ["run", "invoice", "verdict", "run", "invoice", "verdict"]
+    );
+    // Reorder into the release-both-then-post pattern.
+    let stream_order = vec![
+        entries[0].clone(),
+        entries[3].clone(),
+        entries[1].clone(),
+        entries[2].clone(),
+        entries[4].clone(),
+        entries[5].clone(),
+    ];
+    let mut recovered = service77(1, None);
+    let report = recovered.recover(&stream_order).unwrap();
+    assert!(
+        report.is_consistent(),
+        "mismatches: {:?}",
+        report.mismatches
+    );
+    assert_eq!(report.runs_replayed, 2);
+    assert_eq!(report.unconfirmed, 0);
+    assert_eq!(report.duplicate_runs, vec![JobId(0)]);
+    assert_eq!(recovered.ledger(), service.ledger());
+}
+
+#[test]
+fn watermarked_stream_is_still_bit_identical_to_batch() {
+    let jobs = batch(12);
+    let mut baseline = service77(4, None);
+    let baseline_report = baseline.process(&jobs);
+    let mut service = service77(4, None);
+    let config = IngestConfig::new(4).with_completion_watermark(2);
+    let mut stream = service.stream(config);
+    for job in &jobs {
+        stream.submit(job.clone()).expect("queue sized for batch");
+        stream.pump();
+    }
+    assert_eq!(stream.finish(), baseline_report);
+}
+
+// ---------------------------------------------------------------------------
+// Property: interleaved append/compact/recover sequences converge
+// ---------------------------------------------------------------------------
+
+/// Everything the journal proptest replays against, built once: the base
+/// journal (append groups per job) and, for every prefix length, the
+/// ledger and audit summaries of an uninterrupted batch run.
+struct JournalFixture {
+    groups: Vec<Vec<JournalEntry>>,
+    prefix_ledgers: Vec<Ledger>,
+    prefix_summaries: Vec<Vec<TenantAuditSummary>>,
+}
+
+fn journal_fixture() -> &'static JournalFixture {
+    static FIXTURE: std::sync::OnceLock<JournalFixture> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let jobs = batch(8);
+        let journal = Journal::in_memory();
+        let mut service = service77(2, Some(journal.clone()));
+        service.process(&jobs);
+        let (entries, _) = journal.entries().unwrap();
+        // The batch path journals Run, Invoice, Verdict per job, in order.
+        assert_eq!(entries.len(), 24);
+        let groups: Vec<Vec<JournalEntry>> = entries.chunks(3).map(<[_]>::to_vec).collect();
+        for group in &groups {
+            let labels: Vec<&str> = group.iter().map(|e| e.label()).collect();
+            assert_eq!(labels, ["run", "invoice", "verdict"]);
+        }
+        let mut prefix_ledgers = Vec::new();
+        let mut prefix_summaries = Vec::new();
+        for n in 0..=jobs.len() {
+            let mut baseline = service77(2, None);
+            baseline.process(&jobs[..n]);
+            prefix_ledgers.push(baseline.ledger().clone());
+            prefix_summaries.push(audit_summaries(&baseline));
+        }
+        JournalFixture {
+            groups,
+            prefix_ledgers,
+            prefix_summaries,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever interleaving of appends, compactions and mid-sequence
+    /// recoveries a journal lives through, recovery always reproduces the
+    /// uninterrupted batch state for the appended prefix.
+    #[test]
+    fn journal_survives_interleaved_append_compact_recover(
+        ops in prop::collection::vec(0u8..3, 1..14),
+        fold_denominator in 1u8..4,
+    ) {
+        let fixture = journal_fixture();
+        let mut entries: Vec<JournalEntry> = Vec::new();
+        let mut appended = 0usize;
+        for op in ops {
+            match op {
+                0 => {
+                    if appended < fixture.groups.len() {
+                        entries.extend(fixture.groups[appended].iter().cloned());
+                        appended += 1;
+                    }
+                }
+                1 => {
+                    let fold = appended / fold_denominator as usize;
+                    let mut scratch = service77(2, None);
+                    entries = compact(&entries, fold, &mut scratch).unwrap();
+                }
+                _ => {
+                    let mut recovered = service77(2, None);
+                    let report = recovered.recover(&entries).unwrap();
+                    prop_assert!(report.is_consistent());
+                    prop_assert_eq!(recovered.ledger(), &fixture.prefix_ledgers[appended]);
+                }
+            }
+        }
+        // Drain the remaining groups and do the final recovery.
+        for group in &fixture.groups[appended..] {
+            entries.extend(group.iter().cloned());
+        }
+        let mut recovered = service77(2, None);
+        let report = recovered.recover(&entries).unwrap();
+        prop_assert!(report.is_consistent());
+        prop_assert_eq!(report.unconfirmed, 0);
+        let full = fixture.groups.len();
+        prop_assert_eq!(recovered.ledger(), &fixture.prefix_ledgers[full]);
+        prop_assert_eq!(&audit_summaries(&recovered), &fixture.prefix_summaries[full]);
+    }
 }
