@@ -1,27 +1,41 @@
 //! `trustmeter-bench` — the fleet perf harness.
 //!
 //! Streams a fixed audited batch through a [`FleetService`] worker pool
-//! twice — once without persistence and once write-ahead journaling every
-//! run and receipt to a file — and writes a JSON report
-//! (`BENCH_fleet.json` by default) with wall clock, jobs/sec, the
-//! auditor's replay counters and the journal append/byte counters, so
-//! both the performance trajectory of the audited streaming path *and*
-//! the overhead of durability are tracked from run to run.
+//! three times — journaling **off**, write-ahead journaling to the legacy
+//! flush-per-append **file** sink, and to the **segmented** group-commit
+//! sink (rotation, fsync policy, inline checkpoint cadence) — and writes
+//! a JSON report (`BENCH_fleet.json` by default) with wall clock,
+//! jobs/sec, the auditor's replay counters and the journal
+//! append/commit/rotation/fsync counters, so both the performance
+//! trajectory of the audited streaming path *and* the cost of each
+//! durability mode are tracked from run to run. In segmented mode the
+//! harness additionally reopens the segment directory and verifies that
+//! recovery reproduces the live service's ledger and metering exposition
+//! bit for bit.
 //!
 //! ```text
-//! trustmeter-bench [--smoke] [--jobs N] [--workers N] [--out PATH]
+//! trustmeter-bench [--smoke] [--jobs N] [--workers N] [--repeat N]
+//!                  [--out PATH] [--fsync never|every|group]
+//!                  [--group-entries N] [--group-bytes N]
+//!                  [--segment-bytes N] [--checkpoint-every N]
 //! ```
 //!
+//! Modes are measured in interleaved rounds (off, file, segmented, off,
+//! file, …) and the reported run per mode is the **median** by wall
+//! clock, so slow-machine drift hits every mode evenly instead of
+//! whichever ran last.
+//!
 //! `--smoke` shrinks the batch to a few jobs for CI: it proves the harness
-//! (including the journal-overhead comparison) runs end to end without
-//! spending CI minutes on a real measurement.
+//! (including all three durability modes and the recovery check) runs end
+//! to end without spending CI minutes on a real measurement.
 
 use std::time::Instant;
 
 use serde::Serialize;
 use trustmeter_fleet::{
-    AttackSpec, FleetConfig, FleetService, IngestConfig, JobSpec, Journal, RateCard,
-    SamplingPolicy, Tenant, TenantId,
+    metering_exposition, AttackSpec, CheckpointCadence, FleetConfig, FleetService, FsyncPolicy,
+    IngestConfig, JobSpec, Journal, JournalStats, RateCard, SamplingPolicy, SegmentConfig, Tenant,
+    TenantId,
 };
 use trustmeter_workloads::Workload;
 
@@ -30,18 +44,57 @@ const SCALE: f64 = 0.001;
 /// Fleet seed (matches the criterion fleet bench).
 const SEED: u64 = 0xf1ee7;
 
+/// How one harness run persists its journal.
+#[derive(Debug, Clone, Copy)]
+enum JournalMode {
+    /// In-memory ledgers only.
+    Off,
+    /// The PR-4 sink: one append-only file, flush per entry.
+    LegacyFile,
+    /// Segmented group-commit sink with an inline checkpoint cadence.
+    /// `label` distinguishes the flush-only run (`segmented`, the same
+    /// process-death durability level as the legacy file sink) from the
+    /// fsync-policy run (`segmented-fsync`, power-loss durability — a
+    /// level the legacy sink never offered).
+    Segmented {
+        label: &'static str,
+        config: SegmentConfig,
+        checkpoint_every: u64,
+    },
+}
+
+impl JournalMode {
+    fn label(&self) -> &'static str {
+        match self {
+            JournalMode::Off => "off",
+            JournalMode::LegacyFile => "file",
+            JournalMode::Segmented { label, .. } => label,
+        }
+    }
+}
+
 /// What one harness run measured.
 #[derive(Debug, Serialize)]
 struct BenchReport {
     /// Harness identifier.
     bench: &'static str,
-    /// Durability mode: `off` (in-memory ledgers only) or `file`
-    /// (write-ahead JSON-lines journal, flushed per append).
+    /// Durability mode: `off`, `file` (legacy flush-per-append) or
+    /// `segmented` (group-commit pipeline).
     journal: &'static str,
+    /// Fsync policy of the segmented run (`null` otherwise).
+    fsync: Option<FsyncPolicy>,
+    /// Segment rotation threshold of the segmented run (0 otherwise).
+    segment_bytes: u64,
+    /// Inline checkpoint cadence of the segmented run, in posted runs
+    /// (0 = disabled).
+    checkpoint_every: u64,
     /// Jobs streamed through the service.
     jobs: u64,
     /// Worker threads in the ingest pool.
     workers: usize,
+    /// Interleaved measurement rounds this mode ran; the reported numbers
+    /// are the median round by wall clock.
+    repeat: usize,
     /// Workload scale factor per job.
     scale: f64,
     /// Audit sampling policy the run used.
@@ -60,6 +113,18 @@ struct BenchReport {
     journal_appends: u64,
     /// Journal bytes appended (0 with journaling off).
     journal_bytes: u64,
+    /// Batched journal commits (one sink write per batch).
+    journal_group_commits: u64,
+    /// Segment rotations.
+    journal_rotations: u64,
+    /// fsync calls issued by the sink.
+    journal_fsyncs: u64,
+    /// Segments retired as superseded by a checkpoint.
+    journal_segments_retired: u64,
+    /// Whether a post-run recovery from the journal reproduced the live
+    /// ledger and metering exposition bit for bit (segmented mode only;
+    /// `false` means the check did not run).
+    recovery_bit_identical: bool,
 }
 
 fn batch(n: u64) -> Vec<JobSpec> {
@@ -76,14 +141,8 @@ fn batch(n: u64) -> Vec<JobSpec> {
         .collect()
 }
 
-fn run(jobs: u64, workers: usize, journal: Option<Journal>) -> BenchReport {
-    let journal_mode = if journal.is_some() { "file" } else { "off" };
-    let config = FleetConfig::new(workers, SEED);
-    let sampling = config.sampling;
-    let mut service = FleetService::new(config);
-    if let Some(journal) = journal {
-        service = service.with_journal(journal);
-    }
+fn build_service(workers: usize) -> FleetService {
+    let mut service = FleetService::new(FleetConfig::new(workers, SEED));
     for id in 1..=4u32 {
         service.register(Tenant::new(
             TenantId(id),
@@ -91,6 +150,43 @@ fn run(jobs: u64, workers: usize, journal: Option<Journal>) -> BenchReport {
             RateCard::per_cpu_hour(0.10),
         ));
     }
+    service
+}
+
+fn run(jobs: u64, workers: usize, mode: JournalMode) -> BenchReport {
+    // Per-mode scratch space under the temp dir, cleaned up at the end.
+    let scratch = std::env::temp_dir().join(format!(
+        "trustmeter-bench-{}-{}",
+        mode.label(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create bench scratch dir");
+
+    let mut service = build_service(workers);
+    let (fsync, segment_bytes, checkpoint_every) = match mode {
+        JournalMode::Off => (None, 0, 0),
+        JournalMode::LegacyFile => {
+            let journal = Journal::file(scratch.join("journal.jsonl")).expect("open bench journal");
+            service = service.with_journal(journal);
+            (None, 0, 0)
+        }
+        JournalMode::Segmented {
+            config,
+            checkpoint_every,
+            ..
+        } => {
+            let journal =
+                Journal::segmented(scratch.join("segments"), config).expect("open bench segments");
+            service = service.with_journal(journal);
+            if checkpoint_every > 0 {
+                service = service
+                    .with_checkpoint_cadence(CheckpointCadence::every_n_runs(checkpoint_every));
+            }
+            (Some(config.fsync), config.segment_bytes, checkpoint_every)
+        }
+    };
+
     let specs = batch(jobs);
     let start = Instant::now();
     let mut stream = service.stream(IngestConfig::new(workers).with_capacity(specs.len()));
@@ -98,16 +194,56 @@ fn run(jobs: u64, workers: usize, journal: Option<Journal>) -> BenchReport {
         stream.submit(spec.clone()).expect("queue sized for batch");
         stream.pump();
     }
+    // Keep pumping while the workers drain, like a live consumer would:
+    // journal group commits then overlap with execution instead of
+    // piling into a serial tail after the last job completes.
+    while stream.verdicts().len() < jobs as usize {
+        stream.pump();
+        std::thread::yield_now();
+    }
     let report = stream.finish();
     let wall_secs = start.elapsed().as_secs_f64();
     assert_eq!(report.records.len() as u64, jobs, "every job completed");
     let flagged_runs = report.flagged().count() as u64;
     let journal_stats = service.journal().map(|j| j.stats()).unwrap_or_default();
+
+    // Segmented mode closes the loop: reopen the (rotated, retired)
+    // segment directory and prove recovery is bit-identical to the live
+    // service — the group-commit pipeline must not cost correctness.
+    let recovery_bit_identical = if matches!(mode, JournalMode::Segmented { .. }) {
+        let reopened = Journal::segmented(scratch.join("segments"), SegmentConfig::default())
+            .expect("reopen bench segments");
+        let (entries, _tail) = reopened.entries().expect("parse bench journal");
+        let mut recovered = build_service(workers);
+        recovered
+            .recover_latest(&entries)
+            .expect("recover bench journal");
+        assert_eq!(
+            recovered.ledger(),
+            service.ledger(),
+            "recovered ledger == live ledger"
+        );
+        assert_eq!(
+            metering_exposition(&recovered.metrics_text()),
+            metering_exposition(&service.metrics_text()),
+            "recovered metering exposition == live exposition"
+        );
+        true
+    } else {
+        false
+    };
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let sampling = service.auditor().sampling();
     BenchReport {
         bench: "fleet_stream_audited",
-        journal: journal_mode,
+        journal: mode.label(),
+        fsync,
+        segment_bytes,
+        checkpoint_every,
         jobs,
         workers,
+        repeat: 1,
         scale: SCALE,
         sampling,
         wall_secs,
@@ -117,19 +253,56 @@ fn run(jobs: u64, workers: usize, journal: Option<Journal>) -> BenchReport {
         flagged_runs,
         journal_appends: journal_stats.appends,
         journal_bytes: journal_stats.bytes,
+        journal_group_commits: journal_stats.group_commits,
+        journal_rotations: journal_stats.rotations,
+        journal_fsyncs: journal_stats.fsyncs,
+        journal_segments_retired: journal_stats.segments_retired,
+        recovery_bit_identical,
     }
+}
+
+fn stats_line(stats: &JournalStats) -> String {
+    format!(
+        "{} appends / {} commits ({} bytes), {} rotations, {} fsyncs, {} retired",
+        stats.appends,
+        stats.group_commits,
+        stats.bytes,
+        stats.rotations,
+        stats.fsyncs,
+        stats.segments_retired
+    )
+}
+
+/// The median round by wall clock (`samples` must be non-empty).
+fn median_by_wall(mut samples: Vec<BenchReport>) -> BenchReport {
+    let repeat = samples.len();
+    samples.sort_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs));
+    let mut report = samples.swap_remove(repeat / 2);
+    report.repeat = repeat;
+    report
 }
 
 fn main() {
     let mut jobs: u64 = 128;
     let mut workers: usize = 4;
+    let mut repeat: usize = 5;
     let mut out = String::from("BENCH_fleet.json");
+    let mut fsync = FsyncPolicy::GroupCommit {
+        max_entries: 64,
+        max_bytes: 256 * 1024,
+    };
+    let mut group_entries: u64 = 64;
+    let mut group_bytes: u64 = 256 * 1024;
+    let mut segment_bytes: u64 = 128 * 1024;
+    let mut checkpoint_every: u64 = 100;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => {
                 jobs = 8;
                 workers = 2;
+                segment_bytes = 4 * 1024;
+                checkpoint_every = 4;
             }
             "--jobs" => {
                 let value = args.next().expect("--jobs requires a value");
@@ -140,38 +313,105 @@ fn main() {
                 workers = value.parse().expect("--workers takes an integer");
                 assert!(workers > 0, "--workers must be positive");
             }
+            "--repeat" => {
+                let value = args.next().expect("--repeat requires a value");
+                repeat = value.parse().expect("--repeat takes an integer");
+                assert!(repeat > 0, "--repeat must be positive");
+            }
             "--out" => {
                 out = args.next().expect("--out requires a path");
+            }
+            "--fsync" => {
+                let value = args.next().expect("--fsync requires a value");
+                fsync = match value.as_str() {
+                    "never" => FsyncPolicy::Never,
+                    "every" => FsyncPolicy::EveryAppend,
+                    "group" => FsyncPolicy::GroupCommit {
+                        max_entries: group_entries,
+                        max_bytes: group_bytes,
+                    },
+                    other => panic!("--fsync takes never|every|group, got `{other}`"),
+                };
+            }
+            "--group-entries" => {
+                let value = args.next().expect("--group-entries requires a value");
+                group_entries = value.parse().expect("--group-entries takes an integer");
+            }
+            "--group-bytes" => {
+                let value = args.next().expect("--group-bytes requires a value");
+                group_bytes = value.parse().expect("--group-bytes takes an integer");
+            }
+            "--segment-bytes" => {
+                let value = args.next().expect("--segment-bytes requires a value");
+                segment_bytes = value.parse().expect("--segment-bytes takes an integer");
+                assert!(segment_bytes > 0, "--segment-bytes must be positive");
+            }
+            "--checkpoint-every" => {
+                let value = args.next().expect("--checkpoint-every requires a value");
+                checkpoint_every = value.parse().expect("--checkpoint-every takes an integer");
             }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: trustmeter-bench [--smoke] [--jobs N] [--workers N] [--out PATH]"
+                    "usage: trustmeter-bench [--smoke] [--jobs N] [--workers N] [--repeat N] \
+                     [--out PATH] [--fsync never|every|group] [--group-entries N] \
+                     [--group-bytes N] [--segment-bytes N] [--checkpoint-every N]"
                 );
                 std::process::exit(2);
             }
         }
     }
     assert!(jobs > 0, "--jobs must be positive");
+    // Re-resolve group-commit knobs in case --group-* came after --fsync.
+    if let FsyncPolicy::GroupCommit { .. } = fsync {
+        fsync = FsyncPolicy::GroupCommit {
+            max_entries: group_entries,
+            max_bytes: group_bytes,
+        };
+    }
 
-    let baseline = run(jobs, workers, None);
+    let segment_config = SegmentConfig::default()
+        .with_segment_bytes(segment_bytes)
+        .with_fsync(fsync);
+    let mut modes = vec![
+        JournalMode::Off,
+        JournalMode::LegacyFile,
+        // Same durability level as the legacy file sink (flush to the OS,
+        // no fsync): the apples-to-apples group-commit comparison.
+        JournalMode::Segmented {
+            label: "segmented",
+            config: segment_config.with_fsync(FsyncPolicy::Never),
+            checkpoint_every,
+        },
+    ];
+    // The configured fsync policy on top: what power-loss durability
+    // costs over journal-off. With `--fsync never` this would duplicate
+    // the mode above under a misleading label, so it is skipped.
+    if !matches!(fsync, FsyncPolicy::Never) {
+        modes.push(JournalMode::Segmented {
+            label: "segmented-fsync",
+            config: segment_config,
+            checkpoint_every,
+        });
+    }
+    let mut samples: Vec<Vec<BenchReport>> = modes.iter().map(|_| Vec::new()).collect();
+    for round in 0..repeat {
+        // Rotate the starting mode each round so slow-machine drift
+        // (thermal throttling, background load) hits every mode in every
+        // position instead of always penalizing whichever runs last.
+        for offset in 0..modes.len() {
+            let at = (round + offset) % modes.len();
+            samples[at].push(run(jobs, workers, modes[at]));
+        }
+    }
+    let reports: Vec<BenchReport> = samples.into_iter().map(median_by_wall).collect();
 
-    let journal_path = std::env::temp_dir().join(format!(
-        "trustmeter-bench-journal-{}.jsonl",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_file(&journal_path);
-    let journal = Journal::file(&journal_path).expect("open bench journal");
-    let journaled = run(jobs, workers, Some(journal));
-    let _ = std::fs::remove_file(&journal_path);
-
-    let reports = vec![baseline, journaled];
     let json = serde_json::to_string_pretty(&reports).expect("serialize report");
     std::fs::write(&out, format!("{json}\n")).expect("write report file");
     for report in &reports {
         println!(
             "journal={}: {} jobs / {} workers: {:.3} s wall, {:.1} jobs/s, \
-             {} replays, {} reference hits, {} appends ({} bytes)",
+             {} replays, {} reference hits, {}",
             report.journal,
             report.jobs,
             report.workers,
@@ -179,10 +419,28 @@ fn main() {
             report.jobs_per_sec,
             report.audit_replays,
             report.audit_reference_hits,
-            report.journal_appends,
-            report.journal_bytes,
+            stats_line(&JournalStats {
+                appends: report.journal_appends,
+                bytes: report.journal_bytes,
+                group_commits: report.journal_group_commits,
+                rotations: report.journal_rotations,
+                fsyncs: report.journal_fsyncs,
+                segments_retired: report.journal_segments_retired,
+            }),
         );
     }
-    let overhead = (reports[1].wall_secs / reports[0].wall_secs.max(f64::EPSILON) - 1.0) * 100.0;
-    println!("journal overhead: {overhead:+.1}% wall clock → {out}");
+    let baseline = reports[0].wall_secs.max(f64::EPSILON);
+    for report in &reports[1..] {
+        println!(
+            "journal={} overhead: {:+.1}% wall clock{}",
+            report.journal,
+            (report.wall_secs / baseline - 1.0) * 100.0,
+            if report.recovery_bit_identical {
+                " (recovery verified bit-identical)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("→ {out}");
 }

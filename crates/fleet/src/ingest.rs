@@ -395,49 +395,51 @@ impl Shared {
 
     /// Removes and returns the contiguous run of completed records starting
     /// at the release cursor, in submission order. With a journal attached,
-    /// every record is appended as a [`crate::JournalEntry::Run`] **before**
-    /// the release cursor advances — the write-ahead guarantee: a record a
-    /// consumer ever observes (and bills) is already durable, and a record
-    /// that was never journaled was never released.
+    /// the **whole ready prefix** is serialized into the journal's reused
+    /// buffer and committed as one [`crate::JournalEntry::Run`] group
+    /// commit **before** the release cursor advances — the write-ahead
+    /// guarantee: a record a consumer ever observes (and bills) is already
+    /// durable, and a record that was never journaled was never released.
+    /// Batching the prefix costs one sink write (and one flush/fsync
+    /// decision) per pump instead of one per record.
     ///
     /// Journal I/O happens under the consumer-only release guard, *not*
     /// the worker-shared state lock, so workers keep completing jobs while
-    /// the consumer pays for the write-ahead appends.
+    /// the consumer pays for the write-ahead commit.
     ///
     /// # Panics
-    /// Panics if a journal append fails: a pipeline that cannot persist its
-    /// write-ahead log must not keep releasing records.
+    /// Panics if the journal commit fails: a pipeline that cannot persist
+    /// its write-ahead log must not keep releasing records. The records
+    /// stay removed with the cursor parked, so nothing is ever released
+    /// unjournaled.
     fn take_ready(&self) -> Vec<RunRecord> {
         let _release = self
             .release_guard
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        let mut ready = Vec::new();
-        loop {
-            let (next, record) = {
-                let mut state = self.lock();
-                let next = state.released;
-                match state.completed.remove(&next) {
-                    Some(record) => (next, record),
-                    None => break,
-                }
-            };
-            if let Some(journal) = &self.journal {
-                // Durable before the cursor advances. A failed append
-                // panics with the record removed and the cursor parked —
-                // the pipeline stops releasing, which is the point.
-                journal.append_run_or_die(&record);
-            }
+        // Drain the whole contiguous prefix under one lock acquisition.
+        let (first, ready) = {
             let mut state = self.lock();
-            debug_assert_eq!(state.released, next, "release guard serializes consumers");
-            state.released = next + 1;
-            drop(state);
-            ready.push(record);
+            let first = state.released;
+            let mut ready = Vec::new();
+            while let Some(record) = state.completed.remove(&(first + ready.len() as u64)) {
+                ready.push(record);
+            }
+            (first, ready)
+        };
+        if ready.is_empty() {
+            return ready;
         }
-        if !ready.is_empty() {
-            // Wake workers stalled on the completion watermark.
-            self.job_ready.notify_all();
+        if let Some(journal) = &self.journal {
+            // The batch is durable before the cursor advances.
+            journal.append_runs_or_die(&ready);
         }
+        let mut state = self.lock();
+        debug_assert_eq!(state.released, first, "release guard serializes consumers");
+        state.released = first + ready.len() as u64;
+        drop(state);
+        // Wake workers stalled on the completion watermark.
+        self.job_ready.notify_all();
         ready
     }
 }

@@ -38,6 +38,27 @@
 //! written and later damaged, so it is an error ([`JournalError::Corrupt`]),
 //! wherever it sits.
 //!
+//! ## The group-commit write path
+//!
+//! The write-ahead point must be cheap enough to run always-on, so the
+//! journal batches. Producers hand the journal *groups* of entries —
+//! the ingest pipeline's whole ready prefix ([`Journal::append_runs`]),
+//! a posting's Run/Invoice/Verdict triple ([`Journal::append_posting`]),
+//! a pump's receipt batch ([`Journal::append_receipts`]) — which are
+//! serialized back to back into one reused buffer (via the vendored
+//! `serde_json`'s buffer-reusing [`serde_json::Serializer`]) and
+//! committed with a single [`JournalSink::append_lines`] call: one
+//! write, one flush/fsync decision, zero per-entry allocation.
+//!
+//! [`SegmentedFileSink`] is the production file sink: `BufWriter`-backed
+//! segment files rotated at a size threshold ([`SegmentConfig`]), an
+//! [`FsyncPolicy`] (never / every append / group commit), and retirement
+//! of segments older than the latest [`JournalEntry::Checkpoint`] —
+//! written automatically by a [`CheckpointCadence`]-configured service —
+//! so the journal's disk footprint and recovery cost are both bounded.
+//! The PR-4 [`FileSink`] (one flush per entry, one ever-growing file) is
+//! retained as the legacy comparison point.
+//!
 //! ```
 //! use trustmeter_fleet::{FleetConfig, FleetService, JobSpec, Journal, TenantId};
 //! use trustmeter_workloads::Workload;
@@ -57,7 +78,7 @@
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Write as _};
+use std::io::{BufWriter, Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -204,15 +225,144 @@ impl TailStatus {
     }
 }
 
-/// Append/byte counters for one [`Journal`] handle (monotonic; counts
-/// appends through this handle since it was opened, not entries already in
-/// a reopened file).
+/// Append/byte counters for one [`Journal`] handle (monotonic; `appends`,
+/// `bytes` and `group_commits` count work through this handle since it
+/// was opened, not entries already in a reopened file; the rotation /
+/// fsync / retirement counters come from the sink and cover the sink's
+/// lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct JournalStats {
     /// Entries appended.
     pub appends: u64,
     /// Bytes appended (serialized lines including the newline).
     pub bytes: u64,
+    /// Batched commits: groups of entries serialized into one buffer and
+    /// handed to the sink as a single [`JournalSink::append_lines`] call.
+    /// `appends / group_commits` is the realized batch size.
+    pub group_commits: u64,
+    /// Segment rotations the sink performed (see [`SegmentedFileSink`]).
+    pub rotations: u64,
+    /// `fsync` calls the sink issued.
+    pub fsyncs: u64,
+    /// Segments the sink retired (deleted) as superseded by a checkpoint.
+    pub segments_retired: u64,
+}
+
+/// Sink-level durability counters (all zero for sinks without segments or
+/// explicit syncing, e.g. [`MemorySink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SinkStats {
+    /// Segment rotations performed.
+    pub rotations: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Segments deleted because a newer checkpoint superseded them.
+    pub segments_retired: u64,
+}
+
+/// When a [`SegmentedFileSink`] pushes committed bytes past the OS page
+/// cache to the platter. Every policy flushes to the OS per commit, so a
+/// *process* crash never loses a committed entry; the policies differ in
+/// what an OS crash or power loss can take with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FsyncPolicy {
+    /// Never `fsync` — the legacy [`FileSink`] durability level. Power
+    /// loss can lose anything not yet written back by the OS.
+    #[default]
+    Never,
+    /// `fsync` on every commit: every released record survives power
+    /// loss, at one disk sync per commit.
+    EveryAppend,
+    /// Amortized power-loss durability: `fsync` once the unsynced backlog
+    /// reaches `max_entries` entries or `max_bytes` bytes, whichever
+    /// comes first. The crash window — entries flushed to the OS but not
+    /// yet on the platter — is bounded by these two knobs.
+    GroupCommit {
+        /// Sync after at most this many unsynced entries.
+        max_entries: u64,
+        /// … or after at most this many unsynced bytes.
+        max_bytes: u64,
+    },
+}
+
+/// Geometry and durability policy for a [`SegmentedFileSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentConfig {
+    /// Rotate to a fresh segment once the current one reaches this many
+    /// bytes. Commits never split across segments, so a segment can
+    /// overshoot the threshold by up to one commit.
+    pub segment_bytes: u64,
+    /// When committed bytes are fsynced.
+    pub fsync: FsyncPolicy,
+}
+
+impl SegmentConfig {
+    /// Default rotation threshold: 8 MiB per segment.
+    pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+    /// Replaces the rotation threshold.
+    ///
+    /// # Panics
+    /// Panics if `segment_bytes` is zero.
+    pub fn with_segment_bytes(mut self, segment_bytes: u64) -> SegmentConfig {
+        assert!(segment_bytes > 0, "segments need a positive byte budget");
+        self.segment_bytes = segment_bytes;
+        self
+    }
+
+    /// Replaces the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> SegmentConfig {
+        self.fsync = fsync;
+        self
+    }
+}
+
+impl Default for SegmentConfig {
+    fn default() -> SegmentConfig {
+        SegmentConfig {
+            segment_bytes: Self::DEFAULT_SEGMENT_BYTES,
+            fsync: FsyncPolicy::Never,
+        }
+    }
+}
+
+/// How often a journaled [`crate::FleetService`] writes inline
+/// [`JournalEntry::Checkpoint`] entries, bounding recovery cost without
+/// an offline [`compact`] pass.
+///
+/// Checkpoints are written at *safe points* — moments when every
+/// journaled `Run` has been posted (after a batch posting, or at the end
+/// of a stream pump) — so the checkpoint folds everything before it and
+/// recovery can start from the latest one ([`recovery_window`]). On a
+/// [`SegmentedFileSink`] each checkpoint also starts a fresh segment and
+/// retires the segments it supersedes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CheckpointCadence {
+    /// Never checkpoint automatically (compaction stays caller-driven).
+    #[default]
+    Never,
+    /// Checkpoint at the first safe point once at least this many runs
+    /// were posted since the previous checkpoint.
+    EveryNRuns(u64),
+}
+
+impl CheckpointCadence {
+    /// Checkpoint every `n` posted runs (at the next safe point).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn every_n_runs(n: u64) -> CheckpointCadence {
+        assert!(n > 0, "a checkpoint cadence needs a positive run count");
+        CheckpointCadence::EveryNRuns(n)
+    }
+
+    /// Whether a checkpoint is due after `runs_since` posted runs.
+    pub(crate) fn due(&self, runs_since: u64) -> bool {
+        match self {
+            CheckpointCadence::Never => false,
+            CheckpointCadence::EveryNRuns(n) => runs_since >= *n,
+        }
+    }
 }
 
 /// Where journal lines go. Implementations must make an appended line
@@ -223,8 +373,47 @@ pub trait JournalSink: Send {
     /// sink must write it as its own line).
     fn append_line(&mut self, line: &str) -> Result<(), JournalError>;
 
+    /// Group commit: appends every line (each as its own newline-
+    /// terminated line) and makes the whole batch durable together —
+    /// ideally one buffered write and one flush/fsync decision. The
+    /// default loops [`JournalSink::append_line`], which keeps legacy
+    /// sinks correct (and keeps [`FileSink`] honestly flush-per-append
+    /// for the benchmark comparison).
+    fn append_lines(&mut self, lines: &[&str]) -> Result<(), JournalError> {
+        for line in lines {
+            self.append_line(line)?;
+        }
+        Ok(())
+    }
+
+    /// Called just before a [`JournalEntry::Checkpoint`] line is
+    /// appended: segmented sinks rotate so the checkpoint leads a fresh
+    /// segment. Default: no-op.
+    fn begin_checkpoint(&mut self) -> Result<(), JournalError> {
+        Ok(())
+    }
+
+    /// Called when the checkpoint line failed to append after
+    /// [`JournalSink::begin_checkpoint`] succeeded: undo any bracketing
+    /// state (e.g. rotation suppression) without retiring anything.
+    /// Default: no-op.
+    fn abort_checkpoint(&mut self) {}
+
+    /// Called after the checkpoint line was appended: segmented sinks
+    /// make it durable and retire the segments it supersedes. Default:
+    /// no-op.
+    fn finish_checkpoint(&mut self) -> Result<(), JournalError> {
+        Ok(())
+    }
+
+    /// Sink-level durability counters. Default: all zero.
+    fn sink_stats(&self) -> SinkStats {
+        SinkStats::default()
+    }
+
     /// The full journal text, including entries written before this sink
-    /// was opened (file sinks re-read the file).
+    /// was opened (file sinks re-read the file; segmented sinks
+    /// concatenate their live segments oldest-first).
     fn contents(&self) -> Result<String, JournalError>;
 }
 
@@ -263,6 +452,58 @@ impl JournalSink for MemorySink {
 pub struct FileSink {
     path: PathBuf,
     file: File,
+    /// Reused line buffer: the line and its newline still land in one
+    /// `write_all` (the torn-tail invariant depends on that), but the
+    /// buffer is allocated once, not per append.
+    buf: Vec<u8>,
+}
+
+/// Opens (creating if absent) a journal file in append mode and repairs a
+/// torn tail (see [`repair_torn_tail`]).
+fn open_repaired(path: &Path) -> Result<File, JournalError> {
+    let file = OpenOptions::new()
+        .create(true)
+        .read(true)
+        .append(true)
+        .open(path)?;
+    repair_torn_tail(&file)?;
+    Ok(file)
+}
+
+/// Truncates a non-newline-terminated tail (O_APPEND writes then land
+/// at the new end of file). Scans backwards in bounded chunks, so
+/// reopening a large journal costs only the torn-tail length, not the
+/// file size.
+fn repair_torn_tail(file: &File) -> Result<(), JournalError> {
+    use std::io::{Seek as _, SeekFrom};
+    const CHUNK: u64 = 64 * 1024;
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(());
+    }
+    let mut reader = file;
+    let mut last = [0u8; 1];
+    reader.seek(SeekFrom::Start(len - 1))?;
+    reader.read_exact(&mut last)?;
+    if last[0] == b'\n' {
+        return Ok(());
+    }
+    let mut end = len;
+    let keep = loop {
+        if end == 0 {
+            break 0; // no newline at all: the whole file is one torn line
+        }
+        let start = end.saturating_sub(CHUNK);
+        let mut buf = vec![0u8; (end - start) as usize];
+        reader.seek(SeekFrom::Start(start))?;
+        reader.read_exact(&mut buf)?;
+        if let Some(at) = buf.iter().rposition(|b| *b == b'\n') {
+            break start + at as u64 + 1;
+        }
+        end = start;
+    };
+    file.set_len(keep)?;
+    Ok(())
 }
 
 impl FileSink {
@@ -276,49 +517,12 @@ impl FileSink {
     /// truncated away (the same tail [`parse_journal`] would drop).
     pub fn open(path: impl AsRef<Path>) -> Result<FileSink, JournalError> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(&path)?;
-        FileSink::repair_torn_tail(&file)?;
-        Ok(FileSink { path, file })
-    }
-
-    /// Truncates a non-newline-terminated tail (O_APPEND writes then land
-    /// at the new end of file). Scans backwards in bounded chunks, so
-    /// reopening a large journal costs only the torn-tail length, not the
-    /// file size.
-    fn repair_torn_tail(file: &File) -> Result<(), JournalError> {
-        use std::io::{Seek as _, SeekFrom};
-        const CHUNK: u64 = 64 * 1024;
-        let len = file.metadata()?.len();
-        if len == 0 {
-            return Ok(());
-        }
-        let mut reader = file;
-        let mut last = [0u8; 1];
-        reader.seek(SeekFrom::Start(len - 1))?;
-        reader.read_exact(&mut last)?;
-        if last[0] == b'\n' {
-            return Ok(());
-        }
-        let mut end = len;
-        let keep = loop {
-            if end == 0 {
-                break 0; // no newline at all: the whole file is one torn line
-            }
-            let start = end.saturating_sub(CHUNK);
-            let mut buf = vec![0u8; (end - start) as usize];
-            reader.seek(SeekFrom::Start(start))?;
-            reader.read_exact(&mut buf)?;
-            if let Some(at) = buf.iter().rposition(|b| *b == b'\n') {
-                break start + at as u64 + 1;
-            }
-            end = start;
-        };
-        file.set_len(keep)?;
-        Ok(())
+        let file = open_repaired(&path)?;
+        Ok(FileSink {
+            path,
+            file,
+            buf: Vec::new(),
+        })
     }
 
     /// The journal file path.
@@ -329,13 +533,17 @@ impl FileSink {
 
 impl JournalSink for FileSink {
     fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
-        let mut buf = String::with_capacity(line.len() + 1);
-        buf.push_str(line);
-        buf.push('\n');
-        self.file.write_all(buf.as_bytes())?;
+        self.buf.clear();
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+        self.file.write_all(&self.buf)?;
         self.file.flush()?;
         Ok(())
     }
+
+    // `append_lines` deliberately stays the flush-per-append default:
+    // `FileSink` is the legacy comparison point for the benchmark, and
+    // batching belongs to `SegmentedFileSink`.
 
     fn contents(&self) -> Result<String, JournalError> {
         let mut text = String::new();
@@ -344,9 +552,311 @@ impl JournalSink for FileSink {
     }
 }
 
+/// The production file sink: `BufWriter`-backed segment files
+/// (`segment-00000001.jsonl`, `segment-00000002.jsonl`, …) in one
+/// directory, rotated at [`SegmentConfig::segment_bytes`], fsynced per
+/// [`FsyncPolicy`], and retired (deleted) once a
+/// [`JournalEntry::Checkpoint`] supersedes them.
+///
+/// Invariants the recovery path relies on:
+///
+/// * every commit ends with a flush, so a *process* crash can only tear
+///   the final, unterminated line of the **last** segment — earlier
+///   segments are sealed and must parse cleanly ([`Self::contents`]
+///   concatenates the live segments, so a torn tail anywhere else
+///   surfaces as [`JournalError::Corrupt`]);
+/// * a checkpoint always leads its segment ([`Self::begin_checkpoint`]
+///   rotates first), and retirement deletes only segments *before* the
+///   checkpoint's — after the checkpoint batch is fsynced — so the live
+///   directory always replays from a leading checkpoint.
+#[derive(Debug)]
+pub struct SegmentedFileSink {
+    dir: PathBuf,
+    config: SegmentConfig,
+    writer: BufWriter<File>,
+    /// Index of the segment currently appended to (== `live.last()`).
+    current_index: u64,
+    /// Bytes committed to the current segment.
+    current_len: u64,
+    /// Live segment indices, ascending.
+    live: Vec<u64>,
+    /// Inside a `begin_checkpoint`…`finish_checkpoint` bracket: rotation
+    /// is suppressed so the checkpoint line can never overflow into (or
+    /// past) a segment retirement is about to use as its horizon.
+    in_checkpoint: bool,
+    unsynced_entries: u64,
+    unsynced_bytes: u64,
+    stats: SinkStats,
+}
+
+impl SegmentedFileSink {
+    const PREFIX: &'static str = "segment-";
+    const SUFFIX: &'static str = ".jsonl";
+
+    /// The file name of segment `index`.
+    fn segment_name(index: u64) -> String {
+        format!("{}{index:08}{}", Self::PREFIX, Self::SUFFIX)
+    }
+
+    /// Opens (creating if absent) a segment directory at `dir`. Existing
+    /// segments are kept — reopening after a crash continues the same
+    /// journal — and the *last* segment's torn tail, if any, is repaired
+    /// exactly like [`FileSink::open`] does. A torn tail in an earlier
+    /// segment is never repaired: sealed segments cannot legally be torn,
+    /// so that damage must surface as corruption, not be papered over.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: SegmentConfig,
+    ) -> Result<SegmentedFileSink, JournalError> {
+        assert!(
+            config.segment_bytes > 0,
+            "segments need a positive byte budget"
+        );
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut live: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name();
+                let name = name.to_str()?;
+                let index = name
+                    .strip_prefix(Self::PREFIX)?
+                    .strip_suffix(Self::SUFFIX)?;
+                index.parse::<u64>().ok()
+            })
+            .collect();
+        live.sort_unstable();
+        if live.is_empty() {
+            live.push(1);
+        }
+        let current_index = *live.last().expect("at least one segment");
+        let file = open_repaired(&dir.join(Self::segment_name(current_index)))?;
+        let current_len = file.metadata()?.len();
+        Ok(SegmentedFileSink {
+            dir,
+            config,
+            writer: BufWriter::new(file),
+            current_index,
+            current_len,
+            live,
+            in_checkpoint: false,
+            unsynced_entries: 0,
+            unsynced_bytes: 0,
+            stats: SinkStats::default(),
+        })
+    }
+
+    /// The segment directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Paths of the live segments, oldest first (the last one is being
+    /// appended to).
+    pub fn segments(&self) -> Vec<PathBuf> {
+        self.live
+            .iter()
+            .map(|index| self.dir.join(Self::segment_name(*index)))
+            .collect()
+    }
+
+    /// Syncs the current segment to the platter and resets the unsynced
+    /// backlog. Uses `fdatasync` (`sync_data`): file *data* plus the
+    /// metadata needed to read it back (size) — the standard WAL sync,
+    /// materially cheaper than `fsync`'s full-metadata flush.
+    fn fsync(&mut self) -> Result<(), JournalError> {
+        self.writer.get_ref().sync_data()?;
+        self.stats.fsyncs += 1;
+        self.unsynced_entries = 0;
+        self.unsynced_bytes = 0;
+        Ok(())
+    }
+
+    /// Syncs the segment *directory*: a freshly created segment's data
+    /// can be fdatasync'd and still unreachable after power loss if the
+    /// directory entry never hit the platter, and a retirement's
+    /// `remove_file`s are likewise directory mutations. Called after
+    /// creating a segment (under a syncing policy) and after retirement.
+    fn sync_dir(&mut self) -> Result<(), JournalError> {
+        File::open(&self.dir)?.sync_all()?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Writes `lines` into the current segment, flushes to the OS (the
+    /// commit point), then applies the fsync policy and rotates if the
+    /// segment is over budget.
+    fn commit(&mut self, lines: &[&str]) -> Result<(), JournalError> {
+        let mut bytes = 0u64;
+        for line in lines {
+            self.writer.write_all(line.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            bytes += line.len() as u64 + 1;
+        }
+        // Flushed before the caller releases anything: a process crash
+        // after return never loses a committed entry, and a crash during
+        // the flush leaves at most complete lines plus one torn,
+        // unterminated tail (writes land sequentially).
+        self.writer.flush()?;
+        self.current_len += bytes;
+        self.unsynced_entries += lines.len() as u64;
+        self.unsynced_bytes += bytes;
+        match self.config.fsync {
+            FsyncPolicy::Never => {}
+            FsyncPolicy::EveryAppend => self.fsync()?,
+            FsyncPolicy::GroupCommit {
+                max_entries,
+                max_bytes,
+            } => {
+                if self.unsynced_entries >= max_entries || self.unsynced_bytes >= max_bytes {
+                    self.fsync()?;
+                }
+            }
+        }
+        // A checkpoint line larger than the segment budget must not
+        // rotate mid-bracket: retirement uses its segment as the horizon.
+        // The next ordinary commit rotates instead.
+        if self.current_len >= self.config.segment_bytes && !self.in_checkpoint {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the current segment and starts the next one.
+    fn rotate(&mut self) -> Result<(), JournalError> {
+        self.writer.flush()?;
+        // Seal the finished segment to the platter unless the policy
+        // never syncs: a sealed segment is the one place a torn tail is
+        // *illegal*, so don't leave it hostage to the page cache.
+        if !matches!(self.config.fsync, FsyncPolicy::Never) && self.unsynced_bytes > 0 {
+            self.fsync()?;
+        }
+        self.current_index += 1;
+        let file = open_repaired(&self.dir.join(Self::segment_name(self.current_index)))?;
+        self.writer = BufWriter::new(file);
+        self.current_len = 0;
+        self.live.push(self.current_index);
+        self.stats.rotations += 1;
+        // Make the new segment's directory entry durable too, or records
+        // synced into it could vanish with the file on power loss.
+        if !matches!(self.config.fsync, FsyncPolicy::Never) {
+            self.sync_dir()?;
+        }
+        Ok(())
+    }
+}
+
+impl JournalSink for SegmentedFileSink {
+    fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
+        self.commit(&[line])
+    }
+
+    fn append_lines(&mut self, lines: &[&str]) -> Result<(), JournalError> {
+        if lines.is_empty() {
+            return Ok(());
+        }
+        self.commit(lines)
+    }
+
+    fn begin_checkpoint(&mut self) -> Result<(), JournalError> {
+        // A checkpoint must lead its segment so retirement can use the
+        // segment boundary as the recovery horizon. A fresh (empty)
+        // segment already qualifies.
+        if self.current_len > 0 {
+            self.rotate()?;
+        }
+        self.in_checkpoint = true;
+        Ok(())
+    }
+
+    fn abort_checkpoint(&mut self) {
+        // The checkpoint line never committed: lift the rotation
+        // suppression so ordinary appends keep rotating, and leave the
+        // live segments untouched (nothing was superseded).
+        self.in_checkpoint = false;
+    }
+
+    fn finish_checkpoint(&mut self) -> Result<(), JournalError> {
+        self.in_checkpoint = false;
+        // Retirement is destructive, so it is durable *whatever* the
+        // policy: the checkpoint that supersedes the old segments (and
+        // its directory entry) goes to the platter before any history is
+        // deleted. `Never` trades away tail durability, but actively
+        // destroying previously-durable segments against a page-cache-
+        // only checkpoint would be strictly worse than not retiring.
+        if self.unsynced_bytes > 0 {
+            self.fsync()?;
+        }
+        self.sync_dir()?;
+        // Everything before the checkpoint's (current) segment is folded
+        // into it and can go. The unlinks are left to the OS's normal
+        // writeback: if power loss resurrects a retired segment, it sits
+        // *before* the (durable) checkpoint, so recovery's
+        // last-checkpoint seek skips it and the next retirement deletes
+        // it again.
+        let retire: Vec<u64> = self.live.drain(..self.live.len() - 1).collect();
+        for index in retire {
+            std::fs::remove_file(self.dir.join(Self::segment_name(index)))?;
+            self.stats.segments_retired += 1;
+        }
+        Ok(())
+    }
+
+    fn sink_stats(&self) -> SinkStats {
+        self.stats
+    }
+
+    fn contents(&self) -> Result<String, JournalError> {
+        let mut text = String::new();
+        for index in &self.live {
+            File::open(self.dir.join(Self::segment_name(*index)))?.read_to_string(&mut text)?;
+        }
+        Ok(text)
+    }
+}
+
 struct JournalInner {
     sink: Box<dyn JournalSink>,
     stats: JournalStats,
+    /// Reused serialization buffer: every append path serializes into
+    /// this and hands the sink string slices, so the steady state
+    /// allocates nothing per entry.
+    scratch: String,
+    /// End offset of each serialized line in `scratch` (reused).
+    line_ends: Vec<usize>,
+}
+
+/// Serializes `value` framed as the externally-tagged enum variant
+/// `{"<variant>":<value>}` — byte-identical to serializing the
+/// corresponding [`JournalEntry`], without building one.
+fn frame_variant<T: Serialize>(
+    out: &mut String,
+    variant: &str,
+    value: &T,
+) -> Result<(), JournalError> {
+    out.push_str("{\"");
+    out.push_str(variant);
+    out.push_str("\":");
+    serde_json::Serializer::new(out)
+        .serialize(value)
+        .map_err(|e| JournalError::Io(format!("serialize journal entry: {e}")))?;
+    out.push('}');
+    Ok(())
+}
+
+/// Commits the lines staged in `scratch`/`line_ends` as ONE sink-level
+/// group commit and rolls the handle counters forward.
+fn commit_scratch(inner: &mut JournalInner) -> Result<(), JournalError> {
+    let mut lines = Vec::with_capacity(inner.line_ends.len());
+    let mut start = 0usize;
+    for &end in &inner.line_ends {
+        lines.push(&inner.scratch[start..end]);
+        start = end;
+    }
+    inner.sink.append_lines(&lines)?;
+    inner.stats.appends += lines.len() as u64;
+    inner.stats.bytes += inner.scratch.len() as u64 + lines.len() as u64;
+    inner.stats.group_commits += 1;
+    Ok(())
 }
 
 /// A cloneable handle to one append-only journal. The ingest pipeline and
@@ -377,6 +887,8 @@ impl Journal {
             inner: Arc::new(Mutex::new(JournalInner {
                 sink,
                 stats: JournalStats::default(),
+                scratch: String::new(),
+                line_ends: Vec::new(),
             })),
         }
     }
@@ -388,6 +900,8 @@ impl Journal {
 
     /// A file-backed journal at `path` (created if absent, appended to if
     /// present — reopening after a crash continues the same journal).
+    /// This is the *legacy* flush-per-append sink; production services
+    /// should prefer [`Journal::segmented`].
     ///
     /// # Errors
     /// [`JournalError::Io`] if the file cannot be opened.
@@ -395,16 +909,24 @@ impl Journal {
         Ok(Journal::with_sink(Box::new(FileSink::open(path)?)))
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, JournalInner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// A journal over a [`SegmentedFileSink`] at directory `dir` (created
+    /// if absent; existing segments are continued — reopening after a
+    /// crash repairs the last segment's torn tail first).
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the directory or its segments cannot be
+    /// opened.
+    pub fn segmented(
+        dir: impl AsRef<Path>,
+        config: SegmentConfig,
+    ) -> Result<Journal, JournalError> {
+        Ok(Journal::with_sink(Box::new(SegmentedFileSink::open(
+            dir, config,
+        )?)))
     }
 
-    fn append_raw(&self, line: &str) -> Result<(), JournalError> {
-        let mut inner = self.lock();
-        inner.sink.append_line(line)?;
-        inner.stats.appends += 1;
-        inner.stats.bytes += line.len() as u64 + 1;
-        Ok(())
+    fn lock(&self) -> std::sync::MutexGuard<'_, JournalInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Serializes and appends one entry as a JSON line, durable before
@@ -413,9 +935,16 @@ impl Journal {
     /// # Errors
     /// [`JournalError::Io`] if the sink rejects the line.
     pub fn append(&self, entry: &JournalEntry) -> Result<(), JournalError> {
-        let line = serde_json::to_string(entry)
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        serde_json::Serializer::new(&mut inner.scratch)
+            .serialize(entry)
             .map_err(|e| JournalError::Io(format!("serialize journal entry: {e}")))?;
-        self.append_raw(&line)
+        inner.sink.append_line(&inner.scratch)?;
+        inner.stats.appends += 1;
+        inner.stats.bytes += inner.scratch.len() as u64 + 1;
+        Ok(())
     }
 
     /// Appends a [`JournalEntry::Run`] serialized straight from a borrowed
@@ -425,9 +954,135 @@ impl Journal {
     /// # Errors
     /// [`JournalError::Io`] if the sink rejects the line.
     pub fn append_run(&self, record: &RunRecord) -> Result<(), JournalError> {
-        let json = serde_json::to_string(record)
-            .map_err(|e| JournalError::Io(format!("serialize run record: {e}")))?;
-        self.append_raw(&format!("{{\"Run\":{json}}}"))
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        frame_variant(&mut inner.scratch, "Run", record)?;
+        inner.sink.append_line(&inner.scratch)?;
+        inner.stats.appends += 1;
+        inner.stats.bytes += inner.scratch.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Group commit of a whole batch of entries: serialized back to back
+    /// into the journal's reused buffer and handed to the sink as one
+    /// [`JournalSink::append_lines`] call.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if serialization or the sink fails.
+    pub fn append_batch(&self, entries: &[JournalEntry]) -> Result<(), JournalError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        inner.line_ends.clear();
+        for entry in entries {
+            serde_json::Serializer::new(&mut inner.scratch)
+                .serialize(entry)
+                .map_err(|e| JournalError::Io(format!("serialize journal entry: {e}")))?;
+            inner.line_ends.push(inner.scratch.len());
+        }
+        commit_scratch(inner)
+    }
+
+    /// Group commit of [`JournalEntry::Run`] entries serialized straight
+    /// from borrowed records — the ingest pipeline's release path commits
+    /// its whole ready prefix through this, one sink write for the batch
+    /// and no per-record allocation.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if serialization or the sink fails.
+    pub fn append_runs(&self, records: &[RunRecord]) -> Result<(), JournalError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        inner.line_ends.clear();
+        for record in records {
+            frame_variant(&mut inner.scratch, "Run", record)?;
+            inner.line_ends.push(inner.scratch.len());
+        }
+        commit_scratch(inner)
+    }
+
+    /// Group commit of one posting's Run/Invoice/Verdict triple — the
+    /// batch path journals each posted record through this, one sink
+    /// write for the three lines.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if serialization or the sink fails.
+    pub fn append_posting(
+        &self,
+        record: &RunRecord,
+        invoice: &InvoicePosting,
+        verdict: &AuditVerdict,
+    ) -> Result<(), JournalError> {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        inner.line_ends.clear();
+        frame_variant(&mut inner.scratch, "Run", record)?;
+        inner.line_ends.push(inner.scratch.len());
+        frame_variant(&mut inner.scratch, "Invoice", invoice)?;
+        inner.line_ends.push(inner.scratch.len());
+        frame_variant(&mut inner.scratch, "Verdict", verdict)?;
+        inner.line_ends.push(inner.scratch.len());
+        commit_scratch(inner)
+    }
+
+    /// Group commit of Invoice/Verdict receipt pairs — a stream pump
+    /// journals the receipts of everything it posted through this.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if serialization or the sink fails.
+    pub fn append_receipts(
+        &self,
+        receipts: &[(InvoicePosting, AuditVerdict)],
+    ) -> Result<(), JournalError> {
+        if receipts.is_empty() {
+            return Ok(());
+        }
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        inner.line_ends.clear();
+        for (invoice, verdict) in receipts {
+            frame_variant(&mut inner.scratch, "Invoice", invoice)?;
+            inner.line_ends.push(inner.scratch.len());
+            frame_variant(&mut inner.scratch, "Verdict", verdict)?;
+            inner.line_ends.push(inner.scratch.len());
+        }
+        commit_scratch(inner)
+    }
+
+    /// Appends a [`JournalEntry::Checkpoint`], bracketed by the sink's
+    /// checkpoint hooks: a segmented sink rotates first (the checkpoint
+    /// leads a fresh segment) and retires the superseded segments after.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if serialization or the sink fails.
+    pub fn append_checkpoint(&self, checkpoint: &Checkpoint) -> Result<(), JournalError> {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.sink.begin_checkpoint()?;
+        inner.scratch.clear();
+        let appended = frame_variant(&mut inner.scratch, "Checkpoint", checkpoint)
+            .and_then(|()| inner.sink.append_line(&inner.scratch));
+        if let Err(e) = appended {
+            // Leave the bracket cleanly: nothing was superseded, and the
+            // sink must not stay in checkpoint mode (that would suppress
+            // rotation forever).
+            inner.sink.abort_checkpoint();
+            return Err(e);
+        }
+        inner.stats.appends += 1;
+        inner.stats.bytes += inner.scratch.len() as u64 + 1;
+        inner.sink.finish_checkpoint()?;
+        Ok(())
     }
 
     /// Appends, treating failure as fatal: a metering service that cannot
@@ -452,9 +1107,68 @@ impl Journal {
         }
     }
 
-    /// Append/byte counters for this handle.
+    /// [`Journal::append_runs`] with failure fatal.
+    ///
+    /// # Panics
+    /// Panics if the sink rejects the batch.
+    pub fn append_runs_or_die(&self, records: &[RunRecord]) {
+        if let Err(e) = self.append_runs(records) {
+            panic!(
+                "journal group commit failed ({} run entries): {e}",
+                records.len()
+            );
+        }
+    }
+
+    /// [`Journal::append_posting`] with failure fatal.
+    ///
+    /// # Panics
+    /// Panics if the sink rejects the batch.
+    pub fn append_posting_or_die(
+        &self,
+        record: &RunRecord,
+        invoice: &InvoicePosting,
+        verdict: &AuditVerdict,
+    ) {
+        if let Err(e) = self.append_posting(record, invoice, verdict) {
+            panic!("journal group commit failed (posting triple): {e}");
+        }
+    }
+
+    /// [`Journal::append_receipts`] with failure fatal.
+    ///
+    /// # Panics
+    /// Panics if the sink rejects the batch.
+    pub fn append_receipts_or_die(&self, receipts: &[(InvoicePosting, AuditVerdict)]) {
+        if let Err(e) = self.append_receipts(receipts) {
+            panic!(
+                "journal group commit failed ({} receipt pairs): {e}",
+                receipts.len()
+            );
+        }
+    }
+
+    /// [`Journal::append_checkpoint`] with failure fatal.
+    ///
+    /// # Panics
+    /// Panics if the sink rejects the checkpoint.
+    pub fn append_checkpoint_or_die(&self, checkpoint: &Checkpoint) {
+        if let Err(e) = self.append_checkpoint(checkpoint) {
+            panic!("journal checkpoint append failed: {e}");
+        }
+    }
+
+    /// Append/byte/commit counters for this handle, merged with the
+    /// sink's rotation/fsync/retirement counters.
     pub fn stats(&self) -> JournalStats {
-        self.lock().stats
+        let inner = self.lock();
+        let sink = inner.sink.sink_stats();
+        JournalStats {
+            rotations: sink.rotations,
+            fsyncs: sink.fsyncs,
+            segments_retired: sink.segments_retired,
+            ..inner.stats
+        }
     }
 
     /// Reads the journal back and parses it, dropping a truncated tail.
@@ -470,30 +1184,66 @@ impl Journal {
 }
 
 /// The journal layer's self-accounting metric families: they describe
-/// this *process* (its own appends and recoveries), not the metered
-/// workload, so a recovered service legitimately reads
-/// `fleet_recoveries_total 1` where the uninterrupted original reads 0.
-pub const SELF_ACCOUNTING_FAMILIES: [&str; 3] = [
+/// this *process* (its own appends, commits, rotations, syncs and
+/// recoveries), not the metered workload, so a recovered service
+/// legitimately reads `fleet_recoveries_total 1` where the uninterrupted
+/// original reads 0.
+pub const SELF_ACCOUNTING_FAMILIES: [&str; 7] = [
     "fleet_journal_appends_total",
     "fleet_journal_bytes_total",
+    "fleet_journal_group_commits_total",
+    "fleet_journal_rotations_total",
+    "fleet_journal_fsyncs_total",
+    "fleet_journal_segments_retired_total",
     "fleet_recoveries_total",
 ];
 
-/// Strips the [`SELF_ACCOUNTING_FAMILIES`] series (and their `HELP`/`TYPE`
-/// headers) from a metrics exposition, leaving the metering series — the
-/// part of the exposition the recovery contract guarantees byte-identical.
-pub fn strip_self_accounting(exposition: &str) -> String {
+/// The live-pipeline metric families: queue/inflight gauges and the
+/// rejected-submissions counter describe the running ingest pipeline at a
+/// moment in time, not the metered workload, and are timing-dependent
+/// while the pipeline is live — so checkpoints exclude them (see
+/// [`crate::FleetService::checkpoint`]).
+pub const LIVE_PIPELINE_FAMILIES: [&str; 3] = [
+    "fleet_queue_depth",
+    "fleet_inflight",
+    "fleet_submissions_rejected",
+];
+
+/// Strips the named families' series (and their `HELP`/`TYPE` headers)
+/// from a metrics exposition.
+pub fn strip_families(exposition: &str, families: &[&str]) -> String {
     exposition
         .lines()
         .filter(|line| {
-            !SELF_ACCOUNTING_FAMILIES.iter().any(|family| {
+            !families.iter().any(|family| {
                 line.starts_with(&format!("{family} "))
+                    || line.starts_with(&format!("{family}{{"))
                     || line.starts_with(&format!("# HELP {family} "))
                     || line.starts_with(&format!("# TYPE {family} "))
             })
         })
         .map(|line| format!("{line}\n"))
         .collect()
+}
+
+/// Strips the [`SELF_ACCOUNTING_FAMILIES`] series from a metrics
+/// exposition, leaving the metering series — the part of the exposition
+/// the recovery contract guarantees byte-identical.
+pub fn strip_self_accounting(exposition: &str) -> String {
+    strip_families(exposition, &SELF_ACCOUNTING_FAMILIES)
+}
+
+/// The metering exposition: everything except the journal's
+/// self-accounting counters and the live-pipeline gauges — the series
+/// the recovery contract guarantees byte-identical **whatever process**
+/// produced them (streamed or batch, original or recovered).
+pub fn metering_exposition(exposition: &str) -> String {
+    let families: Vec<&str> = SELF_ACCOUNTING_FAMILIES
+        .iter()
+        .chain(LIVE_PIPELINE_FAMILIES.iter())
+        .copied()
+        .collect();
+    strip_families(exposition, &families)
 }
 
 /// Parses JSON-lines journal text. A final line missing its newline — the
@@ -554,6 +1304,25 @@ pub fn parse_journal(text: &str) -> Result<(Vec<JournalEntry>, TailStatus), Jour
         offset += consumed;
     }
     Ok((entries, tail))
+}
+
+/// The suffix of `entries` a recovery should replay: from the **last**
+/// [`JournalEntry::Checkpoint`] onward (a cadence-written checkpoint
+/// folds everything before it, so earlier entries are redundant), or the
+/// whole slice when no checkpoint is present.
+///
+/// A retired [`SegmentedFileSink`] directory already starts at its
+/// latest checkpoint; this helper makes recovery cost bounded for
+/// unretired journals (e.g. a [`CheckpointCadence`] service over a plain
+/// file sink) too. See [`crate::FleetService::recover_latest`].
+pub fn recovery_window(entries: &[JournalEntry]) -> &[JournalEntry] {
+    match entries
+        .iter()
+        .rposition(|entry| matches!(entry, JournalEntry::Checkpoint(_)))
+    {
+        Some(at) => &entries[at..],
+        None => entries,
+    }
 }
 
 /// How a journal replay went (see [`crate::FleetService::recover`]).
@@ -854,5 +1623,214 @@ mod tests {
         let run = JournalEntry::run(record());
         assert_eq!(run.label(), "run");
         assert_eq!(run.job(), Some(JobId(0)));
+    }
+
+    /// A unique scratch directory for one segmented-sink test.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("trustmeter-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_segments(dir: &Path) -> Journal {
+        // A few hundred bytes per segment: every run entry rotates.
+        Journal::segmented(dir, SegmentConfig::default().with_segment_bytes(512)).unwrap()
+    }
+
+    #[test]
+    fn batched_appends_are_byte_identical_to_per_entry_appends() {
+        let rec = record();
+        let entries = vec![
+            JournalEntry::run(rec.clone()),
+            JournalEntry::run(rec.clone()),
+        ];
+        let one_by_one = Journal::in_memory();
+        for entry in &entries {
+            one_by_one.append(entry).unwrap();
+        }
+        let batched = Journal::in_memory();
+        batched.append_batch(&entries).unwrap();
+        assert_eq!(
+            batched.lock().sink.contents().unwrap(),
+            one_by_one.lock().sink.contents().unwrap()
+        );
+        let runs = Journal::in_memory();
+        runs.append_runs(&[rec.clone(), rec.clone()]).unwrap();
+        assert_eq!(
+            runs.lock().sink.contents().unwrap(),
+            one_by_one.lock().sink.contents().unwrap()
+        );
+        // Counters: same appends/bytes, but one commit for the batch.
+        assert_eq!(runs.stats().appends, 2);
+        assert_eq!(runs.stats().bytes, one_by_one.stats().bytes);
+        assert_eq!(runs.stats().group_commits, 1);
+        assert_eq!(one_by_one.stats().group_commits, 0);
+    }
+
+    #[test]
+    fn segmented_sink_rotates_at_the_byte_threshold() {
+        let dir = scratch_dir("rotate");
+        let journal = tiny_segments(&dir);
+        for _ in 0..3 {
+            journal.append(&JournalEntry::run(record())).unwrap();
+        }
+        let stats = journal.stats();
+        assert!(stats.rotations >= 2, "stats: {stats:?}");
+        let segments = std::fs::read_dir(&dir).unwrap().count();
+        assert!(segments >= 3, "expected ≥3 live segments, got {segments}");
+        // Reading back concatenates the segments in order.
+        let (entries, tail) = journal.entries().unwrap();
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(entries.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segmented_sink_survives_reopen_and_repairs_last_segment_only() {
+        let dir = scratch_dir("reopen");
+        {
+            let journal = tiny_segments(&dir);
+            for _ in 0..2 {
+                journal.append(&JournalEntry::run(record())).unwrap();
+            }
+        }
+        // Tear the LAST segment's tail, as a crash mid-append would.
+        let mut segments: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segments.sort();
+        {
+            use std::io::Write as _;
+            let mut file = OpenOptions::new()
+                .append(true)
+                .open(segments.last().unwrap())
+                .unwrap();
+            file.write_all(br#"{"Run":{"job":{"id":7"#).unwrap();
+        }
+        // Reopening repairs the torn tail and continues the journal.
+        let reopened = tiny_segments(&dir);
+        reopened.append(&JournalEntry::run(record())).unwrap();
+        let (entries, tail) = reopened.entries().unwrap();
+        assert_eq!(tail, TailStatus::Clean, "reopen repaired the torn tail");
+        assert_eq!(entries.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_in_an_earlier_segment_is_corruption() {
+        let dir = scratch_dir("earlier-torn");
+        {
+            let journal = tiny_segments(&dir);
+            for _ in 0..2 {
+                journal.append(&JournalEntry::run(record())).unwrap();
+            }
+        }
+        let mut segments: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segments.sort();
+        assert!(segments.len() >= 2);
+        // Damage the FIRST (sealed) segment: strip its trailing newline.
+        // Sealed segments cannot legally be torn, so the journal must
+        // refuse, not silently drop entries mid-file.
+        let first = &segments[0];
+        let text = std::fs::read_to_string(first).unwrap();
+        std::fs::write(first, &text[..text.len() - 1]).unwrap();
+        let journal = tiny_segments(&dir);
+        match journal.entries() {
+            Err(JournalError::Corrupt { .. }) => {}
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotates_retires_and_leads_the_live_directory() {
+        let dir = scratch_dir("checkpoint");
+        let journal = tiny_segments(&dir);
+        for _ in 0..3 {
+            journal.append(&JournalEntry::run(record())).unwrap();
+        }
+        let before = std::fs::read_dir(&dir).unwrap().count();
+        assert!(before >= 3);
+        // A checkpoint folds everything before it: the sink rotates so the
+        // checkpoint leads a fresh segment, then deletes the history.
+        let checkpoint = Checkpoint {
+            runs: 3,
+            ledger: Ledger::new(),
+            audit: AuditorState::default(),
+            metrics: MetricsRegistry::new(),
+        };
+        journal.append_checkpoint(&checkpoint).unwrap();
+        let stats = journal.stats();
+        assert!(
+            stats.segments_retired >= before as u64 - 1,
+            "stats: {stats:?}"
+        );
+        let (entries, _) = journal.entries().unwrap();
+        assert_eq!(entries[0].label(), "checkpoint", "checkpoint leads");
+        assert_eq!(entries.len(), 1, "history was retired");
+        // Appends continue after the checkpoint.
+        journal.append(&JournalEntry::run(record())).unwrap();
+        let (entries, _) = journal.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_policy_fsyncs_on_entry_and_byte_thresholds() {
+        let dir = scratch_dir("group-fsync");
+        let config = SegmentConfig::default().with_fsync(FsyncPolicy::GroupCommit {
+            max_entries: 2,
+            max_bytes: 1024 * 1024,
+        });
+        let journal = Journal::segmented(&dir, config).unwrap();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        assert_eq!(journal.stats().fsyncs, 0, "below both thresholds");
+        journal.append(&JournalEntry::run(record())).unwrap();
+        assert_eq!(journal.stats().fsyncs, 1, "entry threshold reached");
+        journal.append(&JournalEntry::run(record())).unwrap();
+        assert_eq!(journal.stats().fsyncs, 1, "window restarts after a sync");
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let dir = scratch_dir("every-fsync");
+        let journal = Journal::segmented(
+            &dir,
+            SegmentConfig::default().with_fsync(FsyncPolicy::EveryAppend),
+        )
+        .unwrap();
+        journal.append_runs(&[record(), record()]).unwrap();
+        assert_eq!(journal.stats().fsyncs, 1, "one sync per group commit");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_window_seeks_the_last_checkpoint() {
+        let run = JournalEntry::run(record());
+        let checkpoint = || {
+            JournalEntry::checkpoint(Checkpoint {
+                runs: 0,
+                ledger: Ledger::new(),
+                audit: AuditorState::default(),
+                metrics: MetricsRegistry::new(),
+            })
+        };
+        let entries = vec![
+            run.clone(),
+            checkpoint(),
+            run.clone(),
+            checkpoint(),
+            run.clone(),
+        ];
+        let window = recovery_window(&entries);
+        assert_eq!(window.len(), 2);
+        assert_eq!(window[0].label(), "checkpoint");
+        assert_eq!(window[1].label(), "run");
+        // No checkpoint: the whole journal is the window.
+        let plain = vec![run.clone(), run];
+        assert_eq!(recovery_window(&plain).len(), 2);
     }
 }

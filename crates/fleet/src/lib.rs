@@ -65,9 +65,11 @@ pub use ingest::{
     SubmitError,
 };
 pub use journal::{
-    compact, parse_journal, strip_self_accounting, Checkpoint, FileSink, InvoicePosting, Journal,
-    JournalEntry, JournalError, JournalSink, JournalStats, MemorySink, RecoveryError,
-    RecoveryReport, TailStatus, SELF_ACCOUNTING_FAMILIES,
+    compact, metering_exposition, parse_journal, recovery_window, strip_families,
+    strip_self_accounting, Checkpoint, CheckpointCadence, FileSink, FsyncPolicy, InvoicePosting,
+    Journal, JournalEntry, JournalError, JournalSink, JournalStats, MemorySink, RecoveryError,
+    RecoveryReport, SegmentConfig, SegmentedFileSink, SinkStats, TailStatus,
+    LIVE_PIPELINE_FAMILIES, SELF_ACCOUNTING_FAMILIES,
 };
 pub use metrics::{MetricKind, MetricsRegistry};
 pub use queue::FairQueue;
@@ -86,8 +88,35 @@ const JOURNAL_APPENDS_METRIC: &str = "fleet_journal_appends_total";
 const JOURNAL_APPENDS_HELP: &str = "Entries appended to the durability journal";
 const JOURNAL_BYTES_METRIC: &str = "fleet_journal_bytes_total";
 const JOURNAL_BYTES_HELP: &str = "Bytes appended to the durability journal (JSON lines)";
+const JOURNAL_GROUP_COMMITS_METRIC: &str = "fleet_journal_group_commits_total";
+const JOURNAL_GROUP_COMMITS_HELP: &str =
+    "Batched journal commits (entry groups committed with one sink write)";
+const JOURNAL_ROTATIONS_METRIC: &str = "fleet_journal_rotations_total";
+const JOURNAL_ROTATIONS_HELP: &str = "Journal segment rotations";
+const JOURNAL_FSYNCS_METRIC: &str = "fleet_journal_fsyncs_total";
+const JOURNAL_FSYNCS_HELP: &str = "fsync calls issued by the journal sink";
+const JOURNAL_RETIRED_METRIC: &str = "fleet_journal_segments_retired_total";
+const JOURNAL_RETIRED_HELP: &str = "Journal segments retired as superseded by a checkpoint";
 const RECOVERIES_METRIC: &str = "fleet_recoveries_total";
 const RECOVERIES_HELP: &str = "Journal recoveries performed by this service";
+
+/// Pre-registers the journal layer's self-accounting counters at zero
+/// (existing values are kept — `counter_add` with a zero delta only
+/// creates missing series), so the exposition is stable before the first
+/// append and after a checkpoint restore strips them.
+fn register_journal_metrics(metrics: &mut MetricsRegistry) {
+    for (name, help) in [
+        (JOURNAL_APPENDS_METRIC, JOURNAL_APPENDS_HELP),
+        (JOURNAL_BYTES_METRIC, JOURNAL_BYTES_HELP),
+        (JOURNAL_GROUP_COMMITS_METRIC, JOURNAL_GROUP_COMMITS_HELP),
+        (JOURNAL_ROTATIONS_METRIC, JOURNAL_ROTATIONS_HELP),
+        (JOURNAL_FSYNCS_METRIC, JOURNAL_FSYNCS_HELP),
+        (JOURNAL_RETIRED_METRIC, JOURNAL_RETIRED_HELP),
+        (RECOVERIES_METRIC, RECOVERIES_HELP),
+    ] {
+        metrics.counter_add(name, help, &[], 0.0);
+    }
+}
 
 /// Everything one processed batch produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -142,6 +171,11 @@ pub struct FleetService {
     journal: Option<Journal>,
     /// Journal counters already folded into the metrics exposition.
     journal_exported: JournalStats,
+    /// How often inline checkpoints are written (see
+    /// [`FleetService::with_checkpoint_cadence`]).
+    cadence: CheckpointCadence,
+    /// Runs posted since the last inline checkpoint.
+    runs_since_checkpoint: u64,
 }
 
 impl FleetService {
@@ -161,9 +195,7 @@ impl FleetService {
         metrics.counter_add(AUDIT_REF_HITS_METRIC, AUDIT_REF_HITS_HELP, &[], 0.0);
         // Likewise the journal/recovery series, so the exposition is
         // stable before the first append or recovery.
-        metrics.counter_add(JOURNAL_APPENDS_METRIC, JOURNAL_APPENDS_HELP, &[], 0.0);
-        metrics.counter_add(JOURNAL_BYTES_METRIC, JOURNAL_BYTES_HELP, &[], 0.0);
-        metrics.counter_add(RECOVERIES_METRIC, RECOVERIES_HELP, &[], 0.0);
+        register_journal_metrics(&mut metrics);
         FleetService {
             fleet: Fleet::new(config),
             directory: TenantDirectory::new(),
@@ -173,6 +205,8 @@ impl FleetService {
             default_rate_card: RateCard::per_cpu_hour(0.10),
             journal: None,
             journal_exported: JournalStats::default(),
+            cadence: CheckpointCadence::Never,
+            runs_since_checkpoint: 0,
         }
     }
 
@@ -190,6 +224,21 @@ impl FleetService {
     /// The attached journal, if any.
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
+    }
+
+    /// Enables automatic inline checkpoints: once at least `n` runs (for
+    /// [`CheckpointCadence::every_n_runs`]) were posted since the last
+    /// checkpoint, the service writes a [`Checkpoint`] entry at the next
+    /// *safe point* — after a batch posting or at the end of a stream
+    /// pump, when every journaled run has been posted — so recovery cost
+    /// stays bounded without an offline [`journal::compact`] pass. On a
+    /// segmented journal each checkpoint starts a fresh segment and
+    /// retires the segments it supersedes; on other sinks, recover with
+    /// [`FleetService::recover_latest`], which seeks to the newest
+    /// checkpoint first.
+    pub fn with_checkpoint_cadence(mut self, cadence: CheckpointCadence) -> FleetService {
+        self.cadence = cadence;
+        self
     }
 
     /// Replaces the auditor (e.g. to widen its tolerance). If the new
@@ -228,16 +277,25 @@ impl FleetService {
     }
 
     /// Executes, bills, audits and meters one batch of jobs. With a
-    /// journal attached, each record is journaled before it is posted
-    /// (the batch-path analogue of the streaming release point).
+    /// journal attached, each posted record's Run/Invoice/Verdict triple
+    /// is coalesced into **one** journal group commit (one sink write,
+    /// one flush/fsync decision) before the next record posts — the
+    /// batch-path analogue of the streaming release point. A crash
+    /// before the commit loses only in-memory state that was never
+    /// returned to the caller: never journaled ⇒ never released.
     pub fn process(&mut self, jobs: &[JobSpec]) -> FleetReport {
         let records = self.fleet.run(jobs);
         let mut verdicts = Vec::with_capacity(records.len());
         for record in &records {
+            let (verdict, posting) = self.post_record_core(record);
             if let Some(journal) = &self.journal {
-                journal.append_run_or_die(record);
+                journal.append_posting_or_die(record, &posting, &verdict);
             }
-            verdicts.push(self.post_record(record));
+            verdicts.push(verdict);
+            self.runs_since_checkpoint += 1;
+            // Each record is journaled and posted in step, so every point
+            // between records is a safe checkpoint boundary.
+            self.maybe_checkpoint();
         }
         self.export_gauges();
         self.export_journal_metrics();
@@ -281,20 +339,62 @@ impl FleetService {
         }
     }
 
-    /// Bills, audits and meters one completed run (the shared tail of the
-    /// batch and streaming paths), journaling the billing and audit
-    /// receipts.
-    fn post_record(&mut self, record: &RunRecord) -> AuditVerdict {
-        self.post_record_full(record, true).0
+    /// The shared posting tail of a stream's `pump` and `finish`: posts
+    /// each released record (appending to the session's record/verdict
+    /// logs), group-commits all the billing/audit receipts in one journal
+    /// write, then checkpoints if the cadence is due — the end of a pump
+    /// is a safe point, since every journaled run is posted by then.
+    fn post_ready(
+        &mut self,
+        ready: Vec<RunRecord>,
+        records: &mut Vec<RunRecord>,
+        verdicts: &mut Vec<AuditVerdict>,
+    ) -> usize {
+        let posted = ready.len();
+        if posted == 0 {
+            return 0;
+        }
+        let mut receipts = self.journal.is_some().then(|| Vec::with_capacity(posted));
+        for record in ready {
+            let (verdict, posting) = self.post_record_core(&record);
+            if let Some(receipts) = &mut receipts {
+                receipts.push((posting, verdict.clone()));
+            }
+            records.push(record);
+            verdicts.push(verdict);
+        }
+        if let Some(receipts) = receipts {
+            self.journal
+                .as_ref()
+                .expect("receipts collected only with a journal")
+                .append_receipts_or_die(&receipts);
+        }
+        self.runs_since_checkpoint += posted as u64;
+        self.maybe_checkpoint();
+        posted
     }
 
-    /// [`FleetService::post_record`] returning the invoice posting as well,
-    /// with journaling optional (recovery replays must not re-journal).
-    fn post_record_full(
-        &mut self,
-        record: &RunRecord,
-        journal_receipts: bool,
-    ) -> (AuditVerdict, InvoicePosting) {
+    /// If a checkpoint is due and a journal is attached, writes an inline
+    /// [`Checkpoint`] entry (rotating + retiring segments on a segmented
+    /// sink). Callers invoke this only at safe points: every journaled
+    /// run is posted, so the checkpoint folds the whole journal so far.
+    fn maybe_checkpoint(&mut self) {
+        if self.journal.is_none() || !self.cadence.due(self.runs_since_checkpoint) {
+            return;
+        }
+        let checkpoint = self.checkpoint();
+        self.journal
+            .as_ref()
+            .expect("journal checked above")
+            .append_checkpoint_or_die(&checkpoint);
+        self.runs_since_checkpoint = 0;
+    }
+
+    /// Bills, audits and meters one completed run (the shared core of the
+    /// batch, streaming and recovery paths). Journaling is the caller's
+    /// job: live paths coalesce the receipts into group commits, recovery
+    /// replays must not re-journal at all.
+    fn post_record_core(&mut self, record: &RunRecord) -> (AuditVerdict, InvoicePosting) {
         let freq = self.fleet.config().machine.frequency;
         let card = self
             .directory
@@ -336,12 +436,6 @@ impl FleetService {
             billed: billed_invoice,
             truth: truth_invoice,
         };
-        if journal_receipts {
-            if let Some(journal) = &self.journal {
-                journal.append_or_die(&JournalEntry::Invoice(posting.clone()));
-                journal.append_or_die(&JournalEntry::Verdict(verdict.clone()));
-            }
-        }
         (verdict, posting)
     }
 
@@ -426,16 +520,30 @@ impl FleetService {
         self.metrics.render()
     }
 
-    /// A snapshot of the service's complete accounting state — ledger,
-    /// audit summaries and cost counters, metrics — as a journal
+    /// A snapshot of the service's accounting state — ledger, audit
+    /// summaries and cost counters, metering metrics — as a journal
     /// [`Checkpoint`] entry. [`journal::compact`] folds a journal prefix
-    /// into one of these so recovery does not replay from genesis.
+    /// into one of these so recovery does not replay from genesis, and a
+    /// [`CheckpointCadence`] writes them inline.
+    ///
+    /// The metrics snapshot carries the *metering* families only: the
+    /// journal's self-accounting counters and the live ingest
+    /// gauges/counters ([`SELF_ACCOUNTING_FAMILIES`],
+    /// [`LIVE_PIPELINE_FAMILIES`]) describe the process that wrote the
+    /// checkpoint — a restarted process starts both at zero, and the
+    /// live-pipeline series are timing-dependent, which would poison the
+    /// bit-identical recovery contract.
     pub fn checkpoint(&self) -> Checkpoint {
+        let excluded: Vec<&str> = SELF_ACCOUNTING_FAMILIES
+            .iter()
+            .chain(LIVE_PIPELINE_FAMILIES.iter())
+            .copied()
+            .collect();
         Checkpoint {
             runs: self.ledger.iter().map(|a| a.runs).sum(),
             ledger: self.ledger.clone(),
             audit: self.auditor.state(),
-            metrics: self.metrics.clone(),
+            metrics: self.metrics.without_families(&excluded),
         }
     }
 
@@ -464,6 +572,23 @@ impl FleetService {
         self.metrics
             .counter_add(RECOVERIES_METRIC, RECOVERIES_HELP, &[], 1.0);
         Ok(report)
+    }
+
+    /// [`FleetService::recover`] from the **latest** checkpoint onward
+    /// ([`journal::recovery_window`]): the entry point for journals a
+    /// [`CheckpointCadence`] wrote inline checkpoints into. A retired
+    /// segment directory already starts at its newest checkpoint, so for
+    /// those this is equivalent to plain `recover`; for unretired
+    /// journals it bounds replay cost to the entries after the last
+    /// checkpoint instead of rejecting the mid-stream checkpoint.
+    ///
+    /// # Errors
+    /// [`RecoveryError`] as for [`FleetService::recover`].
+    pub fn recover_latest(
+        &mut self,
+        entries: &[JournalEntry],
+    ) -> Result<RecoveryReport, RecoveryError> {
+        self.recover(journal::recovery_window(entries))
     }
 
     /// The replay core of [`FleetService::recover`], without counting a
@@ -511,6 +636,10 @@ impl FleetService {
                     self.ledger = checkpoint.ledger.clone();
                     self.auditor.restore(checkpoint.audit.clone());
                     self.metrics = checkpoint.metrics.clone();
+                    // Checkpoints exclude the self-accounting families
+                    // (they described the dead process); re-register them
+                    // at zero so the exposition stays stable.
+                    register_journal_metrics(&mut self.metrics);
                     report.checkpoint_runs = checkpoint.runs;
                     posted = self
                         .ledger
@@ -522,7 +651,7 @@ impl FleetService {
                     if !posted.insert(record.job.id) {
                         report.duplicate_runs.push(record.job.id);
                     }
-                    let (verdict, invoice) = self.post_record_full(record, false);
+                    let (verdict, invoice) = self.post_record_core(record);
                     pending
                         .entry(record.job.id)
                         .or_default()
@@ -583,27 +712,62 @@ impl FleetService {
             }
         }
         report.unconfirmed = pending.values().map(|queue| queue.len() as u64).sum();
+        // Cadence bookkeeping: everything after the last checkpoint was
+        // replayed here, so that is how many runs the next inline
+        // checkpoint is due after.
+        self.runs_since_checkpoint = report.runs_replayed;
         self.export_gauges();
         Ok(report)
     }
 
-    /// Folds the attached journal's append/byte counters into the metrics
-    /// exposition (delta since the last export).
+    /// Folds the attached journal's append/byte/commit/rotation/fsync
+    /// counters into the metrics exposition (delta since the last
+    /// export).
     fn export_journal_metrics(&mut self) {
         let Some(journal) = &self.journal else { return };
         let stats = journal.stats();
-        self.metrics.counter_add(
-            JOURNAL_APPENDS_METRIC,
-            JOURNAL_APPENDS_HELP,
-            &[],
-            (stats.appends - self.journal_exported.appends) as f64,
-        );
-        self.metrics.counter_add(
-            JOURNAL_BYTES_METRIC,
-            JOURNAL_BYTES_HELP,
-            &[],
-            (stats.bytes - self.journal_exported.bytes) as f64,
-        );
+        let exported = self.journal_exported;
+        for (name, help, now, before) in [
+            (
+                JOURNAL_APPENDS_METRIC,
+                JOURNAL_APPENDS_HELP,
+                stats.appends,
+                exported.appends,
+            ),
+            (
+                JOURNAL_BYTES_METRIC,
+                JOURNAL_BYTES_HELP,
+                stats.bytes,
+                exported.bytes,
+            ),
+            (
+                JOURNAL_GROUP_COMMITS_METRIC,
+                JOURNAL_GROUP_COMMITS_HELP,
+                stats.group_commits,
+                exported.group_commits,
+            ),
+            (
+                JOURNAL_ROTATIONS_METRIC,
+                JOURNAL_ROTATIONS_HELP,
+                stats.rotations,
+                exported.rotations,
+            ),
+            (
+                JOURNAL_FSYNCS_METRIC,
+                JOURNAL_FSYNCS_HELP,
+                stats.fsyncs,
+                exported.fsyncs,
+            ),
+            (
+                JOURNAL_RETIRED_METRIC,
+                JOURNAL_RETIRED_HELP,
+                stats.segments_retired,
+                exported.segments_retired,
+            ),
+        ] {
+            self.metrics
+                .counter_add(name, help, &[], now.saturating_sub(before) as f64);
+        }
         self.journal_exported = stats;
     }
 
@@ -723,14 +887,18 @@ impl FleetStream<'_> {
     /// Posts every completed record that extends the contiguous submission-
     /// order prefix to the service (ledger → auditor → metrics), updates the
     /// ingest gauges, and returns how many records were posted.
+    ///
+    /// With a journal attached, the pump's billing/audit receipts are
+    /// coalesced into **one** group commit after the posting loop (the
+    /// `Run` entries were already committed as a batch when `take_ready`
+    /// released the records), and the end of the pump is a checkpoint
+    /// safe point: every journaled run is posted, so an inline
+    /// [`Checkpoint`] written here folds the whole journal so far.
     pub fn pump(&mut self) -> usize {
         let ready = self.ingest.take_ready();
-        let posted = ready.len();
-        for record in ready {
-            let verdict = self.service.post_record(&record);
-            self.records.push(record);
-            self.verdicts.push(verdict);
-        }
+        let posted = self
+            .service
+            .post_ready(ready, &mut self.records, &mut self.verdicts);
         let stats = self.ingest.stats();
         self.export_stream_metrics(&stats);
         posted
@@ -764,11 +932,7 @@ impl FleetStream<'_> {
             rejected_exported,
         } = self;
         let outcome = ingest.finish();
-        for record in outcome.records {
-            let verdict = service.post_record(&record);
-            records.push(record);
-            verdicts.push(verdict);
-        }
+        service.post_ready(outcome.records, &mut records, &mut verdicts);
         // Final gauges are deterministic: the queue is empty, nothing is
         // inflight, and every tenant that was ever inflight now has a
         // ledger account — so zero the inflight series for all of them.

@@ -140,6 +140,21 @@ impl MetricsRegistry {
         self.families.values().map(|f| f.series.len()).sum()
     }
 
+    /// A copy of the registry without the named families. Journal
+    /// checkpoints use this to exclude process-local and live-pipeline
+    /// series from the durable snapshot — they describe the process that
+    /// wrote the checkpoint, not the metered workload.
+    pub fn without_families(&self, families: &[&str]) -> MetricsRegistry {
+        MetricsRegistry {
+            families: self
+                .families
+                .iter()
+                .filter(|(name, _)| !families.contains(&name.as_str()))
+                .map(|(name, family)| (name.clone(), family.clone()))
+                .collect(),
+        }
+    }
+
     /// Renders the whole registry in the Prometheus text exposition format,
     /// families and series in sorted order.
     pub fn render(&self) -> String {

@@ -1,24 +1,29 @@
-//! Crash recovery: kill a journaled stream mid-flight, then prove the
-//! recovered service is bit-identical to a clean batch run of everything
-//! the journal released.
+//! Crash recovery, segmented: kill a journaled stream mid-flight, then
+//! prove the recovered service is bit-identical to a clean batch run of
+//! everything the journal released.
 //!
-//! The demo walks the whole durability story:
+//! The demo walks the whole group-commit durability story:
 //!
-//! 1. a [`FleetService`] with a file-backed [`Journal`] streams a 36-job,
-//!    3-tenant batch through a worker pool, write-ahead journaling every
-//!    released run and its billing/audit receipts;
-//! 2. the stream is dropped mid-flight — the "kill". Unreleased work is
+//! 1. a [`FleetService`] with a **segmented** write-ahead [`Journal`]
+//!    (tiny segments so rotation is visible, a checkpoint cadence so
+//!    retirement fires, a group-commit fsync policy) streams a 36-job,
+//!    3-tenant batch through a worker pool; the release path commits each
+//!    ready prefix as one batched journal write;
+//! 2. mid-stream, the cadence writes inline `Checkpoint` entries — each
+//!    one starts a fresh segment and **deletes** the segments it
+//!    supersedes, so the directory never grows without bound;
+//! 3. the stream is dropped mid-flight — the "kill". Unreleased work is
 //!    discarded: it was never journaled, so it was never billed;
-//! 3. a torn half-line is appended to the journal file, the artifact a
-//!    crash mid-append leaves behind;
-//! 4. a fresh service (same config, same tenants — what a restarted
-//!    process would build) replays the journal with
-//!    [`FleetService::recover`]: the torn tail is dropped, every journaled
-//!    receipt is cross-checked against the re-derived posting, and the
-//!    recovered ledger/audit/metrics state equals a clean batch run over
-//!    the released prefix — byte for byte on the metering exposition;
-//! 5. the journal is compacted into a checkpoint plus tail and recovered
-//!    again, with the same result.
+//! 4. a torn half-line is appended to the last segment, the artifact a
+//!    crash mid-append leaves behind (a torn tail is only legal there —
+//!    sealed segments must parse cleanly);
+//! 5. a fresh service (same config, same tenants — what a restarted
+//!    process would build) reopens the directory (repairing the torn
+//!    tail) and replays it with [`FleetService::recover_latest`]: the
+//!    leading checkpoint seeds the state, the post-checkpoint tail
+//!    replays, every journaled receipt is cross-checked, and the
+//!    recovered ledger/audit/metering state equals a clean batch run over
+//!    the released prefix — byte for byte on the metering exposition.
 //!
 //! ```text
 //! cargo run --release --example fleet_recover
@@ -64,81 +69,93 @@ fn build_service(journal: Option<Journal>) -> FleetService {
         RateCard::per_cpu_hour(0.12),
     ));
     match journal {
-        Some(journal) => service.with_journal(journal),
+        Some(journal) => service
+            .with_journal(journal)
+            .with_checkpoint_cadence(CheckpointCadence::every_n_runs(16)),
         None => service,
     }
 }
 
-/// The metering exposition: everything except the journal layer's
-/// self-accounting series (a recovered process reads
-/// `fleet_recoveries_total 1` where the original reads 0 — everything
-/// else must match byte for byte).
-fn metering_exposition(service: &FleetService) -> String {
-    strip_self_accounting(&service.metrics_text())
+fn segment_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("read segment dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    files.sort();
+    files
 }
 
 fn main() {
-    let path = std::env::temp_dir().join(format!(
-        "trustmeter-fleet-recover-{}.jsonl",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_file(&path);
+    let dir = std::env::temp_dir().join(format!("trustmeter-fleet-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // 8 KiB segments rotate many times over this batch; the group-commit
+    // policy fsyncs once per 64 entries / 256 KiB of backlog.
+    let config = SegmentConfig::default()
+        .with_segment_bytes(8 * 1024)
+        .with_fsync(FsyncPolicy::GroupCommit {
+            max_entries: 64,
+            max_bytes: 256 * 1024,
+        });
 
-    // ---- 1. Stream with a write-ahead journal ---------------------------
-    let journal = Journal::file(&path).expect("open journal file");
-    let mut service = build_service(Some(journal));
+    // ---- 1. Stream with a segmented write-ahead journal -----------------
+    let journal = Journal::segmented(&dir, config).expect("open segment dir");
+    let mut service = build_service(Some(journal.clone()));
     let mut stream = service.stream(IngestConfig::new(4).with_completion_watermark(8));
     for job in jobs() {
         stream.submit(job).expect("pipeline accepts until finish");
     }
-    // Pump until at least a third of the batch is posted...
-    while stream.verdicts().len() < (JOBS as usize) / 3 {
+    // Pump until at least two thirds of the batch is posted...
+    while stream.verdicts().len() < (JOBS as usize) * 2 / 3 {
         stream.pump();
         std::thread::yield_now();
     }
     let posted = stream.verdicts().len();
-    println!("streamed {posted}/{JOBS} jobs through the journaled service, then...");
+    let stats = journal.stats();
+    println!(
+        "streamed {posted}/{JOBS} jobs: {} entries in {} group commits, \
+         {} rotations, {} segments retired, {} fsyncs, then...",
+        stats.appends, stats.group_commits, stats.rotations, stats.segments_retired, stats.fsyncs
+    );
+    assert!(stats.rotations > 0, "tiny segments must have rotated");
+    assert!(
+        stats.segments_retired > 0,
+        "the checkpoint cadence must have retired history"
+    );
 
     // ---- 2. ...the crash ------------------------------------------------
     drop(stream);
     drop(service);
     println!("  *** killed the stream mid-flight ***");
 
-    // ---- 3. A torn final line, as a crash mid-append leaves -------------
+    // ---- 3. A torn final line in the LAST segment -----------------------
     {
         use std::io::Write as _;
+        let segments = segment_files(&dir);
+        println!("{} live segments on disk after the kill", segments.len());
         let mut file = std::fs::OpenOptions::new()
             .append(true)
-            .open(&path)
-            .expect("reopen journal");
+            .open(segments.last().expect("at least one segment"))
+            .expect("reopen last segment");
         file.write_all(br#"{"Run":{"job":{"id":999"#)
             .expect("append torn line");
     }
 
     // ---- 4. Recovery ----------------------------------------------------
-    // The raw file shows the torn tail a crash mid-append leaves...
-    let raw = std::fs::read_to_string(&path).expect("read journal file");
-    let (_, tail) = parse_journal(&raw).expect("parse raw journal text");
-    assert!(tail.is_truncated(), "the torn tail is detected");
-    println!("torn tail detected in the raw file: {tail:?}");
-    // ...and reopening the journal for append *repairs* it (truncates the
-    // unterminated fragment), so the restarted process can keep appending
-    // without merging new entries into the torn line.
-    let journal = Journal::file(&path).expect("reopen journal file");
-    let (entries, tail) = journal.entries().expect("parse journal");
+    // Reopening the directory repairs the torn tail (only the last
+    // segment may legally be torn), and the live directory leads with the
+    // newest checkpoint — older segments were already deleted.
+    let journal = Journal::segmented(&dir, config).expect("reopen segment dir");
+    let (entries, tail) = journal.entries().expect("parse segment dir");
     assert!(!tail.is_truncated(), "reopening repaired the torn tail");
-    let released = entries.iter().filter(|e| e.label() == "run").count();
-    println!(
-        "journal holds {} entries for {released} released runs after repair",
-        entries.len(),
-    );
-
+    assert_eq!(entries[0].label(), "checkpoint", "checkpoint leads");
     let mut recovered = build_service(None);
-    let report = recovered.recover(&entries).expect("replay journal");
+    let report = recovered.recover_latest(&entries).expect("replay journal");
     assert!(report.is_consistent(), "no receipt was tampered with");
+    let released = (report.checkpoint_runs + report.runs_replayed) as usize;
     println!(
-        "recovered {} runs ({} receipts cross-checked, {} unconfirmed)",
-        report.runs_replayed, report.postings_confirmed, report.unconfirmed
+        "recovered {released} runs ({} from the checkpoint, {} replayed, \
+         {} receipts cross-checked)",
+        report.checkpoint_runs, report.runs_replayed, report.postings_confirmed
     );
 
     // The released records form a submission-order prefix, so the ground
@@ -151,8 +168,8 @@ fn main() {
         "recovered ledger == clean batch ledger"
     );
     assert_eq!(
-        metering_exposition(&recovered),
-        metering_exposition(&baseline),
+        metering_exposition(&recovered.metrics_text()),
+        metering_exposition(&baseline.metrics_text()),
         "recovered metering exposition == clean batch exposition"
     );
     for account in recovered.ledger().iter() {
@@ -160,13 +177,16 @@ fn main() {
     }
     println!("recovered state is bit-identical to a clean run of the released prefix\n");
 
-    // ---- 5. Compaction --------------------------------------------------
-    let fold = released / 2;
+    // ---- 5. Offline compaction still composes ---------------------------
+    // The recovery window (checkpoint + tail) can be folded further with
+    // `compact`, exactly like the single-file journal.
+    let window = recovery_window(&entries);
+    let fold = report.runs_replayed as usize / 2;
     let mut scratch = build_service(None);
-    let compacted = compact(&entries, fold, &mut scratch).expect("compact journal");
+    let compacted = compact(window, fold, &mut scratch).expect("compact window");
     println!(
-        "compacted {} entries into a {fold}-run checkpoint + {} tail entries",
-        entries.len(),
+        "compacted the {}-entry window into a checkpoint + {} tail entries",
+        window.len(),
         compacted.len() - 1
     );
     let mut from_checkpoint = build_service(None);
@@ -179,10 +199,11 @@ fn main() {
         "recovery from the compacted journal is unchanged"
     );
     assert_eq!(
-        metering_exposition(&from_checkpoint),
-        metering_exposition(&baseline)
+        metering_exposition(&from_checkpoint.metrics_text()),
+        metering_exposition(&baseline.metrics_text()),
+        "compact-then-recover preserves the metering exposition too"
     );
     println!("recovery from the compacted journal reproduces the same state");
 
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
 }

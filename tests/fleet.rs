@@ -895,6 +895,183 @@ fn same_id_runs_released_back_to_back_pair_receipts_in_fifo_order() {
     assert_eq!(recovered.ledger(), service.ledger());
 }
 
+/// A scratch segment directory unique to one test.
+fn segment_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("trustmeter-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn segmented_recovery_is_bit_identical_across_1_2_8_workers() {
+    let jobs = batch(24);
+    let mut baseline = service77(4, None);
+    let baseline_report = baseline.process(&jobs);
+
+    for workers in [1usize, 2, 8] {
+        let dir = segment_dir(&format!("seg-{workers}"));
+        // Segments small enough to rotate many times, a cadence that
+        // checkpoints (and retires) mid-stream.
+        let config = SegmentConfig::default().with_segment_bytes(8 * 1024);
+        let journal = Journal::segmented(&dir, config).unwrap();
+        let mut service = service77(workers, Some(journal.clone()))
+            .with_checkpoint_cadence(CheckpointCadence::every_n_runs(10));
+        let mut stream = service.stream(IngestConfig::new(workers));
+        for job in &jobs {
+            stream.submit(job.clone()).expect("queue sized for batch");
+            stream.pump();
+        }
+        let streamed_report = stream.finish();
+        assert_eq!(
+            streamed_report, baseline_report,
+            "segmented journaling must not perturb results at {workers} workers"
+        );
+        let stats = journal.stats();
+        assert!(stats.rotations > 0, "segments rotated: {stats:?}");
+        assert!(stats.group_commits > 0, "appends were batched: {stats:?}");
+        assert!(
+            stats.segments_retired > 0,
+            "checkpoints retired history: {stats:?}"
+        );
+        let text = service.metrics_text();
+        for family in [
+            "fleet_journal_rotations_total",
+            "fleet_journal_group_commits_total",
+            "fleet_journal_fsyncs_total",
+        ] {
+            assert!(text.contains(family), "missing {family}; dump:\n{text}");
+        }
+        assert!(
+            !text.contains("fleet_journal_rotations_total 0\n"),
+            "rotations exported; dump:\n{text}"
+        );
+
+        // The live directory starts at the latest checkpoint (everything
+        // older was retired) and replays into bit-identical state — the
+        // "restarted process" path.
+        let reopened = Journal::segmented(&dir, config).unwrap();
+        let (entries, tail) = reopened.entries().unwrap();
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(
+            entries[0].label(),
+            "checkpoint",
+            "retired directory leads with its checkpoint"
+        );
+        let mut recovered = service77(workers, None);
+        let report = recovered.recover_latest(&entries).unwrap();
+        assert!(
+            report.is_consistent(),
+            "mismatches: {:?}",
+            report.mismatches
+        );
+        assert!(report.checkpoint_runs > 0, "checkpoint was applied");
+        assert_eq!(
+            report.checkpoint_runs + report.runs_replayed,
+            24,
+            "checkpointed + replayed covers the whole batch"
+        );
+        assert_eq!(recovered.ledger(), &baseline_report.ledger);
+        assert_eq!(audit_summaries(&recovered), audit_summaries(&baseline));
+        assert_eq!(
+            metering_exposition(&recovered.metrics_text()),
+            metering_exposition(&baseline.metrics_text()),
+            "metering exposition must be byte-identical after segmented recovery"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn cadence_checkpoints_bound_recovery_on_any_sink() {
+    // On a non-segmented sink nothing is retired, so the journal holds
+    // mid-stream checkpoints; recover_latest seeks the newest one and
+    // replays only the entries after it.
+    let journal = Journal::in_memory();
+    let mut service = service77(2, Some(journal.clone()))
+        .with_checkpoint_cadence(CheckpointCadence::every_n_runs(10));
+    let jobs = batch(24);
+    service.process(&jobs);
+    let (entries, _) = journal.entries().unwrap();
+    let checkpoints = count_entries(&entries, "checkpoint");
+    assert_eq!(checkpoints, 2, "cadence wrote inline checkpoints at 10, 20");
+
+    // Strict recovery rejects the mid-stream checkpoint...
+    let mut strict = service77(2, None);
+    assert!(matches!(
+        strict.recover(&entries),
+        Err(RecoveryError::MisplacedCheckpoint)
+    ));
+    // ...recover_latest applies it: only the post-checkpoint tail replays.
+    let mut recovered = service77(2, None);
+    let report = recovered.recover_latest(&entries).unwrap();
+    assert_eq!(report.checkpoint_runs, 20);
+    assert_eq!(report.runs_replayed, 4);
+    assert!(report.is_consistent());
+    let mut baseline = service77(2, None);
+    baseline.process(&jobs);
+    assert_eq!(recovered.ledger(), baseline.ledger());
+    assert_eq!(audit_summaries(&recovered), audit_summaries(&baseline));
+    assert_eq!(
+        metering_exposition(&recovered.metrics_text()),
+        metering_exposition(&baseline.metrics_text())
+    );
+}
+
+#[test]
+fn killed_segmented_stream_recovers_the_released_prefix() {
+    let dir = segment_dir("seg-kill");
+    let jobs = batch(24);
+    let config = SegmentConfig::default().with_segment_bytes(8 * 1024);
+    {
+        let journal = Journal::segmented(&dir, config).unwrap();
+        let mut service =
+            service77(2, Some(journal)).with_checkpoint_cadence(CheckpointCadence::every_n_runs(8));
+        let mut stream = service.stream(IngestConfig::new(2));
+        for job in &jobs {
+            stream.submit(job.clone()).expect("queue sized for batch");
+        }
+        while stream.verdicts().len() < 8 {
+            stream.pump();
+            std::thread::yield_now();
+        }
+        // The "kill": drop the stream mid-flight, then tear the last
+        // segment the way a crash mid-append would.
+        drop(stream);
+    }
+    {
+        use std::io::Write as _;
+        let mut segments: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segments.sort();
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(segments.last().unwrap())
+            .unwrap();
+        file.write_all(br#"{"Run":{"job":{"id":999"#).unwrap();
+    }
+    // Reopening repairs the torn tail; recovery replays the released
+    // prefix, receipts included.
+    let journal = Journal::segmented(&dir, config).unwrap();
+    let (entries, tail) = journal.entries().unwrap();
+    assert_eq!(tail, TailStatus::Clean, "reopen repaired the torn tail");
+    let mut recovered = service77(2, None);
+    let report = recovered.recover_latest(&entries).unwrap();
+    assert!(report.is_consistent());
+    let released = (report.checkpoint_runs + report.runs_replayed) as usize;
+    assert!((8..=24).contains(&released), "released: {released}");
+
+    let mut baseline = service77(4, None);
+    baseline.process(&jobs[..released]);
+    assert_eq!(recovered.ledger(), baseline.ledger());
+    assert_eq!(
+        metering_exposition(&recovered.metrics_text()),
+        metering_exposition(&baseline.metrics_text())
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn watermarked_stream_is_still_bit_identical_to_batch() {
     let jobs = batch(12);
@@ -952,6 +1129,73 @@ fn journal_fixture() -> &'static JournalFixture {
             prefix_summaries,
         }
     })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever interleaving of group appends, size-driven rotations
+    /// (every segment is tiny), inline checkpoints (with retirement) and
+    /// mid-sequence recoveries — plus full reopen-from-disk cycles — a
+    /// segmented journal lives through, recovery always reproduces the
+    /// uninterrupted batch state for the appended prefix.
+    #[test]
+    fn segmented_journal_survives_interleaved_append_rotate_checkpoint_recover(
+        ops in prop::collection::vec(0u8..4, 1..12),
+    ) {
+        static CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let fixture = journal_fixture();
+        let dir = segment_dir(&format!("seg-prop-{case}"));
+        // ~2 KiB segments: almost every group commit rotates.
+        let config = SegmentConfig::default().with_segment_bytes(2048);
+        let mut journal = Journal::segmented(&dir, config).unwrap();
+        let mut appended = 0usize;
+        for op in ops {
+            match op {
+                0 => {
+                    if appended < fixture.groups.len() {
+                        journal.append_batch(&fixture.groups[appended]).unwrap();
+                        appended += 1;
+                    }
+                }
+                1 => {
+                    // Inline checkpoint at a safe point: fold everything
+                    // appended so far, retiring the older segments.
+                    let (entries, _) = journal.entries().unwrap();
+                    let mut scratch = service77(2, None);
+                    scratch.recover_latest(&entries).unwrap();
+                    journal.append_checkpoint(&scratch.checkpoint()).unwrap();
+                }
+                2 => {
+                    // The restarted process: reopen the directory from disk.
+                    journal = Journal::segmented(&dir, config).unwrap();
+                }
+                _ => {
+                    let (entries, tail) = journal.entries().unwrap();
+                    prop_assert_eq!(tail, TailStatus::Clean);
+                    let mut recovered = service77(2, None);
+                    let report = recovered.recover_latest(&entries).unwrap();
+                    prop_assert!(report.is_consistent());
+                    prop_assert_eq!(report.unconfirmed, 0);
+                    prop_assert_eq!(recovered.ledger(), &fixture.prefix_ledgers[appended]);
+                }
+            }
+        }
+        // Drain the remaining groups and do the final recovery.
+        for group in &fixture.groups[appended..] {
+            journal.append_batch(group).unwrap();
+        }
+        let (entries, _) = journal.entries().unwrap();
+        let mut recovered = service77(2, None);
+        let report = recovered.recover_latest(&entries).unwrap();
+        prop_assert!(report.is_consistent());
+        prop_assert_eq!(report.unconfirmed, 0);
+        let full = fixture.groups.len();
+        prop_assert_eq!(recovered.ledger(), &fixture.prefix_ledgers[full]);
+        prop_assert_eq!(&audit_summaries(&recovered), &fixture.prefix_summaries[full]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 proptest! {

@@ -35,6 +35,96 @@ pub enum Value {
 
 static NULL: Value = Value::Null;
 
+/// Appends `s` to `out` as a quoted, escaped JSON string. Escapes by
+/// byte-scan: contiguous clean runs (anything except `"`, `\` and
+/// control bytes < 0x20 — multi-byte UTF-8 is ≥ 0x80 and passes through)
+/// are copied with one `push_str` each.
+pub fn write_escaped_str(out: &mut String, s: &str) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    out.push('"');
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b >= 0x20 && b != b'"' && b != b'\\' {
+            i += 1;
+            continue;
+        }
+        // `b` is ASCII, so `i` and `i + 1` are char boundaries.
+        out.push_str(&s[start..i]);
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            _ => {
+                out.push_str("\\u00");
+                out.push(HEX[(b >> 4) as usize] as char);
+                out.push(HEX[(b & 0x0f) as usize] as char);
+            }
+        }
+        i += 1;
+        start = i;
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
+}
+
+/// Appends `v` to `out` as compact JSON (the canonical compact printer —
+/// `serde_json`'s compact entry points and [`Serialize::write_json`]'s
+/// default both route through this, so tree-printed and streamed output
+/// can never diverge).
+pub fn write_compact_value(out: &mut String, v: &Value) {
+    use std::fmt::Write as _;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => write_compact_f64(out, *x),
+        Value::Str(s) => write_escaped_str(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped_str(out, k);
+                out.push(':');
+                write_compact_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Appends a JSON float: `{:?}` keeps a decimal point or exponent
+/// (matching the real serde_json), non-finite prints `null`.
+fn write_compact_f64(out: &mut String, x: f64) {
+    use std::fmt::Write as _;
+    if x.is_finite() {
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
 impl Value {
     /// Looks up a field in a map value, yielding `Null` when the key is
     /// absent or the value is not a map (so `Option` fields default to
@@ -90,6 +180,15 @@ impl std::error::Error for Error {}
 pub trait Serialize {
     /// Renders `self` as a value tree.
     fn to_value(&self) -> Value;
+
+    /// Streams `self` as compact JSON straight into `out`, with no
+    /// intermediate [`Value`] tree. The default goes through
+    /// [`Serialize::to_value`]; the primitive impls and derived impls
+    /// override it to write directly — the zero-copy hot path the journal
+    /// layer's group commits ride on.
+    fn write_json(&self, out: &mut String) {
+        write_compact_value(out, &self.to_value());
+    }
 }
 
 /// Types rebuildable from a [`Value`].
@@ -103,6 +202,10 @@ macro_rules! impl_uint {
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::U64(*self as u64)
+            }
+            fn write_json(&self, out: &mut String) {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{self}");
             }
         }
         impl Deserialize for $t {
@@ -132,6 +235,10 @@ macro_rules! impl_int {
                     Value::U64(n as u64)
                 }
             }
+            fn write_json(&self, out: &mut String) {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{self}");
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -158,6 +265,9 @@ macro_rules! impl_float {
             fn to_value(&self) -> Value {
                 Value::F64(*self as f64)
             }
+            fn write_json(&self, out: &mut String) {
+                write_compact_f64(out, *self as f64);
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -176,9 +286,29 @@ macro_rules! impl_float {
 
 impl_float!(f32, f64);
 
+/// A `Value` serializes to itself — like the real `serde_json::Value`,
+/// so value trees can pass through the serialization entry points.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+    fn write_json(&self, out: &mut String) {
+        write_compact_value(out, self);
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
     }
 }
 
@@ -195,6 +325,9 @@ impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
+    fn write_json(&self, out: &mut String) {
+        write_escaped_str(out, self);
+    }
 }
 
 impl Deserialize for String {
@@ -209,6 +342,9 @@ impl Deserialize for String {
 impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
+    }
+    fn write_json(&self, out: &mut String) {
+        write_escaped_str(out, self);
     }
 }
 
@@ -228,6 +364,10 @@ impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
+    fn write_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        write_escaped_str(out, self.encode_utf8(&mut buf));
+    }
 }
 
 impl Deserialize for char {
@@ -245,11 +385,17 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
     }
 }
 
@@ -266,6 +412,12 @@ impl<T: Serialize> Serialize for Option<T> {
             None => Value::Null,
         }
     }
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(x) => x.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
 }
 
 impl<T: Deserialize> Deserialize for Option<T> {
@@ -277,9 +429,24 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+/// Streams any iterable as a JSON array.
+fn write_json_seq<'a, T: Serialize + 'a>(out: &mut String, items: impl IntoIterator<Item = &'a T>) {
+    out.push('[');
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(out, self);
     }
 }
 
@@ -296,11 +463,17 @@ impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
     }
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(out, self);
+    }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(out, self);
     }
 }
 
@@ -352,6 +525,18 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
                 .collect(),
         )
     }
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped_str(out, &key_to_string(&k.to_value()));
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
 }
 
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
@@ -371,6 +556,16 @@ macro_rules! impl_tuple {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_value(&self) -> Value {
                 Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                $(
+                    if $idx > 0 {
+                        out.push(',');
+                    }
+                    self.$idx.write_json(out);
+                )+
+                out.push(']');
             }
         }
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {

@@ -208,6 +208,105 @@ fn named_to_value(fields: &[String], access: impl Fn(&str) -> String) -> String 
     out
 }
 
+/// Statement sequence streaming named fields as `"f1":v1,"f2":v2` (no
+/// surrounding braces), with `access` mapping a field name to the
+/// expression that borrows it.
+fn named_write_json(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        let comma = if i > 0 { "," } else { "" };
+        let _ = write!(
+            out,
+            "out.push_str(\"{comma}\\\"{f}\\\":\"); ::serde::Serialize::write_json({}, out);",
+            access(f)
+        );
+    }
+    out
+}
+
+/// The body of the generated `write_json`: streams compact JSON with no
+/// intermediate `Value` tree, byte-identical to printing `to_value()`.
+fn gen_write_json(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(Fields::Unit) => "out.push_str(\"null\");".to_string(),
+        Shape::Struct(Fields::Named(fields)) => {
+            if fields.is_empty() {
+                return "out.push_str(\"{}\");".to_string();
+            }
+            format!(
+                "out.push('{{'); {} out.push('}}');",
+                named_write_json(fields, |f| format!("&self.{f}"))
+            )
+        }
+        // Newtype structs serialize transparently, like real serde.
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::write_json(&self.0, out);".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let mut out = String::from("out.push('[');");
+            for i in 0..*n {
+                if i > 0 {
+                    out.push_str("out.push(',');");
+                }
+                let _ = write!(out, "::serde::Serialize::write_json(&self.{i}, out);");
+            }
+            out.push_str("out.push(']');");
+            out
+        }
+        Shape::Enum(variants) => {
+            let mut out = String::from("match self {");
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(out, "{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),");
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let inner = if fs.is_empty() {
+                            "out.push_str(\"{}\");".to_string()
+                        } else {
+                            format!(
+                                "out.push('{{'); {} out.push('}}');",
+                                named_write_json(fs, |f| f.to_string())
+                            )
+                        };
+                        let _ = write!(
+                            out,
+                            "{name}::{v} {{ {binds} }} => {{ \
+                             out.push_str(\"{{\\\"{v}\\\":\"); {inner} out.push('}}'); }}"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::write_json(f0, out);".to_string()
+                        } else {
+                            let mut s = String::from("out.push('[');");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    s.push_str("out.push(',');");
+                                }
+                                let _ = write!(s, "::serde::Serialize::write_json({b}, out);");
+                            }
+                            s.push_str("out.push(']');");
+                            s
+                        };
+                        let _ = write!(
+                            out,
+                            "{name}::{v}({}) => {{ \
+                             out.push_str(\"{{\\\"{v}\\\":\"); {inner} out.push('}}'); }}",
+                            binds.join(", ")
+                        );
+                    }
+                }
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
 fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
@@ -268,9 +367,11 @@ fn gen_serialize(item: &Item) -> String {
             out
         }
     };
+    let write_json = gen_write_json(item);
     format!(
         "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
-         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+         fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         fn write_json(&self, out: &mut ::std::string::String) {{ {write_json} }} }}"
     )
 }
 

@@ -35,8 +35,58 @@ fn err(message: impl Into<String>) -> Error {
 /// Serializes `value` as compact JSON.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0);
+    Serializer::new(&mut out).serialize(value)?;
     Ok(out)
+}
+
+/// Serializes `value` as compact JSON into any [`std::io::Write`] — the
+/// signature of the real `serde_json::to_writer`, kept so callers written
+/// against the stub survive a future crates.io swap. The stub buffers the
+/// whole document in one `String` before the single `write_all` (true
+/// incremental streaming is only available via [`Serializer`]).
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let mut out = String::new();
+    Serializer::new(&mut out).serialize(value)?;
+    writer
+        .write_all(out.as_bytes())
+        .map_err(|e| err(format!("write serialized JSON: {e}")))
+}
+
+/// A compact-JSON serializer that appends into a caller-owned `String`,
+/// so a hot loop can serialize many values through one reused buffer
+/// instead of allocating a fresh `String` per value (the journal layer's
+/// group-commit path does exactly that).
+///
+/// ```
+/// let mut buf = String::new();
+/// let mut ser = serde_json::Serializer::new(&mut buf);
+/// ser.serialize(&vec![1u64, 2]).unwrap();
+/// ser.serialize(&"x").unwrap();
+/// assert_eq!(buf, "[1,2]\"x\"");
+/// ```
+pub struct Serializer<'a> {
+    out: &'a mut String,
+}
+
+impl<'a> Serializer<'a> {
+    /// A serializer appending to `out` (existing contents are kept).
+    pub fn new(out: &'a mut String) -> Serializer<'a> {
+        Serializer { out }
+    }
+
+    /// Appends `value`'s compact JSON to the buffer via
+    /// [`Serialize::write_json`]: derived impls stream field by field
+    /// with **no intermediate `Value` tree**, strings are escaped by
+    /// byte-scan (contiguous clean runs are copied in one `push_str`)
+    /// and numbers are formatted straight into the buffer, so the only
+    /// allocation is the buffer growing.
+    pub fn serialize<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        value.write_json(self.out);
+        Ok(())
+    }
 }
 
 /// Serializes `value` as two-space-indented JSON.
@@ -61,22 +111,10 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     Ok(T::from_value(&value)?)
 }
 
+/// Escapes by byte-scan (see [`serde::write_escaped_str`], the canonical
+/// implementation shared with the streaming `write_json` path).
 fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    serde::write_escaped_str(out, s);
 }
 
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
@@ -89,20 +127,28 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 }
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    use std::fmt::Write as _;
+    // The compact flavour delegates to the one canonical compact printer,
+    // so tree-printed and streamed (`write_json`) output cannot diverge.
+    if indent.is_none() {
+        serde::write_compact_value(out, v);
+        return;
+    }
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::U64(n) => {
-            out.push_str(&n.to_string());
+            let _ = write!(out, "{n}");
         }
         Value::I64(n) => {
-            out.push_str(&n.to_string());
+            let _ = write!(out, "{n}");
         }
         Value::F64(x) => {
             if x.is_finite() {
                 // `{:?}` keeps a decimal point or exponent, matching the
-                // real serde_json's output for floats.
-                out.push_str(&format!("{x:?}"));
+                // real serde_json's output for floats; formatting writes
+                // straight into the buffer, no intermediate `String`.
+                let _ = write!(out, "{x:?}");
             } else {
                 out.push_str("null");
             }
@@ -384,5 +430,116 @@ mod tests {
     fn floats_keep_a_decimal_point() {
         let text = to_string(&vec![1.0f64]).unwrap();
         assert_eq!(text, "[1.0]");
+    }
+
+    #[test]
+    fn serializer_appends_into_a_reused_buffer() {
+        let mut buf = String::from("prefix:");
+        let mut ser = Serializer::new(&mut buf);
+        ser.serialize(&vec![1u64, 2]).unwrap();
+        ser.serialize(&"x").unwrap();
+        assert_eq!(buf, "prefix:[1,2]\"x\"");
+        // Reuse: clearing keeps the capacity, the next serialize allocates
+        // nothing new for a same-sized value.
+        buf.clear();
+        Serializer::new(&mut buf).serialize(&3.5f64).unwrap();
+        assert_eq!(buf, "3.5");
+    }
+
+    #[test]
+    fn serializer_output_is_byte_identical_to_to_string() {
+        // Nested struct-shaped value with every escape class, exercised
+        // through both paths.
+        let v = Value::Map(vec![
+            (
+                "inner".into(),
+                Value::Map(vec![
+                    ("text".into(), Value::Str("a\"b\\c\nd\re\tf\u{1}g é".into())),
+                    ("n".into(), Value::I64(-7)),
+                ]),
+            ),
+            ("xs".into(), Value::Seq(vec![Value::F64(0.25), Value::Null])),
+        ]);
+        let legacy = to_string(&v).unwrap();
+        let mut streamed = String::new();
+        Serializer::new(&mut streamed).serialize(&v).unwrap();
+        assert_eq!(streamed, legacy);
+        // And the escaped text round-trips.
+        let back: Value = from_str(&legacy).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn byte_scan_escapes_match_the_spec() {
+        let mut out = String::new();
+        write_escaped(&mut out, "plain");
+        assert_eq!(out, "\"plain\"");
+        out.clear();
+        write_escaped(&mut out, "a\"b\\c\nd\re\tf\u{1}\u{1f}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\re\\tf\\u0001\\u001f\"");
+        out.clear();
+        // Multi-byte UTF-8 passes through untouched (bytes ≥ 0x80).
+        write_escaped(&mut out, "héllo \u{1F600}");
+        assert_eq!(out, "\"héllo \u{1F600}\"");
+        out.clear();
+        // Escape as the final byte: the trailing clean run is empty.
+        write_escaped(&mut out, "end\n");
+        assert_eq!(out, "\"end\\n\"");
+    }
+
+    #[test]
+    fn derived_write_json_matches_tree_printing() {
+        // A nested struct + enum through both serialization paths: the
+        // streamed (`write_json`) bytes must equal printing the `Value`
+        // tree, or journals written by one path could not be replayed
+        // against receipts from the other.
+        use serde::{Deserialize, Serialize};
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Inner {
+            text: String,
+            count: u64,
+            ratio: Option<f64>,
+        }
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Wrapper {
+            Unit,
+            One(Inner),
+            Pair(u32, i32),
+            Named { flag: bool, items: Vec<String> },
+        }
+
+        let values = vec![
+            Wrapper::Unit,
+            Wrapper::One(Inner {
+                text: "a\"b\\c\nd\u{1}é".into(),
+                count: 7,
+                ratio: Some(0.5),
+            }),
+            Wrapper::Pair(3, -4),
+            Wrapper::Named {
+                flag: true,
+                items: vec!["x".into(), String::new()],
+            },
+        ];
+        for value in &values {
+            let mut streamed = String::new();
+            serde::Serialize::write_json(value, &mut streamed);
+            let mut tree = String::new();
+            write_value(&mut tree, &serde::Serialize::to_value(value), None, 0);
+            assert_eq!(streamed, tree, "paths diverged for {value:?}");
+            let back: Wrapper = from_str(&streamed).unwrap();
+            assert_eq!(&back, value);
+        }
+    }
+
+    #[test]
+    fn to_writer_streams_into_io_write() {
+        let mut bytes: Vec<u8> = Vec::new();
+        to_writer(&mut bytes, &vec![("k".to_string(), 1u64)]).unwrap();
+        assert_eq!(bytes, br#"[["k",1]]"#);
+        let back: Vec<(String, u64)> = from_str(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(back, vec![("k".to_string(), 1)]);
     }
 }
