@@ -23,7 +23,12 @@
 //! Modes are measured in interleaved rounds (off, file, segmented, off,
 //! file, …) and the reported run per mode is the **median** by wall
 //! clock, so slow-machine drift hits every mode evenly instead of
-//! whichever ran last.
+//! whichever ran last. Every mode additionally runs each round **with a
+//! pipeline tracer attached**: the report carries per-stage latency
+//! distributions (p50/p90/p99 for queue wait, execution, audit, journal
+//! commit and post, from the `fleet_stage_seconds` histograms), the
+//! tracer's self-accounted overhead, and the measured tracing-on vs
+//! tracing-off wall-clock delta — the meter metering itself.
 //!
 //! `--smoke` shrinks the batch to a few jobs for CI: it proves the harness
 //! (including all three durability modes and the recovery check) runs end
@@ -34,8 +39,8 @@ use std::time::Instant;
 use serde::Serialize;
 use trustmeter_fleet::{
     metering_exposition, AttackSpec, CheckpointCadence, FleetConfig, FleetService, FsyncPolicy,
-    IngestConfig, JobSpec, Journal, JournalStats, RateCard, SamplingPolicy, SegmentConfig, Tenant,
-    TenantId,
+    IngestConfig, JobSpec, Journal, JournalStats, PipelineTracer, RateCard, SamplingPolicy,
+    SegmentConfig, Stage, Tenant, TenantId,
 };
 use trustmeter_workloads::Workload;
 
@@ -71,6 +76,23 @@ impl JournalMode {
             JournalMode::Segmented { label, .. } => label,
         }
     }
+}
+
+/// One pipeline stage's latency distribution, read back from the traced
+/// run's `fleet_stage_seconds` histogram.
+#[derive(Debug, Clone, Serialize)]
+struct StageLatency {
+    /// Stage label (`queue_wait`, `execute`, `audit`, `journal_commit`,
+    /// `post`).
+    stage: &'static str,
+    /// Observations recorded for the stage.
+    count: u64,
+    /// Estimated p50 latency in seconds (`null` with zero observations).
+    p50_secs: Option<f64>,
+    /// Estimated p90 latency in seconds.
+    p90_secs: Option<f64>,
+    /// Estimated p99 latency in seconds.
+    p99_secs: Option<f64>,
 }
 
 /// What one harness run measured.
@@ -125,6 +147,21 @@ struct BenchReport {
     /// ledger and metering exposition bit for bit (segmented mode only;
     /// `false` means the check did not run).
     recovery_bit_identical: bool,
+    /// End-to-end wall clock of the median tracing-**on** round, in
+    /// seconds (`wall_secs` is the tracing-off median — both run in every
+    /// interleaved round).
+    traced_wall_secs: f64,
+    /// Measured cost of observing: traced vs untraced wall clock, in
+    /// percent (positive = tracing slowed the run down).
+    tracing_overhead_pct: f64,
+    /// Spans the tracer recorded during the median traced round.
+    observer_spans: u64,
+    /// Time spent inside the observability layer itself during the median
+    /// traced round, in seconds (the self-accounted share of the
+    /// overhead).
+    observer_overhead_secs: f64,
+    /// Per-stage latency distributions from the median traced round.
+    stages: Vec<StageLatency>,
 }
 
 fn batch(n: u64) -> Vec<JobSpec> {
@@ -153,7 +190,7 @@ fn build_service(workers: usize) -> FleetService {
     service
 }
 
-fn run(jobs: u64, workers: usize, mode: JournalMode) -> BenchReport {
+fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchReport {
     // Per-mode scratch space under the temp dir, cleaned up at the end.
     let scratch = std::env::temp_dir().join(format!(
         "trustmeter-bench-{}-{}",
@@ -164,6 +201,14 @@ fn run(jobs: u64, workers: usize, mode: JournalMode) -> BenchReport {
     std::fs::create_dir_all(&scratch).expect("create bench scratch dir");
 
     let mut service = build_service(workers);
+    let tracer = traced.then(|| {
+        // Up to five spans per job (queue wait, execute, audit, commit,
+        // post); size the ring so a full run fits without evictions.
+        PipelineTracer::new((jobs as usize * 8).max(64), SEED)
+    });
+    if let Some(tracer) = &tracer {
+        service = service.with_tracer(tracer.clone());
+    }
     let (fsync, segment_bytes, checkpoint_every) = match mode {
         JournalMode::Off => (None, 0, 0),
         JournalMode::LegacyFile => {
@@ -234,6 +279,27 @@ fn run(jobs: u64, workers: usize, mode: JournalMode) -> BenchReport {
     };
     let _ = std::fs::remove_dir_all(&scratch);
 
+    // Read the per-stage distributions back from the traced run's
+    // histograms (zero observations — e.g. journal_commit with journaling
+    // off — report `null` quantiles).
+    let metrics = service.metrics();
+    let stages = Stage::ALL
+        .iter()
+        .map(|stage| {
+            let labels = [("stage", stage.label())];
+            StageLatency {
+                stage: stage.label(),
+                count: metrics
+                    .histogram_count("fleet_stage_seconds", &labels)
+                    .unwrap_or(0),
+                p50_secs: metrics.histogram_quantile("fleet_stage_seconds", &labels, 0.5),
+                p90_secs: metrics.histogram_quantile("fleet_stage_seconds", &labels, 0.9),
+                p99_secs: metrics.histogram_quantile("fleet_stage_seconds", &labels, 0.99),
+            }
+        })
+        .collect();
+    let observer = tracer.as_ref().map(|t| t.stats()).unwrap_or_default();
+
     let sampling = service.auditor().sampling();
     BenchReport {
         bench: "fleet_stream_audited",
@@ -258,7 +324,26 @@ fn run(jobs: u64, workers: usize, mode: JournalMode) -> BenchReport {
         journal_fsyncs: journal_stats.fsyncs,
         journal_segments_retired: journal_stats.segments_retired,
         recovery_bit_identical,
+        traced_wall_secs: if traced { wall_secs } else { 0.0 },
+        tracing_overhead_pct: 0.0,
+        observer_spans: observer.spans_recorded,
+        observer_overhead_secs: observer.overhead_nanos as f64 / 1e9,
+        stages,
     }
+}
+
+/// Folds the median traced round into the median untraced report: the
+/// headline `wall_secs` stays the tracing-off number, the traced round
+/// contributes its wall clock (for the overhead delta), the observer
+/// self-accounting and the per-stage distributions.
+fn merge_traced(mut untraced: BenchReport, traced: BenchReport) -> BenchReport {
+    untraced.traced_wall_secs = traced.wall_secs;
+    untraced.tracing_overhead_pct =
+        (traced.wall_secs / untraced.wall_secs.max(f64::EPSILON) - 1.0) * 100.0;
+    untraced.observer_spans = traced.observer_spans;
+    untraced.observer_overhead_secs = traced.observer_overhead_secs;
+    untraced.stages = traced.stages;
+    untraced
 }
 
 fn stats_line(stats: &JournalStats) -> String {
@@ -394,17 +479,31 @@ fn main() {
             checkpoint_every,
         });
     }
-    let mut samples: Vec<Vec<BenchReport>> = modes.iter().map(|_| Vec::new()).collect();
+    let mut untraced_samples: Vec<Vec<BenchReport>> = modes.iter().map(|_| Vec::new()).collect();
+    let mut traced_samples: Vec<Vec<BenchReport>> = modes.iter().map(|_| Vec::new()).collect();
     for round in 0..repeat {
         // Rotate the starting mode each round so slow-machine drift
         // (thermal throttling, background load) hits every mode in every
         // position instead of always penalizing whichever runs last.
         for offset in 0..modes.len() {
             let at = (round + offset) % modes.len();
-            samples[at].push(run(jobs, workers, modes[at]));
+            // Interleave tracing-on and tracing-off within the round,
+            // alternating which goes first, so the overhead delta is not
+            // confounded by drift either.
+            if round % 2 == 0 {
+                untraced_samples[at].push(run(jobs, workers, modes[at], false));
+                traced_samples[at].push(run(jobs, workers, modes[at], true));
+            } else {
+                traced_samples[at].push(run(jobs, workers, modes[at], true));
+                untraced_samples[at].push(run(jobs, workers, modes[at], false));
+            }
         }
     }
-    let reports: Vec<BenchReport> = samples.into_iter().map(median_by_wall).collect();
+    let reports: Vec<BenchReport> = untraced_samples
+        .into_iter()
+        .zip(traced_samples)
+        .map(|(untraced, traced)| merge_traced(median_by_wall(untraced), median_by_wall(traced)))
+        .collect();
 
     let json = serde_json::to_string_pretty(&reports).expect("serialize report");
     std::fs::write(&out, format!("{json}\n")).expect("write report file");
@@ -427,6 +526,26 @@ fn main() {
                 fsyncs: report.journal_fsyncs,
                 segments_retired: report.journal_segments_retired,
             }),
+        );
+        let quantiles: Vec<String> = report
+            .stages
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| {
+                format!(
+                    "{} p50={:.0}µs p99={:.0}µs",
+                    s.stage,
+                    s.p50_secs.unwrap_or(0.0) * 1e6,
+                    s.p99_secs.unwrap_or(0.0) * 1e6
+                )
+            })
+            .collect();
+        println!(
+            "  tracing: {:+.1}% wall ({} spans, {:.1} ms observer overhead); {}",
+            report.tracing_overhead_pct,
+            report.observer_spans,
+            report.observer_overhead_secs * 1e3,
+            quantiles.join(", "),
         );
     }
     let baseline = reports[0].wall_secs.max(f64::EPSILON);

@@ -28,6 +28,7 @@ use trustmeter_workloads::Workload;
 
 use crate::auditor::SamplingPolicy;
 use crate::tenant::TenantId;
+use crate::trace::{PipelineTracer, Stage};
 
 /// Identifies one submitted job.
 #[derive(
@@ -286,6 +287,11 @@ pub struct Fleet {
     /// The platform attestation identity key (a simulated TPM AIK,
     /// derived from the fleet seed) that signs per-run usage quotes.
     attestation: AttestationKey,
+    /// When attached, every [`Fleet::run_one`] records an execution span
+    /// (and batch runs thread the tracer through their internal ingest
+    /// pool for queue-wait spans). Pure observation: results are
+    /// bit-identical with or without it.
+    tracer: Option<PipelineTracer>,
 }
 
 impl Fleet {
@@ -299,7 +305,25 @@ impl Fleet {
         Fleet {
             config,
             attestation,
+            tracer: None,
         }
+    }
+
+    /// Attaches a [`PipelineTracer`]: every executed job records an
+    /// [`Stage::Execute`] span, and batch runs trace queue waits too.
+    pub fn with_tracer(mut self, tracer: PipelineTracer) -> Fleet {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attaches or detaches the tracer in place.
+    pub fn set_tracer(&mut self, tracer: Option<PipelineTracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&PipelineTracer> {
+        self.tracer.as_ref()
     }
 
     /// The attestation key a fleet with the given seed signs quotes with —
@@ -336,9 +360,11 @@ impl Fleet {
             // Fast path: no threads for a sequential run.
             return jobs.iter().map(|job| self.run_one(job)).collect();
         }
-        let ingest = crate::ingest::FleetIngest::over(
+        let ingest = crate::ingest::FleetIngest::over_traced(
             self.clone(),
             crate::ingest::IngestConfig::new(workers).with_capacity(jobs.len()),
+            None,
+            self.tracer.clone(),
         );
         for job in jobs {
             ingest
@@ -356,6 +382,7 @@ impl Fleet {
     /// attacked job the worker pays one additional clean replay — work the
     /// auditor would otherwise perform serially on the consumer thread.
     pub fn run_one(&self, job: &JobSpec) -> RunRecord {
+        let started = self.tracer.as_ref().map(|_| std::time::Instant::now());
         let seed = self.job_seed(job.id);
         let mut scenario = Scenario::new(job.workload, job.scale)
             .with_config(self.config.machine.clone().with_seed(seed));
@@ -383,6 +410,9 @@ impl Fleet {
                 outcome.victim_billed,
             )
         });
+        if let (Some(tracer), Some(started)) = (&self.tracer, started) {
+            tracer.record(Stage::Execute, job.id, job.tenant, started.elapsed());
+        }
         RunRecord {
             job: job.clone(),
             seed,

@@ -61,6 +61,7 @@ use crate::executor::{Fleet, FleetConfig, JobId, JobSpec, RunRecord};
 use crate::journal::Journal;
 use crate::queue::FairQueue;
 use crate::tenant::TenantId;
+use crate::trace::{PipelineTracer, Stage};
 
 /// What `submit` does when the submission queue is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -264,6 +265,10 @@ struct Shared {
     /// *before* it is released by `take_ready` — the write-ahead point of
     /// the durability layer.
     journal: Option<Journal>,
+    /// When set, submits are timestamped and workers record queue-wait
+    /// spans at dispatch; `take_ready` records the journal group commit.
+    /// Observation only — release order and records are unaffected.
+    tracer: Option<PipelineTracer>,
     /// Serializes consumers through `take_ready`, so journal appends (done
     /// *outside* the state lock, where they would otherwise stall every
     /// worker on release-path I/O) still happen in release order.
@@ -304,9 +309,11 @@ impl Shared {
         let seq = state.next_seq;
         state.next_seq += 1;
         state.submitted += 1;
+        // Stamp the queue-wait clock only when someone will read it.
+        let submitted_at = self.tracer.as_ref().map(|_| std::time::Instant::now());
         state
             .queue
-            .push(seq, job)
+            .push_at(seq, job, submitted_at)
             .expect("queue had a free slot under the lock");
         drop(state);
         self.job_ready.notify_one();
@@ -365,6 +372,17 @@ impl Shared {
             };
             let Some(queued) = popped else { return };
             self.slot_free.notify_one();
+
+            // Dispatch closes the queue-wait window; record it outside the
+            // state lock so tracing never stalls other workers.
+            if let (Some(tracer), Some(submitted_at)) = (&self.tracer, queued.submitted_at) {
+                tracer.record(
+                    Stage::QueueWait,
+                    queued.job.id,
+                    queued.job.tenant,
+                    submitted_at.elapsed(),
+                );
+            }
 
             let record = fleet.run_one(&queued.job);
 
@@ -432,7 +450,19 @@ impl Shared {
         }
         if let Some(journal) = &self.journal {
             // The batch is durable before the cursor advances.
+            let commit_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
             journal.append_runs_or_die(&ready);
+            if let (Some(tracer), Some(started)) = (&self.tracer, commit_started) {
+                // One group commit covers the whole prefix; attribute the
+                // span to its first record (aggregate cell only — a shared
+                // commit is nobody's per-tenant latency).
+                tracer.record_aggregate(
+                    Stage::JournalCommit,
+                    ready[0].job.id,
+                    ready[0].job.tenant,
+                    started.elapsed(),
+                );
+            }
         }
         let mut state = self.lock();
         debug_assert_eq!(state.released, first, "release guard serializes consumers");
@@ -516,6 +546,23 @@ impl FleetIngest {
         config: IngestConfig,
         journal: Option<Journal>,
     ) -> FleetIngest {
+        let tracer = fleet.tracer().cloned();
+        FleetIngest::over_traced(fleet, config, journal, tracer)
+    }
+
+    /// Spawns the worker pool over an existing executor with an optional
+    /// journal and an optional [`PipelineTracer`] recording queue-wait
+    /// and journal-commit spans (the executor's own tracer, if any, keeps
+    /// recording execution spans independently).
+    ///
+    /// # Panics
+    /// Panics if `config.workers` is zero.
+    pub fn over_traced(
+        fleet: Fleet,
+        config: IngestConfig,
+        journal: Option<Journal>,
+        tracer: Option<PipelineTracer>,
+    ) -> FleetIngest {
         assert!(
             config.workers > 0,
             "an ingest pipeline needs at least one worker"
@@ -542,6 +589,7 @@ impl FleetIngest {
             policy: config.backpressure,
             watermark: config.completion_watermark,
             journal,
+            tracer,
             release_guard: Mutex::new(()),
         });
         let workers = (0..config.workers)

@@ -1188,7 +1188,7 @@ impl Journal {
 /// recoveries), not the metered workload, so a recovered service
 /// legitimately reads `fleet_recoveries_total 1` where the uninterrupted
 /// original reads 0.
-pub const SELF_ACCOUNTING_FAMILIES: [&str; 7] = [
+pub const SELF_ACCOUNTING_FAMILIES: [&str; 10] = [
     "fleet_journal_appends_total",
     "fleet_journal_bytes_total",
     "fleet_journal_group_commits_total",
@@ -1196,6 +1196,9 @@ pub const SELF_ACCOUNTING_FAMILIES: [&str; 7] = [
     "fleet_journal_fsyncs_total",
     "fleet_journal_segments_retired_total",
     "fleet_recoveries_total",
+    "fleet_observer_spans_total",
+    "fleet_observer_spans_dropped_total",
+    "fleet_observer_overhead_seconds_total",
 ];
 
 /// The live-pipeline metric families: queue/inflight gauges and the
@@ -1203,22 +1206,27 @@ pub const SELF_ACCOUNTING_FAMILIES: [&str; 7] = [
 /// moment in time, not the metered workload, and are timing-dependent
 /// while the pipeline is live — so checkpoints exclude them (see
 /// [`crate::FleetService::checkpoint`]).
-pub const LIVE_PIPELINE_FAMILIES: [&str; 3] = [
+pub const LIVE_PIPELINE_FAMILIES: [&str; 5] = [
     "fleet_queue_depth",
     "fleet_inflight",
     "fleet_submissions_rejected",
+    "fleet_stage_seconds",
+    "fleet_stage_seconds_by_tenant",
 ];
 
 /// Strips the named families' series (and their `HELP`/`TYPE` headers)
-/// from a metrics exposition.
+/// from a metrics exposition. Histogram families render their series
+/// under derived `_bucket`/`_sum`/`_count` names, so those are stripped
+/// alongside the bare family name.
 pub fn strip_families(exposition: &str, families: &[&str]) -> String {
     exposition
         .lines()
         .filter(|line| {
             !families.iter().any(|family| {
-                line.starts_with(&format!("{family} "))
-                    || line.starts_with(&format!("{family}{{"))
-                    || line.starts_with(&format!("# HELP {family} "))
+                ["", "_bucket", "_sum", "_count"].iter().any(|suffix| {
+                    line.starts_with(&format!("{family}{suffix} "))
+                        || line.starts_with(&format!("{family}{suffix}{{"))
+                }) || line.starts_with(&format!("# HELP {family} "))
                     || line.starts_with(&format!("# TYPE {family} "))
             })
         })

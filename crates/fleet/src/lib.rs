@@ -53,6 +53,7 @@ pub mod journal;
 pub mod metrics;
 pub mod queue;
 pub mod tenant;
+pub mod trace;
 
 pub use auditor::{
     Anomaly, AuditVerdict, Auditor, AuditorState, SamplingPolicy, TenantAuditSummary,
@@ -74,6 +75,7 @@ pub use journal::{
 pub use metrics::{MetricKind, MetricsRegistry};
 pub use queue::FairQueue;
 pub use tenant::{Ledger, Tenant, TenantDirectory, TenantId, TenantLedger};
+pub use trace::{span_id, PipelineTracer, Span, SpanWall, Stage, StageObservation, TracerStats};
 
 // Re-exported so fleet callers can price tenants without importing core.
 pub use trustmeter_core::RateCard;
@@ -99,6 +101,18 @@ const JOURNAL_RETIRED_METRIC: &str = "fleet_journal_segments_retired_total";
 const JOURNAL_RETIRED_HELP: &str = "Journal segments retired as superseded by a checkpoint";
 const RECOVERIES_METRIC: &str = "fleet_recoveries_total";
 const RECOVERIES_HELP: &str = "Journal recoveries performed by this service";
+const STAGE_SECONDS_METRIC: &str = "fleet_stage_seconds";
+const STAGE_SECONDS_HELP: &str = "Pipeline stage latency distribution, by stage";
+const STAGE_SECONDS_BY_TENANT_METRIC: &str = "fleet_stage_seconds_by_tenant";
+const STAGE_SECONDS_BY_TENANT_HELP: &str =
+    "Pipeline stage latency distribution, by stage and tenant";
+const OBSERVER_SPANS_METRIC: &str = "fleet_observer_spans_total";
+const OBSERVER_SPANS_HELP: &str = "Spans recorded by the pipeline tracer";
+const OBSERVER_DROPPED_METRIC: &str = "fleet_observer_spans_dropped_total";
+const OBSERVER_DROPPED_HELP: &str = "Spans evicted from the tracer's full ring buffer";
+const OBSERVER_OVERHEAD_METRIC: &str = "fleet_observer_overhead_seconds_total";
+const OBSERVER_OVERHEAD_HELP: &str =
+    "Time spent inside the observability layer itself (the cost of observing)";
 
 /// Pre-registers the journal layer's self-accounting counters at zero
 /// (existing values are kept — `counter_add` with a zero delta only
@@ -113,6 +127,35 @@ fn register_journal_metrics(metrics: &mut MetricsRegistry) {
         (JOURNAL_FSYNCS_METRIC, JOURNAL_FSYNCS_HELP),
         (JOURNAL_RETIRED_METRIC, JOURNAL_RETIRED_HELP),
         (RECOVERIES_METRIC, RECOVERIES_HELP),
+    ] {
+        metrics.counter_add(name, help, &[], 0.0);
+    }
+}
+
+/// Pre-registers the observability families at zero: the per-stage
+/// latency histograms (one zeroed series per [`Stage`]), the per-tenant
+/// variant family (series appear as tenants send traffic), and the
+/// tracer's self-accounting counters — so the exposition is stable with
+/// tracing on or off, before any span is recorded, and after a
+/// checkpoint restore strips them.
+fn register_observability_metrics(metrics: &mut MetricsRegistry) {
+    for stage in Stage::ALL {
+        metrics.histogram_zero(
+            STAGE_SECONDS_METRIC,
+            STAGE_SECONDS_HELP,
+            &metrics::LATENCY_BUCKETS,
+            &[("stage", stage.label())],
+        );
+    }
+    metrics.histogram_family(
+        STAGE_SECONDS_BY_TENANT_METRIC,
+        STAGE_SECONDS_BY_TENANT_HELP,
+        &metrics::LATENCY_BUCKETS,
+    );
+    for (name, help) in [
+        (OBSERVER_SPANS_METRIC, OBSERVER_SPANS_HELP),
+        (OBSERVER_DROPPED_METRIC, OBSERVER_DROPPED_HELP),
+        (OBSERVER_OVERHEAD_METRIC, OBSERVER_OVERHEAD_HELP),
     ] {
         metrics.counter_add(name, help, &[], 0.0);
     }
@@ -171,6 +214,13 @@ pub struct FleetService {
     journal: Option<Journal>,
     /// Journal counters already folded into the metrics exposition.
     journal_exported: JournalStats,
+    /// The pipeline tracer, when attached (see
+    /// [`FleetService::with_tracer`]): the service times its audit/post
+    /// stages into it and drains its histogram cells into the
+    /// `fleet_stage_seconds*` metrics.
+    tracer: Option<PipelineTracer>,
+    /// Tracer counters already folded into the metrics exposition.
+    observer_exported: TracerStats,
     /// How often inline checkpoints are written (see
     /// [`FleetService::with_checkpoint_cadence`]).
     cadence: CheckpointCadence,
@@ -196,6 +246,9 @@ impl FleetService {
         // Likewise the journal/recovery series, so the exposition is
         // stable before the first append or recovery.
         register_journal_metrics(&mut metrics);
+        // And the stage-latency histograms and observer self-accounting
+        // counters, so tracing on/off never changes which series exist.
+        register_observability_metrics(&mut metrics);
         FleetService {
             fleet: Fleet::new(config),
             directory: TenantDirectory::new(),
@@ -205,9 +258,30 @@ impl FleetService {
             default_rate_card: RateCard::per_cpu_hour(0.10),
             journal: None,
             journal_exported: JournalStats::default(),
+            tracer: None,
+            observer_exported: TracerStats::default(),
             cadence: CheckpointCadence::Never,
             runs_since_checkpoint: 0,
         }
+    }
+
+    /// Attaches a [`PipelineTracer`]: the executor records execution
+    /// spans, streaming sessions record queue-wait and journal-commit
+    /// spans, and the service itself records audit and post spans — all
+    /// drained into the `fleet_stage_seconds*` histograms and the
+    /// `fleet_observer_*` self-accounting counters at each export point.
+    /// Pure observation: every billing, audit and metering-exposition
+    /// artifact stays bit-identical with tracing on or off.
+    pub fn with_tracer(mut self, tracer: PipelineTracer) -> FleetService {
+        self.observer_exported = tracer.stats();
+        self.fleet.set_tracer(Some(tracer.clone()));
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&PipelineTracer> {
+        self.tracer.as_ref()
     }
 
     /// Attaches a durability journal: from now on every released run and
@@ -287,9 +361,27 @@ impl FleetService {
         let records = self.fleet.run(jobs);
         let mut verdicts = Vec::with_capacity(records.len());
         for record in &records {
+            let post_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
             let (verdict, posting) = self.post_record_core(record);
+            if let (Some(tracer), Some(started)) = (&self.tracer, post_started) {
+                tracer.record(
+                    Stage::Post,
+                    record.job.id,
+                    record.job.tenant,
+                    started.elapsed(),
+                );
+            }
             if let Some(journal) = &self.journal {
+                let commit_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
                 journal.append_posting_or_die(record, &posting, &verdict);
+                if let (Some(tracer), Some(started)) = (&self.tracer, commit_started) {
+                    tracer.record_aggregate(
+                        Stage::JournalCommit,
+                        record.job.id,
+                        record.job.tenant,
+                        started.elapsed(),
+                    );
+                }
             }
             verdicts.push(verdict);
             self.runs_since_checkpoint += 1;
@@ -299,6 +391,7 @@ impl FleetService {
         }
         self.export_gauges();
         self.export_journal_metrics();
+        self.export_observer_metrics();
         FleetReport {
             records,
             verdicts,
@@ -355,8 +448,19 @@ impl FleetService {
             return 0;
         }
         let mut receipts = self.journal.is_some().then(|| Vec::with_capacity(posted));
+        let mut first_posted: Option<(JobId, TenantId)> = None;
         for record in ready {
+            let post_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
             let (verdict, posting) = self.post_record_core(&record);
+            if let (Some(tracer), Some(started)) = (&self.tracer, post_started) {
+                tracer.record(
+                    Stage::Post,
+                    record.job.id,
+                    record.job.tenant,
+                    started.elapsed(),
+                );
+            }
+            first_posted.get_or_insert((record.job.id, record.job.tenant));
             if let Some(receipts) = &mut receipts {
                 receipts.push((posting, verdict.clone()));
             }
@@ -364,10 +468,18 @@ impl FleetService {
             verdicts.push(verdict);
         }
         if let Some(receipts) = receipts {
+            let commit_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
             self.journal
                 .as_ref()
                 .expect("receipts collected only with a journal")
                 .append_receipts_or_die(&receipts);
+            if let (Some(tracer), Some(started), Some((job, tenant))) =
+                (&self.tracer, commit_started, first_posted)
+            {
+                // One group commit covers every receipt of the pump;
+                // attribute the span to the first posted record.
+                tracer.record_aggregate(Stage::JournalCommit, job, tenant, started.elapsed());
+            }
         }
         self.runs_since_checkpoint += posted as u64;
         self.maybe_checkpoint();
@@ -413,7 +525,16 @@ impl FleetService {
         );
         let replays_before = self.auditor.replay_count();
         let hits_before = self.auditor.reference_hit_count();
+        let audit_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
         let verdict = self.auditor.observe(record);
+        if let (Some(tracer), Some(started)) = (&self.tracer, audit_started) {
+            tracer.record(
+                Stage::Audit,
+                record.job.id,
+                record.job.tenant,
+                started.elapsed(),
+            );
+        }
         self.metrics.counter_add(
             AUDIT_REPLAYS_METRIC,
             AUDIT_REPLAYS_HELP,
@@ -518,6 +639,71 @@ impl FleetService {
     /// The Prometheus-style text dump of every metric.
     pub fn metrics_text(&self) -> String {
         self.metrics.render()
+    }
+
+    /// The metrics registry itself, for quantile and counter queries
+    /// (e.g. [`MetricsRegistry::histogram_quantile`] over the
+    /// `fleet_stage_seconds` series).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Drains the tracer's aggregated histogram cells into the
+    /// `fleet_stage_seconds*` metrics and folds its span/overhead
+    /// counters into the exposition (delta since the last export). A
+    /// no-op without a tracer — the zero-registered families stay zero,
+    /// so tracing on/off never changes which series exist.
+    fn export_observer_metrics(&mut self) {
+        let Some(tracer) = &self.tracer else { return };
+        for observation in tracer.take_observations() {
+            let stage = observation.stage.label();
+            match observation.tenant {
+                None => self.metrics.histogram_add(
+                    STAGE_SECONDS_METRIC,
+                    STAGE_SECONDS_HELP,
+                    &metrics::LATENCY_BUCKETS,
+                    &[("stage", stage)],
+                    &observation.counts,
+                    observation.sum_secs,
+                    observation.count,
+                ),
+                Some(tenant) => self.metrics.histogram_add(
+                    STAGE_SECONDS_BY_TENANT_METRIC,
+                    STAGE_SECONDS_BY_TENANT_HELP,
+                    &metrics::LATENCY_BUCKETS,
+                    &[("stage", stage), ("tenant", &tenant.to_string())],
+                    &observation.counts,
+                    observation.sum_secs,
+                    observation.count,
+                ),
+            }
+        }
+        let stats = tracer.stats();
+        let exported = self.observer_exported;
+        for (name, help, now, before) in [
+            (
+                OBSERVER_SPANS_METRIC,
+                OBSERVER_SPANS_HELP,
+                stats.spans_recorded,
+                exported.spans_recorded,
+            ),
+            (
+                OBSERVER_DROPPED_METRIC,
+                OBSERVER_DROPPED_HELP,
+                stats.spans_dropped,
+                exported.spans_dropped,
+            ),
+        ] {
+            self.metrics
+                .counter_add(name, help, &[], now.saturating_sub(before) as f64);
+        }
+        self.metrics.counter_add(
+            OBSERVER_OVERHEAD_METRIC,
+            OBSERVER_OVERHEAD_HELP,
+            &[],
+            stats.overhead_nanos.saturating_sub(exported.overhead_nanos) as f64 / 1e9,
+        );
+        self.observer_exported = stats;
     }
 
     /// A snapshot of the service's accounting state — ledger, audit
@@ -636,10 +822,12 @@ impl FleetService {
                     self.ledger = checkpoint.ledger.clone();
                     self.auditor.restore(checkpoint.audit.clone());
                     self.metrics = checkpoint.metrics.clone();
-                    // Checkpoints exclude the self-accounting families
-                    // (they described the dead process); re-register them
-                    // at zero so the exposition stays stable.
+                    // Checkpoints exclude the self-accounting and
+                    // observability families (they described the dead
+                    // process); re-register them at zero so the
+                    // exposition stays stable.
                     register_journal_metrics(&mut self.metrics);
+                    register_observability_metrics(&mut self.metrics);
                     report.checkpoint_runs = checkpoint.runs;
                     posted = self
                         .ledger
@@ -909,6 +1097,7 @@ impl FleetStream<'_> {
         self.service
             .export_ingest_metrics(stats, &self.inflight_exported, delta);
         self.service.export_journal_metrics();
+        self.service.export_observer_metrics();
         self.rejected_exported = stats.rejected;
         for tenant in stats.inflight.keys() {
             if !self.inflight_exported.contains(tenant) {
@@ -947,6 +1136,7 @@ impl FleetStream<'_> {
             outcome.stats.rejected - rejected_exported,
         );
         service.export_journal_metrics();
+        service.export_observer_metrics();
         service.export_gauges();
         FleetReport {
             records,

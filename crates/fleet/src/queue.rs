@@ -32,6 +32,7 @@
 //! ```
 
 use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
 
 use crate::executor::JobSpec;
 use crate::tenant::TenantId;
@@ -44,6 +45,11 @@ pub struct QueuedJob {
     pub seq: u64,
     /// The job as submitted.
     pub job: JobSpec,
+    /// When the job was submitted — stamped only when a
+    /// [`crate::trace::PipelineTracer`] is attached, so the dispatching
+    /// worker can record the queue-wait span. Observation only: nothing
+    /// downstream of dispatch reads it.
+    pub submitted_at: Option<Instant>,
 }
 
 /// A bounded multi-tenant queue with round-robin fairness across tenants.
@@ -100,6 +106,17 @@ impl FairQueue {
     /// Enqueues a job on its tenant's lane. Returns the job back when the
     /// queue is at capacity so callers can apply their backpressure policy.
     pub fn push(&mut self, seq: u64, job: JobSpec) -> Result<(), JobSpec> {
+        self.push_at(seq, job, None)
+    }
+
+    /// [`FairQueue::push`] with a submission timestamp for queue-wait
+    /// tracing (see [`QueuedJob::submitted_at`]).
+    pub fn push_at(
+        &mut self,
+        seq: u64,
+        job: JobSpec,
+        submitted_at: Option<Instant>,
+    ) -> Result<(), JobSpec> {
         if self.is_full() {
             return Err(job);
         }
@@ -110,7 +127,11 @@ impl FairQueue {
             // tenants wait one round rather than jumping the queue.
             self.rotation.push_back(tenant);
         }
-        lane.push_back(QueuedJob { seq, job });
+        lane.push_back(QueuedJob {
+            seq,
+            job,
+            submitted_at,
+        });
         self.queued += 1;
         Ok(())
     }

@@ -75,15 +75,16 @@ pub mod prelude {
         ScenarioOutcome,
     };
     pub use trustmeter_fleet::{
-        compact, metering_exposition, parse_journal, quote_nonce, recovery_window, strip_families,
-        strip_self_accounting, Anomaly, AttackSpec, AuditVerdict, Auditor, AuditorState,
-        BackpressurePolicy, Checkpoint, CheckpointCadence, FairQueue, FileSink, Fleet, FleetConfig,
-        FleetIngest, FleetReport, FleetService, FleetStream, FsyncPolicy, IngestConfig,
-        IngestHandle, IngestOutcome, IngestStats, InvoicePosting, JobId, JobSpec, Journal,
-        JournalEntry, JournalError, JournalSink, JournalStats, Ledger, MemorySink, MetricsRegistry,
-        RecoveryError, RecoveryReport, ReferenceOutcome, RunRecord, SamplingPolicy, SegmentConfig,
-        SegmentedFileSink, SinkStats, SubmitError, TailStatus, Tenant, TenantAuditSummary,
-        TenantDirectory, TenantId, TenantLedger,
+        compact, metering_exposition, parse_journal, quote_nonce, recovery_window, span_id,
+        strip_families, strip_self_accounting, Anomaly, AttackSpec, AuditVerdict, Auditor,
+        AuditorState, BackpressurePolicy, Checkpoint, CheckpointCadence, FairQueue, FileSink,
+        Fleet, FleetConfig, FleetIngest, FleetReport, FleetService, FleetStream, FsyncPolicy,
+        IngestConfig, IngestHandle, IngestOutcome, IngestStats, InvoicePosting, JobId, JobSpec,
+        Journal, JournalEntry, JournalError, JournalSink, JournalStats, Ledger, MemorySink,
+        MetricsRegistry, PipelineTracer, RecoveryError, RecoveryReport, ReferenceOutcome,
+        RunRecord, SamplingPolicy, SegmentConfig, SegmentedFileSink, SinkStats, Span, SpanWall,
+        Stage, StageObservation, SubmitError, TailStatus, Tenant, TenantAuditSummary,
+        TenantDirectory, TenantId, TenantLedger, TracerStats,
     };
     pub use trustmeter_kernel::{
         Kernel, KernelConfig, NicFlood, Op, OpOutcome, OpsProgram, Program, RunResult,

@@ -1246,3 +1246,208 @@ proptest! {
         prop_assert_eq!(&audit_summaries(&recovered), &fixture.prefix_summaries[full]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability: span tracing, stage histograms, exposition hygiene
+// ---------------------------------------------------------------------------
+
+/// Streams `jobs` through a traced seed-77 service and returns the report,
+/// the full metrics text, and the set of span ids the tracer captured.
+fn stream_jobs_traced(jobs: &[JobSpec], workers: usize) -> (FleetReport, String, Vec<u64>) {
+    let tracer = PipelineTracer::new(4096, 77);
+    let mut service = service77(workers, None).with_tracer(tracer.clone());
+    let mut stream = service.stream(IngestConfig::new(workers));
+    for job in jobs {
+        stream.submit(job.clone()).expect("queue sized for batch");
+        stream.pump();
+    }
+    let report = stream.finish();
+    let mut span_ids: Vec<u64> = tracer.spans().iter().map(|span| span.id).collect();
+    span_ids.sort_unstable();
+    span_ids.dedup();
+    (report, service.metrics_text(), span_ids)
+}
+
+#[test]
+fn tracing_does_not_perturb_results_at_1_2_8_workers() {
+    let jobs = batch(24);
+    let mut baseline = service77(4, None);
+    let baseline_report = baseline.process(&jobs);
+    let baseline_metering = metering_exposition(&baseline.metrics_text());
+
+    let mut all_span_ids = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let (untraced_report, untraced_metrics) = stream_jobs(&jobs, workers);
+        let (traced_report, traced_metrics, span_ids) = stream_jobs_traced(&jobs, workers);
+
+        // Ledger and verdicts are bit-identical with the tracer attached.
+        assert_eq!(
+            traced_report, untraced_report,
+            "tracing must not perturb the report at {workers} workers"
+        );
+        assert_eq!(traced_report.ledger, baseline_report.ledger);
+        assert_eq!(traced_report.verdicts, baseline_report.verdicts);
+
+        // The metering exposition — everything a billing consumer reads —
+        // is byte-identical with tracing on, off, or absent entirely.
+        assert_eq!(
+            metering_exposition(&traced_metrics),
+            metering_exposition(&untraced_metrics),
+            "metering exposition must not depend on tracing at {workers} workers"
+        );
+        assert_eq!(metering_exposition(&traced_metrics), baseline_metering);
+
+        // The traced run did observe the pipeline: stage histograms and the
+        // observer's self-accounting are live, and the untraced run's are not.
+        assert!(
+            traced_metrics.contains("fleet_stage_seconds_count{stage=\"execute\"} 24"),
+            "dump:\n{traced_metrics}"
+        );
+        assert!(
+            traced_metrics.contains("fleet_stage_seconds_count{stage=\"queue_wait\"} 24"),
+            "dump:\n{traced_metrics}"
+        );
+        assert!(
+            !traced_metrics.contains("fleet_observer_spans_total 0\n"),
+            "dump:\n{traced_metrics}"
+        );
+        assert!(
+            untraced_metrics.contains("fleet_observer_spans_total 0\n"),
+            "dump:\n{untraced_metrics}"
+        );
+
+        // Span identity is seeded, not clocked: every stage of every job maps
+        // to the same id whatever the worker count. (No journal is attached,
+        // so no journal-commit spans exist.)
+        let mut expected: Vec<u64> = jobs
+            .iter()
+            .flat_map(|job| {
+                Stage::ALL
+                    .iter()
+                    .filter(|stage| **stage != Stage::JournalCommit)
+                    .map(|stage| span_id(77, job.id, *stage))
+            })
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(span_ids, expected, "span ids drifted at {workers} workers");
+        all_span_ids.push(span_ids);
+    }
+    assert_eq!(all_span_ids[0], all_span_ids[1]);
+    assert_eq!(all_span_ids[0], all_span_ids[2]);
+}
+
+#[test]
+fn recovery_byte_matches_metering_exposition_with_tracing_enabled() {
+    let jobs = batch(24);
+    let mut baseline = service77(4, None);
+    baseline.process(&jobs);
+    let baseline_metering = metering_exposition(&baseline.metrics_text());
+
+    let mut recovered_expositions = Vec::new();
+    for workers in [1usize, 2, 8] {
+        // Stream through a journaled *and traced* service: the journal must
+        // capture no trace of the tracer.
+        let journal = Journal::in_memory();
+        let mut service =
+            service77(workers, Some(journal.clone())).with_tracer(PipelineTracer::new(4096, 77));
+        let mut stream = service.stream(IngestConfig::new(workers));
+        for job in &jobs {
+            stream.submit(job.clone()).expect("queue sized for batch");
+            stream.pump();
+        }
+        let _ = stream.finish();
+
+        let (entries, tail) = journal.entries().unwrap();
+        assert_eq!(tail, TailStatus::Clean);
+        let mut recovered = service77(workers, None);
+        let report = recovered.recover(&entries).unwrap();
+        assert!(report.is_consistent());
+
+        let recovered_metrics = recovered.metrics_text();
+        assert_eq!(
+            metering_exposition(&recovered_metrics),
+            baseline_metering,
+            "recovered metering exposition must byte-match the un-traced \
+             baseline at {workers} workers"
+        );
+        // The recovered service never saw the tracer: its stage histograms
+        // and observer counters are the pre-registered zeros.
+        assert!(
+            recovered_metrics.contains("fleet_observer_spans_total 0\n"),
+            "dump:\n{recovered_metrics}"
+        );
+        assert!(
+            recovered_metrics.contains("fleet_stage_seconds_count{stage=\"execute\"} 0"),
+            "dump:\n{recovered_metrics}"
+        );
+        recovered_expositions.push(recovered_metrics);
+    }
+    assert_eq!(recovered_expositions[0], recovered_expositions[1]);
+    assert_eq!(recovered_expositions[0], recovered_expositions[2]);
+}
+
+#[test]
+fn exposition_lint_help_escaping_and_ordering() {
+    // Every family a fully-loaded service registers carries non-empty help.
+    let jobs = batch(12);
+    let mut service =
+        service77(2, Some(Journal::in_memory())).with_tracer(PipelineTracer::new(256, 77));
+    let _ = service.process(&jobs);
+    let mut families = 0;
+    for (name, help, _) in service.metrics().family_info() {
+        assert!(!help.trim().is_empty(), "family {name} has empty help text");
+        families += 1;
+    }
+    assert!(families >= 10, "expected a loaded registry, got {families}");
+
+    // Label escaping round-trips: a hostile label value renders escaped and
+    // un-escapes back to the original bytes.
+    let hostile = "a\\b\"c\nd";
+    let mut registry = MetricsRegistry::new();
+    registry.counter_add("lint_test", "lint", &[("tenant", hostile)], 1.0);
+    let text = registry.render();
+    let escaped = "tenant=\"a\\\\b\\\"c\\nd\"";
+    assert!(text.contains(escaped), "dump:\n{text}");
+    let start = text.find("tenant=\"").unwrap() + "tenant=\"".len();
+    let end = text[start..].find("\"}").unwrap() + start;
+    let mut unescaped = String::new();
+    let mut chars = text[start..end].chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            unescaped.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => unescaped.push('\\'),
+            Some('"') => unescaped.push('"'),
+            Some('n') => unescaped.push('\n'),
+            other => panic!("unknown escape \\{other:?}"),
+        }
+    }
+    assert_eq!(unescaped, hostile, "escaping must round-trip");
+
+    // Render order is stable: registration order does not leak into the
+    // exposition, for scalar and histogram families alike.
+    let forward = {
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("lint_a", "first", &[("t", "1")], 1.0);
+        registry.counter_add("lint_a", "first", &[("t", "2")], 2.0);
+        registry.histogram_observe("lint_b", "second", &[0.1, 1.0], &[], 0.5);
+        registry.gauge_set("lint_c", "third", &[], 7.0);
+        registry.render()
+    };
+    let reversed = {
+        let mut registry = MetricsRegistry::new();
+        registry.gauge_set("lint_c", "third", &[], 7.0);
+        registry.histogram_observe("lint_b", "second", &[0.1, 1.0], &[], 0.5);
+        registry.counter_add("lint_a", "first", &[("t", "2")], 2.0);
+        registry.counter_add("lint_a", "first", &[("t", "1")], 1.0);
+        registry.render()
+    };
+    assert_eq!(forward, reversed, "render order must not track insertion");
+    let a = forward.find("lint_a").unwrap();
+    let b = forward.find("lint_b").unwrap();
+    let c = forward.find("lint_c").unwrap();
+    assert!(a < b && b < c, "families render in name order:\n{forward}");
+}
