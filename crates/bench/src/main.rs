@@ -8,10 +8,14 @@
 //! jobs/sec, the auditor's replay counters and the journal
 //! append/commit/rotation/fsync counters, so both the performance
 //! trajectory of the audited streaming path *and* the cost of each
-//! durability mode are tracked from run to run. In segmented mode the
-//! harness additionally reopens the segment directory and verifies that
-//! recovery reproduces the live service's ledger and metering exposition
-//! bit for bit.
+//! durability mode are tracked from run to run. A fourth **sealed** mode
+//! runs the same segmented configuration with the evidence ledger on
+//! (hash-chained lines, signed block headers on rotation), so the
+//! chain+seal overhead vs plain group commit is tracked from run to run.
+//! In segmented and sealed modes the harness additionally reopens the
+//! segment directory and verifies that recovery reproduces the live
+//! service's ledger and metering exposition bit for bit; in sealed mode
+//! it also verifies every sealed block header cryptographically.
 //!
 //! ```text
 //! trustmeter-bench [--smoke] [--jobs N] [--workers N] [--repeat N]
@@ -100,8 +104,11 @@ struct StageLatency {
 struct BenchReport {
     /// Harness identifier.
     bench: &'static str,
-    /// Durability mode: `off`, `file` (legacy flush-per-append) or
-    /// `segmented` (group-commit pipeline).
+    /// Durability mode: `off`, `file` (legacy flush-per-append),
+    /// `segmented` (group-commit pipeline), `sealed` (group commit plus
+    /// the hash-chained, block-sealed evidence ledger) or
+    /// `segmented-fsync` (group commit under the configured fsync
+    /// policy).
     journal: &'static str,
     /// Fsync policy of the segmented run (`null` otherwise).
     fsync: Option<FsyncPolicy>,
@@ -143,9 +150,15 @@ struct BenchReport {
     journal_fsyncs: u64,
     /// Segments retired as superseded by a checkpoint.
     journal_segments_retired: u64,
+    /// Signed block headers sealed over rotated segments (0 outside
+    /// sealed mode).
+    journal_seals: u64,
+    /// Sealed block headers that verified cryptographically when the
+    /// journal was reopened (0 outside sealed mode).
+    seals_verified: u64,
     /// Whether a post-run recovery from the journal reproduced the live
-    /// ledger and metering exposition bit for bit (segmented mode only;
-    /// `false` means the check did not run).
+    /// ledger and metering exposition bit for bit (segmented/sealed modes
+    /// only; `false` means the check did not run).
     recovery_bit_identical: bool,
     /// End-to-end wall clock of the median tracing-**on** round, in
     /// seconds (`wall_secs` is the tracing-off median — both run in every
@@ -252,12 +265,15 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
     let flagged_runs = report.flagged().count() as u64;
     let journal_stats = service.journal().map(|j| j.stats()).unwrap_or_default();
 
-    // Segmented mode closes the loop: reopen the (rotated, retired)
-    // segment directory and prove recovery is bit-identical to the live
-    // service — the group-commit pipeline must not cost correctness.
-    let recovery_bit_identical = if matches!(mode, JournalMode::Segmented { .. }) {
-        let reopened = Journal::segmented(scratch.join("segments"), SegmentConfig::default())
-            .expect("reopen bench segments");
+    // Segmented/sealed modes close the loop: reopen the (rotated,
+    // retired) segment directory with the mode's own config and prove
+    // recovery is bit-identical to the live service — neither the
+    // group-commit pipeline nor the evidence ledger may cost correctness.
+    // Sealed mode additionally verifies every sealed block header.
+    let mut seals_verified = 0;
+    let recovery_bit_identical = if let JournalMode::Segmented { config, .. } = mode {
+        let reopened =
+            Journal::segmented(scratch.join("segments"), config).expect("reopen bench segments");
         let (entries, _tail) = reopened.entries().expect("parse bench journal");
         let mut recovered = build_service(workers);
         recovered
@@ -273,6 +289,10 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
             metering_exposition(&service.metrics_text()),
             "recovered metering exposition == live exposition"
         );
+        if config.seal.is_some() {
+            let verification = reopened.verify(SEED).expect("verify sealed bench journal");
+            seals_verified = verification.seals_verified;
+        }
         true
     } else {
         false
@@ -323,6 +343,8 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
         journal_rotations: journal_stats.rotations,
         journal_fsyncs: journal_stats.fsyncs,
         journal_segments_retired: journal_stats.segments_retired,
+        journal_seals: journal_stats.seals,
+        seals_verified,
         recovery_bit_identical,
         traced_wall_secs: if traced { wall_secs } else { 0.0 },
         tracing_overhead_pct: 0.0,
@@ -348,13 +370,14 @@ fn merge_traced(mut untraced: BenchReport, traced: BenchReport) -> BenchReport {
 
 fn stats_line(stats: &JournalStats) -> String {
     format!(
-        "{} appends / {} commits ({} bytes), {} rotations, {} fsyncs, {} retired",
+        "{} appends / {} commits ({} bytes), {} rotations, {} fsyncs, {} retired, {} seals",
         stats.appends,
         stats.group_commits,
         stats.bytes,
         stats.rotations,
         stats.fsyncs,
-        stats.segments_retired
+        stats.segments_retired,
+        stats.seals
     )
 }
 
@@ -468,6 +491,16 @@ fn main() {
             config: segment_config.with_fsync(FsyncPolicy::Never),
             checkpoint_every,
         },
+        // The segmented configuration with the evidence ledger on: every
+        // line hash-chained, every rotated segment sealed under a signed
+        // block header. The delta vs `segmented` is the chain+seal cost.
+        JournalMode::Segmented {
+            label: "sealed",
+            config: segment_config
+                .with_fsync(FsyncPolicy::Never)
+                .with_seal(SEED),
+            checkpoint_every,
+        },
     ];
     // The configured fsync policy on top: what power-loss durability
     // costs over journal-off. With `--fsync never` this would duplicate
@@ -525,6 +558,7 @@ fn main() {
                 rotations: report.journal_rotations,
                 fsyncs: report.journal_fsyncs,
                 segments_retired: report.journal_segments_retired,
+                seals: report.journal_seals,
             }),
         );
         let quantiles: Vec<String> = report

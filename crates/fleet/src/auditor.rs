@@ -25,6 +25,12 @@
 //! scale, and spot-checking trades detection latency for throughput.
 //! Every observed run yields an [`AuditVerdict`]; tenants accumulate an
 //! [`TenantAuditSummary`] of how often and how badly they were overcharged.
+//!
+//! Verdicts are receipts, not just telemetry: the service journals each
+//! one next to its run and invoice, where the evidence ledger chains and
+//! seals it. A later [`crate::FleetService::dispute`] pins the verdict to
+//! an inclusion proof, so "the audit flagged this run" is a claim a
+//! tenant can verify from sealed evidence rather than take on trust.
 
 use crate::executor::{JobId, ReferenceOutcome, RunRecord};
 use crate::tenant::TenantId;

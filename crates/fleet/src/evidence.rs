@@ -1,0 +1,479 @@
+//! Evidence-ledger primitives: the hash chain, sealed block headers and
+//! Merkle inclusion proofs that make the journal *tamper-evident*, not
+//! merely crash-safe.
+//!
+//! The paper's settlement story needs more than replayability: a tenant
+//! disputing an invoice should be handed a piece of evidence they can
+//! check **without** trusting the provider to replay the whole journal
+//! honestly. This module supplies the three layers that story stands on:
+//!
+//! 1. **The hash chain.** Every journal line embeds the digest of the
+//!    chain up to its predecessor (`{"prev":"<hex>","entry":…}`), and the
+//!    chain folds over the *canonical line bytes* — the exact bytes the
+//!    PR-5 streaming serializer committed. Duplicating, reordering or
+//!    deleting a line anywhere before the torn tail breaks the fold at
+//!    the first bad entry, and [`crate::journal::parse_journal`] says so.
+//! 2. **Sealed block headers.** When a segment rotates (including the
+//!    forced rotation before a checkpoint), the sink writes a
+//!    [`BlockHeader`] beside it: a Merkle root over the segment's lines,
+//!    the chain values at the segment's boundaries, the checkpoint
+//!    metric-family exclusion list, all signed with an HMAC under a
+//!    [`SealKey`] derived from the fleet seed. A flipped byte, a spliced
+//!    segment from another fleet, or a rewritten history now has to forge
+//!    the seal, not just rewrite JSON.
+//! 3. **Inclusion proofs.** An [`InclusionProof`] carries one line, its
+//!    Merkle path and the sealed header; [`InclusionProof::verify`]
+//!    checks it against the seal key alone — no journal, no replay — so a
+//!    [`crate::FleetService::dispute`] verdict is pinned to exactly the
+//!    chained bytes that justify it.
+//!
+//! Everything here is deterministic: the same entries produce the same
+//! chain, roots and seals whatever the worker count, which is what lets
+//! the recovery contract stay bit-identical with sealing on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::journal::JournalEntry;
+use trustmeter_core::Sha256;
+
+/// A 32-byte SHA-256 digest, the unit of the chain and the Merkle tree.
+pub type ChainDigest = [u8; 32];
+
+// Domain separators: every digest in the ledger states what it is, so a
+// leaf can never be replayed as a link, a node as a leaf, or a seal as
+// either.
+const GENESIS_DOMAIN: &[u8] = b"trustmeter-evidence/genesis/v1";
+const LINK_DOMAIN: &[u8] = b"trustmeter-evidence/link/v1";
+const LEAF_DOMAIN: &[u8] = b"trustmeter-evidence/leaf/v1";
+const NODE_DOMAIN: &[u8] = b"trustmeter-evidence/node/v1";
+const SEAL_KEY_DOMAIN: &[u8] = b"trustmeter-evidence/seal-key/v1";
+const SEAL_DOMAIN: &[u8] = b"trustmeter-evidence/seal/v1";
+
+/// The chain value before the first entry of a journal born empty.
+///
+/// Deliberately fleet-independent: what binds a journal to *its* fleet is
+/// the [`SealKey`] signature over the block headers, not the starting
+/// constant — a journal whose live head starts at a retired checkpoint
+/// has no genesis on disk at all.
+pub fn genesis() -> ChainDigest {
+    Sha256::digest(GENESIS_DOMAIN)
+}
+
+/// Folds one committed line into the chain: `SHA-256(domain ‖ prev ‖
+/// leaf)` where `leaf` is [`leaf_digest`] of the canonical line bytes
+/// (no trailing newline). Folding over the leaf rather than the raw
+/// bytes means a sealing sink hashes each line **once** — the same leaf
+/// feeds both the chain and the segment's Merkle tree — which is what
+/// keeps the sealed mode's overhead within a few percent of plain group
+/// commit.
+pub fn chain_link(prev: &ChainDigest, line: &[u8]) -> ChainDigest {
+    link_leaf(prev, &leaf_digest(line))
+}
+
+/// [`chain_link`] with the line's leaf digest already in hand.
+pub fn link_leaf(prev: &ChainDigest, leaf: &ChainDigest) -> ChainDigest {
+    let mut h = Sha256::new();
+    h.update(LINK_DOMAIN);
+    h.update(prev);
+    h.update(leaf);
+    h.finalize()
+}
+
+/// The Merkle leaf digest of one committed line.
+pub fn leaf_digest(line: &[u8]) -> ChainDigest {
+    let mut h = Sha256::new();
+    h.update(LEAF_DOMAIN);
+    h.update(line);
+    h.finalize()
+}
+
+fn node_digest(left: &ChainDigest, right: &ChainDigest) -> ChainDigest {
+    let mut h = Sha256::new();
+    h.update(NODE_DOMAIN);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// The Merkle root over a segment's leaf digests. Levels pair
+/// left-to-right; an odd node is promoted unchanged. An empty segment
+/// roots at the bare leaf domain (sealed segments are never empty, but
+/// the function is total).
+pub fn merkle_root(leaves: &[ChainDigest]) -> ChainDigest {
+    if leaves.is_empty() {
+        return Sha256::digest(LEAF_DOMAIN);
+    }
+    let mut level: Vec<ChainDigest> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [left, right] => next.push(node_digest(left, right)),
+                [odd] => next.push(*odd),
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// One step of a Merkle path: the sibling digest and which side it sits
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofStep {
+    /// The sibling digest, hex-encoded.
+    pub sibling: String,
+    /// Whether the sibling is the *left* input of the parent node.
+    pub sibling_left: bool,
+}
+
+/// The Merkle path authenticating `leaves[index]` against
+/// [`merkle_root`]. Promoted odd nodes contribute no step.
+///
+/// # Panics
+/// Panics if `index` is out of bounds.
+pub fn merkle_path(leaves: &[ChainDigest], index: usize) -> Vec<ProofStep> {
+    assert!(index < leaves.len(), "proof index out of bounds");
+    let mut path = Vec::new();
+    let mut level: Vec<ChainDigest> = leaves.to_vec();
+    let mut at = index;
+    while level.len() > 1 {
+        let sibling = if at.is_multiple_of(2) { at + 1 } else { at - 1 };
+        if sibling < level.len() {
+            path.push(ProofStep {
+                sibling: encode_hex(&level[sibling]),
+                sibling_left: sibling < at,
+            });
+        }
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [left, right] => next.push(node_digest(left, right)),
+                [odd] => next.push(*odd),
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            }
+        }
+        level = next;
+        at /= 2;
+    }
+    path
+}
+
+/// Folds a leaf up a Merkle path; equals the root iff the leaf really
+/// sits where the path claims.
+pub fn fold_path(leaf: &ChainDigest, path: &[ProofStep]) -> Option<ChainDigest> {
+    let mut acc = *leaf;
+    for step in path {
+        let sibling = decode_hex(&step.sibling)?;
+        acc = if step.sibling_left {
+            node_digest(&sibling, &acc)
+        } else {
+            node_digest(&acc, &sibling)
+        };
+    }
+    Some(acc)
+}
+
+/// Hex-encodes a digest (lowercase, 64 chars).
+pub fn encode_hex(digest: &ChainDigest) -> String {
+    Sha256::to_hex(digest)
+}
+
+/// Decodes a 64-char lowercase hex digest; `None` if malformed.
+pub fn decode_hex(text: &str) -> Option<ChainDigest> {
+    if text.len() != 64 || !text.is_ascii() {
+        return None;
+    }
+    let bytes = text.as_bytes();
+    let mut out = [0u8; 32];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let hi = (bytes[2 * i] as char).to_digit(16)?;
+        let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+        *slot = ((hi << 4) | lo) as u8;
+    }
+    Some(out)
+}
+
+/// The ledger sealing key: derived from the fleet seed exactly like the
+/// fleet's attestation key, so the party that can sign quotes is the
+/// party that can seal blocks — and nobody else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealKey {
+    secret: ChainDigest,
+}
+
+impl SealKey {
+    /// Derives the sealing key for a fleet seed.
+    pub fn from_seed(seed: u64) -> SealKey {
+        let mut h = Sha256::new();
+        h.update(SEAL_KEY_DOMAIN);
+        h.update(&seed.to_be_bytes());
+        SealKey {
+            secret: h.finalize(),
+        }
+    }
+
+    /// HMAC-SHA-256 over `message` under this key, domain-separated so a
+    /// seal can never double as an attestation MAC.
+    fn mac(&self, message: &[u8]) -> ChainDigest {
+        let mut framed = Vec::with_capacity(SEAL_DOMAIN.len() + message.len());
+        framed.extend_from_slice(SEAL_DOMAIN);
+        framed.extend_from_slice(message);
+        Sha256::hmac(&self.secret, &framed)
+    }
+}
+
+/// The sealed header of one finished journal segment: what the segment
+/// contained (Merkle root over its lines), where it sat in the chain
+/// (boundary links), what the checkpoint policy was when it was written
+/// (the metric-family exclusion list), all signed under the fleet's
+/// [`SealKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Header format version.
+    pub version: u32,
+    /// The segment index this header seals.
+    pub segment: u64,
+    /// Committed entry lines in the segment.
+    pub entries: u64,
+    /// Chain value before the segment's first line (hex).
+    pub chain_prev: String,
+    /// Chain value after the segment's last line (hex).
+    pub chain_head: String,
+    /// Merkle root over the segment's line leaves (hex).
+    pub merkle_root: String,
+    /// The metric families checkpoints exclude from their snapshot,
+    /// committed into the sealed evidence so the exclusion policy itself
+    /// cannot be rewritten after settlement.
+    pub excluded_families: Vec<String>,
+    /// HMAC-SHA-256 over the canonical header bytes (with this field
+    /// empty), under the fleet's [`SealKey`] (hex).
+    pub seal: String,
+}
+
+impl BlockHeader {
+    /// The current header format version.
+    pub const VERSION: u32 = 1;
+
+    /// The canonical bytes the seal signs: this header serialized with an
+    /// empty `seal` field.
+    fn signing_bytes(&self) -> String {
+        let mut unsigned = self.clone();
+        unsigned.seal = String::new();
+        serde_json::to_string(&unsigned).expect("block header serializes")
+    }
+
+    /// Signs this header in place under `key`.
+    pub fn sign(&mut self, key: &SealKey) {
+        self.seal = String::new();
+        let mac = key.mac(self.signing_bytes().as_bytes());
+        self.seal = encode_hex(&mac);
+    }
+
+    /// Whether `seal` is a valid signature over this header under `key`.
+    pub fn verify_seal(&self, key: &SealKey) -> bool {
+        match decode_hex(&self.seal) {
+            Some(mac) => mac == key.mac(self.signing_bytes().as_bytes()),
+            None => false,
+        }
+    }
+}
+
+/// Why an [`InclusionProof`] failed to verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// The block header's seal does not verify under the given key: the
+    /// header was forged, altered, or sealed by a different fleet.
+    SealForged {
+        /// The segment whose header failed.
+        segment: u64,
+    },
+    /// The Merkle path does not fold from the line to the header's root:
+    /// the line is not the committed member the proof claims.
+    RootMismatch {
+        /// The segment whose root was not reached.
+        segment: u64,
+        /// The leaf index the proof claimed.
+        index: u64,
+    },
+    /// The proof's line is not a parseable chained journal line.
+    MalformedEvidence {
+        /// The parser's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofError::SealForged { segment } => {
+                write!(f, "segment {segment} header seal does not verify")
+            }
+            ProofError::RootMismatch { segment, index } => write!(
+                f,
+                "merkle path for leaf {index} does not reach segment {segment}'s sealed root"
+            ),
+            ProofError::MalformedEvidence { message } => {
+                write!(f, "proof line is not a chained journal line: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// A self-contained membership proof: one journal line, its Merkle path,
+/// and the sealed header of the segment that committed it.
+/// [`InclusionProof::verify`] needs only the fleet's [`SealKey`] — no
+/// journal access, no replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InclusionProof {
+    /// The committed line, exactly as journaled (no trailing newline).
+    pub line: String,
+    /// The line's leaf index within its segment.
+    pub index: u64,
+    /// Sibling digests from the leaf up to the root.
+    pub path: Vec<ProofStep>,
+    /// The sealed header of the segment.
+    pub header: BlockHeader,
+}
+
+impl InclusionProof {
+    /// Verifies the proof against `key` and returns the proven entry:
+    /// the header's seal must verify, and the line's leaf must fold up
+    /// the path to the sealed Merkle root.
+    ///
+    /// # Errors
+    /// [`ProofError`] describing the first check that failed.
+    pub fn verify(&self, key: &SealKey) -> Result<JournalEntry, ProofError> {
+        if !self.header.verify_seal(key) {
+            return Err(ProofError::SealForged {
+                segment: self.header.segment,
+            });
+        }
+        self.verify_against(&self.header)
+    }
+
+    /// Verifies only the Merkle membership against an already-trusted
+    /// `header` (e.g. one re-checked out of band). This is the half the
+    /// property tests exercise: a proof folds to *its* header's root and
+    /// to no other's.
+    ///
+    /// # Errors
+    /// [`ProofError::RootMismatch`] if the path does not reach the
+    /// header's root; [`ProofError::MalformedEvidence`] if the line does
+    /// not parse.
+    pub fn verify_against(&self, header: &BlockHeader) -> Result<JournalEntry, ProofError> {
+        let leaf = leaf_digest(self.line.as_bytes());
+        let mismatch = ProofError::RootMismatch {
+            segment: header.segment,
+            index: self.index,
+        };
+        let folded = fold_path(&leaf, &self.path).ok_or_else(|| mismatch.clone())?;
+        if self.index >= header.entries || Some(folded) != decode_hex(&header.merkle_root) {
+            return Err(mismatch);
+        }
+        let chained: ChainedLine =
+            serde_json::from_str(&self.line).map_err(|e| ProofError::MalformedEvidence {
+                message: e.to_string(),
+            })?;
+        Ok(chained.entry)
+    }
+
+    /// The proven entry without verifying anything — for display only.
+    ///
+    /// # Errors
+    /// [`ProofError::MalformedEvidence`] if the line does not parse.
+    pub fn entry(&self) -> Result<JournalEntry, ProofError> {
+        let chained: ChainedLine =
+            serde_json::from_str(&self.line).map_err(|e| ProofError::MalformedEvidence {
+                message: e.to_string(),
+            })?;
+        Ok(chained.entry)
+    }
+}
+
+/// The parsed form of one chained journal line:
+/// `{"prev":"<hex>","entry":{…}}`.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct ChainedLine {
+    /// The chain value before this entry, hex-encoded.
+    pub prev: String,
+    /// The journal entry itself.
+    pub entry: JournalEntry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<ChainDigest> {
+        (0..n)
+            .map(|i| leaf_digest(format!("line-{i}").as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn merkle_paths_fold_to_the_root_for_every_width() {
+        for n in 1..=9 {
+            let leaves = leaves(n);
+            let root = merkle_root(&leaves);
+            for (i, leaf) in leaves.iter().enumerate() {
+                let path = merkle_path(&leaves, i);
+                assert_eq!(fold_path(leaf, &path), Some(root), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_path_does_not_fold_to_a_different_tree() {
+        let a = leaves(5);
+        let b = leaves(6);
+        let path = merkle_path(&a, 2);
+        assert_ne!(fold_path(&a[2], &path), Some(merkle_root(&b)));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let digest = Sha256::digest(b"x");
+        assert_eq!(decode_hex(&encode_hex(&digest)), Some(digest));
+        assert_eq!(decode_hex("xyz"), None);
+        assert_eq!(decode_hex(&"g".repeat(64)), None);
+    }
+
+    #[test]
+    fn seals_verify_under_the_signing_key_only() {
+        let key = SealKey::from_seed(7);
+        let other = SealKey::from_seed(8);
+        let mut header = BlockHeader {
+            version: BlockHeader::VERSION,
+            segment: 1,
+            entries: 2,
+            chain_prev: encode_hex(&genesis()),
+            chain_head: encode_hex(&Sha256::digest(b"head")),
+            merkle_root: encode_hex(&merkle_root(&leaves(2))),
+            excluded_families: vec!["fleet_recoveries_total".into()],
+            seal: String::new(),
+        };
+        header.sign(&key);
+        assert!(header.verify_seal(&key));
+        assert!(!header.verify_seal(&other));
+        // Any mutation of the sealed fields invalidates the seal.
+        let mut doctored = header.clone();
+        doctored.entries = 3;
+        assert!(!doctored.verify_seal(&key));
+        let mut stripped = header.clone();
+        stripped.excluded_families.clear();
+        assert!(!stripped.verify_seal(&key));
+    }
+
+    #[test]
+    fn chain_links_are_order_sensitive() {
+        let g = genesis();
+        let ab = chain_link(&chain_link(&g, b"a"), b"b");
+        let ba = chain_link(&chain_link(&g, b"b"), b"a");
+        assert_ne!(ab, ba);
+        assert_ne!(chain_link(&g, b"a"), leaf_digest(b"a"), "domains differ");
+    }
+}

@@ -32,7 +32,12 @@
 //! With a [`crate::Journal`] attached
 //! ([`FleetIngest::over_journaled`]), every record is appended to the
 //! write-ahead log *before* it is released to the consumer — the
-//! durability boundary of the [`crate::journal`] layer.
+//! durability boundary of the [`crate::journal`] layer. Those appends are
+//! also the *evidence* boundary: each journaled record becomes a
+//! hash-chained line (and, once its segment rotates under a sealing
+//! sink, a Merkle leaf under a signed block header), so the order the
+//! pipeline releases records in is exactly the order a disputing tenant
+//! can later hold the provider to.
 //!
 //! ```
 //! use trustmeter_fleet::{FleetConfig, FleetIngest, IngestConfig, JobSpec, TenantId};

@@ -38,6 +38,23 @@
 //! written and later damaged, so it is an error ([`JournalError::Corrupt`]),
 //! wherever it sits.
 //!
+//! ## The evidence ledger
+//!
+//! Since PR 7 the journal is tamper-*evident*, not just crash-safe: every
+//! line is a chained envelope `{"prev":"<hex>","entry":{…}}` whose `prev`
+//! is the hash-chain link over all preceding canonical line bytes (see
+//! [`crate::evidence`]), so duplication, reordering, deletion and
+//! in-place edits before the torn tail surface at [`parse_journal`] time
+//! as [`JournalError::ChainViolation`] naming the first bad entry. A
+//! sealing [`SegmentedFileSink`] ([`SegmentConfig::with_seal`])
+//! additionally signs every rotated-away segment into a
+//! [`BlockHeader`] sidecar — Merkle root over the segment's lines, chain
+//! bounds, the checkpoint metric-family exclusion list, HMAC under the
+//! fleet seed's [`SealKey`] — and can hand out per-entry
+//! [`InclusionProof`]s ([`Journal::prove`]) that verify against the seal
+//! key alone, no replay required (the substrate of
+//! [`crate::FleetService::dispute`]).
+//!
 //! ## The group-commit write path
 //!
 //! The write-ahead point must be cheap enough to run always-on, so the
@@ -85,6 +102,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use serde::{Deserialize, Serialize};
 
 use crate::auditor::{AuditVerdict, AuditorState};
+use crate::evidence::{self, BlockHeader, ChainDigest, ChainedLine, InclusionProof, SealKey};
 use crate::executor::{JobId, RunRecord};
 use crate::metrics::MetricsRegistry;
 use crate::tenant::{Ledger, TenantId};
@@ -184,6 +202,26 @@ pub enum JournalError {
         /// The parser's message.
         message: String,
     },
+    /// A chained entry's embedded `prev` link disagrees with the hash
+    /// chain recomputed over the preceding canonical line bytes:
+    /// duplication, reordering, deletion or in-place edits somewhere at
+    /// or before this line. `line` is 1-based and names the **first**
+    /// entry the chain no longer vouches for.
+    ChainViolation {
+        /// 1-based line number of the first entry off the chain.
+        line: usize,
+        /// What broke (entry label, job id, link mismatch detail).
+        message: String,
+    },
+    /// A sealed segment's block header failed verification: wrong Merkle
+    /// root or chain bounds for the segment's contents, or a seal that
+    /// does not verify under this fleet's [`evidence::SealKey`].
+    SealViolation {
+        /// The segment whose seal failed.
+        segment: u64,
+        /// What broke.
+        message: String,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -192,6 +230,12 @@ impl fmt::Display for JournalError {
             JournalError::Io(message) => write!(f, "journal i/o error: {message}"),
             JournalError::Corrupt { line, message } => {
                 write!(f, "journal corrupt at line {line}: {message}")
+            }
+            JournalError::ChainViolation { line, message } => {
+                write!(f, "journal chain violation at line {line}: {message}")
+            }
+            JournalError::SealViolation { segment, message } => {
+                write!(f, "journal seal violation at segment {segment}: {message}")
             }
         }
     }
@@ -246,6 +290,9 @@ pub struct JournalStats {
     pub fsyncs: u64,
     /// Segments the sink retired (deleted) as superseded by a checkpoint.
     pub segments_retired: u64,
+    /// Sealed block headers the sink wrote (see
+    /// [`SegmentConfig::with_seal`]).
+    pub seals: u64,
 }
 
 /// Sink-level durability counters (all zero for sinks without segments or
@@ -258,6 +305,9 @@ pub struct SinkStats {
     pub fsyncs: u64,
     /// Segments deleted because a newer checkpoint superseded them.
     pub segments_retired: u64,
+    /// Sealed block headers written on rotation (see
+    /// [`SegmentConfig::with_seal`]).
+    pub seals: u64,
 }
 
 /// When a [`SegmentedFileSink`] pushes committed bytes past the OS page
@@ -294,6 +344,12 @@ pub struct SegmentConfig {
     pub segment_bytes: u64,
     /// When committed bytes are fsynced.
     pub fsync: FsyncPolicy,
+    /// When `Some(seed)`, the sink seals every rotated-away segment into
+    /// a signed [`BlockHeader`] (a `segment-NNNNNNNN.seal` sidecar): a
+    /// Merkle root over the segment's lines, the hash-chain bounds, the
+    /// checkpoint metric-family exclusion list, all HMAC-signed under
+    /// [`SealKey::from_seed`]. `None` keeps PR-5 behaviour (no sidecars).
+    pub seal: Option<u64>,
 }
 
 impl SegmentConfig {
@@ -315,6 +371,13 @@ impl SegmentConfig {
         self.fsync = fsync;
         self
     }
+
+    /// Seals rotated segments under the fleet seed's [`SealKey`] (see
+    /// [`SegmentConfig::seal`]).
+    pub fn with_seal(mut self, seed: u64) -> SegmentConfig {
+        self.seal = Some(seed);
+        self
+    }
 }
 
 impl Default for SegmentConfig {
@@ -322,6 +385,7 @@ impl Default for SegmentConfig {
         SegmentConfig {
             segment_bytes: Self::DEFAULT_SEGMENT_BYTES,
             fsync: FsyncPolicy::Never,
+            seal: None,
         }
     }
 }
@@ -409,6 +473,36 @@ pub trait JournalSink: Send {
     /// Sink-level durability counters. Default: all zero.
     fn sink_stats(&self) -> SinkStats {
         SinkStats::default()
+    }
+
+    /// Seals the current in-progress segment (if it has any entries) by
+    /// rotating it away, so every committed entry is covered by a signed
+    /// [`BlockHeader`]. A no-op for sinks without seals. Default: no-op.
+    fn seal_head(&mut self) -> Result<(), JournalError> {
+        Ok(())
+    }
+
+    /// The signed block headers of every sealed live segment, oldest
+    /// first. Default: none.
+    fn sealed_headers(&self) -> Result<Vec<BlockHeader>, JournalError> {
+        Ok(Vec::new())
+    }
+
+    /// Builds [`InclusionProof`]s — Merkle path plus signed block header
+    /// — for every sealed entry belonging to `job`, without replaying the
+    /// journal into service state. Default: none (unsealed sinks cannot
+    /// prove inclusion).
+    fn prove(&self, job: JobId) -> Result<Vec<InclusionProof>, JournalError> {
+        let _ = job;
+        Ok(Vec::new())
+    }
+
+    /// Re-verifies every sealed live segment against its block header
+    /// (Merkle root, chain bounds, entry count, HMAC seal under `key`)
+    /// and returns how many seals were checked. Default: zero.
+    fn verify_seals(&self, key: &SealKey) -> Result<u64, JournalError> {
+        let _ = key;
+        Ok(0)
     }
 
     /// The full journal text, including entries written before this sink
@@ -587,15 +681,31 @@ pub struct SegmentedFileSink {
     unsynced_entries: u64,
     unsynced_bytes: u64,
     stats: SinkStats,
+    /// The fleet's sealing key, when [`SegmentConfig::seal`] is set.
+    seal_key: Option<SealKey>,
+    /// Chain head over every committed line (maintained only when
+    /// sealing).
+    chain: ChainDigest,
+    /// Chain head as of the current segment's first line — the sealed
+    /// header's `chain_prev` bound.
+    segment_chain_prev: ChainDigest,
+    /// Merkle leaf digests of the current segment's lines.
+    leaves: Vec<ChainDigest>,
 }
 
 impl SegmentedFileSink {
     const PREFIX: &'static str = "segment-";
     const SUFFIX: &'static str = ".jsonl";
+    const SEAL_SUFFIX: &'static str = ".seal";
 
     /// The file name of segment `index`.
     fn segment_name(index: u64) -> String {
         format!("{}{index:08}{}", Self::PREFIX, Self::SUFFIX)
+    }
+
+    /// The file name of segment `index`'s sealed block header.
+    fn seal_name(index: u64) -> String {
+        format!("{}{index:08}{}", Self::PREFIX, Self::SEAL_SUFFIX)
     }
 
     /// Opens (creating if absent) a segment directory at `dir`. Existing
@@ -631,7 +741,7 @@ impl SegmentedFileSink {
         let current_index = *live.last().expect("at least one segment");
         let file = open_repaired(&dir.join(Self::segment_name(current_index)))?;
         let current_len = file.metadata()?.len();
-        Ok(SegmentedFileSink {
+        let mut sink = SegmentedFileSink {
             dir,
             config,
             writer: BufWriter::new(file),
@@ -642,7 +752,104 @@ impl SegmentedFileSink {
             unsynced_entries: 0,
             unsynced_bytes: 0,
             stats: SinkStats::default(),
-        })
+            seal_key: config.seal.map(SealKey::from_seed),
+            chain: evidence::genesis(),
+            segment_chain_prev: evidence::genesis(),
+            leaves: Vec::new(),
+        };
+        if sink.seal_key.is_some() {
+            sink.rescan_chain()?;
+        }
+        Ok(sink)
+    }
+
+    /// Rebuilds the chain head, the current segment's leaf set and its
+    /// leading chain bound from the live segments — reopening a sealed
+    /// journal continues its chain, it never restarts one. The scan is
+    /// *tolerant* (the first line's claimed `prev` is adopted as the
+    /// anchor, later claims are not checked): detection belongs to
+    /// [`parse_journal`] and [`JournalSink::verify_seals`], not to open,
+    /// so a tampered journal can still be opened and inspected.
+    fn rescan_chain(&mut self) -> Result<(), JournalError> {
+        let mut chain = evidence::genesis();
+        let mut anchored = false;
+        let mut segment_chain_prev = chain;
+        let mut leaves = Vec::new();
+        let live = self.live.clone();
+        for index in live {
+            segment_chain_prev = chain;
+            leaves.clear();
+            let text = std::fs::read_to_string(self.dir.join(Self::segment_name(index)))?;
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if !anchored {
+                    anchored = true;
+                    if let Ok(chained) = serde_json::from_str::<ChainedLine>(line) {
+                        if let Some(claimed) = evidence::decode_hex(&chained.prev) {
+                            chain = claimed;
+                            segment_chain_prev = chain;
+                        }
+                    }
+                }
+                let leaf = evidence::leaf_digest(line.as_bytes());
+                chain = evidence::link_leaf(&chain, &leaf);
+                leaves.push(leaf);
+            }
+        }
+        self.chain = chain;
+        self.segment_chain_prev = segment_chain_prev;
+        self.leaves = leaves;
+        Ok(())
+    }
+
+    /// Reads segment `index`'s sealed block header; `None` if the segment
+    /// was never sealed (the in-progress head, or a pre-sealing journal).
+    fn read_header(&self, index: u64) -> Result<Option<BlockHeader>, JournalError> {
+        let path = self.dir.join(Self::seal_name(index));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let header: BlockHeader =
+            serde_json::from_str(&text).map_err(|e| JournalError::SealViolation {
+                segment: index,
+                message: format!("unparseable block header: {e}"),
+            })?;
+        Ok(Some(header))
+    }
+
+    /// Writes the signed block header for the (just-flushed) current
+    /// segment when sealing is enabled, and re-bases the per-segment
+    /// chain state for the successor segment.
+    fn seal_current(&mut self) -> Result<(), JournalError> {
+        let Some(key) = &self.seal_key else {
+            return Ok(());
+        };
+        let mut header = BlockHeader {
+            version: BlockHeader::VERSION,
+            segment: self.current_index,
+            entries: self.leaves.len() as u64,
+            chain_prev: evidence::encode_hex(&self.segment_chain_prev),
+            chain_head: evidence::encode_hex(&self.chain),
+            merkle_root: evidence::encode_hex(&evidence::merkle_root(&self.leaves)),
+            excluded_families: excluded_metric_families(),
+            seal: String::new(),
+        };
+        header.sign(key);
+        let text = serde_json::to_string(&header)
+            .map_err(|e| JournalError::Io(format!("serialize block header: {e}")))?;
+        let mut file = File::create(self.dir.join(Self::seal_name(self.current_index)))?;
+        file.write_all(text.as_bytes())?;
+        if !matches!(self.config.fsync, FsyncPolicy::Never) {
+            file.sync_data()?;
+        }
+        self.stats.seals += 1;
+        self.segment_chain_prev = self.chain;
+        self.leaves.clear();
+        Ok(())
     }
 
     /// The segment directory.
@@ -691,6 +898,13 @@ impl SegmentedFileSink {
             self.writer.write_all(line.as_bytes())?;
             self.writer.write_all(b"\n")?;
             bytes += line.len() as u64 + 1;
+            if self.seal_key.is_some() {
+                // One hash per line: the leaf feeds both the Merkle tree
+                // and the chain fold.
+                let leaf = evidence::leaf_digest(line.as_bytes());
+                self.chain = evidence::link_leaf(&self.chain, &leaf);
+                self.leaves.push(leaf);
+            }
         }
         // Flushed before the caller releases anything: a process crash
         // after return never loses a committed entry, and a crash during
@@ -730,6 +944,9 @@ impl SegmentedFileSink {
         if !matches!(self.config.fsync, FsyncPolicy::Never) && self.unsynced_bytes > 0 {
             self.fsync()?;
         }
+        // The finished segment is complete and flushed: sign its block
+        // header before anything can be appended elsewhere.
+        self.seal_current()?;
         self.current_index += 1;
         let file = open_repaired(&self.dir.join(Self::segment_name(self.current_index)))?;
         self.writer = BufWriter::new(file);
@@ -796,9 +1013,145 @@ impl JournalSink for SegmentedFileSink {
         let retire: Vec<u64> = self.live.drain(..self.live.len() - 1).collect();
         for index in retire {
             std::fs::remove_file(self.dir.join(Self::segment_name(index)))?;
+            // A retired segment's sealed header goes with it (absent for
+            // segments written before sealing was enabled).
+            match std::fs::remove_file(self.dir.join(Self::seal_name(index))) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
             self.stats.segments_retired += 1;
         }
         Ok(())
+    }
+
+    fn seal_head(&mut self) -> Result<(), JournalError> {
+        // Rotating seals the closed segment; an empty head has nothing to
+        // seal, and a checkpoint bracket must not rotate mid-flight.
+        if self.seal_key.is_some() && self.current_len > 0 && !self.in_checkpoint {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    fn sealed_headers(&self) -> Result<Vec<BlockHeader>, JournalError> {
+        let mut headers = Vec::new();
+        for &index in &self.live {
+            if let Some(header) = self.read_header(index)? {
+                headers.push(header);
+            }
+        }
+        Ok(headers)
+    }
+
+    fn prove(&self, job: JobId) -> Result<Vec<InclusionProof>, JournalError> {
+        let mut proofs = Vec::new();
+        for &index in &self.live {
+            let Some(header) = self.read_header(index)? else {
+                continue; // the in-progress head is not sealed yet
+            };
+            let text = std::fs::read_to_string(self.dir.join(Self::segment_name(index)))?;
+            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+            let leaves: Vec<ChainDigest> = lines
+                .iter()
+                .map(|l| evidence::leaf_digest(l.as_bytes()))
+                .collect();
+            for (at, line) in lines.iter().enumerate() {
+                let chained: ChainedLine =
+                    serde_json::from_str(line).map_err(|e| JournalError::SealViolation {
+                        segment: index,
+                        message: format!("sealed segment holds an unparseable line: {e}"),
+                    })?;
+                if chained.entry.job() == Some(job) {
+                    proofs.push(InclusionProof {
+                        line: (*line).to_string(),
+                        index: at as u64,
+                        path: evidence::merkle_path(&leaves, at),
+                        header: header.clone(),
+                    });
+                }
+            }
+        }
+        Ok(proofs)
+    }
+
+    fn verify_seals(&self, key: &SealKey) -> Result<u64, JournalError> {
+        let mut verified = 0u64;
+        let mut chain = evidence::genesis();
+        let mut anchored = false;
+        let last = *self.live.last().expect("at least one segment");
+        for &index in &self.live {
+            let header = self.read_header(index)?;
+            let text = std::fs::read_to_string(self.dir.join(Self::segment_name(index)))?;
+            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+            let Some(header) = header else {
+                if index != last {
+                    return Err(JournalError::SealViolation {
+                        segment: index,
+                        message: "non-head segment has no sealed block header".to_string(),
+                    });
+                }
+                // The unsealed head is vouched for by the chain walk only.
+                continue;
+            };
+            if !anchored {
+                anchored = true;
+                if let Some(first) = lines.first() {
+                    if let Ok(chained) = serde_json::from_str::<ChainedLine>(first) {
+                        if let Some(claimed) = evidence::decode_hex(&chained.prev) {
+                            chain = claimed;
+                        }
+                    }
+                }
+            }
+            let segment_prev = chain;
+            let leaves: Vec<ChainDigest> = lines
+                .iter()
+                .map(|l| evidence::leaf_digest(l.as_bytes()))
+                .collect();
+            for leaf in &leaves {
+                chain = evidence::link_leaf(&chain, leaf);
+            }
+            let violation = |message: String| JournalError::SealViolation {
+                segment: index,
+                message,
+            };
+            if header.segment != index {
+                return Err(violation(format!(
+                    "header names segment {}, found beside segment {index}",
+                    header.segment
+                )));
+            }
+            if header.entries != lines.len() as u64 {
+                return Err(violation(format!(
+                    "header seals {} entries, segment holds {}",
+                    header.entries,
+                    lines.len()
+                )));
+            }
+            if header.chain_prev != evidence::encode_hex(&segment_prev) {
+                return Err(violation(
+                    "segment's leading chain bound disagrees with its sealed header".to_string(),
+                ));
+            }
+            if header.chain_head != evidence::encode_hex(&chain) {
+                return Err(violation(
+                    "segment's trailing chain bound disagrees with its sealed header".to_string(),
+                ));
+            }
+            if header.merkle_root != evidence::encode_hex(&evidence::merkle_root(&leaves)) {
+                return Err(violation(
+                    "segment's merkle root disagrees with its sealed header".to_string(),
+                ));
+            }
+            if !header.verify_seal(key) {
+                return Err(violation(
+                    "block header seal does not verify under this fleet's key".to_string(),
+                ));
+            }
+            verified += 1;
+        }
+        Ok(verified)
     }
 
     fn sink_stats(&self) -> SinkStats {
@@ -817,6 +1170,10 @@ impl JournalSink for SegmentedFileSink {
 struct JournalInner {
     sink: Box<dyn JournalSink>,
     stats: JournalStats,
+    /// The evidence chain head: the chain link folded over every line
+    /// committed so far (recomputed from the sink's existing contents on
+    /// open, advanced only after a commit succeeds).
+    link: ChainDigest,
     /// Reused serialization buffer: every append path serializes into
     /// this and hands the sink string slices, so the steady state
     /// allocates nothing per entry.
@@ -825,22 +1182,76 @@ struct JournalInner {
     line_ends: Vec<usize>,
 }
 
-/// Serializes `value` framed as the externally-tagged enum variant
-/// `{"<variant>":<value>}` — byte-identical to serializing the
-/// corresponding [`JournalEntry`], without building one.
+/// Serializes `value` framed as one chained journal line,
+/// `{"prev":"<hex>","entry":{"<variant>":<value>}}` — byte-identical to
+/// serializing the corresponding [`JournalEntry`] inside the same
+/// envelope, without building one.
 fn frame_variant<T: Serialize>(
     out: &mut String,
+    prev: &ChainDigest,
     variant: &str,
     value: &T,
 ) -> Result<(), JournalError> {
-    out.push_str("{\"");
+    out.push_str("{\"prev\":\"");
+    out.push_str(&evidence::encode_hex(prev));
+    out.push_str("\",\"entry\":{\"");
     out.push_str(variant);
     out.push_str("\":");
     serde_json::Serializer::new(out)
         .serialize(value)
         .map_err(|e| JournalError::Io(format!("serialize journal entry: {e}")))?;
+    out.push_str("}}");
+    Ok(())
+}
+
+/// Serializes a whole [`JournalEntry`] inside the chained envelope.
+fn frame_entry(
+    out: &mut String,
+    prev: &ChainDigest,
+    entry: &JournalEntry,
+) -> Result<(), JournalError> {
+    out.push_str("{\"prev\":\"");
+    out.push_str(&evidence::encode_hex(prev));
+    out.push_str("\",\"entry\":");
+    serde_json::Serializer::new(out)
+        .serialize(entry)
+        .map_err(|e| JournalError::Io(format!("serialize journal entry: {e}")))?;
     out.push('}');
     Ok(())
+}
+
+/// Recomputes the chain head over existing journal text. The fold is
+/// *tolerant*: the first line's claimed `prev` is adopted as the anchor
+/// (a retired journal legitimately starts mid-chain at its leading
+/// checkpoint) and later claims are not checked — detection belongs to
+/// [`parse_journal`], not to open, so a tampered journal can still be
+/// opened and inspected. An unterminated final line is ignored, exactly
+/// as reopen repairs it away.
+fn chain_head_of(text: &str) -> ChainDigest {
+    let mut link = evidence::genesis();
+    let mut anchored = false;
+    let mut offset = 0usize;
+    while offset < text.len() {
+        let rest = &text[offset..];
+        let (line, consumed, terminated) = match rest.find('\n') {
+            Some(at) => (&rest[..at], at + 1, true),
+            None => (rest, rest.len(), false),
+        };
+        offset += consumed;
+        if !terminated || line.trim().is_empty() {
+            continue;
+        }
+        if !anchored {
+            anchored = true;
+            if let Ok(chained) = serde_json::from_str::<ChainedLine>(line) {
+                if let Some(claimed) = evidence::decode_hex(&chained.prev) {
+                    link = claimed;
+                }
+            }
+        }
+        link = evidence::chain_link(&link, line.as_bytes());
+    }
+    link
 }
 
 /// Commits the lines staged in `scratch`/`line_ends` as ONE sink-level
@@ -881,21 +1292,29 @@ impl fmt::Debug for Journal {
 }
 
 impl Journal {
-    /// A journal over a custom sink.
-    pub fn with_sink(sink: Box<dyn JournalSink>) -> Journal {
-        Journal {
+    /// A journal over a custom sink. The sink's existing contents are
+    /// read once to recompute the evidence chain head, so appends
+    /// continue the chain across reopens instead of restarting it.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the sink's contents cannot be read.
+    pub fn with_sink(sink: Box<dyn JournalSink>) -> Result<Journal, JournalError> {
+        let link = chain_head_of(&sink.contents()?);
+        Ok(Journal {
             inner: Arc::new(Mutex::new(JournalInner {
                 sink,
                 stats: JournalStats::default(),
+                link,
                 scratch: String::new(),
                 line_ends: Vec::new(),
             })),
-        }
+        })
     }
 
     /// An in-memory journal.
     pub fn in_memory() -> Journal {
         Journal::with_sink(Box::new(MemorySink::new()))
+            .expect("an empty in-memory journal cannot fail to open")
     }
 
     /// A file-backed journal at `path` (created if absent, appended to if
@@ -906,7 +1325,7 @@ impl Journal {
     /// # Errors
     /// [`JournalError::Io`] if the file cannot be opened.
     pub fn file(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
-        Ok(Journal::with_sink(Box::new(FileSink::open(path)?)))
+        Journal::with_sink(Box::new(FileSink::open(path)?))
     }
 
     /// A journal over a [`SegmentedFileSink`] at directory `dir` (created
@@ -920,9 +1339,7 @@ impl Journal {
         dir: impl AsRef<Path>,
         config: SegmentConfig,
     ) -> Result<Journal, JournalError> {
-        Ok(Journal::with_sink(Box::new(SegmentedFileSink::open(
-            dir, config,
-        )?)))
+        Journal::with_sink(Box::new(SegmentedFileSink::open(dir, config)?))
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, JournalInner> {
@@ -938,10 +1355,10 @@ impl Journal {
         let mut guard = self.lock();
         let inner = &mut *guard;
         inner.scratch.clear();
-        serde_json::Serializer::new(&mut inner.scratch)
-            .serialize(entry)
-            .map_err(|e| JournalError::Io(format!("serialize journal entry: {e}")))?;
+        let prev = inner.link;
+        frame_entry(&mut inner.scratch, &prev, entry)?;
         inner.sink.append_line(&inner.scratch)?;
+        inner.link = evidence::chain_link(&prev, inner.scratch.as_bytes());
         inner.stats.appends += 1;
         inner.stats.bytes += inner.scratch.len() as u64 + 1;
         Ok(())
@@ -957,8 +1374,10 @@ impl Journal {
         let mut guard = self.lock();
         let inner = &mut *guard;
         inner.scratch.clear();
-        frame_variant(&mut inner.scratch, "Run", record)?;
+        let prev = inner.link;
+        frame_variant(&mut inner.scratch, &prev, "Run", record)?;
         inner.sink.append_line(&inner.scratch)?;
+        inner.link = evidence::chain_link(&prev, inner.scratch.as_bytes());
         inner.stats.appends += 1;
         inner.stats.bytes += inner.scratch.len() as u64 + 1;
         Ok(())
@@ -978,13 +1397,16 @@ impl Journal {
         let inner = &mut *guard;
         inner.scratch.clear();
         inner.line_ends.clear();
+        let mut link = inner.link;
         for entry in entries {
-            serde_json::Serializer::new(&mut inner.scratch)
-                .serialize(entry)
-                .map_err(|e| JournalError::Io(format!("serialize journal entry: {e}")))?;
+            let start = inner.scratch.len();
+            frame_entry(&mut inner.scratch, &link, entry)?;
+            link = evidence::chain_link(&link, &inner.scratch.as_bytes()[start..]);
             inner.line_ends.push(inner.scratch.len());
         }
-        commit_scratch(inner)
+        commit_scratch(inner)?;
+        inner.link = link;
+        Ok(())
     }
 
     /// Group commit of [`JournalEntry::Run`] entries serialized straight
@@ -1002,11 +1424,16 @@ impl Journal {
         let inner = &mut *guard;
         inner.scratch.clear();
         inner.line_ends.clear();
+        let mut link = inner.link;
         for record in records {
-            frame_variant(&mut inner.scratch, "Run", record)?;
+            let start = inner.scratch.len();
+            frame_variant(&mut inner.scratch, &link, "Run", record)?;
+            link = evidence::chain_link(&link, &inner.scratch.as_bytes()[start..]);
             inner.line_ends.push(inner.scratch.len());
         }
-        commit_scratch(inner)
+        commit_scratch(inner)?;
+        inner.link = link;
+        Ok(())
     }
 
     /// Group commit of one posting's Run/Invoice/Verdict triple — the
@@ -1025,13 +1452,22 @@ impl Journal {
         let inner = &mut *guard;
         inner.scratch.clear();
         inner.line_ends.clear();
-        frame_variant(&mut inner.scratch, "Run", record)?;
+        let mut link = inner.link;
+        let mut start = 0usize;
+        frame_variant(&mut inner.scratch, &link, "Run", record)?;
+        link = evidence::chain_link(&link, &inner.scratch.as_bytes()[start..]);
         inner.line_ends.push(inner.scratch.len());
-        frame_variant(&mut inner.scratch, "Invoice", invoice)?;
+        start = inner.scratch.len();
+        frame_variant(&mut inner.scratch, &link, "Invoice", invoice)?;
+        link = evidence::chain_link(&link, &inner.scratch.as_bytes()[start..]);
         inner.line_ends.push(inner.scratch.len());
-        frame_variant(&mut inner.scratch, "Verdict", verdict)?;
+        start = inner.scratch.len();
+        frame_variant(&mut inner.scratch, &link, "Verdict", verdict)?;
+        link = evidence::chain_link(&link, &inner.scratch.as_bytes()[start..]);
         inner.line_ends.push(inner.scratch.len());
-        commit_scratch(inner)
+        commit_scratch(inner)?;
+        inner.link = link;
+        Ok(())
     }
 
     /// Group commit of Invoice/Verdict receipt pairs — a stream pump
@@ -1050,13 +1486,20 @@ impl Journal {
         let inner = &mut *guard;
         inner.scratch.clear();
         inner.line_ends.clear();
+        let mut link = inner.link;
         for (invoice, verdict) in receipts {
-            frame_variant(&mut inner.scratch, "Invoice", invoice)?;
+            let mut start = inner.scratch.len();
+            frame_variant(&mut inner.scratch, &link, "Invoice", invoice)?;
+            link = evidence::chain_link(&link, &inner.scratch.as_bytes()[start..]);
             inner.line_ends.push(inner.scratch.len());
-            frame_variant(&mut inner.scratch, "Verdict", verdict)?;
+            start = inner.scratch.len();
+            frame_variant(&mut inner.scratch, &link, "Verdict", verdict)?;
+            link = evidence::chain_link(&link, &inner.scratch.as_bytes()[start..]);
             inner.line_ends.push(inner.scratch.len());
         }
-        commit_scratch(inner)
+        commit_scratch(inner)?;
+        inner.link = link;
+        Ok(())
     }
 
     /// Appends a [`JournalEntry::Checkpoint`], bracketed by the sink's
@@ -1070,7 +1513,8 @@ impl Journal {
         let inner = &mut *guard;
         inner.sink.begin_checkpoint()?;
         inner.scratch.clear();
-        let appended = frame_variant(&mut inner.scratch, "Checkpoint", checkpoint)
+        let prev = inner.link;
+        let appended = frame_variant(&mut inner.scratch, &prev, "Checkpoint", checkpoint)
             .and_then(|()| inner.sink.append_line(&inner.scratch));
         if let Err(e) = appended {
             // Leave the bracket cleanly: nothing was superseded, and the
@@ -1079,6 +1523,7 @@ impl Journal {
             inner.sink.abort_checkpoint();
             return Err(e);
         }
+        inner.link = evidence::chain_link(&prev, inner.scratch.as_bytes());
         inner.stats.appends += 1;
         inner.stats.bytes += inner.scratch.len() as u64 + 1;
         inner.sink.finish_checkpoint()?;
@@ -1167,20 +1612,103 @@ impl Journal {
             rotations: sink.rotations,
             fsyncs: sink.fsyncs,
             segments_retired: sink.segments_retired,
+            seals: sink.seals,
             ..inner.stats
         }
     }
 
-    /// Reads the journal back and parses it, dropping a truncated tail.
+    /// Reads the journal back and parses it, dropping a truncated tail
+    /// and walking the evidence chain.
     ///
     /// # Errors
     /// [`JournalError::Io`] if the sink cannot be read;
     /// [`JournalError::Corrupt`] if an entry *before* the tail fails to
-    /// parse.
+    /// parse; [`JournalError::ChainViolation`] if an entry is off the
+    /// hash chain (see [`parse_journal`]).
     pub fn entries(&self) -> Result<(Vec<JournalEntry>, TailStatus), JournalError> {
         let text = self.lock().sink.contents()?;
         parse_journal(&text)
     }
+
+    /// The journal's canonical chained bytes, exactly as the sink holds
+    /// them — the text [`parse_journal`] walks and the evidence chain is
+    /// computed over. External verifiers (and tamper tests) operate on
+    /// this representation.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the sink cannot be read.
+    pub fn text(&self) -> Result<String, JournalError> {
+        self.lock().sink.contents()
+    }
+
+    /// Seals the in-progress segment (if it holds any entries) by
+    /// rotating it away, so every committed entry is covered by a signed
+    /// block header — the step [`Journal::prove`] needs before it can
+    /// cover the newest entries. A no-op on sinks without sealing.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the rotation or header write fails.
+    pub fn seal(&self) -> Result<(), JournalError> {
+        self.lock().sink.seal_head()
+    }
+
+    /// The signed block headers of the sealed live segments, oldest
+    /// first (empty on sinks without sealing).
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if a header cannot be read;
+    /// [`JournalError::SealViolation`] if one does not parse.
+    pub fn sealed_headers(&self) -> Result<Vec<BlockHeader>, JournalError> {
+        self.lock().sink.sealed_headers()
+    }
+
+    /// Builds [`InclusionProof`]s for every *sealed* entry of `job` —
+    /// Merkle path plus signed block header, checkable with
+    /// [`InclusionProof::verify`] and nothing else. Entries in the
+    /// unsealed head segment are not covered; call [`Journal::seal`]
+    /// first to include them.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if a segment cannot be read;
+    /// [`JournalError::SealViolation`] if a sealed segment holds an
+    /// unparseable line.
+    pub fn prove(&self, job: JobId) -> Result<Vec<InclusionProof>, JournalError> {
+        self.lock().sink.prove(job)
+    }
+
+    /// Full ledger verification: parses the journal — which walks the
+    /// hash chain, so duplication, reordering, deletion and in-place
+    /// edits surface as [`JournalError::ChainViolation`] naming the first
+    /// bad entry — then re-verifies every sealed block header under the
+    /// fleet `seed`'s [`SealKey`] (forged, altered or foreign-fleet seals
+    /// surface as [`JournalError::SealViolation`]).
+    ///
+    /// # Errors
+    /// [`JournalError::Io`], [`JournalError::Corrupt`],
+    /// [`JournalError::ChainViolation`] or [`JournalError::SealViolation`]
+    /// as above.
+    pub fn verify(&self, seed: u64) -> Result<LedgerVerification, JournalError> {
+        let guard = self.lock();
+        let text = guard.sink.contents()?;
+        let (entries, tail) = parse_journal(&text)?;
+        let seals_verified = guard.sink.verify_seals(&SealKey::from_seed(seed))?;
+        Ok(LedgerVerification {
+            entries: entries.len() as u64,
+            tail,
+            seals_verified,
+        })
+    }
+}
+
+/// What [`Journal::verify`] established about a ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerVerification {
+    /// Entries the chain walk vouched for.
+    pub entries: u64,
+    /// Whether a torn (crash-artifact) tail was dropped.
+    pub tail: TailStatus,
+    /// Sealed block headers that verified under the seed's key.
+    pub seals_verified: u64,
 }
 
 /// The journal layer's self-accounting metric families: they describe
@@ -1188,13 +1716,16 @@ impl Journal {
 /// recoveries), not the metered workload, so a recovered service
 /// legitimately reads `fleet_recoveries_total 1` where the uninterrupted
 /// original reads 0.
-pub const SELF_ACCOUNTING_FAMILIES: [&str; 10] = [
+pub const SELF_ACCOUNTING_FAMILIES: [&str; 13] = [
     "fleet_journal_appends_total",
     "fleet_journal_bytes_total",
     "fleet_journal_group_commits_total",
     "fleet_journal_rotations_total",
     "fleet_journal_fsyncs_total",
     "fleet_journal_segments_retired_total",
+    "fleet_ledger_seals_total",
+    "fleet_proofs_emitted_total",
+    "fleet_chain_violations_total",
     "fleet_recoveries_total",
     "fleet_observer_spans_total",
     "fleet_observer_spans_dropped_total",
@@ -1213,6 +1744,18 @@ pub const LIVE_PIPELINE_FAMILIES: [&str; 5] = [
     "fleet_stage_seconds",
     "fleet_stage_seconds_by_tenant",
 ];
+
+/// The metric families a checkpoint excludes from its snapshot —
+/// [`SELF_ACCOUNTING_FAMILIES`] plus [`LIVE_PIPELINE_FAMILIES`] —
+/// committed inside every sealed [`BlockHeader`] so the exclusion policy
+/// itself is part of the signed evidence.
+pub fn excluded_metric_families() -> Vec<String> {
+    SELF_ACCOUNTING_FAMILIES
+        .iter()
+        .chain(LIVE_PIPELINE_FAMILIES.iter())
+        .map(|family| (*family).to_string())
+        .collect()
+}
 
 /// Strips the named families' series (and their `HELP`/`TYPE` headers)
 /// from a metrics exposition. Histogram families render their series
@@ -1254,17 +1797,29 @@ pub fn metering_exposition(exposition: &str) -> String {
     strip_families(exposition, &families)
 }
 
-/// Parses JSON-lines journal text. A final line missing its newline — the
-/// exact artifact a crash mid-append leaves, since each entry and its
-/// newline are written in one call — is dropped with
-/// [`TailStatus::Truncated`]; an unparseable *terminated* line anywhere
-/// (tail included) was fully written and later damaged, so it is
-/// [`JournalError::Corrupt`].
+/// Parses JSON-lines journal text **and walks its hash chain**. A final
+/// line missing its newline — the exact artifact a crash mid-append
+/// leaves, since each entry and its newline are written in one call — is
+/// dropped with [`TailStatus::Truncated`]; an unparseable *terminated*
+/// line anywhere (tail included) was fully written and later damaged, so
+/// it is [`JournalError::Corrupt`].
+///
+/// Every surviving line must also sit on the evidence chain: its `prev`
+/// field must equal the chain link recomputed over the preceding
+/// canonical line bytes. The first entry must chain from
+/// [`evidence::genesis`] — unless it is a [`JournalEntry::Checkpoint`],
+/// which may carry any anchor, because a retired segmented journal
+/// legitimately starts mid-chain at its leading checkpoint. Duplicated,
+/// reordered, deleted or edited lines break the fold and surface as
+/// [`JournalError::ChainViolation`] naming the **first** entry the chain
+/// no longer vouches for.
 pub fn parse_journal(text: &str) -> Result<(Vec<JournalEntry>, TailStatus), JournalError> {
     let mut entries = Vec::new();
     let mut offset = 0usize;
     let mut line_no = 0usize;
     let mut tail = TailStatus::Clean;
+    let mut link = evidence::genesis();
+    let mut anchored = false;
     while offset < text.len() {
         let rest = &text[offset..];
         let (line, consumed, terminated) = match rest.find('\n') {
@@ -1277,8 +1832,8 @@ pub fn parse_journal(text: &str) -> Result<(Vec<JournalEntry>, TailStatus), Jour
             offset += consumed;
             continue;
         }
-        match serde_json::from_str::<JournalEntry>(line) {
-            Ok(entry) => {
+        match serde_json::from_str::<ChainedLine>(line) {
+            Ok(chained) => {
                 if !terminated {
                     // A complete-looking parse without a newline is still a
                     // torn append: the writer appends line + newline in one
@@ -1288,7 +1843,40 @@ pub fn parse_journal(text: &str) -> Result<(Vec<JournalEntry>, TailStatus), Jour
                         dropped_bytes: line.len(),
                     };
                 } else {
-                    entries.push(entry);
+                    let subject = match chained.entry.job() {
+                        Some(job) => format!("{} entry for {job}", chained.entry.label()),
+                        None => format!("{} entry", chained.entry.label()),
+                    };
+                    let claimed = evidence::decode_hex(&chained.prev).ok_or_else(|| {
+                        JournalError::ChainViolation {
+                            line: line_no,
+                            message: format!("{subject} carries an unparseable prev link"),
+                        }
+                    })?;
+                    if !anchored
+                        && claimed != link
+                        && matches!(chained.entry, JournalEntry::Checkpoint(_))
+                    {
+                        // A retired journal starts at its leading
+                        // checkpoint, whose prev is the chain head the
+                        // fold reached before retirement: adopt it.
+                        link = claimed;
+                    }
+                    if claimed != link {
+                        return Err(JournalError::ChainViolation {
+                            line: line_no,
+                            message: format!(
+                                "{subject} claims prev {}… but the chain here reads {}… \
+                                 (duplicated, reordered, deleted or edited evidence at or \
+                                 before this line)",
+                                &chained.prev[..8.min(chained.prev.len())],
+                                &evidence::encode_hex(&link)[..8],
+                            ),
+                        });
+                    }
+                    anchored = true;
+                    link = evidence::chain_link(&link, line.as_bytes());
+                    entries.push(chained.entry);
                 }
             }
             // Only an *unterminated* final line is a crash artifact: the
@@ -1351,13 +1939,13 @@ pub struct RecoveryReport {
     /// their effects were re-derived and posted during recovery.
     pub unconfirmed: u64,
     /// Jobs whose id appeared in more than one replayed `Run` entry (or
-    /// in a replayed entry *and* the applied checkpoint). Job-id reuse
-    /// across batches is legal at runtime — the ledger simply posts again,
-    /// and recovery faithfully replays it — but the journal cannot
-    /// distinguish a legitimate resubmission from a copy-pasted entry
-    /// (both carry matching receipts), so every duplicate is surfaced here
-    /// for the operator to vet. Hash-chaining entries to make duplication
-    /// cryptographically evident is a ROADMAP follow-up.
+    /// in a replayed entry *and* the applied checkpoint). Populated only
+    /// by the *lenient* paths ([`crate::FleetService::recover_lenient`]
+    /// and [`compact`]'s internal replay): strict recovery
+    /// ([`crate::FleetService::recover`]) hard-errors on the first
+    /// duplicate with [`RecoveryError::ChainViolation`] instead, because
+    /// on a chained journal a duplicated entry can only be a copy-paste —
+    /// a legitimate resubmission would carry a fresh `prev` link.
     pub duplicate_runs: Vec<JobId>,
 }
 
@@ -1378,6 +1966,12 @@ pub enum RecoveryError {
     /// checkpoints are only valid as a journal's (possibly repeated)
     /// leading entries.
     MisplacedCheckpoint,
+    /// Strict recovery found the same job in more than one `Run` entry
+    /// (or in a replayed entry *and* the applied checkpoint). On a
+    /// chained journal this is duplicated evidence, not a resubmission —
+    /// use [`crate::FleetService::recover_lenient`] to replay anyway and
+    /// inspect [`RecoveryReport::duplicate_runs`].
+    ChainViolation(JobId),
     /// [`compact`] refused to fold a prefix whose receipts disagree with
     /// the replay: folding would erase the tamper evidence into a
     /// clean-looking checkpoint. Investigate (recover the original and
@@ -1396,6 +1990,9 @@ impl fmt::Display for RecoveryError {
             }
             RecoveryError::MisplacedCheckpoint => {
                 f.write_str("checkpoint entry after replayed runs")
+            }
+            RecoveryError::ChainViolation(job) => {
+                write!(f, "duplicated run entry for {job} in a chained journal")
             }
             RecoveryError::InconsistentPrefix { mismatches } => {
                 write!(
@@ -1840,5 +2437,81 @@ mod tests {
         // No checkpoint: the whole journal is the window.
         let plain = vec![run.clone(), run];
         assert_eq!(recovery_window(&plain).len(), 2);
+    }
+
+    #[test]
+    fn chained_lines_carry_prev_links_and_reject_reordering() {
+        let journal = Journal::in_memory();
+        for _ in 0..3 {
+            journal.append(&JournalEntry::run(record())).unwrap();
+        }
+        let text = journal.text().unwrap();
+        assert_eq!(
+            text.matches("\"prev\":").count(),
+            3,
+            "every line is chained"
+        );
+        journal.entries().unwrap();
+
+        // Swapping any two lines breaks the chain at the earlier slot.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.swap(1, 2);
+        let mut swapped = lines.join("\n");
+        swapped.push('\n');
+        match parse_journal(&swapped) {
+            Err(JournalError::ChainViolation { line: 2, message }) => {
+                assert!(message.contains("claims prev"), "{message}");
+            }
+            other => panic!("expected a chain violation at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sealing_rotates_out_signed_headers_that_prove_inclusion() {
+        let dir = scratch_dir("seal-roundtrip");
+        let config = SegmentConfig::default().with_seal(42);
+        let journal = Journal::segmented(&dir, config).unwrap();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        assert!(
+            journal.sealed_headers().unwrap().is_empty(),
+            "head unsealed"
+        );
+        journal.seal().unwrap();
+        assert_eq!(journal.stats().seals, 1);
+
+        let headers = journal.sealed_headers().unwrap();
+        assert_eq!(headers.len(), 1);
+        assert_eq!(headers[0].entries, 1);
+        assert_eq!(headers[0].excluded_families, excluded_metric_families());
+        assert!(headers[0].verify_seal(&SealKey::from_seed(42)));
+        assert!(!headers[0].verify_seal(&SealKey::from_seed(43)));
+
+        let proofs = journal.prove(JobId(0)).unwrap();
+        assert_eq!(proofs.len(), 1);
+        let entry = proofs[0].verify(&SealKey::from_seed(42)).unwrap();
+        assert_eq!(entry.label(), "run");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sealed_reopen_continues_the_chain_where_it_left_off() {
+        let dir = scratch_dir("seal-reopen");
+        let config = SegmentConfig::default().with_seal(42);
+        let journal = Journal::segmented(&dir, config).unwrap();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        journal.seal().unwrap();
+        drop(journal);
+
+        // The reopened handle rescans the chain head and keeps linking.
+        let journal = Journal::segmented(&dir, config).unwrap();
+        journal.append(&JournalEntry::run(record())).unwrap();
+        journal.seal().unwrap();
+        let (entries, tail) = journal.entries().unwrap();
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(entries.len(), 2, "both sessions' entries chain cleanly");
+        let verification = journal.verify(42).unwrap();
+        assert_eq!(verification.entries, 2);
+        assert_eq!(verification.seals_verified, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

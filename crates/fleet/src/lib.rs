@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod auditor;
+pub mod evidence;
 pub mod executor;
 pub mod ingest;
 pub mod journal;
@@ -58,6 +59,7 @@ pub mod trace;
 pub use auditor::{
     Anomaly, AuditVerdict, Auditor, AuditorState, SamplingPolicy, TenantAuditSummary,
 };
+pub use evidence::{BlockHeader, ChainDigest, InclusionProof, ProofError, ProofStep, SealKey};
 pub use executor::{
     quote_nonce, AttackSpec, Fleet, FleetConfig, JobId, JobSpec, ReferenceOutcome, RunRecord,
 };
@@ -66,11 +68,11 @@ pub use ingest::{
     SubmitError,
 };
 pub use journal::{
-    compact, metering_exposition, parse_journal, recovery_window, strip_families,
-    strip_self_accounting, Checkpoint, CheckpointCadence, FileSink, FsyncPolicy, InvoicePosting,
-    Journal, JournalEntry, JournalError, JournalSink, JournalStats, MemorySink, RecoveryError,
-    RecoveryReport, SegmentConfig, SegmentedFileSink, SinkStats, TailStatus,
-    LIVE_PIPELINE_FAMILIES, SELF_ACCOUNTING_FAMILIES,
+    compact, excluded_metric_families, metering_exposition, parse_journal, recovery_window,
+    strip_families, strip_self_accounting, Checkpoint, CheckpointCadence, FileSink, FsyncPolicy,
+    InvoicePosting, Journal, JournalEntry, JournalError, JournalSink, JournalStats,
+    LedgerVerification, MemorySink, RecoveryError, RecoveryReport, SegmentConfig,
+    SegmentedFileSink, SinkStats, TailStatus, LIVE_PIPELINE_FAMILIES, SELF_ACCOUNTING_FAMILIES,
 };
 pub use metrics::{MetricKind, MetricsRegistry};
 pub use queue::FairQueue;
@@ -81,6 +83,7 @@ pub use trace::{span_id, PipelineTracer, Span, SpanWall, Stage, StageObservation
 pub use trustmeter_core::RateCard;
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 const AUDIT_REPLAYS_METRIC: &str = "fleet_audit_replays_total";
 const AUDIT_REPLAYS_HELP: &str = "Inline clean-reference replays the auditor performed";
@@ -99,6 +102,13 @@ const JOURNAL_FSYNCS_METRIC: &str = "fleet_journal_fsyncs_total";
 const JOURNAL_FSYNCS_HELP: &str = "fsync calls issued by the journal sink";
 const JOURNAL_RETIRED_METRIC: &str = "fleet_journal_segments_retired_total";
 const JOURNAL_RETIRED_HELP: &str = "Journal segments retired as superseded by a checkpoint";
+const LEDGER_SEALS_METRIC: &str = "fleet_ledger_seals_total";
+const LEDGER_SEALS_HELP: &str = "Signed block headers sealed over rotated journal segments";
+const PROOFS_EMITTED_METRIC: &str = "fleet_proofs_emitted_total";
+const PROOFS_EMITTED_HELP: &str = "Inclusion proofs emitted by dispute resolution";
+const CHAIN_VIOLATIONS_METRIC: &str = "fleet_chain_violations_total";
+const CHAIN_VIOLATIONS_HELP: &str =
+    "Evidence chain or seal violations detected during recovery or dispute";
 const RECOVERIES_METRIC: &str = "fleet_recoveries_total";
 const RECOVERIES_HELP: &str = "Journal recoveries performed by this service";
 const STAGE_SECONDS_METRIC: &str = "fleet_stage_seconds";
@@ -126,6 +136,9 @@ fn register_journal_metrics(metrics: &mut MetricsRegistry) {
         (JOURNAL_ROTATIONS_METRIC, JOURNAL_ROTATIONS_HELP),
         (JOURNAL_FSYNCS_METRIC, JOURNAL_FSYNCS_HELP),
         (JOURNAL_RETIRED_METRIC, JOURNAL_RETIRED_HELP),
+        (LEDGER_SEALS_METRIC, LEDGER_SEALS_HELP),
+        (PROOFS_EMITTED_METRIC, PROOFS_EMITTED_HELP),
+        (CHAIN_VIOLATIONS_METRIC, CHAIN_VIOLATIONS_HELP),
         (RECOVERIES_METRIC, RECOVERIES_HELP),
     ] {
         metrics.counter_add(name, help, &[], 0.0);
@@ -749,12 +762,46 @@ impl FleetService {
     /// [`RecoveryReport::mismatches`]. An attached journal is **not**
     /// written to during recovery.
     ///
+    /// Recovery is **strict** about duplicated evidence: a job id that
+    /// appears in more than one `Run` entry (or in a replayed entry *and*
+    /// the applied checkpoint) is a hard
+    /// [`RecoveryError::ChainViolation`], because on a chained journal a
+    /// byte-identical duplicate can only be copy-pasted — a legitimate
+    /// resubmission carries a fresh `prev` link and fresh receipts. Use
+    /// [`FleetService::recover_lenient`] to replay such a journal anyway
+    /// and inspect [`RecoveryReport::duplicate_runs`].
+    ///
     /// # Errors
     /// [`RecoveryError`] if the entry sequence is not a valid write-ahead
     /// journal (a receipt without its run, a checkpoint after replayed
-    /// runs).
+    /// runs, a duplicated run).
     pub fn recover(&mut self, entries: &[JournalEntry]) -> Result<RecoveryReport, RecoveryError> {
-        let report = self.replay(entries)?;
+        let result = self.replay_with(entries, true);
+        if matches!(result, Err(RecoveryError::ChainViolation(_))) {
+            self.metrics
+                .counter_add(CHAIN_VIOLATIONS_METRIC, CHAIN_VIOLATIONS_HELP, &[], 1.0);
+        }
+        let report = result?;
+        self.metrics
+            .counter_add(RECOVERIES_METRIC, RECOVERIES_HELP, &[], 1.0);
+        Ok(report)
+    }
+
+    /// [`FleetService::recover`] without the duplicate-evidence hard
+    /// error: duplicated runs are replayed faithfully (the ledger posts
+    /// again, exactly as the PR-5 recovery did) and every duplicate is
+    /// surfaced in [`RecoveryReport::duplicate_runs`] for the operator to
+    /// vet. For journals whose duplication is *known* to be legitimate
+    /// job-id reuse across batches.
+    ///
+    /// # Errors
+    /// [`RecoveryError`] as for [`FleetService::recover`], minus the
+    /// duplicate check.
+    pub fn recover_lenient(
+        &mut self,
+        entries: &[JournalEntry],
+    ) -> Result<RecoveryReport, RecoveryError> {
+        let report = self.replay_with(entries, false)?;
         self.metrics
             .counter_add(RECOVERIES_METRIC, RECOVERIES_HELP, &[], 1.0);
         Ok(report)
@@ -777,22 +824,103 @@ impl FleetService {
         self.recover(journal::recovery_window(entries))
     }
 
+    /// Settles a billing dispute for `job` from **sealed evidence alone**
+    /// — the paper's verifiable-metering endpoint. The service seals the
+    /// journal head (so the newest entries are covered by a signed block
+    /// header), asks the journal for the job's [`InclusionProof`]s, and
+    /// verifies every one under the fleet seed's [`SealKey`]: no journal
+    /// replay, no trust in the live in-memory ledger. The resolution pins
+    /// the billed/truth invoices and the audit verdict to the exact
+    /// chained lines that justify them; the proofs travel with it, so the
+    /// disputing tenant can re-run [`InclusionProof::verify`] themselves.
+    ///
+    /// Increments `fleet_proofs_emitted_total` per emitted proof, and
+    /// `fleet_chain_violations_total` if any proof fails to verify.
+    ///
+    /// # Errors
+    /// [`DisputeError::NoJournal`] without an attached journal;
+    /// [`DisputeError::NoEvidence`] if no sealed entry names the job;
+    /// [`DisputeError::Journal`] / [`DisputeError::Proof`] if the
+    /// evidence cannot be produced or does not verify.
+    pub fn dispute(&mut self, job: JobId) -> Result<DisputeResolution, DisputeError> {
+        let Some(journal) = &self.journal else {
+            return Err(DisputeError::NoJournal);
+        };
+        journal.seal().map_err(DisputeError::Journal)?;
+        let proofs = journal.prove(job).map_err(DisputeError::Journal)?;
+        if proofs.is_empty() {
+            return Err(DisputeError::NoEvidence(job));
+        }
+        let key = SealKey::from_seed(self.fleet.config().seed);
+        let mut invoice = None;
+        let mut verdict = None;
+        let mut runs = 0u64;
+        for proof in &proofs {
+            match proof.verify(&key) {
+                // Same-id resubmissions are legal; the newest sealed
+                // receipts are the settled ones.
+                Ok(JournalEntry::Invoice(posting)) => invoice = Some(posting),
+                Ok(JournalEntry::Verdict(v)) => verdict = Some(v),
+                Ok(JournalEntry::Run(_)) => runs += 1,
+                Ok(JournalEntry::Checkpoint(_)) => {}
+                Err(e) => {
+                    self.metrics.counter_add(
+                        CHAIN_VIOLATIONS_METRIC,
+                        CHAIN_VIOLATIONS_HELP,
+                        &[],
+                        1.0,
+                    );
+                    return Err(DisputeError::Proof(e));
+                }
+            }
+        }
+        self.metrics.counter_add(
+            PROOFS_EMITTED_METRIC,
+            PROOFS_EMITTED_HELP,
+            &[],
+            proofs.len() as f64,
+        );
+        // Sealing the head may have rotated a segment; fold the new seal
+        // count into the exposition.
+        self.export_journal_metrics();
+        Ok(DisputeResolution {
+            job,
+            runs,
+            invoice,
+            verdict,
+            proofs,
+        })
+    }
+
     /// The replay core of [`FleetService::recover`], without counting a
     /// recovery — [`journal::compact`] uses it to fold a prefix into a
-    /// checkpoint.
+    /// checkpoint. Lenient about duplicates: compaction must be able to
+    /// fold whatever recovery (strict or lenient) would replay.
     pub(crate) fn replay(
         &mut self,
         entries: &[JournalEntry],
     ) -> Result<RecoveryReport, RecoveryError> {
+        self.replay_with(entries, false)
+    }
+
+    fn replay_with(
+        &mut self,
+        entries: &[JournalEntry],
+        strict: bool,
+    ) -> Result<RecoveryReport, RecoveryError> {
         // Detach any journal for the duration: a replay must never append
         // to the log it is replaying.
         let journal = self.journal.take();
-        let result = self.replay_inner(entries);
+        let result = self.replay_inner(entries, strict);
         self.journal = journal;
         result
     }
 
-    fn replay_inner(&mut self, entries: &[JournalEntry]) -> Result<RecoveryReport, RecoveryError> {
+    fn replay_inner(
+        &mut self,
+        entries: &[JournalEntry],
+        strict: bool,
+    ) -> Result<RecoveryReport, RecoveryError> {
         struct Pending {
             invoice: InvoicePosting,
             verdict: AuditVerdict,
@@ -837,6 +965,11 @@ impl FleetService {
                 }
                 JournalEntry::Run(record) => {
                     if !posted.insert(record.job.id) {
+                        if strict {
+                            // On a chained journal a byte-identical repeat
+                            // is duplicated evidence, not a resubmission.
+                            return Err(RecoveryError::ChainViolation(record.job.id));
+                        }
                         report.duplicate_runs.push(record.job.id);
                     }
                     let (verdict, invoice) = self.post_record_core(record);
@@ -952,6 +1085,12 @@ impl FleetService {
                 stats.segments_retired,
                 exported.segments_retired,
             ),
+            (
+                LEDGER_SEALS_METRIC,
+                LEDGER_SEALS_HELP,
+                stats.seals,
+                exported.seals,
+            ),
         ] {
             self.metrics
                 .counter_add(name, help, &[], now.saturating_sub(before) as f64);
@@ -1001,6 +1140,83 @@ impl FleetService {
             &[],
             rejected_delta as f64,
         );
+    }
+}
+
+/// Why a [`FleetService::dispute`] could not be settled.
+#[derive(Debug)]
+pub enum DisputeError {
+    /// The service has no attached journal, so there is no evidence.
+    NoJournal,
+    /// No sealed journal entry names the disputed job.
+    NoEvidence(JobId),
+    /// The journal could not produce the evidence (I/O, seal or chain
+    /// trouble on the sink side).
+    Journal(JournalError),
+    /// An inclusion proof failed to verify — the evidence itself is bad.
+    Proof(ProofError),
+}
+
+impl fmt::Display for DisputeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoJournal => write!(f, "dispute requires an attached journal"),
+            Self::NoEvidence(job) => {
+                write!(f, "no sealed evidence names job {job}")
+            }
+            Self::Journal(e) => write!(f, "journal could not produce evidence: {e}"),
+            Self::Proof(e) => write!(f, "evidence failed verification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DisputeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Journal(e) => Some(e),
+            Self::Proof(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The settled outcome of a [`FleetService::dispute`]: the job's billed
+/// invoice and audit verdict, each pinned to a verified [`InclusionProof`]
+/// drawn from the sealed evidence ledger. Everything here was checked
+/// against a signed block header — nothing was read from the live
+/// in-memory ledger, and nothing required replaying the journal.
+#[derive(Debug)]
+pub struct DisputeResolution {
+    /// The disputed job.
+    pub job: JobId,
+    /// Sealed `Run` entries naming the job (resubmissions count once each).
+    pub runs: u64,
+    /// The newest sealed invoice posting for the job, if any was sealed.
+    pub invoice: Option<InvoicePosting>,
+    /// The newest sealed audit verdict for the job, if any was sealed.
+    pub verdict: Option<AuditVerdict>,
+    /// The verified proofs themselves, for independent re-checking.
+    pub proofs: Vec<InclusionProof>,
+}
+
+impl DisputeResolution {
+    /// Billed-over-truth ratio from the sealed invoice — the paper's
+    /// headline overcharge figure. `None` without a sealed invoice or
+    /// with a zero-cost truth run.
+    #[must_use]
+    pub fn overcharge_ratio(&self) -> Option<f64> {
+        let posting = self.invoice.as_ref()?;
+        if posting.truth.total > 0.0 {
+            Some(posting.billed.total / posting.truth.total)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the sealed audit verdict flagged the run as anomalous.
+    #[must_use]
+    pub fn flagged(&self) -> bool {
+        self.verdict.as_ref().is_some_and(|v| !v.is_clean())
     }
 }
 

@@ -17,7 +17,7 @@
 //! | [`workloads`] | `trustmeter-workloads` | the paper's four victim programs (O, Pi, Whetstone, Brute) plus native reference kernels |
 //! | [`attacks`] | `trustmeter-attacks` | the seven attacks of §IV |
 //! | [`experiments`] | `trustmeter-experiments` | figure-by-figure reproduction of the evaluation (§V) and the defense/ablation studies |
-//! | [`fleet`] | `trustmeter-fleet` | the streaming multi-tenant metering service: worker-pool ingestion with backpressure and per-tenant fairness, per-tenant ledgers, overcharge auditing, a durable write-ahead journal with crash recovery and compaction, metrics exporter |
+//! | [`fleet`] | `trustmeter-fleet` | the streaming multi-tenant metering service: worker-pool ingestion with backpressure and per-tenant fairness, per-tenant ledgers, overcharge auditing, a tamper-evident write-ahead evidence ledger (hash-chained journal, sealed blocks, inclusion proofs, dispute settlement) with crash recovery and compaction, metrics exporter |
 //! | [`sim`] | `trustmeter-sim` | the discrete-event simulation substrate |
 //!
 //! ## Quick start
@@ -75,16 +75,18 @@ pub mod prelude {
         ScenarioOutcome,
     };
     pub use trustmeter_fleet::{
-        compact, metering_exposition, parse_journal, quote_nonce, recovery_window, span_id,
-        strip_families, strip_self_accounting, Anomaly, AttackSpec, AuditVerdict, Auditor,
-        AuditorState, BackpressurePolicy, Checkpoint, CheckpointCadence, FairQueue, FileSink,
-        Fleet, FleetConfig, FleetIngest, FleetReport, FleetService, FleetStream, FsyncPolicy,
-        IngestConfig, IngestHandle, IngestOutcome, IngestStats, InvoicePosting, JobId, JobSpec,
-        Journal, JournalEntry, JournalError, JournalSink, JournalStats, Ledger, MemorySink,
-        MetricsRegistry, PipelineTracer, RecoveryError, RecoveryReport, ReferenceOutcome,
-        RunRecord, SamplingPolicy, SegmentConfig, SegmentedFileSink, SinkStats, Span, SpanWall,
-        Stage, StageObservation, SubmitError, TailStatus, Tenant, TenantAuditSummary,
-        TenantDirectory, TenantId, TenantLedger, TracerStats,
+        compact, excluded_metric_families, metering_exposition, parse_journal, quote_nonce,
+        recovery_window, span_id, strip_families, strip_self_accounting, Anomaly, AttackSpec,
+        AuditVerdict, Auditor, AuditorState, BackpressurePolicy, BlockHeader, Checkpoint,
+        CheckpointCadence, DisputeError, DisputeResolution, FairQueue, FileSink, Fleet,
+        FleetConfig, FleetIngest, FleetReport, FleetService, FleetStream, FsyncPolicy,
+        InclusionProof, IngestConfig, IngestHandle, IngestOutcome, IngestStats, InvoicePosting,
+        JobId, JobSpec, Journal, JournalEntry, JournalError, JournalSink, JournalStats, Ledger,
+        LedgerVerification, MemorySink, MetricsRegistry, PipelineTracer, ProofError, ProofStep,
+        RecoveryError, RecoveryReport, ReferenceOutcome, RunRecord, SamplingPolicy, SealKey,
+        SegmentConfig, SegmentedFileSink, SinkStats, Span, SpanWall, Stage, StageObservation,
+        SubmitError, TailStatus, Tenant, TenantAuditSummary, TenantDirectory, TenantId,
+        TenantLedger, TracerStats,
     };
     pub use trustmeter_kernel::{
         Kernel, KernelConfig, NicFlood, Op, OpOutcome, OpsProgram, Program, RunResult,

@@ -629,11 +629,9 @@ fn truncated_and_corrupt_tails_are_dropped_mid_file_corruption_is_not() {
     assert_eq!(tail, TailStatus::Clean);
     assert_eq!(entries.len(), 12);
 
-    // Re-serialize and tear the tail mid-line, as a crash mid-append would.
-    let text: String = entries
-        .iter()
-        .map(|e| format!("{}\n", serde_json::to_string(e).unwrap()))
-        .collect();
+    // Take the canonical chained bytes and tear the tail mid-line, as a
+    // crash mid-append would.
+    let text = journal.text().unwrap();
     let torn = format!("{text}{}", &text[..40]);
     let (parsed, tail) = parse_journal(&torn).unwrap();
     assert_eq!(parsed, entries);
@@ -834,25 +832,41 @@ fn invalid_journals_are_rejected() {
         Err(RecoveryError::MisplacedCheckpoint)
     ));
 
-    // A repeated Run+receipts group replays faithfully (job-id reuse
-    // across batches is legal at runtime, and the live service really did
-    // post twice) — but because a legitimate resubmission is
-    // indistinguishable from a copy-pasted double-billing entry, the
-    // duplicate id is surfaced for the operator to vet.
+    // A repeated Run+receipts group is a hard error under strict
+    // recovery: in a hash-chained journal a duplicated entry can only be
+    // copy-pasted evidence (the chain would have caught a literal re-read
+    // of the same line), so double-billing is refused, not just reported.
+    // This is the regression test for the old silent-accept path, which
+    // replayed the duplicate into the ledger and merely listed the id in
+    // `duplicate_runs`.
     let mut duplicated = entries.clone();
     duplicated.extend(entries[..3].iter().cloned());
     let mut recovered = service77(1, None);
-    let report = recovered.recover(&duplicated).unwrap();
+    assert!(matches!(
+        recovered.recover(&duplicated),
+        Err(RecoveryError::ChainViolation(JobId(0)))
+    ));
+
+    // Lenient recovery keeps the operator-vetting behavior for legacy
+    // journals: the duplicate replays and the id is surfaced.
+    let mut recovered = service77(1, None);
+    let report = recovered.recover_lenient(&duplicated).unwrap();
     assert_eq!(report.duplicate_runs, vec![JobId(0)]);
     assert!(report.is_consistent(), "receipts still match the replay");
     assert_eq!(report.runs_replayed, 3, "the duplicate was posted");
 
-    // The same surfacing covers runs already folded into a checkpoint.
+    // The same strict refusal covers runs already folded into a
+    // checkpoint, and the same lenient surfacing still works.
     let mut scratch = service77(1, None);
     let mut compacted = compact(&entries, 2, &mut scratch).unwrap();
     compacted.extend(entries[..3].iter().cloned());
     let mut recovered = service77(1, None);
-    let report = recovered.recover(&compacted).unwrap();
+    assert!(matches!(
+        recovered.recover(&compacted),
+        Err(RecoveryError::ChainViolation(JobId(0)))
+    ));
+    let mut recovered = service77(1, None);
+    let report = recovered.recover_lenient(&compacted).unwrap();
     assert_eq!(report.duplicate_runs, vec![JobId(0)]);
 }
 
@@ -882,8 +896,16 @@ fn same_id_runs_released_back_to_back_pair_receipts_in_fifo_order() {
         entries[4].clone(),
         entries[5].clone(),
     ];
+    // Strict recovery refuses the reused id outright — from evidence
+    // alone a resubmission is indistinguishable from double billing, so
+    // settling it needs the lenient path and an operator's judgment.
     let mut recovered = service77(1, None);
-    let report = recovered.recover(&stream_order).unwrap();
+    assert!(matches!(
+        recovered.recover(&stream_order),
+        Err(RecoveryError::ChainViolation(JobId(0)))
+    ));
+    let mut recovered = service77(1, None);
+    let report = recovered.recover_lenient(&stream_order).unwrap();
     assert!(
         report.is_consistent(),
         "mismatches: {:?}",

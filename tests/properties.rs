@@ -269,3 +269,152 @@ proptest! {
         prop_assert_eq!(popped, times.len());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Evidence-ledger invariants over random journal lifecycles
+// ---------------------------------------------------------------------------
+
+/// One step of a random journal lifecycle.
+#[derive(Debug, Clone)]
+enum LedgerOp {
+    /// Process a few more jobs through the service (appends chained
+    /// Run/Invoice/Verdict triples, rotating — and sealing — segments as
+    /// the byte threshold passes).
+    Run(u8),
+    /// Fold everything so far into a checkpoint (retires sealed history).
+    Checkpoint,
+    /// Seal the in-progress head segment.
+    Seal,
+    /// Drop every handle and reopen the directory cold.
+    Reopen,
+}
+
+fn ledger_ops() -> impl Strategy<Value = Vec<LedgerOp>> {
+    // Weighted pick: half the steps append runs, the rest split across
+    // checkpoint, seal and reopen.
+    prop::collection::vec((0u8..6, 1u8..4), 1..10).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|(pick, n)| match pick {
+                0..=2 => LedgerOp::Run(n),
+                3 => LedgerOp::Checkpoint,
+                4 => LedgerOp::Seal,
+                _ => LedgerOp::Reopen,
+            })
+            .collect()
+    })
+}
+
+/// A directory unique to one proptest case.
+fn case_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "trustmeter-prop-ledger-{}-{case}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn prop_service(journal: Journal) -> FleetService {
+    let mut service = FleetService::new(FleetConfig::new(2, 77));
+    for id in 1..=2u32 {
+        service.register(Tenant::new(
+            TenantId(id),
+            format!("tenant-{id}"),
+            RateCard::per_cpu_second(0.01),
+        ));
+    }
+    service.with_journal(journal)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of append / rotate / checkpoint / retire / reopen
+    /// leaves the ledger chain-verifiable, and every inclusion proof
+    /// verifies against its own sealed block header — and against no
+    /// other.
+    #[test]
+    fn ledger_lifecycles_preserve_chain_and_proof_verification(ops in ledger_ops()) {
+        const SEED: u64 = 77;
+        let dir = case_dir();
+        // Segments small enough that a couple of jobs cross the rotation
+        // threshold, so sealing happens mid-lifecycle, not just on demand.
+        let config = SegmentConfig::default()
+            .with_segment_bytes(2 * 1024)
+            .with_seal(SEED);
+        let mut journal = Journal::segmented(&dir, config).unwrap();
+        let mut service = prop_service(journal.clone());
+        let mut next_id = 0u64;
+        let mut live_jobs: Vec<JobId> = Vec::new();
+        for op in &ops {
+            match op {
+                LedgerOp::Run(n) => {
+                    let jobs: Vec<JobSpec> = (0..u64::from(*n))
+                        .map(|_| {
+                            let id = next_id;
+                            next_id += 1;
+                            live_jobs.push(JobId(id));
+                            JobSpec::clean(
+                                id,
+                                TenantId((id % 2) as u32 + 1),
+                                Workload::ALL[(id % 4) as usize],
+                                0.001,
+                            )
+                        })
+                        .collect();
+                    service.process(&jobs);
+                }
+                LedgerOp::Checkpoint => {
+                    let checkpoint = service.checkpoint();
+                    journal.append_checkpoint(&checkpoint).unwrap();
+                    live_jobs.clear();
+                }
+                LedgerOp::Seal => journal.seal().unwrap(),
+                LedgerOp::Reopen => {
+                    drop(service);
+                    journal = Journal::segmented(&dir, config).unwrap();
+                    // The chain must pick up exactly where the old handle
+                    // left it: recover the service and keep appending.
+                    let (entries, _) = journal.entries().unwrap();
+                    service = prop_service(journal.clone());
+                    service.recover_latest(&entries).unwrap();
+                }
+            }
+            // The chain walk accepts the journal after every step.
+            let (_, tail) = journal.entries().unwrap();
+            prop_assert_eq!(tail, TailStatus::Clean);
+        }
+
+        // Seal the head so every entry is covered, then verify the whole
+        // ledger: chain walk plus every sealed block header.
+        journal.seal().unwrap();
+        let verification = journal.verify(SEED).unwrap();
+        let (entries, _) = journal.entries().unwrap();
+        prop_assert_eq!(verification.entries, entries.len() as u64);
+
+        // Every live job's proofs verify against their own headers and
+        // fail against every other sealed header.
+        let key = SealKey::from_seed(SEED);
+        let headers = journal.sealed_headers().unwrap();
+        for job in live_jobs.iter().take(4) {
+            let proofs = journal.prove(*job).unwrap();
+            prop_assert!(!proofs.is_empty(), "sealed evidence names job {job}");
+            for proof in &proofs {
+                prop_assert!(proof.verify(&key).is_ok());
+                for header in headers.iter().filter(|h| h.segment != proof.header.segment) {
+                    prop_assert!(
+                        proof.verify_against(header).is_err(),
+                        "proof for segment {} folded into segment {}",
+                        proof.header.segment,
+                        header.segment
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
