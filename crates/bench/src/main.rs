@@ -12,14 +12,20 @@
 //! runs the same segmented configuration with the evidence ledger on
 //! (hash-chained lines, signed block headers on rotation), so the
 //! chain+seal overhead vs plain group commit is tracked from run to run.
+//! With `--faults` a fifth **faulted** mode repeats the sealed
+//! configuration with the journal sink wrapped in a
+//! [`FaultInjectingSink`] carrying an *empty* schedule and the ingest
+//! [`RetryPolicy`] armed: no fault ever fires, so the delta vs `sealed`
+//! is what the fault-tolerance plumbing (the wrapper indirection plus
+//! the retry loop around every group commit) costs on the healthy path.
 //! In segmented and sealed modes the harness additionally reopens the
 //! segment directory and verifies that recovery reproduces the live
 //! service's ledger and metering exposition bit for bit; in sealed mode
 //! it also verifies every sealed block header cryptographically.
 //!
 //! ```text
-//! trustmeter-bench [--smoke] [--jobs N] [--workers N] [--repeat N]
-//!                  [--out PATH] [--fsync never|every|group]
+//! trustmeter-bench [--smoke] [--faults] [--jobs N] [--workers N]
+//!                  [--repeat N] [--out PATH] [--fsync never|every|group]
 //!                  [--group-entries N] [--group-bytes N]
 //!                  [--segment-bytes N] [--checkpoint-every N]
 //! ```
@@ -42,9 +48,10 @@ use std::time::Instant;
 
 use serde::Serialize;
 use trustmeter_fleet::{
-    metering_exposition, AttackSpec, CheckpointCadence, FleetConfig, FleetService, FsyncPolicy,
-    IngestConfig, JobSpec, Journal, JournalStats, PipelineTracer, RateCard, SamplingPolicy,
-    SegmentConfig, Stage, Tenant, TenantId,
+    metering_exposition, AttackSpec, CheckpointCadence, FaultInjectingSink, FaultSchedule,
+    FleetConfig, FleetService, FsyncPolicy, IngestConfig, JobSpec, Journal, JournalStats,
+    PipelineTracer, RateCard, RetryPolicy, SamplingPolicy, SegmentConfig, SegmentedFileSink, Stage,
+    Tenant, TenantId,
 };
 use trustmeter_workloads::Workload;
 
@@ -70,6 +77,15 @@ enum JournalMode {
         config: SegmentConfig,
         checkpoint_every: u64,
     },
+    /// The sealed segmented configuration with the sink wrapped in a
+    /// [`FaultInjectingSink`] carrying an **empty** schedule and the
+    /// ingest retry policy armed (`--faults`). No fault ever fires —
+    /// the delta vs `sealed` is the healthy-path cost of the
+    /// fault-tolerance plumbing itself.
+    Faulted {
+        config: SegmentConfig,
+        checkpoint_every: u64,
+    },
 }
 
 impl JournalMode {
@@ -78,6 +94,18 @@ impl JournalMode {
             JournalMode::Off => "off",
             JournalMode::LegacyFile => "file",
             JournalMode::Segmented { label, .. } => label,
+            JournalMode::Faulted { .. } => "faulted",
+        }
+    }
+
+    /// The segment configuration to reopen for the post-run recovery
+    /// check (`None` for the unsegmented modes).
+    fn segment_config(&self) -> Option<SegmentConfig> {
+        match self {
+            JournalMode::Segmented { config, .. } | JournalMode::Faulted { config, .. } => {
+                Some(*config)
+            }
+            _ => None,
         }
     }
 }
@@ -106,9 +134,10 @@ struct BenchReport {
     bench: &'static str,
     /// Durability mode: `off`, `file` (legacy flush-per-append),
     /// `segmented` (group-commit pipeline), `sealed` (group commit plus
-    /// the hash-chained, block-sealed evidence ledger) or
-    /// `segmented-fsync` (group commit under the configured fsync
-    /// policy).
+    /// the hash-chained, block-sealed evidence ledger), `faulted` (the
+    /// sealed configuration behind a no-op fault wrapper with the retry
+    /// policy armed, `--faults` only) or `segmented-fsync` (group
+    /// commit under the configured fsync policy).
     journal: &'static str,
     /// Fsync policy of the segmented run (`null` otherwise).
     fsync: Option<FsyncPolicy>,
@@ -157,8 +186,8 @@ struct BenchReport {
     /// journal was reopened (0 outside sealed mode).
     seals_verified: u64,
     /// Whether a post-run recovery from the journal reproduced the live
-    /// ledger and metering exposition bit for bit (segmented/sealed modes
-    /// only; `false` means the check did not run).
+    /// ledger and metering exposition bit for bit (segmented, sealed and
+    /// faulted modes only; `false` means the check did not run).
     recovery_bit_identical: bool,
     /// End-to-end wall clock of the median tracing-**on** round, in
     /// seconds (`wall_secs` is the tracing-off median — both run in every
@@ -222,12 +251,12 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
     if let Some(tracer) = &tracer {
         service = service.with_tracer(tracer.clone());
     }
-    let (fsync, segment_bytes, checkpoint_every) = match mode {
-        JournalMode::Off => (None, 0, 0),
+    let (fsync, segment_bytes, checkpoint_every, retry) = match mode {
+        JournalMode::Off => (None, 0, 0, None),
         JournalMode::LegacyFile => {
             let journal = Journal::file(scratch.join("journal.jsonl")).expect("open bench journal");
             service = service.with_journal(journal);
-            (None, 0, 0)
+            (None, 0, 0, None)
         }
         JournalMode::Segmented {
             config,
@@ -241,13 +270,45 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
                 service = service
                     .with_checkpoint_cadence(CheckpointCadence::every_n_runs(checkpoint_every));
             }
-            (Some(config.fsync), config.segment_bytes, checkpoint_every)
+            (
+                Some(config.fsync),
+                config.segment_bytes,
+                checkpoint_every,
+                None,
+            )
+        }
+        JournalMode::Faulted {
+            config,
+            checkpoint_every,
+        } => {
+            // Same on-disk layout as the sealed mode, but every write
+            // funnels through the fault wrapper (with nothing scheduled)
+            // and every group commit runs inside the retry loop.
+            let sink =
+                SegmentedFileSink::open(scratch.join("segments"), config).expect("open segments");
+            let (sink, _probe) = FaultInjectingSink::wrap(Box::new(sink), FaultSchedule::none());
+            let journal = Journal::with_sink(Box::new(sink)).expect("wrap bench sink");
+            service = service.with_journal(journal);
+            if checkpoint_every > 0 {
+                service = service
+                    .with_checkpoint_cadence(CheckpointCadence::every_n_runs(checkpoint_every));
+            }
+            (
+                Some(config.fsync),
+                config.segment_bytes,
+                checkpoint_every,
+                Some(RetryPolicy::default()),
+            )
         }
     };
 
     let specs = batch(jobs);
     let start = Instant::now();
-    let mut stream = service.stream(IngestConfig::new(workers).with_capacity(specs.len()));
+    let mut ingest = IngestConfig::new(workers).with_capacity(specs.len());
+    if let Some(policy) = retry {
+        ingest = ingest.with_retry_policy(policy);
+    }
+    let mut stream = service.stream(ingest);
     for spec in &specs {
         stream.submit(spec.clone()).expect("queue sized for batch");
         stream.pump();
@@ -265,13 +326,13 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
     let flagged_runs = report.flagged().count() as u64;
     let journal_stats = service.journal().map(|j| j.stats()).unwrap_or_default();
 
-    // Segmented/sealed modes close the loop: reopen the (rotated,
-    // retired) segment directory with the mode's own config and prove
+    // Segmented/sealed/faulted modes close the loop: reopen the
+    // (rotated, retired) segment directory with the mode's own config and prove
     // recovery is bit-identical to the live service — neither the
     // group-commit pipeline nor the evidence ledger may cost correctness.
     // Sealed mode additionally verifies every sealed block header.
     let mut seals_verified = 0;
-    let recovery_bit_identical = if let JournalMode::Segmented { config, .. } = mode {
+    let recovery_bit_identical = if let Some(config) = mode.segment_config() {
         let reopened =
             Journal::segmented(scratch.join("segments"), config).expect("reopen bench segments");
         let (entries, _tail) = reopened.entries().expect("parse bench journal");
@@ -391,9 +452,13 @@ fn median_by_wall(mut samples: Vec<BenchReport>) -> BenchReport {
 }
 
 fn main() {
-    let mut jobs: u64 = 128;
+    // 192 jobs: enough post-checkpoint volume (the cadence fires at run
+    // 100) that at least one sealed segment outlives retirement, so the
+    // reopen-and-verify step always has a sealed block to check.
+    let mut jobs: u64 = 192;
     let mut workers: usize = 4;
     let mut repeat: usize = 5;
+    let mut faults = false;
     let mut out = String::from("BENCH_fleet.json");
     let mut fsync = FsyncPolicy::GroupCommit {
         max_entries: 64,
@@ -411,6 +476,9 @@ fn main() {
                 workers = 2;
                 segment_bytes = 4 * 1024;
                 checkpoint_every = 4;
+            }
+            "--faults" => {
+                faults = true;
             }
             "--jobs" => {
                 let value = args.next().expect("--jobs requires a value");
@@ -461,8 +529,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: trustmeter-bench [--smoke] [--jobs N] [--workers N] [--repeat N] \
-                     [--out PATH] [--fsync never|every|group] [--group-entries N] \
+                    "usage: trustmeter-bench [--smoke] [--faults] [--jobs N] [--workers N] \
+                     [--repeat N] [--out PATH] [--fsync never|every|group] [--group-entries N] \
                      [--group-bytes N] [--segment-bytes N] [--checkpoint-every N]"
                 );
                 std::process::exit(2);
@@ -502,6 +570,17 @@ fn main() {
             checkpoint_every,
         },
     ];
+    // The sealed configuration behind a faultless fault wrapper with the
+    // default retry policy armed: the delta vs `sealed` is the
+    // healthy-path price of the fault-tolerance machinery itself.
+    if faults {
+        modes.push(JournalMode::Faulted {
+            config: segment_config
+                .with_fsync(FsyncPolicy::Never)
+                .with_seal(SEED),
+            checkpoint_every,
+        });
+    }
     // The configured fsync policy on top: what power-loss durability
     // costs over journal-off. With `--fsync never` this would duplicate
     // the mode above under a misleading label, so it is skipped.

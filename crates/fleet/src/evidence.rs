@@ -13,6 +13,13 @@
 //!    PR-5 streaming serializer committed. Duplicating, reordering or
 //!    deleting a line anywhere before the torn tail breaks the fold at
 //!    the first bad entry, and [`crate::journal::parse_journal`] says so.
+//!    The chain is entry-type-agnostic: the submission-side
+//!    `Accepted` lines are chained exactly like runs and receipts, so
+//!    the accepted-but-unreleased backlog is as tamper-evident as the
+//!    billing record. And because the chain head advances only after
+//!    the sink accepts a commit, a *failed* write never burns a link —
+//!    the retry/failover path (see [`crate::faults`]) re-frames from
+//!    the same `prev` with no chain gap.
 //! 2. **Sealed block headers.** When a segment rotates (including the
 //!    forced rotation before a checkpoint), the sink writes a
 //!    [`BlockHeader`] beside it: a Merkle root over the segment's lines,

@@ -37,7 +37,31 @@
 //! hash-chained line (and, once its segment rotates under a sealing
 //! sink, a Merkle leaf under a signed block header), so the order the
 //! pipeline releases records in is exactly the order a disputing tenant
-//! can later hold the provider to.
+//! can later hold the provider to. The submission side is journaled too:
+//! `submit` writes a [`crate::JournalEntry::Accepted`] spec *before* the
+//! job becomes visible to any worker, so a crash between acceptance and
+//! release no longer silently loses the job — recovery reports the
+//! accepted-but-unreleased specs for deterministic resubmission.
+//!
+//! ## Surviving the disk: retry, quarantine, failover
+//!
+//! Journal I/O is the one place this pipeline touches a device that can
+//! fail, so it never panics on it. Every journal commit (acceptance at
+//! submit, the ready prefix at release) runs under a seeded-deterministic
+//! [`RetryPolicy`]: transient errors are retried with bounded exponential
+//! backoff in virtual ticks. On exhaustion the pipeline enters
+//! **quarantine**: releases stop with the un-journaled batch parked
+//! (preserving the *never-journaled ⇒ never-billed* invariant — nothing
+//! is ever released unjournaled), `submit` fails fast with
+//! [`SubmitError::Quarantined`], and the state is observable via
+//! [`FleetIngest::health`] and the `fleet_quarantined` /
+//! `fleet_journal_failures_total` metrics. Workers keep *executing*
+//! during quarantine; only the billing boundary is closed. The operator
+//! fails over with [`FleetIngest::resume_with_sink`]: the journal swaps
+//! to a fresh sink (chain continuity intact — the evidence chain head
+//! only ever advances on successful commits), the pending accepted set is
+//! re-journaled so the new sink is recoverable on its own, and the next
+//! pump drains the stalled prefix.
 //!
 //! ```
 //! use trustmeter_fleet::{FleetConfig, FleetIngest, IngestConfig, JobSpec, TenantId};
@@ -63,7 +87,8 @@ use std::thread::JoinHandle;
 use serde::{Deserialize, Serialize};
 
 use crate::executor::{Fleet, FleetConfig, JobId, JobSpec, RunRecord};
-use crate::journal::Journal;
+use crate::faults::RetryPolicy;
+use crate::journal::{Journal, JournalError, JournalSink};
 use crate::queue::FairQueue;
 use crate::tenant::TenantId;
 use crate::trace::{PipelineTracer, Stage};
@@ -86,6 +111,11 @@ pub enum SubmitError {
     QueueFull,
     /// The pipeline is shutting down; no further jobs are accepted.
     ShutDown,
+    /// The journal exhausted its [`RetryPolicy`] and the pipeline is
+    /// quarantined: nothing can be made durable, so nothing new is
+    /// accepted (and nothing already executed is released). Fail over
+    /// with [`FleetIngest::resume_with_sink`] to resume.
+    Quarantined,
 }
 
 impl fmt::Display for SubmitError {
@@ -93,6 +123,10 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => f.write_str("submission queue is full"),
             SubmitError::ShutDown => f.write_str("ingest pipeline is shut down"),
+            SubmitError::Quarantined => f.write_str(
+                "ingest pipeline is quarantined: the journal is failing and \
+                 nothing can be made durable (fail over with resume_with_sink)",
+            ),
         }
     }
 }
@@ -123,6 +157,10 @@ pub struct IngestConfig {
     /// when the consuming thread also submits under
     /// [`BackpressurePolicy::Block`].
     pub completion_watermark: usize,
+    /// The retry policy every journal commit (acceptance at submit, the
+    /// ready prefix at release) runs under; exhaustion quarantines the
+    /// pipeline instead of panicking. Irrelevant without a journal.
+    pub retry: RetryPolicy,
 }
 
 impl IngestConfig {
@@ -142,6 +180,7 @@ impl IngestConfig {
             backpressure: BackpressurePolicy::Block,
             start_paused: false,
             completion_watermark: 0,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -184,6 +223,13 @@ impl IngestConfig {
         self.completion_watermark = watermark;
         self
     }
+
+    /// Replaces the journal-commit [`RetryPolicy`] (see
+    /// [`IngestConfig::retry`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> IngestConfig {
+        self.retry = retry;
+        self
+    }
 }
 
 /// A point-in-time snapshot of pipeline state (all counters monotonic
@@ -203,6 +249,15 @@ pub struct IngestStats {
     pub ready: usize,
     /// Jobs currently executing, per tenant.
     pub inflight: BTreeMap<TenantId, u64>,
+    /// Failed journal commit attempts that were retried (each failed
+    /// attempt before exhaustion counts one).
+    pub retries: u64,
+    /// Journal commits that exhausted the retry policy (each one
+    /// quarantined the pipeline).
+    pub journal_failures: u64,
+    /// Whether the pipeline is currently quarantined (see
+    /// [`SubmitError::Quarantined`]).
+    pub quarantined: bool,
 }
 
 impl IngestStats {
@@ -210,6 +265,31 @@ impl IngestStats {
     pub fn inflight_total(&self) -> u64 {
         self.inflight.values().sum()
     }
+}
+
+/// A point-in-time durability health report for the ingest pipeline —
+/// what an operator (or [`crate::FleetStream::health`]) reads to decide
+/// whether a failover is needed and whether it worked.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FleetHealth {
+    /// Whether the pipeline is quarantined: the journal exhausted its
+    /// retry policy, releases are stopped and submits fail fast.
+    pub quarantined: bool,
+    /// Journal commits that exhausted the retry policy.
+    pub journal_failures: u64,
+    /// Failed journal commit attempts that were retried.
+    pub retries: u64,
+    /// Virtual backoff ticks spent waiting between retry attempts.
+    pub backoff_ticks: u64,
+    /// Completed records parked by quarantine, awaiting the post-failover
+    /// drain (never released unjournaled).
+    pub stalled: u64,
+    /// Accepted-but-unreleased jobs whose `Accepted` markers are pending
+    /// (re-journaled into the replacement sink on failover).
+    pub pending_accepted: u64,
+    /// The journal error that caused the current (or most recent)
+    /// quarantine, if any.
+    pub last_error: Option<String>,
 }
 
 /// Everything a drained pipeline produced.
@@ -251,6 +331,27 @@ struct State {
     /// A worker died mid-job (panic in the simulated run); the pipeline
     /// can never drain and `finish` must propagate instead of waiting.
     worker_panicked: bool,
+    /// The journal exhausted its retry policy: releases are stopped and
+    /// submits fail fast until a failover lifts the quarantine.
+    quarantined: bool,
+    /// The ready batch whose journal commit exhausted the retry policy,
+    /// parked at the release cursor: never released (the write-ahead
+    /// invariant), drained by the first `take_ready` after failover.
+    stalled: Vec<RunRecord>,
+    /// Failed journal commit attempts that were retried.
+    retries: u64,
+    /// Journal commits that exhausted the retry policy.
+    journal_failures: u64,
+    /// Virtual backoff ticks spent between retry attempts.
+    backoff_ticks: u64,
+    /// The journal error behind the current/most recent quarantine.
+    last_error: Option<String>,
+    /// Accepted-but-unreleased specs, keyed by submission sequence: the
+    /// jobs whose `Accepted` journal markers are still pending. Entries
+    /// leave at release; the survivors are re-journaled into the
+    /// replacement sink on failover so it is recoverable on its own.
+    /// Empty without a journal.
+    accepted: BTreeMap<u64, JobSpec>,
 }
 
 #[derive(Debug)]
@@ -278,6 +379,14 @@ struct Shared {
     /// *outside* the state lock, where they would otherwise stall every
     /// worker on release-path I/O) still happen in release order.
     release_guard: Mutex<()>,
+    /// Serializes submitters, so the `Accepted` write-ahead append (done
+    /// *outside* the state lock for the same reason) lands in the journal
+    /// in exactly the submission-sequence order — and so the admission
+    /// check stays valid across the append (no competing submitter can
+    /// fill the queue in between; workers only ever free slots).
+    submit_guard: Mutex<()>,
+    /// The retry policy every journal commit runs under.
+    retry: RetryPolicy,
 }
 
 impl Shared {
@@ -293,33 +402,69 @@ impl Shared {
     }
 
     fn submit(&self, job: JobSpec) -> Result<u64, SubmitError> {
+        // One submitter at a time: the Accepted write-ahead append below
+        // happens outside the state lock, and this guard is what keeps
+        // (a) the journal's Accepted order equal to the sequence order
+        // and (b) the admission decision valid across the append.
+        let _submit = self
+            .submit_guard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        {
+            let mut state = self.lock();
+            loop {
+                if state.shutting_down {
+                    return Err(SubmitError::ShutDown);
+                }
+                if state.quarantined {
+                    return Err(SubmitError::Quarantined);
+                }
+                if !state.queue.is_full() {
+                    break;
+                }
+                match self.policy {
+                    BackpressurePolicy::Reject => {
+                        state.rejected += 1;
+                        return Err(SubmitError::QueueFull);
+                    }
+                    BackpressurePolicy::Block => {
+                        state = self.wait(&self.slot_free, state);
+                    }
+                }
+            }
+        }
+        // The submission-side write-ahead point: the accepted spec is
+        // durable *before* the job becomes visible to any worker, so a
+        // crash between acceptance and release can no longer silently
+        // lose it — recovery reports it for resubmission. Rejected
+        // submissions never reach this point and are never journaled.
+        if let Some(journal) = &self.journal {
+            if let Err(e) =
+                self.commit_with_retry(job.id, job.tenant, || journal.append_accepted(&job))
+            {
+                self.enter_quarantine(e, Vec::new());
+                return Err(SubmitError::Quarantined);
+            }
+        }
         let mut state = self.lock();
-        loop {
-            if state.shutting_down {
-                return Err(SubmitError::ShutDown);
-            }
-            if !state.queue.is_full() {
-                break;
-            }
-            match self.policy {
-                BackpressurePolicy::Reject => {
-                    state.rejected += 1;
-                    return Err(SubmitError::QueueFull);
-                }
-                BackpressurePolicy::Block => {
-                    state = self.wait(&self.slot_free, state);
-                }
-            }
+        if state.shutting_down {
+            // Shutdown raced the acceptance append. The orphan Accepted
+            // entry is harmless by design: recovery reports the job as
+            // unreleased and resubmitting it is the correct replay.
+            return Err(SubmitError::ShutDown);
         }
         let seq = state.next_seq;
         state.next_seq += 1;
         state.submitted += 1;
+        if self.journal.is_some() {
+            state.accepted.insert(seq, job.clone());
+        }
         // Stamp the queue-wait clock only when someone will read it.
         let submitted_at = self.tracer.as_ref().map(|_| std::time::Instant::now());
         state
             .queue
             .push_at(seq, job, submitted_at)
-            .expect("queue had a free slot under the lock");
+            .expect("queue had a free slot under the submit guard");
         drop(state);
         self.job_ready.notify_one();
         Ok(seq)
@@ -332,9 +477,108 @@ impl Shared {
             completed: state.completed_count,
             rejected: state.rejected,
             queued: state.queue.len(),
-            ready: state.completed.len(),
+            ready: state.completed.len() + state.stalled.len(),
             inflight: state.inflight.clone(),
+            retries: state.retries,
+            journal_failures: state.journal_failures,
+            quarantined: state.quarantined,
         }
+    }
+
+    /// The pipeline's durability health report.
+    fn health(&self) -> FleetHealth {
+        let state = self.lock();
+        FleetHealth {
+            quarantined: state.quarantined,
+            journal_failures: state.journal_failures,
+            retries: state.retries,
+            backoff_ticks: state.backoff_ticks,
+            stalled: state.stalled.len() as u64,
+            pending_accepted: state.accepted.len() as u64,
+            last_error: state.last_error.clone(),
+        }
+    }
+
+    /// Runs one journal commit under the retry policy: bounded attempts,
+    /// deterministic exponential backoff in *virtual ticks* (cooperative
+    /// yields, never wall-clock sleeps), one [`Stage::JournalRetry`]
+    /// aggregate span per failed attempt when tracing. Returns the last
+    /// error on exhaustion — the caller quarantines; nothing here panics.
+    fn commit_with_retry(
+        &self,
+        job: JobId,
+        tenant: TenantId,
+        mut commit: impl FnMut() -> Result<(), JournalError>,
+    ) -> Result<(), JournalError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let started = self.tracer.as_ref().map(|_| std::time::Instant::now());
+            let Err(error) = commit() else {
+                return Ok(());
+            };
+            if let (Some(tracer), Some(started)) = (&self.tracer, started) {
+                // A shared commit attempt is nobody's per-tenant latency:
+                // aggregate cell only, attributed to the batch's first job.
+                tracer.record_aggregate(Stage::JournalRetry, job, tenant, started.elapsed());
+            }
+            if attempt >= self.retry.max_attempts {
+                return Err(error);
+            }
+            let ticks = self.retry.backoff_ticks(attempt);
+            {
+                let mut state = self.lock();
+                state.retries += 1;
+                state.backoff_ticks += ticks;
+            }
+            for _ in 0..ticks {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Flips the pipeline into quarantine: `stalled` (the batch whose
+    /// commit exhausted the policy — empty for a submission-side failure)
+    /// is parked at the release cursor, releases stop, submits fail fast,
+    /// and every waiter wakes to observe the state. Lifted only by
+    /// [`Shared::resume_after_failover`].
+    fn enter_quarantine(&self, error: JournalError, stalled: Vec<RunRecord>) {
+        let mut state = self.lock();
+        state.quarantined = true;
+        state.journal_failures += 1;
+        state.last_error = Some(error.to_string());
+        debug_assert!(
+            state.stalled.is_empty(),
+            "a quarantined pipeline releases nothing, so at most one batch can stall"
+        );
+        state.stalled = stalled;
+        drop(state);
+        self.job_ready.notify_all();
+        self.slot_free.notify_all();
+        self.job_done.notify_all();
+    }
+
+    /// Completes a failover after [`Journal::fail_over`] swapped in a
+    /// fresh sink: re-journals the pending accepted set (so the new sink
+    /// is recoverable on its own, accepted-but-unreleased jobs included)
+    /// and lifts the quarantine. On error the pipeline *stays*
+    /// quarantined — the replacement sink is failing too.
+    fn resume_after_failover(&self) -> Result<(), JournalError> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        let specs: Vec<JobSpec> = {
+            let state = self.lock();
+            state.accepted.values().cloned().collect()
+        };
+        journal.append_accepted_batch(&specs)?;
+        let mut state = self.lock();
+        state.quarantined = false;
+        state.last_error = None;
+        drop(state);
+        self.job_ready.notify_all();
+        self.slot_free.notify_all();
+        Ok(())
     }
 
     /// Worker loop: pop fair, execute outside the lock, log completion.
@@ -430,21 +674,28 @@ impl Shared {
     /// the worker-shared state lock, so workers keep completing jobs while
     /// the consumer pays for the write-ahead commit.
     ///
-    /// # Panics
-    /// Panics if the journal commit fails: a pipeline that cannot persist
-    /// its write-ahead log must not keep releasing records. The records
-    /// stay removed with the cursor parked, so nothing is ever released
-    /// unjournaled.
+    /// This never panics on I/O. The commit runs under the configured
+    /// [`RetryPolicy`]; on exhaustion the batch is parked and the
+    /// pipeline quarantines ([`Shared::enter_quarantine`]) — the release
+    /// cursor never advances past an un-journaled record, so nothing is
+    /// ever released unjournaled, under any fault schedule. A quarantined
+    /// pipeline returns an empty batch until a failover lifts the
+    /// quarantine, after which the parked batch drains first.
     fn take_ready(&self) -> Vec<RunRecord> {
         let _release = self
             .release_guard
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        // Drain the whole contiguous prefix under one lock acquisition.
+        // Drain the whole contiguous prefix under one lock acquisition,
+        // starting with a batch a previous quarantine parked (its records
+        // sit exactly at the release cursor).
         let (first, ready) = {
             let mut state = self.lock();
+            if state.quarantined {
+                return Vec::new();
+            }
             let first = state.released;
-            let mut ready = Vec::new();
+            let mut ready = std::mem::take(&mut state.stalled);
             while let Some(record) = state.completed.remove(&(first + ready.len() as u64)) {
                 ready.push(record);
             }
@@ -456,7 +707,15 @@ impl Shared {
         if let Some(journal) = &self.journal {
             // The batch is durable before the cursor advances.
             let commit_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
-            journal.append_runs_or_die(&ready);
+            if let Err(e) = self.commit_with_retry(ready[0].job.id, ready[0].job.tenant, || {
+                journal.append_runs(&ready)
+            }) {
+                // Retry policy exhausted: park the batch (un-released,
+                // un-journaled — the cursor still points at its first
+                // record) and close the billing boundary.
+                self.enter_quarantine(e, ready);
+                return Vec::new();
+            }
             if let (Some(tracer), Some(started)) = (&self.tracer, commit_started) {
                 // One group commit covers the whole prefix; attribute the
                 // span to its first record (aggregate cell only — a shared
@@ -472,6 +731,13 @@ impl Shared {
         let mut state = self.lock();
         debug_assert_eq!(state.released, first, "release guard serializes consumers");
         state.released = first + ready.len() as u64;
+        // The released records' Accepted markers are no longer pending: a
+        // Run entry now vouches for each of them.
+        if !state.accepted.is_empty() {
+            for seq in first..state.released {
+                state.accepted.remove(&seq);
+            }
+        }
         drop(state);
         // Wake workers stalled on the completion watermark.
         self.job_ready.notify_all();
@@ -587,6 +853,13 @@ impl FleetIngest {
                 shutting_down: false,
                 discard_queued: false,
                 worker_panicked: false,
+                quarantined: false,
+                stalled: Vec::new(),
+                retries: 0,
+                journal_failures: 0,
+                backoff_ticks: 0,
+                last_error: None,
+                accepted: BTreeMap::new(),
             }),
             job_ready: Condvar::new(),
             slot_free: Condvar::new(),
@@ -596,6 +869,8 @@ impl FleetIngest {
             journal,
             tracer,
             release_guard: Mutex::new(()),
+            submit_guard: Mutex::new(()),
+            retry: config.retry,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -639,6 +914,47 @@ impl FleetIngest {
         self.shared.stats()
     }
 
+    /// The pipeline's durability health report: quarantine state, retry
+    /// and failure counters, parked work (see [`FleetHealth`]).
+    pub fn health(&self) -> FleetHealth {
+        self.shared.health()
+    }
+
+    /// Fails the journal over to a **fresh** sink (e.g. a new segment
+    /// directory on a healthy disk) and lifts the quarantine. The swap
+    /// keeps chain continuity — the evidence chain head only advances on
+    /// successful commits, so the new sink's first line continues exactly
+    /// where the dead sink's last committed line left off — and the
+    /// pending accepted set is re-journaled into the new sink so it is
+    /// recoverable on its own, accepted-but-unreleased jobs included.
+    /// The next [`FleetIngest::take_ready`] drains the parked batch.
+    ///
+    /// Callers going through [`crate::FleetStream`] should use
+    /// [`crate::FleetStream::resume_with_sink`] instead, which also
+    /// writes a leading checkpoint so the new sink replays standalone.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if the pipeline has no journal, or if the
+    /// replacement sink rejects the re-journaled accepted set — in which
+    /// case the pipeline stays quarantined.
+    pub fn resume_with_sink(&self, sink: Box<dyn JournalSink>) -> Result<(), JournalError> {
+        let Some(journal) = &self.shared.journal else {
+            return Err(JournalError::Io(
+                "ingest pipeline has no journal to fail over".to_string(),
+            ));
+        };
+        journal.fail_over(sink);
+        self.shared.resume_after_failover()
+    }
+
+    /// The second half of a failover, for callers that swap the sink and
+    /// write their own leading entries first (see
+    /// [`crate::FleetStream::resume_with_sink`]): re-journals the pending
+    /// accepted set and lifts the quarantine.
+    pub(crate) fn resume_after_failover(&self) -> Result<(), JournalError> {
+        self.shared.resume_after_failover()
+    }
+
     /// Stops dispatching new jobs (running jobs finish normally).
     pub fn pause(&self) {
         self.shared.lock().paused = true;
@@ -669,6 +985,13 @@ impl FleetIngest {
     /// queued job, joins the workers, and returns all records not yet taken
     /// via [`FleetIngest::take_ready`] (in submission order) plus the final
     /// dispatch log and counters.
+    ///
+    /// Finishing while **quarantined** still executes and joins everything,
+    /// but releases nothing: the parked and completed records stay behind
+    /// the closed billing boundary (never journaled ⇒ never billed), and
+    /// `outcome.records` is empty with `outcome.stats.quarantined` set.
+    /// Fail over with [`FleetIngest::resume_with_sink`] *before* finishing
+    /// to drain them instead.
     pub fn finish(mut self) -> IngestOutcome {
         {
             let mut state = self.shared.lock();
@@ -875,13 +1198,24 @@ mod tests {
         assert_eq!(outcome.records.len(), 8);
         let (entries, tail) = journal.entries().unwrap();
         assert!(!tail.is_truncated());
-        let ids: Vec<u64> = entries.iter().map(|e| e.job().unwrap().0).collect();
+        // Every submission wrote an Accepted marker ahead of its Run.
+        let accepted: Vec<u64> = entries
+            .iter()
+            .filter(|e| e.label() == "accepted")
+            .map(|e| e.job().unwrap().0)
+            .collect();
+        assert_eq!(accepted, (0..8).collect::<Vec<_>>());
+        let runs: Vec<u64> = entries
+            .iter()
+            .filter(|e| e.label() == "run")
+            .map(|e| e.job().unwrap().0)
+            .collect();
         assert_eq!(
-            ids,
+            runs,
             (0..8).collect::<Vec<_>>(),
             "journal is submission order"
         );
-        assert_eq!(journal.stats().appends, 8);
+        assert_eq!(journal.stats().appends, 16);
     }
 
     #[test]
@@ -895,10 +1229,129 @@ mod tests {
         );
         ingest.submit(job(0, 1)).unwrap();
         // Teardown without finish(): the backlog is discarded, nothing was
-        // released, so nothing was journaled — crash-lost work was never
-        // billed.
+        // released, so no Run entry was journaled — crash-lost work was
+        // never billed. The Accepted marker *is* there: that is the
+        // submission-side record a restarted service resubmits from.
         drop(ingest);
-        assert_eq!(journal.stats().appends, 0);
+        let (entries, _) = journal.entries().unwrap();
+        let labels: Vec<&str> = entries.iter().map(|e| e.label()).collect();
+        assert_eq!(labels, vec!["accepted"]);
+    }
+
+    #[test]
+    fn retry_policy_absorbs_transient_journal_faults() {
+        use crate::faults::{FaultInjectingSink, FaultSchedule};
+        use crate::journal::MemorySink;
+
+        // Line 1 (job 0's Accepted is line 0; this hits job 1's Accepted)
+        // fails twice, then clears: within the default 4-attempt policy.
+        let schedule = FaultSchedule::none().transient_at(1, 2);
+        let (sink, probe) = FaultInjectingSink::wrap(Box::new(MemorySink::new()), schedule);
+        let journal = Journal::with_sink(Box::new(sink)).unwrap();
+        let ingest = FleetIngest::over_journaled(
+            Fleet::new(FleetConfig::new(1, 23)),
+            IngestConfig::new(1),
+            Some(journal.clone()),
+        );
+        for id in 0..3 {
+            ingest.submit(job(id, 1)).unwrap();
+        }
+        let outcome = ingest.finish();
+        assert_eq!(outcome.records.len(), 3);
+        assert!(!outcome.stats.quarantined);
+        assert_eq!(outcome.stats.retries, 2);
+        assert_eq!(outcome.stats.journal_failures, 0);
+        assert_eq!(probe.stats().injected_transient, 2);
+        // The journal chain survived the retries intact.
+        let (entries, _) = journal.entries().unwrap();
+        assert_eq!(entries.len(), 6, "3 accepted + 3 runs");
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_instead_of_panicking() {
+        use crate::faults::{FaultInjectingSink, FaultSchedule, RetryPolicy};
+        use crate::journal::MemorySink;
+
+        // Accepted entries (lines 0..2) pass; the release-path Run commit
+        // (line 2 onward) hits a dead disk.
+        let schedule = FaultSchedule::none().disk_full_at(2);
+        let (sink, _probe) = FaultInjectingSink::wrap(Box::new(MemorySink::new()), schedule);
+        let journal = Journal::with_sink(Box::new(sink)).unwrap();
+        let config = IngestConfig::new(1).with_retry_policy(RetryPolicy::new(2));
+        let ingest = FleetIngest::over_journaled(
+            Fleet::new(FleetConfig::new(1, 29)),
+            config,
+            Some(journal.clone()),
+        );
+        ingest.submit(job(0, 1)).unwrap();
+        ingest.submit(job(1, 1)).unwrap();
+        // Wait for both to complete, then try to release: the commit
+        // exhausts the policy and quarantines — no panic, no release.
+        while ingest.stats().completed < 2 {
+            std::thread::yield_now();
+        }
+        assert!(ingest.take_ready().is_empty());
+        let health = ingest.health();
+        assert!(health.quarantined);
+        assert_eq!(health.journal_failures, 1);
+        assert_eq!(health.retries, 1);
+        assert_eq!(health.stalled, 2);
+        assert_eq!(health.pending_accepted, 2);
+        assert!(health.last_error.unwrap().contains("disk-full"));
+        // Quarantine closes the front door…
+        assert_eq!(ingest.submit(job(2, 1)), Err(SubmitError::Quarantined));
+        // …and the billing boundary: nothing was released unjournaled.
+        let (entries, _) = journal.entries().unwrap();
+        assert!(entries.iter().all(|e| e.label() == "accepted"));
+        let outcome = ingest.finish();
+        assert!(outcome.records.is_empty(), "quarantine releases nothing");
+        assert!(outcome.stats.quarantined);
+    }
+
+    #[test]
+    fn failover_drains_the_stalled_prefix_with_chain_continuity() {
+        use crate::faults::{FaultInjectingSink, FaultSchedule, RetryPolicy};
+        use crate::journal::{parse_journal, MemorySink};
+
+        let schedule = FaultSchedule::none().permanent_at(2);
+        let (sink, _probe) = FaultInjectingSink::wrap(Box::new(MemorySink::new()), schedule);
+        let journal = Journal::with_sink(Box::new(sink)).unwrap();
+        let config = IngestConfig::new(1).with_retry_policy(RetryPolicy::none());
+        let ingest = FleetIngest::over_journaled(
+            Fleet::new(FleetConfig::new(1, 31)),
+            config,
+            Some(journal.clone()),
+        );
+        ingest.submit(job(0, 1)).unwrap();
+        ingest.submit(job(1, 1)).unwrap();
+        while ingest.stats().completed < 2 {
+            std::thread::yield_now();
+        }
+        assert!(ingest.take_ready().is_empty());
+        assert!(ingest.health().quarantined);
+        let dead_text = journal.text().unwrap();
+
+        // Fail over to a fresh sink: quarantine lifts, the parked batch
+        // drains, and new submissions are accepted again.
+        ingest
+            .resume_with_sink(Box::new(MemorySink::new()))
+            .unwrap();
+        assert!(!ingest.health().quarantined);
+        let drained = ingest.take_ready();
+        assert_eq!(drained.len(), 2);
+        ingest.submit(job(2, 1)).unwrap();
+        let outcome = ingest.finish();
+        assert_eq!(outcome.records.len(), 1);
+
+        // Chain continuity: the old text concatenated with the new sink's
+        // text parses as ONE unbroken evidence chain.
+        let new_text = journal.text().unwrap();
+        let spliced = format!("{dead_text}{new_text}");
+        let (entries, tail) = parse_journal(&spliced).unwrap();
+        assert!(!tail.is_truncated());
+        // 2 accepted (old) + 2 re-journaled accepted + 2 runs + 1 accepted
+        // + 1 run (post-failover submission).
+        assert_eq!(entries.len(), 8);
     }
 
     #[test]

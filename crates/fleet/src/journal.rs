@@ -11,8 +11,15 @@
 //! [`crate::Ledger`]/[`crate::TenantAuditSummary`]/metrics state with
 //! [`crate::FleetService::recover`].
 //!
-//! Four typed entries ([`JournalEntry`]):
+//! Five typed entries ([`JournalEntry`]):
 //!
+//! * **`Accepted`** — a [`JobSpec`] the ingest pipeline admitted,
+//!   appended at `submit` time *before* the job becomes visible to any
+//!   worker. This closes the submission-side durability gap: a crash
+//!   between acceptance and release no longer silently loses the job —
+//!   recovery reports accepted-but-unreleased specs
+//!   ([`RecoveryReport::unreleased`]) so a restarted service resubmits
+//!   them deterministically.
 //! * **`Run`** — a completed [`RunRecord`], appended by the ingest
 //!   pipeline's completion log *before* the record is released to the
 //!   consumer (the write-ahead point). A record that was never journaled
@@ -103,7 +110,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::auditor::{AuditVerdict, AuditorState};
 use crate::evidence::{self, BlockHeader, ChainDigest, ChainedLine, InclusionProof, SealKey};
-use crate::executor::{JobId, RunRecord};
+use crate::executor::{JobId, JobSpec, RunRecord};
 use crate::metrics::MetricsRegistry;
 use crate::tenant::{Ledger, TenantId};
 use crate::FleetService;
@@ -112,6 +119,10 @@ use trustmeter_core::Invoice;
 /// One append-only journal record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum JournalEntry {
+    /// A job the ingest pipeline accepted, journaled at submit time
+    /// before the job is visible to any worker (the submission-side
+    /// write-ahead point).
+    Accepted(JobSpec),
     /// A completed run, journaled before it is released to the consumer
     /// (boxed: a `RunRecord` is by far the largest entry).
     Run(Box<RunRecord>),
@@ -124,6 +135,11 @@ pub enum JournalEntry {
 }
 
 impl JournalEntry {
+    /// Wraps an accepted job spec.
+    pub fn accepted(spec: JobSpec) -> JournalEntry {
+        JournalEntry::Accepted(spec)
+    }
+
     /// Wraps a completed run.
     pub fn run(record: RunRecord) -> JournalEntry {
         JournalEntry::Run(Box::new(record))
@@ -139,6 +155,7 @@ impl JournalEntry {
     /// The job this entry belongs to (`None` for checkpoints).
     pub fn job(&self) -> Option<JobId> {
         match self {
+            JournalEntry::Accepted(spec) => Some(spec.id),
             JournalEntry::Run(record) => Some(record.job.id),
             JournalEntry::Invoice(posting) => Some(posting.job),
             JournalEntry::Verdict(verdict) => Some(verdict.job),
@@ -149,6 +166,7 @@ impl JournalEntry {
     /// Short stable label for display and diagnostics.
     pub fn label(&self) -> &'static str {
         match self {
+            JournalEntry::Accepted(_) => "accepted",
             JournalEntry::Run(_) => "run",
             JournalEntry::Invoice(_) => "invoice",
             JournalEntry::Verdict(_) => "verdict",
@@ -175,7 +193,7 @@ pub struct InvoicePosting {
 /// A folded journal prefix: the complete accounting state after replaying
 /// some number of runs. Recovery seeds from the latest checkpoint instead
 /// of replaying from genesis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Runs folded into this checkpoint.
     pub runs: u64,
@@ -450,6 +468,32 @@ pub trait JournalSink: Send {
         Ok(())
     }
 
+    /// Writes `fragment` **without a terminating newline** — the exact
+    /// artifact a crash mid-write leaves behind. This exists for the
+    /// fault-injection harness ([`crate::faults::FaultInjectingSink`]
+    /// manufactures torn tails through it) and must never be called on
+    /// the healthy write path: a later [`JournalSink::append_line`] would
+    /// merge into the fragment. Default: refuses with
+    /// [`JournalError::Io`], which keeps sinks that cannot represent a
+    /// torn tail honest.
+    fn append_torn(&mut self, fragment: &str) -> Result<(), JournalError> {
+        let _ = fragment;
+        Err(JournalError::Io(
+            "sink does not support torn (newline-less) writes".to_string(),
+        ))
+    }
+
+    /// Re-anchors the sink's internal evidence chain at `head`. Only
+    /// meaningful on a **fresh, empty** sink about to receive the
+    /// continuation of an existing chain — [`Journal::fail_over`] calls
+    /// this so a sealing [`SegmentedFileSink`]'s first sealed header
+    /// carries chain bounds consistent with the first committed line's
+    /// `prev` claim. Default: no-op (sinks without internal chain state
+    /// have nothing to anchor).
+    fn anchor_chain(&mut self, head: ChainDigest) {
+        let _ = head;
+    }
+
     /// Called just before a [`JournalEntry::Checkpoint`] line is
     /// appended: segmented sinks rotate so the checkpoint leads a fresh
     /// segment. Default: no-op.
@@ -529,6 +573,11 @@ impl JournalSink for MemorySink {
     fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
         self.buffer.push_str(line);
         self.buffer.push('\n');
+        Ok(())
+    }
+
+    fn append_torn(&mut self, fragment: &str) -> Result<(), JournalError> {
+        self.buffer.push_str(fragment);
         Ok(())
     }
 
@@ -638,6 +687,12 @@ impl JournalSink for FileSink {
     // `append_lines` deliberately stays the flush-per-append default:
     // `FileSink` is the legacy comparison point for the benchmark, and
     // batching belongs to `SegmentedFileSink`.
+
+    fn append_torn(&mut self, fragment: &str) -> Result<(), JournalError> {
+        self.file.write_all(fragment.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
 
     fn contents(&self) -> Result<String, JournalError> {
         let mut text = String::new();
@@ -972,6 +1027,25 @@ impl JournalSink for SegmentedFileSink {
             return Ok(());
         }
         self.commit(lines)
+    }
+
+    fn append_torn(&mut self, fragment: &str) -> Result<(), JournalError> {
+        // A torn fragment is *not* committed evidence: it counts toward
+        // the segment length (those bytes are on disk) but never joins
+        // the chain fold or the Merkle leaves — exactly as a real crash
+        // artifact would be dropped by the parse and repaired on reopen.
+        self.writer.write_all(fragment.as_bytes())?;
+        self.writer.flush()?;
+        self.current_len += fragment.len() as u64;
+        Ok(())
+    }
+
+    fn anchor_chain(&mut self, head: ChainDigest) {
+        // Only sound on an empty sink (nothing committed yet): the first
+        // committed line will claim `prev = head`, so the sealed headers'
+        // chain bounds and `verify_seals`'s anchor adoption agree.
+        self.chain = head;
+        self.segment_chain_prev = head;
     }
 
     fn begin_checkpoint(&mut self) -> Result<(), JournalError> {
@@ -1436,6 +1510,53 @@ impl Journal {
         Ok(())
     }
 
+    /// Appends a [`JournalEntry::Accepted`] serialized straight from a
+    /// borrowed spec — the ingest pipeline's submission-side write-ahead
+    /// point: the spec is durable before the job becomes visible to any
+    /// worker.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if serialization or the sink fails.
+    pub fn append_accepted(&self, spec: &JobSpec) -> Result<(), JournalError> {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        let prev = inner.link;
+        frame_variant(&mut inner.scratch, &prev, "Accepted", spec)?;
+        inner.sink.append_line(&inner.scratch)?;
+        inner.link = evidence::chain_link(&prev, inner.scratch.as_bytes());
+        inner.stats.appends += 1;
+        inner.stats.bytes += inner.scratch.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Group commit of [`JournalEntry::Accepted`] entries serialized
+    /// straight from borrowed specs — failover re-journals the pending
+    /// accepted set into the fresh sink through this, one sink write for
+    /// the batch.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if serialization or the sink fails.
+    pub fn append_accepted_batch(&self, specs: &[JobSpec]) -> Result<(), JournalError> {
+        if specs.is_empty() {
+            return Ok(());
+        }
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        inner.line_ends.clear();
+        let mut link = inner.link;
+        for spec in specs {
+            let start = inner.scratch.len();
+            frame_variant(&mut inner.scratch, &link, "Accepted", spec)?;
+            link = evidence::chain_link(&link, &inner.scratch.as_bytes()[start..]);
+            inner.line_ends.push(inner.scratch.len());
+        }
+        commit_scratch(inner)?;
+        inner.link = link;
+        Ok(())
+    }
+
     /// Group commit of one posting's Run/Invoice/Verdict triple — the
     /// batch path journals each posted record through this, one sink
     /// write for the three lines.
@@ -1530,42 +1651,49 @@ impl Journal {
         Ok(())
     }
 
-    /// Appends, treating failure as fatal: a metering service that cannot
-    /// persist its write-ahead log must not keep billing.
+    /// Fails the journal over to a **fresh** sink (e.g. a new segment
+    /// directory on a healthy disk) after the current sink started
+    /// rejecting writes. The swap propagates to every clone of this
+    /// handle — the service and the ingest pipeline share one journal —
+    /// and the evidence chain head carries over unchanged: the link only
+    /// ever advances after a commit *succeeds*, so the replacement sink's
+    /// first line continues the chain exactly where the dead sink's last
+    /// committed line left it. The sink is told the inherited head
+    /// ([`JournalSink::anchor_chain`]) so a sealing [`SegmentedFileSink`]
+    /// signs headers with consistent chain bounds.
     ///
-    /// # Panics
-    /// Panics if the sink rejects the line.
-    pub fn append_or_die(&self, entry: &JournalEntry) {
-        if let Err(e) = self.append(entry) {
-            panic!("journal append failed ({} entry): {e}", entry.label());
-        }
+    /// The replacement must be empty: failover *continues* a journal, it
+    /// never splices two. (For the new directory to be recoverable on its
+    /// own, write a leading [`JournalEntry::Checkpoint`] right after the
+    /// swap — [`crate::FleetStream::resume_with_sink`] does.)
+    pub fn fail_over(&self, sink: Box<dyn JournalSink>) {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.sink = sink;
+        let link = inner.link;
+        inner.sink.anchor_chain(link);
     }
 
-    /// [`Journal::append_run`] with failure fatal, like
-    /// [`Journal::append_or_die`].
-    ///
-    /// # Panics
-    /// Panics if the sink rejects the line.
-    pub fn append_run_or_die(&self, record: &RunRecord) {
-        if let Err(e) = self.append_run(record) {
-            panic!("journal append failed (run entry): {e}");
-        }
-    }
-
-    /// [`Journal::append_runs`] with failure fatal.
-    ///
-    /// # Panics
-    /// Panics if the sink rejects the batch.
-    pub fn append_runs_or_die(&self, records: &[RunRecord]) {
-        if let Err(e) = self.append_runs(records) {
-            panic!(
-                "journal group commit failed ({} run entries): {e}",
-                records.len()
-            );
-        }
-    }
+    // The journal deliberately keeps exactly ONE `*_or_die` wrapper —
+    // for the batch service's posting path, where the record has already
+    // been posted to the in-memory ledger and the batch API offers no
+    // error channel: a metering service whose billed state can no longer
+    // be made durable must not keep billing. Every other write path is
+    // fallible: the *streaming* release path — where the write-ahead
+    // contract lets us hold the records back — uses `append_runs` under a
+    // retry policy and degrades to quarantine (see `crate::ingest`), and
+    // receipt/checkpoint commits degrade by counting a failure (receipts
+    // are re-derived on recovery; a skipped checkpoint is retried at the
+    // next safe point).
 
     /// [`Journal::append_posting`] with failure fatal.
+    ///
+    /// Used by the batch posting path ([`crate::FleetService::process`]),
+    /// where the posting has already mutated the in-memory ledger before
+    /// the journal write and the batch API has no error channel to
+    /// withhold it through — persisting a half-posted state would be
+    /// worse than stopping. The streaming path never calls this; it
+    /// retries and quarantines instead.
     ///
     /// # Panics
     /// Panics if the sink rejects the batch.
@@ -1577,29 +1705,6 @@ impl Journal {
     ) {
         if let Err(e) = self.append_posting(record, invoice, verdict) {
             panic!("journal group commit failed (posting triple): {e}");
-        }
-    }
-
-    /// [`Journal::append_receipts`] with failure fatal.
-    ///
-    /// # Panics
-    /// Panics if the sink rejects the batch.
-    pub fn append_receipts_or_die(&self, receipts: &[(InvoicePosting, AuditVerdict)]) {
-        if let Err(e) = self.append_receipts(receipts) {
-            panic!(
-                "journal group commit failed ({} receipt pairs): {e}",
-                receipts.len()
-            );
-        }
-    }
-
-    /// [`Journal::append_checkpoint`] with failure fatal.
-    ///
-    /// # Panics
-    /// Panics if the sink rejects the checkpoint.
-    pub fn append_checkpoint_or_die(&self, checkpoint: &Checkpoint) {
-        if let Err(e) = self.append_checkpoint(checkpoint) {
-            panic!("journal checkpoint append failed: {e}");
         }
     }
 
@@ -1716,13 +1821,15 @@ pub struct LedgerVerification {
 /// recoveries), not the metered workload, so a recovered service
 /// legitimately reads `fleet_recoveries_total 1` where the uninterrupted
 /// original reads 0.
-pub const SELF_ACCOUNTING_FAMILIES: [&str; 13] = [
+pub const SELF_ACCOUNTING_FAMILIES: [&str; 15] = [
     "fleet_journal_appends_total",
     "fleet_journal_bytes_total",
     "fleet_journal_group_commits_total",
     "fleet_journal_rotations_total",
     "fleet_journal_fsyncs_total",
     "fleet_journal_segments_retired_total",
+    "fleet_journal_retries_total",
+    "fleet_journal_failures_total",
     "fleet_ledger_seals_total",
     "fleet_proofs_emitted_total",
     "fleet_chain_violations_total",
@@ -1737,10 +1844,11 @@ pub const SELF_ACCOUNTING_FAMILIES: [&str; 13] = [
 /// moment in time, not the metered workload, and are timing-dependent
 /// while the pipeline is live — so checkpoints exclude them (see
 /// [`crate::FleetService::checkpoint`]).
-pub const LIVE_PIPELINE_FAMILIES: [&str; 5] = [
+pub const LIVE_PIPELINE_FAMILIES: [&str; 6] = [
     "fleet_queue_depth",
     "fleet_inflight",
     "fleet_submissions_rejected",
+    "fleet_quarantined",
     "fleet_stage_seconds",
     "fleet_stage_seconds_by_tenant",
 ];
@@ -1947,6 +2055,13 @@ pub struct RecoveryReport {
     /// on a chained journal a duplicated entry can only be a copy-paste —
     /// a legitimate resubmission would carry a fresh `prev` link.
     pub duplicate_runs: Vec<JobId>,
+    /// `Accepted` entries replayed (submission-side write-ahead records).
+    pub accepted: u64,
+    /// Jobs that were accepted but never released before the journal
+    /// ended — the work a crash interrupted — in submission order.
+    /// Resubmitting exactly these specs to the restarted service
+    /// reproduces the uninterrupted run deterministically.
+    pub unreleased: Vec<JobSpec>,
 }
 
 impl RecoveryReport {

@@ -49,6 +49,7 @@
 pub mod auditor;
 pub mod evidence;
 pub mod executor;
+pub mod faults;
 pub mod ingest;
 pub mod journal;
 pub mod metrics;
@@ -63,9 +64,12 @@ pub use evidence::{BlockHeader, ChainDigest, InclusionProof, ProofError, ProofSt
 pub use executor::{
     quote_nonce, AttackSpec, Fleet, FleetConfig, JobId, JobSpec, ReferenceOutcome, RunRecord,
 };
+pub use faults::{
+    FaultInjectingSink, FaultKind, FaultProbe, FaultSchedule, FaultStats, PlannedFault, RetryPolicy,
+};
 pub use ingest::{
-    BackpressurePolicy, FleetIngest, IngestConfig, IngestHandle, IngestOutcome, IngestStats,
-    SubmitError,
+    BackpressurePolicy, FleetHealth, FleetIngest, IngestConfig, IngestHandle, IngestOutcome,
+    IngestStats, SubmitError,
 };
 pub use journal::{
     compact, excluded_metric_families, metering_exposition, parse_journal, recovery_window,
@@ -102,6 +106,15 @@ const JOURNAL_FSYNCS_METRIC: &str = "fleet_journal_fsyncs_total";
 const JOURNAL_FSYNCS_HELP: &str = "fsync calls issued by the journal sink";
 const JOURNAL_RETIRED_METRIC: &str = "fleet_journal_segments_retired_total";
 const JOURNAL_RETIRED_HELP: &str = "Journal segments retired as superseded by a checkpoint";
+const JOURNAL_RETRIES_METRIC: &str = "fleet_journal_retries_total";
+const JOURNAL_RETRIES_HELP: &str =
+    "Failed journal commit attempts absorbed by the retry policy (transient I/O errors)";
+const JOURNAL_FAILURES_METRIC: &str = "fleet_journal_failures_total";
+const JOURNAL_FAILURES_HELP: &str =
+    "Journal commits that exhausted the retry policy and quarantined the pipeline";
+const QUARANTINED_METRIC: &str = "fleet_quarantined";
+const QUARANTINED_HELP: &str =
+    "Whether the ingest pipeline is quarantined after an unrecoverable journal failure (0/1)";
 const LEDGER_SEALS_METRIC: &str = "fleet_ledger_seals_total";
 const LEDGER_SEALS_HELP: &str = "Signed block headers sealed over rotated journal segments";
 const PROOFS_EMITTED_METRIC: &str = "fleet_proofs_emitted_total";
@@ -136,6 +149,8 @@ fn register_journal_metrics(metrics: &mut MetricsRegistry) {
         (JOURNAL_ROTATIONS_METRIC, JOURNAL_ROTATIONS_HELP),
         (JOURNAL_FSYNCS_METRIC, JOURNAL_FSYNCS_HELP),
         (JOURNAL_RETIRED_METRIC, JOURNAL_RETIRED_HELP),
+        (JOURNAL_RETRIES_METRIC, JOURNAL_RETRIES_HELP),
+        (JOURNAL_FAILURES_METRIC, JOURNAL_FAILURES_HELP),
         (LEDGER_SEALS_METRIC, LEDGER_SEALS_HELP),
         (PROOFS_EMITTED_METRIC, PROOFS_EMITTED_HELP),
         (CHAIN_VIOLATIONS_METRIC, CHAIN_VIOLATIONS_HELP),
@@ -143,6 +158,9 @@ fn register_journal_metrics(metrics: &mut MetricsRegistry) {
     ] {
         metrics.counter_add(name, help, &[], 0.0);
     }
+    // The quarantine flag is a gauge, pre-set healthy so "never
+    // quarantined" and "series never existed" stay distinguishable.
+    metrics.gauge_set(QUARANTINED_METRIC, QUARANTINED_HELP, &[], 0.0);
 }
 
 /// Pre-registers the observability families at zero: the per-stage
@@ -442,6 +460,8 @@ impl FleetService {
             verdicts: Vec::new(),
             inflight_exported: Vec::new(),
             rejected_exported: 0,
+            retries_exported: 0,
+            failures_exported: 0,
         }
     }
 
@@ -482,10 +502,22 @@ impl FleetService {
         }
         if let Some(receipts) = receipts {
             let commit_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
-            self.journal
+            // Receipts are *enrichment*, not the billing record: recovery
+            // re-derives every posting from the Run entry and only uses
+            // journaled receipts to cross-check. So a failing sink here
+            // degrades (the receipts count as `unconfirmed` on recovery,
+            // and `fleet_journal_failures_total` ticks) instead of
+            // panicking — the ingest side quarantines the pipeline at the
+            // next Run commit anyway if the disk stays dead.
+            let committed = self
+                .journal
                 .as_ref()
                 .expect("receipts collected only with a journal")
-                .append_receipts_or_die(&receipts);
+                .append_receipts(&receipts);
+            if committed.is_err() {
+                self.metrics
+                    .counter_add(JOURNAL_FAILURES_METRIC, JOURNAL_FAILURES_HELP, &[], 1.0);
+            }
             if let (Some(tracer), Some(started), Some((job, tenant))) =
                 (&self.tracer, commit_started, first_posted)
             {
@@ -508,11 +540,23 @@ impl FleetService {
             return;
         }
         let checkpoint = self.checkpoint();
-        self.journal
+        // A checkpoint is an optimization (it bounds recovery cost), not
+        // a durability obligation — everything it folds is already on the
+        // journal. A failing sink skips the checkpoint and counts a
+        // failure; `runs_since_checkpoint` is left alone so the cadence
+        // retries at the next safe point.
+        match self
+            .journal
             .as_ref()
             .expect("journal checked above")
-            .append_checkpoint_or_die(&checkpoint);
-        self.runs_since_checkpoint = 0;
+            .append_checkpoint(&checkpoint)
+        {
+            Ok(()) => self.runs_since_checkpoint = 0,
+            Err(_) => {
+                self.metrics
+                    .counter_add(JOURNAL_FAILURES_METRIC, JOURNAL_FAILURES_HELP, &[], 1.0);
+            }
+        }
     }
 
     /// Bills, audits and meters one completed run (the shared core of the
@@ -862,6 +906,9 @@ impl FleetService {
                 Ok(JournalEntry::Invoice(posting)) => invoice = Some(posting),
                 Ok(JournalEntry::Verdict(v)) => verdict = Some(v),
                 Ok(JournalEntry::Run(_)) => runs += 1,
+                // Sealed Accepted entries prove the submission was
+                // durable, but carry no billing to settle.
+                Ok(JournalEntry::Accepted(_)) => {}
                 Ok(JournalEntry::Checkpoint(_)) => {}
                 Err(e) => {
                     self.metrics.counter_add(
@@ -940,9 +987,19 @@ impl FleetService {
         // from a copy-pasted (double-billing) entry, so every duplicate is
         // surfaced in the report for the operator to vet.
         let mut posted: std::collections::BTreeSet<JobId> = std::collections::BTreeSet::new();
+        // Accepted-but-unreleased specs, in submission order: an
+        // `Accepted` entry is retired by the `Run` entry that releases
+        // the same job; whatever survives the replay was accepted and
+        // never released — the restarted service resubmits exactly those
+        // (see [`RecoveryReport::unreleased`]).
+        let mut accepted_pending: Vec<JobSpec> = Vec::new();
         let mut report = RecoveryReport::default();
         for entry in entries {
             match entry {
+                JournalEntry::Accepted(spec) => {
+                    accepted_pending.push(spec.clone());
+                    report.accepted += 1;
+                }
                 JournalEntry::Checkpoint(checkpoint) => {
                     if report.runs_replayed > 0 {
                         return Err(RecoveryError::MisplacedCheckpoint);
@@ -964,6 +1021,14 @@ impl FleetService {
                         .collect();
                 }
                 JournalEntry::Run(record) => {
+                    // The release retires the oldest matching Accepted
+                    // entry (same-id resubmissions pair in order).
+                    if let Some(pos) = accepted_pending
+                        .iter()
+                        .position(|spec| spec.id == record.job.id)
+                    {
+                        accepted_pending.remove(pos);
+                    }
                     if !posted.insert(record.job.id) {
                         if strict {
                             // On a chained journal a byte-identical repeat
@@ -1033,6 +1098,7 @@ impl FleetService {
             }
         }
         report.unconfirmed = pending.values().map(|queue| queue.len() as u64).sum();
+        report.unreleased = accepted_pending;
         // Cadence bookkeeping: everything after the last checkpoint was
         // replayed here, so that is how many runs the next inline
         // checkpoint is due after.
@@ -1108,6 +1174,8 @@ impl FleetService {
         stats: &IngestStats,
         stale: &[TenantId],
         rejected_delta: u64,
+        retries_delta: u64,
+        failures_delta: u64,
     ) {
         self.metrics.gauge_set(
             "fleet_queue_depth",
@@ -1139,6 +1207,24 @@ impl FleetService {
             "Submissions rejected because the queue was full",
             &[],
             rejected_delta as f64,
+        );
+        self.metrics.gauge_set(
+            QUARANTINED_METRIC,
+            QUARANTINED_HELP,
+            &[],
+            if stats.quarantined { 1.0 } else { 0.0 },
+        );
+        self.metrics.counter_add(
+            JOURNAL_RETRIES_METRIC,
+            JOURNAL_RETRIES_HELP,
+            &[],
+            retries_delta as f64,
+        );
+        self.metrics.counter_add(
+            JOURNAL_FAILURES_METRIC,
+            JOURNAL_FAILURES_HELP,
+            &[],
+            failures_delta as f64,
         );
     }
 }
@@ -1242,6 +1328,10 @@ pub struct FleetStream<'a> {
     inflight_exported: Vec<TenantId>,
     /// Rejected-submission count already added to the metrics counter.
     rejected_exported: u64,
+    /// Journal retry count already added to the metrics counter.
+    retries_exported: u64,
+    /// Journal failure count already added to the metrics counter.
+    failures_exported: u64,
 }
 
 impl FleetStream<'_> {
@@ -1274,6 +1364,47 @@ impl FleetStream<'_> {
     /// Resumes dispatch after [`FleetStream::pause`].
     pub fn resume(&self) {
         self.ingest.resume()
+    }
+
+    /// Durability health: quarantine flag, retry/failure counters, the
+    /// stalled-record backlog and the last journal error. The session
+    /// keeps executing while quarantined — only the billing boundary
+    /// (release → post) is closed — so poll this to decide when a
+    /// [`FleetStream::resume_with_sink`] failover is needed.
+    pub fn health(&self) -> FleetHealth {
+        self.ingest.health()
+    }
+
+    /// Fails the journal over to a **fresh** sink and lifts the
+    /// quarantine, then pumps the drained backlog into the service.
+    ///
+    /// The service-level failover writes a leading [`Checkpoint`] of the
+    /// current accounting state into the new sink before anything else:
+    /// a checkpoint is the one entry [`parse_journal`] allows to adopt a
+    /// foreign chain anchor, so the new sink replays **standalone** with
+    /// [`FleetService::recover_latest`] — no splicing with the dead
+    /// sink's lines required. After the checkpoint, the pending
+    /// accepted-but-unreleased specs are re-journaled (the new sink is
+    /// self-contained for submission-side recovery too), the stalled
+    /// ready prefix is drained and posted, and normal operation resumes.
+    ///
+    /// # Errors
+    /// [`JournalError`] if the session has no journal or the replacement
+    /// sink fails while writing the leading checkpoint or the accepted
+    /// backlog — the pipeline then *stays* quarantined.
+    pub fn resume_with_sink(&mut self, sink: Box<dyn JournalSink>) -> Result<(), JournalError> {
+        let Some(journal) = &self.service.journal else {
+            return Err(JournalError::Io(
+                "stream session has no journal to fail over".to_string(),
+            ));
+        };
+        journal.fail_over(sink);
+        let checkpoint = self.service.checkpoint();
+        journal.append_checkpoint(&checkpoint)?;
+        self.service.runs_since_checkpoint = 0;
+        self.ingest.resume_after_failover()?;
+        self.pump();
+        Ok(())
     }
 
     /// Verdicts posted so far, in submission order.
@@ -1310,11 +1441,20 @@ impl FleetStream<'_> {
 
     fn export_stream_metrics(&mut self, stats: &IngestStats) {
         let delta = stats.rejected - self.rejected_exported;
-        self.service
-            .export_ingest_metrics(stats, &self.inflight_exported, delta);
+        let retries_delta = stats.retries - self.retries_exported;
+        let failures_delta = stats.journal_failures - self.failures_exported;
+        self.service.export_ingest_metrics(
+            stats,
+            &self.inflight_exported,
+            delta,
+            retries_delta,
+            failures_delta,
+        );
         self.service.export_journal_metrics();
         self.service.export_observer_metrics();
         self.rejected_exported = stats.rejected;
+        self.retries_exported = stats.retries;
+        self.failures_exported = stats.journal_failures;
         for tenant in stats.inflight.keys() {
             if !self.inflight_exported.contains(tenant) {
                 self.inflight_exported.push(*tenant);
@@ -1335,6 +1475,8 @@ impl FleetStream<'_> {
             mut verdicts,
             mut inflight_exported,
             rejected_exported,
+            retries_exported,
+            failures_exported,
         } = self;
         let outcome = ingest.finish();
         service.post_ready(outcome.records, &mut records, &mut verdicts);
@@ -1350,6 +1492,8 @@ impl FleetStream<'_> {
             &outcome.stats,
             &inflight_exported,
             outcome.stats.rejected - rejected_exported,
+            outcome.stats.retries - retries_exported,
+            outcome.stats.journal_failures - failures_exported,
         );
         service.export_journal_metrics();
         service.export_observer_metrics();

@@ -81,16 +81,22 @@ pub enum Stage {
     /// Release → post: billing, audit and metering of one released record
     /// (the audit span nests inside this one).
     Post,
+    /// One failed journal commit attempt that the retry policy will retry
+    /// (see [`crate::faults::RetryPolicy`]) — attributed to the first
+    /// record (or the submitted spec) of the failed batch. Absent from
+    /// healthy runs.
+    JournalRetry,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::QueueWait,
         Stage::Execute,
         Stage::Audit,
         Stage::JournalCommit,
         Stage::Post,
+        Stage::JournalRetry,
     ];
 
     /// Short stable snake_case name, used as the `stage` label of the
@@ -102,6 +108,7 @@ impl Stage {
             Stage::Audit => "audit",
             Stage::JournalCommit => "journal_commit",
             Stage::Post => "post",
+            Stage::JournalRetry => "journal_retry",
         }
     }
 
@@ -112,6 +119,7 @@ impl Stage {
             Stage::Audit => 2,
             Stage::JournalCommit => 3,
             Stage::Post => 4,
+            Stage::JournalRetry => 5,
         }
     }
 }

@@ -511,8 +511,8 @@ fn journal_recovery_is_bit_identical_across_1_2_8_workers() {
         );
         let text = service.metrics_text();
         assert!(
-            text.contains("fleet_journal_appends_total 72"),
-            "24 runs + 24 invoices + 24 verdicts; dump:\n{text}"
+            text.contains("fleet_journal_appends_total 96"),
+            "24 accepted + 24 runs + 24 invoices + 24 verdicts; dump:\n{text}"
         );
         assert!(
             !text.contains("fleet_journal_bytes_total 0\n"),
@@ -522,6 +522,7 @@ fn journal_recovery_is_bit_identical_across_1_2_8_workers() {
         // The journal replays into a bit-identical restarted service.
         let (entries, tail) = journal.entries().unwrap();
         assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(count_entries(&entries, "accepted"), 24);
         assert_eq!(count_entries(&entries, "run"), 24);
         assert_eq!(count_entries(&entries, "invoice"), 24);
         assert_eq!(count_entries(&entries, "verdict"), 24);
@@ -531,6 +532,8 @@ fn journal_recovery_is_bit_identical_across_1_2_8_workers() {
         assert_eq!(report.runs_replayed, 24);
         assert_eq!(report.postings_confirmed, 48);
         assert_eq!(report.unconfirmed, 0);
+        assert_eq!(report.accepted, 24);
+        assert!(report.unreleased.is_empty(), "every accepted job released");
         assert!(
             report.is_consistent(),
             "mismatches: {:?}",
@@ -1340,13 +1343,16 @@ fn tracing_does_not_perturb_results_at_1_2_8_workers() {
 
         // Span identity is seeded, not clocked: every stage of every job maps
         // to the same id whatever the worker count. (No journal is attached,
-        // so no journal-commit spans exist.)
+        // so no journal-commit spans exist — and no retry spans either,
+        // since those only appear when a journal commit fails.)
         let mut expected: Vec<u64> = jobs
             .iter()
             .flat_map(|job| {
                 Stage::ALL
                     .iter()
-                    .filter(|stage| **stage != Stage::JournalCommit)
+                    .filter(|stage| {
+                        **stage != Stage::JournalCommit && **stage != Stage::JournalRetry
+                    })
                     .map(|stage| span_id(77, job.id, *stage))
             })
             .collect();
