@@ -28,7 +28,21 @@
 //!                  [--repeat N] [--out PATH] [--fsync never|every|group]
 //!                  [--group-entries N] [--group-bytes N]
 //!                  [--segment-bytes N] [--checkpoint-every N]
+//!                  [--arrival-rate JOBS_PER_SEC] [--duration SECS]
 //! ```
+//!
+//! With `--arrival-rate` the harness additionally runs an **open-loop
+//! sustained-load session**: a seeded Poisson arrival schedule (quantized
+//! to 1 ms virtual ticks) is paced against the wall clock and submitted in
+//! `submit_all` chunks through a bounded, shed-on-overflow queue — load
+//! keeps arriving whether or not the service keeps up, which is what
+//! separates a saturation measurement from the closed-loop modes above.
+//! Tenant fairness is deficit-weighted by rate card (a tenant paying 4×
+//! the base rate gets a 4× queue weight), and a small autoscaler
+//! grows/shrinks the worker pool off the queue-depth gauge. The session's
+//! saturation report (offered vs achieved rate, shed count, queue-depth
+//! peak, autoscale trace, buffer-pool recycling, per-tenant shares) lands
+//! in the output JSON under `open_loop`.
 //!
 //! Modes are measured in interleaved rounds (off, file, segmented, off,
 //! file, …) and the reported run per mode is the **median** by wall
@@ -48,10 +62,10 @@ use std::time::Instant;
 
 use serde::Serialize;
 use trustmeter_fleet::{
-    metering_exposition, AttackSpec, CheckpointCadence, FaultInjectingSink, FaultSchedule,
-    FleetConfig, FleetService, FsyncPolicy, IngestConfig, JobSpec, Journal, JournalStats,
-    PipelineTracer, RateCard, RetryPolicy, SamplingPolicy, SegmentConfig, SegmentedFileSink, Stage,
-    Tenant, TenantId,
+    metering_exposition, AttackSpec, BackpressurePolicy, CheckpointCadence, FaultInjectingSink,
+    FaultSchedule, FleetConfig, FleetService, FsyncPolicy, IngestConfig, JobSpec, Journal,
+    JournalStats, PipelineTracer, PoolStats, RateCard, RetryPolicy, SamplingPolicy, SegmentConfig,
+    SegmentedFileSink, Stage, SubmitError, Tenant, TenantId,
 };
 use trustmeter_workloads::Workload;
 
@@ -186,9 +200,11 @@ struct BenchReport {
     /// journal was reopened (0 outside sealed mode).
     seals_verified: u64,
     /// Whether a post-run recovery from the journal reproduced the live
-    /// ledger and metering exposition bit for bit (segmented, sealed and
-    /// faulted modes only; `false` means the check did not run).
-    recovery_bit_identical: bool,
+    /// ledger and metering exposition bit for bit. `null` for the modes
+    /// that have nothing to recover from (`off`, and `file` — the legacy
+    /// sink has no recovery check wired); a boolean only where the check
+    /// actually ran, so "did not run" can never read as "failed".
+    recovery_bit_identical: Option<bool>,
     /// End-to-end wall clock of the median tracing-**on** round, in
     /// seconds (`wall_secs` is the tracing-off median — both run in every
     /// interleaved round).
@@ -206,18 +222,21 @@ struct BenchReport {
     stages: Vec<StageLatency>,
 }
 
+/// The `i`-th harness job: tenants and workloads rotate, every fourth job
+/// carries an attack (shared by the closed-loop batch and the open-loop
+/// arrival stream).
+fn spec(i: u64) -> JobSpec {
+    let tenant = TenantId((i % 4) as u32 + 1);
+    let workload = Workload::ALL[(i % 4) as usize];
+    if i.is_multiple_of(4) {
+        JobSpec::attacked(i, tenant, workload, SCALE, AttackSpec::Shell)
+    } else {
+        JobSpec::clean(i, tenant, workload, SCALE)
+    }
+}
+
 fn batch(n: u64) -> Vec<JobSpec> {
-    (0..n)
-        .map(|i| {
-            let tenant = TenantId((i % 4) as u32 + 1);
-            let workload = Workload::ALL[(i % 4) as usize];
-            if i % 4 == 0 {
-                JobSpec::attacked(i, tenant, workload, SCALE, AttackSpec::Shell)
-            } else {
-                JobSpec::clean(i, tenant, workload, SCALE)
-            }
-        })
-        .collect()
+    (0..n).map(spec).collect()
 }
 
 fn build_service(workers: usize) -> FleetService {
@@ -309,8 +328,11 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
         ingest = ingest.with_retry_policy(policy);
     }
     let mut stream = service.stream(ingest);
-    for spec in &specs {
-        stream.submit(spec.clone()).expect("queue sized for batch");
+    // Submit in chunks: one guard hold, one Accepted group commit and one
+    // worker wake per chunk instead of per job (results are bit-identical
+    // to per-job submission), pumping completions between chunks.
+    for chunk in specs.chunks(32) {
+        stream.submit_all(chunk).expect("queue sized for batch");
         stream.pump();
     }
     // Keep pumping while the workers drain, like a live consumer would:
@@ -354,9 +376,9 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
             let verification = reopened.verify(SEED).expect("verify sealed bench journal");
             seals_verified = verification.seals_verified;
         }
-        true
+        Some(true)
     } else {
-        false
+        None
     };
     let _ = std::fs::remove_dir_all(&scratch);
 
@@ -417,16 +439,37 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
 
 /// Folds the median traced round into the median untraced report: the
 /// headline `wall_secs` stays the tracing-off number, the traced round
-/// contributes its wall clock (for the overhead delta), the observer
-/// self-accounting and the per-stage distributions.
-fn merge_traced(mut untraced: BenchReport, traced: BenchReport) -> BenchReport {
+/// contributes its wall clock, the observer self-accounting and the
+/// per-stage distributions. `tracing_overhead_pct` is **not** the ratio of
+/// the two medians — those may come from different rounds, and on a noisy
+/// machine that ratio swings by more than the effect being measured.
+/// Instead it is the median of the per-round *paired* deltas: each round
+/// runs tracing-on and tracing-off back to back, so its delta cancels
+/// whatever drift that round carried, and the median across rounds drops
+/// the outliers.
+fn merge_traced(
+    mut untraced: BenchReport,
+    traced: BenchReport,
+    paired_overhead_pct: f64,
+) -> BenchReport {
     untraced.traced_wall_secs = traced.wall_secs;
-    untraced.tracing_overhead_pct =
-        (traced.wall_secs / untraced.wall_secs.max(f64::EPSILON) - 1.0) * 100.0;
+    untraced.tracing_overhead_pct = paired_overhead_pct;
     untraced.observer_spans = traced.observer_spans;
     untraced.observer_overhead_secs = traced.observer_overhead_secs;
     untraced.stages = traced.stages;
     untraced
+}
+
+/// The median of the per-round tracing-on vs tracing-off wall-clock
+/// deltas, in percent (`rounds` pairs each round's two runs).
+fn median_paired_overhead_pct(untraced: &[BenchReport], traced: &[BenchReport]) -> f64 {
+    let mut deltas: Vec<f64> = untraced
+        .iter()
+        .zip(traced)
+        .map(|(off, on)| (on.wall_secs / off.wall_secs.max(f64::EPSILON) - 1.0) * 100.0)
+        .collect();
+    deltas.sort_by(f64::total_cmp);
+    deltas[deltas.len() / 2]
 }
 
 fn stats_line(stats: &JournalStats) -> String {
@@ -451,6 +494,270 @@ fn median_by_wall(mut samples: Vec<BenchReport>) -> BenchReport {
     report
 }
 
+// ---------------------------------------------------------------------------
+// Open-loop sustained-load session (`--arrival-rate`)
+// ---------------------------------------------------------------------------
+
+/// Virtual tick the arrival schedule is quantized to (1 ms).
+const TICK_SECS: f64 = 0.001;
+/// Bounded submission queue of the open-loop session; overflow is shed
+/// (counted, never blocked on — blocking would close the loop).
+const OPEN_LOOP_QUEUE: usize = 1024;
+/// Per-tenant rate cards of the open-loop session, in $/cpu-hour. Fairness
+/// weights are derived from these: a tenant paying 4× the base rate gets a
+/// 4× deficit-round-robin weight.
+const OPEN_LOOP_RATES: [f64; 4] = [0.05, 0.10, 0.10, 0.20];
+
+/// The deficit-round-robin weight a rate card buys: its multiple of the
+/// cheapest card, rounded (so [0.05, 0.10, 0.10, 0.20] → [1, 2, 2, 4]).
+fn rate_card_weight(rate: f64) -> u32 {
+    let base = OPEN_LOOP_RATES
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    ((rate / base).round() as u32).max(1)
+}
+
+/// One tenant's share of the open-loop session.
+#[derive(Debug, Serialize)]
+struct OpenLoopTenant {
+    /// Tenant id.
+    tenant: u32,
+    /// The tenant's rate card, in $/cpu-hour.
+    rate_per_cpu_hour: f64,
+    /// The deficit-round-robin weight the rate card bought.
+    weight: u32,
+    /// Jobs of this tenant that completed and were billed.
+    completed_runs: u64,
+    /// The tenant's billed charge.
+    billed_charge: f64,
+}
+
+/// What the open-loop sustained-load session measured.
+#[derive(Debug, Serialize)]
+struct OpenLoopReport {
+    /// Harness identifier.
+    bench: &'static str,
+    /// Seed of the arrival schedule (and the fleet).
+    seed: u64,
+    /// Offered arrival rate, jobs per second.
+    arrival_rate: f64,
+    /// Length of the arrival window, seconds (drain time excluded).
+    duration_secs: f64,
+    /// Virtual tick the schedule is quantized to, seconds.
+    virtual_tick_secs: f64,
+    /// Bounded submission-queue capacity (overflow is shed).
+    queue_capacity: usize,
+    /// Worker-pool floor (the starting size; the autoscaler never shrinks
+    /// below it).
+    workers_min: usize,
+    /// Worker-pool ceiling the autoscaler may grow to.
+    workers_max: usize,
+    /// Largest pool the autoscaler actually reached.
+    workers_peak: usize,
+    /// Autoscaler grow steps taken (one worker each).
+    scale_ups: u64,
+    /// Autoscaler shrink steps taken.
+    scale_downs: u64,
+    /// Jobs the seeded schedule offered.
+    jobs_offered: u64,
+    /// Jobs the bounded queue accepted.
+    jobs_accepted: u64,
+    /// Jobs shed because the queue was full (offered − accepted).
+    jobs_rejected: u64,
+    /// Jobs that completed and were billed.
+    jobs_completed: u64,
+    /// Wall clock of the whole session (arrival window + drain), seconds.
+    wall_secs: f64,
+    /// The offered rate (`arrival_rate`, repeated for the report reader).
+    offered_jobs_per_sec: f64,
+    /// Completed jobs over the whole session wall clock.
+    achieved_jobs_per_sec: f64,
+    /// Whether the service saturated: it shed load, or completed less
+    /// than 95 % of the offered rate.
+    saturated: bool,
+    /// Deepest backlog the queue-depth gauge reached.
+    queue_depth_peak: usize,
+    /// Release-path buffer recycling over the session.
+    pool: PoolStats,
+    /// Per-tenant weights and billed shares.
+    tenants: Vec<OpenLoopTenant>,
+}
+
+/// The report file: one closed-loop entry per durability mode under
+/// `modes`, plus the open-loop saturation report when `--arrival-rate`
+/// ran one (`null` otherwise).
+#[derive(Debug, Serialize)]
+struct BenchFile {
+    /// Closed-loop mode reports (off, file, segmented, sealed, …).
+    modes: Vec<BenchReport>,
+    /// Open-loop sustained-load report (`--arrival-rate` only).
+    open_loop: Option<OpenLoopReport>,
+}
+
+/// splitmix64 — the arrival schedule's own tiny RNG, so the bench does not
+/// reach into the simulator's.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in (0, 1].
+fn unit(state: &mut u64) -> f64 {
+    ((splitmix(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// The seeded Poisson arrival schedule: exponential inter-arrival times at
+/// `rate` jobs/s, quantized to virtual ticks, covering `duration` seconds.
+/// Deterministic for a given seed — two runs offer byte-identical load.
+fn arrival_schedule(seed: u64, rate: f64, duration: f64) -> Vec<u64> {
+    let mut state = seed;
+    let mut at = 0.0;
+    let mut ticks = Vec::new();
+    loop {
+        at += -unit(&mut state).ln() / rate;
+        if at >= duration {
+            return ticks;
+        }
+        ticks.push((at / TICK_SECS) as u64);
+    }
+}
+
+/// Runs the open-loop sustained-load session: pace the seeded schedule
+/// against the wall clock, submit due arrivals in `submit_all` chunks,
+/// shed on overflow, autoscale the worker pool off the queue-depth gauge,
+/// and report saturation.
+fn run_open_loop(rate: f64, duration: f64, workers: usize) -> OpenLoopReport {
+    let mut service = FleetService::new(FleetConfig::new(workers, SEED));
+    for (i, rate_card) in OPEN_LOOP_RATES.iter().enumerate() {
+        let id = i as u32 + 1;
+        service.register(Tenant::new(
+            TenantId(id),
+            format!("t{id}"),
+            RateCard::per_cpu_hour(*rate_card),
+        ));
+    }
+    let mut stream = service.stream(
+        IngestConfig::new(workers)
+            .with_capacity(OPEN_LOOP_QUEUE)
+            .with_backpressure(BackpressurePolicy::Reject),
+    );
+    // Deficit-weighted fairness: queue share follows the rate card.
+    for (i, rate_card) in OPEN_LOOP_RATES.iter().enumerate() {
+        stream.set_tenant_weight(TenantId(i as u32 + 1), rate_card_weight(*rate_card));
+    }
+
+    let schedule = arrival_schedule(SEED, rate, duration);
+    let offered = schedule.len() as u64;
+    let workers_max = (workers * 2).max(workers + 1);
+    let mut current = workers;
+    let mut workers_peak = workers;
+    let (mut scale_ups, mut scale_downs) = (0u64, 0u64);
+    let mut queue_depth_peak = 0usize;
+    // Autoscaler: grow a worker when the backlog passes half the queue,
+    // retire one when it falls below a sixteenth — hysteresis wide enough
+    // that the pool does not flap on every pump.
+    let mut autoscale = |stream: &mut trustmeter_fleet::FleetStream<'_>, current: &mut usize| {
+        let depth = stream.stats().queued;
+        queue_depth_peak = queue_depth_peak.max(depth);
+        if depth >= OPEN_LOOP_QUEUE / 2 && *current < workers_max {
+            *current += 1;
+            stream.scale_workers(*current);
+            scale_ups += 1;
+            workers_peak = workers_peak.max(*current);
+        } else if depth <= OPEN_LOOP_QUEUE / 16 && *current > workers {
+            *current -= 1;
+            stream.scale_workers(*current);
+            scale_downs += 1;
+        }
+    };
+
+    let start = Instant::now();
+    let mut next = 0usize;
+    let mut chunk: Vec<JobSpec> = Vec::new();
+    while next < schedule.len() {
+        // Open loop: everything due by the current virtual tick is offered
+        // now, whether or not the service kept up.
+        let tick = (start.elapsed().as_secs_f64() / TICK_SECS) as u64;
+        chunk.clear();
+        while next < schedule.len() && schedule[next] <= tick {
+            chunk.push(spec(next as u64));
+            next += 1;
+        }
+        if !chunk.is_empty() {
+            if let Err(e) = stream.submit_all(&chunk) {
+                // Queue full: the tail of the chunk was shed (counted by
+                // the pipeline); anything else is a harness bug.
+                assert_eq!(e.error, SubmitError::QueueFull, "open-loop submit: {e}");
+            }
+        }
+        stream.pump();
+        autoscale(&mut stream, &mut current);
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    // Drain what the bounded queue accepted, autoscaling down as the
+    // backlog empties.
+    let mut stats = stream.stats();
+    while stats.completed < stats.submitted {
+        stream.pump();
+        autoscale(&mut stream, &mut current);
+        std::thread::yield_now();
+        stats = stream.stats();
+    }
+    stream.pump();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let stats = stream.stats();
+    let report = stream.finish();
+    // End the autoscaler's borrows of the counters it reports on.
+    #[allow(clippy::drop_non_drop)]
+    drop(autoscale);
+
+    let completed = report.records.len() as u64;
+    let achieved = completed as f64 / wall_secs.max(f64::EPSILON);
+    let tenants = OPEN_LOOP_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, rate_card)| {
+            let id = TenantId(i as u32 + 1);
+            let account = report.ledger.account(id);
+            OpenLoopTenant {
+                tenant: id.0,
+                rate_per_cpu_hour: *rate_card,
+                weight: rate_card_weight(*rate_card),
+                completed_runs: account.map(|a| a.runs).unwrap_or(0),
+                billed_charge: account.map(|a| a.billed_charge).unwrap_or(0.0),
+            }
+        })
+        .collect();
+    OpenLoopReport {
+        bench: "fleet_open_loop",
+        seed: SEED,
+        arrival_rate: rate,
+        duration_secs: duration,
+        virtual_tick_secs: TICK_SECS,
+        queue_capacity: OPEN_LOOP_QUEUE,
+        workers_min: workers,
+        workers_max,
+        workers_peak,
+        scale_ups,
+        scale_downs,
+        jobs_offered: offered,
+        jobs_accepted: stats.submitted,
+        jobs_rejected: stats.rejected,
+        jobs_completed: completed,
+        wall_secs,
+        offered_jobs_per_sec: rate,
+        achieved_jobs_per_sec: achieved,
+        saturated: stats.rejected > 0 || achieved < 0.95 * rate,
+        queue_depth_peak,
+        pool: stats.pool,
+        tenants,
+    }
+}
+
 fn main() {
     // 192 jobs: enough post-checkpoint volume (the cadence fires at run
     // 100) that at least one sealed segment outlives retirement, so the
@@ -459,6 +766,8 @@ fn main() {
     let mut workers: usize = 4;
     let mut repeat: usize = 5;
     let mut faults = false;
+    let mut arrival_rate: Option<f64> = None;
+    let mut duration: f64 = 2.0;
     let mut out = String::from("BENCH_fleet.json");
     let mut fsync = FsyncPolicy::GroupCommit {
         max_entries: 64,
@@ -526,12 +835,24 @@ fn main() {
                 let value = args.next().expect("--checkpoint-every requires a value");
                 checkpoint_every = value.parse().expect("--checkpoint-every takes an integer");
             }
+            "--arrival-rate" => {
+                let value = args.next().expect("--arrival-rate requires a value");
+                let rate: f64 = value.parse().expect("--arrival-rate takes jobs/sec");
+                assert!(rate > 0.0, "--arrival-rate must be positive");
+                arrival_rate = Some(rate);
+            }
+            "--duration" => {
+                let value = args.next().expect("--duration requires a value");
+                duration = value.parse().expect("--duration takes seconds");
+                assert!(duration > 0.0, "--duration must be positive");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: trustmeter-bench [--smoke] [--faults] [--jobs N] [--workers N] \
                      [--repeat N] [--out PATH] [--fsync never|every|group] [--group-entries N] \
-                     [--group-bytes N] [--segment-bytes N] [--checkpoint-every N]"
+                     [--group-bytes N] [--segment-bytes N] [--checkpoint-every N] \
+                     [--arrival-rate JOBS_PER_SEC] [--duration SECS]"
                 );
                 std::process::exit(2);
             }
@@ -614,12 +935,34 @@ fn main() {
     let reports: Vec<BenchReport> = untraced_samples
         .into_iter()
         .zip(traced_samples)
-        .map(|(untraced, traced)| merge_traced(median_by_wall(untraced), median_by_wall(traced)))
+        .map(|(untraced, traced)| {
+            let overhead = median_paired_overhead_pct(&untraced, &traced);
+            merge_traced(median_by_wall(untraced), median_by_wall(traced), overhead)
+        })
         .collect();
 
-    let json = serde_json::to_string_pretty(&reports).expect("serialize report");
+    // Smoke caps the open-loop window too: prove the pacing loop, the
+    // shedding path and the autoscaler run, not a real measurement.
+    let open_loop = arrival_rate.map(|rate| {
+        run_open_loop(
+            rate,
+            if jobs <= 8 {
+                duration.min(1.0)
+            } else {
+                duration
+            },
+            workers,
+        )
+    });
+
+    let file = BenchFile {
+        modes: reports,
+        open_loop,
+    };
+    let json = serde_json::to_string_pretty(&file).expect("serialize report");
     std::fs::write(&out, format!("{json}\n")).expect("write report file");
-    for report in &reports {
+    let reports = &file.modes;
+    for report in reports {
         println!(
             "journal={}: {} jobs / {} workers: {:.3} s wall, {:.1} jobs/s, \
              {} replays, {} reference hits, {}",
@@ -667,12 +1010,43 @@ fn main() {
             "journal={} overhead: {:+.1}% wall clock{}",
             report.journal,
             (report.wall_secs / baseline - 1.0) * 100.0,
-            if report.recovery_bit_identical {
+            if report.recovery_bit_identical == Some(true) {
                 " (recovery verified bit-identical)"
             } else {
                 ""
             }
         );
+    }
+    if let Some(open) = &file.open_loop {
+        println!(
+            "open-loop @ {:.0} jobs/s for {:.1} s: offered {}, completed {} \
+             ({:.1} jobs/s achieved), shed {}, queue peak {}, workers {}→{} \
+             ({} ups / {} downs), pool reuse {}/{}{}",
+            open.arrival_rate,
+            open.duration_secs,
+            open.jobs_offered,
+            open.jobs_completed,
+            open.achieved_jobs_per_sec,
+            open.jobs_rejected,
+            open.queue_depth_peak,
+            open.workers_min,
+            open.workers_peak,
+            open.scale_ups,
+            open.scale_downs,
+            open.pool.reused,
+            open.pool.acquired,
+            if open.saturated { " — SATURATED" } else { "" },
+        );
+        for tenant in &open.tenants {
+            println!(
+                "  tenant {} (weight {}, ${:.2}/cpu-h): {} runs, ${:.4} billed",
+                tenant.tenant,
+                tenant.weight,
+                tenant.rate_per_cpu_hour,
+                tenant.completed_runs,
+                tenant.billed_charge,
+            );
+        }
     }
     println!("→ {out}");
 }

@@ -58,6 +58,32 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// Hashes the concatenation of two 32-byte digests — the execution
+    /// witness's chain-update shape, `H(chain || step)`. Bit-identical to
+    /// `digest(&[a, b].concat())` but skips the streaming buffer: the
+    /// message is exactly one data block, so the padding block is a
+    /// compile-time constant (0x80 marker, 512-bit length).
+    pub fn digest_pair(a: &[u8; 32], b: &[u8; 32]) -> [u8; 32] {
+        const PAD: [u8; 64] = {
+            let mut pad = [0u8; 64];
+            pad[0] = 0x80;
+            // 64 bytes = 512 bits, big-endian in the trailing length field.
+            pad[62] = 0x02;
+            pad
+        };
+        let mut state = H0;
+        let mut block = [0u8; 64];
+        block[..32].copy_from_slice(a);
+        block[32..].copy_from_slice(b);
+        Self::compress(&mut state, &block);
+        Self::compress(&mut state, &PAD);
+        let mut out = [0u8; 32];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
     /// Feeds more data into the hasher.
     pub fn update(&mut self, mut data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
@@ -88,13 +114,20 @@ impl Sha256 {
     /// Finishes the computation and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 64-bit big-endian length.
-        self.update_padding(&[0x80]);
-        while self.buffer_len != 56 {
-            self.update_padding(&[0]);
+        // Padding: 0x80, zeros, 64-bit big-endian length — assembled as
+        // whole blocks rather than byte-at-a-time.
+        let mut block = [0u8; 64];
+        block[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+        block[self.buffer_len] = 0x80;
+        if self.buffer_len < 56 {
+            block[56..].copy_from_slice(&bit_len.to_be_bytes());
+            self.process_block(&block);
+        } else {
+            self.process_block(&block);
+            let mut last = [0u8; 64];
+            last[56..].copy_from_slice(&bit_len.to_be_bytes());
+            self.process_block(&last);
         }
-        self.update_padding(&bit_len.to_be_bytes());
-        debug_assert_eq!(self.buffer_len, 0);
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
@@ -102,21 +135,19 @@ impl Sha256 {
         out
     }
 
-    /// Like `update` but without advancing `total_len` (used only for
-    /// padding bytes).
-    fn update_padding(&mut self, data: &[u8]) {
-        for &b in data {
-            self.buffer[self.buffer_len] = b;
-            self.buffer_len += 1;
-            if self.buffer_len == 64 {
-                let block = self.buffer;
-                self.process_block(&block);
-                self.buffer_len = 0;
-            }
-        }
+    fn process_block(&mut self, block: &[u8; 64]) {
+        Self::compress(&mut self.state, block);
     }
 
-    fn process_block(&mut self, block: &[u8; 64]) {
+    fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if shani::try_compress(state, block) {
+            return;
+        }
+        Self::compress_scalar(state, block);
+    }
+
+    fn compress_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -134,7 +165,7 @@ impl Sha256 {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ ((!e) & g);
@@ -155,21 +186,23 @@ impl Sha256 {
             b = a;
             a = temp1.wrapping_add(temp2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
     }
 
     /// Renders a digest as lowercase hex.
     pub fn to_hex(digest: &[u8; 32]) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
         let mut s = String::with_capacity(64);
         for b in digest {
-            s.push_str(&format!("{b:02x}"));
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0x0f) as usize] as char);
         }
         s
     }
@@ -199,6 +232,109 @@ impl Sha256 {
 impl Default for Sha256 {
     fn default() -> Self {
         Sha256::new()
+    }
+}
+
+/// Hardware-accelerated compression via the x86 SHA extensions. Produces
+/// exactly the FIPS 180-4 state transition, so digests are bit-identical to
+/// the scalar path; selection is a runtime CPU-feature check.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod shani {
+    use super::K;
+    use core::arch::x86_64::*;
+
+    /// Whether the CPU supports the SHA extensions (and the SSE levels the
+    /// kernel routine needs). `is_x86_feature_detected!` caches the CPUID
+    /// probe, so this is an atomic load after the first call.
+    #[inline]
+    fn available() -> bool {
+        std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+
+    /// Compresses one block with the SHA extensions; returns `false` (doing
+    /// nothing) on CPUs without them so the caller can fall back to scalar.
+    #[inline]
+    pub fn try_compress(state: &mut [u32; 8], block: &[u8; 64]) -> bool {
+        if !available() {
+            return false;
+        }
+        // SAFETY: `available()` verified the sha/ssse3/sse4.1 features at
+        // runtime.
+        unsafe { compress(state, block) };
+        true
+    }
+
+    /// One 64-byte block, following Intel's canonical SHA-NI schedule.
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    unsafe fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Byte shuffle turning little-endian loads into big-endian words.
+        let shuf = _mm_set_epi64x(
+            0x0c0d_0e0f_0809_0a0bu64 as i64,
+            0x0405_0607_0001_0203u64 as i64,
+        );
+
+        // Load (a,b,c,d) / (e,f,g,h) and rearrange into the (ABEF, CDGH)
+        // lane layout sha256rnds2 expects.
+        let abcd = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+        let efgh = _mm_loadu_si128(state.as_ptr().add(4) as *const __m128i);
+        let tmp = _mm_shuffle_epi32(abcd, 0xB1);
+        let efgh = _mm_shuffle_epi32(efgh, 0x1B);
+        let mut abef = _mm_alignr_epi8(tmp, efgh, 8);
+        let mut cdgh = _mm_blend_epi16(efgh, tmp, 0xF0);
+        let abef_save = abef;
+        let cdgh_save = cdgh;
+
+        // W0..W15.
+        let mut m = [
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr() as *const __m128i), shuf),
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(16) as *const __m128i),
+                shuf,
+            ),
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(32) as *const __m128i),
+                shuf,
+            ),
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(48) as *const __m128i),
+                shuf,
+            ),
+        ];
+
+        for j in 0..16 {
+            let w = if j < 4 {
+                m[j]
+            } else {
+                // W[4j..4j+4] from the four preceding word groups.
+                let t = _mm_sha256msg1_epu32(m[0], m[1]);
+                let t = _mm_add_epi32(t, _mm_alignr_epi8(m[3], m[2], 4));
+                let n = _mm_sha256msg2_epu32(t, m[3]);
+                m[0] = m[1];
+                m[1] = m[2];
+                m[2] = m[3];
+                m[3] = n;
+                n
+            };
+            let k = _mm_loadu_si128(K.as_ptr().add(4 * j) as *const __m128i);
+            let wk = _mm_add_epi32(w, k);
+            cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+            let wk_hi = _mm_shuffle_epi32(wk, 0x0E);
+            abef = _mm_sha256rnds2_epu32(abef, cdgh, wk_hi);
+        }
+
+        let abef = _mm_add_epi32(abef, abef_save);
+        let cdgh = _mm_add_epi32(cdgh, cdgh_save);
+
+        // Back to the (a,b,c,d) / (e,f,g,h) layout.
+        let tmp = _mm_shuffle_epi32(abef, 0x1B);
+        let cdgh = _mm_shuffle_epi32(cdgh, 0xB1);
+        let abcd = _mm_blend_epi16(tmp, cdgh, 0xF0);
+        let efgh = _mm_alignr_epi8(cdgh, tmp, 8);
+        _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, abcd);
+        _mm_storeu_si128(state.as_mut_ptr().add(4) as *mut __m128i, efgh);
     }
 }
 
@@ -288,5 +424,15 @@ mod tests {
     #[test]
     fn different_inputs_different_digests() {
         assert_ne!(Sha256::digest(b"hello"), Sha256::digest(b"hellp"));
+    }
+
+    #[test]
+    fn digest_pair_matches_streaming_concatenation() {
+        let a = Sha256::digest(b"left");
+        let b = Sha256::digest(b"right");
+        let mut h = Sha256::new();
+        h.update(&a);
+        h.update(&b);
+        assert_eq!(Sha256::digest_pair(&a, &b), h.finalize());
     }
 }

@@ -73,11 +73,17 @@ impl ExecutionWitness {
 
     /// Records the execution of a block identified by `block_id`.
     pub fn record(&mut self, block_id: &str) {
-        let step = Digest::of(block_id.as_bytes());
-        let mut h = Sha256::new();
-        h.update(&self.chain.0);
-        h.update(&step.0);
-        self.chain = Digest(h.finalize());
+        self.record_step(Digest::of(block_id.as_bytes()));
+    }
+
+    /// Records a step whose label digest the caller has already computed —
+    /// bit-identical to [`ExecutionWitness::record`] when `step` is
+    /// `Digest::of(label)`. Control-flow labels repeat heavily (a libcall
+    /// loop re-records the same `call:<symbol>` every iteration), so
+    /// substrates memoize the label digest and pay only the chain update —
+    /// which must see every step — per record.
+    pub fn record_step(&mut self, step: Digest) {
+        self.chain = Digest(Sha256::digest_pair(&self.chain.0, &step.0));
         self.steps.push(step);
     }
 
@@ -165,6 +171,18 @@ mod tests {
         assert_eq!(diff.expected_len, 2);
         assert_eq!(diff.observed_len, 3);
         assert!(format!("{diff}").contains("step 2"));
+    }
+
+    #[test]
+    fn record_step_matches_record() {
+        let mut by_label = ExecutionWitness::new();
+        let mut by_step = ExecutionWitness::new();
+        for label in ["entry", "call:sqrt", "call:sqrt", "exit"] {
+            by_label.record(label);
+            by_step.record_step(Digest::of(label.as_bytes()));
+        }
+        assert!(by_label.matches(&by_step));
+        assert_eq!(by_label.digest(), by_step.digest());
     }
 
     #[test]

@@ -102,7 +102,7 @@ pub trait MeteringScheme {
 #[derive(Debug, Clone)]
 pub struct TickAccounting {
     jiffy: Cycles,
-    accounts: BTreeMap<TaskId, CpuTime>,
+    accounts: Accounts,
     idle_ticks: u64,
     total_ticks: u64,
 }
@@ -116,7 +116,7 @@ impl TickAccounting {
         assert!(!jiffy.is_zero(), "jiffy length must be positive");
         TickAccounting {
             jiffy,
-            accounts: BTreeMap::new(),
+            accounts: Accounts::default(),
             idle_ticks: 0,
             total_ticks: 0,
         }
@@ -147,22 +147,62 @@ impl MeteringScheme for TickAccounting {
         if let MeterEvent::TimerTick { task, mode, .. } = *event {
             self.total_ticks += 1;
             match task {
-                Some(t) => self.accounts.entry(t).or_default().charge(mode, self.jiffy),
+                Some(t) => self.accounts.charge(t, mode, self.jiffy),
                 None => self.idle_ticks += 1,
             }
         }
     }
 
     fn usage(&self, task: TaskId) -> CpuTime {
-        self.accounts.get(&task).copied().unwrap_or_default()
+        self.accounts.usage(task)
     }
 
     fn usages(&self) -> BTreeMap<TaskId, CpuTime> {
-        self.accounts.clone()
+        self.accounts.to_map()
     }
 
     fn unattributed(&self) -> Cycles {
         self.jiffy * self.idle_ticks
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense per-task accounts
+// ---------------------------------------------------------------------------
+
+/// Per-task CPU-time accounts stored densely, indexed by the `TaskId`
+/// value. The substrate allocates task ids from a small counter, so a
+/// vector lookup beats a tree on the per-event hot path; [`Accounts::to_map`]
+/// materializes the sorted map the reporting API exposes. A task appears in
+/// that map exactly when it was ever charged (every charge is a positive
+/// number of cycles), matching the old tree's insert-on-first-charge
+/// behaviour bit for bit.
+#[derive(Debug, Clone, Default)]
+struct Accounts {
+    by_id: Vec<CpuTime>,
+}
+
+impl Accounts {
+    #[inline]
+    fn charge(&mut self, task: TaskId, mode: Mode, cycles: Cycles) {
+        let idx = task.0 as usize;
+        if idx >= self.by_id.len() {
+            self.by_id.resize(idx + 1, CpuTime::ZERO);
+        }
+        self.by_id[idx].charge(mode, cycles);
+    }
+
+    fn usage(&self, task: TaskId) -> CpuTime {
+        self.by_id.get(task.0 as usize).copied().unwrap_or_default()
+    }
+
+    fn to_map(&self) -> BTreeMap<TaskId, CpuTime> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .filter(|(_, time)| !time.total().is_zero())
+            .map(|(id, time)| (TaskId(id as u32), *time))
+            .collect()
     }
 }
 
@@ -207,7 +247,7 @@ impl FineState {
 struct FineGrained {
     policy: IrqPolicy,
     state: FineState,
-    accounts: BTreeMap<TaskId, CpuTime>,
+    accounts: Accounts,
     unattributed: Cycles,
     idle: Cycles,
 }
@@ -217,7 +257,7 @@ impl FineGrained {
         FineGrained {
             policy,
             state: FineState::new(),
-            accounts: BTreeMap::new(),
+            accounts: Accounts::default(),
             unattributed: Cycles::ZERO,
             idle: Cycles::ZERO,
         }
@@ -239,11 +279,7 @@ impl FineGrained {
                 IrqPolicy::ChargeOwner => owner,
             };
             match beneficiary {
-                Some(t) => self
-                    .accounts
-                    .entry(t)
-                    .or_default()
-                    .charge(Mode::Kernel, delta),
+                Some(t) => self.accounts.charge(t, Mode::Kernel, delta),
                 None => self.unattributed += delta,
             }
             return;
@@ -255,7 +291,7 @@ impl FineGrained {
                 } else {
                     self.state.mode
                 };
-                self.accounts.entry(t).or_default().charge(mode, delta);
+                self.accounts.charge(t, mode, delta);
             }
             None => self.idle += delta,
         }
@@ -303,7 +339,7 @@ impl FineGrained {
     }
 
     fn usage(&self, task: TaskId) -> CpuTime {
-        self.accounts.get(&task).copied().unwrap_or_default()
+        self.accounts.usage(task)
     }
 }
 
@@ -371,7 +407,7 @@ impl MeteringScheme for TscAccounting {
     }
 
     fn usages(&self) -> BTreeMap<TaskId, CpuTime> {
-        self.inner.accounts.clone()
+        self.inner.accounts.to_map()
     }
 
     fn unattributed(&self) -> Cycles {
@@ -434,7 +470,7 @@ impl MeteringScheme for ProcessAwareAccounting {
     }
 
     fn usages(&self) -> BTreeMap<TaskId, CpuTime> {
-        self.inner.accounts.clone()
+        self.inner.accounts.to_map()
     }
 
     fn unattributed(&self) -> Cycles {

@@ -366,11 +366,9 @@ impl Fleet {
             None,
             self.tracer.clone(),
         );
-        for job in jobs {
-            ingest
-                .submit(job.clone())
-                .expect("batch queue sized for the whole batch");
-        }
+        ingest
+            .submit_all(jobs)
+            .expect("batch queue sized for the whole batch");
         ingest.finish().records
     }
 

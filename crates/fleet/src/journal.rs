@@ -1844,13 +1844,14 @@ pub const SELF_ACCOUNTING_FAMILIES: [&str; 15] = [
 /// moment in time, not the metered workload, and are timing-dependent
 /// while the pipeline is live — so checkpoints exclude them (see
 /// [`crate::FleetService::checkpoint`]).
-pub const LIVE_PIPELINE_FAMILIES: [&str; 6] = [
+pub const LIVE_PIPELINE_FAMILIES: [&str; 7] = [
     "fleet_queue_depth",
     "fleet_inflight",
     "fleet_submissions_rejected",
     "fleet_quarantined",
     "fleet_stage_seconds",
     "fleet_stage_seconds_by_tenant",
+    "fleet_pool_buffers",
 ];
 
 /// The metric families a checkpoint excludes from its snapshot —

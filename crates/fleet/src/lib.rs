@@ -53,6 +53,7 @@ pub mod faults;
 pub mod ingest;
 pub mod journal;
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 pub mod tenant;
 pub mod trace;
@@ -68,8 +69,8 @@ pub use faults::{
     FaultInjectingSink, FaultKind, FaultProbe, FaultSchedule, FaultStats, PlannedFault, RetryPolicy,
 };
 pub use ingest::{
-    BackpressurePolicy, FleetHealth, FleetIngest, IngestConfig, IngestHandle, IngestOutcome,
-    IngestStats, SubmitError,
+    BackpressurePolicy, BatchSubmitError, FleetHealth, FleetIngest, IngestConfig, IngestHandle,
+    IngestOutcome, IngestStats, SubmitError,
 };
 pub use journal::{
     compact, excluded_metric_families, metering_exposition, parse_journal, recovery_window,
@@ -78,7 +79,8 @@ pub use journal::{
     LedgerVerification, MemorySink, RecoveryError, RecoveryReport, SegmentConfig,
     SegmentedFileSink, SinkStats, TailStatus, LIVE_PIPELINE_FAMILIES, SELF_ACCOUNTING_FAMILIES,
 };
-pub use metrics::{MetricKind, MetricsRegistry};
+pub use metrics::{CounterCell, MetricKind, MetricsRegistry};
+pub use pool::{BufferPool, PoolStats};
 pub use queue::FairQueue;
 pub use tenant::{Ledger, Tenant, TenantDirectory, TenantId, TenantLedger};
 pub use trace::{span_id, PipelineTracer, Span, SpanWall, Stage, StageObservation, TracerStats};
@@ -87,6 +89,7 @@ pub use trace::{span_id, PipelineTracer, Span, SpanWall, Stage, StageObservation
 pub use trustmeter_core::RateCard;
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 
 const AUDIT_REPLAYS_METRIC: &str = "fleet_audit_replays_total";
@@ -257,6 +260,32 @@ pub struct FleetService {
     cadence: CheckpointCadence,
     /// Runs posted since the last inline checkpoint.
     runs_since_checkpoint: u64,
+    /// Pre-resolved atomic counter handles for the per-record posting hot
+    /// path (see [`MetricsRegistry::counter_cell`]). A process-local cache
+    /// only — cleared whenever `metrics` is replaced wholesale (checkpoint
+    /// restore), since handles are only meaningful on the registry that
+    /// issued them.
+    cells: ServiceCells,
+}
+
+/// Cached [`CounterCell`] handles for every counter the posting path
+/// touches per record, resolved once instead of re-rendering label strings
+/// and walking the registry maps on every job.
+#[derive(Debug, Default)]
+struct ServiceCells {
+    /// (audit replays, reference cache hits).
+    audit: Option<(CounterCell, CounterCell)>,
+    tenants: BTreeMap<TenantId, TenantCells>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TenantCells {
+    jobs: CounterCell,
+    /// cpu_usage split: (user, billed), (system, billed), (user, truth),
+    /// (system, truth) — the order [`FleetService::export_record`] posts.
+    cpu: [CounterCell; 4],
+    /// One per [`Anomaly::KINDS`] entry, in `KINDS` order.
+    anomalies: [CounterCell; Anomaly::KINDS.len()],
 }
 
 impl FleetService {
@@ -293,6 +322,7 @@ impl FleetService {
             observer_exported: TracerStats::default(),
             cadence: CheckpointCadence::Never,
             runs_since_checkpoint: 0,
+            cells: ServiceCells::default(),
         }
     }
 
@@ -470,9 +500,11 @@ impl FleetService {
     /// logs), group-commits all the billing/audit receipts in one journal
     /// write, then checkpoints if the cadence is due — the end of a pump
     /// is a safe point, since every journaled run is posted by then.
+    /// Drains `ready` in place (the caller keeps the emptied container so
+    /// it can recycle its capacity into the release-path pool).
     fn post_ready(
         &mut self,
-        ready: Vec<RunRecord>,
+        ready: &mut Vec<RunRecord>,
         records: &mut Vec<RunRecord>,
         verdicts: &mut Vec<AuditVerdict>,
     ) -> usize {
@@ -482,7 +514,7 @@ impl FleetService {
         }
         let mut receipts = self.journal.is_some().then(|| Vec::with_capacity(posted));
         let mut first_posted: Option<(JobId, TenantId)> = None;
-        for record in ready {
+        for record in ready.drain(..) {
             let post_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
             let (verdict, posting) = self.post_record_core(&record);
             if let (Some(tracer), Some(started)) = (&self.tracer, post_started) {
@@ -592,16 +624,25 @@ impl FleetService {
                 started.elapsed(),
             );
         }
-        self.metrics.counter_add(
-            AUDIT_REPLAYS_METRIC,
-            AUDIT_REPLAYS_HELP,
-            &[],
+        let (replay_cell, hit_cell) = match self.cells.audit {
+            Some(cells) => cells,
+            None => {
+                let cells = (
+                    self.metrics
+                        .counter_cell(AUDIT_REPLAYS_METRIC, AUDIT_REPLAYS_HELP, &[]),
+                    self.metrics
+                        .counter_cell(AUDIT_REF_HITS_METRIC, AUDIT_REF_HITS_HELP, &[]),
+                );
+                self.cells.audit = Some(cells);
+                cells
+            }
+        };
+        self.metrics.cell_add(
+            replay_cell,
             (self.auditor.replay_count() - replays_before) as f64,
         );
-        self.metrics.counter_add(
-            AUDIT_REF_HITS_METRIC,
-            AUDIT_REF_HITS_HELP,
-            &[],
+        self.metrics.cell_add(
+            hit_cell,
             (self.auditor.reference_hit_count() - hits_before) as f64,
         );
         if !verdict.is_clean() {
@@ -617,51 +658,70 @@ impl FleetService {
         (verdict, posting)
     }
 
-    fn export_record(&mut self, record: &RunRecord, verdict: &AuditVerdict) {
-        let tenant = record.job.tenant.to_string();
-        let outcome = &record.outcome;
-        self.metrics.counter_add(
+    /// Resolves (once per tenant) the cached cell handles for every counter
+    /// the posting path touches. Resolution also pre-registers each anomaly
+    /// kind's series at zero, so the exposition distinguishes "zero
+    /// anomalies" from "series never existed" exactly as the locked path
+    /// did when it posted explicit zero deltas per record.
+    fn tenant_cells(&mut self, tenant: TenantId) -> TenantCells {
+        if let Some(cells) = self.cells.tenants.get(&tenant) {
+            return *cells;
+        }
+        let label = tenant.to_string();
+        let jobs = self.metrics.counter_cell(
             "fleet_jobs",
             "Jobs executed by the fleet",
-            &[("tenant", &tenant)],
-            1.0,
+            &[("tenant", &label)],
         );
         let usage_help = "CPU seconds attributed to tenant jobs";
-        for (state, source, secs) in [
-            ("user", "billed", outcome.billed_utime_secs()),
-            ("system", "billed", outcome.billed_stime_secs()),
-            (
-                "user",
-                "truth",
-                outcome.truth_total_secs() - outcome.truth_stime_secs(),
-            ),
-            ("system", "truth", outcome.truth_stime_secs()),
-        ] {
-            self.metrics.counter_add(
+        let cpu = [
+            ("user", "billed"),
+            ("system", "billed"),
+            ("user", "truth"),
+            ("system", "truth"),
+        ]
+        .map(|(state, source)| {
+            self.metrics.counter_cell(
                 "cpu_usage",
                 usage_help,
-                &[("tenant", &tenant), ("state", state), ("source", source)],
-                secs,
-            );
-        }
-        // Pre-register every anomaly kind at zero so the exposition
-        // distinguishes "zero anomalies" from "series never existed".
+                &[("tenant", &label), ("state", state), ("source", source)],
+            )
+        });
         let anomaly_help = "Audit anomalies raised, by kind";
-        for kind in Anomaly::KINDS {
-            self.metrics.counter_add(
+        let anomalies = Anomaly::KINDS.map(|kind| {
+            self.metrics.counter_cell(
                 "fleet_anomalies",
                 anomaly_help,
-                &[("tenant", &tenant), ("kind", kind)],
-                0.0,
-            );
+                &[("tenant", &label), ("kind", kind)],
+            )
+        });
+        let cells = TenantCells {
+            jobs,
+            cpu,
+            anomalies,
+        };
+        self.cells.tenants.insert(tenant, cells);
+        cells
+    }
+
+    fn export_record(&mut self, record: &RunRecord, verdict: &AuditVerdict) {
+        let outcome = &record.outcome;
+        let cells = self.tenant_cells(record.job.tenant);
+        self.metrics.cell_add(cells.jobs, 1.0);
+        for (cell, secs) in cells.cpu.iter().zip([
+            outcome.billed_utime_secs(),
+            outcome.billed_stime_secs(),
+            outcome.truth_total_secs() - outcome.truth_stime_secs(),
+            outcome.truth_stime_secs(),
+        ]) {
+            self.metrics.cell_add(*cell, secs);
         }
         for anomaly in &verdict.anomalies {
-            self.metrics.counter_add(
-                "fleet_anomalies",
-                anomaly_help,
-                &[("tenant", &tenant), ("kind", anomaly.kind())],
-                1.0,
-            );
+            let slot = Anomaly::KINDS
+                .iter()
+                .position(|kind| *kind == anomaly.kind())
+                .expect("anomaly kind listed in Anomaly::KINDS");
+            self.metrics.cell_add(cells.anomalies[slot], 1.0);
         }
     }
 
@@ -1007,6 +1067,9 @@ impl FleetService {
                     self.ledger = checkpoint.ledger.clone();
                     self.auditor.restore(checkpoint.audit.clone());
                     self.metrics = checkpoint.metrics.clone();
+                    // The replaced registry invalidates every cached cell
+                    // handle; the posting path re-resolves on next use.
+                    self.cells = ServiceCells::default();
                     // Checkpoints exclude the self-accounting and
                     // observability families (they described the dead
                     // process); re-register them at zero so the
@@ -1226,6 +1289,22 @@ impl FleetService {
             &[],
             failures_delta as f64,
         );
+        let pool_help = "Release-path record buffer pool, by event \
+                         (idle_capacity counts elements, the rest buffers)";
+        for (event, value) in [
+            ("acquired", stats.pool.acquired),
+            ("reused", stats.pool.reused),
+            ("returned", stats.pool.returned),
+            ("idle", stats.pool.idle),
+            ("idle_capacity", stats.pool.idle_capacity),
+        ] {
+            self.metrics.gauge_set(
+                "fleet_pool_buffers",
+                pool_help,
+                &[("event", event)],
+                value as f64,
+            );
+        }
     }
 }
 
@@ -1345,6 +1424,35 @@ impl FleetStream<'_> {
         self.ingest.submit(job)
     }
 
+    /// Submits a batch of jobs through the batched hot path (one submit
+    /// guard hold, one grouped `Accepted` journal commit, one state-lock
+    /// hold and one worker wake per admitted slice). The resulting report,
+    /// ledger, journal bytes and metering exposition are bit-identical to
+    /// submitting the same jobs one at a time.
+    ///
+    /// # Errors
+    /// [`BatchSubmitError`] carrying the accepted prefix (those jobs are in
+    /// the pipeline and will run) and the [`SubmitError`] that stopped the
+    /// rest.
+    pub fn submit_all(&self, jobs: &[JobSpec]) -> Result<Vec<u64>, BatchSubmitError> {
+        self.ingest.submit_all(jobs)
+    }
+
+    /// Resizes the session's worker pool (clamped to at least one worker).
+    /// Growing spawns immediately; shrinking retires surplus workers at
+    /// their next dispatch boundary. Reports stay bit-identical across any
+    /// scaling schedule — worker count never affects release order.
+    pub fn scale_workers(&mut self, workers: usize) {
+        self.ingest.scale_to(workers);
+    }
+
+    /// Sets a tenant's fairness weight (deficit round robin): how many jobs
+    /// its lane may release per rotation turn. Weight 1 is the default
+    /// round-robin share.
+    pub fn set_tenant_weight(&self, tenant: TenantId, weight: u32) {
+        self.ingest.set_tenant_weight(tenant, weight);
+    }
+
     /// A cloneable handle for submitting jobs from other threads while this
     /// session pumps completions.
     pub fn handle(&self) -> IngestHandle {
@@ -1430,10 +1538,12 @@ impl FleetStream<'_> {
     /// safe point: every journaled run is posted, so an inline
     /// [`Checkpoint`] written here folds the whole journal so far.
     pub fn pump(&mut self) -> usize {
-        let ready = self.ingest.take_ready();
+        let mut ready = self.ingest.take_ready();
         let posted = self
             .service
-            .post_ready(ready, &mut self.records, &mut self.verdicts);
+            .post_ready(&mut ready, &mut self.records, &mut self.verdicts);
+        // Hand the emptied batch container back for the next release.
+        self.ingest.recycle(ready);
         let stats = self.ingest.stats();
         self.export_stream_metrics(&stats);
         posted
@@ -1478,8 +1588,8 @@ impl FleetStream<'_> {
             retries_exported,
             failures_exported,
         } = self;
-        let outcome = ingest.finish();
-        service.post_ready(outcome.records, &mut records, &mut verdicts);
+        let mut outcome = ingest.finish();
+        service.post_ready(&mut outcome.records, &mut records, &mut verdicts);
         // Final gauges are deterministic: the queue is empty, nothing is
         // inflight, and every tenant that was ever inflight now has a
         // ledger account — so zero the inflight series for all of them.

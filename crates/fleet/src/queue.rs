@@ -52,18 +52,29 @@ pub struct QueuedJob {
     pub submitted_at: Option<Instant>,
 }
 
-/// A bounded multi-tenant queue with round-robin fairness across tenants.
+/// A bounded multi-tenant queue with weighted round-robin fairness across
+/// tenants (deficit round robin with unit-size jobs: a tenant's lane is
+/// served up to `weight` jobs per rotation turn, so no fractional deficit
+/// ever carries over).
 #[derive(Debug, Clone, Default)]
 pub struct FairQueue {
     /// One FIFO lane per tenant with queued work.
     lanes: BTreeMap<TenantId, VecDeque<QueuedJob>>,
     /// Round-robin rotation: each tenant with queued work appears exactly
-    /// once; `pop` serves the front and rotates it to the back.
+    /// once; `pop` serves the front and rotates it to the back once its
+    /// per-turn credit is spent.
     rotation: VecDeque<TenantId>,
     /// Total queued jobs across all lanes.
     queued: usize,
     /// Maximum total queued jobs (0 = unbounded).
     capacity: usize,
+    /// Per-tenant service weights (jobs served per rotation turn); tenants
+    /// absent from the map get weight 1, which degenerates to plain
+    /// round-robin.
+    weights: BTreeMap<TenantId, u32>,
+    /// Remaining credit of the tenant at the rotation front; 0 means
+    /// "reload from the weight table on the next pop".
+    front_credit: u32,
 }
 
 impl FairQueue {
@@ -75,7 +86,21 @@ impl FairQueue {
             rotation: VecDeque::new(),
             queued: 0,
             capacity,
+            weights: BTreeMap::new(),
+            front_credit: 0,
         }
+    }
+
+    /// Sets a tenant's service weight: how many of its queued jobs one
+    /// rotation turn may serve before the rotation moves on. Weights below
+    /// 1 are clamped to 1.
+    pub fn set_weight(&mut self, tenant: TenantId, weight: u32) {
+        self.weights.insert(tenant, weight.max(1));
+    }
+
+    /// The tenant's service weight (1 unless set).
+    pub fn weight(&self, tenant: TenantId) -> u32 {
+        self.weights.get(&tenant).copied().unwrap_or(1)
     }
 
     /// Total queued (undispatched) jobs.
@@ -136,17 +161,65 @@ impl FairQueue {
         Ok(())
     }
 
+    /// Bulk [`FairQueue::push_at`]: enqueues `jobs` with consecutive
+    /// sequence numbers starting at `first_seq`, touching each tenant lane
+    /// once per run of equal-tenant jobs rather than once per job. Stops
+    /// and returns `Err(enqueued_count)` if capacity runs out mid-slice
+    /// (callers admit the slice under their own accounting first, so this
+    /// is defensive).
+    pub fn push_batch_at(
+        &mut self,
+        first_seq: u64,
+        jobs: &[JobSpec],
+        submitted_at: Option<Instant>,
+    ) -> Result<(), usize> {
+        let mut i = 0;
+        while i < jobs.len() {
+            if self.is_full() {
+                return Err(i);
+            }
+            let tenant = jobs[i].tenant;
+            let mut end = i + 1;
+            while end < jobs.len() && jobs[end].tenant == tenant {
+                end += 1;
+            }
+            if self.capacity != 0 {
+                end = end.min(i + (self.capacity - self.queued));
+            }
+            let lane = self.lanes.entry(tenant).or_default();
+            if lane.is_empty() {
+                self.rotation.push_back(tenant);
+            }
+            for (offset, job) in jobs[i..end].iter().enumerate() {
+                lane.push_back(QueuedJob {
+                    seq: first_seq + (i + offset) as u64,
+                    job: job.clone(),
+                    submitted_at,
+                });
+            }
+            self.queued += end - i;
+            i = end;
+        }
+        Ok(())
+    }
+
     /// Dequeues the next job round-robin across tenants: serves the front
-    /// tenant of the rotation, then rotates it to the back if its lane still
-    /// has work.
+    /// tenant of the rotation, then — once that tenant's per-turn credit
+    /// (its weight) is spent or its lane drains — rotates it to the back.
     pub fn pop(&mut self) -> Option<QueuedJob> {
-        let tenant = self.rotation.pop_front()?;
+        let tenant = *self.rotation.front()?;
+        if self.front_credit == 0 {
+            self.front_credit = self.weight(tenant);
+        }
         let lane = self.lanes.get_mut(&tenant).expect("rotation lane exists");
         let queued = lane.pop_front().expect("rotation lane non-empty");
+        self.front_credit -= 1;
         if lane.is_empty() {
             self.lanes.remove(&tenant);
-        } else {
-            self.rotation.push_back(tenant);
+            self.rotation.pop_front();
+            self.front_credit = 0;
+        } else if self.front_credit == 0 {
+            self.rotation.rotate_left(1);
         }
         self.queued -= 1;
         Some(queued)
@@ -211,6 +284,51 @@ mod tests {
         assert_eq!(queue.lane_len(TenantId(8)), 0);
         queue.pop();
         assert_eq!(queue.lane_len(TenantId(7)), 2);
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_pushes() {
+        let mut one_by_one = FairQueue::new(0);
+        let mut batched = FairQueue::new(0);
+        let jobs: Vec<JobSpec> = (0..8).map(|id| job(id, (id % 3) as u32 + 1)).collect();
+        for (seq, j) in jobs.iter().enumerate() {
+            one_by_one.push(seq as u64, j.clone()).unwrap();
+        }
+        batched.push_batch_at(0, &jobs, None).unwrap();
+        assert_eq!(batched.len(), one_by_one.len());
+        let a: Vec<(u64, u32)> = std::iter::from_fn(|| one_by_one.pop())
+            .map(|q| (q.seq, q.job.tenant.0))
+            .collect();
+        let b: Vec<(u64, u32)> = std::iter::from_fn(|| batched.pop())
+            .map(|q| (q.seq, q.job.tenant.0))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn push_batch_stops_at_capacity() {
+        let mut queue = FairQueue::new(3);
+        let jobs: Vec<JobSpec> = (0..5).map(|id| job(id, 1)).collect();
+        assert_eq!(queue.push_batch_at(0, &jobs, None), Err(3));
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.pop().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn weighted_pop_serves_shares_per_rotation_turn() {
+        let mut queue = FairQueue::new(0);
+        queue.set_weight(TenantId(1), 2);
+        for id in 0..4 {
+            queue.push(id, job(id, 1)).unwrap();
+        }
+        for id in 4..8 {
+            queue.push(id, job(id, 2)).unwrap();
+        }
+        let tenants: Vec<u32> = std::iter::from_fn(|| queue.pop())
+            .map(|q| q.job.tenant.0)
+            .collect();
+        // Tenant 1 (weight 2) gets two slots per turn, tenant 2 one.
+        assert_eq!(tenants, vec![1, 1, 2, 1, 1, 2, 2, 2]);
     }
 
     #[test]

@@ -16,10 +16,10 @@ use crate::results::{KernelStats, ProcessUsage, RunResult};
 use crate::sched::{build_scheduler, Scheduler};
 use crate::signals::Signal;
 use crate::task::{BlockReason, Effect, Micro, Task, TaskState, TaskTable};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use trustmeter_core::{
-    ExceptionKind, ImageKind, IrqLine, MeasuredImage, MeterBank, MeterEvent, Mode, SchemeKind,
-    TaskId,
+    Digest, ExceptionKind, ImageKind, IrqLine, MeasuredImage, MeterBank, MeterEvent, Mode,
+    SchemeKind, TaskId,
 };
 use trustmeter_sim::{Cycles, EventQueue, SimRng, TraceLevel, TraceSink};
 
@@ -96,6 +96,29 @@ pub struct Kernel {
     stats: KernelStats,
     rng: SimRng,
     preempt_requested: bool,
+    /// Memoized witness-label digests. The witness chain update must see
+    /// every step, but `Digest::of(label)` is pure and control-flow labels
+    /// repeat heavily (every iteration of a libcall loop re-records the
+    /// same `call:<symbol>`), so each distinct label is hashed once.
+    witness_steps: HashMap<String, Digest>,
+    /// Memoized `call:<symbol>` step digests, keyed by bare symbol (a
+    /// separate map from [`Kernel::witness_steps`] so a symbol named like a
+    /// block label cannot alias it).
+    libcall_steps: HashMap<String, Digest>,
+}
+
+/// Looks up (or computes and caches) the step digest for a witness label.
+/// A free function rather than a method so call sites holding a mutable
+/// task borrow can still reach the cache field.
+fn memo_step(cache: &mut HashMap<String, Digest>, label: &str) -> Digest {
+    match cache.get(label) {
+        Some(step) => *step,
+        None => {
+            let step = Digest::of(label.as_bytes());
+            cache.insert(label.to_string(), step);
+            step
+        }
+    }
 }
 
 impl std::fmt::Debug for Kernel {
@@ -140,6 +163,8 @@ impl Kernel {
             current: None,
             rng,
             preempt_requested: false,
+            witness_steps: HashMap::new(),
+            libcall_steps: HashMap::new(),
             config,
         }
     }
@@ -224,7 +249,8 @@ impl Kernel {
         for (label, cycles) in injection {
             task.measurements
                 .measure(MeasuredImage::new(&label, ImageKind::ShellInjected));
-            task.witness.record(&label);
+            task.witness
+                .record_step(memo_step(&mut self.witness_steps, &label));
             task.push_user_work(cycles);
         }
 
@@ -239,7 +265,8 @@ impl Kernel {
             task.measurements.measure(m);
         }
         for (label, cycles) in plan.user_work {
-            task.witness.record(&label);
+            task.witness
+                .record_step(memo_step(&mut self.witness_steps, &label));
             task.push_user_work(cycles);
         }
         if !plan.exit_work.is_empty() {
@@ -657,7 +684,8 @@ impl Kernel {
                 let exit_cost = self.config.cost(self.config.costs.exit_us);
                 if let Some(task) = self.tasks.get_mut(cur) {
                     for (label, cycles) in exit_work {
-                        task.witness.record(&label);
+                        task.witness
+                            .record_step(memo_step(&mut self.witness_steps, &label));
                         task.push_user_work(cycles);
                     }
                     task.micros.push_back(Micro::Kernel {
@@ -699,7 +727,17 @@ impl Kernel {
                         ));
                     }
                 }
-                task.witness.record(&format!("call:{symbol}"));
+                // Keyed by bare symbol so a cache hit skips both the
+                // label formatting and its hash.
+                let step = match self.libcall_steps.get(&symbol) {
+                    Some(step) => *step,
+                    None => {
+                        let step = Digest::of(format!("call:{symbol}").as_bytes());
+                        self.libcall_steps.insert(symbol.clone(), step);
+                        step
+                    }
+                };
+                task.witness.record_step(step);
                 task.push_user_work(Cycles(per_call.as_u64().saturating_mul(calls)));
             }
             Op::TouchMemory { pages } => {
@@ -755,7 +793,8 @@ impl Kernel {
             }
             Op::Label { block } => {
                 if let Some(task) = self.tasks.get_mut(cur) {
-                    task.witness.record(block);
+                    task.witness
+                        .record_step(memo_step(&mut self.witness_steps, block));
                 }
             }
             Op::Syscall(sys) => {
@@ -790,7 +829,8 @@ impl Kernel {
                 // syscall proper.
                 let exit_work = self.exit_work.remove(&cur).unwrap_or_default();
                 for (label, cycles) in exit_work {
-                    task.witness.record(&label);
+                    task.witness
+                        .record_step(memo_step(&mut self.witness_steps, &label));
                     task.push_user_work(cycles);
                 }
                 kernel_cost += cost(costs.exit_us);
@@ -899,7 +939,8 @@ impl Kernel {
                         task.measurements.measure(m);
                     }
                     for (label, cycles) in plan.user_work {
-                        task.witness.record(&label);
+                        task.witness
+                            .record_step(memo_step(&mut self.witness_steps, &label));
                         task.push_user_work(cycles);
                     }
                     task.last_outcome = OpOutcome::Completed;
@@ -915,7 +956,8 @@ impl Kernel {
                 let work = self.libs.dlclose_plan(&library);
                 if let Some(task) = self.tasks.get_mut(cur) {
                     for (label, cycles) in work {
-                        task.witness.record(&label);
+                        task.witness
+                            .record_step(memo_step(&mut self.witness_steps, &label));
                         task.push_user_work(cycles);
                     }
                     task.last_outcome = OpOutcome::Completed;
