@@ -58,6 +58,7 @@
 //! (including all three durability modes and the recovery check) runs end
 //! to end without spending CI minutes on a real measurement.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use serde::Serialize;
@@ -401,6 +402,15 @@ fn run(jobs: u64, workers: usize, mode: JournalMode, traced: bool) -> BenchRepor
             }
         })
         .collect();
+    // The bench never schedules worker faults, so a healthy run must not
+    // record a single reassignment span — if one shows up, the supervisor
+    // reaped a worker that did nothing wrong (`--faults` smoke tripwire).
+    if matches!(mode, JournalMode::Faulted { .. }) {
+        let reassigns = metrics
+            .histogram_count("fleet_stage_seconds", &[("stage", Stage::Reassign.label())])
+            .unwrap_or(0);
+        assert_eq!(reassigns, 0, "healthy bench run reassigned a job");
+    }
     let observer = tracer.as_ref().map(|t| t.stats()).unwrap_or_default();
 
     let sampling = service.auditor().sampling();
@@ -578,6 +588,11 @@ struct OpenLoopReport {
     saturated: bool,
     /// Deepest backlog the queue-depth gauge reached.
     queue_depth_peak: usize,
+    /// Jobs shed on queue overflow, broken down by tenant id (every
+    /// registered tenant appears, zero included; the values sum to
+    /// `jobs_rejected`) — who actually pays for saturation under the
+    /// deficit-weighted queue.
+    shed_by_tenant: BTreeMap<u32, u64>,
     /// Release-path buffer recycling over the session.
     pool: PoolStats,
     /// Per-tenant weights and billed shares.
@@ -678,6 +693,9 @@ fn run_open_loop(rate: f64, duration: f64, workers: usize) -> OpenLoopReport {
     let start = Instant::now();
     let mut next = 0usize;
     let mut chunk: Vec<JobSpec> = Vec::new();
+    let mut shed_by_tenant: BTreeMap<u32, u64> = (1..=OPEN_LOOP_RATES.len() as u32)
+        .map(|id| (id, 0))
+        .collect();
     while next < schedule.len() {
         // Open loop: everything due by the current virtual tick is offered
         // now, whether or not the service kept up.
@@ -690,8 +708,13 @@ fn run_open_loop(rate: f64, duration: f64, workers: usize) -> OpenLoopReport {
         if !chunk.is_empty() {
             if let Err(e) = stream.submit_all(&chunk) {
                 // Queue full: the tail of the chunk was shed (counted by
-                // the pipeline); anything else is a harness bug.
+                // the pipeline); anything else is a harness bug. The
+                // admitted prefix is `e.accepted` — everything after it
+                // charges the owning tenant's shed column.
                 assert_eq!(e.error, SubmitError::QueueFull, "open-loop submit: {e}");
+                for job in &chunk[e.accepted.len()..] {
+                    *shed_by_tenant.entry(job.tenant.0).or_default() += 1;
+                }
             }
         }
         stream.pump();
@@ -717,6 +740,11 @@ fn run_open_loop(rate: f64, duration: f64, workers: usize) -> OpenLoopReport {
 
     let completed = report.records.len() as u64;
     let achieved = completed as f64 / wall_secs.max(f64::EPSILON);
+    assert_eq!(
+        shed_by_tenant.values().sum::<u64>(),
+        stats.rejected,
+        "per-tenant shed accounting must cover every rejected job"
+    );
     let tenants = OPEN_LOOP_RATES
         .iter()
         .enumerate()
@@ -753,6 +781,7 @@ fn run_open_loop(rate: f64, duration: f64, workers: usize) -> OpenLoopReport {
         achieved_jobs_per_sec: achieved,
         saturated: stats.rejected > 0 || achieved < 0.95 * rate,
         queue_depth_peak,
+        shed_by_tenant,
         pool: stats.pool,
         tenants,
     }

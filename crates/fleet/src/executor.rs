@@ -372,6 +372,44 @@ impl Fleet {
         ingest.finish().records
     }
 
+    /// Verifies a completed record's attestation quote against the
+    /// outcome it claims to attest — the worker pool's completion-side
+    /// defense against an executor returning a corrupted record (see
+    /// [`crate::faults::WorkerFaultKind::WrongResult`]).
+    ///
+    /// The same machinery the auditor applies at post time, pulled
+    /// forward to the completion boundary: the quote must verify under
+    /// the fleet's attestation key with the nonce recomputed from the
+    /// record in hand ([`quote_nonce`]), and its attested PCR, witness
+    /// digest and usage must equal the outcome's. A record without a
+    /// quote (unsampled under the fleet's [`SamplingPolicy`]) passes
+    /// trivially — the sampling policy, not this check, decides which
+    /// runs carry attestations.
+    ///
+    /// # Errors
+    /// A human-readable description of the first mismatch.
+    pub fn verify_record(&self, record: &RunRecord) -> Result<(), String> {
+        let Some(quote) = &record.quote else {
+            return Ok(());
+        };
+        let Some(reference) = &record.reference else {
+            return Err("record carries a quote but no reference to recompute its nonce".into());
+        };
+        self.attestation
+            .verify(quote, quote_nonce(record.job.id, reference))
+            .map_err(|e| format!("quote verification failed: {e}"))?;
+        if quote.measurement_pcr != record.outcome.measurement_pcr {
+            return Err("quoted measurement PCR disagrees with the outcome".into());
+        }
+        if quote.witness_digest != record.outcome.witness_digest {
+            return Err("quoted witness digest disagrees with the outcome".into());
+        }
+        if quote.usage != record.outcome.victim_billed {
+            return Err("quoted usage disagrees with the billed outcome".into());
+        }
+        Ok(())
+    }
+
     /// Executes one job in the calling thread, precomputing the clean
     /// audit reference when the sampling policy selects the job.
     ///
@@ -476,5 +514,34 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         Fleet::new(FleetConfig::new(0, 1));
+    }
+
+    #[test]
+    fn verify_record_accepts_honest_and_catches_corrupted_records() {
+        use trustmeter_sim::Cycles;
+        let fleet = Fleet::new(FleetConfig::new(1, 42));
+        let job = JobSpec::clean(1, TenantId(1), Workload::LoopO, 0.001);
+        let honest = fleet.run_one(&job);
+        assert_eq!(fleet.verify_record(&honest), Ok(()));
+
+        // A worker inflating the billed usage after the quote was issued
+        // is caught by the usage cross-check.
+        let mut corrupted = honest.clone();
+        corrupted.outcome.victim_billed.utime = Cycles(999_999_999);
+        let err = fleet.verify_record(&corrupted).unwrap_err();
+        assert!(err.contains("usage"), "{err}");
+
+        // Re-quoting the corrupted usage under the wrong nonce story is
+        // caught too: tampering with the reference breaks the nonce.
+        let mut respun = honest.clone();
+        respun.reference.as_mut().unwrap().measured_images.clear();
+        let err = fleet.verify_record(&respun).unwrap_err();
+        assert!(err.contains("quote verification failed"), "{err}");
+
+        // Unsampled records (no quote) pass trivially.
+        let mut unsampled = honest;
+        unsampled.quote = None;
+        unsampled.reference = None;
+        assert_eq!(fleet.verify_record(&unsampled), Ok(()));
     }
 }

@@ -521,6 +521,247 @@ impl JournalSink for FaultInjectingSink {
     }
 }
 
+/// One injectable executor failure mode, the compute-layer analogue of
+/// [`FaultKind`]. Injected into the worker pool by a
+/// [`WorkerFaultSchedule`]; detection and recovery are the ingest
+/// supervisor's job (see [`SupervisorPolicy`] and
+/// [`crate::ingest::FleetIngest`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerFaultKind {
+    /// The worker panics mid-execution. The pool catches the unwind,
+    /// reaps the worker, respawns it under the supervisor's restart
+    /// budget and reassigns the in-flight batch — no panic escapes.
+    Panic,
+    /// The worker wedges for this many **virtual ticks** before
+    /// finishing. If a job deadline is configured
+    /// ([`crate::IngestConfig::with_job_deadline`]) and the hang
+    /// outlasts it, the watchdog reaps the worker and reassigns the job;
+    /// the zombie's late completion is discarded by the dedup guard.
+    Hang {
+        /// Virtual ticks the worker spins before completing.
+        ticks: u64,
+    },
+    /// The execution runs `factor`× its declared workload length (in
+    /// virtual ticks). A pathological slowdown may or may not trip the
+    /// job deadline — both outcomes release bit-identical results.
+    SlowDown {
+        /// Execution-time multiplier (≥ 1).
+        factor: u64,
+    },
+    /// The worker returns a corrupted [`crate::RunRecord`] (inflated
+    /// billed usage). The pool's completion-side quote check — the same
+    /// attestation machinery the auditor uses — rejects it, reaps the
+    /// lying worker, and re-executes the job on an honest one.
+    WrongResult,
+}
+
+impl WorkerFaultKind {
+    /// A stable lowercase label (`"panic"`, `"hang"`, …) for logs and
+    /// test assertions, mirroring [`FaultKind::label`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkerFaultKind::Panic => "panic",
+            WorkerFaultKind::Hang { .. } => "hang",
+            WorkerFaultKind::SlowDown { .. } => "slowdown",
+            WorkerFaultKind::WrongResult => "wrong-result",
+        }
+    }
+}
+
+/// A worker fault pinned to a job id, the executor analogue of
+/// [`PlannedFault`]. The fault fires on the job's first `attempts`
+/// execution attempts (1-based), then clears — so a reassigned retry
+/// succeeds unless the fault was planned to outlast the supervisor's
+/// `max_job_attempts` (a **poison job**, see
+/// [`WorkerFaultSchedule::poison_on`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedWorkerFault {
+    /// The job whose execution triggers the fault.
+    pub job: JobId,
+    /// What goes wrong.
+    pub kind: WorkerFaultKind,
+    /// How many execution attempts the fault survives (1 = first
+    /// attempt only; `u32::MAX` = every attempt, i.e. poison).
+    pub attempts: u32,
+}
+
+/// A deterministic, job-addressed worker fault plan, the compute-layer
+/// mirror of [`FaultSchedule`]: pure data, seeded, reproducible. Built
+/// fluently ([`WorkerFaultSchedule::none`] then `panic_on`/`hang_on`/…)
+/// or seeded randomly ([`WorkerFaultSchedule::random`], which never
+/// plans a poison job), and installed with
+/// [`crate::IngestConfig::with_worker_faults`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WorkerFaultSchedule {
+    /// The planned faults, sorted by job id (stable for equal ids:
+    /// earlier-added faults match first).
+    plan: Vec<PlannedWorkerFault>,
+}
+
+impl WorkerFaultSchedule {
+    /// An empty schedule: the pool runs exactly as without one.
+    pub fn none() -> WorkerFaultSchedule {
+        WorkerFaultSchedule::default()
+    }
+
+    /// Adds a fault for `job`, keeping the plan sorted by job id.
+    pub fn with_worker_fault(
+        mut self,
+        job: JobId,
+        kind: WorkerFaultKind,
+        attempts: u32,
+    ) -> WorkerFaultSchedule {
+        let at = self
+            .plan
+            .iter()
+            .position(|f| f.job.0 > job.0)
+            .unwrap_or(self.plan.len());
+        self.plan.insert(
+            at,
+            PlannedWorkerFault {
+                job,
+                kind,
+                attempts,
+            },
+        );
+        self
+    }
+
+    /// The worker executing `job` panics (first attempt only).
+    pub fn panic_on(self, job: JobId) -> WorkerFaultSchedule {
+        self.with_worker_fault(job, WorkerFaultKind::Panic, 1)
+    }
+
+    /// The worker executing `job` hangs for `ticks` virtual ticks
+    /// (first attempt only).
+    pub fn hang_on(self, job: JobId, ticks: u64) -> WorkerFaultSchedule {
+        self.with_worker_fault(job, WorkerFaultKind::Hang { ticks }, 1)
+    }
+
+    /// The worker executing `job` runs `factor`× slow (first attempt
+    /// only).
+    pub fn slow_on(self, job: JobId, factor: u64) -> WorkerFaultSchedule {
+        self.with_worker_fault(job, WorkerFaultKind::SlowDown { factor }, 1)
+    }
+
+    /// The worker executing `job` returns a corrupted record (first
+    /// attempt only).
+    pub fn wrong_result_on(self, job: JobId) -> WorkerFaultSchedule {
+        self.with_worker_fault(job, WorkerFaultKind::WrongResult, 1)
+    }
+
+    /// `job` is **poison**: it panics its worker on *every* attempt, so
+    /// the supervisor's `max_job_attempts` budget is the only way out —
+    /// the job is individually quarantined with a journaled
+    /// [`crate::JournalEntry::Poisoned`] verdict while the rest of the
+    /// fleet keeps flowing.
+    pub fn poison_on(self, job: JobId) -> WorkerFaultSchedule {
+        self.with_worker_fault(job, WorkerFaultKind::Panic, u32::MAX)
+    }
+
+    /// A seeded random schedule over job ids `0..jobs`: one to three
+    /// faulted jobs, each with one uniformly drawn fault kind firing on
+    /// the first attempt only — **never** a poison job, so recovery
+    /// always converges to the unfaulted result. Deterministic in
+    /// `seed`.
+    pub fn random(seed: u64, jobs: u64) -> WorkerFaultSchedule {
+        let mut rng = SimRng::seed_from(seed);
+        let jobs = jobs.max(1);
+        let mut schedule = WorkerFaultSchedule::none();
+        let faulted = 1 + rng.next_u64() % 3;
+        for _ in 0..faulted {
+            let job = JobId(rng.next_u64() % jobs);
+            schedule = match rng.next_u64() % 4 {
+                0 => schedule.panic_on(job),
+                1 => schedule.hang_on(job, 1 + rng.next_u64() % 16),
+                2 => schedule.slow_on(job, 2 + rng.next_u64() % 3),
+                _ => schedule.wrong_result_on(job),
+            };
+        }
+        schedule
+    }
+
+    /// The fault (if any) that fires on execution attempt `attempt`
+    /// (1-based) of `job`. Pure in `(self, job, attempt)` — the pool
+    /// tracks attempts, the schedule just answers.
+    pub fn fault_for(&self, job: JobId, attempt: u32) -> Option<WorkerFaultKind> {
+        self.plan
+            .iter()
+            .find(|f| f.job == job && attempt <= f.attempts)
+            .map(|f| f.kind)
+    }
+
+    /// The planned faults, sorted by job id.
+    pub fn plan(&self) -> &[PlannedWorkerFault] {
+        &self.plan
+    }
+
+    /// Whether the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+}
+
+/// The supervisor's bounded recovery ladder for a failing worker pool:
+/// respawn within a restart budget, degrade to fewer workers when the
+/// budget runs dry, quarantine the fleet when the last worker dies, and
+/// declare a job poison once it has killed `max_job_attempts` workers
+/// in a row. Pure data; the enforcement lives in
+/// [`crate::ingest::FleetIngest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorPolicy {
+    /// Worker respawns allowed per restart window before the pool
+    /// degrades (a dead worker is no longer replaced).
+    pub max_restarts: u32,
+    /// The restart-budget window, in virtual ticks; `0` makes the
+    /// budget a lifetime total.
+    pub restart_window: u64,
+    /// Execution attempts a job gets before it is declared **poison**
+    /// (journaled, tenant-visible, individually quarantined). At
+    /// least 1.
+    pub max_job_attempts: u32,
+}
+
+impl Default for SupervisorPolicy {
+    /// Eight respawns per 1024-tick window, three attempts per job.
+    fn default() -> SupervisorPolicy {
+        SupervisorPolicy {
+            max_restarts: 8,
+            restart_window: 1024,
+            max_job_attempts: 3,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// Replaces the per-window respawn budget.
+    pub fn with_max_restarts(mut self, max_restarts: u32) -> SupervisorPolicy {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Replaces the restart-budget window (virtual ticks; `0` =
+    /// lifetime budget).
+    pub fn with_restart_window(mut self, restart_window: u64) -> SupervisorPolicy {
+        self.restart_window = restart_window;
+        self
+    }
+
+    /// Replaces the poison threshold.
+    ///
+    /// # Panics
+    /// Panics if `max_job_attempts` is zero (a job needs at least one
+    /// attempt to fail).
+    pub fn with_max_job_attempts(mut self, max_job_attempts: u32) -> SupervisorPolicy {
+        assert!(
+            max_job_attempts > 0,
+            "a job needs at least one execution attempt"
+        );
+        self.max_job_attempts = max_job_attempts;
+        self
+    }
+}
+
 /// A seeded-deterministic bounded retry policy for journal commits:
 /// `max_attempts` tries, exponential backoff between them measured in
 /// **virtual ticks** (cooperative `yield_now` loops, never wall-clock
@@ -743,6 +984,92 @@ mod tests {
         let lines: Vec<u64> = schedule.plan().iter().map(|f| f.at_line).collect();
         assert_eq!(lines, vec![2, 5, 9]);
         assert_eq!(schedule.plan()[0].kind.label(), "transient");
+    }
+
+    #[test]
+    fn worker_schedules_are_deterministic_seeded_and_poison_free() {
+        for seed in 0..32 {
+            assert_eq!(
+                WorkerFaultSchedule::random(seed, 12),
+                WorkerFaultSchedule::random(seed, 12)
+            );
+        }
+        assert_ne!(
+            WorkerFaultSchedule::random(1, 12),
+            WorkerFaultSchedule::random(2, 12)
+        );
+        // Random schedules never plan a poison job: every fault clears
+        // after the first attempt, inside any supervisor's budget.
+        for seed in 0..64 {
+            for fault in WorkerFaultSchedule::random(seed, 12).plan() {
+                assert_eq!(fault.attempts, 1, "seed {seed} planned {fault:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_fault_lookup_is_attempt_scoped() {
+        let schedule = WorkerFaultSchedule::none()
+            .hang_on(JobId(3), 7)
+            .poison_on(JobId(9))
+            .wrong_result_on(JobId(1));
+        // Sorted by job id, labels stable.
+        let jobs: Vec<u64> = schedule.plan().iter().map(|f| f.job.0).collect();
+        assert_eq!(jobs, vec![1, 3, 9]);
+        assert_eq!(schedule.plan()[0].kind.label(), "wrong-result");
+        // First attempt faults; the reassigned second attempt is clean…
+        assert_eq!(
+            schedule.fault_for(JobId(3), 1),
+            Some(WorkerFaultKind::Hang { ticks: 7 })
+        );
+        assert_eq!(schedule.fault_for(JobId(3), 2), None);
+        assert_eq!(schedule.fault_for(JobId(2), 1), None);
+        // …except for a poison job, which faults on every attempt.
+        for attempt in [1, 2, 3, 1000] {
+            assert_eq!(
+                schedule.fault_for(JobId(9), attempt),
+                Some(WorkerFaultKind::Panic)
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_bounds_for_the_first_ten_attempts() {
+        // Across a spread of seeds and shapes, every backoff lands in
+        // [base_ticks, max_ticks] for attempts 1..=10.
+        for seed in 0..32u64 {
+            for (base, max) in [(1u64, 64u64), (2, 16), (4, 4), (1, 1), (8, 256)] {
+                let policy = RetryPolicy::default()
+                    .with_base_ticks(base)
+                    .with_max_ticks(max)
+                    .with_seed(seed);
+                for attempt in 1..=10u32 {
+                    let ticks = policy.backoff_ticks(attempt);
+                    assert!(
+                        ticks >= base.min(max) && ticks <= max,
+                        "seed {seed} base {base} max {max} attempt {attempt}: {ticks}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_policies_produce_identical_tick_sequences() {
+        for seed in 0..16u64 {
+            let a = RetryPolicy::new(10).with_base_ticks(2).with_seed(seed);
+            let b = RetryPolicy::new(10).with_base_ticks(2).with_seed(seed);
+            let ticks_a: Vec<u64> = (1..=10).map(|n| a.backoff_ticks(n)).collect();
+            let ticks_b: Vec<u64> = (1..=10).map(|n| b.backoff_ticks(n)).collect();
+            assert_eq!(ticks_a, ticks_b, "seed {seed}");
+        }
+        // Different seeds de-sync somewhere in the first ten attempts.
+        let a = RetryPolicy::new(10).with_base_ticks(2).with_seed(1);
+        let b = RetryPolicy::new(10).with_base_ticks(2).with_seed(2);
+        assert_ne!(
+            (1..=10).map(|n| a.backoff_ticks(n)).collect::<Vec<u64>>(),
+            (1..=10).map(|n| b.backoff_ticks(n)).collect::<Vec<u64>>()
+        );
     }
 
     #[test]

@@ -63,6 +63,43 @@
 //! re-journaled so the new sink is recoverable on its own, and the next
 //! pump drains the stalled prefix.
 //!
+//! ## Surviving the workers: watchdog, reassignment, poison jobs
+//!
+//! The execution layer is not assumed immortal either. A seeded
+//! [`WorkerFaultSchedule`] ([`IngestConfig::with_worker_faults`]) injects
+//! panics, hangs, pathological slowdowns and corrupted records into the
+//! pool, and the supervisor machinery proves the pipeline's outputs stay
+//! bit-identical to an unfaulted run:
+//!
+//! * **Detection is deterministic.** Time is a virtual tick counter that
+//!   only injected faults advance — a healthy run never touches it. A
+//!   hanging or slowed worker spins the clock and re-runs the watchdog
+//!   each tick, so the moment its job's deadline
+//!   ([`IngestConfig::with_job_deadline`], grace plus the job's declared
+//!   workload length in ticks) passes, it is reaped — in ticks, never
+//!   wall clock. Panics are caught by a reap-on-unwind guard; no panic
+//!   escapes the pool. Corrupted records are rejected at completion by
+//!   the same quote machinery the auditor uses
+//!   ([`Fleet::verify_record`]).
+//! * **Recovery is bounded.** A reaped worker's in-flight batch is
+//!   reclaimed and requeued at the *same* sequence numbers (release
+//!   order, and therefore every downstream artifact, is unchanged —
+//!   re-execution is safe because the kernel is deterministic from the
+//!   fleet seed and job id), and a replacement worker is respawned under
+//!   the [`SupervisorPolicy`] restart budget: budget dry → the pool
+//!   degrades; last worker dead → the fleet quarantines (the PR 8
+//!   surface: submits fail fast, [`FleetIngest::health`] says why).
+//! * **Zombies cannot double-release.** Completions carry the worker's
+//!   generation; a reaped worker finishing late fails the dedup guard
+//!   and its record is discarded — released ⇒ journaled ⇒ executed
+//!   exactly once.
+//! * **Poison jobs are quarantined individually.** A job that kills
+//!   [`SupervisorPolicy::max_job_attempts`] workers in a row gets a
+//!   tombstone in the completion log (the release cursor passes it), a
+//!   journaled [`crate::JournalEntry::Poisoned`] verdict, and a
+//!   tenant-visible [`JobVerdict::Poisoned`] — while every other job
+//!   keeps flowing.
+//!
 //! ```
 //! use trustmeter_fleet::{FleetConfig, FleetIngest, IngestConfig, JobSpec, TenantId};
 //! use trustmeter_workloads::Workload;
@@ -79,16 +116,17 @@
 //! assert_eq!(ids, vec![0, 1, 2, 3]);
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use serde::{Deserialize, Serialize};
 
 use crate::executor::{Fleet, FleetConfig, JobId, JobSpec, RunRecord};
-use crate::faults::RetryPolicy;
-use crate::journal::{Journal, JournalError, JournalSink};
+use crate::faults::{RetryPolicy, SupervisorPolicy, WorkerFaultKind, WorkerFaultSchedule};
+use crate::journal::{Journal, JournalError, JournalSink, PoisonNotice};
 use crate::pool::{BufferPool, PoolStats};
 use crate::queue::FairQueue;
 use crate::tenant::TenantId;
@@ -161,7 +199,7 @@ impl fmt::Display for BatchSubmitError {
 impl std::error::Error for BatchSubmitError {}
 
 /// Worker-pool configuration for [`FleetIngest`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IngestConfig {
     /// Number of long-lived worker threads.
     pub workers: usize,
@@ -188,6 +226,24 @@ pub struct IngestConfig {
     /// ready prefix at release) runs under; exhaustion quarantines the
     /// pipeline instead of panicking. Irrelevant without a journal.
     pub retry: RetryPolicy,
+    /// Per-job execution deadline grace, in virtual ticks (`None` = no
+    /// watchdog). A job's deadline is this grace plus its declared
+    /// workload length in ticks, measured from the moment a worker
+    /// *starts* it; the virtual clock only advances when injected faults
+    /// spin it, so healthy runs never trip a deadline and detection is
+    /// deterministic. See [`IngestConfig::with_job_deadline`].
+    pub job_deadline: Option<u64>,
+    /// The supervisor's bounded recovery ladder for dead, hung and lying
+    /// workers (see [`SupervisorPolicy`]).
+    pub supervisor: SupervisorPolicy,
+    /// The seeded worker fault schedule to inject (empty = healthy pool).
+    pub worker_faults: WorkerFaultSchedule,
+    /// Whether completions are checked with [`Fleet::verify_record`]
+    /// before entering the completion log (the wrong-result defense).
+    /// `None` (the default) enables verification exactly when a fault
+    /// schedule is installed, keeping the healthy hot path free of quote
+    /// recomputation.
+    pub verify_completions: Option<bool>,
 }
 
 impl IngestConfig {
@@ -208,6 +264,10 @@ impl IngestConfig {
             start_paused: false,
             completion_watermark: 0,
             retry: RetryPolicy::default(),
+            job_deadline: None,
+            supervisor: SupervisorPolicy::default(),
+            worker_faults: WorkerFaultSchedule::none(),
+            verify_completions: None,
         }
     }
 
@@ -257,6 +317,41 @@ impl IngestConfig {
         self.retry = retry;
         self
     }
+
+    /// Arms the per-worker watchdog with a per-job deadline of
+    /// `grace_ticks` plus the job's declared workload length in virtual
+    /// ticks (one tick per simulated millisecond, at least one),
+    /// measured from execution start. Detection is deterministic: the
+    /// virtual clock advances only when injected faults spin it, so a
+    /// healthy run can never expire a deadline. A worker whose running
+    /// job outlives its deadline is reaped — its batch reassigned, a
+    /// replacement respawned under the [`SupervisorPolicy`].
+    pub fn with_job_deadline(mut self, grace_ticks: u64) -> IngestConfig {
+        self.job_deadline = Some(grace_ticks);
+        self
+    }
+
+    /// Replaces the [`SupervisorPolicy`] (restart budget, degradation,
+    /// poison threshold).
+    pub fn with_supervisor(mut self, supervisor: SupervisorPolicy) -> IngestConfig {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Installs a [`WorkerFaultSchedule`] to inject into the pool. Also
+    /// enables completion verification unless
+    /// [`IngestConfig::with_completion_verification`] overrode it.
+    pub fn with_worker_faults(mut self, faults: WorkerFaultSchedule) -> IngestConfig {
+        self.worker_faults = faults;
+        self
+    }
+
+    /// Forces completion verification on or off (see
+    /// [`IngestConfig::verify_completions`]).
+    pub fn with_completion_verification(mut self, verify: bool) -> IngestConfig {
+        self.verify_completions = Some(verify);
+        self
+    }
 }
 
 /// A point-in-time snapshot of pipeline state (all counters monotonic
@@ -286,8 +381,19 @@ pub struct IngestStats {
     /// [`SubmitError::Quarantined`]).
     pub quarantined: bool,
     /// Workers currently alive in the pool (moves with
-    /// [`FleetIngest::scale_to`]).
+    /// [`FleetIngest::scale_to`] and with supervisor reaps/respawns).
     pub workers: usize,
+    /// Workers respawned by the supervisor after a reap.
+    pub worker_restarts: u64,
+    /// Jobs reclaimed from dead/hung/lying workers and requeued for
+    /// re-execution (same sequence number, attempt advanced).
+    pub reassigned: u64,
+    /// Jobs declared poison after killing
+    /// [`SupervisorPolicy::max_job_attempts`] workers in a row.
+    pub poisoned: u64,
+    /// Completions discarded by the zombie dedup guard (a reaped worker
+    /// finishing late can never double-release).
+    pub stale_completions: u64,
     /// Release-path buffer recycling counters (see [`crate::pool`]).
     pub pool: PoolStats,
 }
@@ -322,6 +428,17 @@ pub struct FleetHealth {
     /// The journal error that caused the current (or most recent)
     /// quarantine, if any.
     pub last_error: Option<String>,
+    /// Workers currently alive in the pool.
+    pub workers_live: usize,
+    /// Workers respawned by the supervisor after a reap.
+    pub worker_restarts: u64,
+    /// Jobs reclaimed from dead/hung/lying workers and requeued.
+    pub reassigned: u64,
+    /// Jobs declared poison and individually quarantined.
+    pub poisoned: u64,
+    /// The last worker died with the restart budget spent: the fleet is
+    /// quarantined until [`FleetIngest::scale_to`] revives the pool.
+    pub workers_dead: bool,
 }
 
 /// Everything a drained pipeline produced.
@@ -331,10 +448,99 @@ pub struct IngestOutcome {
     /// order.
     pub records: Vec<RunRecord>,
     /// The full dispatch order (which job each worker popped, in pop
-    /// order) — the observable fairness record.
+    /// order) — the observable fairness record. A reassigned job appears
+    /// once per dispatch.
     pub dispatch_log: Vec<(JobId, TenantId)>,
     /// Final counters (queue and inflight gauges are zero by construction).
     pub stats: IngestStats,
+    /// Poison-job verdicts released over the pipeline's lifetime, in
+    /// release order (tenant-visible; each was also journaled as a
+    /// [`crate::JournalEntry::Poisoned`] chained entry).
+    pub poisoned: Vec<PoisonNotice>,
+}
+
+/// The tenant-visible outcome of one submitted job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobVerdict {
+    /// The job executed and its record was released.
+    Completed,
+    /// The job was declared **poison**: it killed workers on `attempts`
+    /// consecutive execution attempts and was individually quarantined
+    /// (journaled, release cursor moved past it) while the rest of the
+    /// fleet kept flowing.
+    Poisoned {
+        /// Execution attempts consumed before the verdict.
+        attempts: u32,
+    },
+}
+
+impl IngestOutcome {
+    /// The verdict for `job`, judged from this outcome's released
+    /// records and poison notices. Records taken by an earlier
+    /// [`FleetIngest::take_ready`] are not in `records`, so a streaming
+    /// consumer should track those itself; poison verdicts are
+    /// lifetime-cumulative and always visible here.
+    pub fn verdict(&self, job: JobId) -> Option<JobVerdict> {
+        if self.records.iter().any(|r| r.job.id == job) {
+            return Some(JobVerdict::Completed);
+        }
+        self.poisoned
+            .iter()
+            .find(|n| n.spec.id == job)
+            .map(|n| JobVerdict::Poisoned {
+                attempts: n.attempts,
+            })
+    }
+}
+
+/// One entry in the sequence-numbered completion log.
+#[derive(Debug, Clone)]
+enum Completion {
+    /// A fully executed job's record (boxed: a tombstone is ~20× smaller
+    /// than a record, and the log holds many entries at once).
+    Record(Box<RunRecord>),
+    /// A poison-job tombstone: lets the contiguous-prefix release cursor
+    /// pass the sequence while a journaled verdict — not a record — is
+    /// what gets released.
+    Poisoned(PoisonNotice),
+}
+
+/// One dispatched (sequence, job) pair held by a worker — the
+/// supervision record the watchdog, the reaper and the zombie dedup
+/// guard all read.
+#[derive(Debug, Clone)]
+struct Assignment {
+    /// The job as dispatched, kept so a reap can requeue it verbatim.
+    job: JobSpec,
+    /// Generation of the worker holding it; completions from any other
+    /// generation (or a reaped one) are discarded.
+    worker: u64,
+    /// Execution attempt this dispatch is (1-based).
+    attempt: u32,
+    /// Whether the worker has actually begun executing it. Batch-mates
+    /// behind the running job sit dispatched-but-unstarted: they consume
+    /// no attempt (and hold no deadline) if their worker dies.
+    started: bool,
+    /// Absolute virtual-tick deadline, stamped when execution starts:
+    /// `clock + grace + cost_ticks(job)`. `None` when no deadline is
+    /// configured or the job has not started.
+    deadline: Option<u64>,
+    /// Wall-clock dispatch stamp for the [`Stage::Reassign`] span;
+    /// stamped only when tracing.
+    dispatched_at: Option<std::time::Instant>,
+}
+
+/// What [`Shared::complete`] did with an execution result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompletionOutcome {
+    /// Logged into the completion log; the worker proceeds.
+    Accepted,
+    /// The worker was reaped while executing — the record was discarded
+    /// by the dedup guard; the worker abandons its batch and exits.
+    Zombie,
+    /// The record failed verification (a lying executor); the worker
+    /// must be reaped and the job reassigned.
+    Rejected,
 }
 
 /// Mutable pipeline state behind the mutex.
@@ -344,8 +550,9 @@ struct State {
     /// Next submission sequence number.
     next_seq: u64,
     /// Sequence-numbered completion log; contiguous prefixes are released
-    /// to consumers in submission order.
-    completed: BTreeMap<u64, RunRecord>,
+    /// to consumers in submission order (poison tombstones are passed,
+    /// journaled and surfaced as verdicts).
+    completed: BTreeMap<u64, Completion>,
     /// Next sequence number to release from the completion log.
     released: u64,
     /// Dispatch order (which job each worker popped, in pop order) — the
@@ -360,9 +567,6 @@ struct State {
     /// On shutdown, drop queued jobs instead of draining them (set by
     /// `Drop` teardown; `finish` drains).
     discard_queued: bool,
-    /// A worker died mid-job (panic in the simulated run); the pipeline
-    /// can never drain and `finish` must propagate instead of waiting.
-    worker_panicked: bool,
     /// The journal exhausted its retry policy: releases are stopped and
     /// submits fail fast until a failover lifts the quarantine.
     quarantined: bool,
@@ -386,10 +590,39 @@ struct State {
     accepted: BTreeMap<u64, JobSpec>,
     /// Worker-pool size target (see [`FleetIngest::scale_to`]). Workers
     /// consume one "shrink token" each — exiting at the top of their loop —
-    /// while `active_workers` exceeds this.
+    /// while `active_workers` exceeds this. Degrades when the restart
+    /// budget runs dry.
     worker_target: usize,
-    /// Workers currently alive (spawned minus exited).
+    /// Workers currently alive (spawned minus exited minus reaped).
     active_workers: usize,
+    /// In-flight dispatches keyed by sequence number — what the watchdog
+    /// scans and a reap reclaims.
+    assignments: BTreeMap<u64, Assignment>,
+    /// Generations of reaped workers. Any thread still running one of
+    /// these is a zombie: its completions are discarded and it exits at
+    /// its next state check. Bounded by the restart budget.
+    dead_workers: BTreeSet<u64>,
+    /// Workers ever spawned — the generation for the next one.
+    spawned_total: u64,
+    /// Respawns consumed in the current restart window.
+    restarts_in_window: u32,
+    /// Virtual tick the current restart window opened at.
+    window_start: u64,
+    /// Workers respawned by the supervisor, lifetime.
+    worker_restarts: u64,
+    /// Jobs reclaimed from reaped workers and requeued, lifetime.
+    jobs_reassigned: u64,
+    /// Jobs declared poison, lifetime.
+    poisoned_count: u64,
+    /// Released poison verdicts, in release order (each journaled before
+    /// the cursor passed it).
+    poisoned_log: Vec<PoisonNotice>,
+    /// Zombie completions discarded by the dedup guard, lifetime.
+    stale_completions: u64,
+    /// The last worker died with the restart budget spent. Distinct from
+    /// journal quarantine (same `quarantined` gate, different exit):
+    /// lifted by [`FleetIngest::scale_to`], not by a sink failover.
+    workers_dead: bool,
 }
 
 #[derive(Debug)]
@@ -430,12 +663,33 @@ struct Shared {
     /// [`FleetIngest::recycle`]. Leaf lock — only ever taken while holding
     /// nothing or the state lock, never the other way around.
     pool: BufferPool<RunRecord>,
+    /// The virtual clock deadlines are measured against. Advanced only
+    /// by injected faults' spin loops — a healthy pipeline never pays
+    /// for it and never trips a deadline, which is what makes detection
+    /// deterministic.
+    clock: AtomicU64,
+    /// The supervisor's recovery ladder (restart budget, degradation,
+    /// poison threshold).
+    supervisor: SupervisorPolicy,
+    /// Per-job deadline grace in virtual ticks (`None` = no watchdog).
+    deadline_grace: Option<u64>,
+    /// The installed worker fault schedule (empty = healthy pool).
+    worker_faults: WorkerFaultSchedule,
+    /// Whether completions run [`Fleet::verify_record`] before entering
+    /// the completion log.
+    verify_completions: bool,
+    /// The executor, held here so the supervisor can respawn workers
+    /// from any thread (including a panicking worker's unwind guard).
+    fleet: Fleet,
+    /// Join handles of supervisor-respawned workers, joined by `finish`
+    /// and `Drop`.
+    respawned: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
     /// Locks the state, recovering from poisoning: workers never panic
-    /// while holding the lock (jobs run outside it), and explicit
-    /// `worker_panicked` tracking handles worker death.
+    /// while holding the lock (jobs run outside it), and the reap guard
+    /// handles worker death.
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -623,6 +877,10 @@ impl Shared {
             journal_failures: state.journal_failures,
             quarantined: state.quarantined,
             workers: state.active_workers,
+            worker_restarts: state.worker_restarts,
+            reassigned: state.jobs_reassigned,
+            poisoned: state.poisoned_count,
+            stale_completions: state.stale_completions,
             pool: self.pool.stats(),
         }
     }
@@ -638,6 +896,11 @@ impl Shared {
             stalled: state.stalled.len() as u64,
             pending_accepted: state.accepted.len() as u64,
             last_error: state.last_error.clone(),
+            workers_live: state.active_workers,
+            worker_restarts: state.worker_restarts,
+            reassigned: state.jobs_reassigned,
+            poisoned: state.poisoned_count,
+            workers_dead: state.workers_dead,
         }
     }
 
@@ -715,6 +978,13 @@ impl Shared {
         };
         journal.append_accepted_batch(&specs)?;
         let mut state = self.lock();
+        if state.workers_dead {
+            // A dead worker pool is not a journal problem: the sink swap
+            // succeeded, but only scale_to can staff the pool again.
+            return Err(JournalError::Io(
+                "fleet workers are all dead; scale_to a live pool before resuming".to_string(),
+            ));
+        }
         state.quarantined = false;
         state.last_error = None;
         drop(state);
@@ -729,6 +999,15 @@ impl Shared {
     /// bites first.
     const MAX_PULL: usize = 8;
 
+    /// The virtual-tick execution budget for a job: its declared workload
+    /// length (user seconds at the job's scale) at one tick per simulated
+    /// millisecond, at least one tick. The per-job deadline is this plus
+    /// the configured grace, measured from execution start.
+    fn cost_ticks(job: &JobSpec) -> u64 {
+        let user_secs = job.workload.spec(job.scale).user_secs;
+        (user_secs * 1000.0).ceil().max(1.0) as u64
+    }
+
     /// Worker loop: pop a fair batch, execute it outside the lock, log the
     /// completions under one lock hold. Batching amortizes the state lock
     /// and condvar traffic without changing anything observable downstream:
@@ -736,14 +1015,26 @@ impl Shared {
     /// completion log is keyed by submission sequence, so release order —
     /// and therefore reports, ledgers and metering — is bit-identical to
     /// one-job-at-a-time pulls.
-    fn work(&self, fleet: &Fleet) {
+    ///
+    /// Every pop registers an [`Assignment`] under this worker's
+    /// generation; the fault schedule is consulted per (job, attempt)
+    /// before execution; completions go through the dedup guard in
+    /// [`Shared::complete`]. A worker that learns it was reaped abandons
+    /// its remaining batch (the reaper already reclaimed it) and exits.
+    fn work(shared: &Arc<Shared>, gen: u64) {
+        let fleet = &shared.fleet;
         let mut batch: Vec<crate::queue::QueuedJob> = Vec::with_capacity(Self::MAX_PULL);
         loop {
             {
-                let mut state = self.lock();
+                let mut state = shared.lock();
                 loop {
+                    if state.dead_workers.contains(&gen) {
+                        // Reaped while idle; the reaper already adjusted
+                        // the live count and reclaimed any assignments.
+                        return;
+                    }
                     if state.paused && !state.shutting_down {
-                        state = self.wait(&self.job_ready, state);
+                        state = shared.wait(&shared.job_ready, state);
                         continue;
                     }
                     if state.shutting_down && state.discard_queued {
@@ -763,21 +1054,21 @@ impl Shared {
                     // flight) is at the limit. A graceful shutdown lifts
                     // the watermark — finish() consumes everything.
                     let mut budget = usize::MAX;
-                    if self.watermark > 0 && !state.shutting_down {
+                    if shared.watermark > 0 && !state.shutting_down {
                         let inflight: u64 = state.inflight.values().sum();
                         let used = state.completed.len() as u64 + inflight;
-                        if used >= self.watermark as u64 {
-                            state = self.wait(&self.job_ready, state);
+                        if used >= shared.watermark as u64 {
+                            state = shared.wait(&shared.job_ready, state);
                             continue;
                         }
-                        budget = (self.watermark as u64 - used) as usize;
+                        budget = (shared.watermark as u64 - used) as usize;
                     }
                     if state.queue.is_empty() {
                         if state.shutting_down {
                             state.active_workers -= 1;
                             return;
                         }
-                        state = self.wait(&self.job_ready, state);
+                        state = shared.wait(&shared.job_ready, state);
                         continue;
                     }
                     // Pull a batch: watermark-respecting, capped, and no
@@ -786,27 +1077,55 @@ impl Shared {
                     // peers idle.
                     let share = state.queue.len().div_ceil(state.active_workers.max(1));
                     let max = Self::MAX_PULL.min(budget).min(share).max(1);
+                    let dispatch_stamp = shared.tracer.as_ref().map(|_| std::time::Instant::now());
+                    let now = shared.clock.load(Ordering::Relaxed);
                     while batch.len() < max {
                         let Some(queued) = state.queue.pop() else {
                             break;
                         };
                         state.dispatch_log.push((queued.job.id, queued.job.tenant));
                         *state.inflight.entry(queued.job.tenant).or_insert(0) += 1;
+                        // The first batch item starts executing right away;
+                        // the rest open their execution (and deadline)
+                        // windows as their predecessors complete.
+                        let started = batch.is_empty();
+                        let deadline = if started {
+                            shared.deadline_grace.map(|grace| {
+                                now.saturating_add(grace)
+                                    .saturating_add(Self::cost_ticks(&queued.job))
+                            })
+                        } else {
+                            None
+                        };
+                        state.assignments.insert(
+                            queued.seq,
+                            Assignment {
+                                job: queued.job.clone(),
+                                worker: gen,
+                                attempt: queued.attempt,
+                                started,
+                                deadline,
+                                dispatched_at: dispatch_stamp,
+                            },
+                        );
                         batch.push(queued);
                     }
                     break;
                 }
             }
             if batch.len() == 1 {
-                self.slot_free.notify_one();
+                shared.slot_free.notify_one();
             } else {
-                self.slot_free.notify_all();
+                shared.slot_free.notify_all();
             }
 
-            for queued in batch.drain(..) {
+            let mut abandoned = false;
+            for idx in 0..batch.len() {
+                let queued = &batch[idx];
+                let next_seq = batch.get(idx + 1).map(|q| q.seq);
                 // Dispatch closed the queue-wait window at pop; record it
                 // outside the state lock so tracing never stalls workers.
-                if let (Some(tracer), Some(submitted_at)) = (&self.tracer, queued.submitted_at) {
+                if let (Some(tracer), Some(submitted_at)) = (&shared.tracer, queued.submitted_at) {
                     tracer.record(
                         Stage::QueueWait,
                         queued.job.id,
@@ -815,32 +1134,330 @@ impl Shared {
                     );
                 }
 
-                let record = fleet.run_one(&queued.job);
+                // Consult the fault schedule for this (job, attempt).
+                let fault = shared
+                    .worker_faults
+                    .fault_for(queued.job.id, queued.attempt);
+                let record = match fault {
+                    Some(WorkerFaultKind::Panic) => panic!(
+                        "injected worker fault: panic executing job {} (attempt {})",
+                        queued.job.id.0, queued.attempt
+                    ),
+                    Some(WorkerFaultKind::Hang { ticks }) => {
+                        if !Shared::spin_ticks(shared, gen, ticks) {
+                            abandoned = true;
+                            break;
+                        }
+                        fleet.run_one(&queued.job)
+                    }
+                    Some(WorkerFaultKind::SlowDown { factor }) => {
+                        let extra =
+                            Self::cost_ticks(&queued.job).saturating_mul(factor.saturating_sub(1));
+                        if !Shared::spin_ticks(shared, gen, extra) {
+                            abandoned = true;
+                            break;
+                        }
+                        fleet.run_one(&queued.job)
+                    }
+                    Some(WorkerFaultKind::WrongResult) => {
+                        // A lying executor: bill more than was done. The
+                        // completion-side quote check catches it — the
+                        // quote's MAC covers the honest usage.
+                        let mut record = fleet.run_one(&queued.job);
+                        record.outcome.victim_billed.utime.0 =
+                            record.outcome.victim_billed.utime.0.wrapping_add(1_000_000);
+                        record
+                    }
+                    None => fleet.run_one(&queued.job),
+                };
 
-                let mut state = self.lock();
-                let inflight = state
-                    .inflight
-                    .get_mut(&queued.job.tenant)
-                    .expect("tenant marked inflight");
-                *inflight -= 1;
-                if *inflight == 0 {
-                    state.inflight.remove(&queued.job.tenant);
+                match shared.complete(gen, queued.seq, next_seq, record, fleet) {
+                    CompletionOutcome::Accepted => {}
+                    CompletionOutcome::Zombie => {
+                        abandoned = true;
+                        break;
+                    }
+                    CompletionOutcome::Rejected => {
+                        Shared::reap(
+                            shared,
+                            gen,
+                            "completion failed record verification (wrong-result executor)",
+                        );
+                        abandoned = true;
+                        break;
+                    }
                 }
-                state.completed.insert(queued.seq, record);
-                state.completed_count += 1;
-                drop(state);
-                self.job_done.notify_all();
+            }
+            batch.clear();
+            if abandoned {
+                // The reaper reclaimed whatever this worker still held;
+                // exit without touching counters it already adjusted.
+                return;
             }
         }
     }
 
-    /// Marks the pipeline as broken by a dead worker and wakes every
-    /// waiter, so `finish` propagates instead of waiting forever.
-    fn flag_worker_panic(&self) {
-        self.lock().worker_panicked = true;
-        self.job_ready.notify_all();
-        self.slot_free.notify_all();
+    /// Logs one execution result into the completion log, guarded against
+    /// zombies: the record is accepted only if this worker's generation
+    /// still owns the live assignment for `seq` — a reaped worker
+    /// finishing late can never double-release or burn a chain link. On
+    /// acceptance, the next batch item's execution window (and deadline)
+    /// opens under the same lock hold.
+    fn complete(
+        &self,
+        gen: u64,
+        seq: u64,
+        next_seq: Option<u64>,
+        record: RunRecord,
+        fleet: &Fleet,
+    ) -> CompletionOutcome {
+        if self.verify_completions {
+            if let Err(_reason) = fleet.verify_record(&record) {
+                return CompletionOutcome::Rejected;
+            }
+        }
+        let mut state = self.lock();
+        let live = !state.dead_workers.contains(&gen)
+            && state
+                .assignments
+                .get(&seq)
+                .is_some_and(|assignment| assignment.worker == gen);
+        if !live {
+            // The dedup guard: this worker was reaped (its job already
+            // reassigned, maybe even re-executed and released) — the
+            // stale record is discarded, never logged.
+            state.stale_completions += 1;
+            return CompletionOutcome::Zombie;
+        }
+        state.assignments.remove(&seq);
+        let tenant = record.job.tenant;
+        if let Some(inflight) = state.inflight.get_mut(&tenant) {
+            *inflight -= 1;
+            if *inflight == 0 {
+                state.inflight.remove(&tenant);
+            }
+        }
+        state
+            .completed
+            .insert(seq, Completion::Record(Box::new(record)));
+        state.completed_count += 1;
+        if let Some(next) = next_seq {
+            let now = self.clock.load(Ordering::Relaxed);
+            if let Some(assignment) = state.assignments.get_mut(&next) {
+                if assignment.worker == gen {
+                    let cost = Self::cost_ticks(&assignment.job);
+                    assignment.started = true;
+                    assignment.deadline = self
+                        .deadline_grace
+                        .map(|grace| now.saturating_add(grace).saturating_add(cost));
+                }
+            }
+        }
+        drop(state);
         self.job_done.notify_all();
+        CompletionOutcome::Accepted
+    }
+
+    /// Burns `ticks` virtual ticks: each iteration advances the shared
+    /// clock by one and re-runs the watchdog, so a hanging or slowed
+    /// worker deterministically reaps *itself* the tick its job's
+    /// deadline passes — detection is in ticks, not wall clock, and a
+    /// healthy pipeline (no injected faults) never advances the clock at
+    /// all. Returns `false` if this worker was reaped mid-spin or the
+    /// pipeline began discarding (the caller abandons its batch).
+    fn spin_ticks(shared: &Arc<Shared>, gen: u64, ticks: u64) -> bool {
+        for _ in 0..ticks {
+            shared.clock.fetch_add(1, Ordering::Relaxed);
+            Shared::supervise(shared);
+            {
+                let mut state = shared.lock();
+                if state.dead_workers.contains(&gen) {
+                    return false;
+                }
+                if state.shutting_down && state.discard_queued {
+                    state.active_workers = state.active_workers.saturating_sub(1);
+                    return false;
+                }
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// The virtual-tick watchdog: reaps every worker whose *running*
+    /// assignment has outlived its deadline. Deterministic — the clock
+    /// only advances when injected faults spin it. Any thread may run
+    /// the watchdog; hanging workers drive it from their own spin loops
+    /// (reaping themselves), and consumers drive it from `take_ready` as
+    /// a backstop.
+    fn supervise(shared: &Arc<Shared>) {
+        if shared.deadline_grace.is_none() {
+            return;
+        }
+        let now = shared.clock.load(Ordering::Relaxed);
+        let expired: Vec<u64> = {
+            let state = shared.lock();
+            state
+                .assignments
+                .values()
+                .filter(|a| a.started && !state.dead_workers.contains(&a.worker))
+                .filter(|a| a.deadline.is_some_and(|deadline| now > deadline))
+                .map(|a| a.worker)
+                .collect()
+        };
+        for gen in expired {
+            Shared::reap(
+                shared,
+                gen,
+                "job deadline expired (hung or pathologically slow worker)",
+            );
+        }
+    }
+
+    /// Reaps a worker: marks its generation dead (anything it still runs
+    /// is zombie code whose completions the dedup guard discards),
+    /// reclaims its in-flight assignments — requeueing each at the same
+    /// sequence number with the attempt advanced, or declaring it poison
+    /// once it has burned [`SupervisorPolicy::max_job_attempts`] workers
+    /// — and respawns a replacement under the restart budget. Budget
+    /// dry → the pool degrades; last worker dead → the fleet
+    /// quarantines. Called from the unwind guard (panicked worker), the
+    /// watchdog (expired worker) and the completion verifier (lying
+    /// worker); it must never panic — it runs during unwinds.
+    fn reap(shared: &Arc<Shared>, gen: u64, reason: &str) {
+        let mut respawn_gen = None;
+        let mut reassigned: Vec<(JobId, TenantId, Option<std::time::Instant>)> = Vec::new();
+        {
+            let mut state = shared.lock();
+            if state.dead_workers.contains(&gen) {
+                return; // a competing detector got here first
+            }
+            state.dead_workers.insert(gen);
+            state.active_workers = state.active_workers.saturating_sub(1);
+            // Reclaim everything the dead worker held. Requeueing keeps
+            // the original sequence numbers, so release order — and every
+            // bit of downstream output — is unchanged; re-execution is
+            // safe because the kernel is deterministic from the fleet
+            // seed and job id.
+            let seqs: Vec<u64> = state
+                .assignments
+                .iter()
+                .filter(|(_, a)| a.worker == gen)
+                .map(|(seq, _)| *seq)
+                .collect();
+            for seq in seqs {
+                let Some(assignment) = state.assignments.remove(&seq) else {
+                    continue;
+                };
+                if let Some(inflight) = state.inflight.get_mut(&assignment.job.tenant) {
+                    *inflight = inflight.saturating_sub(1);
+                    if *inflight == 0 {
+                        state.inflight.remove(&assignment.job.tenant);
+                    }
+                }
+                state.jobs_reassigned += 1;
+                reassigned.push((
+                    assignment.job.id,
+                    assignment.job.tenant,
+                    assignment.dispatched_at,
+                ));
+                // Only the assignment actually *executing* consumed an
+                // attempt; batch-mates the worker never started requeue at
+                // their current attempt, so the fault schedule still
+                // addresses their first execution.
+                if assignment.started && assignment.attempt >= shared.supervisor.max_job_attempts {
+                    // Poison: this job has killed max_job_attempts workers
+                    // in a row. A tombstone lets the release cursor pass
+                    // it; the verdict is journaled at release. The rest of
+                    // the fleet keeps flowing.
+                    state.poisoned_count += 1;
+                    state.completed.insert(
+                        seq,
+                        Completion::Poisoned(PoisonNotice {
+                            spec: assignment.job,
+                            attempts: assignment.attempt,
+                        }),
+                    );
+                } else {
+                    let attempt = if assignment.started {
+                        assignment.attempt + 1
+                    } else {
+                        assignment.attempt
+                    };
+                    state.queue.requeue(seq, assignment.job, attempt);
+                }
+            }
+            // The restart ladder. Respawning continues during a graceful
+            // finish (the drain needs workers) but not during teardown.
+            if !(state.shutting_down && state.discard_queued) {
+                let now = shared.clock.load(Ordering::Relaxed);
+                if shared.supervisor.restart_window > 0
+                    && now.saturating_sub(state.window_start) >= shared.supervisor.restart_window
+                {
+                    state.window_start = now;
+                    state.restarts_in_window = 0;
+                }
+                if state.restarts_in_window < shared.supervisor.max_restarts {
+                    state.restarts_in_window += 1;
+                    state.worker_restarts += 1;
+                    state.active_workers += 1;
+                    let next_gen = state.spawned_total;
+                    state.spawned_total += 1;
+                    respawn_gen = Some(next_gen);
+                } else {
+                    // Budget spent: degrade to the surviving pool size.
+                    state.worker_target = state.worker_target.min(state.active_workers.max(1));
+                    if state.active_workers == 0 {
+                        state.workers_dead = true;
+                        state.quarantined = true;
+                        state.last_error = Some(format!(
+                            "last worker died with the restart budget spent: {reason}"
+                        ));
+                    }
+                }
+            }
+        }
+        // Spans and the respawn happen outside the state lock.
+        if let Some(tracer) = &shared.tracer {
+            for (job, tenant, dispatched_at) in &reassigned {
+                // Reclaiming is nobody's per-tenant latency: aggregate
+                // cell only, one span per reassigned job.
+                let elapsed = dispatched_at.map(|at| at.elapsed()).unwrap_or_default();
+                tracer.record_aggregate(Stage::Reassign, *job, *tenant, elapsed);
+            }
+        }
+        if let Some(next_gen) = respawn_gen {
+            let handle = Shared::spawn_worker(shared, next_gen);
+            shared
+                .respawned
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(handle);
+        }
+        shared.job_ready.notify_all();
+        shared.job_done.notify_all();
+        shared.slot_free.notify_all();
+    }
+
+    /// Spawns one worker thread at generation `gen` (startup, scale-up
+    /// and supervisor respawns all come through here).
+    fn spawn_worker(shared: &Arc<Shared>, gen: u64) -> JoinHandle<()> {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("fleet-ingest-{gen}"))
+            .spawn(move || {
+                // Reap on unwind: a panicking job (injected or real) gets
+                // its worker reaped, its batch reassigned and a
+                // replacement respawned — the panic never escapes the
+                // pool and never takes the drain target down with it.
+                let guard = WorkerReapGuard {
+                    shared: Arc::clone(&shared),
+                    gen,
+                };
+                Shared::work(&shared, gen);
+                std::mem::forget(guard);
+            })
+            .expect("spawn ingest worker")
     }
 
     /// Removes and returns the contiguous run of completed records starting
@@ -869,79 +1486,157 @@ impl Shared {
             .release_guard
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        // Drain the whole contiguous prefix under one lock acquisition,
-        // starting with a batch a previous quarantine parked (its records
-        // sit exactly at the release cursor). The drain target is a pooled
-        // buffer (or the parked one, which is pooled too), so a steady
-        // pump loop recycles capacity instead of allocating per batch.
-        let (first, ready) = {
-            let mut state = self.lock();
-            if state.quarantined {
-                return Vec::new();
-            }
-            let first = state.released;
-            let mut ready = if state.stalled.is_empty() {
-                if !state.completed.contains_key(&first) {
-                    return Vec::new();
+        // The completion log now interleaves records with poison
+        // tombstones, so the contiguous prefix drains in segments: runs
+        // of records group-commit as one Run entry; each tombstone
+        // journals its own chained Poisoned verdict. Record buffers are
+        // pooled (or the parked quarantine batch, which is pooled too).
+        enum Segment {
+            Records(Vec<RunRecord>),
+            Poison(PoisonNotice),
+        }
+        let mut out: Option<Vec<RunRecord>> = None;
+        loop {
+            let (first, segment) = {
+                let mut state = self.lock();
+                if state.quarantined {
+                    break;
                 }
-                self.pool.acquire()
-            } else {
-                std::mem::take(&mut state.stalled)
+                let first = state.released;
+                if !state.stalled.is_empty() {
+                    // A quarantine parked these records exactly at the
+                    // release cursor; they drain first.
+                    let mut ready = std::mem::take(&mut state.stalled);
+                    Self::drain_contiguous_records(&mut state, first, &mut ready);
+                    (first, Segment::Records(ready))
+                } else {
+                    match state.completed.get(&first) {
+                        Some(Completion::Record(_)) => {
+                            let mut ready = self.pool.acquire();
+                            Self::drain_contiguous_records(&mut state, first, &mut ready);
+                            (first, Segment::Records(ready))
+                        }
+                        Some(Completion::Poisoned(_)) => {
+                            let Some(Completion::Poisoned(notice)) = state.completed.remove(&first)
+                            else {
+                                unreachable!("entry observed under the same lock hold");
+                            };
+                            (first, Segment::Poison(notice))
+                        }
+                        None => break,
+                    }
+                }
             };
-            while let Some(record) = state.completed.remove(&(first + ready.len() as u64)) {
-                ready.push(record);
-            }
-            (first, ready)
-        };
-        debug_assert!(!ready.is_empty(), "both drain sources start non-empty");
-        if let Some(journal) = &self.journal {
-            // The batch is durable before the cursor advances.
-            let commit_started = self.tracer.as_ref().map(|_| std::time::Instant::now());
-            if let Err(e) = self.commit_with_retry(ready[0].job.id, ready[0].job.tenant, || {
-                journal.append_runs(&ready)
-            }) {
-                // Retry policy exhausted: park the batch (un-released,
-                // un-journaled — the cursor still points at its first
-                // record) and close the billing boundary.
-                self.enter_quarantine(e, ready);
-                return Vec::new();
-            }
-            if let (Some(tracer), Some(started)) = (&self.tracer, commit_started) {
-                // One group commit covers the whole prefix; attribute the
-                // span to its first record (aggregate cell only — a shared
-                // commit is nobody's per-tenant latency).
-                tracer.record_aggregate(
-                    Stage::JournalCommit,
-                    ready[0].job.id,
-                    ready[0].job.tenant,
-                    started.elapsed(),
-                );
+            match segment {
+                Segment::Records(ready) => {
+                    debug_assert!(!ready.is_empty(), "record segments start non-empty");
+                    if let Some(journal) = &self.journal {
+                        // The batch is durable before the cursor advances.
+                        let commit_started =
+                            self.tracer.as_ref().map(|_| std::time::Instant::now());
+                        if let Err(e) =
+                            self.commit_with_retry(ready[0].job.id, ready[0].job.tenant, || {
+                                journal.append_runs(&ready)
+                            })
+                        {
+                            // Retry policy exhausted: park the batch
+                            // (un-released, un-journaled — the cursor still
+                            // points at its first record) and close the
+                            // billing boundary.
+                            self.enter_quarantine(e, ready);
+                            break;
+                        }
+                        if let (Some(tracer), Some(started)) = (&self.tracer, commit_started) {
+                            // One group commit covers the whole prefix;
+                            // attribute the span to its first record
+                            // (aggregate cell only — a shared commit is
+                            // nobody's per-tenant latency).
+                            tracer.record_aggregate(
+                                Stage::JournalCommit,
+                                ready[0].job.id,
+                                ready[0].job.tenant,
+                                started.elapsed(),
+                            );
+                        }
+                    }
+                    let mut state = self.lock();
+                    debug_assert_eq!(state.released, first, "release guard serializes consumers");
+                    state.released = first + ready.len() as u64;
+                    // The released records' Accepted markers are no longer
+                    // pending: a Run entry now vouches for each of them.
+                    if !state.accepted.is_empty() {
+                        for seq in first..state.released {
+                            state.accepted.remove(&seq);
+                        }
+                    }
+                    drop(state);
+                    match &mut out {
+                        None => out = Some(ready),
+                        Some(acc) => acc.extend(ready),
+                    }
+                }
+                Segment::Poison(notice) => {
+                    // A poison verdict is released by journaling it — the
+                    // chained Poisoned entry is the tenant-auditable
+                    // outcome; there is no record to hand out.
+                    if let Some(journal) = &self.journal {
+                        if let Err(e) =
+                            self.commit_with_retry(notice.spec.id, notice.spec.tenant, || {
+                                journal.append_poisoned(&notice)
+                            })
+                        {
+                            // Put the tombstone back; the cursor has not
+                            // moved past it.
+                            let mut state = self.lock();
+                            state.completed.insert(first, Completion::Poisoned(notice));
+                            drop(state);
+                            self.enter_quarantine(e, Vec::new());
+                            break;
+                        }
+                    }
+                    let mut state = self.lock();
+                    debug_assert_eq!(state.released, first, "release guard serializes consumers");
+                    state.released = first + 1;
+                    state.accepted.remove(&first);
+                    state.poisoned_log.push(notice);
+                }
             }
         }
-        let mut state = self.lock();
-        debug_assert_eq!(state.released, first, "release guard serializes consumers");
-        state.released = first + ready.len() as u64;
-        // The released records' Accepted markers are no longer pending: a
-        // Run entry now vouches for each of them.
-        if !state.accepted.is_empty() {
-            for seq in first..state.released {
-                state.accepted.remove(&seq);
-            }
-        }
-        drop(state);
         // Wake workers stalled on the completion watermark.
         self.job_ready.notify_all();
-        ready
+        out.unwrap_or_default()
+    }
+
+    /// Moves the contiguous run of records starting at `first +
+    /// ready.len()` out of the completion log into `ready`, stopping at
+    /// the first gap or poison tombstone (which stays put for the next
+    /// segment).
+    fn drain_contiguous_records(state: &mut State, first: u64, ready: &mut Vec<RunRecord>) {
+        loop {
+            let seq = first + ready.len() as u64;
+            match state.completed.get(&seq) {
+                Some(Completion::Record(_)) => {
+                    let Some(Completion::Record(record)) = state.completed.remove(&seq) else {
+                        unreachable!("entry observed under the same lock hold");
+                    };
+                    ready.push(*record);
+                }
+                _ => break,
+            }
+        }
     }
 }
 
-/// Flags the pipeline on unwind out of a worker (a panicking simulated
-/// run); forgotten on the normal exit path.
-struct WorkerPanicGuard(Arc<Shared>);
+/// Reaps its worker on unwind (a panicking simulated run — injected or
+/// real); forgotten on the normal exit path.
+struct WorkerReapGuard {
+    shared: Arc<Shared>,
+    gen: u64,
+}
 
-impl Drop for WorkerPanicGuard {
+impl Drop for WorkerReapGuard {
     fn drop(&mut self) {
-        self.0.flag_worker_panic();
+        Shared::reap(&self.shared, self.gen, "worker panicked mid-job");
     }
 }
 
@@ -956,11 +1651,6 @@ impl Drop for WorkerPanicGuard {
 pub struct FleetIngest {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    /// The executor, kept so [`FleetIngest::scale_to`] can spawn more
-    /// workers after startup.
-    fleet: Fleet,
-    /// Workers ever spawned — the name suffix for the next one.
-    spawned: usize,
 }
 
 /// A cloneable, `Send` handle for submitting jobs to a [`FleetIngest`] from
@@ -1042,6 +1732,11 @@ impl FleetIngest {
             config.workers > 0,
             "an ingest pipeline needs at least one worker"
         );
+        // Auto-verification: a fleet with injected executor faults checks
+        // every completion against its quote unless told otherwise.
+        let verify_completions = config
+            .verify_completions
+            .unwrap_or(!config.worker_faults.is_empty());
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: FairQueue::new(config.capacity),
@@ -1056,7 +1751,6 @@ impl FleetIngest {
                 paused: config.start_paused,
                 shutting_down: false,
                 discard_queued: false,
-                worker_panicked: false,
                 quarantined: false,
                 stalled: Vec::new(),
                 retries: 0,
@@ -1066,6 +1760,17 @@ impl FleetIngest {
                 accepted: BTreeMap::new(),
                 worker_target: config.workers,
                 active_workers: config.workers,
+                assignments: BTreeMap::new(),
+                dead_workers: BTreeSet::new(),
+                spawned_total: config.workers as u64,
+                restarts_in_window: 0,
+                window_start: 0,
+                worker_restarts: 0,
+                jobs_reassigned: 0,
+                poisoned_count: 0,
+                poisoned_log: Vec::new(),
+                stale_completions: 0,
+                workers_dead: false,
             }),
             job_ready: Condvar::new(),
             slot_free: Condvar::new(),
@@ -1078,32 +1783,18 @@ impl FleetIngest {
             submit_guard: Mutex::new(()),
             retry: config.retry,
             pool: BufferPool::new(),
+            clock: AtomicU64::new(0),
+            supervisor: config.supervisor,
+            deadline_grace: config.job_deadline,
+            worker_faults: config.worker_faults,
+            verify_completions,
+            fleet,
+            respawned: Mutex::new(Vec::new()),
         });
         let workers = (0..config.workers)
-            .map(|i| FleetIngest::spawn_worker(&shared, &fleet, i))
+            .map(|i| Shared::spawn_worker(&shared, i as u64))
             .collect();
-        FleetIngest {
-            shared,
-            workers,
-            fleet,
-            spawned: config.workers,
-        }
-    }
-
-    fn spawn_worker(shared: &Arc<Shared>, fleet: &Fleet, index: usize) -> JoinHandle<()> {
-        let shared = Arc::clone(shared);
-        let fleet = fleet.clone();
-        std::thread::Builder::new()
-            .name(format!("fleet-ingest-{index}"))
-            .spawn(move || {
-                // Propagate a panicking job to `finish` instead of
-                // letting the pipeline deadlock on a drain target
-                // it can no longer reach.
-                let guard = WorkerPanicGuard(Arc::clone(&shared));
-                shared.work(&fleet);
-                std::mem::forget(guard);
-            })
-            .expect("spawn ingest worker")
+        FleetIngest { shared, workers }
     }
 
     /// Resizes the worker pool to `workers` threads (clamped to at least
@@ -1113,7 +1804,7 @@ impl FleetIngest {
     /// target is ignored: `finish` keeps every worker alive to drain.
     pub fn scale_to(&mut self, workers: usize) {
         let target = workers.max(1);
-        let grow = {
+        let gens: Vec<u64> = {
             let mut state = self.shared.lock();
             if state.shutting_down {
                 return;
@@ -1123,21 +1814,29 @@ impl FleetIngest {
             // Count the spawns now, under the lock, so the fair-share
             // batch cap sees the new pool size immediately.
             state.active_workers += grow;
-            grow
+            if grow > 0 && state.workers_dead {
+                // A fresh pool revives a fleet whose last worker died
+                // with the restart budget spent.
+                state.workers_dead = false;
+                state.quarantined = false;
+                state.last_error = None;
+            }
+            let first = state.spawned_total;
+            state.spawned_total += grow as u64;
+            (first..first + grow as u64).collect()
         };
-        for i in 0..grow {
-            self.workers.push(FleetIngest::spawn_worker(
-                &self.shared,
-                &self.fleet,
-                self.spawned + i,
-            ));
+        let grew = !gens.is_empty();
+        for gen in gens {
+            self.workers.push(Shared::spawn_worker(&self.shared, gen));
         }
-        self.spawned += grow;
-        if grow == 0 {
-            // Shrinking: wake idle workers so surplus ones consume their
-            // shrink tokens without waiting for the next submission.
-            self.shared.job_ready.notify_all();
+        if grew {
+            // New workers (and possibly a revived pipeline) need waking
+            // submitters and consumers.
+            self.shared.slot_free.notify_all();
         }
+        // Wake idle workers: on a shrink, surplus ones consume their
+        // shrink tokens without waiting for the next submission.
+        self.shared.job_ready.notify_all();
     }
 
     /// Sets a tenant's fairness weight: how many jobs its lane may release
@@ -1250,9 +1949,25 @@ impl FleetIngest {
     /// Removes and returns all completed records that form a contiguous
     /// run in submission order (the stream analogue of a batch result
     /// prefix). Records completed out of order are held back until the gap
-    /// fills, so consumers always observe submission order.
+    /// fills, so consumers always observe submission order. Poison
+    /// verdicts release in the same order (their journaled `Poisoned`
+    /// entry is the release) but yield no record — read them from
+    /// [`FleetIngest::poisoned`] or [`IngestOutcome::poisoned`].
+    ///
+    /// Also runs the watchdog as a belt-and-braces backstop: a consumer
+    /// pumping the stream re-checks every running job's virtual-tick
+    /// deadline even if the hung worker's own spin loop has not.
     pub fn take_ready(&self) -> Vec<RunRecord> {
+        Shared::supervise(&self.shared);
         self.shared.take_ready()
+    }
+
+    /// The poison verdicts released so far: jobs that killed
+    /// [`SupervisorPolicy::max_job_attempts`] workers in a row and were
+    /// retired with a journaled [`crate::JournalEntry::Poisoned`] entry
+    /// instead of a record. In release (submission) order.
+    pub fn poisoned(&self) -> Vec<PoisonNotice> {
+        self.shared.lock().poisoned_log.clone()
     }
 
     /// Hands a consumed [`FleetIngest::take_ready`] buffer back to the
@@ -1282,27 +1997,54 @@ impl FleetIngest {
             // Draining overrides pause: a paused pipeline still finishes.
             state.paused = false;
             let target = state.submitted;
-            while state.completed_count < target {
-                assert!(
-                    !state.worker_panicked,
-                    "ingest worker panicked; pipeline cannot drain"
-                );
+            // Every submitted job resolves to either a completed record
+            // or a poison tombstone; the supervisor respawns through the
+            // drain, so the target stays reachable — unless the whole
+            // pool is dead with the restart budget spent.
+            while state.completed_count + state.poisoned_count < target && !state.workers_dead {
                 self.shared.job_ready.notify_all();
                 state = self.shared.wait(&self.shared.job_done, state);
+            }
+            if state.workers_dead {
+                // Nothing left to execute the backlog; release what did
+                // complete and report the degraded state in the stats.
+                state.discard_queued = true;
             }
         }
         // Wake everyone: idle workers exit, blocked submitters see ShutDown.
         self.shared.job_ready.notify_all();
         self.shared.slot_free.notify_all();
         for worker in self.workers.drain(..) {
-            worker.join().expect("ingest worker panicked");
+            // Panicked workers were already reaped by their unwind guard;
+            // their handles just carry the panic payload.
+            let _ = worker.join();
+        }
+        loop {
+            // Supervisor respawns can themselves respawn; drain until the
+            // set is stable.
+            let drained: Vec<JoinHandle<()>> = {
+                let mut respawned = self
+                    .shared
+                    .respawned
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                std::mem::take(&mut *respawned)
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for worker in drained {
+                let _ = worker.join();
+            }
         }
         let records = self.shared.take_ready();
         let stats = self.shared.stats();
+        let poisoned = self.shared.lock().poisoned_log.clone();
         IngestOutcome {
             records,
             dispatch_log: self.dispatch_log(),
             stats,
+            poisoned,
         }
     }
 }
@@ -1325,8 +2067,19 @@ impl Drop for FleetIngest {
         self.shared.job_ready.notify_all();
         self.shared.slot_free.notify_all();
         for worker in self.workers.drain(..) {
-            // A worker that panicked mid-job already flagged itself; don't
-            // double-panic during teardown.
+            // A worker that panicked mid-job was already reaped by its
+            // unwind guard; don't double-panic during teardown.
+            let _ = worker.join();
+        }
+        let respawned: Vec<JoinHandle<()>> = {
+            let mut respawned = self
+                .shared
+                .respawned
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *respawned)
+        };
+        for worker in respawned {
             let _ = worker.join();
         }
     }

@@ -132,6 +132,13 @@ pub enum JournalEntry {
     Verdict(AuditVerdict),
     /// A folded journal prefix (see [`compact`]).
     Checkpoint(Box<Checkpoint>),
+    /// A job declared **poison** by the ingest supervisor: it killed
+    /// `max_job_attempts` workers in a row, was individually quarantined
+    /// at its release point (the rest of the fleet keeps flowing), and
+    /// this chained entry is its tenant-visible verdict — journaled in
+    /// release order, exactly where the job's `Run` entry would have
+    /// been.
+    Poisoned(PoisonNotice),
 }
 
 impl JournalEntry {
@@ -149,6 +156,11 @@ impl JournalEntry {
     pub fn checkpoint(checkpoint: Checkpoint) -> JournalEntry {
         JournalEntry::Checkpoint(Box::new(checkpoint))
     }
+
+    /// Wraps a poison-job verdict.
+    pub fn poisoned(notice: PoisonNotice) -> JournalEntry {
+        JournalEntry::Poisoned(notice)
+    }
 }
 
 impl JournalEntry {
@@ -160,6 +172,7 @@ impl JournalEntry {
             JournalEntry::Invoice(posting) => Some(posting.job),
             JournalEntry::Verdict(verdict) => Some(verdict.job),
             JournalEntry::Checkpoint(_) => None,
+            JournalEntry::Poisoned(notice) => Some(notice.spec.id),
         }
     }
 
@@ -171,8 +184,24 @@ impl JournalEntry {
             JournalEntry::Invoice(_) => "invoice",
             JournalEntry::Verdict(_) => "verdict",
             JournalEntry::Checkpoint(_) => "checkpoint",
+            JournalEntry::Poisoned(_) => "poisoned",
         }
     }
+}
+
+/// The tenant-visible verdict for a poison job (see
+/// [`JournalEntry::Poisoned`]): which job, and how many execution
+/// attempts — each one a killed worker — it burned before the
+/// supervisor gave up. Nothing was billed: the job never released a
+/// record, so the never-journaled ⇒ never-billed invariant holds with
+/// the `Poisoned` entry standing in for the `Run` that will never come.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoisonNotice {
+    /// The poison job, spec and tenant included (the tenant sees whose
+    /// job was quarantined).
+    pub spec: JobSpec,
+    /// Execution attempts consumed (= workers killed in a row).
+    pub attempts: u32,
 }
 
 /// The billing receipt for one posted run: exactly the invoices the ledger
@@ -1557,6 +1586,27 @@ impl Journal {
         Ok(())
     }
 
+    /// Appends a [`JournalEntry::Poisoned`] serialized straight from a
+    /// borrowed notice — the release path journals a poison job's
+    /// verdict at exactly the chain position its `Run` entry would have
+    /// taken, so the release order stays reconstructible from the
+    /// journal alone.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] if serialization or the sink fails.
+    pub fn append_poisoned(&self, notice: &PoisonNotice) -> Result<(), JournalError> {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        let prev = inner.link;
+        frame_variant(&mut inner.scratch, &prev, "Poisoned", notice)?;
+        inner.sink.append_line(&inner.scratch)?;
+        inner.link = evidence::chain_link(&prev, inner.scratch.as_bytes());
+        inner.stats.appends += 1;
+        inner.stats.bytes += inner.scratch.len() as u64 + 1;
+        Ok(())
+    }
+
     /// Group commit of one posting's Run/Invoice/Verdict triple — the
     /// batch path journals each posted record through this, one sink
     /// write for the three lines.
@@ -1839,12 +1889,13 @@ pub const SELF_ACCOUNTING_FAMILIES: [&str; 15] = [
     "fleet_observer_overhead_seconds_total",
 ];
 
-/// The live-pipeline metric families: queue/inflight gauges and the
-/// rejected-submissions counter describe the running ingest pipeline at a
-/// moment in time, not the metered workload, and are timing-dependent
-/// while the pipeline is live — so checkpoints exclude them (see
+/// The live-pipeline metric families: queue/inflight gauges, the
+/// rejected-submissions counter and the worker-supervision families
+/// describe the running ingest pipeline at a moment in time, not the
+/// metered workload, and are timing-dependent while the pipeline is
+/// live — so checkpoints exclude them (see
 /// [`crate::FleetService::checkpoint`]).
-pub const LIVE_PIPELINE_FAMILIES: [&str; 7] = [
+pub const LIVE_PIPELINE_FAMILIES: [&str; 11] = [
     "fleet_queue_depth",
     "fleet_inflight",
     "fleet_submissions_rejected",
@@ -1852,6 +1903,10 @@ pub const LIVE_PIPELINE_FAMILIES: [&str; 7] = [
     "fleet_stage_seconds",
     "fleet_stage_seconds_by_tenant",
     "fleet_pool_buffers",
+    "fleet_worker_restarts_total",
+    "fleet_jobs_reassigned_total",
+    "fleet_poison_jobs_total",
+    "fleet_workers_live",
 ];
 
 /// The metric families a checkpoint excludes from its snapshot —
@@ -2063,6 +2118,11 @@ pub struct RecoveryReport {
     /// Resubmitting exactly these specs to the restarted service
     /// reproduces the uninterrupted run deterministically.
     pub unreleased: Vec<JobSpec>,
+    /// `Poisoned` verdicts replayed: jobs the executor fleet retired
+    /// after they killed the configured run of workers. Each retired its
+    /// matching `Accepted` entry (the job *was* resolved — do not
+    /// resubmit it) without posting anything to the ledger.
+    pub poisoned: u64,
 }
 
 impl RecoveryReport {

@@ -66,17 +66,18 @@ pub use executor::{
     quote_nonce, AttackSpec, Fleet, FleetConfig, JobId, JobSpec, ReferenceOutcome, RunRecord,
 };
 pub use faults::{
-    FaultInjectingSink, FaultKind, FaultProbe, FaultSchedule, FaultStats, PlannedFault, RetryPolicy,
+    FaultInjectingSink, FaultKind, FaultProbe, FaultSchedule, FaultStats, PlannedFault,
+    PlannedWorkerFault, RetryPolicy, SupervisorPolicy, WorkerFaultKind, WorkerFaultSchedule,
 };
 pub use ingest::{
     BackpressurePolicy, BatchSubmitError, FleetHealth, FleetIngest, IngestConfig, IngestHandle,
-    IngestOutcome, IngestStats, SubmitError,
+    IngestOutcome, IngestStats, JobVerdict, SubmitError,
 };
 pub use journal::{
     compact, excluded_metric_families, metering_exposition, parse_journal, recovery_window,
     strip_families, strip_self_accounting, Checkpoint, CheckpointCadence, FileSink, FsyncPolicy,
     InvoicePosting, Journal, JournalEntry, JournalError, JournalSink, JournalStats,
-    LedgerVerification, MemorySink, RecoveryError, RecoveryReport, SegmentConfig,
+    LedgerVerification, MemorySink, PoisonNotice, RecoveryError, RecoveryReport, SegmentConfig,
     SegmentedFileSink, SinkStats, TailStatus, LIVE_PIPELINE_FAMILIES, SELF_ACCOUNTING_FAMILIES,
 };
 pub use metrics::{CounterCell, MetricKind, MetricsRegistry};
@@ -139,6 +140,15 @@ const OBSERVER_DROPPED_HELP: &str = "Spans evicted from the tracer's full ring b
 const OBSERVER_OVERHEAD_METRIC: &str = "fleet_observer_overhead_seconds_total";
 const OBSERVER_OVERHEAD_HELP: &str =
     "Time spent inside the observability layer itself (the cost of observing)";
+const WORKER_RESTARTS_METRIC: &str = "fleet_worker_restarts_total";
+const WORKER_RESTARTS_HELP: &str = "Workers respawned by the supervisor after a reap";
+const JOBS_REASSIGNED_METRIC: &str = "fleet_jobs_reassigned_total";
+const JOBS_REASSIGNED_HELP: &str =
+    "Jobs reclaimed from dead, hung or lying workers and requeued for re-execution";
+const POISON_JOBS_METRIC: &str = "fleet_poison_jobs_total";
+const POISON_JOBS_HELP: &str = "Jobs retired as poison after killing the configured run of workers";
+const WORKERS_LIVE_METRIC: &str = "fleet_workers_live";
+const WORKERS_LIVE_HELP: &str = "Workers currently alive in the ingest pool";
 
 /// Pre-registers the journal layer's self-accounting counters at zero
 /// (existing values are kept — `counter_add` with a zero delta only
@@ -193,6 +203,23 @@ fn register_observability_metrics(metrics: &mut MetricsRegistry) {
     ] {
         metrics.counter_add(name, help, &[], 0.0);
     }
+    register_supervision_metrics(metrics);
+}
+
+/// Pre-registers the worker-supervision families at zero: the restart,
+/// reassignment and poison-job counters plus the live-worker gauge — so
+/// a fleet that never loses a worker still exposes the families an
+/// operator's alerts watch, and the exposition is stable after a
+/// checkpoint restore strips them (they are [`LIVE_PIPELINE_FAMILIES`]).
+fn register_supervision_metrics(metrics: &mut MetricsRegistry) {
+    for (name, help) in [
+        (WORKER_RESTARTS_METRIC, WORKER_RESTARTS_HELP),
+        (JOBS_REASSIGNED_METRIC, JOBS_REASSIGNED_HELP),
+        (POISON_JOBS_METRIC, POISON_JOBS_HELP),
+    ] {
+        metrics.counter_add(name, help, &[], 0.0);
+    }
+    metrics.gauge_set(WORKERS_LIVE_METRIC, WORKERS_LIVE_HELP, &[], 0.0);
 }
 
 /// Everything one processed batch produced.
@@ -492,6 +519,7 @@ impl FleetService {
             rejected_exported: 0,
             retries_exported: 0,
             failures_exported: 0,
+            supervision_exported: (0, 0, 0),
         }
     }
 
@@ -970,6 +998,9 @@ impl FleetService {
                 // durable, but carry no billing to settle.
                 Ok(JournalEntry::Accepted(_)) => {}
                 Ok(JournalEntry::Checkpoint(_)) => {}
+                // A sealed poison verdict is the settled outcome for a
+                // job the fleet retired: nothing billed, nothing owed.
+                Ok(JournalEntry::Poisoned(_)) => {}
                 Err(e) => {
                     self.metrics.counter_add(
                         CHAIN_VIOLATIONS_METRIC,
@@ -1135,6 +1166,18 @@ impl FleetService {
                         pending.remove(&posting.job);
                     }
                 }
+                JournalEntry::Poisoned(notice) => {
+                    // A poison verdict resolves its job without posting:
+                    // retire the oldest matching Accepted entry so the job
+                    // is not reported as interrupted work to resubmit.
+                    if let Some(pos) = accepted_pending
+                        .iter()
+                        .position(|spec| spec.id == notice.spec.id)
+                    {
+                        accepted_pending.remove(pos);
+                    }
+                    report.poisoned += 1;
+                }
                 JournalEntry::Verdict(verdict) => {
                     let Some(queue) = pending.get_mut(&verdict.job) else {
                         return Err(RecoveryError::OrphanPosting(verdict.job));
@@ -1239,7 +1282,9 @@ impl FleetService {
         rejected_delta: u64,
         retries_delta: u64,
         failures_delta: u64,
+        supervision_deltas: (u64, u64, u64),
     ) {
+        let (restarts_delta, reassigned_delta, poisoned_delta) = supervision_deltas;
         self.metrics.gauge_set(
             "fleet_queue_depth",
             "Jobs queued and not yet dispatched to a worker",
@@ -1288,6 +1333,30 @@ impl FleetService {
             JOURNAL_FAILURES_HELP,
             &[],
             failures_delta as f64,
+        );
+        self.metrics.counter_add(
+            WORKER_RESTARTS_METRIC,
+            WORKER_RESTARTS_HELP,
+            &[],
+            restarts_delta as f64,
+        );
+        self.metrics.counter_add(
+            JOBS_REASSIGNED_METRIC,
+            JOBS_REASSIGNED_HELP,
+            &[],
+            reassigned_delta as f64,
+        );
+        self.metrics.counter_add(
+            POISON_JOBS_METRIC,
+            POISON_JOBS_HELP,
+            &[],
+            poisoned_delta as f64,
+        );
+        self.metrics.gauge_set(
+            WORKERS_LIVE_METRIC,
+            WORKERS_LIVE_HELP,
+            &[],
+            stats.workers as f64,
         );
         let pool_help = "Release-path record buffer pool, by event \
                          (idle_capacity counts elements, the rest buffers)";
@@ -1411,6 +1480,9 @@ pub struct FleetStream<'a> {
     retries_exported: u64,
     /// Journal failure count already added to the metrics counter.
     failures_exported: u64,
+    /// Supervision counters (worker restarts, reassigned jobs, poison
+    /// jobs) already added to the metrics counters.
+    supervision_exported: (u64, u64, u64),
 }
 
 impl FleetStream<'_> {
@@ -1520,6 +1592,14 @@ impl FleetStream<'_> {
         &self.verdicts
     }
 
+    /// Poison verdicts released so far: jobs the supervisor retired after
+    /// they killed [`SupervisorPolicy::max_job_attempts`] workers in a
+    /// row. Each was journaled as a chained [`JournalEntry::Poisoned`]
+    /// entry when released; nothing was billed for it.
+    pub fn poisoned(&self) -> Vec<PoisonNotice> {
+        self.ingest.poisoned()
+    }
+
     /// The dispatch order so far — which job each worker popped, in pop
     /// order. With a multi-tenant backlog, consecutive entries round-robin
     /// across tenants (the observable fairness record).
@@ -1553,18 +1633,25 @@ impl FleetStream<'_> {
         let delta = stats.rejected - self.rejected_exported;
         let retries_delta = stats.retries - self.retries_exported;
         let failures_delta = stats.journal_failures - self.failures_exported;
+        let supervision_deltas = (
+            stats.worker_restarts - self.supervision_exported.0,
+            stats.reassigned - self.supervision_exported.1,
+            stats.poisoned - self.supervision_exported.2,
+        );
         self.service.export_ingest_metrics(
             stats,
             &self.inflight_exported,
             delta,
             retries_delta,
             failures_delta,
+            supervision_deltas,
         );
         self.service.export_journal_metrics();
         self.service.export_observer_metrics();
         self.rejected_exported = stats.rejected;
         self.retries_exported = stats.retries;
         self.failures_exported = stats.journal_failures;
+        self.supervision_exported = (stats.worker_restarts, stats.reassigned, stats.poisoned);
         for tenant in stats.inflight.keys() {
             if !self.inflight_exported.contains(tenant) {
                 self.inflight_exported.push(*tenant);
@@ -1587,6 +1674,7 @@ impl FleetStream<'_> {
             rejected_exported,
             retries_exported,
             failures_exported,
+            supervision_exported,
         } = self;
         let mut outcome = ingest.finish();
         service.post_ready(&mut outcome.records, &mut records, &mut verdicts);
@@ -1604,6 +1692,11 @@ impl FleetStream<'_> {
             outcome.stats.rejected - rejected_exported,
             outcome.stats.retries - retries_exported,
             outcome.stats.journal_failures - failures_exported,
+            (
+                outcome.stats.worker_restarts - supervision_exported.0,
+                outcome.stats.reassigned - supervision_exported.1,
+                outcome.stats.poisoned - supervision_exported.2,
+            ),
         );
         service.export_journal_metrics();
         service.export_observer_metrics();

@@ -50,6 +50,11 @@ pub struct QueuedJob {
     /// worker can record the queue-wait span. Observation only: nothing
     /// downstream of dispatch reads it.
     pub submitted_at: Option<Instant>,
+    /// Execution attempt this dispatch represents, 1-based. Fresh
+    /// submissions enter at 1; the supervisor bumps it each time the job is
+    /// reclaimed from a dead worker and requeued, so the worker-fault
+    /// schedule and the poison-job ladder can address individual attempts.
+    pub attempt: u32,
 }
 
 /// A bounded multi-tenant queue with weighted round-robin fairness across
@@ -156,9 +161,31 @@ impl FairQueue {
             seq,
             job,
             submitted_at,
+            attempt: 1,
         });
         self.queued += 1;
         Ok(())
+    }
+
+    /// Re-enqueues a job reclaimed from a dead, hung or expired worker.
+    /// Unlike [`FairQueue::push_at`] this ignores capacity: the slot was
+    /// already admitted when the job was first accepted, so bouncing a
+    /// reclaimed job off a full queue would lose admitted work. The job
+    /// keeps its original sequence number (release order is unchanged) and
+    /// carries the attempt the next execution will be.
+    pub fn requeue(&mut self, seq: u64, job: JobSpec, attempt: u32) {
+        let tenant = job.tenant;
+        let lane = self.lanes.entry(tenant).or_default();
+        if lane.is_empty() {
+            self.rotation.push_back(tenant);
+        }
+        lane.push_back(QueuedJob {
+            seq,
+            job,
+            submitted_at: None,
+            attempt,
+        });
+        self.queued += 1;
     }
 
     /// Bulk [`FairQueue::push_at`]: enqueues `jobs` with consecutive
@@ -195,6 +222,7 @@ impl FairQueue {
                     seq: first_seq + (i + offset) as u64,
                     job: job.clone(),
                     submitted_at,
+                    attempt: 1,
                 });
             }
             self.queued += end - i;
@@ -312,6 +340,23 @@ mod tests {
         assert_eq!(queue.push_batch_at(0, &jobs, None), Err(3));
         assert_eq!(queue.len(), 3);
         assert_eq!(queue.pop().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn requeue_ignores_capacity_and_preserves_seq() {
+        let mut queue = FairQueue::new(1);
+        queue.push(7, job(7, 1)).unwrap();
+        assert!(queue.is_full());
+        // A reclaimed job re-enters even though the queue is at capacity.
+        queue.requeue(3, job(3, 2), 2);
+        assert_eq!(queue.len(), 2);
+        let reclaimed = std::iter::from_fn(|| queue.pop())
+            .find(|q| q.seq == 3)
+            .unwrap();
+        assert_eq!(reclaimed.attempt, 2);
+        // Fresh pushes always start at attempt 1.
+        queue.push(8, job(8, 1)).unwrap();
+        assert_eq!(queue.pop().unwrap().attempt, 1);
     }
 
     #[test]

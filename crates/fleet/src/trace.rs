@@ -86,17 +86,23 @@ pub enum Stage {
     /// record (or the submitted spec) of the failed batch. Absent from
     /// healthy runs.
     JournalRetry,
+    /// A dispatched job reclaimed from a dead, hung or expired worker and
+    /// re-enqueued for re-execution (see
+    /// [`crate::faults::WorkerFaultSchedule`]) — attributed to the
+    /// reassigned job. Absent from healthy runs.
+    Reassign,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::QueueWait,
         Stage::Execute,
         Stage::Audit,
         Stage::JournalCommit,
         Stage::Post,
         Stage::JournalRetry,
+        Stage::Reassign,
     ];
 
     /// Short stable snake_case name, used as the `stage` label of the
@@ -109,6 +115,7 @@ impl Stage {
             Stage::JournalCommit => "journal_commit",
             Stage::Post => "post",
             Stage::JournalRetry => "journal_retry",
+            Stage::Reassign => "reassign",
         }
     }
 
@@ -120,6 +127,7 @@ impl Stage {
             Stage::JournalCommit => 3,
             Stage::Post => 4,
             Stage::JournalRetry => 5,
+            Stage::Reassign => 6,
         }
     }
 }

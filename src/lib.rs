@@ -82,13 +82,14 @@ pub mod prelude {
         FairQueue, FaultInjectingSink, FaultKind, FaultProbe, FaultSchedule, FaultStats, FileSink,
         Fleet, FleetConfig, FleetHealth, FleetIngest, FleetReport, FleetService, FleetStream,
         FsyncPolicy, InclusionProof, IngestConfig, IngestHandle, IngestOutcome, IngestStats,
-        InvoicePosting, JobId, JobSpec, Journal, JournalEntry, JournalError, JournalSink,
-        JournalStats, Ledger, LedgerVerification, MemorySink, MetricsRegistry, PipelineTracer,
-        PlannedFault, PoolStats, ProofError, ProofStep, RecoveryError, RecoveryReport,
-        ReferenceOutcome, RetryPolicy, RunRecord, SamplingPolicy, SealKey, SegmentConfig,
-        SegmentedFileSink, SinkStats, Span, SpanWall, Stage, StageObservation, SubmitError,
-        TailStatus, Tenant, TenantAuditSummary, TenantDirectory, TenantId, TenantLedger,
-        TracerStats,
+        InvoicePosting, JobId, JobSpec, JobVerdict, Journal, JournalEntry, JournalError,
+        JournalSink, JournalStats, Ledger, LedgerVerification, MemorySink, MetricsRegistry,
+        PipelineTracer, PlannedFault, PlannedWorkerFault, PoisonNotice, PoolStats, ProofError,
+        ProofStep, RecoveryError, RecoveryReport, ReferenceOutcome, RetryPolicy, RunRecord,
+        SamplingPolicy, SealKey, SegmentConfig, SegmentedFileSink, SinkStats, Span, SpanWall,
+        Stage, StageObservation, SubmitError, SupervisorPolicy, TailStatus, Tenant,
+        TenantAuditSummary, TenantDirectory, TenantId, TenantLedger, TracerStats, WorkerFaultKind,
+        WorkerFaultSchedule,
     };
     pub use trustmeter_kernel::{
         Kernel, KernelConfig, NicFlood, Op, OpOutcome, OpsProgram, Program, RunResult,
